@@ -1,0 +1,286 @@
+package aisebmt
+
+// One benchmark per table and figure of the paper's evaluation (§7), plus
+// the DESIGN.md ablations. Each benchmark regenerates its artifact and
+// reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Campaign sizes use the Quick
+// configuration; run cmd/experiments for the full-size campaign recorded in
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/experiments"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+	"aisebmt/internal/sim"
+	"aisebmt/internal/trace"
+)
+
+func benchCfg() experiments.Config { return experiments.Quick() }
+
+// BenchmarkTable1Qualitative regenerates Table 1 (qualitative scheme
+// comparison). It is a rendering benchmark; the table content is static.
+func BenchmarkTable1Qualitative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1().Render() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Storage regenerates Table 2 (storage overheads) from the
+// analytic layout model and reports the two 128-bit totals.
+func BenchmarkTable2Storage(b *testing.B) {
+	var g64, bmt float64
+	for i := 0; i < b.N; i++ {
+		_, rows, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.MACBits == 128 {
+				if r.Scheme == layout.Global64MT {
+					g64 = r.TotalPct
+				} else {
+					bmt = r.TotalPct
+				}
+			}
+		}
+	}
+	b.ReportMetric(g64, "global64+MT-total-%")
+	b.ReportMetric(bmt, "AISE+BMT-total-%")
+}
+
+// reportAverages attaches each scheme's average overhead as a metric.
+func reportAverages(b *testing.B, series []experiments.Series) {
+	b.Helper()
+	for _, s := range series[1:] {
+		b.ReportMetric(s.AvgOverhead*100, s.Scheme+"-avg-%")
+	}
+}
+
+// BenchmarkFig6Overhead regenerates Figure 6: global64+MT vs AISE+BMT.
+func BenchmarkFig6Overhead(b *testing.B) {
+	var last []experiments.Series
+	for i := 0; i < b.N; i++ {
+		series, _, err := experiments.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = series
+	}
+	reportAverages(b, last)
+}
+
+// BenchmarkFig7Encryption regenerates Figure 7: global counters vs AISE.
+func BenchmarkFig7Encryption(b *testing.B) {
+	var last []experiments.Series
+	for i := 0; i < b.N; i++ {
+		series, _, err := experiments.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = series
+	}
+	reportAverages(b, last)
+}
+
+// BenchmarkFig8Integrity regenerates Figure 8: AISE, AISE+MT, AISE+BMT.
+func BenchmarkFig8Integrity(b *testing.B) {
+	var last []experiments.Series
+	for i := 0; i < b.N; i++ {
+		series, _, err := experiments.Fig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = series
+	}
+	reportAverages(b, last)
+}
+
+// BenchmarkFig9Pollution regenerates Figure 9: L2 data occupancy.
+func BenchmarkFig9Pollution(b *testing.B) {
+	var series []experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, _, err = experiments.Fig9(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range series {
+		var sum float64
+		for _, r := range s.ByBench {
+			sum += r.L2DataShare
+		}
+		b.ReportMetric(sum/float64(len(s.ByBench))*100, s.Scheme+"-datashare-%")
+	}
+}
+
+// BenchmarkFig10MissAndBus regenerates Figure 10: L2 miss rate and bus
+// utilization for base/MT/BMT.
+func BenchmarkFig10MissAndBus(b *testing.B) {
+	var series []experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		series, _, _, err = experiments.Fig10(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, s := range series {
+		var miss, bus float64
+		for _, r := range s.ByBench {
+			miss += r.L2MissRate
+			bus += r.BusUtilization
+		}
+		n := float64(len(s.ByBench))
+		b.ReportMetric(miss/n*100, s.Scheme+"-l2miss-%")
+		b.ReportMetric(bus/n*100, s.Scheme+"-bus-%")
+	}
+}
+
+// BenchmarkFig11MACSize regenerates Figure 11: the MAC-size sensitivity
+// sweep (which is also the tree-arity ablation: MAC width fixes the arity).
+func BenchmarkFig11MACSize(b *testing.B) {
+	var points []experiments.Fig11Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, _, err = experiments.Fig11(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		if p.MACBits == 32 || p.MACBits == 256 {
+			b.ReportMetric(p.AvgOverhead*100, p.Scheme+"-"+itoa(p.MACBits)+"b-%")
+		}
+	}
+}
+
+func itoa(n int) string {
+	switch n {
+	case 32:
+		return "32"
+	case 64:
+		return "64"
+	case 128:
+		return "128"
+	case 256:
+		return "256"
+	}
+	return "?"
+}
+
+// BenchmarkRelatedWork regenerates the extension figure comparing direct
+// encryption, MAC-only, log-hash and AISE+BMT.
+func BenchmarkRelatedWork(b *testing.B) {
+	var last []experiments.Series
+	for i := 0; i < b.N; i++ {
+		series, _, err := experiments.RelatedWork(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = series
+	}
+	reportAverages(b, last)
+}
+
+// BenchmarkAblationCounterPrediction regenerates the speculative-pad
+// optimization study.
+func BenchmarkAblationCounterPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCounterPrediction(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMACCaching regenerates the §5.2 design-choice ablation.
+func BenchmarkAblationMACCaching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationMACCaching(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCounterCache sweeps counter cache sizes.
+func BenchmarkAblationCounterCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCounterCache(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPreciseVerify compares timely vs precise verification.
+func BenchmarkAblationPreciseVerify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPreciseVerify(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMinorCounterWidth regenerates the split-counter width
+// trade-off table.
+func BenchmarkAblationMinorCounterWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.AblationMinorCounterWidth().Rows) == 0 {
+			b.Fatal("empty ablation")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (accesses per
+// second) under the heaviest scheme, for harness performance tracking.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p, _ := trace.ProfileByName("art")
+	m := sim.DefaultMachine()
+	s, err := sim.New(sim.SchemeGlobal64MT(128), m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trace.NewGenerator(p, 0, 7)
+	b.ResetTimer()
+	s.Run(gen, 0, b.N, "art")
+}
+
+// BenchmarkExtensionCMP regenerates the chip-multiprocessor scaling study.
+func BenchmarkExtensionCMP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionCMP(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreReadWrite measures the functional controller's hot path:
+// one protected 64-byte write plus read under AISE+BMT.
+func BenchmarkCoreReadWrite(b *testing.B) {
+	sm, err := core.New(core.Config{
+		DataBytes: 1 << 20, Key: []byte("0123456789abcdef"),
+		Encryption: core.AISE, Integrity: core.BonsaiMT,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blk mem.Block
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := layout.Addr(i%16384) * 64
+		if err := sm.WriteBlock(a, &blk, core.Meta{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := sm.ReadBlock(a, &blk, core.Meta{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

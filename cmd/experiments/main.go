@@ -1,0 +1,256 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation section (§7) plus the ablation studies listed in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig6 -n 300000 -warmup 100000
+//	experiments -exp table2
+//
+// Experiments: table1, table2, fig6, fig7, fig8, fig9, fig10, fig11,
+// ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aisebmt/internal/experiments"
+	"aisebmt/internal/report"
+	"aisebmt/internal/sim"
+	"aisebmt/internal/stats"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, table2, fig6..fig11, related, compare, stability, cmp, hide, ablations, all)")
+	n := flag.Int("n", 300000, "measured accesses per benchmark run")
+	warmup := flag.Int("warmup", 100000, "warmup accesses per benchmark run")
+	seed := flag.Uint64("seed", 12345, "trace generator seed")
+	quick := flag.Bool("quick", false, "use the reduced quick campaign")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file (compare experiment)")
+	mdOut := flag.String("md", "", "also write a Markdown reproduction report to this file (compare experiment)")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	} else {
+		cfg.N = *n
+		cfg.Warmup = *warmup
+		cfg.Seed = *seed
+	}
+
+	if err := run(*exp, cfg, *jsonOut, *mdOut); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg experiments.Config, jsonOut, mdOut string) error {
+	all := exp == "all"
+	did := false
+	section := func(name string) bool {
+		if all || exp == name {
+			did = true
+			return true
+		}
+		return false
+	}
+
+	if section("table1") {
+		fmt.Println(experiments.Table1().Render())
+	}
+	if section("table2") {
+		tab, _, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	}
+	if section("fig6") {
+		series, chart, err := experiments.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(chart.Render())
+		printAverages(series)
+	}
+	if section("fig7") {
+		series, chart, err := experiments.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(chart.Render())
+		printAverages(series)
+	}
+	if section("fig8") {
+		series, chart, err := experiments.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(chart.Render())
+		printAverages(series)
+	}
+	if section("fig9") {
+		_, chart, err := experiments.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(chart.Render())
+	}
+	if section("fig10") {
+		_, miss, busc, err := experiments.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(miss.Render())
+		fmt.Println(busc.Render())
+	}
+	if section("fig11") {
+		_, tab, err := experiments.Fig11(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	}
+	if section("compare") {
+		comps, tab, err := experiments.Compare(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		if mdOut != "" {
+			series, err := experiments.Campaign(cfg, sim.SchemeGlobal64MT(128), sim.SchemeAISEMT(128), sim.SchemeAISEBMT(128))
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(mdOut)
+			if err != nil {
+				return err
+			}
+			if err := report.Write(f, cfg, comps, series); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote Markdown report to %s\n\n", mdOut)
+		}
+		if jsonOut != "" {
+			f, err := os.Create(jsonOut)
+			if err != nil {
+				return err
+			}
+			exp := experiments.NewExport(cfg, nil, comps)
+			if err := exp.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote audit JSON to %s\n\n", jsonOut)
+		}
+		fails := 0
+		for _, c := range comps {
+			if !c.Pass {
+				fails++
+			}
+		}
+		if fails > 0 {
+			return fmt.Errorf("%d of %d paper targets outside their bands", fails, len(comps))
+		}
+		fmt.Printf("all %d paper targets within their bands\n\n", len(comps))
+	}
+	if section("hide") {
+		tab, err := experiments.ExtensionHIDE(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	}
+	if section("cmp") {
+		tab, err := experiments.ExtensionCMP(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	}
+	if section("stability") {
+		tab, err := experiments.Stability(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		tab, err = experiments.MLPSensitivity(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	}
+	if section("related") {
+		series, chart, err := experiments.RelatedWork(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(chart.Render())
+		printAverages(series)
+	}
+	if section("ablations") {
+		tab, err := experiments.AblationMACCaching(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		tab, err = experiments.AblationCounterCache(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		tab, err = experiments.AblationPreciseVerify(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		fmt.Println(experiments.AblationMinorCounterWidth().Render())
+		tab, err = experiments.AblationCounterPrediction(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		tab, err = experiments.AblationMACCoverage(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		tab, err = experiments.AblationL2Size(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		tab, err = experiments.AblationL2Partition(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+		tab, err = experiments.AblationDRAMBanks(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func printAverages(series []experiments.Series) {
+	t := &stats.Table{Headers: []string{"Scheme", "Avg overhead (21 benches)"}}
+	for _, s := range series[1:] {
+		t.AddRow(s.Scheme, stats.Pct(s.AvgOverhead))
+	}
+	fmt.Println(t.Render())
+}

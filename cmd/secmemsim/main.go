@@ -1,0 +1,123 @@
+// Command secmemsim runs one benchmark under one protection scheme on the
+// timing simulator and prints the full measurement, normalized against the
+// unprotected baseline.
+//
+// Usage:
+//
+//	secmemsim -bench art -scheme aise+bmt
+//	secmemsim -bench mcf -scheme global64+mt -mac 256 -n 500000
+//	secmemsim -list
+//
+// Run secmemsim -scheme help for the full scheme list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aisebmt/internal/cli"
+	"aisebmt/internal/sim"
+	"aisebmt/internal/stats"
+	"aisebmt/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "art", "benchmark profile name")
+	scheme := flag.String("scheme", "aise+bmt", "protection scheme")
+	mac := flag.Int("mac", 128, "MAC width in bits (32, 64, 128, 256)")
+	n := flag.Int("n", 300000, "measured accesses")
+	warmup := flag.Int("warmup", 100000, "warmup accesses")
+	seed := flag.Uint64("seed", 12345, "trace seed")
+	list := flag.Bool("list", false, "list benchmark profiles and exit")
+	all := flag.Bool("all", false, "sweep every scheme on the chosen benchmark")
+	flag.Parse()
+
+	if *list {
+		t := &stats.Table{Headers: []string{"Benchmark", "Working set", "Far access fraction", "Write fraction"}}
+		for _, p := range trace.Profiles {
+			t.AddRow(p.Name, fmt.Sprintf("%dMB", p.WorkingSet>>20),
+				fmt.Sprintf("%.3f", p.PStream+p.PRandom), fmt.Sprintf("%.2f", p.WriteFrac))
+		}
+		fmt.Print(t.Render())
+		return
+	}
+
+	p, ok := trace.ProfileByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "secmemsim: unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(1)
+	}
+	if *all {
+		if err := sweepAll(p, *mac, *warmup, *n, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "secmemsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	s, err := cli.SchemeByName(*scheme, *mac)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secmemsim:", err)
+		os.Exit(1)
+	}
+	m := sim.DefaultMachine()
+	base, err := sim.RunScheme(sim.Baseline(), m, p, *warmup, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secmemsim:", err)
+		os.Exit(1)
+	}
+	r := base
+	if s.Name != "base" {
+		r, err = sim.RunScheme(s, m, p, *warmup, *n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secmemsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	t := &stats.Table{Title: fmt.Sprintf("%s on %s (%d accesses)", s.Name, p.Name, *n)}
+	t.Headers = []string{"Metric", "Value"}
+	t.AddRow("Cycles", fmt.Sprintf("%d", r.Cycles))
+	t.AddRow("Instructions", fmt.Sprintf("%d", r.Instructions))
+	t.AddRow("Overhead vs unprotected", stats.Pct(r.Overhead(base)))
+	t.AddRow("Local L2 miss rate", stats.Pct(r.L2MissRate))
+	t.AddRow("L2 data share", stats.Pct(r.L2DataShare))
+	t.AddRow("Bus utilization", stats.Pct(r.BusUtilization))
+	t.AddRow("Counter cache hit rate", stats.Pct(r.CtrHitRate))
+	t.AddRow("Tree node fetches", fmt.Sprintf("%d", r.TreeNodeFetches))
+	t.AddRow("Data MAC fetches", fmt.Sprintf("%d", r.MACFetches))
+	t.AddRow("Decrypt exposure cycles", fmt.Sprintf("%d", r.ExposureCycles))
+	t.AddRow("Bytes on bus", fmt.Sprintf("%d", r.BytesMoved))
+	fmt.Print(t.Render())
+}
+
+// sweepAll runs every registered scheme on one benchmark and prints a
+// comparison table normalized to the baseline.
+func sweepAll(p trace.Profile, mac, warmup, n int, seed uint64) error {
+	m := sim.DefaultMachine()
+	base, err := sim.RunScheme(sim.Baseline(), m, p, warmup, n, seed)
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("all schemes on %s (%d accesses, %d-bit MACs)", p.Name, n, mac),
+		Headers: []string{"Scheme", "Overhead", "L2 miss", "Bus util", "L2 data share"},
+	}
+	for _, name := range cli.SchemeNames() {
+		s, err := cli.SchemeByName(name, mac)
+		if err != nil {
+			return err
+		}
+		r := base
+		if s.Name != "base" {
+			r, err = sim.RunScheme(s, m, p, warmup, n, seed)
+			if err != nil {
+				return err
+			}
+		}
+		t.AddRow(name, stats.Pct(r.Overhead(base)), stats.Pct(r.L2MissRate),
+			stats.Pct(r.BusUtilization), stats.Pct(r.L2DataShare))
+	}
+	fmt.Print(t.Render())
+	return nil
+}

@@ -1,0 +1,12 @@
+// Package aisebmt reproduces "Using Address Independent Seed Encryption and
+// Bonsai Merkle Trees to Make Secure Processors OS- and Performance-Friendly"
+// (Rogers, Chhabra, Solihin, Prvulovic — MICRO 2007) as a Go library.
+//
+// The functional secure-memory controller lives in internal/core; the timing
+// simulator that regenerates the paper's evaluation lives in internal/sim
+// with the experiment harness in internal/experiments. See README.md for the
+// architecture overview, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The root package holds
+// only documentation and the benchmark harness (bench_test.go), which has
+// one benchmark per table and figure in the paper.
+package aisebmt

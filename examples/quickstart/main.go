@@ -1,0 +1,61 @@
+// Quickstart: build a secure memory with the paper's proposed protection
+// (AISE counter-mode encryption + Bonsai Merkle Tree integrity), store and
+// load data through the processor boundary, watch an attacker fail, and
+// print the controller's work counters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/mem"
+)
+
+func main() {
+	// A 1MB protected data region with a 16-slot page root directory for
+	// swap support. The key never leaves the simulated chip.
+	sm, err := core.New(core.Config{
+		DataBytes:  1 << 20,
+		MACBits:    128,
+		Key:        []byte("0123456789abcdef"),
+		Encryption: core.AISE,
+		Integrity:  core.BonsaiMT,
+		SwapSlots:  16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Writes encrypt on the way out; reads verify and decrypt on the way in.
+	msg := []byte("secrets are safe outside the chip boundary")
+	if err := sm.Write(0x4000, msg, core.Meta{}); err != nil {
+		log.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := sm.Read(0x4000, got, core.Meta{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round trip: %q\n", got)
+
+	// Off-chip memory holds only ciphertext.
+	snap := sm.Memory().Snapshot(0x4000)
+	fmt.Printf("what the bus sees: %x...\n", snap[:16])
+
+	// An attacker flips one bit on the DIMM; the next read refuses.
+	sm.Memory().TamperBytes(0x4002, []byte{0xff})
+	var blk mem.Block
+	err = sm.ReadBlock(0x4000, &blk, core.Meta{})
+	if errors.Is(err, core.ErrTampered) {
+		fmt.Println("tamper detected:", err)
+	} else {
+		log.Fatalf("attack missed: %v", err)
+	}
+
+	st := sm.Stats()
+	fmt.Printf("work done: %d pad generations, %d MAC computations, %d tree updates\n",
+		st.PadGens, st.MACOps, st.TreeUpdates)
+}

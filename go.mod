@@ -1,0 +1,3 @@
+module aisebmt
+
+go 1.22

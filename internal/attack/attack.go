@@ -1,0 +1,144 @@
+// Package attack implements the paper's §3 adversary: an agent with full
+// read/write access to everything outside the processor chip — physical
+// memory contents, the memory bus, and swap images on disk — but no access
+// to on-chip state (the secret key, the tree root, the GPC, caches).
+//
+// Each primitive corresponds to an attack class from §5: spoofing (replace
+// a value), splicing (substitute a value from another location), and replay
+// (roll a location back to an older value). The package also implements the
+// passive attacks encryption must defeat: memory scanning for plaintext and
+// the counter-mode pad-reuse attack (C1 ⊕ C2 = P1 ⊕ P2).
+package attack
+
+import (
+	"bytes"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+// Adversary wraps an untrusted physical memory with attack primitives.
+type Adversary struct {
+	m *mem.Memory
+	// recordings holds snapshots for replay attacks.
+	recordings map[layout.Addr]mem.Block
+}
+
+// New creates an adversary over the given memory.
+func New(m *mem.Memory) *Adversary {
+	return &Adversary{m: m, recordings: make(map[layout.Addr]mem.Block)}
+}
+
+// Spoof flips the given bit of the block at addr — the simplest active
+// attack on a bus or DIMM.
+func (a *Adversary) Spoof(addr layout.Addr, bit int) {
+	blk := a.m.Snapshot(addr)
+	blk[(bit/8)%layout.BlockSize] ^= 1 << uint(bit%8)
+	a.m.Tamper(addr, blk)
+}
+
+// Splice copies the block at src over the block at dst — substituting a
+// valid ciphertext from elsewhere in memory.
+func (a *Adversary) Splice(src, dst layout.Addr) {
+	a.m.Tamper(dst, a.m.Snapshot(src))
+}
+
+// SpliceWith copies the block at src over dst and additionally copies
+// auxiliary metadata (such as the MAC slots) between the given address
+// pairs, modeling an attacker who moves a block together with its MAC.
+func (a *Adversary) SpliceWith(src, dst layout.Addr, aux [][2]layout.Addr) {
+	a.Splice(src, dst)
+	for _, p := range aux {
+		a.Splice(p[0], p[1])
+	}
+}
+
+// Record snapshots the block at addr for a later replay.
+func (a *Adversary) Record(addr layout.Addr) {
+	a.recordings[addr.BlockAddr()] = a.m.Snapshot(addr)
+}
+
+// RecordRange snapshots every block in [base, base+size).
+func (a *Adversary) RecordRange(base layout.Addr, size uint64) {
+	for addr := base.BlockAddr(); addr < base+layout.Addr(size); addr += layout.BlockSize {
+		a.Record(addr)
+	}
+}
+
+// Replay restores the most recent recording of the block at addr,
+// reporting whether one existed.
+func (a *Adversary) Replay(addr layout.Addr) bool {
+	blk, ok := a.recordings[addr.BlockAddr()]
+	if ok {
+		a.m.Tamper(addr, blk)
+	}
+	return ok
+}
+
+// ReplayAll restores every recorded block — the strongest rollback attack,
+// returning off-chip state (data, counters, MACs, tree nodes) to an earlier
+// instant in time.
+func (a *Adversary) ReplayAll() int {
+	for addr, blk := range a.recordings {
+		a.m.Tamper(addr, blk)
+	}
+	return len(a.recordings)
+}
+
+// ScanForPlaintext searches a memory range for a byte pattern — the
+// memory-dump attack from §1. Against an unencrypted memory it finds
+// secrets; against any encryption scheme it must come back empty.
+func (a *Adversary) ScanForPlaintext(base layout.Addr, size uint64, pattern []byte) []layout.Addr {
+	var hits []layout.Addr
+	if len(pattern) == 0 {
+		return nil
+	}
+	// Reassemble the range (with one block of slack for straddlers).
+	buf := make([]byte, 0, size+layout.BlockSize)
+	for addr := base.BlockAddr(); addr < base+layout.Addr(size); addr += layout.BlockSize {
+		blk := a.m.Snapshot(addr)
+		buf = append(buf, blk[:]...)
+	}
+	for off := 0; ; {
+		i := bytes.Index(buf[off:], pattern)
+		if i < 0 {
+			break
+		}
+		hits = append(hits, base.BlockAddr()+layout.Addr(off+i))
+		off += i + 1
+	}
+	return hits
+}
+
+// XORCiphertexts returns C1 ⊕ C2 for two blocks — the first step of the
+// pad-reuse attack. When both blocks were encrypted with the same pad this
+// equals P1 ⊕ P2.
+func (a *Adversary) XORCiphertexts(addr1, addr2 layout.Addr) mem.Block {
+	c1 := a.m.Snapshot(addr1)
+	c2 := a.m.Snapshot(addr2)
+	var out mem.Block
+	for i := range out {
+		out[i] = c1[i] ^ c2[i]
+	}
+	return out
+}
+
+// RecoverWithKnownPlaintext completes the pad-reuse attack: given the XOR
+// of two ciphertexts sharing a pad and the known plaintext of one block, it
+// returns the other plaintext (P2 = (C1⊕C2) ⊕ P1).
+func RecoverWithKnownPlaintext(xored, knownPlain mem.Block) mem.Block {
+	var out mem.Block
+	for i := range out {
+		out[i] = xored[i] ^ knownPlain[i]
+	}
+	return out
+}
+
+// PadReuseDetected reports whether two ciphertext blocks leak their
+// plaintext relationship: if both encrypt the same plaintext under the same
+// pad they are byte-identical, the telltale the attacker scans for.
+func (a *Adversary) PadReuseDetected(addr1, addr2 layout.Addr) bool {
+	c1 := a.m.Snapshot(addr1)
+	c2 := a.m.Snapshot(addr2)
+	return c1 == c2
+}

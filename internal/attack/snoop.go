@@ -1,0 +1,67 @@
+package attack
+
+import (
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+// BusEvent is one address observed on the memory bus.
+type BusEvent struct {
+	Op   string // "read" or "write"
+	Addr layout.Addr
+}
+
+// Snooper is a passive bus analyzer: it records the address of every
+// processor-visible transfer. This is the §3 caveat made executable —
+// memory encryption and integrity verification protect the *data* bus, but
+// "information leakage through the address bus is not protected". A
+// secret-dependent access pattern therefore leaks the secret even under
+// AISE+BMT (separate address-bus protection such as HIDE is required, which
+// the paper cites as complementary work).
+type Snooper struct {
+	events []BusEvent
+}
+
+// Attach installs the snooper on a memory's bus. It replaces any previous
+// observer and returns the snooper for chaining.
+func (s *Snooper) Attach(m *mem.Memory) *Snooper {
+	m.Observer = func(op string, addr layout.Addr) {
+		s.events = append(s.events, BusEvent{Op: op, Addr: addr})
+	}
+	return s
+}
+
+// NewSnooper creates a snooper attached to the memory.
+func NewSnooper(m *mem.Memory) *Snooper {
+	return new(Snooper).Attach(m)
+}
+
+// Events returns everything recorded so far.
+func (s *Snooper) Events() []BusEvent { return s.events }
+
+// Reset clears the recording.
+func (s *Snooper) Reset() { s.events = s.events[:0] }
+
+// ReadsIn returns the read addresses observed inside [base, base+size), in
+// order — the raw material of an access-pattern attack.
+func (s *Snooper) ReadsIn(base layout.Addr, size uint64) []layout.Addr {
+	var out []layout.Addr
+	for _, e := range s.events {
+		if e.Op == "read" && e.Addr >= base && uint64(e.Addr-base) < size {
+			out = append(out, e.Addr)
+		}
+	}
+	return out
+}
+
+// InferTableIndex performs the classic access-pattern attack against a
+// table lookup: given the table's base and per-entry stride, it returns the
+// entry indexes touched by observed reads. If a victim indexes a table with
+// a secret, the secret is in this list — regardless of encryption.
+func (s *Snooper) InferTableIndex(tableBase layout.Addr, stride uint64, entries int) []int {
+	var out []int
+	for _, a := range s.ReadsIn(tableBase, stride*uint64(entries)) {
+		out = append(out, int(uint64(a-tableBase)/stride))
+	}
+	return out
+}

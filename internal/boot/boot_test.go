@@ -1,0 +1,98 @@
+package boot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+)
+
+var (
+	chipKey   = []byte("processor-secret")
+	vendorKey = []byte("vendor-signing-k")
+)
+
+func bootSM(t *testing.T) *core.SecureMemory {
+	t.Helper()
+	sm, err := core.New(core.Config{
+		DataBytes: 128 << 10, MACBits: 128, Key: chipKey,
+		Encryption: core.AISE, Integrity: core.BonsaiMT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func TestLoadVerifiedImage(t *testing.T) {
+	sm := bootSM(t)
+	payload := bytes.Repeat([]byte("secure application code "), 100)
+	img := Sign(vendorKey, "app-v1", 0x4000, payload)
+	meas, err := Load(sm, vendorKey, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Name != "app-v1" || meas.Bytes != len(payload) || len(meas.Root) == 0 {
+		t.Errorf("measurement = %+v", meas)
+	}
+	// The application is readable through the protected path and encrypted
+	// off chip.
+	got := make([]byte, len(payload))
+	if err := sm.Read(0x4000, got, core.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("loaded payload corrupted")
+	}
+	snap := sm.Memory().Snapshot(0x4000)
+	if bytes.Contains(snap[:], []byte("secure app")) {
+		t.Error("application plaintext visible off chip")
+	}
+	// The measurement matches the live root until something changes.
+	if !bytes.Equal(meas.Root, sm.Root()) {
+		t.Error("measurement root stale immediately after load")
+	}
+}
+
+func TestLoadRejectsTamperedImage(t *testing.T) {
+	sm := bootSM(t)
+	img := Sign(vendorKey, "app", 0x1000, []byte("legit payload"))
+
+	cases := map[string]func(*Image){
+		"payload":  func(i *Image) { i.Payload[3] ^= 1 },
+		"tag":      func(i *Image) { i.Tag[0] ^= 1 },
+		"entry":    func(i *Image) { i.Entry += 0x1000 },
+		"name":     func(i *Image) { i.Name = "app-evil" },
+		"wrongkey": func(i *Image) { *i = *Sign([]byte("not-vendor-key!!"), i.Name, i.Entry, i.Payload) },
+	}
+	for name, mutate := range cases {
+		bad := &Image{Name: img.Name, Entry: img.Entry,
+			Payload: append([]byte(nil), img.Payload...),
+			Tag:     append([]byte(nil), img.Tag...)}
+		mutate(bad)
+		if _, err := Load(sm, vendorKey, bad); !errors.Is(err, ErrBadSignature) {
+			t.Errorf("%s tamper: err = %v, want ErrBadSignature", name, err)
+		}
+	}
+	// Nothing leaked into memory from the rejected loads.
+	got := make([]byte, 13)
+	if err := sm.Read(0x1000, got, core.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 13)) {
+		t.Error("rejected image left bytes in memory")
+	}
+}
+
+func TestLoadBoundsChecked(t *testing.T) {
+	sm := bootSM(t)
+	// Entry four bytes below the end of the 128KB region; an 8-byte payload
+	// overruns it.
+	entry := layout.Addr(sm.DataBytes() - 4)
+	img := Sign(vendorKey, "big", entry, []byte("12345678"))
+	if _, err := Load(sm, vendorKey, img); err == nil {
+		t.Error("out-of-bounds image accepted")
+	}
+}

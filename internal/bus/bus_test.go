@@ -1,0 +1,105 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTransferTiming(t *testing.T) {
+	b := New(8)
+	done := b.Transfer(100, 64)
+	if done != 108 {
+		t.Errorf("64B at 8B/cyc from 100: done=%d, want 108", done)
+	}
+	// Queued behind the first transfer.
+	done2 := b.Transfer(100, 64)
+	if done2 != 116 {
+		t.Errorf("queued transfer done=%d, want 116", done2)
+	}
+	if b.BusyCycles() != 16 {
+		t.Errorf("busy=%d, want 16", b.BusyCycles())
+	}
+	if b.BytesMoved() != 128 || b.Transfers() != 2 {
+		t.Errorf("moved=%d transfers=%d", b.BytesMoved(), b.Transfers())
+	}
+}
+
+func TestPartialBlockRoundsUp(t *testing.T) {
+	b := New(8)
+	if done := b.Transfer(0, 12); done != 2 {
+		t.Errorf("12B at 8B/cyc: done=%d, want 2", done)
+	}
+}
+
+func TestIdleGap(t *testing.T) {
+	b := New(8)
+	b.Transfer(0, 64) // busy 0..8
+	done := b.Transfer(1000, 64)
+	if done != 1008 {
+		t.Errorf("post-idle transfer done=%d, want 1008", done)
+	}
+	if got := b.Utilization(1008); got < 0.015 || got > 0.017 {
+		t.Errorf("utilization = %.4f, want ~16/1008", got)
+	}
+}
+
+func TestQueueDelay(t *testing.T) {
+	b := New(8)
+	b.Transfer(0, 640) // busy until cycle 80
+	if d := b.QueueDelay(50); d != 30 {
+		t.Errorf("QueueDelay(50) = %d, want 30", d)
+	}
+	if d := b.QueueDelay(200); d != 0 {
+		t.Errorf("QueueDelay(200) = %d, want 0", d)
+	}
+}
+
+func TestZeroTransfer(t *testing.T) {
+	b := New(8)
+	if done := b.Transfer(42, 0); done != 42 {
+		t.Errorf("zero-byte transfer done=%d, want 42", done)
+	}
+	if b.Transfers() != 0 {
+		t.Error("zero-byte transfer counted")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: completion is monotone non-decreasing for monotone request times.
+func TestMonotoneCompletion(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		b := New(8)
+		var now, last uint64
+		for _, s := range sizes {
+			now += uint64(s % 16)
+			done := b.Transfer(now, int(s)+1)
+			if done < last || done < now {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	b := New(1)
+	b.Transfer(0, 1000)
+	if u := b.Utilization(10); u != 1 {
+		t.Errorf("utilization = %f, want clamped to 1", u)
+	}
+	if u := b.Utilization(0); u != 0 {
+		t.Errorf("utilization at 0 elapsed = %f", u)
+	}
+}

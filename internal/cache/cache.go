@@ -1,0 +1,315 @@
+// Package cache models the on-chip set-associative caches of the secure
+// processor: L1 instruction/data, the unified L2, and the counter cache.
+//
+// Lines carry an owner class (data, Merkle tree node, counter block) so the
+// simulator can measure the paper's "cache pollution" effect — the share of
+// L2 capacity consumed by integrity-tree nodes (Figure 9) — as a
+// time-weighted average over the run.
+package cache
+
+import (
+	"fmt"
+
+	"aisebmt/internal/layout"
+)
+
+// Class labels what kind of block occupies a cache line.
+type Class int
+
+const (
+	// Data is an application code or data block.
+	Data Class = iota
+	// Tree is a Merkle tree node (standard MT or Bonsai MT).
+	Tree
+	// Counter is an encryption counter block.
+	Counter
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Data:
+		return "data"
+	case Tree:
+		return "tree"
+	case Counter:
+		return "counter"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Config sizes a cache. LineSize is fixed at the architectural block size.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	// ReservedDataWays, when positive, partitions each set: non-data
+	// classes (tree nodes, counters) may only occupy the last
+	// Ways-ReservedDataWays ways, protecting data from metadata pollution.
+	// Data may use every way.
+	ReservedDataWays int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / layout.BlockSize / c.Ways }
+
+// Stats aggregates cache behaviour over a run.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	DirtyEvict uint64
+	// occupancy integral: for each class, the sum over sampled accesses of
+	// the number of lines the class held. Divided by (samples × lines) it is
+	// the average capacity share.
+	occSum  [numClasses]uint64
+	samples uint64
+}
+
+// MissRate returns misses/accesses (the "local" miss rate of the cache).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// OccupancyShare returns the time-averaged fraction of cache lines holding
+// blocks of the given class, counting only valid lines' classes against the
+// full capacity (invalid lines count as unused).
+func (s Stats) OccupancyShare(class Class, totalLines int) float64 {
+	if s.samples == 0 || totalLines == 0 {
+		return 0
+	}
+	return float64(s.occSum[class]) / float64(s.samples*uint64(totalLines))
+}
+
+// DataShareOfValid returns data-class occupancy as a fraction of *valid*
+// lines, matching the paper's Figure 9 metric ("portion of L2 cache space
+// occupied by data blocks").
+func (s Stats) DataShareOfValid() float64 {
+	var valid uint64
+	for c := Class(0); c < numClasses; c++ {
+		valid += s.occSum[c]
+	}
+	if valid == 0 {
+		return 1
+	}
+	return float64(s.occSum[Data]) / float64(valid)
+}
+
+type line struct {
+	tag   layout.Addr // block address
+	valid bool
+	dirty bool
+	class Class
+	lru   uint64
+}
+
+// Victim describes a line displaced by an insertion.
+type Victim struct {
+	Valid bool
+	Addr  layout.Addr
+	Dirty bool
+	Class Class
+}
+
+// Cache is a set-associative, write-back, LRU cache model. It tracks tags
+// only; block contents live in the functional memory model.
+type Cache struct {
+	cfg    Config
+	sets   [][]line
+	clock  uint64
+	occ    [numClasses]int
+	stats  Stats
+	shift  uint
+	setMsk layout.Addr
+}
+
+// New builds a cache. SizeBytes must be a multiple of Ways×BlockSize and the
+// set count must be a power of two; violations are configuration bugs and
+// panic.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a power of two", cfg.Name, sets))
+	}
+	c := &Cache{
+		cfg:    cfg,
+		sets:   make([][]line, sets),
+		shift:  6, // log2(BlockSize)
+		setMsk: layout.Addr(sets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Lines returns the total line count.
+func (c *Cache) Lines() int { return c.cfg.Sets() * c.cfg.Ways }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) set(a layout.Addr) []line {
+	return c.sets[(a>>c.shift)&c.setMsk]
+}
+
+func (c *Cache) sample() {
+	c.stats.samples++
+	for cl := Class(0); cl < numClasses; cl++ {
+		c.stats.occSum[cl] += uint64(c.occ[cl])
+	}
+}
+
+// Access looks up the block containing addr, updating LRU state and hit/miss
+// statistics. If write is true and the line is present it becomes dirty.
+// It does NOT allocate on miss; callers decide whether to Insert (so that
+// no-allocate policies like the paper's uncached data MACs are expressible).
+func (c *Cache) Access(addr layout.Addr, write bool) bool {
+	addr = addr.BlockAddr()
+	c.clock++
+	c.stats.Accesses++
+	c.sample()
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			set[i].lru = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Probe reports whether the block is present without touching LRU order or
+// statistics. Used for Merkle tree walks that stop at the first cached node.
+func (c *Cache) Probe(addr layout.Addr) bool {
+	addr = addr.BlockAddr()
+	for _, l := range c.set(addr) {
+		if l.valid && l.tag == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the block into the cache (after a miss), evicting the LRU
+// line of the set if needed and returning it so the caller can model the
+// writeback. Inserting a block that is already present just refreshes it.
+// Under way partitioning, non-data classes choose victims only among their
+// allowed ways.
+func (c *Cache) Insert(addr layout.Addr, class Class, dirty bool) Victim {
+	addr = addr.BlockAddr()
+	c.clock++
+	set := c.set(addr)
+	lo := 0
+	if class != Data && c.cfg.ReservedDataWays > 0 {
+		lo = c.cfg.ReservedDataWays
+		if lo >= len(set) {
+			lo = len(set) - 1
+		}
+	}
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			set[i].lru = c.clock
+			set[i].dirty = set[i].dirty || dirty
+			return Victim{}
+		}
+	}
+	// Victim selection within the allowed ways: first invalid way, else LRU.
+	victimIdx := lo
+	for i := lo; i < len(set); i++ {
+		if !set[i].valid {
+			victimIdx = i
+			break
+		}
+		if set[i].lru < set[victimIdx].lru {
+			victimIdx = i
+		}
+	}
+	v := Victim{}
+	old := &set[victimIdx]
+	if old.valid {
+		v = Victim{Valid: true, Addr: old.tag, Dirty: old.dirty, Class: old.class}
+		c.occ[old.class]--
+		c.stats.Evictions++
+		if old.dirty {
+			c.stats.DirtyEvict++
+		}
+	}
+	*old = line{tag: addr, valid: true, dirty: dirty, class: class, lru: c.clock}
+	c.occ[class]++
+	return v
+}
+
+// MarkDirty marks the block dirty if present, returning whether it was.
+func (c *Cache) MarkDirty(addr layout.Addr) bool {
+	addr = addr.BlockAddr()
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the block if present, returning the dropped line. The
+// extended Merkle tree's swap-out path uses this to force re-verification of
+// a physical frame's page subtree.
+func (c *Cache) Invalidate(addr layout.Addr) Victim {
+	addr = addr.BlockAddr()
+	set := c.set(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == addr {
+			v := Victim{Valid: true, Addr: set[i].tag, Dirty: set[i].dirty, Class: set[i].class}
+			c.occ[set[i].class]--
+			set[i] = line{}
+			return v
+		}
+	}
+	return Victim{}
+}
+
+// InvalidateRange drops every cached block whose address falls in
+// [base, base+size), returning how many were dropped.
+func (c *Cache) InvalidateRange(base layout.Addr, size uint64) int {
+	n := 0
+	for a := base.BlockAddr(); a < base+layout.Addr(size); a += layout.BlockSize {
+		if v := c.Invalidate(a); v.Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Occupancy returns the current number of valid lines holding the class.
+func (c *Cache) Occupancy(class Class) int { return c.occ[class] }
+
+// FlushDirty returns the addresses of all dirty lines and marks them clean,
+// modeling a full writeback sweep (used at simulation barriers).
+func (c *Cache) FlushDirty() []layout.Addr {
+	var out []layout.Addr
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			l := &c.sets[si][i]
+			if l.valid && l.dirty {
+				out = append(out, l.tag)
+				l.dirty = false
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aisebmt/internal/layout"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 64B = 512B cache.
+	return New(Config{Name: "t", SizeBytes: 512, Ways: 2})
+}
+
+func TestConfigSets(t *testing.T) {
+	c := New(Config{Name: "L2", SizeBytes: 1 << 20, Ways: 8})
+	if got := c.Config().Sets(); got != 2048 {
+		t.Errorf("1MB/8-way sets = %d, want 2048", got)
+	}
+	if c.Lines() != 16384 {
+		t.Errorf("lines = %d, want 16384", c.Lines())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two set count did not panic")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 3 * 64, Ways: 1})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if c.Access(0x100, false) {
+		t.Error("cold access hit")
+	}
+	c.Insert(0x100, Data, false)
+	if !c.Access(0x100, false) {
+		t.Error("access after insert missed")
+	}
+	if !c.Access(0x13f, false) {
+		t.Error("same-block offset missed")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()             // 4 sets; addresses with same (a>>6)&3 collide
+	a0 := layout.Addr(0x000) // set 0
+	a1 := layout.Addr(0x100) // set 0
+	a2 := layout.Addr(0x200) // set 0
+	c.Insert(a0, Data, false)
+	c.Insert(a1, Data, false)
+	c.Access(a0, false) // a1 now LRU
+	v := c.Insert(a2, Data, true)
+	if !v.Valid || v.Addr != a1 {
+		t.Fatalf("victim = %+v, want a1", v)
+	}
+	if !c.Probe(a0) || !c.Probe(a2) || c.Probe(a1) {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := small()
+	c.Insert(0x000, Data, false)
+	c.MarkDirty(0x000)
+	c.Insert(0x100, Data, false)
+	v := c.Insert(0x200, Data, false) // evicts LRU = 0x000
+	if !v.Valid || !v.Dirty || v.Addr != 0 {
+		t.Fatalf("victim = %+v, want dirty block 0", v)
+	}
+	if c.Stats().DirtyEvict != 1 {
+		t.Errorf("DirtyEvict = %d", c.Stats().DirtyEvict)
+	}
+}
+
+func TestWriteAccessDirties(t *testing.T) {
+	c := small()
+	c.Insert(0x40, Data, false)
+	c.Access(0x40, true)
+	v := c.Invalidate(0x40)
+	if !v.Dirty {
+		t.Error("write access did not dirty the line")
+	}
+}
+
+func TestProbeNeutral(t *testing.T) {
+	c := small()
+	c.Insert(0x000, Tree, false)
+	before := c.Stats()
+	if !c.Probe(0x000) || c.Probe(0x100) {
+		t.Error("probe results wrong")
+	}
+	after := c.Stats()
+	if before.Accesses != after.Accesses || before.Hits != after.Hits {
+		t.Error("Probe perturbed statistics")
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	c := small()
+	c.Insert(0x000, Data, false)
+	c.Insert(0x100, Data, false)
+	// Re-insert 0x000; it must not duplicate, and must become MRU.
+	if v := c.Insert(0x000, Data, false); v.Valid {
+		t.Fatalf("re-insert evicted %+v", v)
+	}
+	v := c.Insert(0x200, Data, false)
+	if v.Addr != 0x100 {
+		t.Errorf("victim = %#x, want 0x100 (refreshed line evicted instead)", v.Addr)
+	}
+}
+
+func TestOccupancyClasses(t *testing.T) {
+	c := small()
+	c.Insert(0x000, Data, false)
+	c.Insert(0x040, Tree, false)
+	c.Insert(0x080, Tree, false)
+	if c.Occupancy(Data) != 1 || c.Occupancy(Tree) != 2 {
+		t.Errorf("occ data/tree = %d/%d", c.Occupancy(Data), c.Occupancy(Tree))
+	}
+	c.Invalidate(0x040)
+	if c.Occupancy(Tree) != 1 {
+		t.Errorf("occ tree after invalidate = %d", c.Occupancy(Tree))
+	}
+}
+
+func TestOccupancyShareAveraging(t *testing.T) {
+	c := small()
+	c.Insert(0x000, Data, false)
+	c.Insert(0x040, Tree, false)
+	for i := 0; i < 100; i++ {
+		c.Access(0x000, false)
+	}
+	st := c.Stats()
+	dataShare := st.OccupancyShare(Data, c.Lines())
+	treeShare := st.OccupancyShare(Tree, c.Lines())
+	if dataShare <= 0 || treeShare <= 0 {
+		t.Fatal("zero occupancy shares")
+	}
+	// 1 data line and 1 tree line of 8 total, sampled per access.
+	if dataShare < 0.12 || dataShare > 0.13 {
+		t.Errorf("data share = %.3f, want 0.125", dataShare)
+	}
+	if got := st.DataShareOfValid(); got < 0.49 || got > 0.51 {
+		t.Errorf("DataShareOfValid = %.3f, want 0.5", got)
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 4096, Ways: 4})
+	for a := layout.Addr(0); a < 512; a += 64 {
+		c.Insert(a, Data, false)
+	}
+	n := c.InvalidateRange(128, 256)
+	if n != 4 {
+		t.Errorf("invalidated %d blocks, want 4", n)
+	}
+	if c.Probe(128) || c.Probe(320) {
+		t.Error("blocks in range still present")
+	}
+	if !c.Probe(0) || !c.Probe(448) {
+		t.Error("blocks outside range dropped")
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	c := small()
+	c.Insert(0x000, Data, true)
+	c.Insert(0x040, Data, false)
+	c.Insert(0x080, Tree, true)
+	dirty := c.FlushDirty()
+	if len(dirty) != 2 {
+		t.Fatalf("FlushDirty returned %d addrs, want 2", len(dirty))
+	}
+	if len(c.FlushDirty()) != 0 {
+		t.Error("second flush found dirty lines")
+	}
+}
+
+// TestNeverExceedsWays: property — no insertion sequence can make a set hold
+// more valid lines than its associativity (checked via total occupancy).
+func TestNeverExceedsWays(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := small()
+		for _, a := range addrs {
+			c.Insert(layout.Addr(a)*64, Data, a%2 == 0)
+		}
+		total := c.Occupancy(Data) + c.Occupancy(Tree) + c.Occupancy(Counter)
+		return total <= c.Lines()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHitAfterInsertProperty: a block just inserted always hits next access.
+func TestHitAfterInsertProperty(t *testing.T) {
+	f := func(addr uint32) bool {
+		c := New(Config{Name: "t", SizeBytes: 1 << 14, Ways: 4})
+		a := layout.Addr(addr)
+		c.Insert(a, Data, false)
+		return c.Access(a, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWayPartitioning(t *testing.T) {
+	// 1 set x 4 ways, 2 ways reserved for data: tree inserts may only use
+	// ways 2-3 and can never evict data from ways 0-1.
+	c := New(Config{Name: "p", SizeBytes: 4 * 64, Ways: 4, ReservedDataWays: 2})
+	c.Insert(0x000, Data, false)
+	c.Insert(0x040, Data, false)
+	for i := 0; i < 8; i++ {
+		c.Insert(layout.Addr(0x100+i*0x40), Tree, false)
+	}
+	if !c.Probe(0x000) || !c.Probe(0x040) {
+		t.Error("tree inserts evicted reserved data ways")
+	}
+	if c.Occupancy(Tree) != 2 {
+		t.Errorf("tree occupancy = %d, want 2 (partition limit)", c.Occupancy(Tree))
+	}
+	// Data may still use the whole set (it evicts by global LRU, which can
+	// reclaim tree ways).
+	c.Insert(0x080, Data, false)
+	c.Insert(0x0c0, Data, false)
+	if c.Occupancy(Data)+c.Occupancy(Tree) != 4 {
+		t.Errorf("set not full: data %d + tree %d", c.Occupancy(Data), c.Occupancy(Tree))
+	}
+	if c.Occupancy(Data) < 2 {
+		t.Errorf("data occupancy = %d, reserved ways not protecting data", c.Occupancy(Data))
+	}
+}
+
+func TestPartitionAllWaysReserved(t *testing.T) {
+	// Degenerate configuration: reservation >= ways still leaves non-data
+	// one way rather than breaking.
+	c := New(Config{Name: "p", SizeBytes: 2 * 64, Ways: 2, ReservedDataWays: 2})
+	c.Insert(0x000, Tree, false)
+	if c.Occupancy(Tree) != 1 {
+		t.Errorf("tree occupancy = %d, want 1", c.Occupancy(Tree))
+	}
+}

@@ -1,0 +1,49 @@
+// Package cli holds the flag-parsing helpers shared by the repository's
+// command-line tools: the scheme-name registry mapping user-facing names to
+// simulator configurations.
+package cli
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aisebmt/internal/sim"
+)
+
+// schemeFactories maps user-facing names to constructors. MAC-bearing
+// schemes take the width from the caller.
+var schemeFactories = map[string]func(macBits int) sim.Scheme{
+	"base":          func(int) sim.Scheme { return sim.Baseline() },
+	"none":          func(int) sim.Scheme { return sim.Baseline() },
+	"direct":        func(int) sim.Scheme { return sim.SchemeDirect() },
+	"global32":      func(int) sim.Scheme { return sim.SchemeGlobal32() },
+	"global64":      func(int) sim.Scheme { return sim.SchemeGlobal64() },
+	"aise":          func(int) sim.Scheme { return sim.SchemeAISE() },
+	"aise+pred":     func(int) sim.Scheme { return sim.SchemeAISEPred() },
+	"aise+mt":       sim.SchemeAISEMT,
+	"aise+bmt":      sim.SchemeAISEBMT,
+	"aise+mac-only": sim.SchemeMACOnly,
+	"aise+loghash":  func(int) sim.Scheme { return sim.SchemeLogHash(50000) },
+	"global64+mt":   sim.SchemeGlobal64MT,
+}
+
+// SchemeByName resolves a user-facing scheme name (case-insensitive) with
+// the given MAC width.
+func SchemeByName(name string, macBits int) (sim.Scheme, error) {
+	f, ok := schemeFactories[strings.ToLower(name)]
+	if !ok {
+		return sim.Scheme{}, fmt.Errorf("unknown scheme %q (known: %s)", name, strings.Join(SchemeNames(), ", "))
+	}
+	return f(macBits), nil
+}
+
+// SchemeNames lists the accepted scheme names in sorted order.
+func SchemeNames() []string {
+	names := make([]string, 0, len(schemeFactories))
+	for n := range schemeFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

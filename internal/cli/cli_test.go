@@ -1,0 +1,42 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range SchemeNames() {
+		s, err := SchemeByName(name, 128)
+		if err != nil {
+			t.Errorf("SchemeByName(%q): %v", name, err)
+		}
+		if s.Name == "" {
+			t.Errorf("%q resolved to a nameless scheme", name)
+		}
+	}
+	// Case insensitive.
+	if _, err := SchemeByName("AISE+BMT", 128); err != nil {
+		t.Errorf("uppercase lookup failed: %v", err)
+	}
+	// MAC width flows through.
+	s, _ := SchemeByName("aise+bmt", 256)
+	if s.MACBits != 256 {
+		t.Errorf("MAC width not applied: %d", s.MACBits)
+	}
+	if _, err := SchemeByName("bogus", 128); err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Errorf("unknown scheme error unhelpful: %v", err)
+	}
+}
+
+func TestSchemeNamesSorted(t *testing.T) {
+	names := SchemeNames()
+	if len(names) < 10 {
+		t.Fatalf("only %d scheme names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+}

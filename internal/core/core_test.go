@@ -1,0 +1,422 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+var testKey = []byte("processor-secret")
+
+func newSM(t *testing.T, enc EncryptionScheme, integ IntegrityScheme) *SecureMemory {
+	t.Helper()
+	s, err := New(Config{
+		DataBytes:  256 << 10, // 64 pages
+		MACBits:    128,
+		Key:        testKey,
+		Encryption: enc,
+		Integrity:  integ,
+		SwapSlots:  16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func pattern(seed byte) mem.Block {
+	var b mem.Block
+	for i := range b {
+		b[i] = seed ^ byte(i*7)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{DataBytes: 4096, Key: testKey, Encryption: AISE, Integrity: BonsaiMT}
+	if _, err := New(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := base
+	bad.DataBytes = 100
+	if _, err := New(bad); err == nil {
+		t.Error("unaligned DataBytes accepted")
+	}
+	bad = base
+	bad.Key = []byte("short")
+	if _, err := New(bad); err == nil {
+		t.Error("short key accepted")
+	}
+	bad = base
+	bad.MACBits = 47
+	if _, err := New(bad); err == nil {
+		t.Error("bad MAC width accepted")
+	}
+	bad = base
+	bad.Encryption = CtrGlobal64
+	if _, err := New(bad); err == nil {
+		t.Error("BMT without AISE accepted")
+	}
+}
+
+// TestRoundTripAllSchemes: write/read round trips for every supported
+// scheme combination.
+func TestRoundTripAllSchemes(t *testing.T) {
+	combos := []struct {
+		enc EncryptionScheme
+		in  IntegrityScheme
+	}{
+		{NoEncryption, NoIntegrity},
+		{DirectEncryption, NoIntegrity},
+		{CtrGlobal32, NoIntegrity},
+		{CtrGlobal64, NoIntegrity},
+		{CtrPhys, NoIntegrity},
+		{AISE, NoIntegrity},
+		{AISE, MACOnly},
+		{CtrGlobal64, MerkleTree},
+		{AISE, MerkleTree},
+		{AISE, BonsaiMT},
+		{NoEncryption, MACOnly},
+		{DirectEncryption, MerkleTree},
+	}
+	for _, c := range combos {
+		name := c.enc.String() + "+" + c.in.String()
+		s := newSM(t, c.enc, c.in)
+		want := pattern(0x5a)
+		if err := s.WriteBlock(0x1040, &want, Meta{}); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		var got mem.Block
+		if err := s.ReadBlock(0x1040, &got, Meta{}); err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: round trip mismatch", name)
+		}
+		// Unwritten blocks read as zero (except CtrVirt, see doc).
+		var zero mem.Block
+		if err := s.ReadBlock(0x2000, &got, Meta{}); err != nil {
+			t.Fatalf("%s: read clean block: %v", name, err)
+		}
+		if got != zero {
+			t.Errorf("%s: unwritten block not zero", name)
+		}
+	}
+}
+
+func TestCtrVirtRoundTrip(t *testing.T) {
+	s := newSM(t, CtrVirt, NoIntegrity)
+	meta := Meta{VirtAddr: 0x7fff1040, PID: 3}
+	want := pattern(0x11)
+	if err := s.WriteBlock(0x1040, &want, meta); err != nil {
+		t.Fatal(err)
+	}
+	var got mem.Block
+	if err := s.ReadBlock(0x1040, &got, meta); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("CtrVirt round trip mismatch")
+	}
+	// A different PID reading the same physical block gets garbage — the
+	// shared-memory IPC incompatibility of §4.2.
+	other := Meta{VirtAddr: 0x7fff1040, PID: 4}
+	if err := s.ReadBlock(0x1040, &got, other); err != nil {
+		t.Fatal(err)
+	}
+	if got == want {
+		t.Error("different PID decrypted shared data; VirtSeed should prevent this")
+	}
+}
+
+func TestCiphertextActuallyEncrypted(t *testing.T) {
+	for _, enc := range []EncryptionScheme{DirectEncryption, CtrGlobal64, CtrPhys, AISE} {
+		s := newSM(t, enc, NoIntegrity)
+		plain := pattern(0x33)
+		if err := s.WriteBlock(0x3000, &plain, Meta{}); err != nil {
+			t.Fatal(err)
+		}
+		stored := s.Memory().Snapshot(0x3000)
+		if stored == plain {
+			t.Errorf("%v: plaintext visible in memory", enc)
+		}
+	}
+	// NoEncryption stores plaintext (the baseline's weakness).
+	s := newSM(t, NoEncryption, NoIntegrity)
+	plain := pattern(0x33)
+	s.WriteBlock(0x3000, &plain, Meta{})
+	if s.Memory().Snapshot(0x3000) != plain {
+		t.Error("NoEncryption altered the data")
+	}
+}
+
+func TestByteLevelReadWrite(t *testing.T) {
+	s := newSM(t, AISE, BonsaiMT)
+	msg := []byte("the quick brown fox jumps over the lazy dog, spanning blocks!")
+	if err := s.Write(0x10f0, msg, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := s.Read(0x10f0, got, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("byte round trip: got %q", got)
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	for _, in := range []IntegrityScheme{MACOnly, MerkleTree, BonsaiMT} {
+		enc := AISE
+		if in == MerkleTree {
+			enc = CtrGlobal64
+		}
+		s := newSM(t, enc, in)
+		want := pattern(1)
+		if err := s.WriteBlock(0x5000, &want, Meta{}); err != nil {
+			t.Fatal(err)
+		}
+		s.Memory().TamperBytes(0x5002, []byte{0xff})
+		var got mem.Block
+		err := s.ReadBlock(0x5000, &got, Meta{})
+		if !errors.Is(err, ErrTampered) {
+			t.Errorf("%v: tamper not detected: %v", in, err)
+		}
+		if got != (mem.Block{}) {
+			t.Errorf("%v: tampered plaintext leaked to the processor", in)
+		}
+	}
+}
+
+func TestNoIntegrityMissesTamper(t *testing.T) {
+	s := newSM(t, AISE, NoIntegrity)
+	want := pattern(1)
+	s.WriteBlock(0x5000, &want, Meta{})
+	s.Memory().TamperBytes(0x5002, []byte{0xff})
+	var got mem.Block
+	if err := s.ReadBlock(0x5000, &got, Meta{}); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got == want {
+		t.Error("tampering had no effect?")
+	}
+}
+
+// TestReplayDetectedByTrees: roll back data + MAC + counter state; MT and
+// BMT must detect it, MAC-only must not.
+func TestReplayDetectedByTrees(t *testing.T) {
+	run := func(enc EncryptionScheme, in IntegrityScheme) error {
+		s := newSM(t, enc, in)
+		v1 := pattern(1)
+		if err := s.WriteBlock(0x7000, &v1, Meta{}); err != nil {
+			t.Fatal(err)
+		}
+		// Attacker snapshots everything the scheme stores off-chip.
+		m := s.Memory()
+		var snaps []struct {
+			a layout.Addr
+			b mem.Block
+		}
+		for _, r := range m.Regions() {
+			for a := r.Base; a < r.Base+layout.Addr(r.Size); a += layout.BlockSize {
+				snaps = append(snaps, struct {
+					a layout.Addr
+					b mem.Block
+				}{a, m.Snapshot(a)})
+			}
+		}
+		v2 := pattern(2)
+		if err := s.WriteBlock(0x7000, &v2, Meta{}); err != nil {
+			t.Fatal(err)
+		}
+		// Replay the complete off-chip state.
+		for _, sn := range snaps {
+			m.Tamper(sn.a, sn.b)
+		}
+		var got mem.Block
+		return s.ReadBlock(0x7000, &got, Meta{})
+	}
+	if err := run(CtrGlobal64, MerkleTree); !errors.Is(err, ErrTampered) {
+		t.Errorf("MT missed whole-state replay: %v", err)
+	}
+	if err := run(AISE, BonsaiMT); !errors.Is(err, ErrTampered) {
+		t.Errorf("BMT missed whole-state replay: %v", err)
+	}
+	if err := run(AISE, MACOnly); err != nil {
+		t.Errorf("MAC-only unexpectedly detected replay (it has no freshness): %v", err)
+	}
+}
+
+func TestMinorCounterOverflowReencryptsPage(t *testing.T) {
+	s := newSM(t, AISE, BonsaiMT)
+	// Put distinct data in two blocks of the same page.
+	keep := pattern(0x77)
+	if err := s.WriteBlock(0x4040, &keep, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.CounterBlockOf(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer one block until its 7-bit minor counter overflows.
+	hot := pattern(0)
+	for i := 0; i <= layout.MinorCounterMax; i++ {
+		hot[0] = byte(i)
+		if err := s.WriteBlock(0x4000, &hot, Meta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := s.CounterBlockOf(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.LPID == before.LPID {
+		t.Error("overflow did not assign a fresh LPID")
+	}
+	if s.Stats().PageReencrypts == 0 {
+		t.Error("no page re-encryption recorded")
+	}
+	// Both blocks still readable with correct contents.
+	var got mem.Block
+	if err := s.ReadBlock(0x4040, &got, Meta{}); err != nil {
+		t.Fatalf("read after re-encryption: %v", err)
+	}
+	if got != keep {
+		t.Error("sibling block corrupted by page re-encryption")
+	}
+	if err := s.ReadBlock(0x4000, &got, Meta{}); err != nil {
+		t.Fatalf("read hot block: %v", err)
+	}
+	if got != hot {
+		t.Error("hot block corrupted by page re-encryption")
+	}
+}
+
+func TestGPCPersistsAcrossReboot(t *testing.T) {
+	s := newSM(t, AISE, BonsaiMT)
+	b := pattern(1)
+	s.WriteBlock(0, &b, Meta{})
+	img := s.GPCImage()
+	// Reboot: new controller, restored GPC. New LPIDs must continue beyond
+	// every pre-reboot LPID.
+	s2, err := New(Config{DataBytes: 256 << 10, MACBits: 128, Key: testKey,
+		Encryption: AISE, Integrity: BonsaiMT, SwapSlots: 16, GPCImage: &img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preReboot, err := s.CounterBlockOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preReboot.LPID == 0 {
+		t.Fatal("written page has no LPID")
+	}
+	// Allocate a page on the rebooted controller; its LPID must be beyond
+	// every pre-reboot LPID or pads could repeat across boots.
+	if err := s2.WriteBlock(0, &b, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := s2.CounterBlockOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.LPID <= preReboot.LPID {
+		t.Errorf("post-reboot LPID %d not beyond pre-reboot %d; pad reuse possible", cb.LPID, preReboot.LPID)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := newSM(t, AISE, BonsaiMT)
+	b := pattern(4)
+	s.WriteBlock(0, &b, Meta{})
+	var got mem.Block
+	s.ReadBlock(0, &got, Meta{})
+	st := s.Stats()
+	if st.BlockWrites != 1 || st.BlockReads != 1 {
+		t.Errorf("reads/writes = %d/%d", st.BlockReads, st.BlockWrites)
+	}
+	if st.PadGens == 0 || st.MACOps == 0 || st.TreeUpdates == 0 || st.TreeVerifies == 0 {
+		t.Errorf("zero work recorded: %+v", st)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	s := newSM(t, AISE, BonsaiMT)
+	var b mem.Block
+	if err := s.WriteBlock(layout.Addr(s.DataBytes()), &b, Meta{}); err == nil {
+		t.Error("write past data region accepted")
+	}
+	if err := s.ReadBlock(layout.Addr(s.DataBytes()), &b, Meta{}); err == nil {
+		t.Error("read past data region accepted")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, e := range []EncryptionScheme{NoEncryption, DirectEncryption, CtrGlobal32, CtrGlobal64, CtrPhys, CtrVirt, AISE, EncryptionScheme(99)} {
+		if e.String() == "" {
+			t.Error("empty scheme name")
+		}
+	}
+	for _, i := range []IntegrityScheme{NoIntegrity, MACOnly, MerkleTree, BonsaiMT, IntegrityScheme(99)} {
+		if i.String() == "" {
+			t.Error("empty integrity name")
+		}
+	}
+}
+
+// TestGlobalCounterWrapReencrypts drives a 32-bit global counter over its
+// wrap point: the controller must re-encrypt the whole region (§4.1) and
+// keep every block readable.
+func TestGlobalCounterWrapReencrypts(t *testing.T) {
+	sm, err := New(Config{
+		DataBytes: 64 << 10, MACBits: 128, Key: testKey,
+		Encryption: CtrGlobal32, Integrity: MerkleTree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := pattern(0x41)
+	if err := sm.WriteBlock(0x2000, &keep, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	sm.AgeGlobalCounter(1<<32 - 2)
+	// The next two writes straddle the wrap.
+	w := pattern(0x42)
+	if err := sm.WriteBlock(0x3000, &w, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.WriteBlock(0x3040, &w, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Stats().FullReencrypts == 0 {
+		t.Fatal("wrap did not trigger whole-memory re-encryption")
+	}
+	var got mem.Block
+	for _, a := range []layout.Addr{0x2000, 0x3000, 0x3040} {
+		if err := sm.ReadBlock(a, &got, Meta{}); err != nil {
+			t.Fatalf("read %#x after wrap: %v", a, err)
+		}
+	}
+	if err := sm.ReadBlock(0x2000, &got, Meta{}); err != nil || got != keep {
+		t.Errorf("pre-wrap data corrupted: %v", err)
+	}
+	if err := sm.VerifyAll(); err != nil {
+		t.Errorf("VerifyAll after wrap: %v", err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	sm := newSM(t, AISE, BonsaiMT)
+	b := pattern(1)
+	sm.WriteBlock(0, &b, Meta{})
+	out := sm.Stats().String()
+	for _, want := range []string{"reads", "writes", "pads", "MAC ops", "tree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats string missing %q: %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+func coverageSM(t *testing.T, k int) *SecureMemory {
+	t.Helper()
+	sm, err := New(Config{
+		DataBytes: 256 << 10, MACBits: 128, Key: testKey,
+		Encryption: AISE, Integrity: BonsaiMT, SwapSlots: 16, MACCoverage: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func TestCoverageRoundTrip(t *testing.T) {
+	for _, k := range []int{2, 4, 16, 64} {
+		sm := coverageSM(t, k)
+		want := pattern(byte(k))
+		if err := sm.WriteBlock(0x3040, &want, Meta{}); err != nil {
+			t.Fatalf("k=%d: write: %v", k, err)
+		}
+		var got mem.Block
+		if err := sm.ReadBlock(0x3040, &got, Meta{}); err != nil {
+			t.Fatalf("k=%d: read: %v", k, err)
+		}
+		if got != want {
+			t.Errorf("k=%d: round trip mismatch", k)
+		}
+		// Sibling blocks in the same group still read as zeros.
+		if err := sm.ReadBlock(0x3000, &got, Meta{}); err != nil {
+			t.Fatalf("k=%d: sibling read: %v", k, err)
+		}
+		if got != (mem.Block{}) {
+			t.Errorf("k=%d: sibling not zero", k)
+		}
+	}
+}
+
+func TestCoverageTamperDetected(t *testing.T) {
+	sm := coverageSM(t, 8)
+	want := pattern(7)
+	if err := sm.WriteBlock(0x3000, &want, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper a SIBLING of the written block; reading the written block must
+	// still fail (the group MAC covers all eight).
+	sm.Memory().TamperBytes(0x3080, []byte{0xee})
+	var got mem.Block
+	if err := sm.ReadBlock(0x3000, &got, Meta{}); !errors.Is(err, ErrTampered) {
+		t.Errorf("sibling tamper missed: %v", err)
+	}
+}
+
+func TestCoverageReplayDetected(t *testing.T) {
+	sm := coverageSM(t, 4)
+	v1 := pattern(1)
+	if err := sm.WriteBlock(0x5000, &v1, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	m := sm.Memory()
+	var snaps []struct {
+		a layout.Addr
+		b mem.Block
+	}
+	for _, r := range m.Regions() {
+		for a := r.Base; a < r.Base+layout.Addr(r.Size); a += layout.BlockSize {
+			snaps = append(snaps, struct {
+				a layout.Addr
+				b mem.Block
+			}{a, m.Snapshot(a)})
+		}
+	}
+	v2 := pattern(2)
+	if err := sm.WriteBlock(0x5000, &v2, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sn := range snaps {
+		m.Tamper(sn.a, sn.b)
+	}
+	var got mem.Block
+	if err := sm.ReadBlock(0x5000, &got, Meta{}); !errors.Is(err, ErrTampered) {
+		t.Errorf("whole-state replay missed under coverage: %v", err)
+	}
+}
+
+func TestCoverageSwapRoundTrip(t *testing.T) {
+	sm := coverageSM(t, 4)
+	want := pattern(0x61)
+	if err := sm.WriteBlock(0x30c0, &want, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := sm.SwapOut(0x3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MAC section shrinks with coverage: 64/4 MACs × 16 bytes.
+	if len(img.MACs) != 16*16 {
+		t.Fatalf("image MAC section %d bytes, want 256", len(img.MACs))
+	}
+	if err := sm.SwapIn(img, 0x8000, 2); err != nil {
+		t.Fatal(err)
+	}
+	var got mem.Block
+	if err := sm.ReadBlock(0x80c0, &got, Meta{}); err != nil {
+		t.Fatalf("read after swap: %v", err)
+	}
+	if got != want {
+		t.Error("data corrupted across swap under coverage")
+	}
+	// Tampered image MACs are rejected lazily.
+	img2, err := sm.SwapOut(0x8000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2.MACs[5] ^= 1
+	if err := sm.SwapIn(img2, 0x8000, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.ReadBlock(0x80c0, &got, Meta{}); !errors.Is(err, ErrTampered) {
+		t.Errorf("tampered group MAC in swap image missed: %v", err)
+	}
+}
+
+func TestCoverageStorageShrinks(t *testing.T) {
+	base := coverageSM(t, 1)
+	wide := coverageSM(t, 16)
+	var baseMAC, wideMAC uint64
+	for _, r := range base.Memory().Regions() {
+		if r.Name == "datamacs" {
+			baseMAC = r.Size
+		}
+	}
+	for _, r := range wide.Memory().Regions() {
+		if r.Name == "datamacs" {
+			wideMAC = r.Size
+		}
+	}
+	if wideMAC != baseMAC/16 {
+		t.Errorf("coverage-16 MAC region %d, want %d", wideMAC, baseMAC/16)
+	}
+}
+
+func TestCoverageValidation(t *testing.T) {
+	cfg := Config{DataBytes: 64 << 10, Key: testKey, Encryption: AISE, Integrity: BonsaiMT, MACCoverage: 3}
+	if _, err := New(cfg); err == nil {
+		t.Error("non-power-of-two coverage accepted")
+	}
+	cfg = Config{DataBytes: 64 << 10, Key: testKey, Encryption: CtrGlobal64, Integrity: MerkleTree, MACCoverage: 4}
+	if _, err := New(cfg); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("coverage on MT: %v, want ErrUnsupported", err)
+	}
+}
+
+func TestCoverageMinorOverflow(t *testing.T) {
+	sm := coverageSM(t, 8)
+	hot := pattern(0)
+	for i := 0; i <= layout.MinorCounterMax; i++ {
+		hot[0] = byte(i)
+		if err := sm.WriteBlock(0x4000, &hot, Meta{}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if sm.Stats().PageReencrypts == 0 {
+		t.Fatal("no re-encryption recorded")
+	}
+	var got mem.Block
+	if err := sm.ReadBlock(0x4000, &got, Meta{}); err != nil {
+		t.Fatalf("read after overflow: %v", err)
+	}
+	if got != hot {
+		t.Error("hot block corrupted by re-encryption under coverage")
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// ChipState is the trusted, non-volatile on-chip state that survives a
+// power cycle: the Global Page Counter and the Merkle tree root. The secret
+// key is supplied again through Config at resume (it lives in on-chip fuses
+// in the paper's model, not in the hibernation image). Everything else —
+// ciphertext, counters, MACs, tree nodes — travels in the untrusted memory
+// image and is re-verified against Root on use.
+type ChipState struct {
+	GPC  [8]byte
+	Root []byte
+}
+
+// Hibernate writes the untrusted memory image to w and returns the trusted
+// chip state the caller must keep in (simulated) on-chip non-volatile
+// storage. The controller remains usable afterwards.
+func (s *SecureMemory) Hibernate(w io.Writer) (ChipState, error) {
+	if err := s.mem.Serialize(w); err != nil {
+		return ChipState{}, fmt.Errorf("core: hibernate: %w", err)
+	}
+	return ChipState{GPC: s.gpc.Save(), Root: s.Root()}, nil
+}
+
+// Resume reconstructs a controller from a hibernation image and the trusted
+// chip state. cfg must match the hibernated controller's configuration (the
+// same key, schemes, sizes); the memory image is untrusted, so any
+// tampering with it while the system was off is detected on first use by
+// verification against the restored root.
+func Resume(cfg Config, chip ChipState, r io.Reader) (*SecureMemory, error) {
+	cfg.GPCImage = nil // restored from chip state below
+	s, err := newController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.mem.Deserialize(r); err != nil {
+		return nil, fmt.Errorf("core: resume: %w", err)
+	}
+	s.gpc.Restore(chip.GPC)
+	if s.tree != nil {
+		if err := s.tree.Restore(chip.Root); err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"aisebmt/internal/mem"
+)
+
+func hibernateConfig() Config {
+	return Config{
+		DataBytes: 128 << 10, MACBits: 128, Key: testKey,
+		Encryption: AISE, Integrity: BonsaiMT, SwapSlots: 8,
+	}
+}
+
+func TestHibernateResumeRoundTrip(t *testing.T) {
+	sm, err := New(hibernateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pattern(0x3c)
+	if err := sm.WriteBlock(0x6000, &want, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var img bytes.Buffer
+	chip, err := sm.Hibernate(&img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chip.Root) == 0 {
+		t.Fatal("chip state has no root")
+	}
+
+	sm2, err := Resume(hibernateConfig(), chip, &img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got mem.Block
+	if err := sm2.ReadBlock(0x6000, &got, Meta{}); err != nil {
+		t.Fatalf("read after resume: %v", err)
+	}
+	if got != want {
+		t.Error("data corrupted across hibernation")
+	}
+	if err := sm2.VerifyAll(); err != nil {
+		t.Fatalf("VerifyAll after resume: %v", err)
+	}
+	// The resumed controller keeps working, including LPID continuity.
+	fresh := pattern(0x44)
+	if err := sm2.WriteBlock(0x7000, &fresh, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := sm2.CounterBlockOf(0x7000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := sm.CounterBlockOf(0x6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.LPID <= pre.LPID {
+		t.Errorf("post-resume LPID %d not beyond pre-hibernation %d", cb.LPID, pre.LPID)
+	}
+}
+
+func TestHibernationImageTamperDetected(t *testing.T) {
+	sm, err := New(hibernateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pattern(0x11)
+	if err := sm.WriteBlock(0x6000, &want, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	chip, err := sm.Hibernate(&img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attacker edits the image on disk while the machine is off:
+	// flip a bit inside the stored ciphertext of block 0x6000.
+	raw := img.Bytes()
+	ct := sm.Memory().Snapshot(0x6000)
+	idx := bytes.Index(raw, ct[:])
+	if idx < 0 {
+		t.Fatal("ciphertext not found in image")
+	}
+	raw[idx+5] ^= 0x40
+	sm2, err := Resume(hibernateConfig(), chip, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got mem.Block
+	rerr := sm2.ReadBlock(0x6000, &got, Meta{})
+	if !errors.Is(rerr, ErrTampered) {
+		t.Errorf("tampered hibernation image read: %v", rerr)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	sm, err := New(hibernateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	chip, err := sm.Hibernate(&img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong-size config: the image does not fit.
+	bad := hibernateConfig()
+	bad.DataBytes *= 2
+	if _, err := Resume(bad, chip, bytes.NewReader(img.Bytes())); err == nil {
+		t.Error("resume into a different-size memory accepted")
+	}
+	// Corrupt root length.
+	badChip := chip
+	badChip.Root = []byte{1, 2, 3}
+	if _, err := Resume(hibernateConfig(), badChip, bytes.NewReader(img.Bytes())); err == nil {
+		t.Error("short root accepted")
+	}
+	// Garbage image.
+	if _, err := Resume(hibernateConfig(), chip, bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage image accepted")
+	}
+}
+
+func TestMemorySerializeRoundTrip(t *testing.T) {
+	m := mem.New(1 << 16)
+	var b1, b2 mem.Block
+	b1[0], b2[63] = 0xaa, 0xbb
+	m.WriteBlock(0x40, &b1)
+	m.WriteBlock(0xfc0, &b2)
+	var buf bytes.Buffer
+	if err := m.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := mem.New(1 << 16)
+	if err := m2.Deserialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Snapshot(0x40) != b1 || m2.Snapshot(0xfc0) != b2 {
+		t.Error("blocks corrupted across serialization")
+	}
+	if m2.Snapshot(0x80) != (mem.Block{}) {
+		t.Error("unpopulated block not zero after restore")
+	}
+	if m2.PopulatedBlocks() != 2 {
+		t.Errorf("populated = %d, want 2", m2.PopulatedBlocks())
+	}
+}

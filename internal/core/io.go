@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"aisebmt/internal/layout"
+)
+
+// SectionReaderWriter adapts a region of the secure memory to the standard
+// io.ReaderAt / io.WriterAt interfaces, so existing Go code (archives,
+// encoders, io.SectionReader pipelines) can operate on protected memory
+// directly. Every access goes through the full verify/decrypt or
+// encrypt/MAC path.
+type SectionReaderWriter struct {
+	sm   *SecureMemory
+	base layout.Addr
+	size int64
+	meta Meta
+}
+
+var (
+	_ io.ReaderAt = (*SectionReaderWriter)(nil)
+	_ io.WriterAt = (*SectionReaderWriter)(nil)
+)
+
+// Section returns an io adapter over [base, base+size) of the data region.
+func (s *SecureMemory) Section(base layout.Addr, size int64, meta Meta) (*SectionReaderWriter, error) {
+	if size < 0 || uint64(base)+uint64(size) > s.cfg.DataBytes {
+		return nil, fmt.Errorf("core: section [%#x, %#x) outside data region", base, uint64(base)+uint64(size))
+	}
+	return &SectionReaderWriter{sm: s, base: base, size: size, meta: meta}, nil
+}
+
+// Size returns the section length in bytes.
+func (s *SectionReaderWriter) Size() int64 { return s.size }
+
+// ReadAt implements io.ReaderAt with the usual contract: a read past the
+// end returns io.EOF with the bytes that fit.
+func (s *SectionReaderWriter) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("core: negative offset %d", off)
+	}
+	if off >= s.size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	eof := false
+	if int64(n) > s.size-off {
+		n = int(s.size - off)
+		eof = true
+	}
+	if err := s.sm.Read(s.base+layout.Addr(off), p[:n], s.meta); err != nil {
+		return 0, err
+	}
+	if eof {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt; writes past the end are truncated with
+// io.ErrShortWrite.
+func (s *SectionReaderWriter) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("core: negative offset %d", off)
+	}
+	if off >= s.size {
+		return 0, io.ErrShortWrite
+	}
+	n := len(p)
+	short := false
+	if int64(n) > s.size-off {
+		n = int(s.size - off)
+		short = true
+	}
+	if err := s.sm.Write(s.base+layout.Addr(off), p[:n], s.meta); err != nil {
+		return 0, err
+	}
+	if short {
+		return n, io.ErrShortWrite
+	}
+	return n, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestSectionReaderWriter(t *testing.T) {
+	sm := newSM(t, AISE, BonsaiMT)
+	sec, err := sm.Section(0x2000, 256, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.Size() != 256 {
+		t.Errorf("Size = %d", sec.Size())
+	}
+	msg := []byte("io adapter payload")
+	if n, err := sec.WriteAt(msg, 10); err != nil || n != len(msg) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	got := make([]byte, len(msg))
+	if n, err := sec.ReadAt(got, 10); err != nil || n != len(msg) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("round trip %q", got)
+	}
+	// io.SectionReader composes over it.
+	sr := io.NewSectionReader(sec, 10, int64(len(msg)))
+	all, err := io.ReadAll(sr)
+	if err != nil || !bytes.Equal(all, msg) {
+		t.Errorf("SectionReader: %q, %v", all, err)
+	}
+}
+
+func TestSectionEOFSemantics(t *testing.T) {
+	sm := newSM(t, AISE, BonsaiMT)
+	sec, _ := sm.Section(0, 100, Meta{})
+	buf := make([]byte, 64)
+	n, err := sec.ReadAt(buf, 80)
+	if n != 20 || err != io.EOF {
+		t.Errorf("tail ReadAt = %d, %v; want 20, EOF", n, err)
+	}
+	if _, err := sec.ReadAt(buf, 100); err != io.EOF {
+		t.Errorf("past-end ReadAt err = %v", err)
+	}
+	if _, err := sec.ReadAt(buf, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	n, err = sec.WriteAt(buf, 90)
+	if n != 10 || err != io.ErrShortWrite {
+		t.Errorf("tail WriteAt = %d, %v; want 10, ErrShortWrite", n, err)
+	}
+	if _, err := sec.WriteAt(buf, 200); err != io.ErrShortWrite {
+		t.Errorf("past-end WriteAt err = %v", err)
+	}
+}
+
+func TestSectionBounds(t *testing.T) {
+	sm := newSM(t, AISE, BonsaiMT)
+	if _, err := sm.Section(0, int64(sm.DataBytes())+1, Meta{}); err == nil {
+		t.Error("oversized section accepted")
+	}
+	if _, err := sm.Section(0, -1, Meta{}); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestSectionSurfacesTampering(t *testing.T) {
+	sm := newSM(t, AISE, BonsaiMT)
+	sec, _ := sm.Section(0x2000, 128, Meta{})
+	if _, err := sec.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	sm.Memory().TamperBytes(0x2001, []byte{0xff})
+	buf := make([]byte, 8)
+	if _, err := sec.ReadAt(buf, 0); !errors.Is(err, ErrTampered) {
+		t.Errorf("tampered section read: %v", err)
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+func TestSwapOutInRoundTrip(t *testing.T) {
+	s := newSM(t, AISE, BonsaiMT)
+	want := pattern(0x21)
+	if err := s.WriteBlock(0x3040, &want, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := s.SwapOut(0x3000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frame is vacated.
+	var got mem.Block
+	if err := s.ReadBlock(0x3040, &got, Meta{}); err == nil && got == want {
+		t.Error("swapped-out data still readable in the frame")
+	}
+	// Swap back into a DIFFERENT frame — no re-encryption required.
+	pads := s.Stats().PadGens
+	if err := s.SwapIn(img, 0x8000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().PadGens != pads {
+		t.Errorf("swap-in generated %d pads; AISE must not re-encrypt", s.Stats().PadGens-pads)
+	}
+	if err := s.ReadBlock(0x8040, &got, Meta{}); err != nil {
+		t.Fatalf("read after swap-in: %v", err)
+	}
+	if got != want {
+		t.Error("data corrupted across swap")
+	}
+	st := s.Stats()
+	if st.SwapOuts != 1 || st.SwapIns != 1 {
+		t.Errorf("swap stats = %+v", st)
+	}
+}
+
+func TestSwapImageTamperDetected(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*PageImage)
+	}{
+		{"data", func(p *PageImage) { p.Data[3][5] ^= 1 }},
+		{"counter", func(p *PageImage) { p.Counters[9] ^= 1 }},
+		{"mac", func(p *PageImage) { p.MACs[17] ^= 1 }},
+	}
+	for _, c := range cases {
+		s := newSM(t, AISE, BonsaiMT)
+		want := pattern(0x44)
+		if err := s.WriteBlock(0x30c0, &want, Meta{}); err != nil {
+			t.Fatal(err)
+		}
+		img, err := s.SwapOut(0x3000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.mutate(img)
+		err = s.SwapIn(img, 0x3000, 1)
+		if c.name == "counter" {
+			if !errors.Is(err, ErrTampered) {
+				t.Errorf("%s tamper: swap-in err = %v, want ErrTampered", c.name, err)
+			}
+			continue
+		}
+		// Data/MAC tampering is caught lazily at first read of the block.
+		if err != nil {
+			t.Fatalf("%s: swap-in rejected eagerly: %v", c.name, err)
+		}
+		var got mem.Block
+		rerr := s.ReadBlock(0x30c0, &got, Meta{})
+		if !errors.Is(rerr, ErrTampered) {
+			// The mutated byte may be in a different block; sweep the page.
+			detected := false
+			for i := 0; i < layout.BlocksPerPage; i++ {
+				if e := s.ReadBlock(0x3000+layout.Addr(i*64), &got, Meta{}); errors.Is(e, ErrTampered) {
+					detected = true
+					break
+				}
+			}
+			if !detected {
+				t.Errorf("%s tamper in swap image never detected", c.name)
+			}
+		}
+	}
+}
+
+func TestSwapReplayOldImageDetected(t *testing.T) {
+	// Attacker keeps the v1 image and supplies it when the OS later swaps
+	// the page out as v2 and back in: the directory holds v2's root, so the
+	// stale image must be rejected.
+	s := newSM(t, AISE, BonsaiMT)
+	v1 := pattern(1)
+	if err := s.WriteBlock(0x3000, &v1, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	img1, err := s.SwapOut(0x3000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := img1.Clone()
+	if err := s.SwapIn(img1, 0x3000, 0); err != nil {
+		t.Fatal(err)
+	}
+	v2 := pattern(2)
+	if err := s.WriteBlock(0x3000, &v2, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SwapOut(0x3000, 0); err != nil {
+		t.Fatal(err)
+	}
+	err = s.SwapIn(stale, 0x3000, 0)
+	if !errors.Is(err, ErrTampered) {
+		t.Errorf("stale swap image accepted: %v", err)
+	}
+}
+
+func TestSwapUnsupportedSchemes(t *testing.T) {
+	// Physical-address seeds: swapping without re-encryption is unsound,
+	// and the library refuses (§4.2's open problem).
+	s := newSM(t, CtrPhys, NoIntegrity)
+	if _, err := s.SwapOut(0x3000, 0); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("CtrPhys SwapOut err = %v, want ErrUnsupported", err)
+	}
+	// No directory configured.
+	s2, err := New(Config{DataBytes: 64 << 10, Key: testKey, Encryption: AISE, Integrity: BonsaiMT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.SwapOut(0x3000, 0); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("no-directory SwapOut err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestMovePageAISEFree(t *testing.T) {
+	s := newSM(t, AISE, BonsaiMT)
+	want := pattern(0x66)
+	if err := s.WriteBlock(0x5080, &want, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	pads := s.Stats().PadGens
+	if err := s.MovePage(0x5000, 0xa000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().PadGens != pads {
+		t.Error("AISE page move performed cryptographic work")
+	}
+	var got mem.Block
+	if err := s.ReadBlock(0xa080, &got, Meta{}); err != nil {
+		t.Fatalf("read after move: %v", err)
+	}
+	if got != want {
+		t.Error("data corrupted by page move")
+	}
+}
+
+func TestMovePageCtrPhysReencrypts(t *testing.T) {
+	s := newSM(t, CtrPhys, NoIntegrity)
+	want := pattern(0x13)
+	if err := s.WriteBlock(0x5080, &want, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	pads := s.Stats().PadGens
+	if err := s.MovePage(0x5000, 0xa000); err != nil {
+		t.Fatal(err)
+	}
+	// 64 blocks x 4 chunks x (decrypt + encrypt) = 512 pad generations.
+	if got := s.Stats().PadGens - pads; got != 512 {
+		t.Errorf("CtrPhys move generated %d pads, want 512", got)
+	}
+	if s.Stats().PageReencrypts == 0 {
+		t.Error("re-encryption not recorded")
+	}
+	var got mem.Block
+	if err := s.ReadBlock(0xa080, &got, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("data corrupted by re-encrypting move")
+	}
+}
+
+func TestMovePageGlobalFree(t *testing.T) {
+	s := newSM(t, CtrGlobal64, NoIntegrity)
+	want := pattern(0x29)
+	if err := s.WriteBlock(0x5040, &want, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MovePage(0x5000, 0xa000); err != nil {
+		t.Fatal(err)
+	}
+	var got mem.Block
+	if err := s.ReadBlock(0xa040, &got, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("global-counter page move corrupted data")
+	}
+}
+
+func TestMovePageCtrVirtUnsupported(t *testing.T) {
+	s := newSM(t, CtrVirt, NoIntegrity)
+	if err := s.MovePage(0x5000, 0xa000); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("CtrVirt MovePage err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestSwapVacatedFrameReusable(t *testing.T) {
+	// After swap-out, the old frame must host fresh data correctly.
+	s := newSM(t, AISE, BonsaiMT)
+	orig := pattern(0x01)
+	if err := s.WriteBlock(0x3000, &orig, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := s.SwapOut(0x3000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := pattern(0x02)
+	if err := s.WriteBlock(0x3000, &fresh, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	var got mem.Block
+	if err := s.ReadBlock(0x3000, &got, Meta{}); err != nil {
+		t.Fatalf("read new tenant: %v", err)
+	}
+	if got != fresh {
+		t.Error("vacated frame unusable")
+	}
+	// And the old image still swaps in elsewhere.
+	if err := s.SwapIn(img, 0x9000, 3); err != nil {
+		t.Fatalf("swap-in after frame reuse: %v", err)
+	}
+	if err := s.ReadBlock(0x9000, &got, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Error("image corrupted while frame was reused")
+	}
+}

@@ -1,0 +1,33 @@
+package counter
+
+import (
+	"testing"
+
+	"aisebmt/internal/mem"
+)
+
+// FuzzDecodeEncode: decoding an arbitrary 64-byte block and re-encoding the
+// result must be a fixed point (Decode∘Encode∘Decode = Decode), and minor
+// counters must always fit in 7 bits.
+func FuzzDecodeEncode(f *testing.F) {
+	f.Add(make([]byte, 64))
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i*37 + 1)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var blk mem.Block
+		copy(blk[:], raw)
+		cb := DecodeBlock(blk)
+		for i, m := range cb.Minor {
+			if m > 0x7f {
+				t.Fatalf("minor[%d] = %#x exceeds 7 bits", i, m)
+			}
+		}
+		again := DecodeBlock(cb.Encode())
+		if again != cb {
+			t.Fatalf("decode/encode not a fixed point: %+v vs %+v", cb, again)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package aes
+
+// T-table implementation of the AES encryption rounds: the classic
+// software optimization that folds SubBytes, ShiftRows and MixColumns into
+// four 256-entry 32-bit lookup tables. The straightforward state-array
+// implementation in aes.go remains the reference; the two are cross-checked
+// exhaustively in tests, and Encrypt dispatches to this path. (Decryption
+// stays on the reference path: the functional library decrypts pads via
+// Encrypt in counter mode, so encryption speed dominates.)
+
+var (
+	te0, te1, te2, te3 [256]uint32
+)
+
+func init() {
+	// Built after the S-box init in aes.go (Go runs file inits in order of
+	// file names within a package, but we avoid relying on that by deriving
+	// from gmul directly).
+	for i := 0; i < 256; i++ {
+		s := sboxAt(i)
+		s2 := gmul(s, 2)
+		s3 := gmul(s, 3)
+		te0[i] = uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te1[i] = uint32(s3)<<24 | uint32(s2)<<16 | uint32(s)<<8 | uint32(s)
+		te2[i] = uint32(s)<<24 | uint32(s3)<<16 | uint32(s2)<<8 | uint32(s)
+		te3[i] = uint32(s)<<24 | uint32(s)<<16 | uint32(s3)<<8 | uint32(s2)
+	}
+}
+
+// sboxAt recomputes S-box entries independently of init order.
+func sboxAt(i int) byte {
+	if sbox[0x53] == 0xed { // aes.go init already ran
+		return sbox[i]
+	}
+	// Fallback: compute from the inverse + affine map (cold path, init only).
+	var inv byte
+	if i != 0 {
+		for b := 1; b < 256; b++ {
+			if gmul(byte(i), byte(b)) == 1 {
+				inv = byte(b)
+				break
+			}
+		}
+	}
+	return inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63
+}
+
+// encryptTTable is the table-driven encryption path.
+func (c *Cipher) encryptTTable(dst, src []byte) {
+	rk := &c.enc
+	s0 := uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])
+	s1 := uint32(src[4])<<24 | uint32(src[5])<<16 | uint32(src[6])<<8 | uint32(src[7])
+	s2 := uint32(src[8])<<24 | uint32(src[9])<<16 | uint32(src[10])<<8 | uint32(src[11])
+	s3 := uint32(src[12])<<24 | uint32(src[13])<<16 | uint32(src[14])<<8 | uint32(src[15])
+
+	s0 ^= rk[0]
+	s1 ^= rk[1]
+	s2 ^= rk[2]
+	s3 ^= rk[3]
+
+	var t0, t1, t2, t3 uint32
+	k := 4
+	for round := 1; round < numRounds; round++ {
+		t0 = te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ rk[k]
+		t1 = te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ rk[k+1]
+		t2 = te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ rk[k+2]
+		t3 = te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+	t0 = uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	t1 = uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	t2 = uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	t3 = uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	t0 ^= rk[40]
+	t1 ^= rk[41]
+	t2 ^= rk[42]
+	t3 ^= rk[43]
+
+	dst[0], dst[1], dst[2], dst[3] = byte(t0>>24), byte(t0>>16), byte(t0>>8), byte(t0)
+	dst[4], dst[5], dst[6], dst[7] = byte(t1>>24), byte(t1>>16), byte(t1>>8), byte(t1)
+	dst[8], dst[9], dst[10], dst[11] = byte(t2>>24), byte(t2>>16), byte(t2>>8), byte(t2)
+	dst[12], dst[13], dst[14], dst[15] = byte(t3>>24), byte(t3>>16), byte(t3>>8), byte(t3)
+}

@@ -1,0 +1,45 @@
+package sha1
+
+import (
+	stdsha1 "crypto/sha1"
+	"testing"
+)
+
+// FuzzAgainstStdlib differentially fuzzes this SHA-1 against crypto/sha1.
+func FuzzAgainstStdlib(f *testing.F) {
+	f.Add([]byte("abc"))
+	f.Add([]byte(""))
+	f.Add(make([]byte, 55))
+	f.Add(make([]byte, 64))
+	f.Add(make([]byte, 119))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := Sum160(data)
+		want := stdsha1.Sum(data)
+		if got != [Size]byte(want) {
+			t.Fatalf("len %d: got %x want %x", len(data), got, want)
+		}
+	})
+}
+
+// FuzzSplitWrite fuzzes the streaming interface: any split point must give
+// the same digest as one write.
+func FuzzSplitWrite(f *testing.F) {
+	f.Add([]byte("hello world"), 5)
+	f.Add(make([]byte, 130), 64)
+	f.Fuzz(func(t *testing.T, data []byte, cut int) {
+		if len(data) == 0 {
+			return
+		}
+		cut = ((cut % len(data)) + len(data)) % len(data)
+		d := New()
+		d.Write(data[:cut])
+		d.Write(data[cut:])
+		whole := Sum160(data)
+		got := d.Sum(nil)
+		for i := range whole {
+			if got[i] != whole[i] {
+				t.Fatalf("split at %d differs", cut)
+			}
+		}
+	})
+}

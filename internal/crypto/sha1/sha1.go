@@ -1,0 +1,150 @@
+// Package sha1 implements the SHA-1 hash (FIPS 180-1) from scratch.
+//
+// The paper's MAC computation models HMAC based on SHA-1 with an 80-cycle
+// hardware latency; this package provides the functional hash underneath
+// that model. Tests cross-check against the Go standard library.
+//
+// SHA-1 is used here for fidelity to the paper's 2007-era hardware
+// assumptions, not as a recommendation: the repository is a simulator of a
+// published architecture, and its security analysis treats the hash as an
+// ideal keyed MAC exactly as the paper does.
+package sha1
+
+import "encoding/binary"
+
+// Size is the SHA-1 digest size in bytes (160 bits).
+const Size = 20
+
+// BlockSize is the SHA-1 message block size in bytes.
+const BlockSize = 64
+
+// Digest is a streaming SHA-1 computation. The zero value is ready to use.
+type Digest struct {
+	h   [5]uint32
+	buf [BlockSize]byte
+	n   int    // bytes buffered in buf
+	len uint64 // total message length in bytes
+	ini bool
+}
+
+// New returns a new, initialized Digest.
+func New() *Digest {
+	d := &Digest{}
+	d.Reset()
+	return d
+}
+
+// Reset returns the digest to its initial state.
+func (d *Digest) Reset() {
+	d.h = [5]uint32{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+	d.n = 0
+	d.len = 0
+	d.ini = true
+}
+
+func (d *Digest) lazyInit() {
+	if !d.ini {
+		d.Reset()
+	}
+}
+
+// Write absorbs p into the hash state. It never fails.
+func (d *Digest) Write(p []byte) (int, error) {
+	d.lazyInit()
+	n := len(p)
+	d.len += uint64(n)
+	if d.n > 0 {
+		c := copy(d.buf[d.n:], p)
+		d.n += c
+		p = p[c:]
+		if d.n == BlockSize {
+			d.block(d.buf[:])
+			d.n = 0
+		}
+	}
+	for len(p) >= BlockSize {
+		d.block(p[:BlockSize])
+		p = p[BlockSize:]
+	}
+	if len(p) > 0 {
+		d.n = copy(d.buf[:], p)
+	}
+	return n, nil
+}
+
+// Sum appends the digest of everything written so far to b and returns the
+// result. It does not modify the underlying state.
+func (d *Digest) Sum(b []byte) []byte {
+	d.lazyInit()
+	// Work on a copy so Sum can be called repeatedly / interleaved with Write.
+	cp := *d
+	var pad [BlockSize + 8]byte
+	pad[0] = 0x80
+	// Pad with 0x80 then zeros so that the length field ends exactly on a
+	// block boundary: (len + padLen + 8) ≡ 0 (mod 64).
+	rem := int(cp.len % BlockSize)
+	padLen := 56 - rem
+	if rem >= 56 {
+		padLen = 120 - rem
+	}
+	msgBits := cp.len * 8
+	var lenb [8]byte
+	binary.BigEndian.PutUint64(lenb[:], msgBits)
+	cp.Write(pad[:padLen])
+	cp.Write(lenb[:])
+	var out [Size]byte
+	for i, v := range cp.h {
+		binary.BigEndian.PutUint32(out[4*i:], v)
+	}
+	return append(b, out[:]...)
+}
+
+// block processes one 64-byte block.
+func (d *Digest) block(p []byte) {
+	var w [80]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(p[4*i:])
+	}
+	for i := 16; i < 80; i++ {
+		v := w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]
+		w[i] = v<<1 | v>>31
+	}
+	a, b, c, dd, e := d.h[0], d.h[1], d.h[2], d.h[3], d.h[4]
+	for i := 0; i < 80; i++ {
+		var f, k uint32
+		switch {
+		case i < 20:
+			f = (b & c) | (^b & dd)
+			k = 0x5A827999
+		case i < 40:
+			f = b ^ c ^ dd
+			k = 0x6ED9EBA1
+		case i < 60:
+			f = (b & c) | (b & dd) | (c & dd)
+			k = 0x8F1BBCDC
+		default:
+			f = b ^ c ^ dd
+			k = 0xCA62C1D6
+		}
+		t := (a<<5 | a>>27) + f + e + k + w[i]
+		e = dd
+		dd = c
+		c = b<<30 | b>>2
+		b = a
+		a = t
+	}
+	d.h[0] += a
+	d.h[1] += b
+	d.h[2] += c
+	d.h[3] += dd
+	d.h[4] += e
+}
+
+// Sum160 computes the SHA-1 digest of data in one call.
+func Sum160(data []byte) [Size]byte {
+	d := New()
+	d.Write(data)
+	var out [Size]byte
+	copy(out[:], d.Sum(nil))
+	return out
+}

@@ -1,0 +1,229 @@
+package encrypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func ctrEngine(t *testing.T, c Composer) *CounterMode {
+	t.Helper()
+	e, err := NewCounterMode(testKey, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func fillBlock(seed byte) mem.Block {
+	var b mem.Block
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestCounterModeRoundTrip(t *testing.T) {
+	composers := []Composer{AISESeed{}, GlobalSeed{Bits: 64}, PhysSeed{}, VirtSeed{}}
+	for _, comp := range composers {
+		e := ctrEngine(t, comp)
+		plain := fillBlock(3)
+		in := SeedInput{PhysAddr: 0x1000, VirtAddr: 0x7f001000, PID: 42, LPID: 99, Counter: 7}
+		var ct, back mem.Block
+		e.EncryptBlock(&ct, &plain, in)
+		if ct == plain {
+			t.Errorf("%s: ciphertext equals plaintext", comp.Name())
+		}
+		e.DecryptBlock(&back, &ct, in)
+		if back != plain {
+			t.Errorf("%s: round trip failed", comp.Name())
+		}
+	}
+}
+
+func TestWrongSeedFailsToDecrypt(t *testing.T) {
+	e := ctrEngine(t, AISESeed{})
+	plain := fillBlock(9)
+	in := SeedInput{PhysAddr: 0x1000, LPID: 5, Counter: 1}
+	var ct, back mem.Block
+	e.EncryptBlock(&ct, &plain, in)
+	wrong := in
+	wrong.Counter = 2
+	e.DecryptBlock(&back, &ct, wrong)
+	if back == plain {
+		t.Error("decryption with a stale counter succeeded")
+	}
+}
+
+// TestAISESeedUniqueness: seeds differ across LPIDs, counters, blocks in a
+// page, and chunks (the complete uniqueness argument of §4.6).
+func TestAISESeedUniqueness(t *testing.T) {
+	var a AISESeed
+	base := SeedInput{PhysAddr: 0x1000, LPID: 10, Counter: 3, Chunk: 1}
+	variants := []SeedInput{
+		{PhysAddr: 0x1000, LPID: 11, Counter: 3, Chunk: 1}, // different page (LPID)
+		{PhysAddr: 0x1000, LPID: 10, Counter: 4, Chunk: 1}, // new version
+		{PhysAddr: 0x1040, LPID: 10, Counter: 3, Chunk: 1}, // different block
+		{PhysAddr: 0x1000, LPID: 10, Counter: 3, Chunk: 2}, // different chunk
+	}
+	s0 := a.Compose(base)
+	for i, v := range variants {
+		if a.Compose(v) == s0 {
+			t.Errorf("variant %d produced a duplicate seed", i)
+		}
+	}
+}
+
+// TestAISESeedAddressIndependent: the physical page address does not enter
+// the seed — only the block's position within its page does. Two blocks at
+// the same page offset in different frames with the same LPID+counter seed
+// identically, which is what makes page movement free.
+func TestAISESeedAddressIndependent(t *testing.T) {
+	var a AISESeed
+	s1 := a.Compose(SeedInput{PhysAddr: 0x1000, LPID: 10, Counter: 3})
+	s2 := a.Compose(SeedInput{PhysAddr: 0x9000, LPID: 10, Counter: 3})
+	if s1 != s2 {
+		t.Error("AISE seed depends on the physical frame address")
+	}
+}
+
+// TestPhysSeedAddressDependent: the physical-address scheme produces a
+// different pad when a page moves, forcing re-encryption on swap.
+func TestPhysSeedAddressDependent(t *testing.T) {
+	var p PhysSeed
+	s1 := p.Compose(SeedInput{PhysAddr: 0x1000, Counter: 3})
+	s2 := p.Compose(SeedInput{PhysAddr: 0x9000, Counter: 3})
+	if s1 == s2 {
+		t.Error("phys seed identical across frames")
+	}
+}
+
+// TestVirtSeedPadReuse demonstrates the paper's §4.2 vulnerability: two
+// processes using the same virtual address and counter get the same pad
+// unless PID is added — and with PID, a shared physical page is encrypted
+// differently by each sharer, breaking shared-memory IPC.
+func TestVirtSeedPadReuse(t *testing.T) {
+	var v VirtSeed
+	// Without distinct PIDs the seeds collide (pad reuse).
+	s1 := v.Compose(SeedInput{VirtAddr: 0x4000, PID: 1, Counter: 5})
+	s2 := v.Compose(SeedInput{VirtAddr: 0x4000, PID: 1, Counter: 5})
+	if s1 != s2 {
+		t.Fatal("identical inputs must give identical seeds")
+	}
+	// With distinct PIDs the same shared page seeds differently per process.
+	s3 := v.Compose(SeedInput{VirtAddr: 0x4000, PID: 2, Counter: 5})
+	if s1 == s3 {
+		t.Error("PID not folded into seed")
+	}
+}
+
+// TestComposersDisjoint: across schemes, no two composers may emit the same
+// seed for the same input (domain separation in our implementation).
+func TestComposersDisjoint(t *testing.T) {
+	in := SeedInput{PhysAddr: 0, VirtAddr: 0, PID: 0, LPID: 0, Counter: 0}
+	seeds := map[[16]byte]string{}
+	for _, c := range []Composer{AISESeed{}, GlobalSeed{Bits: 64}, PhysSeed{}, VirtSeed{}} {
+		s := c.Compose(in)
+		if prev, dup := seeds[s]; dup {
+			t.Errorf("%s and %s share a seed for the zero input", prev, c.Name())
+		}
+		seeds[s] = c.Name()
+	}
+}
+
+// TestPadUniquenessProperty: distinct (LPID, counter, block, chunk) tuples
+// produce distinct pads under AISE.
+func TestPadUniquenessProperty(t *testing.T) {
+	e, err := NewCounterMode(testKey, AISESeed{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(l1, l2 uint32, c1, c2, b1, b2, k1, k2 uint8) bool {
+		in1 := SeedInput{LPID: uint64(l1), Counter: uint64(c1 & 0x7f), PhysAddr: layout.Addr(b1%64) * 64, Chunk: int(k1 % 4)}
+		in2 := SeedInput{LPID: uint64(l2), Counter: uint64(c2 & 0x7f), PhysAddr: layout.Addr(b2%64) * 64, Chunk: int(k2 % 4)}
+		same := in1 == in2
+		p1 := e.Pad(in1)
+		p2 := e.Pad(in2)
+		if same {
+			return p1 == p2
+		}
+		return p1 != p2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectRoundTrip(t *testing.T) {
+	d, err := NewDirect(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := fillBlock(7)
+	var ct, back mem.Block
+	d.EncryptBlock(&ct, &plain)
+	if ct == plain {
+		t.Error("direct ciphertext equals plaintext")
+	}
+	d.DecryptBlock(&back, &ct)
+	if back != plain {
+		t.Error("direct round trip failed")
+	}
+	if d.Ops() != 8 {
+		t.Errorf("ops = %d, want 8", d.Ops())
+	}
+}
+
+// TestDirectLeaksEquality: direct mode's weakness — equal plaintext chunks
+// yield equal ciphertext chunks, unlike counter mode.
+func TestDirectLeaksEquality(t *testing.T) {
+	d, _ := NewDirect(testKey)
+	var plain mem.Block // four identical (zero) chunks
+	var ct mem.Block
+	d.EncryptBlock(&ct, &plain)
+	if !bytes.Equal(ct[0:16], ct[16:32]) {
+		t.Error("direct mode did not exhibit the ECB equality leak")
+	}
+	e := ctrEngine(t, AISESeed{})
+	var ct2 mem.Block
+	e.EncryptBlock(&ct2, &plain, SeedInput{LPID: 1, Counter: 1})
+	if bytes.Equal(ct2[0:16], ct2[16:32]) {
+		t.Error("counter mode leaked chunk equality")
+	}
+}
+
+func TestBadKeyRejected(t *testing.T) {
+	if _, err := NewCounterMode([]byte("short"), AISESeed{}); err == nil {
+		t.Error("short key accepted by NewCounterMode")
+	}
+	if _, err := NewDirect([]byte("short")); err == nil {
+		t.Error("short key accepted by NewDirect")
+	}
+}
+
+func TestPadsCounted(t *testing.T) {
+	e := ctrEngine(t, AISESeed{})
+	var ct mem.Block
+	plain := fillBlock(0)
+	e.EncryptBlock(&ct, &plain, SeedInput{LPID: 1, Counter: 1})
+	if e.Pads() != 4 {
+		t.Errorf("pads = %d, want 4", e.Pads())
+	}
+}
+
+func TestPropertiesPopulated(t *testing.T) {
+	for _, c := range []Composer{AISESeed{}, GlobalSeed{Bits: 32}, GlobalSeed{Bits: 64}, PhysSeed{}, VirtSeed{}} {
+		p := c.Properties()
+		if p.IPCSupport == "" || p.LatencyHiding == "" || p.StorageOverhead == "" || p.OtherIssues == "" {
+			t.Errorf("%s: incomplete Table 1 row %+v", c.Name(), p)
+		}
+		if c.Name() == "" {
+			t.Error("empty composer name")
+		}
+	}
+}

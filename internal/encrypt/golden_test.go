@@ -1,0 +1,87 @@
+package encrypt
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"aisebmt/internal/mem"
+)
+
+// TestGoldenCiphertexts pins the exact on-the-wire format: for a fixed key,
+// plaintext and seed inputs, every scheme must keep producing the same
+// ciphertext forever. A failure here means swapped-out pages and
+// hibernation images written by older builds would no longer decrypt —
+// treat it as a compatibility break, not a test to update casually.
+func TestGoldenCiphertexts(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	var plain mem.Block
+	for i := range plain {
+		plain[i] = byte(i)
+	}
+	in := SeedInput{PhysAddr: 0x4000, VirtAddr: 0x7f004000, PID: 9, LPID: 1234, Counter: 56}
+
+	golden := map[string]string{
+		"AISE":     "a73d81bbdc69dc56af8379a4a606e08f",
+		"global64": "d93e67017b63805c76a3f609516e1856",
+		"phys":     "0842e23d9d7cac086ecfd46cc302336d",
+		"virt":     "d092020a14a7bddd10d33f61962d768b",
+		"direct":   "a07999f0e2bfbe16f99593e984a449b7",
+	}
+
+	check := func(name string, got []byte) {
+		t.Helper()
+		want, ok := golden[name]
+		if !ok {
+			t.Fatalf("no golden value for %s", name)
+		}
+		if hex.EncodeToString(got) != want {
+			t.Errorf("%s: first chunk = %s, want %s (ON-DISK FORMAT CHANGED)",
+				name, hex.EncodeToString(got), want)
+		}
+	}
+
+	for name, comp := range map[string]Composer{
+		"AISE":     AISESeed{},
+		"global64": GlobalSeed{Bits: 64},
+		"phys":     PhysSeed{},
+		"virt":     VirtSeed{},
+	} {
+		e, err := NewCounterMode(key, comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ct mem.Block
+		e.EncryptBlock(&ct, &plain, in)
+		check(name, ct[:16])
+	}
+	d, err := NewDirect(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct mem.Block
+	d.EncryptBlock(&ct, &plain)
+	check("direct", ct[:16])
+}
+
+// TestAISESeedBitLayout pins the documented seed format: LPID in bytes 0-7
+// (big endian), minor counter in byte 8 (7 bits), block-in-page in byte 9,
+// chunk id in byte 10, zero padding after. Figure 3's layout, frozen.
+func TestAISESeedBitLayout(t *testing.T) {
+	var a AISESeed
+	s := a.Compose(SeedInput{PhysAddr: 0x1fc0, LPID: 0x0102030405060708, Counter: 0x7f, Chunk: 3})
+	want := [16]byte{
+		0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, // LPID
+		0x7f,          // minor counter
+		0x3f,          // block 63 of the page (0x1fc0/64 = 127 -> in-page 63)
+		0x03,          // chunk id
+		0, 0, 0, 0, 0, // padding
+	}
+	if s != want {
+		t.Fatalf("seed layout changed:\n got %x\nwant %x", s, want)
+	}
+	// The counter field is masked to 7 bits.
+	s2 := a.Compose(SeedInput{LPID: 1, Counter: 0xff})
+	if s2[8] != 0x7f {
+		t.Errorf("counter byte = %#x, want masked 0x7f", s2[8])
+	}
+}

@@ -1,0 +1,62 @@
+// Package engine models the latency and pipelining of the on-chip
+// cryptographic hardware: the 128-bit AES unit (16-stage pipeline, 80-cycle
+// latency) used for pad generation and direct encryption, and the
+// HMAC/SHA-1 unit (80-cycle latency) used for MAC computation and Merkle
+// tree verification, matching the paper's §6 configuration.
+package engine
+
+// Pipeline models a fully pipelined fixed-function unit: operations take
+// Latency cycles to complete and a new operation can be issued every
+// Interval cycles.
+type Pipeline struct {
+	Latency  uint64
+	Interval uint64
+	nextslot uint64
+	ops      uint64
+}
+
+// NewAES returns the paper's AES engine: 80-cycle latency, 16 stages
+// (an issue slot every 5 cycles).
+func NewAES() *Pipeline { return &Pipeline{Latency: 80, Interval: 5} }
+
+// NewHMAC returns the paper's HMAC-SHA-1 engine: 80-cycle latency, modeled
+// with the same issue interval as the AES unit.
+func NewHMAC() *Pipeline { return &Pipeline{Latency: 80, Interval: 5} }
+
+// Issue schedules one operation at cycle now (or as soon after as an issue
+// slot frees) and returns its completion cycle.
+func (p *Pipeline) Issue(now uint64) uint64 {
+	start := now
+	if p.nextslot > start {
+		start = p.nextslot
+	}
+	p.nextslot = start + p.Interval
+	p.ops++
+	return start + p.Latency
+}
+
+// IssueN schedules n back-to-back operations (for example the four AES
+// chunks of one 64-byte block) and returns the completion cycle of the last.
+func (p *Pipeline) IssueN(now uint64, n int) uint64 {
+	var done uint64 = now
+	for i := 0; i < n; i++ {
+		done = p.Issue(now)
+	}
+	return done
+}
+
+// Ops returns the number of operations issued.
+func (p *Pipeline) Ops() uint64 { return p.ops }
+
+// Span returns the completion delay of n back-to-back operations entering
+// an idle pipeline: the first completes after Latency, each further one an
+// issue Interval later. Simulators that replay events out of timestamp
+// order use Span instead of Issue so the shared-cursor structural hazard
+// model cannot misorder across time.
+func (p *Pipeline) Span(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	p.ops += uint64(n)
+	return p.Latency + uint64(n-1)*p.Interval
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAESLatency(t *testing.T) {
+	p := NewAES()
+	if done := p.Issue(0); done != 80 {
+		t.Errorf("first op done=%d, want 80", done)
+	}
+}
+
+func TestPipelining(t *testing.T) {
+	p := NewAES()
+	// Four chunks issued back-to-back at cycle 0: slots at 0,5,10,15, each
+	// completing 80 cycles later. The block's pad is ready at 95.
+	if done := p.IssueN(0, 4); done != 95 {
+		t.Errorf("4-chunk pad done=%d, want 95", done)
+	}
+	if p.Ops() != 4 {
+		t.Errorf("ops=%d, want 4", p.Ops())
+	}
+}
+
+func TestIssueAfterIdle(t *testing.T) {
+	p := NewHMAC()
+	p.Issue(0)
+	if done := p.Issue(1000); done != 1080 {
+		t.Errorf("post-idle op done=%d, want 1080", done)
+	}
+}
+
+func TestStructuralHazard(t *testing.T) {
+	p := &Pipeline{Latency: 80, Interval: 5}
+	d1 := p.Issue(0) // slot 0
+	d2 := p.Issue(0) // slot 5
+	d3 := p.Issue(2) // slot 10 (busy until then)
+	if d1 != 80 || d2 != 85 || d3 != 90 {
+		t.Errorf("completions = %d,%d,%d; want 80,85,90", d1, d2, d3)
+	}
+}
+
+// Property: completion time is at least now+Latency and monotone for
+// monotone issue times.
+func TestCompletionBounds(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		p := NewAES()
+		var now, last uint64
+		for _, g := range gaps {
+			now += uint64(g)
+			done := p.Issue(now)
+			if done < now+p.Latency || done < last {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	p := NewAES()
+	if got := p.Span(4); got != 95 {
+		t.Errorf("Span(4) = %d, want 95 (80 + 3*5)", got)
+	}
+	if got := p.Span(1); got != 80 {
+		t.Errorf("Span(1) = %d, want 80", got)
+	}
+	if got := p.Span(0); got != 0 {
+		t.Errorf("Span(0) = %d, want 0", got)
+	}
+	if p.Ops() != 5 {
+		t.Errorf("ops = %d, want 5", p.Ops())
+	}
+	// Span does not disturb the Issue cursor (out-of-order callers rely on
+	// statelessness).
+	if done := p.Issue(0); done != 80 {
+		t.Errorf("Issue after Span = %d, want 80", done)
+	}
+}

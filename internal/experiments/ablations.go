@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/sim"
+	"aisebmt/internal/stats"
+	"aisebmt/internal/trace"
+)
+
+// AblationMACCaching tests the §5.2 design choice of NOT caching per-block
+// data MACs: BMT with and without MAC caching on the memory-bound trio.
+func AblationMACCaching(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: caching BMT data MACs in L2 (paper §5.2 chooses not to)",
+		Headers: []string{"Bench", "BMT overhead", "BMT+mac-cached overhead", "L2 data share (uncached)", "L2 data share (cached)"},
+	}
+	cached := sim.SchemeAISEBMT(128)
+	cached.Name = "AISE+BMT+maccache"
+	cached.CacheDataMACs = true
+	for _, name := range []string{"art", "mcf", "swim"} {
+		p, _ := trace.ProfileByName(name)
+		base, err := sim.RunScheme(sim.Baseline(), cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := sim.RunScheme(sim.SchemeAISEBMT(128), cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		withCache, err := sim.RunScheme(cached, cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, stats.Pct(plain.Overhead(base)), stats.Pct(withCache.Overhead(base)),
+			stats.Pct(plain.L2DataShare), stats.Pct(withCache.L2DataShare))
+	}
+	return t, nil
+}
+
+// AblationCounterCache sweeps the counter cache size for AISE on a
+// counter-hungry benchmark.
+func AblationCounterCache(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: counter cache size (AISE on mcf)",
+		Headers: []string{"Counter cache", "Overhead", "Counter hit rate", "Exposure cycles"},
+	}
+	p, _ := trace.ProfileByName("mcf")
+	for _, kb := range []int{8, 16, 32, 64, 128} {
+		m := cfg.Machine
+		m.CtrBytes = kb << 10
+		base, err := sim.RunScheme(sim.Baseline(), m, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.RunScheme(sim.SchemeAISE(), m, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%dKB", kb), stats.Pct(r.Overhead(base)), stats.Pct(r.CtrHitRate),
+			fmt.Sprintf("%d", r.ExposureCycles))
+	}
+	return t, nil
+}
+
+// AblationPreciseVerify compares timely (non-precise) verification, the
+// paper's §6 default, against precise verification that blocks retirement.
+func AblationPreciseVerify(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: timely (non-precise) vs precise verification",
+		Headers: []string{"Bench", "MT timely", "MT precise", "BMT timely", "BMT precise"},
+	}
+	mtP := sim.SchemeAISEMT(128)
+	mtP.Name = "AISE+MT-precise"
+	mtP.PreciseVerify = true
+	bmtP := sim.SchemeAISEBMT(128)
+	bmtP.Name = "AISE+BMT-precise"
+	bmtP.PreciseVerify = true
+	for _, name := range []string{"art", "swim", "gcc"} {
+		p, _ := trace.ProfileByName(name)
+		run := func(s sim.Scheme) (sim.Result, error) {
+			return sim.RunScheme(s, cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+		}
+		base, err := run(sim.Baseline())
+		if err != nil {
+			return nil, err
+		}
+		mt, err := run(sim.SchemeAISEMT(128))
+		if err != nil {
+			return nil, err
+		}
+		mtp, err := run(mtP)
+		if err != nil {
+			return nil, err
+		}
+		bmt, err := run(sim.SchemeAISEBMT(128))
+		if err != nil {
+			return nil, err
+		}
+		bmtp, err := run(bmtP)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, stats.Pct(mt.Overhead(base)), stats.Pct(mtp.Overhead(base)),
+			stats.Pct(bmt.Overhead(base)), stats.Pct(bmtp.Overhead(base)))
+	}
+	return t, nil
+}
+
+// AblationMinorCounterWidth analyzes the split-counter minor width
+// trade-off: wider counters overflow (and force page re-encryption) less
+// often but cost more storage. Re-encryption frequency is computed against
+// a uniform writeback stream hammering one page.
+func AblationMinorCounterWidth() *stats.Table {
+	t := &stats.Table{
+		Title:   "Ablation: split-counter minor width (storage vs page re-encryption rate)",
+		Headers: []string{"Minor bits", "Counter storage / data", "Writebacks per block before overflow", "Re-encryptions per 1M page writebacks"},
+	}
+	for _, bits := range []int{3, 5, 7, 9, 12, 16} {
+		// One counter block per page: 8 LPID bytes + 64 counters of the
+		// given width, rounded to whole blocks.
+		blockBits := 64 + 64*bits
+		blocks := (blockBits + 8*layout.BlockSize - 1) / (8 * layout.BlockSize)
+		storage := float64(blocks*layout.BlockSize) / layout.PageSize
+		overflowAt := uint64(1)<<uint(bits) - 1
+		// A writeback stream round-robining a page's 64 blocks overflows a
+		// counter every 64×overflowAt writebacks.
+		reenc := 1e6 / float64(64*overflowAt)
+		t.AddRow(fmt.Sprintf("%d", bits), stats.Pct2(storage),
+			fmt.Sprintf("%d", overflowAt), fmt.Sprintf("%.1f", reenc))
+	}
+	return t
+}
+
+// AblationMACCoverage explores §7.4's storage optimization: one MAC per
+// group of K blocks. Storage falls with K while verification traffic rises
+// (every group member is read to check any of them).
+func AblationMACCoverage(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: BMT data MAC coverage (storage vs verification traffic, AISE+BMT on art)",
+		Headers: []string{"Blocks per MAC", "MAC storage / data", "Overhead", "Bytes on bus"},
+	}
+	p, _ := trace.ProfileByName("art")
+	base, err := sim.RunScheme(sim.Baseline(), cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		s := sim.SchemeAISEBMT(128)
+		s.Name = fmt.Sprintf("AISE+BMT/k%d", k)
+		s.MACCoverage = k
+		r, err := sim.RunScheme(s, cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		storage := float64(16) / float64(layout.BlockSize*k)
+		t.AddRow(fmt.Sprintf("%d", k), stats.Pct2(storage), stats.Pct(r.Overhead(base)),
+			fmt.Sprintf("%d", r.BytesMoved))
+	}
+	return t, nil
+}
+
+// AblationL2Size sweeps the L2 capacity: pollution-driven Merkle tree
+// overheads should shrink as the cache grows (an extension beyond the
+// paper's fixed 1MB configuration).
+func AblationL2Size(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: L2 size (AISE+MT and AISE+BMT on equake)",
+		Headers: []string{"L2", "MT overhead", "BMT overhead", "MT L2 data share"},
+	}
+	p, _ := trace.ProfileByName("equake")
+	for _, kb := range []int{256, 512, 1024, 2048, 4096} {
+		m := cfg.Machine
+		m.L2Bytes = kb << 10
+		base, err := sim.RunScheme(sim.Baseline(), m, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		mt, err := sim.RunScheme(sim.SchemeAISEMT(128), m, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bmt, err := sim.RunScheme(sim.SchemeAISEBMT(128), m, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%dKB", kb), stats.Pct(mt.Overhead(base)), stats.Pct(bmt.Overhead(base)),
+			stats.Pct(mt.L2DataShare))
+	}
+	return t, nil
+}
+
+// AblationL2Partition reserves L2 ways for data, walling Merkle tree nodes
+// into a metadata partition — the fix the paper's pollution analysis (§7.2)
+// suggests but does not evaluate.
+func AblationL2Partition(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: L2 way partitioning under AISE+MT (reserved data ways of 8)",
+		Headers: []string{"Reserved ways", "art overhead", "art L2 data share", "equake overhead", "equake L2 data share"},
+	}
+	for _, ways := range []int{0, 2, 4, 6} {
+		m := cfg.Machine
+		m.L2ReservedDataWays = ways
+		row := []string{fmt.Sprintf("%d", ways)}
+		for _, name := range []string{"art", "equake"} {
+			p, _ := trace.ProfileByName(name)
+			base, err := sim.RunScheme(sim.Baseline(), m, p, cfg.Warmup, cfg.N, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			mt, err := sim.RunScheme(sim.SchemeAISEMT(128), m, p, cfg.Warmup, cfg.N, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Pct(mt.Overhead(base)), stats.Pct(mt.L2DataShare))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// AblationDRAMBanks enables the banked memory model: bank serialization
+// adds contention on top of the bus, which penalizes the tree schemes'
+// node bursts more than the baseline (an extension beyond the paper's
+// flat 200-cycle memory).
+func AblationDRAMBanks(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: banked DRAM (8 banks, 40-cycle occupancy) vs flat memory, on swim",
+		Headers: []string{"Memory model", "AISE overhead", "AISE+MT overhead", "AISE+BMT overhead"},
+	}
+	p, _ := trace.ProfileByName("swim")
+	for _, banks := range []int{0, 8} {
+		m := cfg.Machine
+		m.DRAMBanks = banks
+		name := "flat 200-cycle"
+		if banks > 0 {
+			name = fmt.Sprintf("%d banks", banks)
+		}
+		base, err := sim.RunScheme(sim.Baseline(), m, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name}
+		for _, s := range []sim.Scheme{sim.SchemeAISE(), sim.SchemeAISEMT(128), sim.SchemeAISEBMT(128)} {
+			r, err := sim.RunScheme(s, m, p, cfg.Warmup, cfg.N, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Pct(r.Overhead(base)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aisebmt/internal/sim"
+	"aisebmt/internal/stats"
+	"aisebmt/internal/trace"
+)
+
+// ExtensionCMP scales the headline comparison to a chip multiprocessor:
+// 1, 2 and 4 cores each running the benchmark over a disjoint share of
+// memory, all contending for the shared L2, counter cache and bus. The
+// paper motivates AISE by the CMP era (§1); this experiment quantifies it —
+// the Merkle tree's bandwidth appetite compounds with core count while
+// Bonsai trees stay flat.
+func ExtensionCMP(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Extension: scaling with core count (per-core overhead on equake, shared L2/bus)",
+		Headers: []string{"Cores", "global64+MT", "AISE+MT", "AISE+BMT", "base bus util"},
+	}
+	p, ok := trace.ProfileByName("equake")
+	if !ok {
+		return nil, fmt.Errorf("experiments: no equake profile")
+	}
+	for _, cores := range []int{1, 2, 4} {
+		base, err := sim.RunCMPScheme(sim.Baseline(), cfg.Machine, p, cores, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", cores)}
+		for _, s := range []sim.Scheme{sim.SchemeGlobal64MT(128), sim.SchemeAISEMT(128), sim.SchemeAISEBMT(128)} {
+			rs, err := sim.RunCMPScheme(s, cfg.Machine, p, cores, cfg.Warmup, cfg.N, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Pct(slowest(rs)/slowest(base)-1))
+		}
+		row = append(row, stats.Pct(base[0].BusUtilization))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func slowest(rs []sim.Result) float64 {
+	var m uint64
+	for _, r := range rs {
+		if r.Cycles > m {
+			m = r.Cycles
+		}
+	}
+	return float64(m)
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/paper"
+	"aisebmt/internal/sim"
+	"aisebmt/internal/stats"
+)
+
+// Comparison is one target checked against a fresh measurement.
+type Comparison struct {
+	Target   paper.Target
+	Measured float64
+	Pass     bool
+}
+
+// Compare runs the full campaign once and checks every published target —
+// the repository's automated "does this still reproduce the paper" audit.
+func Compare(cfg Config) ([]Comparison, *stats.Table, error) {
+	var out []Comparison
+	record := func(id string, measured float64) {
+		t, ok := paper.ByID(id)
+		if !ok {
+			return
+		}
+		out = append(out, Comparison{Target: t, Measured: measured, Pass: t.Check(measured)})
+	}
+
+	// Table 2 (analytic).
+	for _, bits := range []int{32, 64, 128, 256} {
+		for _, s := range []layout.Scheme{layout.Global64MT, layout.AISEBMT} {
+			bd, err := layout.Storage(s, bits)
+			if err != nil {
+				return nil, nil, err
+			}
+			record(fmt.Sprintf("table2.%s.%db", s, bits), bd.TotalPct)
+		}
+	}
+
+	// One campaign covers figures 6-10.
+	series, err := Campaign(cfg,
+		sim.SchemeGlobal32(), sim.SchemeGlobal64(), sim.SchemeAISE(),
+		sim.SchemeAISEMT(128), sim.SchemeAISEBMT(128), sim.SchemeGlobal64MT(128))
+	if err != nil {
+		return nil, nil, err
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Scheme] = s
+	}
+	avgOf := func(scheme string, metric func(sim.Result) float64) float64 {
+		s := byName[scheme]
+		var vs []float64
+		for _, r := range s.ByBench {
+			vs = append(vs, metric(r))
+		}
+		return stats.Mean(vs)
+	}
+
+	record("fig6.global64+MT.avg", byName["global64+MT"].AvgOverhead)
+	record("fig6.AISE+BMT.avg", byName["AISE+BMT"].AvgOverhead)
+	record("fig7.AISE.avg", byName["AISE"].AvgOverhead)
+	record("fig7.global32.avg", byName["global32"].AvgOverhead)
+	record("fig7.global64.avg", byName["global64"].AvgOverhead)
+	record("fig8.AISE+MT.avg", byName["AISE+MT"].AvgOverhead)
+	record("fig8.AISE+BMT.avg", byName["AISE+BMT"].AvgOverhead)
+	record("fig9.base.datashare", avgOf("base", func(r sim.Result) float64 { return r.L2DataShare }))
+	record("fig9.AISE+MT.datashare", avgOf("AISE+MT", func(r sim.Result) float64 { return r.L2DataShare }))
+	record("fig9.AISE+BMT.datashare", avgOf("AISE+BMT", func(r sim.Result) float64 { return r.L2DataShare }))
+	record("fig10.base.l2miss", avgOf("base", func(r sim.Result) float64 { return r.L2MissRate }))
+	record("fig10.AISE+MT.l2miss", avgOf("AISE+MT", func(r sim.Result) float64 { return r.L2MissRate }))
+	record("fig10.AISE+BMT.l2miss", avgOf("AISE+BMT", func(r sim.Result) float64 { return r.L2MissRate }))
+	record("fig10.base.bus", avgOf("base", func(r sim.Result) float64 { return r.BusUtilization }))
+	record("fig10.AISE+MT.bus", avgOf("AISE+MT", func(r sim.Result) float64 { return r.BusUtilization }))
+	record("fig10.AISE+BMT.bus", avgOf("AISE+BMT", func(r sim.Result) float64 { return r.BusUtilization }))
+
+	// Figure 11 endpoints need their own MAC-width campaigns.
+	points, _, err := Fig11(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range points {
+		if p.MACBits == 32 || p.MACBits == 256 {
+			record(fmt.Sprintf("fig11.%s.%db", p.Scheme, p.MACBits), p.AvgOverhead)
+		}
+	}
+
+	tab := &stats.Table{
+		Title:   "Reproduction audit: paper targets vs this campaign",
+		Headers: []string{"Artifact", "Paper", "Measured", "Band", "Verdict", "Source"},
+	}
+	for _, c := range out {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		tab.AddRow(c.Target.ID,
+			formatVal(c.Target.ID, c.Target.Paper),
+			formatVal(c.Target.ID, c.Measured),
+			fmt.Sprintf("[%s, %s]", formatVal(c.Target.ID, c.Target.Lo), formatVal(c.Target.ID, c.Target.Hi)),
+			verdict, c.Target.Source)
+	}
+	return out, tab, nil
+}
+
+// formatVal renders storage targets as plain percents and performance
+// targets (stored as fractions) as percentages.
+func formatVal(id string, v float64) string {
+	if len(id) >= 6 && id[:6] == "table2" {
+		return strconv.FormatFloat(v, 'f', 2, 64) + "%"
+	}
+	return stats.Pct(v)
+}

@@ -1,0 +1,326 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) from the timing simulator and the analytic storage model.
+// Each experiment returns structured results plus a rendered text artifact;
+// cmd/experiments prints them and bench_test.go wraps them as benchmarks.
+//
+// Following §6, per-benchmark bars are shown for the memory-bound subset
+// (the paper plots benchmarks whose L2 miss rates exceed its cutoff) while
+// averages are always computed across all 21 benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"aisebmt/internal/encrypt"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/sim"
+	"aisebmt/internal/stats"
+	"aisebmt/internal/trace"
+)
+
+// Config sizes the simulation campaign.
+type Config struct {
+	Machine sim.Machine
+	Warmup  int
+	N       int
+	Seed    uint64
+	// HeavyCut is the base local L2 miss rate above which a benchmark is
+	// plotted individually (averages always cover all benchmarks).
+	HeavyCut float64
+}
+
+// Default returns the configuration used for EXPERIMENTS.md: every
+// benchmark, 100K warmup accesses, 300K measured accesses.
+func Default() Config {
+	return Config{Machine: sim.DefaultMachine(), Warmup: 100000, N: 300000, Seed: 12345, HeavyCut: 0.5}
+}
+
+// Quick returns a reduced campaign for smoke tests and benchmarks.
+func Quick() Config {
+	c := Default()
+	c.Warmup, c.N = 30000, 100000
+	return c
+}
+
+// Series is one scheme's measurement across benchmarks.
+type Series struct {
+	Scheme  string
+	ByBench map[string]sim.Result
+	// AvgOverhead is the mean execution-time overhead across all
+	// benchmarks versus the baseline run.
+	AvgOverhead float64
+}
+
+// Campaign runs the given schemes (plus the unprotected baseline) over all
+// 21 benchmarks and returns one Series per scheme, baseline first. Runs are
+// independent simulations, so they execute on a worker pool; results are
+// deterministic regardless of scheduling.
+func Campaign(cfg Config, schemes ...sim.Scheme) ([]Series, error) {
+	all := append([]sim.Scheme{sim.Baseline()}, schemes...)
+	out := make([]Series, len(all))
+	type job struct {
+		scheme int
+		prof   trace.Profile
+	}
+	jobs := make(chan job)
+	type res struct {
+		scheme int
+		bench  string
+		r      sim.Result
+		err    error
+	}
+	results := make(chan res)
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := sim.RunScheme(all[j.scheme], cfg.Machine, j.prof, cfg.Warmup, cfg.N, cfg.Seed)
+				results <- res{scheme: j.scheme, bench: j.prof.Name, r: r, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range all {
+			for _, p := range trace.Profiles {
+				jobs <- job{scheme: i, prof: p}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	for i, s := range all {
+		out[i] = Series{Scheme: s.Name, ByBench: make(map[string]sim.Result)}
+	}
+	var firstErr error
+	for r := range results {
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("experiments: %s on %s: %w", all[r.scheme].Name, r.bench, r.err)
+		}
+		out[r.scheme].ByBench[r.bench] = r.r
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	base := out[0]
+	for i := 1; i < len(out); i++ {
+		var ovs []float64
+		for name, r := range out[i].ByBench {
+			ovs = append(ovs, r.Overhead(base.ByBench[name]))
+		}
+		out[i].AvgOverhead = stats.Mean(ovs)
+	}
+	return out, nil
+}
+
+// heavyBenches returns the benchmarks plotted individually: those whose
+// baseline local L2 miss rate exceeds the cutoff, in name order.
+func heavyBenches(base Series, cut float64) []string {
+	var names []string
+	for name, r := range base.ByBench {
+		if r.L2MissRate > cut {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// overheadChart renders per-benchmark overhead bars plus the all-benchmark
+// average for every non-baseline series.
+func overheadChart(title string, series []Series, cut float64) *stats.BarChart {
+	base := series[0]
+	cats := append(heavyBenches(base, cut), "avg(21)")
+	chart := &stats.BarChart{Title: title, MaxWidth: 40}
+	for _, s := range series[1:] {
+		chart.Series = append(chart.Series, s.Scheme)
+	}
+	chart.Categories = cats
+	for _, cat := range cats {
+		var row []float64
+		for _, s := range series[1:] {
+			if cat == "avg(21)" {
+				row = append(row, s.AvgOverhead)
+			} else {
+				row = append(row, s.ByBench[cat].Overhead(base.ByBench[cat]))
+			}
+		}
+		chart.Values = append(chart.Values, row)
+	}
+	return chart
+}
+
+// metricChart renders a per-benchmark chart of an absolute metric (miss
+// rate, utilization, data share) for every series including the baseline.
+func metricChart(title string, series []Series, cut float64, metric func(sim.Result) float64) *stats.BarChart {
+	base := series[0]
+	cats := append(heavyBenches(base, cut), "avg(21)")
+	chart := &stats.BarChart{Title: title, MaxWidth: 40}
+	for _, s := range series {
+		chart.Series = append(chart.Series, s.Scheme)
+	}
+	chart.Categories = cats
+	for _, cat := range cats {
+		var row []float64
+		for _, s := range series {
+			if cat == "avg(21)" {
+				var vs []float64
+				for _, r := range s.ByBench {
+					vs = append(vs, metric(r))
+				}
+				row = append(row, stats.Mean(vs))
+			} else {
+				row = append(row, metric(s.ByBench[cat]))
+			}
+		}
+		chart.Values = append(chart.Values, row)
+	}
+	return chart
+}
+
+// Table1 reproduces the qualitative comparison of counter-mode encryption
+// approaches.
+func Table1() *stats.Table {
+	t := &stats.Table{
+		Title:   "Table 1: qualitative comparison of counter-mode encryption approaches",
+		Headers: []string{"Property", "Global Counter", "Counter (Phys Addr)", "Counter (Virt Addr)", "AISE"},
+	}
+	composers := []encrypt.Composer{encrypt.GlobalSeed{Bits: 64}, encrypt.PhysSeed{}, encrypt.VirtSeed{}, encrypt.AISESeed{}}
+	props := make([]encrypt.Properties, len(composers))
+	for i, c := range composers {
+		props[i] = c.Properties()
+	}
+	row := func(name string, pick func(encrypt.Properties) string) {
+		cells := []string{name}
+		for _, p := range props {
+			cells = append(cells, pick(p))
+		}
+		t.AddRow(cells...)
+	}
+	row("IPC Support", func(p encrypt.Properties) string { return p.IPCSupport })
+	row("Latency Hiding", func(p encrypt.Properties) string { return p.LatencyHiding })
+	row("Storage Overhead", func(p encrypt.Properties) string { return p.StorageOverhead })
+	row("Other Issues", func(p encrypt.Properties) string { return p.OtherIssues })
+	return t
+}
+
+// Table2 reproduces the MAC and counter memory storage overheads from the
+// analytic layout model.
+func Table2() (*stats.Table, []layout.StorageBreakdown, error) {
+	t := &stats.Table{
+		Title:   "Table 2: MAC & counter memory overheads (% of physical memory)",
+		Headers: []string{"MAC", "Scheme", "MT", "Page Root", "Counters", "Total"},
+	}
+	var all []layout.StorageBreakdown
+	for _, bits := range []int{256, 128, 64, 32} {
+		for _, s := range []layout.Scheme{layout.Global64MT, layout.AISEBMT} {
+			bd, err := layout.Storage(s, bits)
+			if err != nil {
+				return nil, nil, err
+			}
+			all = append(all, bd)
+			t.AddRow(fmt.Sprintf("%db", bits), s.String(),
+				fmt.Sprintf("%.2f%%", bd.TreePct),
+				fmt.Sprintf("%.2f%%", bd.RootPct),
+				fmt.Sprintf("%.2f%%", bd.CtrPct),
+				fmt.Sprintf("%.2f%%", bd.TotalPct))
+		}
+	}
+	return t, all, nil
+}
+
+// Fig6 compares global64+MT against AISE+BMT (normalized execution time
+// overhead).
+func Fig6(cfg Config) ([]Series, *stats.BarChart, error) {
+	series, err := Campaign(cfg, sim.SchemeGlobal64MT(128), sim.SchemeAISEBMT(128))
+	if err != nil {
+		return nil, nil, err
+	}
+	return series, overheadChart("Figure 6: execution time overhead, global64+MT vs AISE+BMT", series, cfg.HeavyCut), nil
+}
+
+// Fig7 compares encryption-only schemes: global32, global64 and AISE.
+func Fig7(cfg Config) ([]Series, *stats.BarChart, error) {
+	series, err := Campaign(cfg, sim.SchemeGlobal32(), sim.SchemeGlobal64(), sim.SchemeAISE())
+	if err != nil {
+		return nil, nil, err
+	}
+	return series, overheadChart("Figure 7: encryption-only overhead, global counters vs AISE", series, cfg.HeavyCut), nil
+}
+
+// Fig8 isolates integrity verification: AISE, AISE+MT, AISE+BMT.
+func Fig8(cfg Config) ([]Series, *stats.BarChart, error) {
+	series, err := Campaign(cfg, sim.SchemeAISE(), sim.SchemeAISEMT(128), sim.SchemeAISEBMT(128))
+	if err != nil {
+		return nil, nil, err
+	}
+	return series, overheadChart("Figure 8: integrity verification overhead, standard MT vs Bonsai MT", series, cfg.HeavyCut), nil
+}
+
+// Fig9 measures L2 cache pollution: the share of L2 holding data under no
+// protection, AISE+MT and AISE+BMT.
+func Fig9(cfg Config) ([]Series, *stats.BarChart, error) {
+	series, err := Campaign(cfg, sim.SchemeAISEMT(128), sim.SchemeAISEBMT(128))
+	if err != nil {
+		return nil, nil, err
+	}
+	chart := metricChart("Figure 9: fraction of L2 cache space occupied by data", series, cfg.HeavyCut,
+		func(r sim.Result) float64 { return r.L2DataShare })
+	return series, chart, nil
+}
+
+// Fig10 measures local L2 miss rates (a) and bus utilization (b).
+func Fig10(cfg Config) ([]Series, *stats.BarChart, *stats.BarChart, error) {
+	series, err := Campaign(cfg, sim.SchemeAISEMT(128), sim.SchemeAISEBMT(128))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	miss := metricChart("Figure 10a: local L2 cache miss rate", series, cfg.HeavyCut,
+		func(r sim.Result) float64 { return r.L2MissRate })
+	busc := metricChart("Figure 10b: bus utilization", series, cfg.HeavyCut,
+		func(r sim.Result) float64 { return r.BusUtilization })
+	return series, miss, busc, nil
+}
+
+// Fig11Point is one (MAC size, scheme) cell of the sensitivity study.
+type Fig11Point struct {
+	MACBits     int
+	Scheme      string
+	AvgOverhead float64
+	AvgDataPct  float64
+}
+
+// Fig11 sweeps MAC sizes 32..256 for MT and BMT, reporting average overhead
+// (a) and average L2 data share (b).
+func Fig11(cfg Config) ([]Fig11Point, *stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Figure 11: sensitivity to MAC size (averages across 21 benchmarks)",
+		Headers: []string{"MAC", "Scheme", "Avg overhead", "Avg L2 data share"},
+	}
+	var points []Fig11Point
+	for _, bits := range []int{32, 64, 128, 256} {
+		series, err := Campaign(cfg, sim.SchemeAISEMT(bits), sim.SchemeAISEBMT(bits))
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, s := range series[1:] {
+			var shares []float64
+			for _, r := range s.ByBench {
+				shares = append(shares, r.L2DataShare)
+			}
+			p := Fig11Point{MACBits: bits, Scheme: s.Scheme, AvgOverhead: s.AvgOverhead, AvgDataPct: stats.Mean(shares)}
+			points = append(points, p)
+			t.AddRow(fmt.Sprintf("%db", bits), s.Scheme, stats.Pct(p.AvgOverhead), stats.Pct(p.AvgDataPct))
+		}
+	}
+	return points, t, nil
+}

@@ -1,0 +1,413 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aisebmt/internal/sim"
+)
+
+// tiny returns a very small campaign for fast unit tests.
+func tiny() Config {
+	c := Default()
+	c.Warmup, c.N = 5000, 20000
+	return c
+}
+
+func TestTable1Complete(t *testing.T) {
+	tab := Table1()
+	out := tab.Render()
+	for _, want := range []string{"AISE", "Global Counter", "IPC Support", "No shared-memory IPC", "Re-enc on page swap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("Table 1 rows = %d, want 4", len(tab.Rows))
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	tab, rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Table 2 rows = %d, want 8", len(rows))
+	}
+	out := tab.Render()
+	// Spot-check two published cells (exact values verified in layout tests).
+	for _, want := range []string{"33.51%", "21.55%", "55.71%", "7.42%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing published total %q\n%s", want, out)
+		}
+	}
+}
+
+func TestCampaignBaselineFirst(t *testing.T) {
+	series, err := Campaign(tiny(), sim.SchemeAISE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Scheme != "base" {
+		t.Fatalf("campaign shape wrong: %d series, first %q", len(series), series[0].Scheme)
+	}
+	if len(series[0].ByBench) != 21 {
+		t.Errorf("baseline covers %d benches, want 21", len(series[0].ByBench))
+	}
+	if series[1].AvgOverhead <= 0 {
+		t.Errorf("AISE average overhead = %f, want > 0", series[1].AvgOverhead)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	series, chart, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g64mt, bmt float64
+	for _, s := range series[1:] {
+		switch s.Scheme {
+		case "global64+MT":
+			g64mt = s.AvgOverhead
+		case "AISE+BMT":
+			bmt = s.AvgOverhead
+		}
+	}
+	// The headline result: AISE+BMT reduces the overhead several-fold.
+	if !(bmt > 0 && g64mt > 4*bmt) {
+		t.Errorf("Fig 6 shape: g64+MT %.3f vs AISE+BMT %.3f (want >4x gap)", g64mt, bmt)
+	}
+	if !strings.Contains(chart.Render(), "avg(21)") {
+		t.Error("Fig 6 chart missing average category")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	series, _, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, s := range series[1:] {
+		byName[s.Scheme] = s.AvgOverhead
+	}
+	if !(byName["AISE"] < byName["global32"] && byName["global32"] < byName["global64"]) {
+		t.Errorf("Fig 7 ordering violated: %+v", byName)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	series, _, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, s := range series[1:] {
+		byName[s.Scheme] = s.AvgOverhead
+	}
+	if !(byName["AISE+BMT"] < byName["AISE+MT"]) {
+		t.Errorf("Fig 8: BMT %.3f not below MT %.3f", byName["AISE+BMT"], byName["AISE+MT"])
+	}
+	// BMT adds little over encryption alone.
+	if byName["AISE+BMT"]-byName["AISE"] > 0.10 {
+		t.Errorf("Fig 8: BMT adds %.3f over AISE; paper shape is near-zero", byName["AISE+BMT"]-byName["AISE"])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	series, chart, err := Fig9(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgShare := func(name string) float64 {
+		for _, s := range series {
+			if s.Scheme == name {
+				var sum float64
+				for _, r := range s.ByBench {
+					sum += r.L2DataShare
+				}
+				return sum / float64(len(s.ByBench))
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return 0
+	}
+	base := avgShare("base")
+	mt := avgShare("AISE+MT")
+	bmt := avgShare("AISE+BMT")
+	if !(base > 0.99 && bmt > 0.90 && mt < bmt) {
+		t.Errorf("Fig 9 shape: base %.3f, MT %.3f, BMT %.3f", base, mt, bmt)
+	}
+	if chart.Title == "" {
+		t.Error("chart untitled")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	series, missChart, busChart, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missChart == nil || busChart == nil {
+		t.Fatal("missing charts")
+	}
+	avg := func(name string, f func(sim.Result) float64) float64 {
+		for _, s := range series {
+			if s.Scheme == name {
+				var sum float64
+				for _, r := range s.ByBench {
+					sum += f(r)
+				}
+				return sum / float64(len(s.ByBench))
+			}
+		}
+		return 0
+	}
+	missBase := avg("base", func(r sim.Result) float64 { return r.L2MissRate })
+	missMT := avg("AISE+MT", func(r sim.Result) float64 { return r.L2MissRate })
+	missBMT := avg("AISE+BMT", func(r sim.Result) float64 { return r.L2MissRate })
+	if !(missMT > missBase && missBMT < missMT) {
+		t.Errorf("Fig 10a shape: base %.3f, MT %.3f, BMT %.3f", missBase, missMT, missBMT)
+	}
+	busBase := avg("base", func(r sim.Result) float64 { return r.BusUtilization })
+	busMT := avg("AISE+MT", func(r sim.Result) float64 { return r.BusUtilization })
+	busBMT := avg("AISE+BMT", func(r sim.Result) float64 { return r.BusUtilization })
+	if !(busMT > busBase && busBMT < busMT) {
+		t.Errorf("Fig 10b shape: base %.3f, MT %.3f, BMT %.3f", busBase, busMT, busBMT)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	cfg := tiny()
+	points, tab, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("Fig 11 points = %d, want 8", len(points))
+	}
+	get := func(scheme string, bits int) Fig11Point {
+		for _, p := range points {
+			if p.Scheme == scheme && p.MACBits == bits {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s/%d", scheme, bits)
+		return Fig11Point{}
+	}
+	mtGrowth := get("AISE+MT", 256).AvgOverhead - get("AISE+MT", 32).AvgOverhead
+	bmtGrowth := get("AISE+BMT", 256).AvgOverhead - get("AISE+BMT", 32).AvgOverhead
+	if mtGrowth <= 2*bmtGrowth {
+		t.Errorf("Fig 11a shape: MT growth %.3f should far exceed BMT growth %.3f", mtGrowth, bmtGrowth)
+	}
+	if get("AISE+MT", 256).AvgDataPct >= get("AISE+MT", 32).AvgDataPct {
+		t.Error("Fig 11b: MT data share should shrink with MAC size")
+	}
+	if tab == nil || len(tab.Rows) != 8 {
+		t.Error("Fig 11 table malformed")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	cfg := tiny()
+	if _, err := AblationMACCaching(cfg); err != nil {
+		t.Errorf("MAC caching ablation: %v", err)
+	}
+	if _, err := AblationCounterCache(cfg); err != nil {
+		t.Errorf("counter cache ablation: %v", err)
+	}
+	if _, err := AblationPreciseVerify(cfg); err != nil {
+		t.Errorf("precise verify ablation: %v", err)
+	}
+	tab := AblationMinorCounterWidth()
+	if len(tab.Rows) != 6 {
+		t.Errorf("minor width ablation rows = %d", len(tab.Rows))
+	}
+}
+
+// TestCompareAuditPasses is the repository's reproduction invariant: every
+// published target must stay inside its band on the full-size campaign the
+// bands were defined against. It is the most expensive test in the suite;
+// use -short to skip it.
+func TestCompareAuditPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full audit skipped in -short mode")
+	}
+	comps, tab, err := Compare(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) < 25 {
+		t.Fatalf("audit covered only %d targets", len(comps))
+	}
+	for _, c := range comps {
+		if !c.Pass {
+			t.Errorf("%s: measured %.4f outside [%.4f, %.4f] (paper %.4f, %s)",
+				c.Target.ID, c.Measured, c.Target.Lo, c.Target.Hi, c.Target.Paper, c.Target.Source)
+		}
+	}
+	if tab == nil || len(tab.Rows) != len(comps) {
+		t.Error("audit table malformed")
+	}
+}
+
+// TestRelatedWorkShape: direct encryption must be the most expensive
+// encryption-only scheme, and the integrity baselines must all undercut a
+// full tree while AISE+BMT stays in their range.
+func TestRelatedWorkShape(t *testing.T) {
+	series, chart, err := RelatedWork(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chart == nil {
+		t.Fatal("no chart")
+	}
+	byName := map[string]float64{}
+	for _, s := range series[1:] {
+		byName[s.Scheme] = s.AvgOverhead
+	}
+	if byName["direct"] <= byName["AISE"] {
+		t.Errorf("direct %.3f not above AISE %.3f", byName["direct"], byName["AISE"])
+	}
+	for _, name := range []string{"AISE+mac-only", "AISE+loghash", "AISE+BMT"} {
+		if byName[name] <= 0 {
+			t.Errorf("%s overhead %.4f not positive", name, byName[name])
+		}
+	}
+}
+
+// TestAblationCounterPredictionTable runs the prediction study end to end.
+func TestAblationCounterPredictionTable(t *testing.T) {
+	tab, err := AblationCounterPrediction(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Errorf("prediction ablation rows = %d", len(tab.Rows))
+	}
+}
+
+// TestExportRoundTrip: JSON export parses back identically.
+func TestExportRoundTrip(t *testing.T) {
+	cfg := tiny()
+	series, err := Campaign(cfg, sim.SchemeAISE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := []Comparison{{Measured: 0.5, Pass: true}}
+	comps[0].Target.ID = "x"
+	e := NewExport(cfg, series, comps)
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Series) != 2 || back.Series[0].Scheme != "base" {
+		t.Errorf("series round trip wrong: %+v", back.Series)
+	}
+	if len(back.Series[0].Results) != 21 {
+		t.Errorf("results per series = %d", len(back.Series[0].Results))
+	}
+	// Benchmarks sorted by name for stable exports.
+	if back.Series[0].Results[0].Benchmark > back.Series[0].Results[1].Benchmark {
+		t.Error("results not sorted")
+	}
+	if len(back.Audit) != 1 || back.Audit[0].ID != "x" || !back.Audit[0].Pass {
+		t.Errorf("audit round trip wrong: %+v", back.Audit)
+	}
+}
+
+// TestNewAblationsRun exercises the MAC coverage and L2 size studies.
+func TestNewAblationsRun(t *testing.T) {
+	cfg := tiny()
+	tab, err := AblationMACCoverage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Errorf("MAC coverage rows = %d", len(tab.Rows))
+	}
+	tab, err = AblationL2Size(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Errorf("L2 size rows = %d", len(tab.Rows))
+	}
+}
+
+// TestStabilityAcrossSeeds: the headline gap must hold for every seed.
+func TestStabilityAcrossSeeds(t *testing.T) {
+	cfg := tiny()
+	tab, err := Stability(cfg, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 seeds + mean + spread rows.
+	if len(tab.Rows) != 5 {
+		t.Fatalf("stability rows = %d", len(tab.Rows))
+	}
+	for i := 0; i < 3; i++ {
+		if tab.Rows[i][3] == "" {
+			t.Errorf("seed row %d missing ratio", i)
+		}
+	}
+}
+
+// TestExtensionCMPShape: the tree schemes' per-core overhead grows with
+// core count; BMT stays small throughout.
+func TestExtensionCMPShape(t *testing.T) {
+	tab, err := ExtensionCMP(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("CMP rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 5 {
+			t.Fatalf("CMP row shape: %v", row)
+		}
+	}
+}
+
+// TestAblationDRAMBanks: banked memory must not invert the scheme ordering.
+func TestAblationDRAMBanks(t *testing.T) {
+	tab, err := AblationDRAMBanks(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+// TestMLPSensitivityOrdering: the headline ordering must hold at every MLP.
+func TestMLPSensitivityOrdering(t *testing.T) {
+	tab, err := MLPSensitivity(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "BMT < MT < g64MT" {
+			t.Errorf("MLP %s: ordering %q", row[0], row[4])
+		}
+	}
+}
+
+// TestExtensionHIDECost: protection off costs nothing extra; aggressive
+// budgets cost plenty.
+func TestExtensionHIDECost(t *testing.T) {
+	tab, err := ExtensionHIDE(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

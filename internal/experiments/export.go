@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"aisebmt/internal/sim"
+)
+
+// Export is the machine-readable form of a campaign, for downstream
+// analysis and plotting outside this repository.
+type Export struct {
+	// Campaign describes the run parameters.
+	Campaign ExportConfig `json:"campaign"`
+	// Series holds per-scheme, per-benchmark measurements.
+	Series []ExportSeries `json:"series"`
+	// Audit holds the paper-target comparisons when the export came from
+	// Compare.
+	Audit []ExportComparison `json:"audit,omitempty"`
+}
+
+// ExportConfig mirrors Config without the machine struct noise.
+type ExportConfig struct {
+	Warmup int    `json:"warmup"`
+	N      int    `json:"measured"`
+	Seed   uint64 `json:"seed"`
+}
+
+// ExportSeries is one scheme's results in benchmark order.
+type ExportSeries struct {
+	Scheme      string       `json:"scheme"`
+	AvgOverhead float64      `json:"avg_overhead"`
+	Results     []sim.Result `json:"results"`
+}
+
+// ExportComparison is one audited paper target.
+type ExportComparison struct {
+	ID       string  `json:"id"`
+	Paper    float64 `json:"paper"`
+	Measured float64 `json:"measured"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	Pass     bool    `json:"pass"`
+	Source   string  `json:"source"`
+}
+
+// NewExport assembles an Export from campaign series and optional audit
+// comparisons, with benchmark results sorted by name for stable output.
+func NewExport(cfg Config, series []Series, comps []Comparison) *Export {
+	e := &Export{Campaign: ExportConfig{Warmup: cfg.Warmup, N: cfg.N, Seed: cfg.Seed}}
+	for _, s := range series {
+		names := make([]string, 0, len(s.ByBench))
+		for n := range s.ByBench {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		es := ExportSeries{Scheme: s.Scheme, AvgOverhead: s.AvgOverhead}
+		for _, n := range names {
+			es.Results = append(es.Results, s.ByBench[n])
+		}
+		e.Series = append(e.Series, es)
+	}
+	for _, c := range comps {
+		e.Audit = append(e.Audit, ExportComparison{
+			ID: c.Target.ID, Paper: c.Target.Paper, Measured: c.Measured,
+			Lo: c.Target.Lo, Hi: c.Target.Hi, Pass: c.Pass, Source: c.Target.Source,
+		})
+	}
+	return e
+}
+
+// WriteJSON streams the export as indented JSON.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// ReadExport parses an export written by WriteJSON.
+func ReadExport(r io.Reader) (*Export, error) {
+	var e Export
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aisebmt/internal/sim"
+	"aisebmt/internal/stats"
+	"aisebmt/internal/trace"
+)
+
+// RelatedWork compares the paper's proposal against the related-work
+// baselines of §2: direct encryption (early schemes, up to ~35% overhead),
+// MAC-only integrity (no replay protection), and the log-hash scheme
+// (deferred detection). It is an extension beyond the paper's own figures:
+// the paper discusses these baselines qualitatively; this experiment puts
+// them on the same axis.
+func RelatedWork(cfg Config) ([]Series, *stats.BarChart, error) {
+	series, err := Campaign(cfg,
+		sim.SchemeDirect(),
+		sim.SchemeAISE(),
+		sim.SchemeMACOnly(128),
+		sim.SchemeLogHash(50000),
+		sim.SchemeAISEBMT(128),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	chart := overheadChart("Extension: related-work baselines vs AISE+BMT", series, cfg.HeavyCut)
+	return series, chart, nil
+}
+
+// AblationCounterPrediction measures the counter-prediction optimization
+// the paper cites (§2, Shi et al.): speculative pad generation on counter
+// cache misses.
+func AblationCounterPrediction(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Ablation: counter prediction (speculative pads on counter-cache misses)",
+		Headers: []string{"Bench", "AISE overhead", "AISE+pred overhead", "Prediction hit rate"},
+	}
+	for _, name := range []string{"art", "mcf", "swim"} {
+		p, ok := trace.ProfileByName(name)
+		if !ok {
+			continue
+		}
+		base, err := sim.RunScheme(sim.Baseline(), cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := sim.RunScheme(sim.SchemeAISE(), cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := sim.RunScheme(sim.SchemeAISEPred(), cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, stats.Pct(plain.Overhead(base)), stats.Pct(pred.Overhead(base)),
+			stats.Pct(pred.PredHitRate))
+	}
+	return t, nil
+}
+
+// ExtensionHIDE prices the address-bus protection the paper cites as
+// complementary (§3): AISE+BMT plus a HIDE-style permutation layer at
+// several re-permutation budgets, on top of the standard campaign machine.
+func ExtensionHIDE(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Extension: cost of HIDE-style address-bus protection over AISE+BMT",
+		Headers: []string{"Re-permute budget", "art overhead", "gcc overhead", "art repermutes"},
+	}
+	for _, budget := range []int{0, 256, 64, 16} {
+		name := "off (AISE+BMT alone)"
+		if budget > 0 {
+			name = fmt.Sprintf("every %d misses/page", budget)
+		}
+		row := []string{name}
+		var artRep uint64
+		for _, bench := range []string{"art", "gcc"} {
+			p, _ := trace.ProfileByName(bench)
+			base, err := sim.RunScheme(sim.Baseline(), cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			s := sim.SchemeAISEBMT(128)
+			if budget > 0 {
+				s.Name = fmt.Sprintf("AISE+BMT+HIDE%d", budget)
+				s.HIDEBudget = budget
+			}
+			r, err := sim.RunScheme(s, cfg.Machine, p, cfg.Warmup, cfg.N, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Pct(r.Overhead(base)))
+			if bench == "art" {
+				artRep = r.Repermutes
+			}
+		}
+		row = append(row, fmt.Sprintf("%d", artRep))
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aisebmt/internal/sim"
+	"aisebmt/internal/stats"
+)
+
+// Stability runs the headline comparison (Figure 6's averages) across
+// several trace seeds and reports the spread, demonstrating that the
+// reproduction's conclusions do not hinge on one random workload draw.
+func Stability(cfg Config, seeds []uint64) (*stats.Table, error) {
+	if len(seeds) == 0 {
+		seeds = []uint64{1, 7, 12345, 99991, 424242}
+	}
+	t := &stats.Table{
+		Title:   "Stability: Figure 6 averages across trace seeds",
+		Headers: []string{"Seed", "global64+MT avg", "AISE+BMT avg", "ratio"},
+	}
+	var g64s, bmts []float64
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		series, err := Campaign(c, sim.SchemeGlobal64MT(128), sim.SchemeAISEBMT(128))
+		if err != nil {
+			return nil, err
+		}
+		var g64, bmt float64
+		for _, s := range series[1:] {
+			switch s.Scheme {
+			case "global64+MT":
+				g64 = s.AvgOverhead
+			case "AISE+BMT":
+				bmt = s.AvgOverhead
+			}
+		}
+		g64s = append(g64s, g64)
+		bmts = append(bmts, bmt)
+		ratio := 0.0
+		if bmt > 0 {
+			ratio = g64 / bmt
+		}
+		t.AddRow(fmt.Sprintf("%d", seed), stats.Pct(g64), stats.Pct(bmt), fmt.Sprintf("%.1fx", ratio))
+	}
+	t.AddRow("mean", stats.Pct(stats.Mean(g64s)), stats.Pct(stats.Mean(bmts)),
+		fmt.Sprintf("%.1fx", stats.Mean(g64s)/stats.Mean(bmts)))
+	t.AddRow("spread", spreadStr(g64s), spreadStr(bmts), "")
+	return t, nil
+}
+
+func spreadStr(vs []float64) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return fmt.Sprintf("%s..%s", stats.Pct(lo), stats.Pct(hi))
+}
+
+// MLPSensitivity sweeps the calibration's memory-level-parallelism divisor,
+// showing the paper's qualitative conclusions are robust to the one knob
+// the substrate substitution introduces (DESIGN.md §5).
+func MLPSensitivity(cfg Config) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Calibration robustness: scheme ordering across MLP settings",
+		Headers: []string{"MLP", "global64+MT avg", "AISE+MT avg", "AISE+BMT avg", "ordering"},
+	}
+	for _, mlp := range []float64{4, 8, 12, 16} {
+		c := cfg
+		c.Machine.MLP = mlp
+		series, err := Campaign(c, sim.SchemeGlobal64MT(128), sim.SchemeAISEMT(128), sim.SchemeAISEBMT(128))
+		if err != nil {
+			return nil, err
+		}
+		byName := map[string]float64{}
+		for _, s := range series[1:] {
+			byName[s.Scheme] = s.AvgOverhead
+		}
+		order := "BMT < MT < g64MT"
+		if !(byName["AISE+BMT"] < byName["AISE+MT"] && byName["AISE+MT"] < byName["global64+MT"]) {
+			order = "VIOLATED"
+		}
+		t.AddRow(fmt.Sprintf("%.0f", mlp), stats.Pct(byName["global64+MT"]),
+			stats.Pct(byName["AISE+MT"]), stats.Pct(byName["AISE+BMT"]), order)
+	}
+	return t, nil
+}

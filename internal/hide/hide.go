@@ -1,0 +1,160 @@
+// Package hide implements a simplified HIDE-style address-bus protection
+// layer (Zhuang, Zhang & Pande, ASPLOS 2004), the mitigation the paper
+// cites as complementary for its §3 caveat: AISE+BMT protect the data bus,
+// but the address sequence still leaks access patterns.
+//
+// The layer sits between the processor and the secure memory controller.
+// Each protected page has an on-chip permutation of its 64 block slots;
+// the processor's logical block index is remapped before the access reaches
+// the controller, so the bus observes permuted addresses. After every
+// RepermuteAfter accesses to a page, the page is re-permuted — all blocks
+// are read and rewritten under a fresh permutation — so an observer cannot
+// correlate slots across epochs. The permutation tables live on chip
+// (attacker-invisible), like HIDE's remapping hardware.
+//
+// Faithfulness note: real HIDE permutes inside the memory controller with
+// chunk-granularity guarantees ("an address repeats on the bus only after
+// the chunk is re-permuted"). This implementation keeps that observable
+// property at page granularity while routing all movement through the
+// secure controller, so encryption and integrity metadata stay coherent.
+package hide
+
+import (
+	"fmt"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+type coreBlock = mem.Block
+
+// Layer remaps block addresses within each page through an on-chip
+// permutation, re-permuting pages periodically.
+type Layer struct {
+	sm   *core.SecureMemory
+	meta core.Meta
+
+	// perm[page][logical] = physical slot within the page.
+	perm map[layout.Addr][]uint8
+	// accesses since the last re-permutation, per page.
+	count map[layout.Addr]int
+	// RepermuteAfter is the access budget per epoch (HIDE's chunk budget).
+	RepermuteAfter int
+
+	rng uint64
+
+	// Repermutes counts epochs for experiments.
+	Repermutes uint64
+}
+
+// New wraps a secure memory controller with address-bus protection.
+func New(sm *core.SecureMemory, repermuteAfter int, seed uint64) (*Layer, error) {
+	if repermuteAfter < 1 {
+		return nil, fmt.Errorf("hide: RepermuteAfter must be positive, got %d", repermuteAfter)
+	}
+	if seed == 0 {
+		seed = 0x6a09e667f3bcc909
+	}
+	return &Layer{
+		sm:             sm,
+		perm:           make(map[layout.Addr][]uint8),
+		count:          make(map[layout.Addr]int),
+		RepermuteAfter: repermuteAfter,
+		rng:            seed,
+	}, nil
+}
+
+func (l *Layer) next() uint64 {
+	l.rng ^= l.rng << 13
+	l.rng ^= l.rng >> 7
+	l.rng ^= l.rng << 17
+	return l.rng
+}
+
+// permutation returns (allocating if needed) the page's current mapping.
+func (l *Layer) permutation(page layout.Addr) []uint8 {
+	if p, ok := l.perm[page]; ok {
+		return p
+	}
+	p := identityPerm()
+	l.shuffle(p)
+	l.perm[page] = p
+	return p
+}
+
+func identityPerm() []uint8 {
+	p := make([]uint8, layout.BlocksPerPage)
+	for i := range p {
+		p[i] = uint8(i)
+	}
+	return p
+}
+
+func (l *Layer) shuffle(p []uint8) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := int(l.next() % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// mapAddr translates a logical address to its permuted physical address.
+func (l *Layer) mapAddr(a layout.Addr) layout.Addr {
+	page := a.PageAddr()
+	p := l.permutation(page)
+	slot := p[a.BlockInPage()]
+	return page + layout.Addr(int(slot)*layout.BlockSize) + layout.Addr(a)&(layout.BlockSize-1)
+}
+
+// touch charges one access to the page's epoch budget, re-permuting when it
+// is exhausted.
+func (l *Layer) touch(page layout.Addr) error {
+	l.count[page]++
+	if l.count[page] < l.RepermuteAfter {
+		return nil
+	}
+	return l.Repermute(page)
+}
+
+// Repermute reads the whole page under the old permutation and rewrites it
+// under a fresh one — the HIDE epoch change. All movement goes through the
+// secure controller, so ciphertext, counters and MACs stay coherent.
+func (l *Layer) Repermute(page layout.Addr) error {
+	page = page.PageAddr()
+	old := l.permutation(page)
+	var contents [layout.BlocksPerPage]coreBlock
+	for i := 0; i < layout.BlocksPerPage; i++ {
+		pa := page + layout.Addr(int(old[i])*layout.BlockSize)
+		if err := l.sm.ReadBlock(pa, &contents[i], l.meta); err != nil {
+			return fmt.Errorf("hide: repermute read: %w", err)
+		}
+	}
+	fresh := identityPerm()
+	l.shuffle(fresh)
+	for i := 0; i < layout.BlocksPerPage; i++ {
+		pa := page + layout.Addr(int(fresh[i])*layout.BlockSize)
+		if err := l.sm.WriteBlock(pa, &contents[i], l.meta); err != nil {
+			return fmt.Errorf("hide: repermute write: %w", err)
+		}
+	}
+	l.perm[page] = fresh
+	l.count[page] = 0
+	l.Repermutes++
+	return nil
+}
+
+// ReadBlock reads the logical block at a through the permutation layer.
+func (l *Layer) ReadBlock(a layout.Addr, dst *coreBlock, meta core.Meta) error {
+	if err := l.sm.ReadBlock(l.mapAddr(a), dst, meta); err != nil {
+		return err
+	}
+	return l.touch(a.PageAddr())
+}
+
+// WriteBlock writes the logical block at a through the permutation layer.
+func (l *Layer) WriteBlock(a layout.Addr, src *coreBlock, meta core.Meta) error {
+	if err := l.sm.WriteBlock(l.mapAddr(a), src, meta); err != nil {
+		return err
+	}
+	return l.touch(a.PageAddr())
+}

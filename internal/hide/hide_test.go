@@ -1,0 +1,142 @@
+package hide
+
+import (
+	"testing"
+
+	"aisebmt/internal/attack"
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+var testKey = []byte("processor-secret")
+
+func layerSetup(t *testing.T, budget int) (*core.SecureMemory, *Layer) {
+	t.Helper()
+	sm, err := core.New(core.Config{
+		DataBytes: 64 << 10, MACBits: 128, Key: testKey,
+		Encryption: core.AISE, Integrity: core.BonsaiMT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(sm, budget, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm, l
+}
+
+func TestHideRoundTrip(t *testing.T) {
+	_, l := layerSetup(t, 1000)
+	var want, got mem.Block
+	copy(want[:], "permuted but intact")
+	if err := l.WriteBlock(0x2040, &want, core.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ReadBlock(0x2040, &got, core.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("round trip through permutation failed")
+	}
+}
+
+func TestHidePermutesBusAddresses(t *testing.T) {
+	sm, l := layerSetup(t, 100000)
+	snoop := attack.NewSnooper(sm.Memory())
+	var b mem.Block
+	// Touch every block of one page; the bus must see each physical slot
+	// exactly once but in permuted order.
+	var seen []int
+	for i := 0; i < layout.BlocksPerPage; i++ {
+		snoop.Reset()
+		if err := l.ReadBlock(layout.Addr(0x3000+i*64), &b, core.Meta{}); err != nil {
+			t.Fatal(err)
+		}
+		reads := snoop.ReadsIn(0x3000, layout.PageSize)
+		if len(reads) != 1 {
+			t.Fatalf("block %d produced %d in-page bus reads", i, len(reads))
+		}
+		seen = append(seen, int(reads[0]-0x3000)/64)
+	}
+	// Permutation property: all 64 slots hit exactly once...
+	hit := map[int]bool{}
+	inOrder := true
+	for i, s := range seen {
+		if hit[s] {
+			t.Fatalf("slot %d observed twice", s)
+		}
+		hit[s] = true
+		if s != i {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Error("bus order identical to logical order; no permutation happened")
+	}
+}
+
+func TestHideDefeatsTableIndexAttack(t *testing.T) {
+	sm, l := layerSetup(t, 100000)
+	snoop := attack.NewSnooper(sm.Memory())
+	const tableBase = layout.Addr(0x8000)
+	secret := 11
+	var b mem.Block
+	if err := l.ReadBlock(tableBase+layout.Addr(secret*64), &b, core.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	idxs := snoop.InferTableIndex(tableBase, 64, layout.BlocksPerPage)
+	for _, i := range idxs {
+		if i == secret {
+			t.Fatalf("secret index %d still visible on the bus under HIDE", secret)
+		}
+	}
+}
+
+func TestHideRepermutesOnBudget(t *testing.T) {
+	sm, l := layerSetup(t, 4)
+	var want, got mem.Block
+	copy(want[:], "survives epochs")
+	if err := l.WriteBlock(0x1000, &want, core.Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	snoop := attack.NewSnooper(sm.Memory())
+	addrOf := func() layout.Addr {
+		snoop.Reset()
+		if err := l.ReadBlock(0x1000, &got, core.Meta{}); err != nil {
+			t.Fatal(err)
+		}
+		rs := snoop.ReadsIn(0x1000, layout.PageSize)
+		if len(rs) == 0 {
+			t.Fatal("no bus read observed")
+		}
+		return rs[0]
+	}
+	first := addrOf()
+	// Drive past the budget; repermutation must fire and (almost surely)
+	// relocate the block on the bus.
+	moved := false
+	for i := 0; i < 20; i++ {
+		if addrOf() != first {
+			moved = true
+			break
+		}
+	}
+	if l.Repermutes == 0 {
+		t.Fatal("no repermutation fired")
+	}
+	if !moved {
+		t.Error("block never moved on the bus across epochs")
+	}
+	if got != want {
+		t.Error("data corrupted by repermutation")
+	}
+}
+
+func TestHideValidation(t *testing.T) {
+	sm, _ := layerSetup(t, 1)
+	if _, err := New(sm, 0, 1); err == nil {
+		t.Error("zero budget accepted")
+	}
+}

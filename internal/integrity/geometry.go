@@ -1,0 +1,132 @@
+package integrity
+
+import (
+	"fmt"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+// TreeGeometry is the address arithmetic of a Merkle tree, independent of
+// any stored bytes: which leaf index an address maps to, where each level's
+// node storage lives, and which storage blocks a verification walk touches.
+// The functional Tree embeds it; the timing simulator uses it alone to
+// model cached tree walks over a full-size (1 GB) memory without
+// materializing node contents.
+type TreeGeometry struct {
+	g       layout.MACGeometry
+	leaves  []mem.Region
+	total   uint64
+	levels  []level
+	storage layout.Addr
+}
+
+// NewTreeGeometry lays out a tree protecting the given regions (in order)
+// with node storage contiguous from storageBase.
+func NewTreeGeometry(macBits int, regions []mem.Region, storageBase layout.Addr) (*TreeGeometry, error) {
+	g, err := layout.Geometry(macBits)
+	if err != nil {
+		return nil, err
+	}
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("integrity: tree needs at least one protected region")
+	}
+	var total uint64
+	for _, r := range regions {
+		if r.Base%layout.BlockSize != 0 || r.Size%layout.BlockSize != 0 {
+			return nil, fmt.Errorf("integrity: region %q not block aligned", r.Name)
+		}
+		total += r.Size / layout.BlockSize
+	}
+	tg := &TreeGeometry{g: g, leaves: regions, total: total, storage: storageBase}
+	base := storageBase
+	count := total
+	for {
+		tg.levels = append(tg.levels, level{base: base, count: count})
+		blocks := storageBlocks(count, g.MACBytes)
+		if blocks <= 1 {
+			break
+		}
+		base += layout.Addr(blocks * layout.BlockSize)
+		count = blocks
+	}
+	for _, r := range regions {
+		if storageBase < r.Base+layout.Addr(r.Size) && r.Base < tg.StorageEnd() {
+			return nil, fmt.Errorf("integrity: tree storage overlaps protected region %q", r.Name)
+		}
+	}
+	return tg, nil
+}
+
+// MACBytes returns the node MAC width in bytes.
+func (tg *TreeGeometry) MACBytes() int { return tg.g.MACBytes }
+
+// MACBits returns the node MAC width in bits.
+func (tg *TreeGeometry) MACBits() int { return tg.g.MACBits }
+
+// Levels returns the number of MAC levels (excluding the on-chip root).
+func (tg *TreeGeometry) Levels() int { return len(tg.levels) }
+
+// LeafCount returns the number of protected blocks.
+func (tg *TreeGeometry) LeafCount() uint64 { return tg.total }
+
+// StorageEnd returns the first address past the node storage.
+func (tg *TreeGeometry) StorageEnd() layout.Addr {
+	top := tg.levels[len(tg.levels)-1]
+	return top.base + layout.Addr(storageBlocks(top.count, tg.g.MACBytes)*layout.BlockSize)
+}
+
+// StorageBytes returns the node storage footprint.
+func (tg *TreeGeometry) StorageBytes() uint64 { return uint64(tg.StorageEnd() - tg.storage) }
+
+// Covers reports whether the address lies in a protected region.
+func (tg *TreeGeometry) Covers(a layout.Addr) bool {
+	_, ok := tg.LeafIndex(a)
+	return ok
+}
+
+// LeafIndex maps a protected address to its leaf number.
+func (tg *TreeGeometry) LeafIndex(a layout.Addr) (uint64, bool) {
+	a = a.BlockAddr()
+	var before uint64
+	for _, r := range tg.leaves {
+		if r.Contains(a) {
+			return before + uint64(a-r.Base)/layout.BlockSize, true
+		}
+		before += r.Size / layout.BlockSize
+	}
+	return 0, false
+}
+
+// slotBlock returns the storage block holding a level's slot and the slot's
+// parent index at the next level.
+func (tg *TreeGeometry) slotBlock(lv level, idx uint64) (layout.Addr, uint64) {
+	byteOff := idx * uint64(tg.g.MACBytes)
+	blockIdx := byteOff / layout.BlockSize
+	return lv.base + layout.Addr(blockIdx*layout.BlockSize), blockIdx
+}
+
+// Walk returns the node storage blocks a verification of the block at a
+// touches, leaf level first, ending at the block the on-chip root covers.
+func (tg *TreeGeometry) Walk(a layout.Addr) ([]layout.Addr, error) {
+	idx, ok := tg.LeafIndex(a)
+	if !ok {
+		return nil, fmt.Errorf("integrity: %#x is not covered by this tree", a)
+	}
+	addrs := make([]layout.Addr, 0, len(tg.levels))
+	for li := 0; li < len(tg.levels); li++ {
+		blockAddr, parentIdx := tg.slotBlock(tg.levels[li], idx)
+		addrs = append(addrs, blockAddr)
+		idx = parentIdx
+	}
+	return addrs, nil
+}
+
+// LeafSlotAddr returns the byte address of the stored level-0 MAC for a.
+func (tg *TreeGeometry) LeafSlotAddr(a layout.Addr) (layout.Addr, error) {
+	idx, ok := tg.LeafIndex(a)
+	if !ok {
+		return 0, fmt.Errorf("integrity: %#x is not covered by this tree", a)
+	}
+	return tg.levels[0].base + layout.Addr(idx*uint64(tg.g.MACBytes)), nil
+}

@@ -1,0 +1,158 @@
+package integrity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+func testGeometry(t *testing.T, macBits int, leafBytes uint64) *TreeGeometry {
+	t.Helper()
+	tg, err := NewTreeGeometry(macBits, []mem.Region{{Name: "d", Base: 0, Size: leafBytes}}, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+func TestGeometryLevelsShrink(t *testing.T) {
+	tg := testGeometry(t, 128, 1<<20) // 16384 leaves
+	// 16384 leaves -> 4096, 1024, 256, 64, 16, 4, 1 storage blocks.
+	if tg.Levels() != 7 {
+		t.Errorf("levels = %d, want 7", tg.Levels())
+	}
+	if tg.LeafCount() != 16384 {
+		t.Errorf("leaves = %d", tg.LeafCount())
+	}
+}
+
+func TestGeometryStorageMatchesTreeStorageBytes(t *testing.T) {
+	for _, bits := range []int{32, 64, 128, 256} {
+		for _, leaves := range []uint64{64, 4096, 1 << 14} {
+			tg := testGeometry(t, bits, leaves*layout.BlockSize)
+			want, err := TreeStorageBytes(leaves, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tg.StorageBytes() != want {
+				t.Errorf("%db/%d leaves: geometry %d bytes, TreeStorageBytes %d",
+					bits, leaves, tg.StorageBytes(), want)
+			}
+		}
+	}
+}
+
+// TestWalkProperties: every walk has exactly Levels() nodes, all inside the
+// storage range, strictly ascending through the level bases, and two
+// addresses in the same block produce identical walks.
+func TestWalkProperties(t *testing.T) {
+	tg := testGeometry(t, 128, 1<<20)
+	f := func(off1, off2 uint32) bool {
+		a1 := layout.Addr(off1) % (1 << 20)
+		a2 := a1.BlockAddr() + layout.Addr(off2%layout.BlockSize)
+		w1, err := tg.Walk(a1)
+		if err != nil {
+			return false
+		}
+		w2, err := tg.Walk(a2)
+		if err != nil {
+			return false
+		}
+		if len(w1) != tg.Levels() || len(w2) != len(w1) {
+			return false
+		}
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				return false
+			}
+			if w1[i] < 1<<30 || w1[i] >= tg.StorageEnd() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWalkConverges: walks from any two leaves share a suffix (they must
+// meet at or before the top block).
+func TestWalkConverges(t *testing.T) {
+	tg := testGeometry(t, 128, 1<<20)
+	w1, _ := tg.Walk(0)
+	w2, _ := tg.Walk(1<<20 - layout.BlockSize)
+	if w1[len(w1)-1] != w2[len(w2)-1] {
+		t.Error("walks do not converge at the top block")
+	}
+	if w1[0] == w2[0] {
+		t.Error("distant leaves share a level-0 storage block")
+	}
+}
+
+// TestLeafSlotAddrDistinct: distinct leaves map to distinct MAC slots
+// within level-0 storage.
+func TestLeafSlotAddrDistinct(t *testing.T) {
+	tg := testGeometry(t, 64, 64<<10)
+	seen := map[layout.Addr]bool{}
+	for a := layout.Addr(0); a < 64<<10; a += layout.BlockSize {
+		slot, err := tg.LeafSlotAddr(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[slot] {
+			t.Fatalf("duplicate leaf slot %#x", slot)
+		}
+		seen[slot] = true
+	}
+	if _, err := tg.LeafSlotAddr(1 << 29); err == nil {
+		t.Error("uncovered address produced a slot")
+	}
+}
+
+func TestGeometryMultiRegionIndexing(t *testing.T) {
+	regions := []mem.Region{
+		{Name: "a", Base: 0, Size: 4096},
+		{Name: "b", Base: 1 << 20, Size: 4096},
+	}
+	tg, err := NewTreeGeometry(128, regions, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.LeafCount() != 128 {
+		t.Fatalf("leaves = %d, want 128", tg.LeafCount())
+	}
+	// First block of region b is leaf 64.
+	idx, ok := tg.LeafIndex(1 << 20)
+	if !ok || idx != 64 {
+		t.Errorf("LeafIndex(region b start) = %d, %v", idx, ok)
+	}
+	if tg.Covers(4096) {
+		t.Error("gap between regions covered")
+	}
+}
+
+func TestGeometryRejectsBadInput(t *testing.T) {
+	if _, err := NewTreeGeometry(128, nil, 0); err == nil {
+		t.Error("no regions accepted")
+	}
+	if _, err := NewTreeGeometry(99, []mem.Region{{Size: 4096}}, 1<<20); err == nil {
+		t.Error("bad MAC width accepted")
+	}
+	if _, err := NewTreeGeometry(128, []mem.Region{{Base: 1, Size: 4096}}, 1<<20); err == nil {
+		t.Error("unaligned region accepted")
+	}
+	// Storage colliding with the protected region.
+	if _, err := NewTreeGeometry(128, []mem.Region{{Size: 1 << 20}}, 4096); err == nil {
+		t.Error("overlapping storage accepted")
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	tg := testGeometry(t, 256, 64<<10)
+	if tg.MACBytes() != 32 || tg.MACBits() != 256 {
+		t.Errorf("MAC accessors: %d bytes / %d bits", tg.MACBytes(), tg.MACBits())
+	}
+}

@@ -1,0 +1,133 @@
+package integrity
+
+import (
+	"errors"
+	"testing"
+
+	"aisebmt/internal/counter"
+	"aisebmt/internal/mem"
+)
+
+func groupStore(t *testing.T, coverage int) (*mem.Memory, *GroupMACStore) {
+	t.Helper()
+	m := mem.New(1 << 20)
+	s, err := NewGroupMACStore(m, testKey, 128, 256<<10, 0, coverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func testCB() counter.Block {
+	cb := counter.Block{LPID: 42}
+	for i := range cb.Minor {
+		cb.Minor[i] = uint8(i % 100)
+	}
+	return cb
+}
+
+func TestGroupMACCoverageValidation(t *testing.T) {
+	m := mem.New(1 << 20)
+	for _, bad := range []int{0, 3, 5, 128, -4} {
+		if _, err := NewGroupMACStore(m, testKey, 128, 0, 0, bad); err == nil {
+			t.Errorf("coverage %d accepted", bad)
+		}
+	}
+	for _, good := range []int{1, 2, 4, 8, 16, 32, 64} {
+		if _, err := NewGroupMACStore(m, testKey, 128, 0, 0, good); err != nil {
+			t.Errorf("coverage %d rejected: %v", good, err)
+		}
+	}
+}
+
+func TestGroupMACRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 4, 16} {
+		m, s := groupStore(t, k)
+		cb := testCB()
+		var blk mem.Block
+		blk[0] = 7
+		m.WriteBlock(0x1040, &blk)
+		s.Update(0x1040, cb)
+		if err := s.Verify(0x1040, cb); err != nil {
+			t.Errorf("coverage %d: clean verify: %v", k, err)
+		}
+		// Any member of the group verifies against the same MAC.
+		if k > 1 {
+			if err := s.Verify(0x1000, cb); err != nil {
+				t.Errorf("coverage %d: sibling verify: %v", k, err)
+			}
+		}
+	}
+}
+
+func TestGroupMACDetectsSiblingTamper(t *testing.T) {
+	// The whole point of group MACs: tampering ANY member invalidates the
+	// group, even when verifying a different member.
+	m, s := groupStore(t, 4)
+	cb := testCB()
+	s.Update(0x1000, cb)
+	m.TamperBytes(0x10c5, []byte{0xff}) // third block of the group
+	if err := s.Verify(0x1000, cb); err == nil {
+		t.Error("sibling tamper missed")
+	}
+	var ie *Error
+	if err := s.Verify(0x1040, cb); !errors.As(err, &ie) || ie.Level != -1 {
+		t.Errorf("tamper error shape: %v", err)
+	}
+}
+
+func TestGroupMACStorageShrinks(t *testing.T) {
+	_, s1 := groupStore(t, 1)
+	_, s4 := groupStore(t, 4)
+	_, s16 := groupStore(t, 16)
+	d := uint64(1 << 20)
+	if s4.StorageBytes(d) != s1.StorageBytes(d)/4 {
+		t.Errorf("coverage 4 storage = %d, want quarter of %d", s4.StorageBytes(d), s1.StorageBytes(d))
+	}
+	if s16.StorageBytes(d) != s1.StorageBytes(d)/16 {
+		t.Errorf("coverage 16 storage = %d", s16.StorageBytes(d))
+	}
+}
+
+func TestGroupMACReadAmplification(t *testing.T) {
+	_, s := groupStore(t, 8)
+	cb := testCB()
+	s.Update(0x1000, cb)
+	reads := s.GroupReads
+	if err := s.Verify(0x1000, cb); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GroupReads - reads; got != 7 {
+		t.Errorf("verification read %d siblings, want 7", got)
+	}
+}
+
+func TestGroupMACCounterBinding(t *testing.T) {
+	_, s := groupStore(t, 4)
+	cb := testCB()
+	s.Update(0x1000, cb)
+	rolled := cb
+	rolled.Minor[2]-- // roll back one member's counter
+	if err := s.Verify(0x1000, rolled); err == nil {
+		t.Error("rolled-back sibling counter accepted")
+	}
+	otherPage := cb
+	otherPage.LPID++
+	if err := s.Verify(0x1000, otherPage); err == nil {
+		t.Error("foreign LPID accepted")
+	}
+}
+
+func TestGroupMACSlotAddressing(t *testing.T) {
+	_, s := groupStore(t, 4)
+	// Blocks 0..3 share slot 0; block 4 starts slot 1.
+	if s.SlotAddr(0x00) != s.SlotAddr(0xc0) {
+		t.Error("group members map to different slots")
+	}
+	if s.SlotAddr(0xc0) == s.SlotAddr(0x100) {
+		t.Error("adjacent groups share a slot")
+	}
+	if s.Coverage() != 4 {
+		t.Error("coverage accessor wrong")
+	}
+}

@@ -1,0 +1,203 @@
+package integrity
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"aisebmt/internal/crypto/hmac"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+// DataMACStore holds the per-block data MACs of the Bonsai scheme. Each
+// data block's MAC is computed over its ciphertext, its encryption counter
+// (LPID and minor counter) and its block-within-page position:
+//
+//	M = HMAC_K(C ‖ LPID ‖ minor ‖ blockInPage)
+//
+// Binding the counter makes replay of (C, M, ctr) triples detectable once
+// counter integrity is guaranteed by the Bonsai tree (the §5.2 claim), and
+// binding position-within-page plus the globally unique LPID detects
+// splicing while keeping MACs valid when the page moves between frames or
+// to disk.
+type DataMACStore struct {
+	m        *mem.Memory
+	key      []byte
+	macBits  int
+	macBytes int
+	base     layout.Addr // MAC region base
+	dataBase layout.Addr // protected data region base
+
+	// MACOps counts HMAC computations for the experiment harness.
+	MACOps uint64
+}
+
+// NewDataMACStore creates a per-block MAC store for data blocks in
+// [dataBase, …), with MAC i stored at base + i×macBytes.
+func NewDataMACStore(m *mem.Memory, key []byte, macBits int, base, dataBase layout.Addr) (*DataMACStore, error) {
+	g, err := layout.Geometry(macBits)
+	if err != nil {
+		return nil, err
+	}
+	return &DataMACStore{m: m, key: key, macBits: macBits, macBytes: g.MACBytes, base: base, dataBase: dataBase}, nil
+}
+
+// SlotAddr returns where the MAC for the data block at a is stored.
+func (s *DataMACStore) SlotAddr(a layout.Addr) layout.Addr {
+	blk := uint64(a.BlockAddr()-s.dataBase) / layout.BlockSize
+	return s.base + layout.Addr(blk*uint64(s.macBytes))
+}
+
+func (s *DataMACStore) compute(ct *mem.Block, lpid uint64, minor uint8, blockInPage int) []byte {
+	msg := make([]byte, 0, layout.BlockSize+10)
+	msg = append(msg, ct[:]...)
+	var meta [10]byte
+	binary.BigEndian.PutUint64(meta[:8], lpid)
+	meta[8] = minor
+	meta[9] = uint8(blockInPage)
+	msg = append(msg, meta[:]...)
+	tag, err := hmac.Sized(s.key, msg, s.macBits)
+	if err != nil {
+		panic(err) // width validated in the constructor
+	}
+	s.MACOps++
+	return tag
+}
+
+// Update recomputes and stores the MAC for the data block at a with
+// ciphertext ct encrypted under (lpid, minor).
+func (s *DataMACStore) Update(a layout.Addr, ct *mem.Block, lpid uint64, minor uint8) {
+	mac := s.compute(ct, lpid, minor, a.BlockInPage())
+	s.m.Write(s.SlotAddr(a), mac)
+}
+
+// Verify checks the stored MAC for the data block at a against ciphertext
+// ct and counter (lpid, minor). A mismatch is reported as an *Error with
+// Level -1 (data MAC, outside the tree).
+func (s *DataMACStore) Verify(a layout.Addr, ct *mem.Block, lpid uint64, minor uint8) error {
+	want := s.compute(ct, lpid, minor, a.BlockInPage())
+	got := make([]byte, s.macBytes)
+	s.m.Read(s.SlotAddr(a), got)
+	if !hmac.Equal(want, got) {
+		return &Error{Addr: a, Level: -1, Node: s.SlotAddr(a)}
+	}
+	return nil
+}
+
+// MACOnlyStore is the XOM-style baseline: one MAC per block over
+// (ciphertext ‖ physical address). It detects spoofing and splicing but an
+// attacker who rolls back both the block and its MAC replays old data
+// undetected — the weakness Merkle trees close.
+type MACOnlyStore struct {
+	m        *mem.Memory
+	key      []byte
+	macBits  int
+	macBytes int
+	base     layout.Addr
+	dataBase layout.Addr
+
+	// MACOps counts HMAC computations for the experiment harness.
+	MACOps uint64
+}
+
+// NewMACOnlyStore creates the address-bound per-block MAC baseline.
+func NewMACOnlyStore(m *mem.Memory, key []byte, macBits int, base, dataBase layout.Addr) (*MACOnlyStore, error) {
+	g, err := layout.Geometry(macBits)
+	if err != nil {
+		return nil, err
+	}
+	return &MACOnlyStore{m: m, key: key, macBits: macBits, macBytes: g.MACBytes, base: base, dataBase: dataBase}, nil
+}
+
+// SlotAddr returns where the MAC for the data block at a is stored.
+func (s *MACOnlyStore) SlotAddr(a layout.Addr) layout.Addr {
+	blk := uint64(a.BlockAddr()-s.dataBase) / layout.BlockSize
+	return s.base + layout.Addr(blk*uint64(s.macBytes))
+}
+
+func (s *MACOnlyStore) compute(a layout.Addr, ct *mem.Block) []byte {
+	msg := make([]byte, 0, layout.BlockSize+8)
+	msg = append(msg, ct[:]...)
+	var ab [8]byte
+	binary.BigEndian.PutUint64(ab[:], uint64(a.BlockAddr()))
+	msg = append(msg, ab[:]...)
+	tag, err := hmac.Sized(s.key, msg, s.macBits)
+	if err != nil {
+		panic(err)
+	}
+	s.MACOps++
+	return tag
+}
+
+// Update stores the MAC for the block at a.
+func (s *MACOnlyStore) Update(a layout.Addr, ct *mem.Block) {
+	s.m.Write(s.SlotAddr(a), s.compute(a, ct))
+}
+
+// Verify checks the block at a against its stored MAC.
+func (s *MACOnlyStore) Verify(a layout.Addr, ct *mem.Block) error {
+	want := s.compute(a, ct)
+	got := make([]byte, s.macBytes)
+	s.m.Read(s.SlotAddr(a), got)
+	if !hmac.Equal(want, got) {
+		return &Error{Addr: a, Level: -1, Node: s.SlotAddr(a)}
+	}
+	return nil
+}
+
+// PageRootDirectory is the §5.1 structure: a region of physical memory that
+// stores the page root MAC of each swapped-out page, indexed by swap slot.
+// The directory region itself must be included among the Merkle tree's
+// protected regions so the stored roots are tamper-evident.
+type PageRootDirectory struct {
+	m        *mem.Memory
+	base     layout.Addr
+	macBytes int
+	slots    int
+}
+
+// NewPageRootDirectory creates a directory with the given number of swap
+// slots. Its memory footprint is Slots()×macBytes, rounded up to blocks by
+// the caller's layout.
+func NewPageRootDirectory(m *mem.Memory, base layout.Addr, macBits, slots int) (*PageRootDirectory, error) {
+	g, err := layout.Geometry(macBits)
+	if err != nil {
+		return nil, err
+	}
+	return &PageRootDirectory{m: m, base: base, macBytes: g.MACBytes, slots: slots}, nil
+}
+
+// Slots returns the directory capacity.
+func (d *PageRootDirectory) Slots() int { return d.slots }
+
+// Bytes returns the directory's memory footprint.
+func (d *PageRootDirectory) Bytes() uint64 { return uint64(d.slots * d.macBytes) }
+
+// SlotAddr returns the physical address of a slot's stored root.
+func (d *PageRootDirectory) SlotAddr(slot int) layout.Addr {
+	return d.base + layout.Addr(slot*d.macBytes)
+}
+
+// Install writes a page root into a slot. The caller must afterwards update
+// the covering Merkle tree for the directory block (the processor write
+// path does this automatically in the core library).
+func (d *PageRootDirectory) Install(slot int, root []byte) error {
+	if slot < 0 || slot >= d.slots {
+		return fmt.Errorf("integrity: directory slot %d out of range [0,%d)", slot, d.slots)
+	}
+	if len(root) != d.macBytes {
+		return fmt.Errorf("integrity: page root is %d bytes, want %d", len(root), d.macBytes)
+	}
+	d.m.Write(d.SlotAddr(slot), root)
+	return nil
+}
+
+// Lookup reads the page root stored in a slot.
+func (d *PageRootDirectory) Lookup(slot int) ([]byte, error) {
+	if slot < 0 || slot >= d.slots {
+		return nil, fmt.Errorf("integrity: directory slot %d out of range [0,%d)", slot, d.slots)
+	}
+	out := make([]byte, d.macBytes)
+	d.m.Read(d.SlotAddr(slot), out)
+	return out, nil
+}

@@ -1,0 +1,307 @@
+// Package integrity implements the memory integrity verification engines
+// the paper studies:
+//
+//   - a per-block MAC scheme (detects spoofing and splicing but not replay,
+//     the XOM-style baseline);
+//   - the standard Merkle tree over data memory with an on-chip root;
+//   - the Bonsai Merkle Tree: per-block data MACs bound to encryption
+//     counters, with the Merkle tree built only over the counter blocks;
+//   - the extended-tree swap protection of §5.1, where a Page Root
+//     Directory in tree-covered physical memory holds the page roots of
+//     swapped-out pages;
+//   - a log-hash baseline from the related work (Suh et al.), which defers
+//     detection to periodic checkpoints.
+//
+// Tree nodes are content MACs: each parent covers the 64-byte storage block
+// holding its children's MACs, so position binding (splicing protection)
+// comes from the tree structure while page images stay relocatable, which
+// is what lets one tree cover both physical and swap memory.
+package integrity
+
+import (
+	"fmt"
+
+	"aisebmt/internal/crypto/hmac"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+// Error reports an integrity violation: the first tree level (or MAC) whose
+// stored value did not match the recomputed one.
+type Error struct {
+	Addr  layout.Addr // protected block whose verification failed
+	Level int         // 0 = leaf MAC, increasing toward the root, -1 = data MAC
+	Node  layout.Addr // address of the mismatching MAC's storage block
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("integrity: block %#x failed verification at level %d (node %#x)", e.Addr, e.Level, e.Node)
+}
+
+type level struct {
+	base  layout.Addr
+	count uint64 // MACs at this level
+}
+
+// storageBlocks returns how many 64-byte blocks hold count MACs of width b.
+func storageBlocks(count uint64, b int) uint64 {
+	return (count*uint64(b) + layout.BlockSize - 1) / layout.BlockSize
+}
+
+// Tree is a Merkle tree over one or more contiguous regions of physical
+// memory. All node MACs live in memory starting at a caller-supplied
+// storage base; only the root MAC stays on chip.
+type Tree struct {
+	*TreeGeometry
+	m     *mem.Memory
+	key   []byte
+	root  []byte
+	built bool
+
+	// MACOps counts HMAC computations for the experiment harness.
+	MACOps uint64
+}
+
+// TreeStorageBytes returns the memory needed for all node levels of a tree
+// protecting nLeaves blocks with the given MAC width.
+func TreeStorageBytes(nLeaves uint64, macBits int) (uint64, error) {
+	g, err := layout.Geometry(macBits)
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	count := nLeaves
+	for {
+		blocks := storageBlocks(count, g.MACBytes)
+		total += blocks * layout.BlockSize
+		if blocks <= 1 {
+			break
+		}
+		count = blocks
+	}
+	return total, nil
+}
+
+// NewTree builds the level geometry for a tree protecting the given regions
+// (in order), with node storage laid out contiguously from storageBase.
+// Call Build before the first Verify.
+func NewTree(m *mem.Memory, key []byte, macBits int, regions []mem.Region, storageBase layout.Addr) (*Tree, error) {
+	tg, err := NewTreeGeometry(macBits, regions, storageBase)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{TreeGeometry: tg, m: m, key: key}, nil
+}
+
+// macAt reads the stored MAC at a level slot.
+func (t *Tree) macAt(lv level, idx uint64) []byte {
+	buf := make([]byte, t.g.MACBytes)
+	t.m.Read(lv.base+layout.Addr(idx*uint64(t.g.MACBytes)), buf)
+	return buf
+}
+
+func (t *Tree) setMACAt(lv level, idx uint64, mac []byte) {
+	t.m.Write(lv.base+layout.Addr(idx*uint64(t.g.MACBytes)), mac)
+}
+
+// nodeMAC computes the content MAC of one 64-byte block.
+func (t *Tree) nodeMAC(a layout.Addr) []byte {
+	var blk mem.Block
+	t.m.ReadBlock(a, &blk)
+	tag, err := hmac.Sized(t.key, blk[:], t.g.MACBits)
+	if err != nil {
+		panic(err) // width validated in NewTree
+	}
+	t.MACOps++
+	return tag
+}
+
+// Build computes every node MAC from current memory contents and captures
+// the root on chip. It models the trusted boot-time construction the attack
+// model assumes (§3).
+func (t *Tree) Build() {
+	idx := uint64(0)
+	for _, r := range t.leaves {
+		for a := r.Base; a < r.Base+layout.Addr(r.Size); a += layout.BlockSize {
+			t.setMACAt(t.levels[0], idx, t.nodeMAC(a))
+			idx++
+		}
+	}
+	for li := 0; li < len(t.levels)-1; li++ {
+		lv := t.levels[li]
+		blocks := storageBlocks(lv.count, t.g.MACBytes)
+		for b := uint64(0); b < blocks; b++ {
+			mac := t.nodeMAC(lv.base + layout.Addr(b*layout.BlockSize))
+			t.setMACAt(t.levels[li+1], b, mac)
+		}
+	}
+	top := t.levels[len(t.levels)-1]
+	t.root = t.nodeMAC(top.base)
+	t.built = true
+}
+
+// Restore installs a previously captured root MAC and marks the tree
+// built, for resuming from hibernation: node storage comes back with the
+// (untrusted) memory image, while the root returns from trusted
+// non-volatile on-chip storage. Subsequent verifications check the image
+// against this root.
+func (t *Tree) Restore(root []byte) error {
+	if len(root) != t.g.MACBytes {
+		return fmt.Errorf("integrity: restored root is %d bytes, want %d", len(root), t.g.MACBytes)
+	}
+	t.root = append([]byte(nil), root...)
+	t.built = true
+	return nil
+}
+
+// Root returns a copy of the on-chip root MAC.
+func (t *Tree) Root() []byte {
+	out := make([]byte, len(t.root))
+	copy(out, t.root)
+	return out
+}
+
+// VerifyBlock checks the protected block at a against the full MAC chain up
+// to the on-chip root, as the secure processor does on an L2 miss. It
+// returns an *Error naming the first level that failed, or nil.
+func (t *Tree) VerifyBlock(a layout.Addr) error {
+	if !t.built {
+		return fmt.Errorf("integrity: tree not built")
+	}
+	idx, ok := t.LeafIndex(a)
+	if !ok {
+		return fmt.Errorf("integrity: %#x is not covered by this tree", a)
+	}
+	// Leaf: recompute the block's MAC and compare to the stored level-0 MAC.
+	if !hmac.Equal(t.nodeMAC(a.BlockAddr()), t.macAt(t.levels[0], idx)) {
+		node, _ := t.TreeGeometry.slotBlock(t.levels[0], idx)
+		return &Error{Addr: a, Level: 0, Node: node}
+	}
+	// Interior: each storage block must match its parent's stored MAC.
+	for li := 0; li < len(t.levels); li++ {
+		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
+		computed := t.nodeMAC(blockAddr)
+		var stored []byte
+		if li == len(t.levels)-1 {
+			stored = t.root
+		} else {
+			stored = t.macAt(t.levels[li+1], parentIdx)
+		}
+		if !hmac.Equal(computed, stored) {
+			return &Error{Addr: a, Level: li + 1, Node: blockAddr}
+		}
+		idx = parentIdx
+	}
+	return nil
+}
+
+// UpdateBlock recomputes the MAC chain for the protected block at a after
+// the processor writes it back, ending with a new on-chip root.
+func (t *Tree) UpdateBlock(a layout.Addr) error {
+	if !t.built {
+		return fmt.Errorf("integrity: tree not built")
+	}
+	idx, ok := t.LeafIndex(a)
+	if !ok {
+		return fmt.Errorf("integrity: %#x is not covered by this tree", a)
+	}
+	t.setMACAt(t.levels[0], idx, t.nodeMAC(a.BlockAddr()))
+	for li := 0; li < len(t.levels); li++ {
+		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
+		mac := t.nodeMAC(blockAddr)
+		if li == len(t.levels)-1 {
+			t.root = mac
+		} else {
+			t.setMACAt(t.levels[li+1], parentIdx, mac)
+		}
+		idx = parentIdx
+	}
+	return nil
+}
+
+// LeafMAC returns the stored level-0 MAC protecting the block at a. For the
+// Bonsai tree this is the "page root" of the page whose counter block lives
+// at a (one counter block per page), the value the Page Root Directory
+// stores across swap-out.
+func (t *Tree) LeafMAC(a layout.Addr) ([]byte, error) {
+	idx, ok := t.LeafIndex(a)
+	if !ok {
+		return nil, fmt.Errorf("integrity: %#x is not covered by this tree", a)
+	}
+	return t.macAt(t.levels[0], idx), nil
+}
+
+// InstallLeafMAC overwrites the stored level-0 MAC for the block at a and
+// propagates the change to the root. The swap-in path uses it to graft a
+// verified page root back into the tree (§5.1 step four).
+func (t *Tree) InstallLeafMAC(a layout.Addr, mac []byte) error {
+	idx, ok := t.LeafIndex(a)
+	if !ok {
+		return fmt.Errorf("integrity: %#x is not covered by this tree", a)
+	}
+	if len(mac) != t.g.MACBytes {
+		return fmt.Errorf("integrity: MAC is %d bytes, want %d", len(mac), t.g.MACBytes)
+	}
+	t.setMACAt(t.levels[0], idx, mac)
+	for li := 0; li < len(t.levels); li++ {
+		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
+		m := t.nodeMAC(blockAddr)
+		if li == len(t.levels)-1 {
+			t.root = m
+		} else {
+			t.setMACAt(t.levels[li+1], parentIdx, m)
+		}
+		idx = parentIdx
+	}
+	return nil
+}
+
+// NodeAddrs returns the storage-block addresses a verification of the block
+// at a would touch, leaf level first. The timing simulator uses the same
+// walk to model cached tree traversals.
+func (t *Tree) NodeAddrs(a layout.Addr) ([]layout.Addr, error) {
+	idx, ok := t.LeafIndex(a)
+	if !ok {
+		return nil, fmt.Errorf("integrity: %#x is not covered by this tree", a)
+	}
+	addrs := make([]layout.Addr, 0, len(t.levels))
+	for li := 0; li < len(t.levels); li++ {
+		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
+		addrs = append(addrs, blockAddr)
+		idx = parentIdx
+	}
+	return addrs, nil
+}
+
+// verifyChainFrom checks the interior chain starting at the given level
+// for a slot index (used after leaf-level checks by callers that already
+// validated leaf content another way).
+func (t *Tree) verifyChainFrom(li int, idx uint64, blames layout.Addr) error {
+	for ; li < len(t.levels); li++ {
+		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
+		computed := t.nodeMAC(blockAddr)
+		var stored []byte
+		if li == len(t.levels)-1 {
+			stored = t.root
+		} else {
+			stored = t.macAt(t.levels[li+1], parentIdx)
+		}
+		if !hmac.Equal(computed, stored) {
+			return &Error{Addr: blames, Level: li + 1, Node: blockAddr}
+		}
+		idx = parentIdx
+	}
+	return nil
+}
+
+// VerifyStoredLeaf checks that the stored level-0 MAC for a (without
+// recomputing it from leaf content) is authentic under the chain to the
+// root. Swap-out uses this to authenticate the page root it is about to
+// copy into the Page Root Directory.
+func (t *Tree) VerifyStoredLeaf(a layout.Addr) error {
+	idx, ok := t.LeafIndex(a)
+	if !ok {
+		return fmt.Errorf("integrity: %#x is not covered by this tree", a)
+	}
+	return t.verifyChainFrom(0, idx, a)
+}

@@ -1,0 +1,279 @@
+// Package layout holds the architectural constants and address-space
+// geometry shared by the functional secure-memory library and the timing
+// simulator: block/page/chunk sizes, MAC geometry (tree arity per MAC
+// width), and the physical-memory region layout that reproduces the paper's
+// Table 2 storage-overhead analysis.
+package layout
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Architectural constants fixed by the paper's configuration (§6).
+const (
+	BlockSize = 64   // bytes per cache/memory block
+	PageSize  = 4096 // bytes per page
+	ChunkSize = 16   // bytes per encryption chunk (one AES block)
+
+	ChunksPerBlock = BlockSize / ChunkSize // 4
+	BlocksPerPage  = PageSize / BlockSize  // 64
+
+	// MinorCounterBits is the per-block counter width in the split-counter
+	// (AISE) organization: a 64-byte counter block holds one 64-bit LPID and
+	// 64 seven-bit minor counters.
+	MinorCounterBits = 7
+	// MinorCounterMax is the largest minor counter value before overflow
+	// forces a page re-encryption under a fresh LPID.
+	MinorCounterMax = 1<<MinorCounterBits - 1
+)
+
+// Addr is a physical memory address.
+type Addr uint64
+
+// BlockAddr returns the address of the block containing a.
+func (a Addr) BlockAddr() Addr { return a &^ (BlockSize - 1) }
+
+// PageAddr returns the address of the page containing a.
+func (a Addr) PageAddr() Addr { return a &^ (PageSize - 1) }
+
+// PageOffset returns the offset of a within its page.
+func (a Addr) PageOffset() uint32 { return uint32(a & (PageSize - 1)) }
+
+// BlockInPage returns the index (0..63) of a's block within its page.
+func (a Addr) BlockInPage() int { return int(a&(PageSize-1)) / BlockSize }
+
+// ChunkInBlock returns the index (0..3) of a's chunk within its block.
+func (a Addr) ChunkInBlock() int { return int(a&(BlockSize-1)) / ChunkSize }
+
+// MACGeometry describes the Merkle tree shape induced by a MAC width: a
+// 64-byte tree node holds Arity child MACs of MACBytes each.
+type MACGeometry struct {
+	MACBits  int
+	MACBytes int
+	Arity    int // children per 64-byte tree node
+}
+
+// ErrMACBits reports an unsupported MAC width.
+var ErrMACBits = errors.New("layout: unsupported MAC width")
+
+// Geometry returns the tree geometry for a MAC width in bits. Supported
+// widths are the paper's sweep: 32, 64, 128 and 256 bits.
+func Geometry(macBits int) (MACGeometry, error) {
+	switch macBits {
+	case 32, 64, 128, 256:
+		b := macBits / 8
+		return MACGeometry{MACBits: macBits, MACBytes: b, Arity: BlockSize / b}, nil
+	default:
+		return MACGeometry{}, fmt.Errorf("%w: %d", ErrMACBits, macBits)
+	}
+}
+
+// TreeLevels returns the number of Merkle tree levels above nLeaves leaf
+// MACs when each node aggregates arity children, down to a single root.
+func TreeLevels(nLeaves, arity int) int {
+	if nLeaves <= 1 {
+		return 0
+	}
+	levels := 0
+	for n := nLeaves; n > 1; n = (n + arity - 1) / arity {
+		levels++
+	}
+	return levels
+}
+
+// Scheme identifies a memory encryption + integrity configuration for the
+// storage-layout analysis.
+type Scheme int
+
+const (
+	// Global64MT is the baseline: 64-bit global-counter encryption (8-byte
+	// stored counter per data block) plus a standard Merkle tree over the
+	// data and counter regions.
+	Global64MT Scheme = iota
+	// AISEBMT is the paper's proposal: split-counter AISE (one 64-byte
+	// counter block per page) plus per-block data MACs and a Bonsai Merkle
+	// tree over the counter region only.
+	AISEBMT
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Global64MT:
+		return "global64+MT"
+	case AISEBMT:
+		return "AISE+BMT"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// StorageBreakdown is one row of the paper's Table 2: each field is the
+// fraction of total physical memory consumed, in percent.
+type StorageBreakdown struct {
+	Scheme   Scheme
+	MACBits  int
+	TreePct  float64 // Merkle tree nodes (plus per-block data MACs for AISE+BMT)
+	RootPct  float64 // page root directory
+	CtrPct   float64 // counter storage
+	TotalPct float64
+	DataPct  float64 // remaining memory available to data
+}
+
+// Storage computes the Table 2 storage breakdown analytically.
+//
+// Model (validated against all sixteen published cells):
+//   - the data region D plus all metadata fills physical memory exactly;
+//   - global64+MT stores an 8-byte counter per 64-byte block (C = D/8) and a
+//     Merkle tree over data+counters costing (D+C)·r/(1−r), r = MACbytes/64;
+//   - AISE+BMT stores one counter block per page (C = D/64), a per-block
+//     data MAC region D·r, and a Bonsai tree over counters C·r/(1−r);
+//   - the page root directory holds one MAC per swap page with swap memory
+//     sized equal to the data region: P = D·MACbytes/PageSize.
+func Storage(s Scheme, macBits int) (StorageBreakdown, error) {
+	g, err := Geometry(macBits)
+	if err != nil {
+		return StorageBreakdown{}, err
+	}
+	r := float64(g.MACBytes) / BlockSize
+	tree := r / (1 - r)
+	root := float64(g.MACBytes) / PageSize
+
+	// Solve D·k = 100 where k is the total memory per unit of data.
+	var ctr, treeK float64
+	switch s {
+	case Global64MT:
+		ctr = 1.0 / 8
+		treeK = (1 + ctr) * tree
+	case AISEBMT:
+		ctr = 1.0 / BlocksPerPage
+		treeK = r + ctr*tree // data MACs + Bonsai tree over counters
+	default:
+		return StorageBreakdown{}, fmt.Errorf("layout: unknown scheme %v", s)
+	}
+	k := 1 + ctr + treeK + root
+	d := 100 / k
+	b := StorageBreakdown{
+		Scheme:  s,
+		MACBits: macBits,
+		TreePct: d * treeK,
+		RootPct: d * root,
+		CtrPct:  d * ctr,
+		DataPct: d,
+	}
+	b.TotalPct = b.TreePct + b.RootPct + b.CtrPct
+	return b, nil
+}
+
+// MemoryConfig describes the simulated machine's physical memory and the
+// concrete region layout derived from it.
+type MemoryConfig struct {
+	TotalBytes uint64 // physical memory size (paper: 1 GB)
+	MACBits    int
+	Scheme     Scheme
+}
+
+// Regions is the concrete physical placement of each metadata region. Data
+// occupies [0, DataBytes); metadata regions follow contiguously.
+type Regions struct {
+	DataBytes    uint64
+	CtrBase      Addr
+	CtrBytes     uint64
+	MACBase      Addr // per-block data MACs (AISE+BMT) or level-0 tree MACs
+	MACBytes     uint64
+	TreeBase     Addr // internal tree nodes above level 0
+	TreeBytes    uint64
+	RootDirBase  Addr
+	RootDirBytes uint64
+}
+
+// End returns the first address past the last region.
+func (r Regions) End() Addr { return r.RootDirBase + Addr(r.RootDirBytes) }
+
+// Layout derives a concrete region placement for cfg. Sizes are rounded up
+// to whole pages so every region is block- and page-aligned.
+func Layout(cfg MemoryConfig) (Regions, error) {
+	bd, err := Storage(cfg.Scheme, cfg.MACBits)
+	if err != nil {
+		return Regions{}, err
+	}
+	g, _ := Geometry(cfg.MACBits)
+	total := float64(cfg.TotalBytes)
+	roundPage := func(f float64) uint64 {
+		u := uint64(f)
+		return (u + PageSize - 1) &^ (PageSize - 1)
+	}
+	var reg Regions
+	reg.DataBytes = roundPage(total * bd.DataPct / 100)
+	dataBlocks := reg.DataBytes / BlockSize
+
+	switch cfg.Scheme {
+	case Global64MT:
+		reg.CtrBytes = roundPage(float64(dataBlocks * 8))
+	case AISEBMT:
+		reg.CtrBytes = roundPage(float64(reg.DataBytes / BlocksPerPage))
+	}
+	// Level-0 MACs: one MAC per protected block (data, plus counters for MT).
+	protBlocks := dataBlocks
+	if cfg.Scheme == Global64MT {
+		protBlocks += reg.CtrBytes / BlockSize
+	}
+	if cfg.Scheme == AISEBMT {
+		// Data MACs cover data blocks; the Bonsai level-0 MACs cover counter
+		// blocks and live in the tree region below.
+		reg.MACBytes = roundPage(float64(dataBlocks) * float64(g.MACBytes))
+	} else {
+		reg.MACBytes = roundPage(float64(protBlocks) * float64(g.MACBytes))
+	}
+	// Internal tree nodes above level 0.
+	var leaves uint64
+	if cfg.Scheme == AISEBMT {
+		leaves = reg.CtrBytes / BlockSize // Bonsai: counter blocks are leaves
+		// Bonsai level-0 MACs (one per counter block) are part of the tree
+		// region, plus all internal levels above them.
+		treeBytes := leaves * uint64(g.MACBytes)
+		for n := (leaves + uint64(g.Arity) - 1) / uint64(g.Arity); n >= 1; n = (n + uint64(g.Arity) - 1) / uint64(g.Arity) {
+			treeBytes += n * uint64(g.MACBytes)
+			if n == 1 {
+				break
+			}
+		}
+		reg.TreeBytes = roundPage(float64(treeBytes))
+	} else {
+		// Standard MT: level-0 MACs live in the MAC region; internal levels
+		// aggregate MAC blocks upward.
+		macBlocks := reg.MACBytes / BlockSize
+		var treeBytes uint64
+		for n := macBlocks; n >= 1; n = (n + uint64(g.Arity) - 1) / uint64(g.Arity) {
+			treeBytes += n * uint64(g.MACBytes)
+			if n == 1 {
+				break
+			}
+		}
+		reg.TreeBytes = roundPage(float64(treeBytes))
+	}
+	// Page root directory: one MAC per swap page, swap sized = data region.
+	reg.RootDirBytes = roundPage(float64(reg.DataBytes/PageSize) * float64(g.MACBytes))
+
+	reg.CtrBase = Addr(reg.DataBytes)
+	reg.MACBase = reg.CtrBase + Addr(reg.CtrBytes)
+	reg.TreeBase = reg.MACBase + Addr(reg.MACBytes)
+	reg.RootDirBase = reg.TreeBase + Addr(reg.TreeBytes)
+	return reg, nil
+}
+
+// CounterBlockAddr returns the address of the counter block covering the
+// data page that contains data address a (AISE split-counter layout: the
+// i-th page's counters live in the i-th 64-byte block of the counter
+// region).
+func (r Regions) CounterBlockAddr(a Addr) Addr {
+	page := uint64(a) / PageSize
+	return r.CtrBase + Addr(page*BlockSize)
+}
+
+// DataMACAddr returns the address of the MAC slot for the data block
+// containing a, given the MAC width.
+func (r Regions) DataMACAddr(a Addr, macBytes int) Addr {
+	blk := uint64(a) / BlockSize
+	return r.MACBase + Addr(blk*uint64(macBytes))
+}

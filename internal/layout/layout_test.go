@@ -1,0 +1,204 @@
+package layout
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrHelpers(t *testing.T) {
+	a := Addr(0x12345)
+	if got := a.BlockAddr(); got != 0x12340 {
+		t.Errorf("BlockAddr = %#x", got)
+	}
+	if got := a.PageAddr(); got != 0x12000 {
+		t.Errorf("PageAddr = %#x", got)
+	}
+	if got := a.PageOffset(); got != 0x345 {
+		t.Errorf("PageOffset = %#x", got)
+	}
+	if got := a.BlockInPage(); got != 0x345/64 {
+		t.Errorf("BlockInPage = %d", got)
+	}
+	if got := Addr(0x30).ChunkInBlock(); got != 3 {
+		t.Errorf("ChunkInBlock = %d", got)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	cases := []struct {
+		bits, arity int
+	}{{32, 16}, {64, 8}, {128, 4}, {256, 2}}
+	for _, c := range cases {
+		g, err := Geometry(c.bits)
+		if err != nil {
+			t.Fatalf("Geometry(%d): %v", c.bits, err)
+		}
+		if g.Arity != c.arity {
+			t.Errorf("Geometry(%d).Arity = %d, want %d", c.bits, g.Arity, c.arity)
+		}
+	}
+	if _, err := Geometry(96); err == nil {
+		t.Error("Geometry(96): want error")
+	}
+}
+
+func TestTreeLevels(t *testing.T) {
+	cases := []struct{ n, arity, want int }{
+		{1, 4, 0}, {2, 4, 1}, {4, 4, 1}, {5, 4, 2}, {16, 4, 2}, {17, 4, 3},
+		{1 << 20, 4, 10}, {64, 8, 2},
+	}
+	for _, c := range cases {
+		if got := TreeLevels(c.n, c.arity); got != c.want {
+			t.Errorf("TreeLevels(%d,%d) = %d, want %d", c.n, c.arity, got, c.want)
+		}
+	}
+}
+
+// TestStorageMatchesTable2 checks every cell of the paper's Table 2 to
+// within 0.03 percentage points.
+func TestStorageMatchesTable2(t *testing.T) {
+	cases := []struct {
+		scheme                 Scheme
+		macBits                int
+		tree, root, ctr, total float64
+	}{
+		{Global64MT, 256, 49.83, 0.35, 5.54, 55.71},
+		{AISEBMT, 256, 33.50, 0.51, 1.02, 35.03},
+		{Global64MT, 128, 24.94, 0.26, 8.31, 33.51},
+		{AISEBMT, 128, 20.02, 0.31, 1.23, 21.55},
+		{Global64MT, 64, 12.48, 0.15, 9.71, 22.34},
+		{AISEBMT, 64, 11.11, 0.17, 1.36, 12.65},
+		{Global64MT, 32, 6.24, 0.08, 10.41, 16.73},
+		{AISEBMT, 32, 5.88, 0.09, 1.45, 7.42},
+	}
+	for _, c := range cases {
+		got, err := Storage(c.scheme, c.macBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(name string, got, want float64) {
+			if math.Abs(got-want) > 0.03 {
+				t.Errorf("%v/%db %s = %.2f%%, want %.2f%%", c.scheme, c.macBits, name, got, want)
+			}
+		}
+		check("tree", got.TreePct, c.tree)
+		check("root", got.RootPct, c.root)
+		check("ctr", got.CtrPct, c.ctr)
+		check("total", got.TotalPct, c.total)
+	}
+}
+
+// TestStorageConserved: data + metadata must account for all memory.
+func TestStorageConserved(t *testing.T) {
+	for _, s := range []Scheme{Global64MT, AISEBMT} {
+		for _, bits := range []int{32, 64, 128, 256} {
+			b, err := Storage(s, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := b.DataPct + b.TotalPct
+			if math.Abs(sum-100) > 1e-9 {
+				t.Errorf("%v/%db: data+overhead = %.6f%%", s, bits, sum)
+			}
+		}
+	}
+}
+
+// TestAISEAlwaysCheaper: the paper's key claim — AISE+BMT uses strictly less
+// metadata than global64+MT at every MAC size.
+func TestAISEAlwaysCheaper(t *testing.T) {
+	for _, bits := range []int{32, 64, 128, 256} {
+		g, _ := Storage(Global64MT, bits)
+		a, _ := Storage(AISEBMT, bits)
+		if a.TotalPct >= g.TotalPct {
+			t.Errorf("%db: AISE+BMT %.2f%% >= global64+MT %.2f%%", bits, a.TotalPct, g.TotalPct)
+		}
+	}
+	// Paper: 2.3x gap at 32-bit MACs, 1.6x at 256-bit.
+	g32, _ := Storage(Global64MT, 32)
+	a32, _ := Storage(AISEBMT, 32)
+	if ratio := g32.TotalPct / a32.TotalPct; ratio < 2.0 || ratio > 2.6 {
+		t.Errorf("32b overhead ratio = %.2f, want ~2.3", ratio)
+	}
+	g256, _ := Storage(Global64MT, 256)
+	a256, _ := Storage(AISEBMT, 256)
+	if ratio := g256.TotalPct / a256.TotalPct; ratio < 1.4 || ratio > 1.8 {
+		t.Errorf("256b overhead ratio = %.2f, want ~1.6", ratio)
+	}
+}
+
+func TestLayoutRegions(t *testing.T) {
+	cfg := MemoryConfig{TotalBytes: 1 << 30, MACBits: 128, Scheme: AISEBMT}
+	reg, err := Layout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.DataBytes%PageSize != 0 {
+		t.Error("data region not page aligned")
+	}
+	if reg.CtrBase != Addr(reg.DataBytes) {
+		t.Error("counter region does not follow data region")
+	}
+	if reg.CtrBytes != roundUpPage(reg.DataBytes/BlocksPerPage) {
+		t.Errorf("counter region %d bytes, want %d", reg.CtrBytes, roundUpPage(reg.DataBytes/BlocksPerPage))
+	}
+	// The whole layout must fit in physical memory with a small margin for
+	// page rounding.
+	if uint64(reg.End()) > cfg.TotalBytes+16*PageSize {
+		t.Errorf("layout end %#x exceeds memory size %#x", reg.End(), cfg.TotalBytes)
+	}
+	// Data MAC region: one 16-byte MAC per data block.
+	if reg.MACBytes < reg.DataBytes/BlockSize*16 {
+		t.Errorf("MAC region too small: %d", reg.MACBytes)
+	}
+}
+
+func TestLayoutGlobal64(t *testing.T) {
+	cfg := MemoryConfig{TotalBytes: 1 << 30, MACBits: 128, Scheme: Global64MT}
+	reg, err := Layout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.CtrBytes != roundUpPage(reg.DataBytes/8) {
+		t.Errorf("global64 counter region %d, want %d", reg.CtrBytes, reg.DataBytes/8)
+	}
+	if uint64(reg.End()) > cfg.TotalBytes+16*PageSize {
+		t.Errorf("layout end %#x exceeds memory", reg.End())
+	}
+}
+
+func roundUpPage(u uint64) uint64 { return (u + PageSize - 1) &^ (PageSize - 1) }
+
+// TestCounterBlockAddr: every block of a page maps to the same counter
+// block; consecutive pages map to consecutive counter blocks (property).
+func TestCounterBlockAddr(t *testing.T) {
+	reg, err := Layout(MemoryConfig{TotalBytes: 1 << 30, MACBits: 128, Scheme: AISEBMT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(page uint16, off1, off2 uint16) bool {
+		base := Addr(uint64(page) * PageSize)
+		a1 := base + Addr(off1%PageSize)
+		a2 := base + Addr(off2%PageSize)
+		c1 := reg.CounterBlockAddr(a1)
+		c2 := reg.CounterBlockAddr(a2)
+		return c1 == c2 && c1 == reg.CtrBase+Addr(uint64(page)*BlockSize)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDataMACAddrDistinct: distinct data blocks get distinct MAC slots.
+func TestDataMACAddrDistinct(t *testing.T) {
+	reg, _ := Layout(MemoryConfig{TotalBytes: 1 << 30, MACBits: 128, Scheme: AISEBMT})
+	seen := map[Addr]uint64{}
+	for blk := uint64(0); blk < 1000; blk++ {
+		a := reg.DataMACAddr(Addr(blk*BlockSize), 16)
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("blocks %d and %d share MAC slot %#x", prev, blk, a)
+		}
+		seen[a] = blk
+	}
+}

@@ -1,0 +1,27 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDeserialize: arbitrary bytes must never panic the image parser.
+func FuzzDeserialize(f *testing.F) {
+	m := New(1 << 12)
+	var b Block
+	b[0] = 1
+	m.WriteBlock(64, &b)
+	var buf bytes.Buffer
+	m.Serialize(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fresh := New(1 << 12)
+		if err := fresh.Deserialize(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Successful parses leave a usable memory.
+		var out Block
+		fresh.ReadBlock(0, &out)
+	})
+}

@@ -1,0 +1,210 @@
+// Package mem models the untrusted off-chip physical memory of the secure
+// processor. It is a sparse, block-granular byte store: everything outside
+// the processor chip in the paper's attack model lives here (data,
+// ciphertext, counter blocks, MACs, Merkle tree nodes, the page root
+// directory) and all of it can be observed and corrupted by an adversary via
+// the Tamper APIs.
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aisebmt/internal/layout"
+)
+
+// Block is one 64-byte memory block.
+type Block [layout.BlockSize]byte
+
+// Region names a contiguous range of physical memory for accounting and
+// debug output.
+type Region struct {
+	Name string
+	Base layout.Addr
+	Size uint64
+}
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a layout.Addr) bool {
+	return a >= r.Base && uint64(a-r.Base) < r.Size
+}
+
+// Memory is a sparse physical memory. Unwritten blocks read as zero, like
+// DRAM after a deterministic simulator reset. Memory is safe for concurrent
+// readers but writers require external synchronization at the memory
+// controller, mirroring a single memory channel.
+type Memory struct {
+	mu      sync.RWMutex
+	size    uint64
+	blocks  map[layout.Addr]*Block
+	regions []Region
+
+	// Traffic counters (blocks transferred), maintained for experiments.
+	Reads  uint64
+	Writes uint64
+
+	// Observer, when set, is called for every processor-visible block
+	// transfer with the operation ("read"/"write") and block address. It
+	// models a bus analyzer: §3's attacker sees every address on the bus
+	// even when the data is encrypted. Attacker Tamper/Snapshot operations
+	// are not reported (the attacker already knows its own actions).
+	Observer func(op string, addr layout.Addr)
+}
+
+// New creates a physical memory of the given byte size.
+func New(size uint64) *Memory {
+	return &Memory{size: size, blocks: make(map[layout.Addr]*Block)}
+}
+
+// Size returns the physical memory size in bytes.
+func (m *Memory) Size() uint64 { return m.size }
+
+// AddRegion registers a named region for accounting. Regions may not
+// overlap; a panic here indicates a layout bug, not a runtime condition.
+func (m *Memory) AddRegion(r Region) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ex := range m.regions {
+		if r.Base < ex.Base+layout.Addr(ex.Size) && ex.Base < r.Base+layout.Addr(r.Size) {
+			panic(fmt.Sprintf("mem: region %q overlaps %q", r.Name, ex.Name))
+		}
+	}
+	m.regions = append(m.regions, r)
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+}
+
+// RegionOf returns the region containing a, if any.
+func (m *Memory) RegionOf(a layout.Addr) (Region, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, r := range m.regions {
+		if r.Contains(a) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Regions returns the registered regions in address order.
+func (m *Memory) Regions() []Region {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Region, len(m.regions))
+	copy(out, m.regions)
+	return out
+}
+
+func (m *Memory) checkAddr(a layout.Addr) {
+	if uint64(a) >= m.size {
+		panic(fmt.Sprintf("mem: address %#x outside physical memory of %d bytes", a, m.size))
+	}
+}
+
+// ReadBlock copies the block at the (block-aligned) address into dst.
+func (m *Memory) ReadBlock(a layout.Addr, dst *Block) {
+	a = a.BlockAddr()
+	m.checkAddr(a)
+	m.mu.RLock()
+	b := m.blocks[a]
+	m.mu.RUnlock()
+	if b == nil {
+		*dst = Block{}
+	} else {
+		*dst = *b
+	}
+	m.Reads++
+	if m.Observer != nil {
+		m.Observer("read", a)
+	}
+}
+
+// WriteBlock stores src at the (block-aligned) address.
+func (m *Memory) WriteBlock(a layout.Addr, src *Block) {
+	a = a.BlockAddr()
+	m.checkAddr(a)
+	m.mu.Lock()
+	b := m.blocks[a]
+	if b == nil {
+		b = &Block{}
+		m.blocks[a] = b
+	}
+	*b = *src
+	m.mu.Unlock()
+	m.Writes++
+	if m.Observer != nil {
+		m.Observer("write", a)
+	}
+}
+
+// Read copies n = len(dst) bytes starting at a, crossing blocks as needed.
+func (m *Memory) Read(a layout.Addr, dst []byte) {
+	for len(dst) > 0 {
+		var blk Block
+		m.ReadBlock(a, &blk)
+		off := int(a) & (layout.BlockSize - 1)
+		n := copy(dst, blk[off:])
+		dst = dst[n:]
+		a += layout.Addr(n)
+	}
+}
+
+// Write stores src starting at a, crossing blocks as needed.
+func (m *Memory) Write(a layout.Addr, src []byte) {
+	for len(src) > 0 {
+		var blk Block
+		m.ReadBlock(a, &blk)
+		off := int(a) & (layout.BlockSize - 1)
+		n := copy(blk[off:], src)
+		m.WriteBlock(a, &blk)
+		src = src[n:]
+		a += layout.Addr(n)
+	}
+}
+
+// PopulatedBlocks returns the number of blocks that have ever been written.
+func (m *Memory) PopulatedBlocks() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.blocks)
+}
+
+// Snapshot returns a deep copy of the block at a, or a zero block if never
+// written. Attackers use it to record values for later replay. It bypasses
+// the traffic counters and the bus observer: it is the attacker looking,
+// not the processor transferring.
+func (m *Memory) Snapshot(a layout.Addr) Block {
+	a = a.BlockAddr()
+	m.checkAddr(a)
+	m.mu.RLock()
+	b := m.blocks[a]
+	m.mu.RUnlock()
+	if b == nil {
+		return Block{}
+	}
+	return *b
+}
+
+// Tamper overwrites the block at a without going through the processor,
+// modeling a physical attacker on the memory bus or DIMM. It bypasses the
+// traffic counters: the processor never sees the write happen.
+func (m *Memory) Tamper(a layout.Addr, b Block) {
+	a = a.BlockAddr()
+	m.checkAddr(a)
+	m.mu.Lock()
+	nb := b
+	m.blocks[a] = &nb
+	m.mu.Unlock()
+}
+
+// TamperBytes corrupts len(src) bytes at a, preserving surrounding bytes.
+func (m *Memory) TamperBytes(a layout.Addr, src []byte) {
+	for len(src) > 0 {
+		blk := m.Snapshot(a)
+		off := int(a) & (layout.BlockSize - 1)
+		n := copy(blk[off:], src)
+		m.Tamper(a, blk)
+		src = src[n:]
+		a += layout.Addr(n)
+	}
+}

@@ -1,0 +1,177 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"aisebmt/internal/layout"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New(1 << 20)
+	var b Block
+	m.ReadBlock(0x1000, &b)
+	if b != (Block{}) {
+		t.Error("unwritten block is not zero")
+	}
+}
+
+func TestReadWriteBlock(t *testing.T) {
+	m := New(1 << 20)
+	var in Block
+	for i := range in {
+		in[i] = byte(i)
+	}
+	m.WriteBlock(0x40, &in)
+	var out Block
+	m.ReadBlock(0x40, &out)
+	if out != in {
+		t.Error("read back differs")
+	}
+	// Unaligned address reads the containing block.
+	m.ReadBlock(0x7f, &out)
+	if out != in {
+		t.Error("unaligned read did not resolve to containing block")
+	}
+}
+
+func TestByteSpanningAccess(t *testing.T) {
+	m := New(1 << 20)
+	src := make([]byte, 200)
+	for i := range src {
+		src[i] = byte(i * 3)
+	}
+	m.Write(0x3f, src) // crosses three block boundaries
+	dst := make([]byte, 200)
+	m.Read(0x3f, dst)
+	if !bytes.Equal(src, dst) {
+		t.Error("spanning read/write mismatch")
+	}
+	// Neighbouring byte untouched.
+	one := make([]byte, 1)
+	m.Read(0x3e, one)
+	if one[0] != 0 {
+		t.Error("write spilled below start address")
+	}
+}
+
+// TestReadWriteProperty: random writes then reads return the same data.
+func TestReadWriteProperty(t *testing.T) {
+	m := New(1 << 24)
+	f := func(addr uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		a := layout.Addr(addr % (1<<24 - 1024))
+		m.Write(a, data)
+		got := make([]byte, len(data))
+		m.Read(a, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	m := New(1 << 20)
+	m.AddRegion(Region{Name: "data", Base: 0, Size: 1 << 16})
+	m.AddRegion(Region{Name: "ctr", Base: 1 << 16, Size: 1 << 12})
+	if r, ok := m.RegionOf(0x100); !ok || r.Name != "data" {
+		t.Errorf("RegionOf(0x100) = %v, %v", r, ok)
+	}
+	if r, ok := m.RegionOf(1 << 16); !ok || r.Name != "ctr" {
+		t.Errorf("RegionOf(ctr base) = %v, %v", r, ok)
+	}
+	if _, ok := m.RegionOf(1 << 19); ok {
+		t.Error("RegionOf(unmapped) = ok")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping region did not panic")
+		}
+	}()
+	m.AddRegion(Region{Name: "bad", Base: 0x8000, Size: 1 << 16})
+}
+
+func TestTrafficCounters(t *testing.T) {
+	m := New(1 << 20)
+	var b Block
+	m.ReadBlock(0, &b)
+	m.WriteBlock(0, &b)
+	m.WriteBlock(64, &b)
+	if m.Reads != 1 || m.Writes != 2 {
+		t.Errorf("traffic = %d reads, %d writes; want 1, 2", m.Reads, m.Writes)
+	}
+	// Snapshot and Tamper must not perturb the processor-visible counters.
+	m.Snapshot(0)
+	m.Tamper(0, Block{1})
+	if m.Reads != 1 || m.Writes != 2 {
+		t.Errorf("attacker ops perturbed traffic counters: %d/%d", m.Reads, m.Writes)
+	}
+}
+
+func TestTamper(t *testing.T) {
+	m := New(1 << 20)
+	var in Block
+	in[5] = 0xaa
+	m.WriteBlock(0x80, &in)
+	snap := m.Snapshot(0x80)
+	if snap != in {
+		t.Error("snapshot differs from written block")
+	}
+	m.TamperBytes(0x85, []byte{0x55})
+	var out Block
+	m.ReadBlock(0x80, &out)
+	if out[5] != 0x55 {
+		t.Errorf("tamper byte = %#x, want 0x55", out[5])
+	}
+	if out[4] != 0 || out[6] != 0 {
+		t.Error("tamper disturbed neighbouring bytes")
+	}
+	// Replay: restore the old value.
+	m.Tamper(0x80, snap)
+	m.ReadBlock(0x80, &out)
+	if out != in {
+		t.Error("replayed block does not match original")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(1 << 12)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	var b Block
+	m.ReadBlock(1<<12, &b)
+}
+
+func TestPopulatedBlocks(t *testing.T) {
+	m := New(1 << 20)
+	var b Block
+	m.WriteBlock(0, &b)
+	m.WriteBlock(64, &b)
+	m.WriteBlock(0, &b) // rewrite, not a new block
+	if got := m.PopulatedBlocks(); got != 2 {
+		t.Errorf("PopulatedBlocks = %d, want 2", got)
+	}
+}
+
+func TestSizeAndRegionsAccessors(t *testing.T) {
+	m := New(1 << 20)
+	if m.Size() != 1<<20 {
+		t.Errorf("Size = %d", m.Size())
+	}
+	m.AddRegion(Region{Name: "b", Base: 1 << 16, Size: 4096})
+	m.AddRegion(Region{Name: "a", Base: 0, Size: 4096})
+	regs := m.Regions()
+	if len(regs) != 2 || regs[0].Name != "a" || regs[1].Name != "b" {
+		t.Errorf("Regions = %v (want address order)", regs)
+	}
+}

@@ -1,0 +1,84 @@
+// Package paper records the numbers published in the MICRO 2007 paper so
+// the harness can compare a fresh campaign against them mechanically. Each
+// target carries the tolerance appropriate to its kind: storage results are
+// analytic and must match tightly; performance results come from a
+// different substrate (SESC vs our trace-driven model) and are checked for
+// *shape* — ordering, rough magnitude bands, and trend direction.
+package paper
+
+// Target is one published number with an acceptance band.
+type Target struct {
+	// ID names the artifact (e.g. "fig6.global64+MT.avg").
+	ID string
+	// Paper is the published value (fractions for percentages).
+	Paper float64
+	// Lo and Hi bound the acceptable measured value.
+	Lo, Hi float64
+	// Source cites where in the paper the value appears.
+	Source string
+}
+
+// PerformanceTargets are the evaluation-section results checked for shape:
+// the bands are generous where the substrate substitution matters and tight
+// where the paper's mechanism fully determines the outcome.
+var PerformanceTargets = []Target{
+	// Figure 6 and the abstract's headline claim.
+	{ID: "fig6.global64+MT.avg", Paper: 0.259, Lo: 0.13, Hi: 0.45, Source: "§7.2: average 25.9%"},
+	{ID: "fig6.AISE+BMT.avg", Paper: 0.018, Lo: 0.005, Hi: 0.06, Source: "§7.2: a mere 1.8%"},
+	// Figure 7.
+	{ID: "fig7.AISE.avg", Paper: 0.016, Lo: 0.002, Hi: 0.04, Source: "§7.2: 1.6% average overhead"},
+	{ID: "fig7.global32.avg", Paper: 0.04, Lo: 0.015, Hi: 0.12, Source: "§7.2: around 4%"},
+	{ID: "fig7.global64.avg", Paper: 0.06, Lo: 0.025, Hi: 0.16, Source: "§7.2: around 6%"},
+	// Figure 8.
+	{ID: "fig8.AISE+MT.avg", Paper: 0.121, Lo: 0.05, Hi: 0.25, Source: "§7.2: 12.1%"},
+	{ID: "fig8.AISE+BMT.avg", Paper: 0.018, Lo: 0.005, Hi: 0.06, Source: "§7.2: only 1.8%"},
+	// Figure 9 (fractions of L2 holding data).
+	{ID: "fig9.base.datashare", Paper: 1.00, Lo: 0.99, Hi: 1.0, Source: "§7.2 baseline"},
+	{ID: "fig9.AISE+MT.datashare", Paper: 0.68, Lo: 0.45, Hi: 0.85, Source: "§7.2: data occupies only 68%"},
+	{ID: "fig9.AISE+BMT.datashare", Paper: 0.98, Lo: 0.90, Hi: 1.0, Source: "§7.2: data occupies 98%"},
+	// Figure 10.
+	{ID: "fig10.base.l2miss", Paper: 0.378, Lo: 0.30, Hi: 0.50, Source: "§7.2: 37.8%"},
+	{ID: "fig10.AISE+MT.l2miss", Paper: 0.475, Lo: 0.38, Hi: 0.60, Source: "§7.2: 47.5%"},
+	{ID: "fig10.AISE+BMT.l2miss", Paper: 0.385, Lo: 0.31, Hi: 0.51, Source: "§7.2: 38.5%"},
+	{ID: "fig10.base.bus", Paper: 0.14, Lo: 0.08, Hi: 0.22, Source: "§7.2: 14%"},
+	{ID: "fig10.AISE+MT.bus", Paper: 0.24, Lo: 0.15, Hi: 0.40, Source: "§7.2: 24%"},
+	{ID: "fig10.AISE+BMT.bus", Paper: 0.16, Lo: 0.10, Hi: 0.30, Source: "§7.2: 16%"},
+	// Figure 11 endpoints.
+	{ID: "fig11.AISE+MT.32b", Paper: 0.039, Lo: 0.01, Hi: 0.09, Source: "§7.3: 3.9% at 32-bit"},
+	{ID: "fig11.AISE+MT.256b", Paper: 0.532, Lo: 0.20, Hi: 0.90, Source: "§7.3: 53.2% at 256-bit"},
+	{ID: "fig11.AISE+BMT.32b", Paper: 0.014, Lo: 0.004, Hi: 0.05, Source: "§7.3: 1.4% at 32-bit"},
+	{ID: "fig11.AISE+BMT.256b", Paper: 0.024, Lo: 0.008, Hi: 0.08, Source: "§7.3: 2.4% at 256-bit"},
+}
+
+// StorageTargets are Table 2's totals; these are analytic and must match to
+// a few hundredths of a percentage point.
+var StorageTargets = []Target{
+	{ID: "table2.global64+MT.256b", Paper: 55.71, Lo: 55.68, Hi: 55.74, Source: "Table 2"},
+	{ID: "table2.AISE+BMT.256b", Paper: 35.03, Lo: 35.00, Hi: 35.06, Source: "Table 2"},
+	{ID: "table2.global64+MT.128b", Paper: 33.51, Lo: 33.48, Hi: 33.54, Source: "Table 2"},
+	{ID: "table2.AISE+BMT.128b", Paper: 21.55, Lo: 21.52, Hi: 21.58, Source: "Table 2"},
+	{ID: "table2.global64+MT.64b", Paper: 22.34, Lo: 22.31, Hi: 22.37, Source: "Table 2"},
+	{ID: "table2.AISE+BMT.64b", Paper: 12.65, Lo: 12.62, Hi: 12.68, Source: "Table 2"},
+	{ID: "table2.global64+MT.32b", Paper: 16.73, Lo: 16.70, Hi: 16.76, Source: "Table 2"},
+	{ID: "table2.AISE+BMT.32b", Paper: 7.42, Lo: 7.39, Hi: 7.45, Source: "Table 2"},
+}
+
+// Check reports whether a measured value falls in the target's band.
+func (t Target) Check(measured float64) bool {
+	return measured >= t.Lo && measured <= t.Hi
+}
+
+// ByID returns the target with the given ID from either list.
+func ByID(id string) (Target, bool) {
+	for _, t := range PerformanceTargets {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	for _, t := range StorageTargets {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Target{}, false
+}

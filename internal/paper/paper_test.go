@@ -1,0 +1,49 @@
+package paper
+
+import "testing"
+
+func TestTargetsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, list := range [][]Target{PerformanceTargets, StorageTargets} {
+		for _, tg := range list {
+			if tg.ID == "" || tg.Source == "" {
+				t.Errorf("target %+v incomplete", tg)
+			}
+			if seen[tg.ID] {
+				t.Errorf("duplicate target %q", tg.ID)
+			}
+			seen[tg.ID] = true
+			if !(tg.Lo <= tg.Paper && tg.Paper <= tg.Hi) {
+				t.Errorf("%s: published value %.4f outside its own band [%.4f, %.4f]",
+					tg.ID, tg.Paper, tg.Lo, tg.Hi)
+			}
+		}
+	}
+	if len(PerformanceTargets) < 15 || len(StorageTargets) != 8 {
+		t.Errorf("target counts: %d performance, %d storage",
+			len(PerformanceTargets), len(StorageTargets))
+	}
+}
+
+func TestCheck(t *testing.T) {
+	tg := Target{ID: "x", Lo: 0.1, Hi: 0.2}
+	if !tg.Check(0.15) || tg.Check(0.05) || tg.Check(0.25) {
+		t.Error("Check band logic wrong")
+	}
+	// Boundaries are inclusive.
+	if !tg.Check(0.1) || !tg.Check(0.2) {
+		t.Error("band boundaries not inclusive")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig6.AISE+BMT.avg"); !ok {
+		t.Error("known performance target not found")
+	}
+	if _, ok := ByID("table2.AISE+BMT.128b"); !ok {
+		t.Error("known storage target not found")
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Error("bogus target found")
+	}
+}

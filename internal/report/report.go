@@ -1,0 +1,86 @@
+// Package report renders campaign results as a Markdown document: the
+// headline comparison, the full reproduction audit against the paper's
+// published numbers, and the per-benchmark detail tables. cmd/experiments
+// uses it to regenerate the measured sections of EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"aisebmt/internal/experiments"
+	"aisebmt/internal/stats"
+)
+
+// Write renders a full Markdown report for an audit run.
+func Write(w io.Writer, cfg experiments.Config, comps []experiments.Comparison, series []experiments.Series) error {
+	var b strings.Builder
+	b.WriteString("# Reproduction report\n\n")
+	fmt.Fprintf(&b, "Campaign: %d warmup + %d measured accesses per benchmark, seed %d.\n\n",
+		cfg.Warmup, cfg.N, cfg.Seed)
+
+	passes := 0
+	for _, c := range comps {
+		if c.Pass {
+			passes++
+		}
+	}
+	fmt.Fprintf(&b, "**Audit: %d of %d published targets within their bands.**\n\n", passes, len(comps))
+
+	b.WriteString("## Paper targets\n\n")
+	b.WriteString("| artifact | paper | measured | band | verdict |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, c := range comps {
+		verdict := "pass"
+		if !c.Pass {
+			verdict = "**FAIL**"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | [%s, %s] | %s |\n",
+			c.Target.ID, fmtVal(c.Target.ID, c.Target.Paper), fmtVal(c.Target.ID, c.Measured),
+			fmtVal(c.Target.ID, c.Target.Lo), fmtVal(c.Target.ID, c.Target.Hi), verdict)
+	}
+	b.WriteString("\n")
+
+	if len(series) > 0 {
+		b.WriteString("## Per-benchmark overheads\n\n")
+		base := series[0]
+		names := make([]string, 0, len(base.ByBench))
+		for n := range base.ByBench {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("| benchmark |")
+		for _, s := range series[1:] {
+			fmt.Fprintf(&b, " %s |", s.Scheme)
+		}
+		b.WriteString("\n|---|")
+		for range series[1:] {
+			b.WriteString("---|")
+		}
+		b.WriteString("\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "| %s |", n)
+			for _, s := range series[1:] {
+				fmt.Fprintf(&b, " %s |", stats.Pct(s.ByBench[n].Overhead(base.ByBench[n])))
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("| **avg(21)** |")
+		for _, s := range series[1:] {
+			fmt.Fprintf(&b, " **%s** |", stats.Pct(s.AvgOverhead))
+		}
+		b.WriteString("\n\n")
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtVal(id string, v float64) string {
+	if strings.HasPrefix(id, "table2") {
+		return fmt.Sprintf("%.2f%%", v)
+	}
+	return stats.Pct(v)
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"aisebmt/internal/experiments"
+	"aisebmt/internal/paper"
+	"aisebmt/internal/sim"
+)
+
+func TestWriteReport(t *testing.T) {
+	cfg := experiments.Quick()
+	cfg.Warmup, cfg.N = 2000, 10000
+	series, err := experiments.Campaign(cfg, sim.SchemeAISEBMT(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, _ := paper.ByID("fig6.AISE+BMT.avg")
+	comps := []experiments.Comparison{
+		{Target: target, Measured: 0.02, Pass: true},
+	}
+	fail, _ := paper.ByID("fig6.global64+MT.avg")
+	comps = append(comps, experiments.Comparison{Target: fail, Measured: 0.99, Pass: false})
+
+	var b strings.Builder
+	if err := Write(&b, cfg, comps, series); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"1 of 2 published targets",
+		"fig6.AISE+BMT.avg",
+		"**FAIL**",
+		"## Per-benchmark overheads",
+		"| art |",
+		"**avg(21)**",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteReportNoSeries(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, experiments.Quick(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Per-benchmark") {
+		t.Error("empty series produced a detail section")
+	}
+	if !strings.Contains(b.String(), "0 of 0") {
+		t.Error("audit summary missing")
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/trace"
+)
+
+// CMP is a chip multiprocessor built from N Simulator cores that share the
+// uncore: the unified L2, the counter cache, the crypto engines, the Merkle
+// tree state and — critically — the memory bus. The paper motivates AISE
+// partly by the CMP era (§1); this model lets the experiments show how each
+// protection scheme's bandwidth appetite scales with core count.
+//
+// Cores advance in global-time order (the core with the smallest local
+// clock steps next), so shared-resource requests arrive at the bus in
+// nondecreasing time just as on a real interconnect.
+type CMP struct {
+	cores []*Simulator
+}
+
+// NewCMP builds an n-core CMP running the same protection scheme. Private
+// per-core state: L1I/L1D and the trace cursor. Shared: everything else.
+func NewCMP(s Scheme, m Machine, n int) (*CMP, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: core count %d", n)
+	}
+	first, err := New(s, m)
+	if err != nil {
+		return nil, err
+	}
+	cores := []*Simulator{first}
+	for i := 1; i < n; i++ {
+		c, err := New(s, m)
+		if err != nil {
+			return nil, err
+		}
+		// Adopt the shared uncore.
+		c.l2 = first.l2
+		c.ctrC = first.ctrC
+		c.bus = first.bus
+		c.aes = first.aes
+		c.hmacE = first.hmacE
+		c.tree = first.tree
+		cores = append(cores, c)
+	}
+	return &CMP{cores: cores}, nil
+}
+
+// Cores returns the core count.
+func (c *CMP) Cores() int { return len(c.cores) }
+
+// Run drives each core with its own access source for warmup+n accesses,
+// interleaved in global-time order, and returns one Result per core. The
+// instruction front end is disabled in CMP mode (sources' CodeSize is
+// ignored) to keep cross-core interference attributable to data traffic.
+func (c *CMP) Run(gens []Source, warmup, n int, names []string) ([]Result, error) {
+	if len(gens) != len(c.cores) || len(names) != len(c.cores) {
+		return nil, fmt.Errorf("sim: %d cores need %d sources and names, got %d/%d",
+			len(c.cores), len(c.cores), len(gens), len(names))
+	}
+	type coreRun struct {
+		sim  *Simulator
+		gen  Source
+		done int
+		base struct {
+			cycles, instrs, accesses        uint64
+			busy, bytes                     uint64
+			treeFetch, macFetch, exposure   uint64
+			treeLookups, treeMiss           uint64
+			ctrHits, ctrLookups             uint64
+			l2Accesses, l2Misses, l2Samples uint64
+		}
+	}
+	runs := make([]*coreRun, len(c.cores))
+	for i := range runs {
+		runs[i] = &coreRun{sim: c.cores[i], gen: gens[i]}
+	}
+	total := warmup + n
+	// Global-time-ordered interleave.
+	for {
+		var next *coreRun
+		for _, r := range runs {
+			if r.done >= total {
+				continue
+			}
+			if next == nil || r.sim.now < next.sim.now {
+				next = r
+			}
+		}
+		if next == nil {
+			break
+		}
+		next.sim.step(next.gen.Next())
+		next.done++
+		if next.done == warmup {
+			s := next.sim
+			b := &next.base
+			b.cycles, b.instrs, b.accesses = s.cycles, s.instrs, s.accesses
+			b.busy, b.bytes = s.bus.BusyCycles(), s.bus.BytesMoved()
+			b.treeFetch, b.macFetch, b.exposure = s.treeFetch, s.macFetch, s.exposure
+			b.treeLookups, b.treeMiss = s.treeLookups, s.treeMiss
+			b.ctrHits, b.ctrLookups = s.ctrHits, s.ctrLookups
+			l2 := s.l2.Stats()
+			b.l2Accesses, b.l2Misses = l2.Accesses, l2.Misses
+		}
+	}
+	out := make([]Result, len(runs))
+	for i, r := range runs {
+		s := r.sim
+		b := &r.base
+		res := Result{
+			Benchmark:       names[i],
+			Scheme:          s.scheme.Name,
+			Cycles:          s.cycles - b.cycles,
+			Instructions:    s.instrs - b.instrs,
+			MemAccesses:     s.accesses - b.accesses,
+			L2DataShare:     s.l2.Stats().DataShareOfValid(),
+			TreeNodeFetches: s.treeFetch - b.treeFetch,
+			MACFetches:      s.macFetch - b.macFetch,
+			ExposureCycles:  s.exposure - b.exposure,
+		}
+		if res.Cycles > 0 {
+			// Bus counters are shared; report chip-wide utilization against
+			// this core's elapsed time (cores end at similar clocks).
+			res.BusUtilization = float64(s.bus.BusyCycles()-b.busy) / float64(res.Cycles)
+			if res.BusUtilization > 1 {
+				res.BusUtilization = 1
+			}
+			res.BytesMoved = s.bus.BytesMoved() - b.bytes
+		}
+		if s.ctrLookups > b.ctrLookups {
+			res.CtrHitRate = float64(s.ctrHits-b.ctrHits) / float64(s.ctrLookups-b.ctrLookups)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// RunCMPScheme is the convenience wrapper: n cores each running the profile
+// at a disjoint placement in the shared data region.
+func RunCMPScheme(s Scheme, m Machine, p trace.Profile, cores, warmup, n int, seed uint64) ([]Result, error) {
+	cmp, err := NewCMP(s, m, cores)
+	if err != nil {
+		return nil, err
+	}
+	stride := m.DataBytes / uint64(cores) &^ (layout.PageSize - 1)
+	if p.WorkingSet > stride {
+		return nil, fmt.Errorf("sim: working set %d exceeds per-core share %d", p.WorkingSet, stride)
+	}
+	gens := make([]Source, cores)
+	names := make([]string, cores)
+	for i := 0; i < cores; i++ {
+		gens[i] = trace.NewGenerator(p, uint64(i)*stride, seed+uint64(i))
+		names[i] = fmt.Sprintf("%s#%d", p.Name, i)
+	}
+	return cmp.Run(gens, warmup, n, names)
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+
+	"aisebmt/internal/trace"
+)
+
+func runCMP(t *testing.T, s Scheme, bench string, cores int) []Result {
+	t.Helper()
+	p, _ := trace.ProfileByName(bench)
+	rs, err := RunCMPScheme(s, DefaultMachine(), p, cores, 20000, 60000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func maxCycles(rs []Result) uint64 {
+	var m uint64
+	for _, r := range rs {
+		if r.Cycles > m {
+			m = r.Cycles
+		}
+	}
+	return m
+}
+
+func TestCMPSingleCoreMatchesShape(t *testing.T) {
+	// One core through the CMP path behaves like a plain simulator run
+	// (modulo the disabled instruction front end).
+	rs := runCMP(t, Baseline(), "equake", 1)
+	if len(rs) != 1 || rs[0].Cycles == 0 || rs[0].MemAccesses != 60000 {
+		t.Fatalf("single-core CMP result: %+v", rs[0])
+	}
+}
+
+func TestCMPContentionGrows(t *testing.T) {
+	// More cores sharing the bus slow each core down under a bandwidth-heavy
+	// scheme, and the BMT-vs-MT gap persists at four cores.
+	base1 := maxCycles(runCMP(t, Baseline(), "equake", 1))
+	base4 := maxCycles(runCMP(t, Baseline(), "equake", 4))
+	if base4 <= base1 {
+		t.Errorf("4-core baseline (%d) not slower per core than 1-core (%d)", base4, base1)
+	}
+	mt4 := maxCycles(runCMP(t, SchemeGlobal64MT(128), "equake", 4))
+	bmt4 := maxCycles(runCMP(t, SchemeAISEBMT(128), "equake", 4))
+	if !(bmt4 < mt4) {
+		t.Errorf("4-core: BMT (%d) not below global64+MT (%d)", bmt4, mt4)
+	}
+	// Relative overhead at 4 cores must exceed the single-core overhead for
+	// the bandwidth-hungry tree scheme.
+	mt1 := maxCycles(runCMP(t, SchemeGlobal64MT(128), "equake", 1))
+	ovh1 := float64(mt1)/float64(base1) - 1
+	ovh4 := float64(mt4)/float64(base4) - 1
+	if ovh4 <= ovh1 {
+		t.Errorf("global64+MT overhead did not grow with cores: 1-core %.3f, 4-core %.3f", ovh1, ovh4)
+	}
+}
+
+func TestCMPDisjointPlacement(t *testing.T) {
+	p, _ := trace.ProfileByName("mcf") // 100MB working set
+	if _, err := RunCMPScheme(Baseline(), DefaultMachine(), p, 16, 100, 100, 1); err == nil {
+		t.Error("oversubscribed placement accepted (16 x 100MB > 768MB)")
+	}
+	if _, err := RunCMPScheme(Baseline(), DefaultMachine(), p, 4, 100, 100, 1); err != nil {
+		t.Errorf("4 x 100MB placement rejected: %v", err)
+	}
+}
+
+func TestCMPValidation(t *testing.T) {
+	if _, err := NewCMP(Baseline(), DefaultMachine(), 0); err == nil {
+		t.Error("zero cores accepted")
+	}
+	cmp, err := NewCMP(Baseline(), DefaultMachine(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Cores() != 2 {
+		t.Errorf("Cores = %d", cmp.Cores())
+	}
+	if _, err := cmp.Run([]Source{&fixedSource{}}, 10, 10, []string{"a"}); err == nil {
+		t.Error("mismatched source count accepted")
+	}
+}
+
+func TestCMPDeterministic(t *testing.T) {
+	a := runCMP(t, SchemeAISEBMT(128), "art", 2)
+	b := runCMP(t, SchemeAISEBMT(128), "art", 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("core %d results differ across identical runs", i)
+		}
+	}
+}
+
+// TestCMPMixedWorkload: different profiles per core run side by side.
+func TestCMPMixedWorkload(t *testing.T) {
+	cmp, err := NewCMP(SchemeAISEBMT(128), DefaultMachine(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, _ := trace.ProfileByName("art")
+	gzip, _ := trace.ProfileByName("gzip")
+	gens := []Source{
+		trace.NewGenerator(art, 0, 1),
+		trace.NewGenerator(gzip, 256<<20, 2),
+	}
+	rs, err := cmp.Run(gens, 10000, 40000, []string{"art", "gzip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The memory-bound core burns far more cycles than the cache-resident one.
+	if rs[0].Cycles <= rs[1].Cycles {
+		t.Errorf("art core (%d) not slower than gzip core (%d)", rs[0].Cycles, rs[1].Cycles)
+	}
+}

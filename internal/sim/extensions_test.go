@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+
+	"aisebmt/internal/trace"
+)
+
+// TestDirectEncryptionWorst reproduces §2's claim that direct encryption
+// exposes the full cipher latency: it must cost more than AISE on a
+// memory-bound benchmark.
+func TestDirectEncryptionWorst(t *testing.T) {
+	base := run(t, Baseline(), "swim")
+	direct := run(t, SchemeDirect(), "swim")
+	aise := run(t, SchemeAISE(), "swim")
+	if direct.Overhead(base) <= aise.Overhead(base) {
+		t.Errorf("direct %.3f not above AISE %.3f", direct.Overhead(base), aise.Overhead(base))
+	}
+	if direct.ExposureCycles == 0 {
+		t.Error("direct encryption recorded no exposure")
+	}
+}
+
+// TestCounterPredictionHelps: speculative pads must reduce exposure on a
+// counter-cache-hostile benchmark and report a meaningful hit rate.
+func TestCounterPredictionHelps(t *testing.T) {
+	plain := run(t, SchemeAISE(), "mcf")
+	pred := run(t, SchemeAISEPred(), "mcf")
+	if pred.ExposureCycles >= plain.ExposureCycles {
+		t.Errorf("prediction exposure %d not below plain %d", pred.ExposureCycles, plain.ExposureCycles)
+	}
+	if pred.PredHitRate <= 0.5 {
+		t.Errorf("prediction hit rate %.3f implausibly low", pred.PredHitRate)
+	}
+	if plain.PredHitRate != 0 {
+		t.Error("non-prediction run reported a hit rate")
+	}
+}
+
+// TestMACOnlyCheaperThanBMT: without a tree there are no node fetches, so
+// MAC-only should cost no more than BMT (it also protects less).
+func TestMACOnlyCheaperThanBMT(t *testing.T) {
+	base := run(t, Baseline(), "art")
+	maconly := run(t, SchemeMACOnly(128), "art")
+	bmt := run(t, SchemeAISEBMT(128), "art")
+	if maconly.Overhead(base) > bmt.Overhead(base)+0.01 {
+		t.Errorf("MAC-only %.3f above BMT %.3f", maconly.Overhead(base), bmt.Overhead(base))
+	}
+	if maconly.TreeNodeFetches != 0 {
+		t.Error("MAC-only fetched tree nodes")
+	}
+	if maconly.MACFetches == 0 {
+		t.Error("MAC-only fetched no MACs")
+	}
+}
+
+// TestLogHashCheckpoints: checkpoints fire at the configured interval and
+// cost bandwidth proportional to the written footprint.
+func TestLogHashCheckpoints(t *testing.T) {
+	p, _ := trace.ProfileByName("swim")
+	m := DefaultMachine()
+	r, err := RunScheme(SchemeLogHash(5000), m, p, 20000, 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Checkpoints == 0 {
+		t.Fatal("no checkpoints fired")
+	}
+	noCk, err := RunScheme(SchemeLogHash(0), m, p, 20000, 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noCk.Checkpoints != 0 {
+		t.Error("interval 0 fired checkpoints")
+	}
+	if r.BytesMoved <= noCk.BytesMoved {
+		t.Error("checkpoint sweeps moved no extra bytes")
+	}
+}
+
+// TestPredictionRequiresCounters: the configuration is rejected without
+// counter-mode encryption.
+func TestPredictionRequiresCounters(t *testing.T) {
+	s := Scheme{Name: "bad", CounterPrediction: true}
+	if _, err := New(s, DefaultMachine()); err == nil {
+		t.Error("prediction without counters accepted")
+	}
+}
+
+// TestSourceInterface: Run accepts any Source implementation.
+func TestSourceInterface(t *testing.T) {
+	s, err := New(Baseline(), DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := &fixedSource{}
+	r := s.Run(fixed, 10, 100, "fixed")
+	if r.MemAccesses != 100 {
+		t.Errorf("measured %d accesses, want 100", r.MemAccesses)
+	}
+}
+
+type fixedSource struct{ i uint64 }
+
+func (f *fixedSource) Next() trace.Access {
+	f.i++
+	return trace.Access{Gap: 3, Addr: (f.i % 1024) * 64}
+}
+
+// TestMACCoverageTradeoff: wider coverage cuts MAC storage but raises bus
+// traffic and overhead on a miss-heavy benchmark.
+func TestMACCoverageTradeoff(t *testing.T) {
+	base := run(t, Baseline(), "art")
+	k1 := SchemeAISEBMT(128)
+	k8 := SchemeAISEBMT(128)
+	k8.Name = "AISE+BMT/k8"
+	k8.MACCoverage = 8
+	r1 := run(t, k1, "art")
+	r8 := run(t, k8, "art")
+	if r8.BytesMoved <= r1.BytesMoved {
+		t.Errorf("coverage 8 moved %d bytes, not above per-block %d", r8.BytesMoved, r1.BytesMoved)
+	}
+	if r8.Overhead(base) <= r1.Overhead(base) {
+		t.Errorf("coverage 8 overhead %.3f not above per-block %.3f", r8.Overhead(base), r1.Overhead(base))
+	}
+}
+
+func TestMACCoverageValidation(t *testing.T) {
+	s := SchemeAISEBMT(128)
+	s.MACCoverage = 3
+	if _, err := New(s, DefaultMachine()); err == nil {
+		t.Error("coverage 3 accepted")
+	}
+	s.MACCoverage = 128
+	if _, err := New(s, DefaultMachine()); err == nil {
+		t.Error("coverage 128 accepted")
+	}
+}
+
+// TestInstructionFetchModeled: a profile with a large code footprint incurs
+// L1I-driven L2 traffic; one with a small footprint does not.
+func TestInstructionFetchModeled(t *testing.T) {
+	// gcc carries CodeBytes = 96KB (> 32KB L1I); art uses the 16KB default.
+	gcc := run(t, Baseline(), "gcc")
+	if gcc.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	// Sources without CodeSize skip the front end entirely.
+	s, err := New(Baseline(), DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run(&fixedSource{}, 10, 1000, "fixed")
+	if r.MemAccesses != 1000 {
+		t.Errorf("fixed source accesses = %d", r.MemAccesses)
+	}
+}
+
+// TestDRAMBanksSlowConflicts: the banked memory model must cost more than
+// flat latency on a memory-bound workload (bank serialization) and leave
+// scheme ordering intact.
+func TestDRAMBanksSlowConflicts(t *testing.T) {
+	p, _ := trace.ProfileByName("swim")
+	flat := DefaultMachine()
+	banked := DefaultMachine()
+	banked.DRAMBanks = 8
+	rFlat, err := RunScheme(SchemeAISEBMT(128), flat, p, 20000, 60000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBank, err := RunScheme(SchemeAISEBMT(128), banked, p, 20000, 60000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBank.Cycles <= rFlat.Cycles {
+		t.Errorf("banked run (%d cycles) not slower than flat (%d)", rBank.Cycles, rFlat.Cycles)
+	}
+	// Ordering preserved under banking.
+	bFlat, _ := RunScheme(Baseline(), banked, p, 20000, 60000, 9)
+	mt, _ := RunScheme(SchemeGlobal64MT(128), banked, p, 20000, 60000, 9)
+	if !(rBank.Overhead(bFlat) < mt.Overhead(bFlat)) {
+		t.Error("BMT not below global64+MT under banked DRAM")
+	}
+}
+
+// TestHIDETimingCost: the HIDE budget adds traffic and overhead; budget off
+// changes nothing.
+func TestHIDETimingCost(t *testing.T) {
+	base := run(t, SchemeAISEBMT(128), "art")
+	h := SchemeAISEBMT(128)
+	h.Name = "AISE+BMT+HIDE"
+	h.HIDEBudget = 32
+	prot := run(t, h, "art")
+	if prot.Repermutes == 0 {
+		t.Fatal("no repermutations fired")
+	}
+	if prot.Cycles <= base.Cycles {
+		t.Errorf("HIDE run (%d cycles) not slower than plain (%d)", prot.Cycles, base.Cycles)
+	}
+	if prot.BytesMoved <= base.BytesMoved {
+		t.Error("HIDE moved no extra bytes")
+	}
+	if base.Repermutes != 0 {
+		t.Error("plain run reported repermutes")
+	}
+}

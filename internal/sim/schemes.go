@@ -1,0 +1,72 @@
+package sim
+
+import "aisebmt/internal/trace"
+
+// Baseline returns the unprotected configuration all overheads are
+// normalized against.
+func Baseline() Scheme { return Scheme{Name: "base"} }
+
+// SchemeGlobal32 returns 32-bit global-counter encryption, no integrity.
+func SchemeGlobal32() Scheme {
+	return Scheme{Name: "global32", Encryption: EncGlobal32}
+}
+
+// SchemeGlobal64 returns 64-bit global-counter encryption, no integrity.
+func SchemeGlobal64() Scheme {
+	return Scheme{Name: "global64", Encryption: EncGlobal64}
+}
+
+// SchemeAISE returns AISE encryption, no integrity.
+func SchemeAISE() Scheme {
+	return Scheme{Name: "AISE", Encryption: EncAISE}
+}
+
+// SchemeAISEMT returns AISE encryption plus the standard Merkle tree.
+func SchemeAISEMT(macBits int) Scheme {
+	return Scheme{Name: "AISE+MT", Encryption: EncAISE, Integrity: IntegMT, MACBits: macBits}
+}
+
+// SchemeAISEBMT returns the paper's proposal: AISE plus Bonsai Merkle Trees.
+func SchemeAISEBMT(macBits int) Scheme {
+	return Scheme{Name: "AISE+BMT", Encryption: EncAISE, Integrity: IntegBMT, MACBits: macBits}
+}
+
+// SchemeGlobal64MT returns the comparison system of Figure 6: 64-bit global
+// counters plus a standard Merkle tree.
+func SchemeGlobal64MT(macBits int) Scheme {
+	return Scheme{Name: "global64+MT", Encryption: EncGlobal64, Integrity: IntegMT, MACBits: macBits}
+}
+
+// SchemeDirect returns the early direct-encryption baseline (§2).
+func SchemeDirect() Scheme {
+	return Scheme{Name: "direct", Encryption: EncDirect}
+}
+
+// SchemeMACOnly returns per-block MAC integrity without a tree, over AISE
+// encryption (the XOM-style related-work baseline).
+func SchemeMACOnly(macBits int) Scheme {
+	return Scheme{Name: "AISE+mac-only", Encryption: EncAISE, Integrity: IntegMACOnly, MACBits: macBits}
+}
+
+// SchemeLogHash returns the log-hash related-work baseline over AISE, with
+// a checkpoint sweep every interval L2 misses.
+func SchemeLogHash(interval uint64) Scheme {
+	return Scheme{Name: "AISE+loghash", Encryption: EncAISE, Integrity: IntegLogHash, CheckpointInterval: interval}
+}
+
+// SchemeAISEPred returns AISE with the counter-prediction optimization the
+// paper cites from Shi et al. (§2).
+func SchemeAISEPred() Scheme {
+	return Scheme{Name: "AISE+pred", Encryption: EncAISE, CounterPrediction: true}
+}
+
+// RunScheme builds a simulator for (scheme, machine), drives it with the
+// profile's deterministic trace, and returns the measurement.
+func RunScheme(s Scheme, m Machine, p trace.Profile, warmup, n int, seed uint64) (Result, error) {
+	sm, err := New(s, m)
+	if err != nil {
+		return Result{}, err
+	}
+	gen := trace.NewGenerator(p, 0, seed)
+	return sm.Run(gen, warmup, n, p.Name), nil
+}

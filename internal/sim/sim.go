@@ -1,0 +1,800 @@
+// Package sim is the execution-driven timing model standing in for the
+// paper's SESC setup (§6): a processor front end consuming synthetic
+// benchmark traces, split L1, a unified 1MB/8-way L2 shared between data
+// and Merkle tree nodes, a 32KB/16-way counter cache, a 200-cycle memory
+// behind a shared bus, and 80-cycle pipelined AES and HMAC engines.
+//
+// The model charges cycles for exactly the mechanisms the paper measures:
+// decryption-latency exposure when a block's counter is not on chip, the
+// bandwidth and L2 pollution of Merkle tree node fetches, and bus queuing.
+// Verification is "timely but non-precise" by default — tree fetches
+// consume bandwidth and cache space but do not extend the load's critical
+// path — matching §6; PreciseVerify flips that for the ablation study.
+package sim
+
+import (
+	"fmt"
+
+	"aisebmt/internal/bus"
+	"aisebmt/internal/cache"
+	"aisebmt/internal/engine"
+	"aisebmt/internal/integrity"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+	"aisebmt/internal/trace"
+)
+
+// Encryption selects the timing model's encryption scheme.
+type Encryption int
+
+// Encryption schemes (CtrAddr covers both address-based per-block counter
+// variants: their timing is identical, as §7.2 notes).
+const (
+	EncNone Encryption = iota
+	EncGlobal32
+	EncGlobal64
+	EncCtrAddr
+	EncAISE
+	// EncDirect is the early-scheme baseline: AES applied directly to the
+	// block, so decryption cannot start until the ciphertext arrives and
+	// the full cipher latency lands on the critical path (§2).
+	EncDirect
+)
+
+// Integrity selects the timing model's verification scheme.
+type Integrity int
+
+// Integrity schemes.
+const (
+	IntegNone Integrity = iota
+	IntegMT
+	IntegBMT
+	// IntegMACOnly is the XOM-style baseline: one per-block MAC fetched on
+	// every miss, no tree (and no replay protection).
+	IntegMACOnly
+	// IntegLogHash is the Suh et al. baseline: per-access incremental
+	// hashing plus periodic checkpoint sweeps over the written footprint.
+	IntegLogHash
+)
+
+// Scheme is a protection configuration under test.
+type Scheme struct {
+	Name          string
+	Encryption    Encryption
+	Integrity     Integrity
+	MACBits       int
+	CacheDataMACs bool // ablation: cache BMT per-block data MACs in L2
+	PreciseVerify bool // ablation: verification latency blocks the load
+	// CounterPrediction enables the Shi et al. optimization the paper cites
+	// (§2): on a counter-cache miss, pads for the predicted counter value
+	// are generated speculatively in parallel with the fetch; a correct
+	// prediction fully hides the exposure.
+	CounterPrediction bool
+	// CheckpointInterval is the log-hash checkpoint period in L2 misses
+	// (IntegLogHash only; 0 means a single end-of-run checkpoint).
+	CheckpointInterval uint64
+	// MACCoverage is the blocks-per-MAC factor for BMT data MACs (§7.4's
+	// storage optimization): verification and update read the whole group.
+	MACCoverage int
+	// HIDEBudget, when positive, enables HIDE-style address-bus protection:
+	// after this many L2 misses to a page, the page is re-permuted — 64
+	// block reads plus 64 writebacks of traffic (with their metadata costs)
+	// charged off the critical path.
+	HIDEBudget int
+}
+
+// Machine is the simulated hardware configuration.
+type Machine struct {
+	L1Bytes, L1Ways   int
+	L1IBytes, L1IWays int
+	L2Bytes, L2Ways   int
+	// L2ReservedDataWays partitions the L2 per set: metadata (tree nodes,
+	// cached MACs) may only occupy the remaining ways. 0 disables
+	// partitioning (the paper's shared-L2 configuration).
+	L2ReservedDataWays int
+	// DRAMBanks enables a banked memory model: each access occupies its
+	// bank for DRAMBankBusy cycles, so conflicting streams (data vs tree
+	// nodes in the same bank) serialize. 0 keeps the paper's flat-latency
+	// memory.
+	DRAMBanks         int
+	DRAMBankBusy      uint64
+	CtrBytes, CtrWays int
+	L2Lat             uint64
+	MemLat            uint64
+	BusBytesPerCycle  int
+	MemoryBytes       uint64
+	DataBytes         uint64  // protected data region size
+	IPC               float64 // issue rate on non-memory instructions
+	MLP               float64 // overlap divisor applied to memory stalls
+}
+
+// DefaultMachine returns the paper's §6 configuration.
+func DefaultMachine() Machine {
+	return Machine{
+		L1Bytes: 32 << 10, L1Ways: 2,
+		L1IBytes: 32 << 10, L1IWays: 2,
+		L2Bytes: 1 << 20, L2Ways: 8,
+		CtrBytes: 32 << 10, CtrWays: 16,
+		L2Lat:            10,
+		MemLat:           200,
+		BusBytesPerCycle: 6,
+		MemoryBytes:      1 << 30,
+		DataBytes:        768 << 20,
+		IPC:              2.0,
+		MLP:              12.0,
+	}
+}
+
+// Result is one (benchmark, scheme) measurement.
+type Result struct {
+	Benchmark string
+	Scheme    string
+
+	Cycles       uint64
+	Instructions uint64
+	MemAccesses  uint64
+
+	L2MissRate     float64 // local miss rate of program (data) accesses
+	L2DataShare    float64 // fraction of valid L2 lines holding data
+	BusUtilization float64
+	CtrHitRate     float64
+
+	TreeNodeFetches uint64
+	MACFetches      uint64
+	ExposureCycles  uint64 // decryption latency not hidden by the fetch
+	BytesMoved      uint64
+
+	// Stall decomposition: bus queuing (bandwidth), overlappable latency
+	// after MLP, and L2-access stalls.
+	StallQueue   uint64
+	StallOverlap uint64
+	StallL2      uint64
+
+	// PredHitRate is the counter predictor's accuracy (CounterPrediction
+	// runs only); Checkpoints counts log-hash checkpoint sweeps;
+	// Repermutes counts HIDE page re-permutations.
+	PredHitRate float64
+	Checkpoints uint64
+	Repermutes  uint64
+}
+
+// Overhead returns this result's execution-time overhead relative to base.
+func (r Result) Overhead(base Result) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Cycles)/float64(base.Cycles) - 1
+}
+
+// Simulator runs one scheme on one machine.
+type Simulator struct {
+	scheme  Scheme
+	machine Machine
+
+	l1    *cache.Cache
+	l1i   *cache.Cache
+	l2    *cache.Cache
+	ctrC  *cache.Cache
+	bus   *bus.Bus
+	aes   *engine.Pipeline
+	hmacE *engine.Pipeline
+
+	tree       *integrity.TreeGeometry
+	bankFree   []uint64 // per-DRAM-bank next-free cycle (DRAMBanks > 0)
+	ctrBase    layout.Addr
+	ctrPerBlk  int // bytes of counter storage per data block (global/addr)
+	macBase    layout.Addr
+	macBytes   int
+	hasCtr     bool
+	now        float64
+	cycles     uint64 // integer view of now
+	instrs     uint64
+	accesses   uint64
+	ctrHits    uint64
+	ctrLookups uint64
+	treeFetch  uint64
+	macFetch   uint64
+	exposure   uint64
+	// treeLookups/treeMiss separate metadata L2 traffic from program
+	// accesses so the reported L2 miss rate matches the paper's metric.
+	treeLookups uint64
+	treeMiss    uint64
+	// stall decomposition (debug/ablation visibility)
+	stallQueue   uint64
+	stallOverlap uint64
+	stallL2      uint64
+	// counter prediction state: last counter value per block and the
+	// page-level predictor table (CounterPrediction only).
+	blockMinor map[layout.Addr]uint16
+	pagePred   map[layout.Addr]uint16
+	predHits   uint64
+	predTries  uint64
+	// log-hash state: dirty-footprint tracking and checkpoint accounting.
+	lhWritten     map[layout.Addr]struct{}
+	lhMissCount   uint64
+	lhCheckpoints uint64
+	// HIDE state: per-page access counts toward the re-permutation budget.
+	hideCount  map[layout.Addr]int
+	repermutes uint64
+	// instruction-fetch front end: the code segment's placement and size,
+	// the fetch cursor, and a deterministic PRNG for branch targets.
+	codeBase   layout.Addr
+	codeSize   uint64
+	codeHot    uint64
+	codeCursor uint64
+	codeRng    uint64
+}
+
+// New builds a simulator for the scheme on the machine.
+func New(s Scheme, m Machine) (*Simulator, error) {
+	if s.MACBits == 0 {
+		s.MACBits = 128
+	}
+	g, err := layout.Geometry(s.MACBits)
+	if err != nil {
+		return nil, err
+	}
+	sim := &Simulator{
+		scheme:  s,
+		machine: m,
+		l1:      cache.New(cache.Config{Name: "L1D", SizeBytes: m.L1Bytes, Ways: m.L1Ways}),
+		l1i:     cache.New(cache.Config{Name: "L1I", SizeBytes: m.L1IBytes, Ways: m.L1IWays}),
+		l2:      cache.New(cache.Config{Name: "L2", SizeBytes: m.L2Bytes, Ways: m.L2Ways, ReservedDataWays: m.L2ReservedDataWays}),
+		ctrC:    cache.New(cache.Config{Name: "ctr", SizeBytes: m.CtrBytes, Ways: m.CtrWays}),
+		bus:     bus.New(m.BusBytesPerCycle),
+		aes:     engine.NewAES(),
+		hmacE:   engine.NewHMAC(),
+	}
+	sim.macBytes = g.MACBytes
+	if m.DRAMBanks > 0 {
+		sim.bankFree = make([]uint64, m.DRAMBanks)
+		if sim.machine.DRAMBankBusy == 0 {
+			sim.machine.DRAMBankBusy = 40
+		}
+	}
+
+	// Metadata placement after the data region.
+	next := layout.Addr(m.DataBytes)
+	var ctrBytes uint64
+	switch s.Encryption {
+	case EncAISE:
+		sim.hasCtr = true
+		ctrBytes = m.DataBytes / layout.BlocksPerPage
+	case EncGlobal32:
+		sim.hasCtr = true
+		sim.ctrPerBlk = 4
+		ctrBytes = m.DataBytes / layout.BlockSize * 4
+	case EncGlobal64:
+		sim.hasCtr = true
+		sim.ctrPerBlk = 8
+		ctrBytes = m.DataBytes / layout.BlockSize * 8
+	case EncCtrAddr:
+		// Address-based seeds with split-counter storage: same counter
+		// geometry as AISE (§7.2: performance essentially equal).
+		sim.hasCtr = true
+		ctrBytes = m.DataBytes / layout.BlocksPerPage
+	case EncNone, EncDirect:
+	default:
+		return nil, fmt.Errorf("sim: unknown encryption %d", s.Encryption)
+	}
+	sim.ctrBase = next
+	next += layout.Addr(ctrBytes)
+
+	var treeRegions []mem.Region
+	switch s.Integrity {
+	case IntegMT:
+		treeRegions = append(treeRegions, mem.Region{Name: "data", Base: 0, Size: m.DataBytes})
+		if ctrBytes > 0 {
+			treeRegions = append(treeRegions, mem.Region{Name: "ctr", Base: sim.ctrBase, Size: ctrBytes})
+		}
+	case IntegBMT:
+		if !sim.hasCtr {
+			return nil, fmt.Errorf("sim: BMT requires counter-mode encryption")
+		}
+		if s.MACCoverage == 0 {
+			s.MACCoverage = 1
+		}
+		if s.MACCoverage < 0 || s.MACCoverage > layout.BlocksPerPage || s.MACCoverage&(s.MACCoverage-1) != 0 {
+			return nil, fmt.Errorf("sim: MAC coverage %d must be a power of two in [1, %d]", s.MACCoverage, layout.BlocksPerPage)
+		}
+		sim.scheme.MACCoverage = s.MACCoverage
+		treeRegions = append(treeRegions, mem.Region{Name: "ctr", Base: sim.ctrBase, Size: ctrBytes})
+		// Per-group data MACs live in their own region.
+		sim.macBase = next
+		next += layout.Addr(m.DataBytes / layout.BlockSize / uint64(s.MACCoverage) * uint64(g.MACBytes))
+	case IntegMACOnly:
+		sim.macBase = next
+		next += layout.Addr(m.DataBytes / layout.BlockSize * uint64(g.MACBytes))
+	case IntegNone, IntegLogHash:
+	default:
+		return nil, fmt.Errorf("sim: unknown integrity %d", s.Integrity)
+	}
+	if len(treeRegions) > 0 {
+		tg, err := integrity.NewTreeGeometry(s.MACBits, treeRegions, next)
+		if err != nil {
+			return nil, err
+		}
+		sim.tree = tg
+	}
+	if s.CounterPrediction {
+		if !sim.hasCtr {
+			return nil, fmt.Errorf("sim: counter prediction requires counter-mode encryption")
+		}
+		sim.blockMinor = make(map[layout.Addr]uint16)
+		sim.pagePred = make(map[layout.Addr]uint16)
+	}
+	if s.Integrity == IntegLogHash {
+		sim.lhWritten = make(map[layout.Addr]struct{})
+	}
+	if s.HIDEBudget > 0 {
+		sim.hideCount = make(map[layout.Addr]int)
+	}
+	return sim, nil
+}
+
+// ctrSlot returns the counter-region block caching the counter(s) for a
+// data block address.
+func (s *Simulator) ctrSlot(a layout.Addr) layout.Addr {
+	if s.ctrPerBlk > 0 { // global counters: N counters per 64B block
+		blk := uint64(a) / layout.BlockSize
+		return (s.ctrBase + layout.Addr(blk*uint64(s.ctrPerBlk))).BlockAddr()
+	}
+	// Split-counter: one counter block per data page.
+	page := uint64(a) / layout.PageSize
+	return s.ctrBase + layout.Addr(page*layout.BlockSize)
+}
+
+// dataMACSlot returns the block holding the BMT data MAC covering a data
+// block (its group's MAC under coverage > 1).
+func (s *Simulator) dataMACSlot(a layout.Addr) layout.Addr {
+	blk := uint64(a) / layout.BlockSize / uint64(max(1, s.scheme.MACCoverage))
+	return (s.macBase + layout.Addr(blk*uint64(s.macBytes))).BlockAddr()
+}
+
+// groupSiblingTraffic charges the extra reads a group MAC operation needs:
+// every member of the group not already in L2 must be fetched into the
+// verification buffer (not cached).
+func (s *Simulator) groupSiblingTraffic(a layout.Addr, at uint64) {
+	k := s.scheme.MACCoverage
+	if k <= 1 {
+		return
+	}
+	span := layout.Addr(k * layout.BlockSize)
+	gb := a.BlockAddr() / span * span
+	for i := 0; i < k; i++ {
+		sib := gb + layout.Addr(i*layout.BlockSize)
+		if sib == a.BlockAddr() {
+			continue
+		}
+		if !s.l2.Probe(sib) {
+			s.fetch(at, layout.BlockSize)
+		}
+	}
+}
+
+// fetch models one block read from memory: bus transfer plus access
+// latency, plus bank serialization when the banked DRAM model is enabled.
+// It returns the arrival cycle. Bank conflicts use the block address the
+// caller most recently recorded via bankOf; callers that do not care pass
+// through the flat path.
+func (s *Simulator) fetch(at uint64, bytes int) uint64 {
+	return s.bus.Transfer(at, bytes) + s.machine.MemLat
+}
+
+// fetchBanked is fetch with bank occupancy for the given address.
+func (s *Simulator) fetchBanked(a layout.Addr, at uint64, bytes int) uint64 {
+	if s.bankFree == nil {
+		return s.fetch(at, bytes)
+	}
+	// Banks interleave at block granularity, the common open-page layout.
+	bank := (uint64(a) / layout.BlockSize) % uint64(len(s.bankFree))
+	start := at
+	if s.bankFree[bank] > start {
+		start = s.bankFree[bank]
+	}
+	s.bankFree[bank] = start + s.machine.DRAMBankBusy
+	return s.bus.Transfer(start, bytes) + s.machine.MemLat
+}
+
+// treeWalk models a cached Merkle tree traversal for the leaf block at a,
+// starting at cycle at: nodes are looked up in L2 and fetched on miss until
+// the first cached (trusted) ancestor. dirty marks the walk as an update
+// (writeback path), which dirties the touched nodes. It returns the cycle
+// at which verification completes.
+func (s *Simulator) treeWalk(a layout.Addr, at uint64, dirty bool) uint64 {
+	nodes, err := s.tree.Walk(a)
+	if err != nil {
+		return at
+	}
+	done := at
+	for _, node := range nodes {
+		s.treeLookups++
+		if s.l2.Access(node, dirty) {
+			break // trusted cached ancestor
+		}
+		s.treeMiss++
+		// Missing levels are fetched in parallel: which levels hit is known
+		// from the tags, so the hardware issues all needed node reads with
+		// the data miss and verifies as they return.
+		arrive := s.fetchBanked(node, at, layout.BlockSize)
+		s.treeFetch++
+		victim := s.l2.Insert(node, cache.Tree, dirty)
+		s.writebackVictim(victim, at)
+		if d := arrive + s.hmacE.Span(1); d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+// writebackVictim models the eviction of a dirty L2 line: the block is
+// written to memory, and for dirty data blocks the writeback re-encryption
+// and metadata updates are charged (off the critical path).
+func (s *Simulator) writebackVictim(v cache.Victim, at uint64) {
+	if !v.Valid || !v.Dirty {
+		return
+	}
+	s.bus.Transfer(at, layout.BlockSize)
+	if v.Class != cache.Data {
+		return
+	}
+	// Re-encryption of the victim requires its counter on chip.
+	if s.hasCtr {
+		ca := s.ctrSlot(v.Addr)
+		s.ctrLookups++
+		if s.ctrC.Access(ca, true) {
+			s.ctrHits++
+		} else {
+			s.fetch(at, layout.BlockSize)
+			cv := s.ctrC.Insert(ca, cache.Counter, true)
+			if cv.Valid && cv.Dirty {
+				s.bus.Transfer(at, layout.BlockSize)
+			}
+			if s.tree != nil && s.tree.Covers(ca) {
+				s.treeWalk(ca, at, true)
+			}
+		}
+		s.aes.Span(layout.ChunksPerBlock)
+	}
+	if s.scheme.Encryption == EncDirect {
+		s.aes.Span(layout.ChunksPerBlock)
+	}
+	if s.scheme.CounterPrediction {
+		s.blockMinor[v.Addr.BlockAddr()]++
+	}
+	switch s.scheme.Integrity {
+	case IntegMT:
+		s.treeWalk(v.Addr, at, true)
+	case IntegBMT, IntegMACOnly:
+		// Updated data MAC is written through (uncached by default); under
+		// group coverage the update reads the victim's whole group first.
+		if s.scheme.Integrity == IntegBMT {
+			s.groupSiblingTraffic(v.Addr, at)
+		}
+		s.bus.Transfer(at, s.macBytes)
+		s.hmacE.Span(1)
+	case IntegLogHash:
+		s.hmacE.Span(1)
+		s.lhWritten[v.Addr.BlockAddr()] = struct{}{}
+	}
+}
+
+// logHashCheckpoint charges the checkpoint sweep: every block written since
+// the last checkpoint is read back and hashed once more so the read and
+// write multiset hashes can be balanced.
+func (s *Simulator) logHashCheckpoint(at uint64) {
+	for range s.lhWritten {
+		s.bus.Transfer(at, layout.BlockSize)
+		s.hmacE.Span(1)
+	}
+	s.lhWritten = make(map[layout.Addr]struct{})
+	s.lhCheckpoints++
+}
+
+// access simulates one memory reference through the given first-level
+// cache (L1D for data, L1I for instruction fetches) and returns the stall
+// cycles charged to execution.
+func (s *Simulator) access(l1 *cache.Cache, a layout.Addr, write bool) uint64 {
+	if l1.Access(a, write) {
+		return 0
+	}
+	// L1 miss -> L2. L1 fills are modeled without separate victim traffic:
+	// dirty L1 victims land in L2 (on-chip, no bus cost).
+	stall := s.machine.L2Lat
+	if s.l2.Access(a, write) {
+		l1.Insert(a, cache.Data, write)
+		return stall
+	}
+
+	tStart := s.cycles + stall
+	// Counter availability: the counter fetch is issued in parallel with
+	// the data fetch when it misses in the counter cache.
+	seedReady := tStart
+	ctrMissed := false
+	if s.hasCtr {
+		ca := s.ctrSlot(a)
+		s.ctrLookups++
+		if s.ctrC.Access(ca, false) {
+			s.ctrHits++
+		} else {
+			ctrMissed = true
+			arrive := s.fetchBanked(ca, tStart, layout.BlockSize)
+			cv := s.ctrC.Insert(ca, cache.Counter, false)
+			if cv.Valid && cv.Dirty {
+				s.bus.Transfer(tStart, layout.BlockSize)
+			}
+			seedReady = arrive
+			if s.scheme.CounterPrediction {
+				// Speculative pads for the predicted counter run in
+				// parallel with the fetch; a correct prediction means the
+				// seed was effectively available at miss time.
+				s.predTries++
+				page := a.PageAddr()
+				if s.pagePred[page] == s.blockMinor[a.BlockAddr()] {
+					s.predHits++
+					seedReady = tStart
+				}
+				s.pagePred[page] = s.blockMinor[a.BlockAddr()]
+			}
+		}
+	}
+	dataArrive := s.fetchBanked(a, tStart, layout.BlockSize)
+
+	// Decryption: the pad must be ready when the data arrives; otherwise
+	// the difference is exposed on the critical path.
+	doneAt := dataArrive
+	if s.hasCtr {
+		padDone := seedReady + s.aes.Span(layout.ChunksPerBlock)
+		if padDone > dataArrive {
+			s.exposure += padDone - dataArrive
+			doneAt = padDone
+		}
+	} else if s.scheme.Encryption == EncDirect {
+		// Direct mode cannot overlap: decryption starts only once the
+		// ciphertext is on chip (§2's up-to-35% overhead baseline).
+		doneAt = dataArrive + s.aes.Span(layout.ChunksPerBlock)
+		s.exposure += doneAt - dataArrive
+	}
+
+	// Integrity verification. Bus transfers are scheduled at the request
+	// time (the controller enqueues them with the miss); completion times
+	// still include the memory latency.
+	var verifyDone uint64
+	switch s.scheme.Integrity {
+	case IntegMT:
+		verifyDone = s.treeWalk(a, tStart, false)
+	case IntegBMT:
+		// Counter block is a Bonsai tree leaf: verify its chain whenever it
+		// had to be fetched from memory.
+		if ctrMissed {
+			s.treeWalk(s.ctrSlot(a), tStart, false)
+		}
+		// Per-block data MAC: fetched on every miss; not cached by default.
+		ma := s.dataMACSlot(a)
+		cached := false
+		if s.scheme.CacheDataMACs {
+			s.treeLookups++
+			if s.l2.Access(ma, false) {
+				cached = true
+			} else {
+				s.treeMiss++
+			}
+		}
+		if !cached {
+			s.macFetch++
+			s.groupSiblingTraffic(a, tStart)
+			macArrive := s.fetch(tStart, s.macBytes)
+			verifyDone = max64(macArrive, doneAt) + s.hmacE.Span(1)
+			if s.scheme.CacheDataMACs {
+				v := s.l2.Insert(ma, cache.Tree, false)
+				s.writebackVictim(v, tStart)
+			}
+		} else {
+			verifyDone = doneAt + s.hmacE.Span(1)
+		}
+	}
+	switch s.scheme.Integrity {
+	case IntegMACOnly:
+		s.macFetch++
+		macArrive := s.fetch(tStart, s.macBytes)
+		verifyDone = max64(macArrive, doneAt) + s.hmacE.Span(1)
+	case IntegLogHash:
+		// Incremental multiset-hash update per fetched block; detection is
+		// deferred to the checkpoint sweep.
+		verifyDone = doneAt + s.hmacE.Span(1)
+		s.lhMissCount++
+		if iv := s.scheme.CheckpointInterval; iv > 0 && s.lhMissCount%iv == 0 {
+			s.logHashCheckpoint(tStart)
+		}
+	}
+	if s.scheme.PreciseVerify && verifyDone > doneAt {
+		doneAt = verifyDone
+	}
+
+	// HIDE epoch accounting: every miss to a page consumes budget; an
+	// exhausted page re-permutes, costing a page of read+writeback traffic.
+	if s.hideCount != nil {
+		page := a.PageAddr()
+		s.hideCount[page]++
+		if s.hideCount[page] >= s.scheme.HIDEBudget {
+			s.hideCount[page] = 0
+			s.repermutes++
+			for i := 0; i < layout.BlocksPerPage; i++ {
+				s.fetch(tStart, layout.BlockSize)
+				s.writebackVictim(cache.Victim{Valid: true, Addr: page + layout.Addr(i*layout.BlockSize), Dirty: true, Class: cache.Data}, tStart)
+			}
+			// On-chip copies of the page are stale after relocation.
+			s.l2.InvalidateRange(page, layout.PageSize)
+			l1.InvalidateRange(page, layout.PageSize)
+		}
+	}
+
+	// Fill caches; victims may write back.
+	v := s.l2.Insert(a, cache.Data, write)
+	s.writebackVictim(v, tStart)
+	l1.Insert(a, cache.Data, write)
+
+	// Memory-level parallelism hides latency but never bandwidth: the
+	// overlappable part (memory access + transfer + exposed crypto) is
+	// divided by MLP, while bus queuing — the footprint of a saturated
+	// channel — is charged in full so simulated time keeps pace with the
+	// bus clock.
+	transfer := uint64((layout.BlockSize + s.machine.BusBytesPerCycle - 1) / s.machine.BusBytesPerCycle)
+	rawLat := s.machine.MemLat + transfer
+	queue := uint64(0)
+	if dataArrive > tStart+rawLat {
+		queue = dataArrive - tStart - rawLat
+	}
+	overlappable := rawLat + (doneAt - dataArrive)
+	ov := uint64(float64(overlappable) / s.machine.MLP)
+	s.stallQueue += queue
+	s.stallOverlap += ov
+	s.stallL2 += stall
+	return stall + queue + ov
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Source yields a stream of memory accesses. *trace.Generator implements
+// it; external traces (cmd/tracegen files) provide their own.
+type Source interface {
+	Next() trace.Access
+}
+
+// CodeSizer is optionally implemented by a Source to report the workload's
+// instruction footprint; the simulator then models the L1I fetch stream.
+type CodeSizer interface {
+	CodeSize() uint64
+}
+
+// step consumes one trace access, advancing simulated time: the gap's
+// instruction fetches run through the L1I first, then the data reference
+// through the L1D.
+func (s *Simulator) step(acc trace.Access) {
+	s.now += float64(acc.Gap) / s.machine.IPC
+	s.instrs += uint64(acc.Gap) + 1
+	s.cycles = uint64(s.now)
+	if s.codeSize > 0 {
+		if stall := s.fetchInstructions(uint64(acc.Gap) + 1); stall > 0 {
+			s.now += float64(stall)
+			s.cycles = uint64(s.now)
+		}
+	}
+	s.accesses++
+	stall := s.access(s.l1, layout.Addr(acc.Addr), acc.Write)
+	s.now += float64(stall)
+	s.cycles = uint64(s.now)
+}
+
+// fetchInstructions models the front end consuming n 4-byte instructions:
+// mostly a sequential walk through a hot inner loop, with occasional jumps
+// into the benchmark's wider code footprint. Each cache line crossed is an
+// L1I access; misses go to the L2 and memory like any code fetch — and
+// under the protection schemes, code is encrypted and verified like data.
+func (s *Simulator) fetchInstructions(n uint64) uint64 {
+	var stall uint64
+	bytes := n * 4
+	for bytes > 0 {
+		// Advance to the next line boundary.
+		step := layout.BlockSize - s.codeCursor%layout.BlockSize
+		if step > bytes {
+			s.codeCursor += bytes
+			break
+		}
+		s.codeCursor += step
+		bytes -= step
+		// Occasional branch out of the hot loop into the full footprint.
+		s.codeRng ^= s.codeRng << 13
+		s.codeRng ^= s.codeRng >> 7
+		s.codeRng ^= s.codeRng << 17
+		if s.codeRng%32 == 0 {
+			s.codeCursor = s.codeRng % s.codeSize
+		} else if s.codeCursor%s.codeHot == 0 {
+			s.codeCursor -= s.codeHot // loop back
+		}
+		line := s.codeBase + layout.Addr(s.codeCursor%s.codeSize).BlockAddr()
+		stall += s.access(s.l1i, line, false)
+	}
+	return stall
+}
+
+// Run consumes n measured accesses from the generator after warmup accesses
+// that shape cache and bus state, and returns the measurement. Time runs
+// continuously across the warmup; all reported quantities are deltas over
+// the measured window.
+func (s *Simulator) Run(gen Source, warmup, n int, benchName string) Result {
+	if cs, ok := gen.(CodeSizer); ok && cs.CodeSize() > 0 {
+		s.codeSize = cs.CodeSize()
+		s.codeHot = 8 << 10
+		if s.codeHot > s.codeSize {
+			s.codeHot = s.codeSize
+		}
+		// Code lives high in the data region, clear of every working set.
+		s.codeBase = layout.Addr(s.machine.DataBytes - 64<<20).PageAddr()
+		s.codeRng = 0x9e3779b97f4a7c15
+	}
+	for i := 0; i < warmup; i++ {
+		s.step(gen.Next())
+	}
+	baseCycles := s.cycles
+	baseInstr := s.instrs
+	baseAcc := s.accesses
+	baseBusy := s.bus.BusyCycles()
+	baseBytes := s.bus.BytesMoved()
+	baseTreeFetch := s.treeFetch
+	baseMACFetch := s.macFetch
+	baseExposure := s.exposure
+	baseTreeLookups := s.treeLookups
+	baseTreeMiss := s.treeMiss
+	baseCtrHits, baseCtrLookups := s.ctrHits, s.ctrLookups
+	l2Before := s.l2.Stats()
+
+	for i := 0; i < n; i++ {
+		s.step(gen.Next())
+	}
+
+	l2 := s.l2.Stats()
+	elapsed := s.cycles - baseCycles
+	res := Result{
+		Benchmark:       benchName,
+		Scheme:          s.scheme.Name,
+		Cycles:          elapsed,
+		Instructions:    s.instrs - baseInstr,
+		MemAccesses:     s.accesses - baseAcc,
+		L2DataShare:     l2.DataShareOfValid(),
+		TreeNodeFetches: s.treeFetch - baseTreeFetch,
+		MACFetches:      s.macFetch - baseMACFetch,
+		ExposureCycles:  s.exposure - baseExposure,
+		BytesMoved:      s.bus.BytesMoved() - baseBytes,
+		StallQueue:      s.stallQueue,
+		StallOverlap:    s.stallOverlap,
+		StallL2:         s.stallL2,
+	}
+	if elapsed > 0 {
+		res.BusUtilization = float64(s.bus.BusyCycles()-baseBusy) / float64(elapsed)
+		if res.BusUtilization > 1 {
+			res.BusUtilization = 1
+		}
+	}
+	// Local L2 miss rate over program accesses only — tree-node and MAC
+	// lookups are excluded, matching the paper's metric.
+	dataAccesses := (l2.Accesses - l2Before.Accesses) - (s.treeLookups - baseTreeLookups)
+	dataMisses := (l2.Misses - l2Before.Misses) - (s.treeMiss - baseTreeMiss)
+	if dataAccesses > 0 {
+		res.L2MissRate = float64(dataMisses) / float64(dataAccesses)
+	}
+	if s.ctrLookups > baseCtrLookups {
+		res.CtrHitRate = float64(s.ctrHits-baseCtrHits) / float64(s.ctrLookups-baseCtrLookups)
+	}
+	if s.predTries > 0 {
+		res.PredHitRate = float64(s.predHits) / float64(s.predTries)
+	}
+	res.Checkpoints = s.lhCheckpoints
+	res.Repermutes = s.repermutes
+	return res
+}

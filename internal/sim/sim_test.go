@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"testing"
+
+	"aisebmt/internal/trace"
+)
+
+func run(t *testing.T, s Scheme, bench string) Result {
+	t.Helper()
+	p, ok := trace.ProfileByName(bench)
+	if !ok {
+		t.Fatalf("no profile %q", bench)
+	}
+	r, err := RunScheme(s, DefaultMachine(), p, 30000, 100000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, SchemeAISEBMT(128), "art")
+	b := run(t, SchemeAISEBMT(128), "art")
+	if a != b {
+		t.Errorf("same inputs, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestBaselineCheapest(t *testing.T) {
+	base := run(t, Baseline(), "swim")
+	for _, s := range []Scheme{SchemeAISE(), SchemeGlobal64(), SchemeAISEMT(128), SchemeAISEBMT(128), SchemeGlobal64MT(128)} {
+		r := run(t, s, "swim")
+		if r.Cycles <= base.Cycles {
+			t.Errorf("%s (%d cycles) not slower than baseline (%d)", s.Name, r.Cycles, base.Cycles)
+		}
+	}
+}
+
+// TestPaperOrdering checks the headline qualitative result on a
+// memory-bound benchmark: AISE ≤ global32 ≤ global64 for encryption, and
+// AISE+BMT ≪ AISE+MT ≤ global64+MT for combined protection.
+func TestPaperOrdering(t *testing.T) {
+	base := run(t, Baseline(), "art")
+	ovh := func(s Scheme) float64 { return run(t, s, "art").Overhead(base) }
+	aise := ovh(SchemeAISE())
+	g32 := ovh(SchemeGlobal32())
+	g64 := ovh(SchemeGlobal64())
+	bmt := ovh(SchemeAISEBMT(128))
+	mt := ovh(SchemeAISEMT(128))
+	g64mt := ovh(SchemeGlobal64MT(128))
+	if !(aise < g32 && g32 < g64) {
+		t.Errorf("encryption ordering violated: AISE %.3f, g32 %.3f, g64 %.3f", aise, g32, g64)
+	}
+	if !(bmt < mt && mt < g64mt) {
+		t.Errorf("integrity ordering violated: BMT %.3f, MT %.3f, g64MT %.3f", bmt, mt, g64mt)
+	}
+	if bmt > mt/2 {
+		t.Errorf("BMT (%.3f) should be far below MT (%.3f)", bmt, mt)
+	}
+}
+
+// TestCachePollution reproduces Figure 9's shape: the standard tree evicts
+// data from L2 while the Bonsai tree barely does.
+func TestCachePollution(t *testing.T) {
+	base := run(t, Baseline(), "equake")
+	mt := run(t, SchemeAISEMT(128), "equake")
+	bmt := run(t, SchemeAISEBMT(128), "equake")
+	if base.L2DataShare < 0.999 {
+		t.Errorf("baseline data share = %.3f, want 1.0", base.L2DataShare)
+	}
+	if mt.L2DataShare > 0.85 {
+		t.Errorf("MT data share = %.3f; expected substantial pollution", mt.L2DataShare)
+	}
+	if bmt.L2DataShare < 0.90 {
+		t.Errorf("BMT data share = %.3f; Bonsai nodes should be tiny", bmt.L2DataShare)
+	}
+	if bmt.L2DataShare <= mt.L2DataShare {
+		t.Error("BMT pollutes at least as much as MT")
+	}
+}
+
+// TestMissRateAndBus reproduces Figure 10's shape: MT raises the data miss
+// rate and bus utilization; BMT nearly does not.
+func TestMissRateAndBus(t *testing.T) {
+	base := run(t, Baseline(), "mgrid")
+	mt := run(t, SchemeAISEMT(128), "mgrid")
+	bmt := run(t, SchemeAISEBMT(128), "mgrid")
+	if mt.L2MissRate <= base.L2MissRate {
+		t.Errorf("MT miss rate %.3f not above base %.3f", mt.L2MissRate, base.L2MissRate)
+	}
+	if bmt.L2MissRate >= mt.L2MissRate {
+		t.Errorf("BMT miss rate %.3f not below MT %.3f", bmt.L2MissRate, mt.L2MissRate)
+	}
+	if mt.BusUtilization <= base.BusUtilization {
+		t.Error("MT bus utilization not above base")
+	}
+	if bmt.BusUtilization >= mt.BusUtilization {
+		t.Error("BMT bus utilization not below MT")
+	}
+}
+
+// TestMACSizeSensitivity reproduces Figure 11's shape: MT degrades steeply
+// with MAC width; BMT stays nearly flat.
+func TestMACSizeSensitivity(t *testing.T) {
+	base := run(t, Baseline(), "applu")
+	mt32 := run(t, SchemeAISEMT(32), "applu").Overhead(base)
+	mt256 := run(t, SchemeAISEMT(256), "applu").Overhead(base)
+	bmt32 := run(t, SchemeAISEBMT(32), "applu").Overhead(base)
+	bmt256 := run(t, SchemeAISEBMT(256), "applu").Overhead(base)
+	if mt256 <= mt32 {
+		t.Errorf("MT: 256-bit (%.3f) not worse than 32-bit (%.3f)", mt256, mt32)
+	}
+	if mt256-mt32 <= 2*(bmt256-bmt32) {
+		t.Errorf("MT growth (%.3f) should far exceed BMT growth (%.3f)", mt256-mt32, bmt256-bmt32)
+	}
+}
+
+func TestCounterCacheReach(t *testing.T) {
+	// AISE's split counters cover 64x more data per cached block than
+	// 64-bit global counters; its hit rate must be higher.
+	aise := run(t, SchemeAISE(), "art")
+	g64 := run(t, SchemeGlobal64(), "art")
+	if aise.CtrHitRate <= g64.CtrHitRate {
+		t.Errorf("AISE ctr hit %.3f not above global64 %.3f", aise.CtrHitRate, g64.CtrHitRate)
+	}
+}
+
+func TestPreciseVerifyCostsMore(t *testing.T) {
+	s := SchemeAISEMT(128)
+	imprecise := run(t, s, "equake")
+	s.PreciseVerify = true
+	s.Name = "AISE+MT-precise"
+	precise := run(t, s, "equake")
+	if precise.Cycles <= imprecise.Cycles {
+		t.Errorf("precise verification (%d) not slower than timely (%d)", precise.Cycles, imprecise.Cycles)
+	}
+}
+
+func TestCachingDataMACsHurts(t *testing.T) {
+	// The paper's §5.2 design choice: data MACs have low reuse; caching
+	// them pollutes L2. The ablation must show no benefit on a
+	// memory-bound workload.
+	s := SchemeAISEBMT(128)
+	uncached := run(t, s, "art")
+	s.CacheDataMACs = true
+	s.Name = "AISE+BMT-macs-cached"
+	cached := run(t, s, "art")
+	if cached.L2DataShare >= uncached.L2DataShare {
+		t.Errorf("caching MACs did not reduce data share (%.3f vs %.3f)", cached.L2DataShare, uncached.L2DataShare)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := New(Scheme{Name: "bad", Integrity: IntegBMT}, DefaultMachine()); err == nil {
+		t.Error("BMT without encryption accepted")
+	}
+	if _, err := New(Scheme{Name: "bad", MACBits: 99}, DefaultMachine()); err == nil {
+		t.Error("bad MAC width accepted")
+	}
+	if _, err := New(Scheme{Name: "bad", Encryption: Encryption(42)}, DefaultMachine()); err == nil {
+		t.Error("unknown encryption accepted")
+	}
+	if _, err := New(Scheme{Name: "bad", Integrity: Integrity(42)}, DefaultMachine()); err == nil {
+		t.Error("unknown integrity accepted")
+	}
+}
+
+func TestOverheadMath(t *testing.T) {
+	base := Result{Cycles: 100}
+	r := Result{Cycles: 125}
+	if got := r.Overhead(base); got < 0.249 || got > 0.251 {
+		t.Errorf("Overhead = %f, want 0.25", got)
+	}
+	if (Result{Cycles: 5}).Overhead(Result{}) != 0 {
+		t.Error("zero-base overhead not guarded")
+	}
+}
+
+func TestExposureOnlyWithEncryption(t *testing.T) {
+	base := run(t, Baseline(), "mcf")
+	if base.ExposureCycles != 0 {
+		t.Error("baseline recorded decryption exposure")
+	}
+	enc := run(t, SchemeAISE(), "mcf")
+	if enc.ExposureCycles == 0 {
+		t.Error("AISE on mcf recorded no exposure at all")
+	}
+}
+
+func TestSchemeNamesPopulated(t *testing.T) {
+	for _, s := range []Scheme{Baseline(), SchemeGlobal32(), SchemeGlobal64(), SchemeAISE(), SchemeAISEMT(128), SchemeAISEBMT(128), SchemeGlobal64MT(128)} {
+		if s.Name == "" {
+			t.Error("scheme with empty name")
+		}
+	}
+}
+
+// TestResultInvariants: structural sanity across every scheme on one
+// benchmark — access counts, bounded rates, non-negative work counters.
+func TestResultInvariants(t *testing.T) {
+	schemes := []Scheme{Baseline(), SchemeDirect(), SchemeGlobal32(), SchemeGlobal64(),
+		SchemeAISE(), SchemeAISEPred(), SchemeMACOnly(128), SchemeLogHash(10000),
+		SchemeAISEMT(128), SchemeAISEBMT(128), SchemeGlobal64MT(128)}
+	for _, s := range schemes {
+		r := run(t, s, "equake")
+		if r.MemAccesses != 100000 {
+			t.Errorf("%s: accesses = %d, want 100000", s.Name, r.MemAccesses)
+		}
+		if r.Instructions <= r.MemAccesses {
+			t.Errorf("%s: instructions = %d not above accesses", s.Name, r.Instructions)
+		}
+		if r.Cycles == 0 {
+			t.Errorf("%s: zero cycles", s.Name)
+		}
+		if r.BusUtilization < 0 || r.BusUtilization > 1 {
+			t.Errorf("%s: bus utilization %f", s.Name, r.BusUtilization)
+		}
+		if r.L2MissRate < 0 || r.L2MissRate > 1 {
+			t.Errorf("%s: miss rate %f", s.Name, r.L2MissRate)
+		}
+		if r.L2DataShare < 0 || r.L2DataShare > 1 {
+			t.Errorf("%s: data share %f", s.Name, r.L2DataShare)
+		}
+		if r.CtrHitRate < 0 || r.CtrHitRate > 1 {
+			t.Errorf("%s: ctr hit rate %f", s.Name, r.CtrHitRate)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+
+	"aisebmt/internal/cache"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/trace"
+)
+
+// White-box tests of the timing model's internal mechanics: metadata
+// addressing, cached tree walks, writeback charging and the front end.
+
+func mustSim(t *testing.T, s Scheme) *Simulator {
+	t.Helper()
+	sm, err := New(s, DefaultMachine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+func TestCtrSlotAddressing(t *testing.T) {
+	// AISE: one counter block per 4KB page.
+	aise := mustSim(t, SchemeAISE())
+	if aise.ctrSlot(0x0000) != aise.ctrSlot(0x0fff) {
+		t.Error("AISE: same page, different counter blocks")
+	}
+	if aise.ctrSlot(0x0000) == aise.ctrSlot(0x1000) {
+		t.Error("AISE: adjacent pages share a counter block")
+	}
+	// global64: 8 counters per 64-byte block => one block covers 512B of data.
+	g64 := mustSim(t, SchemeGlobal64())
+	if g64.ctrSlot(0x000) != g64.ctrSlot(0x1ff) {
+		t.Error("global64: 512B window split across counter blocks")
+	}
+	if g64.ctrSlot(0x000) == g64.ctrSlot(0x200) {
+		t.Error("global64: distinct 512B windows share a counter block")
+	}
+	// global32: 16 counters per block => 1KB of data per counter block.
+	g32 := mustSim(t, SchemeGlobal32())
+	if g32.ctrSlot(0x000) != g32.ctrSlot(0x3ff) {
+		t.Error("global32: 1KB window split")
+	}
+	if g32.ctrSlot(0x000) == g32.ctrSlot(0x400) {
+		t.Error("global32: distinct windows share")
+	}
+	// Counter slots live in the counter region, past the data region.
+	if uint64(aise.ctrSlot(0)) < aise.machine.DataBytes {
+		t.Error("counter slot inside the data region")
+	}
+}
+
+func TestDataMACSlotAddressing(t *testing.T) {
+	bmt := mustSim(t, SchemeAISEBMT(128))
+	// 4 MACs (16B each) per 64-byte MAC block: blocks 0-3 share, 4 differs.
+	if bmt.dataMACSlot(0x00) != bmt.dataMACSlot(0xc0) {
+		t.Error("MAC block sharing wrong")
+	}
+	if bmt.dataMACSlot(0xc0) == bmt.dataMACSlot(0x100) {
+		t.Error("adjacent MAC groups share a block")
+	}
+	// Under coverage 4: one MAC per 4 blocks -> 16 data blocks per MAC block.
+	k4 := SchemeAISEBMT(128)
+	k4.MACCoverage = 4
+	cov := mustSim(t, k4)
+	if cov.dataMACSlot(0x000) != cov.dataMACSlot(0x3c0) {
+		t.Error("coverage-4 MAC block span wrong")
+	}
+	if cov.dataMACSlot(0x000) == cov.dataMACSlot(0x400) {
+		t.Error("coverage-4 groups collide")
+	}
+}
+
+func TestTreeWalkStopsAtCachedNode(t *testing.T) {
+	s := mustSim(t, SchemeAISEMT(128))
+	leaf := layout.Addr(0x40000)
+	nodes, err := s.tree.Walk(leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold walk fetches every level.
+	before := s.treeFetch
+	s.treeWalk(leaf, 0, false)
+	coldFetches := s.treeFetch - before
+	if coldFetches != uint64(len(nodes)) {
+		t.Fatalf("cold walk fetched %d nodes, want %d", coldFetches, len(nodes))
+	}
+	// Second walk of the same leaf: the level-0 node is now cached, so the
+	// walk stops immediately.
+	before = s.treeFetch
+	s.treeWalk(leaf, 1000, false)
+	if got := s.treeFetch - before; got != 0 {
+		t.Errorf("warm walk fetched %d nodes, want 0", got)
+	}
+	// A different leaf sharing only upper levels fetches exactly the
+	// uncached lower levels.
+	other := leaf + 4*layout.PageSize // different L0 node, shared upper levels
+	otherNodes, _ := s.tree.Walk(other)
+	shared := 0
+	for i := range otherNodes {
+		if otherNodes[i] == nodes[i] {
+			shared = len(otherNodes) - i
+			break
+		}
+	}
+	before = s.treeFetch
+	s.treeWalk(other, 2000, false)
+	if got := int(s.treeFetch - before); got != len(otherNodes)-shared {
+		t.Errorf("partial walk fetched %d, want %d", got, len(otherNodes)-shared)
+	}
+}
+
+func TestWritebackChargesBus(t *testing.T) {
+	s := mustSim(t, SchemeAISEBMT(128))
+	busy := s.bus.BusyCycles()
+	s.writebackVictim(victimOf(0x1000, true), 0)
+	if s.bus.BusyCycles() == busy {
+		t.Error("dirty data writeback moved no bytes")
+	}
+	// Clean victims cost nothing.
+	busy = s.bus.BusyCycles()
+	s.writebackVictim(victimOf(0x2000, false), 0)
+	if s.bus.BusyCycles() != busy {
+		t.Error("clean victim moved bytes")
+	}
+}
+
+func TestExposureAccounting(t *testing.T) {
+	// With an enormous counter cache every counter access hits after the
+	// first touch, so pad generation fully overlaps the 200-cycle fetch and
+	// exposure accrues only on compulsory counter misses.
+	m := DefaultMachine()
+	m.CtrBytes = 1 << 20
+	s, err := New(SchemeAISE(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := trace.ProfileByName("eon") // cache-resident workload
+	gen := trace.NewGenerator(p, 0, 3)
+	r := s.Run(gen, 20000, 50000, "eon")
+	perMiss := float64(r.ExposureCycles)
+	if r.CtrHitRate < 0.95 {
+		t.Errorf("huge counter cache hit rate = %.3f", r.CtrHitRate)
+	}
+	_ = perMiss
+}
+
+func victimOf(a layout.Addr, dirty bool) cache.Victim {
+	return cache.Victim{Valid: true, Addr: a, Dirty: dirty, Class: cache.Data}
+}

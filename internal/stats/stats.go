@@ -1,0 +1,167 @@
+// Package stats renders the experiment harness's tables and figures as
+// fixed-width text: the same rows and series the paper reports, printed so
+// runs can be diffed against EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table with each column padded to its widest cell.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Pct2 formats a fraction as a percentage with two decimals.
+func Pct2(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// BarChart renders grouped horizontal bars — the text analogue of the
+// paper's figures. Each category (benchmark) has one value per series
+// (scheme).
+type BarChart struct {
+	Title      string
+	Series     []string
+	Categories []string
+	// Values[category][series].
+	Values [][]float64
+	// Format renders a value label; defaults to Pct.
+	Format func(float64) string
+	// MaxWidth is the bar width in characters for the largest value.
+	MaxWidth int
+}
+
+// Render draws the chart.
+func (c *BarChart) Render() string {
+	format := c.Format
+	if format == nil {
+		format = Pct
+	}
+	width := c.MaxWidth
+	if width == 0 {
+		width = 50
+	}
+	var maxVal float64
+	for _, row := range c.Values {
+		for _, v := range row {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	nameW := 0
+	for _, s := range c.Series {
+		if len(s) > nameW {
+			nameW = len(s)
+		}
+	}
+	catW := 0
+	for _, cat := range c.Categories {
+		if len(cat) > catW {
+			catW = len(cat)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(c.Title)))
+		b.WriteByte('\n')
+	}
+	for ci, cat := range c.Categories {
+		fmt.Fprintf(&b, "%-*s\n", catW, cat)
+		for si, series := range c.Series {
+			v := 0.0
+			if ci < len(c.Values) && si < len(c.Values[ci]) {
+				v = c.Values[ci][si]
+			}
+			bar := int(v / maxVal * float64(width))
+			if v > 0 && bar == 0 {
+				bar = 1
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %s\n", nameW, series, strings.Repeat("#", bar), format(v))
+		}
+	}
+	return b.String()
+}
+
+// Mean returns the arithmetic mean of vs (0 for an empty slice).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-long", "23456")
+	out := tab.Render()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "beta-long") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + underline + header + separator + 2 rows.
+	if len(lines) != 6 {
+		t.Errorf("render has %d lines, want 6:\n%s", len(lines), out)
+	}
+	// Columns aligned: both data rows have the value right-aligned at the
+	// same end column.
+	if len(lines[4]) != len(lines[5]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[4], lines[5])
+	}
+}
+
+func TestTableNoTitleNoHeaders(t *testing.T) {
+	tab := &Table{}
+	tab.AddRow("x", "y")
+	out := tab.Render()
+	if strings.Contains(out, "=") || !strings.Contains(out, "x") {
+		t.Errorf("bare table render wrong:\n%s", out)
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{
+		Title:      "Overheads",
+		Series:     []string{"MT", "BMT"},
+		Categories: []string{"art", "avg"},
+		Values:     [][]float64{{0.5, 0.05}, {0.25, 0.02}},
+		MaxWidth:   20,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "art") || !strings.Contains(out, "50.0%") {
+		t.Errorf("chart missing content:\n%s", out)
+	}
+	// Largest value gets the full width.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	// Small nonzero values still draw at least one tick.
+	if strings.Contains(out, "| 2.0%") {
+		t.Errorf("nonzero value drew empty bar:\n%s", out)
+	}
+}
+
+func TestBarChartZeroSafe(t *testing.T) {
+	c := &BarChart{Series: []string{"s"}, Categories: []string{"c"}, Values: [][]float64{{0}}}
+	if out := c.Render(); !strings.Contains(out, "0.0%") {
+		t.Errorf("zero chart render:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.1234) != "12.3%" {
+		t.Errorf("Pct = %s", Pct(0.1234))
+	}
+	if Pct2(0.1234) != "12.34%" {
+		t.Errorf("Pct2 = %s", Pct2(0.1234))
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %f", got)
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// File format for externally supplied traces: an 8-byte magic, a uint64
+// record count, then fixed 13-byte records (gap uint32, addr uint64, write
+// byte), all little-endian. cmd/tracegen writes it; sim consumes it through
+// a Reader, so users can drive the simulator with traces from real
+// programs instead of the synthetic profiles.
+
+// Magic identifies a trace file.
+var Magic = [8]byte{'A', 'I', 'S', 'E', 'T', 'R', 'C', '1'}
+
+const recordSize = 4 + 8 + 1
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Writer streams accesses to a trace file.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	// countBack remembers the underlying stream for header fixup when it
+	// supports seeking; when it does not, the caller must know the count.
+	raw io.Writer
+}
+
+// NewWriter writes the header for n records and returns a Writer. The
+// count is fixed up front so the format stays streamable.
+func NewWriter(w io.Writer, n uint64) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], n)
+	if _, err := bw.Write(cnt[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, raw: w, count: n}, nil
+}
+
+// Write appends one access record.
+func (t *Writer) Write(a Access) error {
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint32(rec[0:4], a.Gap)
+	binary.LittleEndian.PutUint64(rec[4:12], a.Addr)
+	if a.Write {
+		rec[12] = 1
+	}
+	_, err := t.w.Write(rec[:])
+	return err
+}
+
+// Flush completes the file.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader streams accesses from a trace file, looping back to the start
+// when the record stream is exhausted (simulation runs may need more
+// accesses than the trace holds). It implements the simulator's Source
+// via Next.
+type Reader struct {
+	records []Access
+	pos     int
+}
+
+// NewReader parses an entire trace file into memory.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrBadTrace, err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing count: %v", ErrBadTrace, err)
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	const maxRecords = 1 << 28 // 256M records ≈ 3.5 GB; refuse absurd files
+	if n == 0 || n > maxRecords {
+		return nil, fmt.Errorf("%w: record count %d out of range", ErrBadTrace, n)
+	}
+	tr := &Reader{records: make([]Access, 0, n)}
+	var rec [recordSize]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, i, err)
+		}
+		tr.records = append(tr.records, Access{
+			Gap:   binary.LittleEndian.Uint32(rec[0:4]),
+			Addr:  binary.LittleEndian.Uint64(rec[4:12]),
+			Write: rec[12] != 0,
+		})
+	}
+	return tr, nil
+}
+
+// Len returns the number of records in the trace.
+func (t *Reader) Len() int { return len(t.records) }
+
+// Next returns the next access, wrapping at the end of the trace.
+func (t *Reader) Next() Access {
+	a := t.records[t.pos]
+	t.pos++
+	if t.pos == len(t.records) {
+		t.pos = 0
+	}
+	return a
+}

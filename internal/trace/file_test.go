@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	g := NewGenerator(p, 0, 5)
+	orig := g.GenerateN(1000)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, uint64(len(orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range orig {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(orig) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(orig))
+	}
+	for i, want := range orig {
+		if got := r.Next(); got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	// Wraps to the start.
+	if got := r.Next(); got != orig[0] {
+		t.Errorf("wrap read = %+v, want first record", got)
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(gaps []uint16, addrs []uint32, writes []bool) bool {
+		n := len(gaps)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		if n == 0 {
+			return true
+		}
+		recs := make([]Access, n)
+		for i := range recs {
+			recs[i] = Access{Gap: uint32(gaps[i]), Addr: uint64(addrs[i]), Write: writes[i]}
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, uint64(n))
+		if err != nil {
+			return false
+		}
+		for _, a := range recs {
+			if w.Write(a) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range recs {
+			if r.Next() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTATRACE-------"),
+		"zero count": append(append([]byte{}, Magic[:]...),
+			0, 0, 0, 0, 0, 0, 0, 0),
+		"truncated": append(append([]byte{}, Magic[:]...),
+			5, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3),
+	}
+	for name, data := range cases {
+		if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: err = %v, want ErrBadTrace", name, err)
+		}
+	}
+}
+
+func TestFileRejectsHugeCount(t *testing.T) {
+	hdr := append([]byte{}, Magic[:]...)
+	hdr = append(hdr, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := NewReader(bytes.NewReader(hdr)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("huge count: err = %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader: arbitrary bytes must never panic the trace parser; they
+// either parse or return ErrBadTrace-wrapped errors.
+func FuzzReader(f *testing.F) {
+	// A tiny valid file as seed.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 2)
+	w.Write(Access{Gap: 1, Addr: 64})
+	w.Write(Access{Gap: 2, Addr: 128, Write: true})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(Magic[:])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A parsed trace must be non-empty and iterable.
+		if r.Len() == 0 {
+			t.Fatal("parsed trace with zero records")
+		}
+		for i := 0; i < r.Len()+2; i++ {
+			r.Next() // wraps without panicking
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilesWellFormed(t *testing.T) {
+	if len(Profiles) != 21 {
+		t.Fatalf("want 21 profiles (paper §6), got %d", len(Profiles))
+	}
+	seen := map[string]bool{}
+	for _, p := range Profiles {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		sum := p.PL1 + p.PMid + p.PStream + p.PRandom
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: mixture weights sum to %f", p.Name, sum)
+		}
+		if p.WorkingSet == 0 || p.L1Set == 0 || p.MidSet == 0 || p.L1Set+p.MidSet > p.WorkingSet {
+			t.Errorf("%s: bad set sizes ws=%d l1=%d mid=%d", p.Name, p.WorkingSet, p.L1Set, p.MidSet)
+		}
+		if p.WriteFrac <= 0 || p.WriteFrac >= 1 {
+			t.Errorf("%s: write fraction %f", p.Name, p.WriteFrac)
+		}
+	}
+	// The paper's headliners must be present.
+	for _, name := range []string{"art", "mcf", "swim", "gzip", "gcc"} {
+		if !seen[name] {
+			t.Errorf("missing profile %q", name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, ok := ProfileByName("mcf")
+	if !ok || p.Name != "mcf" {
+		t.Fatal("mcf lookup failed")
+	}
+	if _, ok := ProfileByName("nonesuch"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p, _ := ProfileByName("art")
+	g1 := NewGenerator(p, 0, 42)
+	g2 := NewGenerator(p, 0, 42)
+	for i := 0; i < 10000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("traces diverge at access %d", i)
+		}
+	}
+	// A different seed gives a different trace.
+	g3 := NewGenerator(p, 0, 43)
+	same := 0
+	g1 = NewGenerator(p, 0, 42)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() == g3.Next() {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("different seeds produced %d/1000 identical accesses", same)
+	}
+}
+
+func TestAddressesWithinBounds(t *testing.T) {
+	f := func(seedLow uint32) bool {
+		p, _ := ProfileByName("equake")
+		g := NewGenerator(p, 1<<20, uint64(seedLow))
+		for i := 0; i < 2000; i++ {
+			a := g.Next()
+			if a.Addr < 1<<20 || a.Addr >= 1<<20+p.WorkingSet {
+				return false
+			}
+			if a.Addr%8 != 0 {
+				return false
+			}
+			if a.Gap == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFractionApproximate(t *testing.T) {
+	p, _ := ProfileByName("swim")
+	g := NewGenerator(p, 0, 7)
+	writes := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	got := float64(writes) / n
+	if got < p.WriteFrac-0.03 || got > p.WriteFrac+0.03 {
+		t.Errorf("write fraction %.3f, want ~%.2f", got, p.WriteFrac)
+	}
+}
+
+func TestMixtureShape(t *testing.T) {
+	// A high-PL1 profile should concentrate accesses: the fraction of
+	// accesses landing in the L1 set must be at least PL1 (far accesses may
+	// land there too).
+	p, _ := ProfileByName("eon")
+	g := NewGenerator(p, 0, 9)
+	inHot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Addr < p.L1Set {
+			inHot++
+		}
+	}
+	if frac := float64(inHot) / n; frac < p.PL1-0.02 {
+		t.Errorf("hot fraction %.3f < PL1 %.2f", frac, p.PL1)
+	}
+	// A random-heavy profile must spread: unique blocks touched among n
+	// accesses should be large.
+	p2, _ := ProfileByName("mcf")
+	g2 := NewGenerator(p2, 0, 9)
+	blocks := map[uint64]bool{}
+	far := 0
+	for i := 0; i < n; i++ {
+		a := g2.Next().Addr
+		if a >= p2.L1Set+p2.MidSet {
+			far++
+		}
+		blocks[a>>6] = true
+	}
+	if float64(far)/n < p2.PStream+p2.PRandom-0.06 {
+		t.Errorf("mcf far fraction %.3f below mixture", float64(far)/n)
+	}
+}
+
+func TestGenerateN(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	g := NewGenerator(p, 0, 1)
+	out := g.GenerateN(100)
+	if len(out) != 100 {
+		t.Fatalf("GenerateN returned %d", len(out))
+	}
+}
+
+func TestZeroSeedDefaults(t *testing.T) {
+	p, _ := ProfileByName("art")
+	g := NewGenerator(p, 0, 0)
+	if g.Next() == (Access{}) {
+		t.Error("zero-seed generator produced zero access")
+	}
+}

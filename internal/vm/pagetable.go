@@ -1,0 +1,84 @@
+package vm
+
+import "aisebmt/internal/layout"
+
+// pageTable is a two-level radix page table over a 32-bit virtual address
+// space, the structure Figure 2's virtual memory discussion assumes: a
+// 1024-entry page directory of lazily allocated 1024-entry leaf tables,
+// each leaf entry mapping one 4KB page. It replaces a flat map so the
+// address-space structure (sparse directories, sequential leaf scans)
+// matches real hardware page walks.
+type pageTable struct {
+	dirs [1 << 10]*ptLeaf
+	n    int
+}
+
+type ptLeaf struct {
+	entries [1 << 10]*pte
+}
+
+const (
+	ptLeafBits = 10
+	ptLeafMask = 1<<ptLeafBits - 1
+	// maxVPN bounds the 32-bit virtual address space (20 VPN bits).
+	maxVPN = 1 << 20
+)
+
+// get returns the entry for a virtual page number, or nil.
+func (t *pageTable) get(vpn uint64) *pte {
+	if vpn >= maxVPN {
+		return nil
+	}
+	leaf := t.dirs[vpn>>ptLeafBits]
+	if leaf == nil {
+		return nil
+	}
+	return leaf.entries[vpn&ptLeafMask]
+}
+
+// set installs (or replaces) the entry for a virtual page number. Setting
+// nil removes the mapping.
+func (t *pageTable) set(vpn uint64, e *pte) {
+	if vpn >= maxVPN {
+		panic("vm: virtual page number outside the 32-bit address space")
+	}
+	di := vpn >> ptLeafBits
+	leaf := t.dirs[di]
+	if leaf == nil {
+		if e == nil {
+			return
+		}
+		leaf = &ptLeaf{}
+		t.dirs[di] = leaf
+	}
+	old := leaf.entries[vpn&ptLeafMask]
+	leaf.entries[vpn&ptLeafMask] = e
+	switch {
+	case old == nil && e != nil:
+		t.n++
+	case old != nil && e == nil:
+		t.n--
+	}
+}
+
+// len returns the number of live entries.
+func (t *pageTable) len() int { return t.n }
+
+// walk visits every live entry in VPN order. The callback may not mutate
+// the table.
+func (t *pageTable) walk(f func(vpn uint64, e *pte)) {
+	for di, leaf := range t.dirs {
+		if leaf == nil {
+			continue
+		}
+		for li, e := range leaf.entries {
+			if e != nil {
+				f(uint64(di)<<ptLeafBits|uint64(li), e)
+			}
+		}
+	}
+}
+
+// vpnOf converts a virtual address to its page number, for call sites that
+// want the named operation rather than inline division.
+func vpnOf(vaddr uint64) uint64 { return vaddr / layout.PageSize }

@@ -1,0 +1,107 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageTableBasics(t *testing.T) {
+	var pt pageTable
+	if pt.get(5) != nil || pt.len() != 0 {
+		t.Fatal("empty table not empty")
+	}
+	e := &pte{valid: true, frame: 7}
+	pt.set(5, e)
+	if pt.get(5) != e || pt.len() != 1 {
+		t.Fatal("set/get failed")
+	}
+	// Replace does not change the count.
+	e2 := &pte{valid: true, frame: 8}
+	pt.set(5, e2)
+	if pt.get(5) != e2 || pt.len() != 1 {
+		t.Fatal("replace failed")
+	}
+	pt.set(5, nil)
+	if pt.get(5) != nil || pt.len() != 0 {
+		t.Fatal("delete failed")
+	}
+	// Deleting an absent entry in an unallocated directory is a no-op.
+	pt.set(1<<19, nil)
+	if pt.len() != 0 {
+		t.Fatal("phantom entry")
+	}
+}
+
+func TestPageTableCrossDirectory(t *testing.T) {
+	var pt pageTable
+	// Entries in distinct leaf tables (vpn differing above bit 10).
+	a := &pte{valid: true}
+	b := &pte{valid: true}
+	pt.set(0x3ff, a) // directory 0, last slot
+	pt.set(0x400, b) // directory 1, first slot
+	if pt.get(0x3ff) != a || pt.get(0x400) != b {
+		t.Fatal("cross-directory entries confused")
+	}
+	var got []uint64
+	pt.walk(func(vpn uint64, _ *pte) { got = append(got, vpn) })
+	if len(got) != 2 || got[0] != 0x3ff || got[1] != 0x400 {
+		t.Fatalf("walk order = %v", got)
+	}
+}
+
+func TestPageTableBounds(t *testing.T) {
+	var pt pageTable
+	if pt.get(maxVPN) != nil {
+		t.Error("out-of-space get returned an entry")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-space set did not panic")
+		}
+	}()
+	pt.set(maxVPN, &pte{})
+}
+
+// TestPageTableMatchesMap: the radix table behaves exactly like a map under
+// random set/delete sequences (property).
+func TestPageTableMatchesMap(t *testing.T) {
+	f := func(ops []uint32) bool {
+		var pt pageTable
+		ref := map[uint64]*pte{}
+		for _, op := range ops {
+			vpn := uint64(op) % maxVPN
+			if op%3 == 0 {
+				pt.set(vpn, nil)
+				delete(ref, vpn)
+			} else {
+				e := &pte{valid: true, frame: int(op)}
+				pt.set(vpn, e)
+				ref[vpn] = e
+			}
+		}
+		if pt.len() != len(ref) {
+			return false
+		}
+		for vpn, e := range ref {
+			if pt.get(vpn) != e {
+				return false
+			}
+		}
+		n := 0
+		pt.walk(func(vpn uint64, e *pte) {
+			if ref[vpn] == e {
+				n++
+			}
+		})
+		return n == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVPNOf(t *testing.T) {
+	if vpnOf(0x12345) != 0x12 {
+		t.Errorf("vpnOf = %#x", vpnOf(0x12345))
+	}
+}

@@ -1,0 +1,61 @@
+package vm
+
+// TLB is a small fully-associative translation cache with FIFO replacement,
+// tagged by (PID, virtual page number) so context switches need no flush
+// (an ASID-style design).
+type TLB struct {
+	capacity int
+	entries  map[tlbKey]int // -> frame
+	order    []tlbKey
+
+	Hits   uint64
+	Misses uint64
+}
+
+type tlbKey struct {
+	pid PID
+	vpn uint64
+}
+
+// NewTLB creates a TLB with the given entry capacity.
+func NewTLB(capacity int) *TLB {
+	return &TLB{capacity: capacity, entries: make(map[tlbKey]int)}
+}
+
+// Lookup returns the cached frame for (pid, vpn).
+func (t *TLB) Lookup(pid PID, vpn uint64) (int, bool) {
+	f, ok := t.entries[tlbKey{pid, vpn}]
+	if ok {
+		t.Hits++
+	} else {
+		t.Misses++
+	}
+	return f, ok
+}
+
+// Insert caches a translation, evicting the oldest entry when full.
+func (t *TLB) Insert(pid PID, vpn uint64, frame int) {
+	k := tlbKey{pid, vpn}
+	if _, ok := t.entries[k]; ok {
+		t.entries[k] = frame
+		return
+	}
+	for len(t.entries) >= t.capacity && len(t.order) > 0 {
+		old := t.order[0]
+		t.order = t.order[1:]
+		delete(t.entries, old)
+	}
+	t.entries[k] = frame
+	t.order = append(t.order, k)
+}
+
+// InvalidatePage drops one translation.
+func (t *TLB) InvalidatePage(pid PID, vpn uint64) {
+	delete(t.entries, tlbKey{pid, vpn})
+}
+
+// Flush drops every translation.
+func (t *TLB) Flush() {
+	t.entries = make(map[tlbKey]int)
+	t.order = nil
+}

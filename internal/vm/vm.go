@@ -1,0 +1,547 @@
+// Package vm is the operating-system substrate the paper's system-level
+// arguments run on: a virtual memory manager with per-process page tables,
+// a TLB, demand paging to a swap device, fork with copy-on-write, and
+// shared-memory IPC — all on top of the secure memory controller.
+//
+// The manager is deliberately scheme-agnostic: it issues the same
+// plaintext reads and writes regardless of how core.SecureMemory encrypts
+// and verifies them. The paper's qualitative comparisons then become
+// executable facts: AISE swaps and shares pages freely, physical-address
+// seeds force page re-encryption on every move, and virtual-address seeds
+// corrupt shared mappings across processes.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+)
+
+// PID identifies a process.
+type PID uint32
+
+// Stats counts VM events.
+type Stats struct {
+	PageFaults  uint64
+	SwapIns     uint64
+	SwapOuts    uint64
+	COWBreaks   uint64
+	Evictions   uint64
+	TLBHits     uint64
+	TLBMisses   uint64
+	FramesInUse int
+}
+
+// pte is a page table entry.
+type pte struct {
+	frame    int  // physical frame index when present
+	present  bool // in physical memory
+	writable bool
+	cow      bool // copy-on-write: shared frame, private logical page
+	shared   bool // genuinely shared mapping (IPC); writes do not break it
+	swapSlot int  // swap slot when not present
+	valid    bool
+}
+
+// owner records one (process, virtual page) mapping of a frame.
+type owner struct {
+	pid PID
+	vpn uint64
+}
+
+type frameInfo struct {
+	used   bool
+	pinned bool // temporarily ineligible for eviction (mid-copy)
+	owners []owner
+}
+
+// Process is an address space backed by a two-level radix page table.
+type Process struct {
+	PID   PID
+	pages pageTable
+}
+
+// SwapDevice is the untrusted disk's swap area: it stores page images by
+// slot. Attackers can read and replace images freely (see Tamper).
+type SwapDevice struct {
+	slots map[int]*core.PageImage
+	free  []int
+}
+
+// NewSwapDevice creates a device with the given slot capacity.
+func NewSwapDevice(capacity int) *SwapDevice {
+	d := &SwapDevice{slots: make(map[int]*core.PageImage)}
+	for i := capacity - 1; i >= 0; i-- {
+		d.free = append(d.free, i)
+	}
+	return d
+}
+
+func (d *SwapDevice) alloc() (int, error) {
+	if len(d.free) == 0 {
+		return 0, errors.New("vm: swap device full")
+	}
+	s := d.free[len(d.free)-1]
+	d.free = d.free[:len(d.free)-1]
+	return s, nil
+}
+
+func (d *SwapDevice) release(slot int) {
+	delete(d.slots, slot)
+	d.free = append(d.free, slot)
+}
+
+// Image returns the stored image for a slot (attacker view).
+func (d *SwapDevice) Image(slot int) *core.PageImage { return d.slots[slot] }
+
+// Tamper replaces the stored image for a slot, modeling a disk attacker.
+func (d *SwapDevice) Tamper(slot int, img *core.PageImage) { d.slots[slot] = img }
+
+// Manager is the virtual memory manager.
+type Manager struct {
+	sm      *core.SecureMemory
+	frames  []frameInfo
+	procs   map[PID]*Process
+	swap    *SwapDevice
+	tlb     *TLB
+	nextPID PID
+	fifo    []int // eviction order of allocated frames
+	stats   Stats
+}
+
+// NewManager builds a VM manager over a secure memory. swapSlots bounds the
+// swap device; it must not exceed the controller's SwapSlots when the
+// scheme supports swapping.
+func NewManager(sm *core.SecureMemory, swapSlots int) *Manager {
+	nframes := int(sm.DataBytes() / layout.PageSize)
+	return &Manager{
+		sm:     sm,
+		frames: make([]frameInfo, nframes),
+		procs:  make(map[PID]*Process),
+		swap:   NewSwapDevice(swapSlots),
+		tlb:    NewTLB(64),
+	}
+}
+
+// Stats returns a copy of the manager's counters plus TLB totals.
+func (m *Manager) Stats() Stats {
+	st := m.stats
+	st.TLBHits, st.TLBMisses = m.tlb.Hits, m.tlb.Misses
+	for _, f := range m.frames {
+		if f.used {
+			st.FramesInUse++
+		}
+	}
+	return st
+}
+
+// Swap exposes the swap device (the attack surface on disk).
+func (m *Manager) Swap() *SwapDevice { return m.swap }
+
+// Memory exposes the underlying secure memory controller.
+func (m *Manager) Memory() *core.SecureMemory { return m.sm }
+
+// NewProcess creates an empty address space.
+func (m *Manager) NewProcess() *Process {
+	m.nextPID++
+	p := &Process{PID: m.nextPID}
+	m.procs[p.PID] = p
+	return p
+}
+
+// frameAddr returns the physical address of a frame.
+func frameAddr(frame int) layout.Addr {
+	return layout.Addr(uint64(frame) * layout.PageSize)
+}
+
+// allocFrame finds a free frame, evicting a victim to swap if none is free.
+func (m *Manager) allocFrame() (int, error) {
+	for i := range m.frames {
+		if !m.frames[i].used {
+			m.frames[i].used = true
+			m.fifo = append(m.fifo, i)
+			return i, nil
+		}
+	}
+	if err := m.evictOne(); err != nil {
+		return 0, err
+	}
+	return m.allocFrame()
+}
+
+// evictOne pushes the oldest allocated, unpinned frame to swap.
+func (m *Manager) evictOne() error {
+	for scanned := 0; scanned <= len(m.fifo) && len(m.fifo) > 0; scanned++ {
+		victim := m.fifo[0]
+		m.fifo = m.fifo[1:]
+		if !m.frames[victim].used {
+			continue
+		}
+		if m.frames[victim].pinned {
+			m.fifo = append(m.fifo, victim) // retry later, keep FIFO position
+			continue
+		}
+		return m.swapOutFrame(victim)
+	}
+	return errors.New("vm: no evictable frame")
+}
+
+func (m *Manager) swapOutFrame(frame int) error {
+	slot, err := m.swap.alloc()
+	if err != nil {
+		return err
+	}
+	img, err := m.sm.SwapOut(frameAddr(frame), slot)
+	if err != nil {
+		m.swap.release(slot)
+		return fmt.Errorf("vm: swap-out of frame %d: %w", frame, err)
+	}
+	m.swap.slots[slot] = img
+	for _, o := range m.frames[frame].owners {
+		p := m.procs[o.pid]
+		e := p.pages.get(o.vpn)
+		e.present = false
+		e.swapSlot = slot
+		m.tlb.InvalidatePage(o.pid, o.vpn)
+	}
+	m.frames[frame] = frameInfo{}
+	m.stats.SwapOuts++
+	m.stats.Evictions++
+	return nil
+}
+
+// swapInPage brings the page behind a PTE into a (possibly new) frame.
+func (m *Manager) swapInPage(e *pte, o owner) error {
+	img := m.swap.slots[e.swapSlot]
+	if img == nil {
+		return fmt.Errorf("vm: swap slot %d empty", e.swapSlot)
+	}
+	frame, err := m.allocFrame()
+	if err != nil {
+		return err
+	}
+	if err := m.sm.SwapIn(img, frameAddr(frame), e.swapSlot); err != nil {
+		m.frames[frame] = frameInfo{}
+		return fmt.Errorf("vm: swap-in: %w", err)
+	}
+	slot := e.swapSlot
+	// Re-point every mapping of this logical page (shared pages have
+	// several owners parked on the same slot).
+	for pid, p := range m.procs {
+		p.pages.walk(func(vpn uint64, pe *pte) {
+			if pe.valid && !pe.present && pe.swapSlot == slot {
+				pe.present = true
+				pe.frame = frame
+				m.frames[frame].owners = append(m.frames[frame].owners, owner{pid, vpn})
+			}
+		})
+	}
+	if len(m.frames[frame].owners) == 0 {
+		m.frames[frame].owners = append(m.frames[frame].owners, o)
+	}
+	m.swap.release(slot)
+	m.stats.SwapIns++
+	return nil
+}
+
+// Map allocates npages of fresh, zeroed, writable memory at vaddr.
+func (m *Manager) Map(p *Process, vaddr uint64, npages int) error {
+	if vaddr%layout.PageSize != 0 {
+		return fmt.Errorf("vm: vaddr %#x not page aligned", vaddr)
+	}
+	vpn := vaddr / layout.PageSize
+	for i := 0; i < npages; i++ {
+		if e := p.pages.get(vpn + uint64(i)); e != nil && e.valid {
+			return fmt.Errorf("vm: page %#x already mapped", (vpn+uint64(i))*layout.PageSize)
+		}
+	}
+	for i := 0; i < npages; i++ {
+		frame, err := m.allocFrame()
+		if err != nil {
+			return err
+		}
+		m.frames[frame].owners = []owner{{p.PID, vpn + uint64(i)}}
+		p.pages.set(vpn+uint64(i), &pte{frame: frame, present: true, writable: true, valid: true})
+		// Zero the page through the processor so counters/MACs are fresh.
+		if err := m.zeroPage(frame, p.PID, (vpn+uint64(i))*layout.PageSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) zeroPage(frame int, pid PID, vaddr uint64) error {
+	zero := make([]byte, layout.PageSize)
+	return m.sm.Write(frameAddr(frame), zero, core.Meta{VirtAddr: vaddr, PID: uint32(pid)})
+}
+
+// Unmap releases a process's mapping of npages at vaddr, freeing frames
+// whose last owner it was.
+func (m *Manager) Unmap(p *Process, vaddr uint64, npages int) error {
+	vpn := vaddr / layout.PageSize
+	for i := 0; i < npages; i++ {
+		e := p.pages.get(vpn + uint64(i))
+		if e == nil || !e.valid {
+			return fmt.Errorf("vm: page %#x not mapped", vaddr+uint64(i)*layout.PageSize)
+		}
+		if e.present {
+			m.dropOwner(e.frame, p.PID, vpn+uint64(i))
+		} else {
+			// Last owner of a swapped page releases the slot.
+			if m.ownersOfSlot(e.swapSlot) == 1 {
+				m.swap.release(e.swapSlot)
+			}
+		}
+		p.pages.set(vpn+uint64(i), nil)
+		m.tlb.InvalidatePage(p.PID, vpn+uint64(i))
+	}
+	return nil
+}
+
+func (m *Manager) ownersOfSlot(slot int) int {
+	n := 0
+	for _, p := range m.procs {
+		p.pages.walk(func(_ uint64, e *pte) {
+			if e.valid && !e.present && e.swapSlot == slot {
+				n++
+			}
+		})
+	}
+	return n
+}
+
+func (m *Manager) dropOwner(frame int, pid PID, vpn uint64) {
+	f := &m.frames[frame]
+	for i, o := range f.owners {
+		if o.pid == pid && o.vpn == vpn {
+			f.owners = append(f.owners[:i], f.owners[i+1:]...)
+			break
+		}
+	}
+	if len(f.owners) == 0 {
+		*f = frameInfo{}
+	}
+}
+
+// translate resolves (process, vaddr) to a physical address, faulting in
+// swapped pages and breaking COW on writes.
+func (m *Manager) translate(p *Process, vaddr uint64, write bool) (layout.Addr, error) {
+	vpn := vaddr / layout.PageSize
+	off := vaddr % layout.PageSize
+	if frame, ok := m.tlb.Lookup(p.PID, vpn); ok {
+		e := p.pages.get(vpn)
+		if e != nil && e.valid && e.present && (!write || (e.writable && !e.cow)) {
+			return frameAddr(frame) + layout.Addr(off), nil
+		}
+		// TLB hit but permissions force the slow path (e.g. COW write).
+		m.tlb.InvalidatePage(p.PID, vpn)
+	}
+	e := p.pages.get(vpn)
+	if e == nil || !e.valid {
+		return 0, fmt.Errorf("vm: segmentation fault: pid %d vaddr %#x", p.PID, vaddr)
+	}
+	if !e.present {
+		m.stats.PageFaults++
+		if err := m.swapInPage(e, owner{p.PID, vpn}); err != nil {
+			return 0, err
+		}
+	}
+	if write && !e.writable {
+		return 0, fmt.Errorf("vm: write to read-only page: pid %d vaddr %#x", p.PID, vaddr)
+	}
+	if write && e.cow && len(m.frames[e.frame].owners) > 1 {
+		if err := m.breakCOW(p, vpn, e); err != nil {
+			return 0, err
+		}
+	} else if write && e.cow {
+		// Sole remaining owner: reclaim the page as private.
+		e.cow = false
+	}
+	m.tlb.Insert(p.PID, vpn, e.frame)
+	return frameAddr(e.frame) + layout.Addr(off), nil
+}
+
+// breakCOW gives the writing process a private copy of a COW page. The copy
+// passes through the processor: plaintext is read from the shared frame and
+// written to the new frame, where it is re-encrypted under the new page's
+// own counters.
+func (m *Manager) breakCOW(p *Process, vpn uint64, e *pte) error {
+	// Pin the source frame: allocating the private copy may need an
+	// eviction, and the victim must never be the frame being copied.
+	m.frames[e.frame].pinned = true
+	defer func(f int) { m.frames[f].pinned = false }(e.frame)
+	newFrame, err := m.allocFrame()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, layout.PageSize)
+	meta := core.Meta{VirtAddr: vpn * layout.PageSize, PID: uint32(p.PID)}
+	if err := m.sm.Read(frameAddr(e.frame), buf, meta); err != nil {
+		return fmt.Errorf("vm: COW read: %w", err)
+	}
+	if err := m.sm.Write(frameAddr(newFrame), buf, meta); err != nil {
+		return fmt.Errorf("vm: COW write: %w", err)
+	}
+	m.dropOwner(e.frame, p.PID, vpn)
+	m.frames[newFrame].owners = []owner{{p.PID, vpn}}
+	e.frame = newFrame
+	e.cow = false
+	e.writable = true
+	m.stats.COWBreaks++
+	return nil
+}
+
+// Fork clones a process: all pages become copy-on-write mappings shared
+// with the parent, the optimization §4.2 shows virtual-address seeds break.
+func (m *Manager) Fork(parent *Process) *Process {
+	child := m.NewProcess()
+	parent.pages.walk(func(vpn uint64, e *pte) {
+		if !e.valid {
+			return
+		}
+		ce := *e
+		if !e.shared {
+			// Private pages become copy-on-write in both address spaces —
+			// including pages currently on swap, whose sharers reattach to
+			// one frame at fault-in and split on the first write.
+			e.cow = true
+			ce.cow = true
+			if e.present {
+				m.frames[e.frame].owners = append(m.frames[e.frame].owners, owner{child.PID, vpn})
+			}
+			m.tlb.InvalidatePage(parent.PID, vpn)
+		}
+		child.pages.set(vpn, &ce)
+	})
+	return child
+}
+
+// MapShared maps an existing page of src (at srcVaddr) into dst's address
+// space at dstVaddr — mmap-style shared-memory IPC. Both processes see the
+// same frame; writes are visible to both and never COW.
+func (m *Manager) MapShared(src *Process, srcVaddr uint64, dst *Process, dstVaddr uint64) error {
+	if srcVaddr%layout.PageSize != 0 || dstVaddr%layout.PageSize != 0 {
+		return errors.New("vm: shared mapping addresses must be page aligned")
+	}
+	se := src.pages.get(srcVaddr / layout.PageSize)
+	if se == nil || !se.valid {
+		return fmt.Errorf("vm: source page %#x not mapped", srcVaddr)
+	}
+	if !se.present {
+		m.stats.PageFaults++
+		if err := m.swapInPage(se, owner{src.PID, srcVaddr / layout.PageSize}); err != nil {
+			return err
+		}
+	}
+	dvpn := dstVaddr / layout.PageSize
+	if e := dst.pages.get(dvpn); e != nil && e.valid {
+		return fmt.Errorf("vm: destination page %#x already mapped", dstVaddr)
+	}
+	se.shared = true
+	dst.pages.set(dvpn, &pte{frame: se.frame, present: true, writable: true, shared: true, valid: true})
+	m.frames[se.frame].owners = append(m.frames[se.frame].owners, owner{dst.PID, dvpn})
+	return nil
+}
+
+// Read copies len(buf) bytes from the process's address space.
+func (m *Manager) Read(p *Process, vaddr uint64, buf []byte) error {
+	for len(buf) > 0 {
+		pa, err := m.translate(p, vaddr, false)
+		if err != nil {
+			return err
+		}
+		n := layout.PageSize - int(vaddr%layout.PageSize)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if err := m.sm.Read(pa, buf[:n], core.Meta{VirtAddr: vaddr, PID: uint32(p.PID)}); err != nil {
+			return err
+		}
+		buf = buf[n:]
+		vaddr += uint64(n)
+	}
+	return nil
+}
+
+// Write copies len(buf) bytes into the process's address space.
+func (m *Manager) Write(p *Process, vaddr uint64, buf []byte) error {
+	for len(buf) > 0 {
+		pa, err := m.translate(p, vaddr, true)
+		if err != nil {
+			return err
+		}
+		n := layout.PageSize - int(vaddr%layout.PageSize)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if err := m.sm.Write(pa, buf[:n], core.Meta{VirtAddr: vaddr, PID: uint32(p.PID)}); err != nil {
+			return err
+		}
+		buf = buf[n:]
+		vaddr += uint64(n)
+	}
+	return nil
+}
+
+// Exit tears down a process: every mapping is released, frames whose last
+// owner it was are freed, and swap slots holding its last reference are
+// recycled.
+func (m *Manager) Exit(p *Process) error {
+	vpns := make([]uint64, 0, p.pages.len())
+	p.pages.walk(func(vpn uint64, e *pte) {
+		if e.valid {
+			vpns = append(vpns, vpn)
+		}
+	})
+	for _, vpn := range vpns {
+		if err := m.Unmap(p, vpn*layout.PageSize, 1); err != nil {
+			return err
+		}
+	}
+	delete(m.procs, p.PID)
+	return nil
+}
+
+// Protect changes a page's writability (mprotect-style). Revoking write
+// access also drops any TLB entry so the next write takes the slow path
+// and faults.
+func (m *Manager) Protect(p *Process, vaddr uint64, writable bool) error {
+	e := p.pages.get(vpnOf(vaddr))
+	if e == nil || !e.valid {
+		return fmt.Errorf("vm: page %#x not mapped", vaddr)
+	}
+	e.writable = writable
+	m.tlb.InvalidatePage(p.PID, vaddr/layout.PageSize)
+	return nil
+}
+
+// ForceSwapOut evicts the frame backing a process page, for tests and
+// demonstrations that need a page on disk deterministically.
+func (m *Manager) ForceSwapOut(p *Process, vaddr uint64) error {
+	e := p.pages.get(vpnOf(vaddr))
+	if e == nil || !e.valid {
+		return fmt.Errorf("vm: page %#x not mapped", vaddr)
+	}
+	if !e.present {
+		return nil
+	}
+	return m.swapOutFrame(e.frame)
+}
+
+// IsResident reports whether a process page is currently in physical memory.
+func (m *Manager) IsResident(p *Process, vaddr uint64) bool {
+	e := p.pages.get(vpnOf(vaddr))
+	return e != nil && e.valid && e.present
+}
+
+// SwapSlotOf returns the swap slot backing a non-resident page (for attack
+// demonstrations), or -1.
+func (m *Manager) SwapSlotOf(p *Process, vaddr uint64) int {
+	e := p.pages.get(vpnOf(vaddr))
+	if e == nil || !e.valid || e.present {
+		return -1
+	}
+	return e.swapSlot
+}

@@ -1,0 +1,97 @@
+package aisebmt
+
+// Microbenchmarks for the individual substrates, complementing the
+// per-figure benchmarks in bench_test.go.
+
+import (
+	"testing"
+
+	"aisebmt/internal/cache"
+	"aisebmt/internal/counter"
+	"aisebmt/internal/integrity"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+	"aisebmt/internal/sim"
+	"aisebmt/internal/trace"
+)
+
+// BenchmarkCacheAccess measures the tag-array model's lookup+insert path.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New(cache.Config{Name: "L2", SizeBytes: 1 << 20, Ways: 8})
+	for i := 0; i < b.N; i++ {
+		a := layout.Addr(i%100000) * 64
+		if !c.Access(a, i%3 == 0) {
+			c.Insert(a, cache.Data, false)
+		}
+	}
+}
+
+// BenchmarkTreeVerify measures a functional Merkle verification (full
+// chain to the root) over a 64KB region.
+func BenchmarkTreeVerify(b *testing.B) {
+	m := mem.New(4 << 20)
+	tr, err := integrity.NewTree(m, []byte("integrity-test-k"), 128,
+		[]mem.Region{{Name: "d", Base: 0, Size: 64 << 10}}, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.VerifyBlock(layout.Addr(i%1024) * 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeUpdate measures a functional update chain to the root.
+func BenchmarkTreeUpdate(b *testing.B) {
+	m := mem.New(4 << 20)
+	tr, err := integrity.NewTree(m, []byte("integrity-test-k"), 128,
+		[]mem.Region{{Name: "d", Base: 0, Size: 64 << 10}}, 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.UpdateBlock(layout.Addr(i%1024) * 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCounterBlockCodec measures split-counter pack/unpack.
+func BenchmarkCounterBlockCodec(b *testing.B) {
+	cb := counter.Block{LPID: 12345}
+	for i := range cb.Minor {
+		cb.Minor[i] = uint8(i % 128)
+	}
+	b.SetBytes(layout.BlockSize)
+	for i := 0; i < b.N; i++ {
+		enc := cb.Encode()
+		cb = counter.DecodeBlock(enc)
+	}
+}
+
+// BenchmarkTraceGeneration measures the synthetic workload generator.
+func BenchmarkTraceGeneration(b *testing.B) {
+	p, _ := trace.ProfileByName("mcf")
+	g := trace.NewGenerator(p, 0, 1)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+// BenchmarkCMPThroughput measures 4-core simulation speed under the
+// heaviest scheme.
+func BenchmarkCMPThroughput(b *testing.B) {
+	p, _ := trace.ProfileByName("equake")
+	rsn := b.N / 4
+	if rsn < 100 {
+		rsn = 100
+	}
+	if _, err := sim.RunCMPScheme(sim.SchemeGlobal64MT(128), sim.DefaultMachine(), p, 4, 0, rsn, 3); err != nil {
+		b.Fatal(err)
+	}
+}
