@@ -1,0 +1,32 @@
+# Tier-1 gate for the aisebmt reproduction and its service layer.
+#
+#   make check   vet + build + full test suite + race pass on the
+#                concurrent packages (what CI and ROADMAP's tier-1 line run)
+#   make race    only the race pass (internal/shard, internal/server)
+#   make fuzz    a short fuzz session on the wire codec
+#   make bench   service benchmark: start secmemd, drive it with loadgen,
+#                write BENCH_service.json
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/shard/... ./internal/server/...
+
+fuzz:
+	$(GO) test -run=none -fuzz=FuzzRequestRoundTrip -fuzztime=20s ./internal/server/
+
+bench: build
+	./scripts/bench_service.sh

@@ -28,6 +28,7 @@ func main() {
 	warmup := flag.Int("warmup", 100000, "warmup accesses per benchmark run")
 	seed := flag.Uint64("seed", 12345, "trace generator seed")
 	quick := flag.Bool("quick", false, "use the reduced quick campaign")
+	workers := flag.Int("workers", 0, "campaign worker-pool width (0 = min(NumCPU, 8))")
 	jsonOut := flag.String("json", "", "also write machine-readable results to this file (compare experiment)")
 	mdOut := flag.String("md", "", "also write a Markdown reproduction report to this file (compare experiment)")
 	flag.Parse()
@@ -40,6 +41,7 @@ func main() {
 		cfg.Warmup = *warmup
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	if err := run(*exp, cfg, *jsonOut, *mdOut); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

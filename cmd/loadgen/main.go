@@ -1,0 +1,273 @@
+// Command loadgen drives a running secmemd with closed-loop concurrent
+// clients and reports service throughput, latency percentiles and error
+// counts per read/write mix.
+//
+// Usage:
+//
+//	secmemd &                                  # start the daemon
+//	loadgen -conns 16 -duration 3s -json       # writes BENCH_service.json
+//	loadgen -mixes 1.0,0.95,0.5 -dist uniform
+//
+// Each connection is one closed-loop client: it issues a request, waits
+// for the response, and immediately issues the next, so offered load
+// scales with -conns. Addresses follow a zipf (default) or uniform
+// distribution over the target pages; the read/write split is drawn per
+// operation from the mix's read fraction.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/server"
+	"aisebmt/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7393", "secmemd address")
+	conns := flag.Int("conns", 16, "concurrent closed-loop clients")
+	duration := flag.Duration("duration", 3*time.Second, "measurement length per mix")
+	ops := flag.Int("ops", 0, "fixed operation count per mix (overrides -duration when > 0)")
+	mixes := flag.String("mixes", "0.95,0.50", "comma-separated read fractions, one run per value")
+	dist := flag.String("dist", "zipf", "address distribution: zipf or uniform")
+	zipfS := flag.Float64("zipf-s", 1.2, "zipf skew parameter (s > 1)")
+	memSize := flag.String("mem", "16MiB", "target address-space size (must not exceed the daemon's -mem)")
+	opBytes := flag.Int("size", layout.BlockSize, "bytes per operation")
+	seed := flag.Int64("seed", 1, "address/mix random seed")
+	jsonOut := flag.Bool("json", false, "write machine-readable results to -out")
+	outPath := flag.String("out", "BENCH_service.json", "path for -json output")
+	flag.Parse()
+
+	bytes, err := parseSize(*memSize)
+	if err != nil {
+		fatalf("-mem: %v", err)
+	}
+	pages := bytes / layout.PageSize
+	if pages == 0 {
+		fatalf("-mem %s is smaller than one page", *memSize)
+	}
+	if *opBytes <= 0 || uint64(*opBytes) > layout.PageSize {
+		fatalf("-size must be in [1, %d]", layout.PageSize)
+	}
+	if *dist != "zipf" && *dist != "uniform" {
+		fatalf("-dist must be zipf or uniform")
+	}
+	var fracs []float64
+	for _, f := range strings.Split(*mixes, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v < 0 || v > 1 {
+			fatalf("-mixes: bad read fraction %q", f)
+		}
+		fracs = append(fracs, v)
+	}
+
+	out := benchOutput{
+		Addr: *addr, Conns: *conns, Dist: *dist, OpBytes: *opBytes,
+		MemBytes: bytes, Seed: *seed,
+	}
+	failed := false
+	for _, frac := range fracs {
+		run := runMix(*addr, *conns, frac, *duration, *ops, *dist, *zipfS, pages, *opBytes, *seed)
+		out.Runs = append(out.Runs, run)
+		fmt.Printf("mix read=%.0f%%: %d ops in %.2fs → %.0f ops/s, p50=%s p90=%s p99=%s max=%s, errors=%d\n",
+			frac*100, run.Ops, run.Seconds, run.Throughput,
+			us(run.Latency.P50), us(run.Latency.P90), us(run.Latency.P99), us(run.Latency.Max), run.Errors)
+		if run.Errors > 0 || run.Ops == 0 {
+			failed = true
+		}
+	}
+
+	// One final stats snapshot shows the service-side view of the run.
+	if c, err := server.Dial(*addr, 2*time.Second); err == nil {
+		if st, err := c.Stats(); err == nil {
+			out.ServerStats = &st
+			fmt.Printf("server: %d requests enqueued, %d batches (%.1f ops/batch), %d writes coalesced\n",
+				st.Enqueued, st.Batches, float64(st.BatchedOps)/max(1, float64(st.Batches)), st.CoalescedWrites)
+		}
+		c.Close()
+	}
+
+	if *jsonOut {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	// A run that moved no ops or saw errors is a failure — scripts (and the
+	// bench harness's wait-for-listener probe) key off the exit code.
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// benchOutput is the -json document.
+type benchOutput struct {
+	Addr        string              `json:"addr"`
+	Conns       int                 `json:"conns"`
+	Dist        string              `json:"dist"`
+	OpBytes     int                 `json:"op_bytes"`
+	MemBytes    uint64              `json:"mem_bytes"`
+	Seed        int64               `json:"seed"`
+	Runs        []mixResult         `json:"runs"`
+	ServerStats *shard.ServiceStats `json:"server_stats,omitempty"`
+}
+
+// mixResult is one read/write mix's measurement.
+type mixResult struct {
+	ReadFrac   float64   `json:"read_frac"`
+	Ops        uint64    `json:"ops"`
+	Errors     uint64    `json:"errors"`
+	Seconds    float64   `json:"seconds"`
+	Throughput float64   `json:"throughput_ops_per_sec"`
+	Latency    latencies `json:"latency_us"`
+}
+
+// latencies are microsecond percentiles over per-op round-trip times.
+type latencies struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// runMix measures one read fraction with conns closed-loop clients.
+func runMix(addr string, conns int, readFrac float64, duration time.Duration, fixedOps int, dist string, zipfS float64, pages uint64, opBytes int, seed int64) mixResult {
+	type workerOut struct {
+		lat  []int64 // ns
+		errs uint64
+	}
+	outs := make([]workerOut, conns)
+	deadline := time.Now().Add(duration)
+	opsPerWorker := 0
+	if fixedOps > 0 {
+		opsPerWorker = (fixedOps + conns - 1) / conns
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919 + int64(readFrac*1000)))
+			var zipf *rand.Zipf
+			if dist == "zipf" {
+				zipf = rand.NewZipf(rng, zipfS, 1, pages-1)
+			}
+			c, err := server.Dial(addr, 5*time.Second)
+			if err != nil {
+				outs[w].errs++
+				return
+			}
+			defer c.Close()
+			payload := make([]byte, opBytes)
+			rng.Read(payload)
+			for n := 0; ; n++ {
+				if opsPerWorker > 0 {
+					if n >= opsPerWorker {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				var page uint64
+				if zipf != nil {
+					page = zipf.Uint64()
+				} else {
+					page = rng.Uint64() % pages
+				}
+				// Block-aligned offset keeping the op inside its page.
+				maxOff := int(layout.PageSize) - opBytes
+				off := 0
+				if maxOff > 0 {
+					off = rng.Intn(maxOff/layout.BlockSize+1) * layout.BlockSize
+				}
+				a := layout.Addr(page*layout.PageSize + uint64(off))
+				t0 := time.Now()
+				if rng.Float64() < readFrac {
+					_, err = c.Read(a, opBytes, core.Meta{})
+				} else {
+					err = c.Write(a, payload, core.Meta{})
+				}
+				if err != nil {
+					outs[w].errs++
+					// A status error still completed a round trip on an
+					// intact stream; a transport error means the connection
+					// is dead — stop rather than spin-fail until deadline.
+					var se *server.StatusError
+					if !errors.As(err, &se) {
+						return
+					}
+				}
+				outs[w].lat = append(outs[w].lat, time.Since(t0).Nanoseconds())
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var all []int64
+	res := mixResult{ReadFrac: readFrac, Seconds: elapsed}
+	for _, o := range outs {
+		all = append(all, o.lat...)
+		res.Errors += o.errs
+	}
+	res.Ops = uint64(len(all))
+	if elapsed > 0 {
+		res.Throughput = float64(res.Ops) / elapsed
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(f float64) float64 {
+			return float64(all[int(f*float64(len(all)-1))]) / 1e3
+		}
+		res.Latency = latencies{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99), Max: float64(all[len(all)-1]) / 1e3}
+	}
+	return res
+}
+
+// us renders a microsecond value compactly.
+func us(v float64) string { return fmt.Sprintf("%.0fµs", v) }
+
+// parseSize accepts raw byte counts and KiB/MiB/GiB suffixes.
+func parseSize(s string) (uint64, error) {
+	mult := uint64(1)
+	for _, suf := range []struct {
+		name string
+		mult uint64
+	}{{"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10}} {
+		if strings.HasSuffix(s, suf.name) {
+			s, mult = strings.TrimSuffix(s, suf.name), suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

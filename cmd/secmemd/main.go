@@ -1,0 +1,183 @@
+// Command secmemd runs the secure-memory service daemon: a page-sharded
+// pool of secure memory controllers behind the wire protocol of
+// internal/server.
+//
+// Usage:
+//
+//	secmemd -listen 127.0.0.1:7393 -shards 4 -mem 16MiB -scheme aise-bmt
+//
+// The daemon serves read/write/verify/root/stats/swapout/swapin/hibernate
+// requests (drive it with cmd/loadgen) and shuts down gracefully on
+// SIGINT/SIGTERM: it stops accepting work, drains every shard queue, and
+// verifies the integrity of every shard before exiting. A non-zero exit
+// code after a signal means the final integrity sweep failed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/server"
+	"aisebmt/internal/shard"
+)
+
+// schemes maps the -scheme presets to controller configurations.
+var schemes = map[string]struct {
+	enc core.EncryptionScheme
+	itg core.IntegrityScheme
+}{
+	"aise-bmt":   {core.AISE, core.BonsaiMT},
+	"aise-mt":    {core.AISE, core.MerkleTree},
+	"aise":       {core.AISE, core.NoIntegrity},
+	"global64-mt": {core.CtrGlobal64, core.MerkleTree},
+	"none":       {core.NoEncryption, core.NoIntegrity},
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7393", "TCP listen address")
+	shardsN := flag.Int("shards", shard.DefaultShards, "number of independent secure-memory shards")
+	queue := flag.Int("queue", shard.DefaultQueueDepth, "bounded request-queue depth per shard")
+	batch := flag.Int("batch", shard.DefaultBatchMax, "max requests executed per shard lock acquisition")
+	memSize := flag.String("mem", "16MiB", "pool-wide protected data size (bytes, or KiB/MiB suffix)")
+	scheme := flag.String("scheme", "aise-bmt", "protection preset: aise-bmt, aise-mt, aise, global64-mt, none")
+	macBits := flag.Int("macbits", 128, "MAC width in bits (32, 64, 128, 256)")
+	swapSlots := flag.Int("swapslots", 64, "Page Root Directory slots per shard (0 disables swap)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout (queueing included)")
+	hibPath := flag.String("hibernate", "secmemd.hib", "file the hibernate operation writes the pool image to")
+	keyHex := flag.String("key", "", "32 hex chars of processor key (default: a fixed demo key)")
+	drain := flag.Duration("drain", 10*time.Second, "connection drain budget at shutdown")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "secmemd: ", log.LstdFlags)
+
+	bytes, err := parseSize(*memSize)
+	if err != nil {
+		logger.Fatalf("-mem: %v", err)
+	}
+	preset, ok := schemes[*scheme]
+	if !ok {
+		logger.Fatalf("-scheme: unknown preset %q", *scheme)
+	}
+	key := []byte("secmemd-demo-key")
+	if *keyHex != "" {
+		key, err = parseKey(*keyHex)
+		if err != nil {
+			logger.Fatalf("-key: %v", err)
+		}
+	}
+	slots := *swapSlots
+	if preset.itg != core.BonsaiMT {
+		slots = 0 // swap protection is a BMT feature; other presets run without it
+	}
+
+	pool, err := shard.New(shard.Config{
+		Shards:     *shardsN,
+		QueueDepth: *queue,
+		BatchMax:   *batch,
+		Core: core.Config{
+			DataBytes:  bytes,
+			MACBits:    *macBits,
+			Key:        key,
+			Encryption: preset.enc,
+			Integrity:  preset.itg,
+			SwapSlots:  slots,
+		},
+	})
+	if err != nil {
+		logger.Fatalf("pool: %v", err)
+	}
+
+	srv := server.New(pool, server.Options{
+		Timeout:       *timeout,
+		HibernatePath: *hibPath,
+		Logf:          logger.Printf,
+	})
+
+	// Install the signal handler before the listener becomes visible, so a
+	// supervisor that probes the port and then signals us always gets the
+	// graceful drain-and-verify path.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("serving %s on %s: %d shards × %s, scheme=%s mac=%db queue=%d batch=%d",
+		*memSize, ln.Addr(), *shardsN, sizeString(bytes/uint64(*shardsN)), *scheme, *macBits, *queue, *batch)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		logger.Printf("%v: draining connections and verifying %d shards before exit", sig, *shardsN)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		st := pool.Stats()
+		logger.Printf("clean shutdown: all shards verified (%d requests served, %d batches, %d writes coalesced)",
+			st.Enqueued, st.Batches, st.CoalescedWrites)
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	}
+}
+
+// parseSize accepts raw byte counts and KiB/MiB/GiB suffixes.
+func parseSize(s string) (uint64, error) {
+	mult := uint64(1)
+	for _, suf := range []struct {
+		name string
+		mult uint64
+	}{{"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10}} {
+		if strings.HasSuffix(s, suf.name) {
+			s, mult = strings.TrimSuffix(s, suf.name), suf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+// sizeString renders a byte count with a binary suffix.
+func sizeString(n uint64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// parseKey decodes 32 hex characters into the 16-byte processor key.
+func parseKey(s string) ([]byte, error) {
+	if len(s) != 32 {
+		return nil, fmt.Errorf("want 32 hex chars, got %d", len(s))
+	}
+	key := make([]byte, 16)
+	for i := 0; i < 16; i++ {
+		b, err := strconv.ParseUint(s[2*i:2*i+2], 16, 8)
+		if err != nil {
+			return nil, err
+		}
+		key[i] = byte(b)
+	}
+	return key, nil
+}

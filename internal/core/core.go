@@ -11,6 +11,17 @@
 // produces relocatable, attacker-visible page images; swap-in verifies them
 // through the Page Root Directory before their contents can reach the
 // processor.
+//
+// # Concurrency
+//
+// SecureMemory is NOT safe for concurrent use. It models one memory
+// controller pipeline: counters, MACs and the Merkle tree are mutated
+// non-atomically on every access, so callers must serialize all calls on a
+// given instance (including read-only-looking ones — ReadBlock bumps
+// statistics and walks shared tree state). Concurrent serving is a
+// service-layer concern: internal/shard provides a page-sharded pool of
+// independent, mutex-guarded controllers behind per-shard worker queues,
+// and internal/server puts a network front-end over it.
 package core
 
 import (
@@ -146,7 +157,9 @@ type Meta struct {
 	PID      uint32
 }
 
-// SecureMemory is a functional secure memory controller.
+// SecureMemory is a functional secure memory controller. Instances are
+// not safe for concurrent use; see the package comment's concurrency
+// contract (internal/shard provides the concurrent front-end).
 type SecureMemory struct {
 	cfg Config
 	mem *mem.Memory

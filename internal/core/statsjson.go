@@ -1,0 +1,52 @@
+package core
+
+import "encoding/json"
+
+// statsJSON is the canonical machine-readable shape of Stats. Every
+// serializer in the repository (the shard pool's service stats, the
+// secmemd stats endpoint, cmd/experiments exports) goes through this one
+// definition so field names never drift apart.
+type statsJSON struct {
+	BlockReads     uint64 `json:"block_reads"`
+	BlockWrites    uint64 `json:"block_writes"`
+	PadGens        uint64 `json:"pad_gens"`
+	MACOps         uint64 `json:"mac_ops"`
+	TreeUpdates    uint64 `json:"tree_updates"`
+	TreeVerifies   uint64 `json:"tree_verifies"`
+	PageReencrypts uint64 `json:"page_reencrypts"`
+	FullReencrypts uint64 `json:"full_reencrypts"`
+	SwapOuts       uint64 `json:"swap_outs"`
+	SwapIns        uint64 `json:"swap_ins"`
+}
+
+// MarshalJSON renders the counters under stable snake_case keys.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(statsJSON(s))
+}
+
+// UnmarshalJSON parses the shape written by MarshalJSON.
+func (s *Stats) UnmarshalJSON(b []byte) error {
+	var sj statsJSON
+	if err := json.Unmarshal(b, &sj); err != nil {
+		return err
+	}
+	*s = Stats(sj)
+	return nil
+}
+
+// Add returns the field-wise sum of two Stats, for aggregating counters
+// across controllers (the shard pool's service-level view).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		BlockReads:     s.BlockReads + o.BlockReads,
+		BlockWrites:    s.BlockWrites + o.BlockWrites,
+		PadGens:        s.PadGens + o.PadGens,
+		MACOps:         s.MACOps + o.MACOps,
+		TreeUpdates:    s.TreeUpdates + o.TreeUpdates,
+		PageReencrypts: s.PageReencrypts + o.PageReencrypts,
+		FullReencrypts: s.FullReencrypts + o.FullReencrypts,
+		TreeVerifies:   s.TreeVerifies + o.TreeVerifies,
+		SwapOuts:       s.SwapOuts + o.SwapOuts,
+		SwapIns:        s.SwapIns + o.SwapIns,
+	}
+}

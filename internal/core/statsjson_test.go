@@ -1,0 +1,44 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	s := Stats{
+		BlockReads: 1, BlockWrites: 2, PadGens: 3, MACOps: 4,
+		TreeUpdates: 5, TreeVerifies: 6, PageReencrypts: 7,
+		FullReencrypts: 8, SwapOuts: 9, SwapIns: 10,
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, key := range []string{
+		"block_reads", "block_writes", "pad_gens", "mac_ops",
+		"tree_updates", "tree_verifies", "page_reencrypts",
+		"full_reencrypts", "swap_outs", "swap_ins",
+	} {
+		if !strings.Contains(string(b), `"`+key+`"`) {
+			t.Fatalf("canonical key %q missing from %s", key, b)
+		}
+	}
+	var got Stats
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got != s {
+		t.Fatalf("round-trip: got %+v, want %+v", got, s)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{BlockReads: 1, SwapIns: 2, MACOps: 3}
+	b := Stats{BlockReads: 10, SwapIns: 20, TreeVerifies: 30}
+	sum := a.Add(b)
+	if sum.BlockReads != 11 || sum.SwapIns != 22 || sum.MACOps != 3 || sum.TreeVerifies != 30 {
+		t.Fatalf("Add: %+v", sum)
+	}
+}

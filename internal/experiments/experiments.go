@@ -30,6 +30,9 @@ type Config struct {
 	// HeavyCut is the base local L2 miss rate above which a benchmark is
 	// plotted individually (averages always cover all benchmarks).
 	HeavyCut float64
+	// Workers sizes the campaign's worker pool. 0 means min(NumCPU, 8);
+	// results are deterministic regardless of the value.
+	Workers int
 }
 
 // Default returns the configuration used for EXPERIMENTS.md: every
@@ -73,9 +76,12 @@ func Campaign(cfg Config, schemes ...sim.Scheme) ([]Series, error) {
 		err    error
 	}
 	results := make(chan res)
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+		if workers > 8 {
+			workers = 8
+		}
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

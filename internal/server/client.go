@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+)
+
+// Client is a synchronous wire-protocol client over one TCP connection.
+// It is not safe for concurrent use; closed-loop load generators open one
+// Client per worker.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+}
+
+// Dial connects to a secmemd server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads its response.
+func (c *Client) Do(q *Request) (*Response, error) {
+	if err := EncodeRequest(c.bw, q); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	return DecodeResponse(c.br)
+}
+
+// StatusError reports a non-OK response as a Go error.
+type StatusError struct {
+	Op     Op
+	Status Status
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: %s: %s: %s", e.Op, e.Status, e.Msg)
+}
+
+// check converts a non-OK response into a *StatusError.
+func check(op Op, p *Response) error {
+	if p.Status == StatusOK {
+		return nil
+	}
+	return &StatusError{Op: op, Status: p.Status, Msg: string(p.Data)}
+}
+
+// Read fetches n plaintext bytes at addr.
+func (c *Client) Read(addr layout.Addr, n int, meta core.Meta) ([]byte, error) {
+	p, err := c.Do(&Request{Op: OpRead, Addr: uint64(addr), Virt: meta.VirtAddr, PID: meta.PID, Count: uint32(n)})
+	if err != nil {
+		return nil, err
+	}
+	if err := check(OpRead, p); err != nil {
+		return nil, err
+	}
+	return p.Data, nil
+}
+
+// Write stores plaintext bytes at addr.
+func (c *Client) Write(addr layout.Addr, data []byte, meta core.Meta) error {
+	p, err := c.Do(&Request{Op: OpWrite, Addr: uint64(addr), Virt: meta.VirtAddr, PID: meta.PID, Data: data})
+	if err != nil {
+		return err
+	}
+	return check(OpWrite, p)
+}
+
+// Verify runs the service-wide integrity sweep.
+func (c *Client) Verify() error {
+	p, err := c.Do(&Request{Op: OpVerify})
+	if err != nil {
+		return err
+	}
+	return check(OpVerify, p)
+}
+
+// Roots fetches the per-shard tree roots.
+func (c *Client) Roots() ([][]byte, error) {
+	p, err := c.Do(&Request{Op: OpRoot})
+	if err != nil {
+		return nil, err
+	}
+	if err := check(OpRoot, p); err != nil {
+		return nil, err
+	}
+	var roots [][]byte
+	b := p.Data
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("server: truncated roots payload")
+		}
+		n := int(b[0])<<24 | int(b[1])<<16 | int(b[2])<<8 | int(b[3])
+		b = b[4:]
+		if n > len(b) {
+			return nil, fmt.Errorf("server: truncated root of %d bytes", n)
+		}
+		roots = append(roots, append([]byte(nil), b[:n]...))
+		b = b[n:]
+	}
+	return roots, nil
+}
+
+// Stats fetches the service-level statistics.
+func (c *Client) Stats() (shard.ServiceStats, error) {
+	var st shard.ServiceStats
+	p, err := c.Do(&Request{Op: OpStats})
+	if err != nil {
+		return st, err
+	}
+	if err := check(OpStats, p); err != nil {
+		return st, err
+	}
+	err = json.Unmarshal(p.Data, &st)
+	return st, err
+}
+
+// SwapOut evicts the page at addr to a client-held image.
+func (c *Client) SwapOut(addr layout.Addr, slot int) (*core.PageImage, error) {
+	p, err := c.Do(&Request{Op: OpSwapOut, Addr: uint64(addr), Slot: uint32(slot)})
+	if err != nil {
+		return nil, err
+	}
+	if err := check(OpSwapOut, p); err != nil {
+		return nil, err
+	}
+	return DecodeImage(p.Data)
+}
+
+// SwapIn installs a client-held image at addr.
+func (c *Client) SwapIn(img *core.PageImage, addr layout.Addr, slot int) error {
+	p, err := c.Do(&Request{Op: OpSwapIn, Addr: uint64(addr), Slot: uint32(slot), Data: EncodeImage(img)})
+	if err != nil {
+		return err
+	}
+	return check(OpSwapIn, p)
+}
+
+// Hibernate asks the daemon to write its pool image to disk.
+func (c *Client) Hibernate() error {
+	p, err := c.Do(&Request{Op: OpHibernate})
+	if err != nil {
+		return err
+	}
+	return check(OpHibernate, p)
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRequestRoundTrip checks the codec both ways: any decodable request
+// frame body re-encodes to an identical frame, and arbitrary bytes never
+// panic the decoder.
+func FuzzRequestRoundTrip(f *testing.F) {
+	seed := [][]byte{}
+	for _, q := range []*Request{
+		{Op: OpRead, Addr: 4096, Count: 64},
+		{Op: OpWrite, Addr: 64, Virt: 1 << 40, PID: 9, Data: []byte("hello")},
+		{Op: OpSwapIn, Addr: 8192, Slot: 3, Data: bytes.Repeat([]byte{1}, 64)},
+		{Op: OpHibernate},
+	} {
+		var buf bytes.Buffer
+		if err := EncodeRequest(&buf, q); err != nil {
+			f.Fatal(err)
+		}
+		seed = append(seed, buf.Bytes()[4:]) // frame body without the length prefix
+	}
+	seed = append(seed, []byte{}, []byte{0}, bytes.Repeat([]byte{0xff}, reqHeaderLen))
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		q, err := parseRequest(body)
+		if err != nil {
+			return // rejected input; the only requirement is no panic
+		}
+		var buf bytes.Buffer
+		if err := EncodeRequest(&buf, q); err != nil {
+			t.Fatalf("decoded request failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes()[4:], body) {
+			t.Fatalf("round-trip changed the frame body:\n in  %x\n out %x", body, buf.Bytes()[4:])
+		}
+		q2, err := DecodeRequest(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v", err)
+		}
+		if q.Op != q2.Op || q.Addr != q2.Addr || q.Virt != q2.Virt ||
+			q.PID != q2.PID || q.Count != q2.Count || q.Slot != q2.Slot ||
+			!bytes.Equal(q.Data, q2.Data) {
+			t.Fatal("double round-trip mismatch")
+		}
+	})
+}
+
+// FuzzResponseDecode feeds arbitrary frames to the response decoder.
+func FuzzResponseDecode(f *testing.F) {
+	var ok bytes.Buffer
+	EncodeResponse(&ok, &Response{Status: StatusOK, Data: []byte("x")})
+	f.Add(ok.Bytes())
+	f.Add([]byte{0, 0, 0, 1, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		p, err := DecodeResponse(bytes.NewReader(frame))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeResponse(&buf, p); err != nil {
+			t.Fatalf("decoded response failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+)
+
+// Options tunes a Server. The zero value is usable.
+type Options struct {
+	// Timeout bounds each request's execution (queueing included);
+	// 0 means 5s.
+	Timeout time.Duration
+	// HibernatePath is where OpHibernate writes the pool image;
+	// "" means "secmemd.hib".
+	HibernatePath string
+	// Logf, when non-nil, receives connection-level events.
+	Logf func(format string, args ...any)
+}
+
+// Server speaks the wire protocol over TCP on behalf of a shard.Pool.
+// Requests on one connection are served in order; concurrency comes from
+// concurrent connections, which the pool fans out across shards.
+type Server struct {
+	pool *shard.Pool
+	opts Options
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New wraps a pool in a server.
+func New(pool *shard.Pool, opts Options) *Server {
+	if opts.Timeout == 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.HibernatePath == "" {
+		opts.HibernatePath = "secmemd.hib"
+	}
+	return &Server{pool: pool, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on ln until Shutdown. Each connection gets a
+// goroutine running a decode→dispatch→encode loop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown drains the server: stop accepting, wait for in-flight
+// connections to finish their current request and observe the close, then
+// drain-and-verify the pool (every shard runs a final integrity sweep).
+// The context bounds the connection drain only; the pool verify always
+// runs.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.draining = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	// Nudge idle connections out of their blocking read; a connection in
+	// the middle of a request finishes serving it first because serveConn
+	// only checks draining between requests.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	}
+	if err := s.pool.Close(); err != nil {
+		return err
+	}
+	return drainErr
+}
+
+// serveConn runs one connection's request loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	for {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return
+		}
+		conn.SetReadDeadline(time.Time{})
+		q, err := DecodeRequest(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, os.ErrDeadlineExceeded) && s.opts.Logf != nil {
+				s.opts.Logf("conn %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(q)
+		if err := EncodeResponse(conn, resp); err != nil {
+			if s.opts.Logf != nil {
+				s.opts.Logf("conn %s: write: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the pool.
+func (s *Server) dispatch(q *Request) *Response {
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout)
+	defer cancel()
+	meta := core.Meta{VirtAddr: q.Virt, PID: q.PID}
+	switch q.Op {
+	case OpRead:
+		if q.Count > MaxFrame-1 {
+			return fail(StatusBadRequest, fmt.Errorf("read of %d bytes exceeds frame limit", q.Count))
+		}
+		buf := make([]byte, q.Count)
+		if err := s.pool.Read(ctx, layout.Addr(q.Addr), buf, meta); err != nil {
+			return fail(classify(err), err)
+		}
+		return &Response{Status: StatusOK, Data: buf}
+	case OpWrite:
+		if err := s.pool.Write(ctx, layout.Addr(q.Addr), q.Data, meta); err != nil {
+			return fail(classify(err), err)
+		}
+		return &Response{Status: StatusOK}
+	case OpVerify:
+		if err := s.pool.Verify(ctx); err != nil {
+			return fail(classify(err), err)
+		}
+		return &Response{Status: StatusOK}
+	case OpRoot:
+		var out []byte
+		for _, root := range s.pool.Roots() {
+			var n [4]byte
+			n[0] = byte(len(root) >> 24)
+			n[1] = byte(len(root) >> 16)
+			n[2] = byte(len(root) >> 8)
+			n[3] = byte(len(root))
+			out = append(out, n[:]...)
+			out = append(out, root...)
+		}
+		return &Response{Status: StatusOK, Data: out}
+	case OpStats:
+		data, err := json.Marshal(s.pool.Stats())
+		if err != nil {
+			return fail(StatusInternal, err)
+		}
+		return &Response{Status: StatusOK, Data: data}
+	case OpSwapOut:
+		img, err := s.pool.SwapOut(ctx, layout.Addr(q.Addr), int(q.Slot))
+		if err != nil {
+			return fail(classify(err), err)
+		}
+		return &Response{Status: StatusOK, Data: EncodeImage(img)}
+	case OpSwapIn:
+		img, err := DecodeImage(q.Data)
+		if err != nil {
+			return fail(StatusBadRequest, err)
+		}
+		if err := s.pool.SwapIn(ctx, img, layout.Addr(q.Addr), int(q.Slot)); err != nil {
+			return fail(classify(err), err)
+		}
+		return &Response{Status: StatusOK}
+	case OpHibernate:
+		n, err := s.hibernate()
+		if err != nil {
+			return fail(StatusInternal, err)
+		}
+		return &Response{Status: StatusOK, Data: []byte(fmt.Sprintf(`{"path":%q,"bytes":%d}`, s.opts.HibernatePath, n))}
+	default:
+		return fail(StatusBadRequest, fmt.Errorf("unknown op %d", q.Op))
+	}
+}
+
+// hibernate writes the pool image plus its chip states to HibernatePath
+// (the daemon plays the role of the machine's non-volatile storage; a
+// real deployment would keep the chip states in a separate trusted
+// store — here they share the file, which models an operator backup, not
+// the trust boundary).
+func (s *Server) hibernate() (int64, error) {
+	f, err := os.Create(s.opts.HibernatePath)
+	if err != nil {
+		return 0, err
+	}
+	chips, err := s.pool.Hibernate(f)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := json.NewEncoder(f).Encode(chips); err != nil {
+		f.Close()
+		return 0, err
+	}
+	n, err := f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	return n, f.Close()
+}
+
+// fail builds an error response.
+func fail(st Status, err error) *Response {
+	return &Response{Status: st, Data: []byte(err.Error())}
+}
+
+// classify maps pool/core errors to wire statuses.
+func classify(err error) Status {
+	switch {
+	case errors.Is(err, core.ErrTampered):
+		return StatusTampered
+	case errors.Is(err, core.ErrUnsupported):
+		return StatusUnsupported
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return StatusTimeout
+	case errors.Is(err, shard.ErrClosed):
+		return StatusInternal
+	default:
+		return StatusBadRequest
+	}
+}

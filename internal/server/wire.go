@@ -1,0 +1,214 @@
+// Package server is the secure-memory service front-end: a small
+// length-prefixed binary wire protocol and a TCP server that exposes a
+// shard.Pool's operations (read, write, verify, root, stats, swapout,
+// swapin, hibernate) with per-request timeouts and graceful
+// drain-on-shutdown. cmd/secmemd wraps it as a daemon and cmd/loadgen
+// drives it as a client.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Op identifies a request operation.
+type Op uint8
+
+// Wire operations.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+	OpVerify
+	OpRoot
+	OpStats
+	OpSwapOut
+	OpSwapIn
+	OpHibernate
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpVerify:
+		return "verify"
+	case OpRoot:
+		return "root"
+	case OpStats:
+		return "stats"
+	case OpSwapOut:
+		return "swapout"
+	case OpSwapIn:
+		return "swapin"
+	case OpHibernate:
+		return "hibernate"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Status is a response's outcome class.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	StatusTampered
+	StatusUnsupported
+	StatusBadRequest
+	StatusTimeout
+	StatusInternal
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusTampered:
+		return "tampered"
+	case StatusUnsupported:
+		return "unsupported"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusTimeout:
+		return "timeout"
+	case StatusInternal:
+		return "error"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// MaxFrame bounds a frame body; it must admit a swap image (a 4KB page,
+// its counter block and up to 64 32-byte MACs) with room to spare.
+const MaxFrame = 1 << 20
+
+// reqHeaderLen is the fixed request body prefix: op(1) + addr(8) +
+// virt(8) + pid(4) + count(4) + slot(4).
+const reqHeaderLen = 1 + 8 + 8 + 4 + 4 + 4
+
+// Request is one wire request. All operations share a fixed header;
+// fields an operation does not use are zero. Data carries the payload for
+// writes (plaintext) and swapin (an encoded PageImage).
+type Request struct {
+	Op    Op
+	Addr  uint64
+	Virt  uint64 // Meta.VirtAddr for read/write
+	PID   uint32 // Meta.PID for read/write
+	Count uint32 // byte count for reads
+	Slot  uint32 // directory slot for swapout/swapin
+	Data  []byte
+}
+
+// Response is one wire response. Data carries read plaintext, an encoded
+// PageImage for swapout, JSON for stats, concatenated per-shard roots for
+// root, or an error message for non-OK statuses.
+type Response struct {
+	Status Status
+	Data   []byte
+}
+
+// writeFrame emits one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame consumes one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// EncodeRequest writes one request frame.
+func EncodeRequest(w io.Writer, q *Request) error {
+	body := make([]byte, reqHeaderLen+len(q.Data))
+	body[0] = byte(q.Op)
+	binary.BigEndian.PutUint64(body[1:9], q.Addr)
+	binary.BigEndian.PutUint64(body[9:17], q.Virt)
+	binary.BigEndian.PutUint32(body[17:21], q.PID)
+	binary.BigEndian.PutUint32(body[21:25], q.Count)
+	binary.BigEndian.PutUint32(body[25:29], q.Slot)
+	copy(body[reqHeaderLen:], q.Data)
+	return writeFrame(w, body)
+}
+
+// DecodeRequest reads one request frame.
+func DecodeRequest(r io.Reader) (*Request, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return parseRequest(body)
+}
+
+// parseRequest decodes a request frame body.
+func parseRequest(body []byte) (*Request, error) {
+	if len(body) < reqHeaderLen {
+		return nil, fmt.Errorf("server: request frame of %d bytes is shorter than the %d-byte header", len(body), reqHeaderLen)
+	}
+	q := &Request{
+		Op:    Op(body[0]),
+		Addr:  binary.BigEndian.Uint64(body[1:9]),
+		Virt:  binary.BigEndian.Uint64(body[9:17]),
+		PID:   binary.BigEndian.Uint32(body[17:21]),
+		Count: binary.BigEndian.Uint32(body[21:25]),
+		Slot:  binary.BigEndian.Uint32(body[25:29]),
+	}
+	if q.Op < OpRead || q.Op > OpHibernate {
+		return nil, fmt.Errorf("server: unknown op %d", body[0])
+	}
+	if len(body) > reqHeaderLen {
+		q.Data = body[reqHeaderLen:]
+	}
+	return q, nil
+}
+
+// EncodeResponse writes one response frame.
+func EncodeResponse(w io.Writer, p *Response) error {
+	body := make([]byte, 1+len(p.Data))
+	body[0] = byte(p.Status)
+	copy(body[1:], p.Data)
+	return writeFrame(w, body)
+}
+
+// DecodeResponse reads one response frame.
+func DecodeResponse(r io.Reader) (*Response, error) {
+	body, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 1 {
+		return nil, fmt.Errorf("server: empty response frame")
+	}
+	if Status(body[0]) > StatusInternal {
+		return nil, fmt.Errorf("server: unknown status %d", body[0])
+	}
+	p := &Response{Status: Status(body[0])}
+	if len(body) > 1 {
+		p.Data = body[1:]
+	}
+	return p, nil
+}

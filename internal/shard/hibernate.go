@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"aisebmt/internal/core"
+)
+
+// hibMagic heads a pool hibernation stream.
+var hibMagic = [8]byte{'S', 'H', 'R', 'D', 'H', 'I', 'B', '1'}
+
+// Hibernate writes every shard's untrusted memory image to w as one
+// length-prefixed stream and returns the trusted per-shard chip states
+// (GPC + tree root) the caller must keep in simulated on-chip storage.
+// All shard locks are taken for the duration, so the image is a
+// pool-consistent cut: requests already executed are included, queued
+// ones are not. The pool remains usable afterwards.
+func (p *Pool) Hibernate(w io.Writer) ([]core.ChipState, error) {
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range p.shards {
+			sh.mu.Unlock()
+		}
+	}()
+
+	if _, err := w.Write(hibMagic[:]); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(p.shards))); err != nil {
+		return nil, err
+	}
+	chips := make([]core.ChipState, len(p.shards))
+	for i, sh := range p.shards {
+		// The memory serializer buffers its reader, so each shard image is
+		// length-prefixed to keep stream positions exact.
+		var img bytes.Buffer
+		chip, err := sh.sm.Hibernate(&img)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		chips[i] = chip
+		if err := binary.Write(w, binary.LittleEndian, uint64(img.Len())); err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(img.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	return chips, nil
+}
+
+// Resume reconstructs a pool from a hibernation stream and the trusted
+// chip states. cfg must match the hibernated pool's configuration; the
+// stream is untrusted, so offline tampering is detected on first use by
+// verification against the restored per-shard roots.
+func Resume(cfg Config, chips []core.ChipState, r io.Reader) (*Pool, error) {
+	// Build an empty pool first (validates and defaults cfg), then replace
+	// each shard's controller with the resumed one.
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(chips) != len(p.shards) {
+		p.Close()
+		return nil, fmt.Errorf("shard: resume: %d chip states for %d shards", len(chips), len(p.shards))
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		p.Close()
+		return nil, fmt.Errorf("shard: resume: missing header: %w", err)
+	}
+	if magic != hibMagic {
+		p.Close()
+		return nil, fmt.Errorf("shard: resume: bad magic")
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		p.Close()
+		return nil, fmt.Errorf("shard: resume: truncated shard count: %w", err)
+	}
+	if int(n) != len(p.shards) {
+		p.Close()
+		return nil, fmt.Errorf("shard: resume: image has %d shards, config has %d", n, len(p.shards))
+	}
+	ccfg := p.cfg.Core
+	ccfg.DataBytes = p.perShardBytes
+	for i, sh := range p.shards {
+		var imgLen uint64
+		if err := binary.Read(r, binary.LittleEndian, &imgLen); err != nil {
+			p.Close()
+			return nil, fmt.Errorf("shard %d: resume: truncated image length: %w", i, err)
+		}
+		sm, err := core.Resume(ccfg, chips[i], io.LimitReader(r, int64(imgLen)))
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("shard %d: resume: %w", i, err)
+		}
+		sh.mu.Lock()
+		sh.sm = sm
+		sh.mu.Unlock()
+	}
+	return p, nil
+}

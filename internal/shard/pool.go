@@ -1,0 +1,461 @@
+// Package shard turns the single-threaded secure memory controller into a
+// concurrent service core: a pool of N independent core.SecureMemory
+// instances, each owning an interleaved slice of the protected address
+// space (shard = hash of the page address), each guarded by its own mutex
+// and fed by a dedicated worker goroutine through a bounded request queue.
+//
+// The design follows the service-layer lessons of the related work: HMT
+// (Shadab et al.) overlaps integrity-tree work across parallel in-flight
+// requests, and "Streamlining Integrity Tree Updates" (Freij et al.) wins
+// throughput by coalescing tree updates. Here parallelism comes from page
+// sharding (pages never share counter blocks, data MACs or Bonsai tree
+// leaves across shards, so shards are cryptographically independent), and
+// coalescing happens in each shard's worker: queued requests are drained
+// and executed in batches under one lock acquisition, with superseded
+// duplicate writes dropped before they reach the controller.
+//
+// Ordering contract: requests to the same shard execute in enqueue order,
+// so a client that issues its operations synchronously reads its own
+// writes. Requests to different shards are unordered with respect to each
+// other, exactly like independent memory channels.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultShards     = 4
+	DefaultQueueDepth = 64
+	DefaultBatchMax   = 16
+)
+
+// Config sizes the pool.
+type Config struct {
+	// Shards is the number of independent controllers (default 4). The
+	// pool-wide data region is interleaved across them page by page.
+	Shards int
+	// QueueDepth bounds each shard's request queue (default 64). A full
+	// queue exerts backpressure: Enqueue blocks until space or the
+	// request's context is done.
+	QueueDepth int
+	// BatchMax caps how many queued requests one worker wakeup executes
+	// under a single lock acquisition (default 16).
+	BatchMax int
+	// Core is the controller template. Core.DataBytes is the POOL-WIDE
+	// protected size and must divide evenly into Shards pages; every other
+	// field (key, schemes, MAC width, swap slots) applies to each shard.
+	Core core.Config
+}
+
+// ErrClosed is returned for requests issued after Close begins.
+var ErrClosed = errors.New("shard: pool is closed")
+
+// Pool is a page-sharded set of secure memory controllers behind
+// per-shard worker goroutines. All exported methods are safe for
+// concurrent use.
+type Pool struct {
+	cfg           Config
+	perShardBytes uint64
+	shards        []*shard
+
+	// sendMu serializes request submission against Close: enqueuers hold
+	// it shared, Close takes it exclusively before closing the queues.
+	sendMu sync.RWMutex
+	closed bool
+
+	svc serviceCounters
+}
+
+// shard is one controller plus its queue and worker.
+type shard struct {
+	mu   sync.Mutex // guards sm (worker batches, stats/root/hibernate peeks)
+	sm   *core.SecureMemory
+	reqs chan *request
+	done chan struct{} // closed when the worker exits
+}
+
+// opKind enumerates the operations a request can carry.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opVerify
+	opSwapOut
+	opSwapIn
+)
+
+// request travels through a shard queue; addr is shard-local.
+type request struct {
+	kind opKind
+	ctx  context.Context
+	addr layout.Addr
+	buf  []byte
+	meta core.Meta
+	slot int
+	img  *core.PageImage
+	resp chan result
+	// answered is worker-local bookkeeping: coalesceWrites sets it after
+	// delivering a superseded write's result so execute skips the request.
+	// Only the worker goroutine touches it (between dequeue and answer);
+	// the submitter never reads it, so no synchronisation is needed. The
+	// resp field itself must never be mutated — the submitter loads it
+	// unsynchronised while waiting for the result.
+	answered bool
+}
+
+// result is a request's outcome.
+type result struct {
+	err error
+	img *core.PageImage
+}
+
+// New builds the pool and starts one worker per shard.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.BatchMax == 0 {
+		cfg.BatchMax = DefaultBatchMax
+	}
+	if cfg.Shards < 1 || cfg.QueueDepth < 1 || cfg.BatchMax < 1 {
+		return nil, fmt.Errorf("shard: Shards, QueueDepth and BatchMax must be positive")
+	}
+	stride := uint64(cfg.Shards) * layout.PageSize
+	if cfg.Core.DataBytes == 0 || cfg.Core.DataBytes%stride != 0 {
+		return nil, fmt.Errorf("shard: DataBytes %d must be a positive multiple of Shards*PageSize (%d)", cfg.Core.DataBytes, stride)
+	}
+	p := &Pool{cfg: cfg, perShardBytes: cfg.Core.DataBytes / uint64(cfg.Shards)}
+	for i := 0; i < cfg.Shards; i++ {
+		ccfg := cfg.Core
+		ccfg.DataBytes = p.perShardBytes
+		sm, err := core.New(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		sh := &shard{
+			sm:   sm,
+			reqs: make(chan *request, cfg.QueueDepth),
+			done: make(chan struct{}),
+		}
+		p.shards = append(p.shards, sh)
+		go p.worker(sh)
+	}
+	return p, nil
+}
+
+// Config returns the pool's (defaulted) configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// DataBytes returns the pool-wide protected data size.
+func (p *Pool) DataBytes() uint64 { return p.cfg.Core.DataBytes }
+
+// locate hashes a pool address to its shard and shard-local address. The
+// hash is modular page interleaving: consecutive pages land on
+// consecutive shards, and page k of shard s is pool page k*Shards+s.
+func (p *Pool) locate(a layout.Addr) (int, layout.Addr) {
+	page := uint64(a) / layout.PageSize
+	si := int(page % uint64(p.cfg.Shards))
+	local := (page/uint64(p.cfg.Shards))*layout.PageSize + uint64(a)%layout.PageSize
+	return si, layout.Addr(local)
+}
+
+// checkRange validates a pool-address span.
+func (p *Pool) checkRange(a layout.Addr, n int) error {
+	if n < 0 || uint64(a) >= p.cfg.Core.DataBytes || uint64(n) > p.cfg.Core.DataBytes-uint64(a) {
+		return fmt.Errorf("shard: [%#x, %#x) outside pool data region", a, uint64(a)+uint64(n))
+	}
+	return nil
+}
+
+// submit enqueues a request on a shard and waits for its result,
+// honouring ctx both while blocked on a full queue (backpressure) and
+// while awaiting execution.
+func (p *Pool) submit(sh *shard, r *request) (result, error) {
+	p.sendMu.RLock()
+	if p.closed {
+		p.sendMu.RUnlock()
+		return result{}, ErrClosed
+	}
+	var err error
+	select {
+	case sh.reqs <- r:
+		p.svc.enqueued.Add(1)
+	case <-r.ctx.Done():
+		p.svc.rejected.Add(1)
+		err = r.ctx.Err()
+	}
+	p.sendMu.RUnlock()
+	if err != nil {
+		return result{}, err
+	}
+	select {
+	case res := <-r.resp:
+		return res, res.err
+	case <-r.ctx.Done():
+		// The worker still executes the request (it is already ordered in
+		// the queue) and its send to the buffered resp channel won't block;
+		// the caller just stops waiting.
+		p.svc.rejected.Add(1)
+		return result{}, r.ctx.Err()
+	}
+}
+
+// opOn runs a single-shard operation through the queue.
+func (p *Pool) opOn(si int, r *request) (result, error) {
+	r.resp = make(chan result, 1)
+	return p.submit(p.shards[si], r)
+}
+
+// Read copies len(dst) plaintext bytes starting at pool address a,
+// splitting the span page by page across shards. Each page-sized piece is
+// verified and decrypted by its shard's controller.
+func (p *Pool) Read(ctx context.Context, a layout.Addr, dst []byte, meta core.Meta) error {
+	if err := p.checkRange(a, len(dst)); err != nil {
+		return err
+	}
+	for len(dst) > 0 {
+		n := int(layout.PageSize - uint64(a)%layout.PageSize)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		si, local := p.locate(a)
+		if _, err := p.opOn(si, &request{kind: opRead, ctx: ctx, addr: local, buf: dst[:n], meta: meta}); err != nil {
+			return err
+		}
+		dst = dst[n:]
+		a += layout.Addr(n)
+	}
+	return nil
+}
+
+// Write stores len(src) plaintext bytes starting at pool address a,
+// splitting the span page by page across shards.
+func (p *Pool) Write(ctx context.Context, a layout.Addr, src []byte, meta core.Meta) error {
+	if err := p.checkRange(a, len(src)); err != nil {
+		return err
+	}
+	for len(src) > 0 {
+		n := int(layout.PageSize - uint64(a)%layout.PageSize)
+		if n > len(src) {
+			n = len(src)
+		}
+		si, local := p.locate(a)
+		if _, err := p.opOn(si, &request{kind: opWrite, ctx: ctx, addr: local, buf: src[:n], meta: meta}); err != nil {
+			return err
+		}
+		src = src[n:]
+		a += layout.Addr(n)
+	}
+	return nil
+}
+
+// Verify sweeps every shard through its full verification path
+// (core.VerifyAll), in parallel, ordered after each shard's pending
+// writes. The first integrity violation is returned.
+func (p *Pool) Verify(ctx context.Context) error {
+	errs := make([]error, len(p.shards))
+	var wg sync.WaitGroup
+	for i := range p.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = p.opOn(i, &request{kind: opVerify, ctx: ctx})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SwapOut evicts the page at pool address pageAddr from its shard into a
+// relocatable PageImage, publishing its page root in that shard's Page
+// Root Directory slot.
+func (p *Pool) SwapOut(ctx context.Context, pageAddr layout.Addr, slot int) (*core.PageImage, error) {
+	if err := p.checkRange(pageAddr, layout.PageSize); err != nil {
+		return nil, err
+	}
+	si, local := p.locate(pageAddr)
+	res, err := p.opOn(si, &request{kind: opSwapOut, ctx: ctx, addr: local, slot: slot})
+	if err != nil {
+		return nil, err
+	}
+	return res.img, nil
+}
+
+// SwapIn installs a PageImage at pool address pageAddr, verified against
+// the page root stored in that shard's directory slot. The image must
+// return to a frame of the shard it was swapped out of (its page root
+// lives in that shard's directory); with the interleaved hash that means
+// any frame whose page number is congruent to the original's mod Shards.
+func (p *Pool) SwapIn(ctx context.Context, img *core.PageImage, pageAddr layout.Addr, slot int) error {
+	if err := p.checkRange(pageAddr, layout.PageSize); err != nil {
+		return err
+	}
+	si, local := p.locate(pageAddr)
+	_, err := p.opOn(si, &request{kind: opSwapIn, ctx: ctx, addr: local, slot: slot, img: img})
+	return err
+}
+
+// Roots returns a copy of every shard's on-chip Merkle tree root (nil
+// entries when the integrity scheme keeps no tree). The service's trust
+// anchor is the set of per-shard roots, one per simulated controller.
+func (p *Pool) Roots() [][]byte {
+	roots := make([][]byte, len(p.shards))
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		roots[i] = sh.sm.Root()
+		sh.mu.Unlock()
+	}
+	return roots
+}
+
+// Close drains the pool: it stops accepting requests, waits for every
+// queued request to execute, runs a final integrity sweep over every
+// shard, and stops the workers. It returns the first verification error.
+func (p *Pool) Close() error {
+	p.sendMu.Lock()
+	if p.closed {
+		p.sendMu.Unlock()
+		return ErrClosed
+	}
+	p.closed = true
+	p.sendMu.Unlock()
+	// No sender holds sendMu.RLock anymore, so the queues are ours to
+	// close; workers drain what is already queued and exit.
+	for _, sh := range p.shards {
+		close(sh.reqs)
+	}
+	for _, sh := range p.shards {
+		<-sh.done
+	}
+	var firstErr error
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		err := sh.sm.VerifyAll()
+		sh.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: close verify: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// worker is a shard's execution loop: it blocks for one request, then
+// greedily drains up to BatchMax-1 more, coalesces superseded writes, and
+// executes the batch under a single lock acquisition.
+func (p *Pool) worker(sh *shard) {
+	defer close(sh.done)
+	batch := make([]*request, 0, p.cfg.BatchMax)
+	for first := range sh.reqs {
+		batch = append(batch[:0], first)
+	drain:
+		for len(batch) < p.cfg.BatchMax {
+			select {
+			case r, ok := <-sh.reqs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		skipped := coalesceWrites(batch)
+		p.svc.batches.Add(1)
+		p.svc.batchedOps.Add(uint64(len(batch)))
+		p.svc.coalescedWrites.Add(uint64(skipped))
+		sh.mu.Lock()
+		for _, r := range batch {
+			p.execute(sh, r)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// execute runs one request against the shard's controller (the caller
+// holds sh.mu) and delivers its result. A request whose context expired
+// while queued is answered with the context error without touching the
+// controller, so the client's timeout means "not applied".
+func (p *Pool) execute(sh *shard, r *request) {
+	if r.answered { // coalesced-away write: result already delivered
+		return
+	}
+	if err := r.ctx.Err(); err != nil {
+		p.svc.expired.Add(1)
+		r.resp <- result{err: err}
+		return
+	}
+	var res result
+	switch r.kind {
+	case opRead:
+		res.err = sh.sm.Read(r.addr, r.buf, r.meta)
+	case opWrite:
+		res.err = sh.sm.Write(r.addr, r.buf, r.meta)
+	case opVerify:
+		res.err = sh.sm.VerifyAll()
+	case opSwapOut:
+		res.img, res.err = sh.sm.SwapOut(r.addr, r.slot)
+	case opSwapIn:
+		res.err = sh.sm.SwapIn(r.img, r.addr, r.slot)
+	}
+	r.resp <- result{err: res.err, img: res.img}
+}
+
+// coalesceWrites drops writes that a later write in the same batch fully
+// supersedes: same shard-local address, same length, block-aligned, with
+// no intervening operation that could observe the earlier value (any
+// non-write clears eligibility — verify reads everything, reads and swaps
+// touch pages wholesale). Superseded requests are answered immediately
+// (their effect is subsumed by the surviving write) and marked so execute
+// skips them. Returns the number of writes dropped.
+func coalesceWrites(batch []*request) int {
+	if len(batch) < 2 {
+		return 0
+	}
+	type span struct {
+		addr layout.Addr
+		n    int
+	}
+	last := make(map[span]int) // span -> index of latest eligible write
+	skipped := 0
+	for i, r := range batch {
+		if r.kind != opWrite {
+			clear(last)
+			continue
+		}
+		if uint64(r.addr)%layout.BlockSize != 0 || len(r.buf)%layout.BlockSize != 0 {
+			continue
+		}
+		key := span{addr: r.addr, n: len(r.buf)}
+		if j, ok := last[key]; ok {
+			// A context already expired on the earlier write still reports
+			// its own error; otherwise it succeeds by subsumption.
+			prev := batch[j]
+			if err := prev.ctx.Err(); err != nil {
+				prev.resp <- result{err: err}
+			} else {
+				prev.resp <- result{}
+			}
+			prev.answered = true
+			skipped++
+		}
+		last[key] = i
+	}
+	return skipped
+}

@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"aisebmt/internal/core"
+)
+
+// serviceCounters are the pool's own counters, kept with atomics because
+// they are updated from enqueuers and workers concurrently.
+type serviceCounters struct {
+	enqueued        atomic.Uint64
+	rejected        atomic.Uint64
+	expired         atomic.Uint64
+	batches         atomic.Uint64
+	batchedOps      atomic.Uint64
+	coalescedWrites atomic.Uint64
+}
+
+// ServiceStats is the pool's service-level view: queueing and batching
+// counters plus the aggregated controller counters, with the per-shard
+// breakdown attached. Controller counters use core.Stats' canonical JSON
+// shape, so the daemon's stats endpoint and cmd/experiments exports stay
+// mechanically comparable.
+type ServiceStats struct {
+	Shards int `json:"shards"`
+	// Enqueued counts requests accepted into a queue; Rejected counts
+	// requests whose context ended while queueing or awaiting a result;
+	// Expired counts requests answered with a dead context at execution.
+	Enqueued uint64 `json:"enqueued"`
+	Rejected uint64 `json:"rejected"`
+	Expired  uint64 `json:"expired"`
+	// Batches and BatchedOps describe worker drain behaviour
+	// (BatchedOps/Batches is the mean lock-acquisition amortization);
+	// CoalescedWrites counts writes dropped as superseded.
+	Batches         uint64 `json:"batches"`
+	BatchedOps      uint64 `json:"batched_ops"`
+	CoalescedWrites uint64 `json:"coalesced_writes"`
+
+	Core     core.Stats   `json:"core"`
+	PerShard []core.Stats `json:"per_shard"`
+}
+
+// Stats aggregates controller counters across shards and snapshots the
+// service counters.
+func (p *Pool) Stats() ServiceStats {
+	st := ServiceStats{
+		Shards:          len(p.shards),
+		Enqueued:        p.svc.enqueued.Load(),
+		Rejected:        p.svc.rejected.Load(),
+		Expired:         p.svc.expired.Load(),
+		Batches:         p.svc.batches.Load(),
+		BatchedOps:      p.svc.batchedOps.Load(),
+		CoalescedWrites: p.svc.coalescedWrites.Load(),
+	}
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		cs := sh.sm.Stats()
+		sh.mu.Unlock()
+		st.PerShard = append(st.PerShard, cs)
+		st.Core = st.Core.Add(cs)
+	}
+	return st
+}

@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+)
+
+// TestPoolStress is the concurrency gate: many goroutines issue mixed
+// reads, writes, verifies and swaps over overlapping pages while the
+// race detector watches, and a final VerifyAll on every shard must pass.
+// Run it with `go test -race ./internal/shard/...` (the Makefile does).
+func TestPoolStress(t *testing.T) {
+	const (
+		goroutines = 16
+		opsEach    = 120
+	)
+	p := newTestPool(t, Config{Shards: 4, QueueDepth: 32, BatchMax: 8,
+		Core: core.Config{
+			// Two pages per shard keeps the page set overlapping and the
+			// race-detector run fast: full-pool verifies are O(DataBytes).
+			DataBytes: 4 * 2 * layout.PageSize,
+			Key:       testKey, Encryption: core.AISE, Integrity: core.BonsaiMT,
+		}})
+	ctx := context.Background()
+	pages := p.DataBytes() / layout.PageSize
+
+	// Each goroutine owns a 4-byte tag lane inside every block, so
+	// goroutines deliberately touch overlapping blocks while keeping an
+	// assertable read-your-writes value: lane g of a block either holds
+	// zeros or a value goroutine g wrote there (single-writer per lane,
+	// shard-FIFO ordering makes the latest write visible).
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 104729))
+			lane := layout.Addr(g * 4)
+			lastWrite := make(map[layout.Addr]uint32)
+			for i := 0; i < opsEach; i++ {
+				page := layout.Addr(rng.Uint64()%pages) * layout.PageSize
+				block := page + layout.Addr(rng.Intn(layout.BlocksPerPage))*layout.BlockSize
+				a := block + lane
+				switch op := rng.Intn(10); {
+				case op < 5: // write my lane
+					v := uint32(g)<<24 | uint32(i)
+					var b [4]byte
+					binary.BigEndian.PutUint32(b[:], v)
+					if err := p.Write(ctx, a, b[:], core.Meta{}); err != nil {
+						errs <- fmt.Errorf("g%d write %#x: %w", g, a, err)
+						return
+					}
+					lastWrite[a] = v
+				case op < 9: // read my lane back
+					b := make([]byte, 4)
+					if err := p.Read(ctx, a, b, core.Meta{}); err != nil {
+						errs <- fmt.Errorf("g%d read %#x: %w", g, a, err)
+						return
+					}
+					got := binary.BigEndian.Uint32(b)
+					want, wrote := lastWrite[a]
+					if wrote && got != want {
+						errs <- fmt.Errorf("g%d read %#x = %#x, want %#x", g, a, got, want)
+						return
+					}
+					if !wrote && got != 0 && got>>24 != uint32(g) {
+						errs <- fmt.Errorf("g%d lane %#x holds foreign value %#x", g, a, got)
+						return
+					}
+				default: // cross-cutting op
+					if g == 0 && i%40 == 20 {
+						// Full-pool verifies are expensive under -race;
+						// a few per run is enough to order them against
+						// concurrent writes.
+						if err := p.Verify(ctx); err != nil {
+							errs <- fmt.Errorf("g%d verify: %w", g, err)
+							return
+						}
+					} else {
+						p.Stats()
+						p.Roots()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The final sweep is Close's drain-and-verify: every shard must pass.
+	if err := p.Verify(ctx); err != nil {
+		t.Fatalf("final Verify: %v", err)
+	}
+	st := p.Stats()
+	if st.Enqueued == 0 || st.Core.BlockWrites == 0 {
+		t.Fatalf("stress moved no work: %+v", st)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close (drain + per-shard VerifyAll): %v", err)
+	}
+}
+
+// TestPoolStressSwap interleaves swap traffic with reads and writes on
+// non-overlapping page sets per goroutine (swap moves whole pages, so
+// lanes can't protect concurrent swappers of the same page).
+func TestPoolStressSwap(t *testing.T) {
+	const goroutines = 8
+	p := newTestPool(t, Config{Shards: 2, QueueDepth: 16, BatchMax: 4,
+		Core: core.Config{
+			DataBytes: 2 * uint64(goroutines) * layout.PageSize,
+			Key:       testKey, Encryption: core.AISE, Integrity: core.BonsaiMT,
+			SwapSlots: goroutines,
+		}})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Goroutine g owns pool pages g and g+goroutines. Swap partners
+			// must share a shard (the image's page root lives in that
+			// shard's directory); the pages are congruent mod Shards=2
+			// because goroutines is even.
+			pa := layout.Addr(g) * layout.PageSize
+			pb := pa + layout.Addr(goroutines)*layout.PageSize
+			slot := g
+			secret := []byte(fmt.Sprintf("goroutine %d's page", g))
+			for i := 0; i < 25; i++ {
+				if err := p.Write(ctx, pa+64, secret, core.Meta{}); err != nil {
+					errs <- fmt.Errorf("g%d write: %w", g, err)
+					return
+				}
+				img, err := p.SwapOut(ctx, pa, slot)
+				if err != nil {
+					errs <- fmt.Errorf("g%d swapout: %w", g, err)
+					return
+				}
+				if err := p.SwapIn(ctx, img, pb, slot); err != nil {
+					errs <- fmt.Errorf("g%d swapin: %w", g, err)
+					return
+				}
+				got := make([]byte, len(secret))
+				if err := p.Read(ctx, pb+64, got, core.Meta{}); err != nil {
+					errs <- fmt.Errorf("g%d read: %w", g, err)
+					return
+				}
+				if !bytes.Equal(got, secret) {
+					errs <- fmt.Errorf("g%d: page lost its data across swap", g)
+					return
+				}
+				pa, pb = pb, pa
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

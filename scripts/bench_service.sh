@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench_service.sh — start secmemd on a scratch port, drive it with
+# loadgen across two read/write mixes, and leave BENCH_service.json in
+# the repo root. Used by `make bench` and the acceptance check.
+set -eu
+
+cd "$(dirname "$0")/.."
+ADDR="${ADDR:-127.0.0.1:7393}"
+DURATION="${DURATION:-2s}"
+
+go build -o /tmp/secmemd ./cmd/secmemd
+go build -o /tmp/loadgen ./cmd/loadgen
+
+/tmp/secmemd -listen "$ADDR" -shards 4 -mem 16MiB -hibernate /tmp/secmemd.hib &
+PID=$!
+trap 'kill -TERM $PID 2>/dev/null || true' EXIT INT TERM
+
+# Wait for the listener.
+i=0
+until /tmp/loadgen -addr "$ADDR" -conns 1 -ops 1 -mixes 1.0 >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && { echo "secmemd did not come up" >&2; exit 1; }
+    sleep 0.1
+done
+
+/tmp/loadgen -addr "$ADDR" -conns 16 -duration "$DURATION" -mixes 0.95,0.50 -json
+
+# Graceful SIGTERM: the daemon drains and verifies every shard; its exit
+# code is the integrity verdict.
+kill -TERM $PID
+wait $PID
+trap - EXIT INT TERM
+echo "secmemd exited cleanly (all shards verified)"
