@@ -1,15 +1,22 @@
 # Tier-1 gate for the aisebmt reproduction and its service layer.
 #
-#   make check   vet + build + full test suite + race pass on the
-#                concurrent packages (what CI and ROADMAP's tier-1 line run)
-#   make race    only the race pass (internal/shard, internal/server)
-#   make fuzz    a short fuzz session on the wire codec
-#   make bench   service benchmark: start secmemd, drive it with loadgen,
-#                write BENCH_service.json
+#   make check           vet + build + full test suite + race pass on the
+#                        concurrent packages (what CI and ROADMAP's tier-1
+#                        line run)
+#   make race            only the race pass (internal/shard, internal/server,
+#                        internal/persist)
+#   make fuzz            a short fuzz session on the wire codec
+#   make fuzz-smoke      brief fuzz pass over every decoder that parses
+#                        untrusted bytes (wire, WAL record, sealed anchor);
+#                        CI runs this after check
+#   make bench           service benchmark: start secmemd, drive it with
+#                        loadgen, write BENCH_service.json
+#   make bench-recovery  crash-recovery benchmark: restart-to-first-byte vs
+#                        WAL length per fsync policy, BENCH_recovery.json
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery
 
 check: vet build test race
 
@@ -23,10 +30,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shard/... ./internal/server/...
+	$(GO) test -race ./internal/shard/... ./internal/server/... ./internal/persist/...
 
 fuzz:
 	$(GO) test -run=none -fuzz=FuzzRequestRoundTrip -fuzztime=20s ./internal/server/
 
+fuzz-smoke:
+	$(GO) test -run=none -fuzz=FuzzRequestRoundTrip -fuzztime=5s ./internal/server/
+	$(GO) test -run=none -fuzz=FuzzWALRecord -fuzztime=5s ./internal/persist/
+	$(GO) test -run=none -fuzz=FuzzWALScan -fuzztime=5s ./internal/persist/
+	$(GO) test -run=none -fuzz=FuzzAnchor -fuzztime=5s ./internal/persist/
+
 bench: build
 	./scripts/bench_service.sh
+
+bench-recovery: build
+	./scripts/bench_recovery.sh

@@ -13,6 +13,16 @@
 // scales with -conns. Addresses follow a zipf (default) or uniform
 // distribution over the target pages; the read/write split is drawn per
 // operation from the mix's read fraction.
+//
+// With -recovery the tool benchmarks crash recovery instead: for each
+// fsync policy × WAL length it spawns its own durable secmemd (-secmemd
+// binary, scratch data dir), fills the WAL with acknowledged writes,
+// SIGKILLs the daemon, restarts it, and measures restart-to-first-byte —
+// the time from process start until the first read completes. The durable
+// daemon opens its port before recovery and parks requests behind the
+// startup gate, so this measurement is recovery-bound, not retry-bound.
+//
+//	loadgen -recovery -secmemd /tmp/secmemd -json    # BENCH_recovery.json
 package main
 
 import (
@@ -21,11 +31,15 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"aisebmt/internal/core"
@@ -46,8 +60,23 @@ func main() {
 	opBytes := flag.Int("size", layout.BlockSize, "bytes per operation")
 	seed := flag.Int64("seed", 1, "address/mix random seed")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to -out")
-	outPath := flag.String("out", "BENCH_service.json", "path for -json output")
+	outPath := flag.String("out", "", "path for -json output (default BENCH_service.json, or BENCH_recovery.json with -recovery)")
+	recovery := flag.Bool("recovery", false, "benchmark crash recovery of a durable secmemd instead of serving throughput")
+	secmemd := flag.String("secmemd", "/tmp/secmemd", "secmemd binary for -recovery (spawned per run)")
+	recWrites := flag.String("recovery-writes", "0,2000,10000", "comma-separated WAL lengths (acked writes) per -recovery run")
+	recFsync := flag.String("recovery-fsync", "always,batch,off", "comma-separated fsync policies to sweep in -recovery")
 	flag.Parse()
+
+	if *recovery {
+		if *outPath == "" {
+			*outPath = "BENCH_recovery.json"
+		}
+		runRecoveryBench(*secmemd, *memSize, *conns, *recWrites, *recFsync, *seed, *jsonOut, *outPath)
+		return
+	}
+	if *outPath == "" {
+		*outPath = "BENCH_service.json"
+	}
 
 	bytes, err := parseSize(*memSize)
 	if err != nil {
@@ -243,6 +272,207 @@ func runMix(addr string, conns int, readFrac float64, duration time.Duration, fi
 		res.Latency = latencies{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99), Max: float64(all[len(all)-1]) / 1e3}
 	}
 	return res
+}
+
+// recoveryOutput is the -recovery -json document.
+type recoveryOutput struct {
+	Secmemd  string        `json:"secmemd"`
+	MemBytes uint64        `json:"mem_bytes"`
+	Conns    int           `json:"conns"`
+	Seed     int64         `json:"seed"`
+	Runs     []recoveryRun `json:"runs"`
+}
+
+// recoveryRun is one (fsync policy, WAL length) cell of the sweep.
+type recoveryRun struct {
+	Fsync         string  `json:"fsync"`
+	Writes        int     `json:"writes"`
+	WALBytes      int64   `json:"wal_bytes"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	FillSeconds   float64 `json:"fill_seconds"`
+	FillOpsPerSec float64 `json:"fill_ops_per_sec"`
+	RestartMs     float64 `json:"restart_to_first_byte_ms"`
+}
+
+// runRecoveryBench sweeps fsync policies × WAL lengths. Each cell runs a
+// private daemon on a scratch data dir: fill, SIGKILL, restart, time the
+// first byte out of recovery, then shut down cleanly.
+func runRecoveryBench(bin, memSize string, conns int, writesList, fsyncList string, seed int64, jsonOut bool, outPath string) {
+	memBytes, err := parseSize(memSize)
+	if err != nil {
+		fatalf("-mem: %v", err)
+	}
+	if _, err := os.Stat(bin); err != nil {
+		fatalf("-secmemd: %v (build it first: go build -o %s ./cmd/secmemd)", err, bin)
+	}
+	var writes []int
+	for _, s := range strings.Split(writesList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			fatalf("-recovery-writes: bad count %q", s)
+		}
+		writes = append(writes, n)
+	}
+	policies := strings.Split(fsyncList, ",")
+
+	out := recoveryOutput{Secmemd: bin, MemBytes: memBytes, Conns: conns, Seed: seed}
+	for _, pol := range policies {
+		pol = strings.TrimSpace(pol)
+		for _, n := range writes {
+			run, err := recoveryCell(bin, memSize, memBytes, pol, n, conns, seed)
+			if err != nil {
+				fatalf("recovery %s/%d writes: %v", pol, n, err)
+			}
+			out.Runs = append(out.Runs, run)
+			fmt.Printf("fsync=%-6s writes=%-6d wal=%s fill=%.0f ops/s → restart-to-first-byte %.1fms\n",
+				pol, n, sizeLabel(run.WALBytes), run.FillOpsPerSec, run.RestartMs)
+		}
+	}
+	if jsonOut {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+}
+
+// recoveryCell measures one policy × WAL-length combination.
+func recoveryCell(bin, memSize string, memBytes uint64, fsync string, nWrites, conns int, seed int64) (recoveryRun, error) {
+	run := recoveryRun{Fsync: fsync, Writes: nWrites}
+	dataDir, err := os.MkdirTemp("", "secmemd-recovery-*")
+	if err != nil {
+		return run, err
+	}
+	defer os.RemoveAll(dataDir)
+	addr, err := scratchAddr()
+	if err != nil {
+		return run, err
+	}
+	spawn := func() (*exec.Cmd, error) {
+		cmd := exec.Command(bin,
+			"-listen", addr, "-mem", memSize,
+			"-data-dir", dataDir, "-fsync", fsync, "-snapshot-every", "0")
+		cmd.Stderr = os.Stderr
+		return cmd, cmd.Start()
+	}
+
+	// Fill: acknowledged pure-write load builds the WAL.
+	cmd, err := spawn()
+	if err != nil {
+		return run, err
+	}
+	if _, err := waitFirstByte(addr, 15*time.Second); err != nil {
+		cmd.Process.Kill()
+		return run, fmt.Errorf("fill daemon never served: %w", err)
+	}
+	if nWrites > 0 {
+		res := runMix(addr, conns, 0.0, 0, nWrites, "uniform", 1.2, memBytes/layout.PageSize, layout.BlockSize, seed)
+		if res.Errors > 0 || res.Ops == 0 {
+			cmd.Process.Kill()
+			return run, fmt.Errorf("fill saw %d errors over %d ops", res.Errors, res.Ops)
+		}
+		run.FillSeconds = res.Seconds
+		run.FillOpsPerSec = res.Throughput
+	}
+	cmd.Process.Signal(syscall.SIGKILL)
+	cmd.Wait()
+
+	run.WALBytes = globBytes(filepath.Join(dataDir, "wal-*.log"))
+	run.SnapshotBytes = globBytes(filepath.Join(dataDir, "snap-*.img"))
+
+	// Restart: the clock runs from process start to the first completed
+	// read; the gate parks the read while the WAL replays.
+	t0 := time.Now()
+	cmd, err = spawn()
+	if err != nil {
+		return run, err
+	}
+	if _, err := waitFirstByte(addr, 120*time.Second); err != nil {
+		cmd.Process.Kill()
+		return run, fmt.Errorf("recovery never served: %w", err)
+	}
+	run.RestartMs = float64(time.Since(t0).Microseconds()) / 1e3
+
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		return run, fmt.Errorf("daemon exited dirty after recovery: %w", err)
+	}
+	return run, nil
+}
+
+// waitFirstByte dials until the listener accepts, then blocks on one read
+// until the daemon actually serves it.
+func waitFirstByte(addr string, budget time.Duration) (time.Duration, error) {
+	start := time.Now()
+	deadline := start.Add(budget)
+	var c *server.Client
+	var err error
+	for {
+		c, err = server.Dial(addr, budget)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer c.Close()
+	for {
+		if _, err = c.Read(0, layout.BlockSize, core.Meta{}); err == nil {
+			return time.Since(start), nil
+		}
+		// The gate times requests out rather than holding them across a
+		// very long replay; re-issue until the budget runs out.
+		if time.Now().After(deadline) {
+			return 0, err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// scratchAddr reserves a loopback port for a daemon about to start.
+func scratchAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// globBytes sums the sizes of files matching pattern.
+func globBytes(pattern string) int64 {
+	matches, _ := filepath.Glob(pattern)
+	var n int64
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil {
+			n += fi.Size()
+		}
+	}
+	return n
+}
+
+// sizeLabel renders a byte count with a binary suffix.
+func sizeLabel(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }
 
 // us renders a microsecond value compactly.

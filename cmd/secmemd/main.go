@@ -5,12 +5,21 @@
 // Usage:
 //
 //	secmemd -listen 127.0.0.1:7393 -shards 4 -mem 16MiB -scheme aise-bmt
+//	secmemd -data-dir /var/lib/secmemd -fsync always -snapshot-every 1m
 //
 // The daemon serves read/write/verify/root/stats/swapout/swapin/hibernate
 // requests (drive it with cmd/loadgen) and shuts down gracefully on
 // SIGINT/SIGTERM: it stops accepting work, drains every shard queue, and
 // verifies the integrity of every shard before exiting. A non-zero exit
 // code after a signal means the final integrity sweep failed.
+//
+// With -data-dir the daemon is durable: every mutation is group-committed
+// to a per-shard write-ahead log before it is acknowledged (-fsync picks
+// the sync policy), snapshots are cut periodically (-snapshot-every) and
+// at shutdown, and on startup the state is recovered — snapshot resumed,
+// WAL replayed, Bonsai roots re-verified — before the first request is
+// answered. The listener opens during recovery; requests simply wait. If
+// recovery detects on-disk tampering the daemon refuses to start.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"aisebmt/internal/core"
+	"aisebmt/internal/persist"
 	"aisebmt/internal/server"
 	"aisebmt/internal/shard"
 )
@@ -53,9 +63,12 @@ func main() {
 	macBits := flag.Int("macbits", 128, "MAC width in bits (32, 64, 128, 256)")
 	swapSlots := flag.Int("swapslots", 64, "Page Root Directory slots per shard (0 disables swap)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout (queueing included)")
-	hibPath := flag.String("hibernate", "secmemd.hib", "file the hibernate operation writes the pool image to")
+	hibPath := flag.String("hibernate", "secmemd.hib", "file the hibernate operation writes the pool image to (ignored with -data-dir)")
 	keyHex := flag.String("key", "", "32 hex chars of processor key (default: a fixed demo key)")
 	drain := flag.Duration("drain", 10*time.Second, "connection drain budget at shutdown")
+	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots); empty runs in-memory only")
+	fsyncMode := flag.String("fsync", "always", "WAL sync policy: always (sync before ack), batch (background interval), off")
+	snapEvery := flag.Duration("snapshot-every", time.Minute, "background snapshot + WAL truncation period (0 disables; requires -data-dir)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "secmemd: ", log.LstdFlags)
@@ -80,7 +93,7 @@ func main() {
 		slots = 0 // swap protection is a BMT feature; other presets run without it
 	}
 
-	pool, err := shard.New(shard.Config{
+	cfg := shard.Config{
 		Shards:     *shardsN,
 		QueueDepth: *queue,
 		BatchMax:   *batch,
@@ -92,16 +105,41 @@ func main() {
 			Integrity:  preset.itg,
 			SwapSlots:  slots,
 		},
-	})
-	if err != nil {
-		logger.Fatalf("pool: %v", err)
 	}
 
-	srv := server.New(pool, server.Options{
+	var store *persist.Store
+	if *dataDir != "" {
+		policy, err := persist.ParsePolicy(*fsyncMode)
+		if err != nil {
+			logger.Fatalf("-fsync: %v", err)
+		}
+		store, err = persist.Open(persist.Options{
+			Dir:           *dataDir,
+			Key:           key,
+			Fsync:         policy,
+			SnapshotEvery: *snapEvery,
+			Logf:          logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("persist: %v", err)
+		}
+	}
+
+	srvOpts := server.Options{
 		Timeout:       *timeout,
 		HibernatePath: *hibPath,
 		Logf:          logger.Printf,
-	})
+	}
+	if store != nil {
+		srvOpts.Checkpoint = func() (string, int64, error) {
+			if err := store.Checkpoint(); err != nil {
+				return "", 0, err
+			}
+			path, n := store.LastSnapshot()
+			return path, n, nil
+		}
+	}
+	srv := server.NewGated(srvOpts)
 
 	// Install the signal handler before the listener becomes visible, so a
 	// supervisor that probes the port and then signals us always gets the
@@ -109,23 +147,58 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 
+	// The port opens before recovery: clients connect immediately and
+	// their requests wait on the gate, so restart-to-first-byte is
+	// recovery-bound, not retry-bound.
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		logger.Fatalf("listen: %v", err)
 	}
-	logger.Printf("serving %s on %s: %d shards × %s, scheme=%s mac=%db queue=%d batch=%d",
-		*memSize, ln.Addr(), *shardsN, sizeString(bytes/uint64(*shardsN)), *scheme, *macBits, *queue, *batch)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	var pool *shard.Pool
+	if store != nil {
+		logger.Printf("recovering from %s (fsync=%s)", *dataDir, *fsyncMode)
+		var info persist.RecoveryInfo
+		pool, info, err = store.Recover(cfg)
+		if err != nil {
+			logger.Fatalf("recovery failed closed: %v", err)
+		}
+		if !info.Fresh {
+			logger.Printf("recovery: epoch %d, %d WAL records replayed, roots verified in %s",
+				info.Epoch, info.WALRecords, info.Elapsed.Round(time.Millisecond))
+		}
+	} else {
+		if pool, err = shard.New(cfg); err != nil {
+			logger.Fatalf("pool: %v", err)
+		}
+	}
+	srv.Publish(pool)
+	logger.Printf("serving %s on %s: %d shards × %s, scheme=%s mac=%db queue=%d batch=%d",
+		*memSize, ln.Addr(), *shardsN, sizeString(bytes/uint64(*shardsN)), *scheme, *macBits, *queue, *batch)
+
 	select {
 	case sig := <-sigc:
+		// SIGINT and SIGTERM share one drain path: stop accepting, finish
+		// in-flight requests, drain and verify every shard, then flush the
+		// WAL and cut a final snapshot so the next start replays nothing.
 		logger.Printf("%v: draining connections and verifying %d shards before exit", sig, *shardsN)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			logger.Printf("shutdown: %v", err)
 			os.Exit(1)
+		}
+		if store != nil {
+			if err := store.Checkpoint(); err != nil {
+				logger.Printf("final checkpoint: %v", err)
+				os.Exit(1)
+			}
+			if err := store.Close(); err != nil {
+				logger.Printf("store close: %v", err)
+				os.Exit(1)
+			}
 		}
 		st := pool.Stats()
 		logger.Printf("clean shutdown: all shards verified (%d requests served, %d batches, %d writes coalesced)",

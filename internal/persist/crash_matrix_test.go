@@ -1,0 +1,226 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+)
+
+// The crash matrix sweeps an injected power failure across every K-th
+// filesystem operation, in steady state and inside a checkpoint, under
+// each fsync policy. Two invariants hold everywhere:
+//
+//  1. Recovery from a pure crash (no tampering) never fails closed.
+//  2. Under FsyncAlways, every acknowledged write is present afterwards.
+//
+// Under batch/off policies acknowledged writes may be lost — that is the
+// advertised trade-off — but the recovered state must still verify.
+
+func openMatrixStore(t *testing.T, cfs *crashFS, p Policy) *Store {
+	t.Helper()
+	st, err := Open(Options{
+		Dir:           "data",
+		Key:           testProcKey,
+		Fsync:         p,
+		FsyncInterval: time.Hour, // keep the flusher deterministic: never
+		FS:            cfs,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st
+}
+
+// crashWrites issues writes until the injected fault kills one, tracking
+// acks plus the single write that may be durable-but-unacknowledged.
+func crashWrites(pool *shard.Pool, cfg shard.Config, from, max int) (acked map[layout.Addr][]byte, lastAddr layout.Addr, lastVal []byte) {
+	acked = make(map[layout.Addr][]byte)
+	ctx := context.Background()
+	for i := from; i < from+max; i++ {
+		a := testAddr(i%37, cfg) // reuse addresses: overwrites must replay in order
+		v := testVal(i)
+		if err := pool.Write(ctx, a, v, testMeta(a)); err != nil {
+			return acked, a, v
+		}
+		acked[a] = v
+	}
+	return acked, 0, nil
+}
+
+// verifyRecovered reopens the directory after fs.crash() and checks the
+// two invariants. Returns the recovered pool's store for reuse.
+func verifyRecovered(t *testing.T, cfs *crashFS, cfg shard.Config, mustHave map[layout.Addr][]byte, mayHave layout.Addr, mayVal []byte) {
+	t.Helper()
+	st := openMatrixStore(t, cfs, FsyncAlways)
+	pool, _, err := st.Recover(cfg)
+	if err != nil {
+		t.Fatalf("recovery after pure crash failed closed: %v", err)
+	}
+	defer pool.Close()
+	defer st.Close()
+	if mustHave == nil {
+		return
+	}
+	buf := make([]byte, layout.BlockSize)
+	for a, want := range mustHave {
+		if err := pool.Read(context.Background(), a, buf, testMeta(a)); err != nil {
+			t.Fatalf("read %#x: %v", a, err)
+		}
+		if bytes.Equal(buf, want) {
+			continue
+		}
+		// The address of the in-flight write may legitimately hold its
+		// value instead: the record can reach the durable log even though
+		// the crash stopped the acknowledgement.
+		if a == mayHave && mayVal != nil && bytes.Equal(buf, mayVal) {
+			continue
+		}
+		t.Fatalf("acked write lost at %#x: got %x..., want %x...", a, buf[:4], want[:4])
+	}
+}
+
+func policies() []Policy { return []Policy{FsyncAlways, FsyncBatch, FsyncOff} }
+
+// TestCrashMatrixSteadyState injects the failure during normal write
+// traffic, including traffic layered on top of an earlier checkpoint.
+func TestCrashMatrixSteadyState(t *testing.T) {
+	for _, pol := range policies() {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			for k := 1; k <= 49; k += 4 {
+				cfs := newCrashFS()
+				cfg := testCfg(2)
+				st := openMatrixStore(t, cfs, pol)
+				pool, _, err := st.Recover(cfg)
+				if err != nil {
+					t.Fatalf("k=%d: fresh Recover: %v", k, err)
+				}
+				pre := writeN(t, pool, cfg, 0, 10)
+				if err := st.Checkpoint(); err != nil {
+					t.Fatalf("k=%d: checkpoint: %v", k, err)
+				}
+				cfs.armFail(k)
+				acked, lastA, lastV := crashWrites(pool, cfg, 10, 200)
+				cfs.crash()
+				pool.Close()
+
+				var mustHave map[layout.Addr][]byte
+				if pol == FsyncAlways {
+					mustHave = pre
+					for a, v := range acked {
+						mustHave[a] = v
+					}
+				}
+				if pol != FsyncAlways {
+					// Checkpoints are always fully synced: pre-checkpoint
+					// state survives under every policy.
+					mustHave = pre
+					for a := range acked {
+						delete(mustHave, a) // may hold a lost later value
+					}
+					lastV = nil
+				}
+				verifyRecovered(t, cfs, cfg, mustHave, lastA, lastV)
+			}
+		})
+	}
+}
+
+// TestCrashMatrixCheckpoint injects the failure inside Checkpoint itself:
+// mid-snapshot, mid-anchor-replacement, and mid-WAL-truncation are all in
+// the swept range.
+func TestCrashMatrixCheckpoint(t *testing.T) {
+	for _, pol := range policies() {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			for k := 1; k <= 46; k += 3 {
+				cfs := newCrashFS()
+				cfg := testCfg(2)
+				st := openMatrixStore(t, cfs, pol)
+				pool, _, err := st.Recover(cfg)
+				if err != nil {
+					t.Fatalf("k=%d: fresh Recover: %v", k, err)
+				}
+				acked := writeN(t, pool, cfg, 0, 25)
+				if pol != FsyncAlways {
+					if err := st.Flush(); err != nil {
+						t.Fatalf("k=%d: flush: %v", k, err)
+					}
+				}
+				cfs.armFail(k)
+				_ = st.Checkpoint() // may fail at any internal step
+				cfs.crash()
+				pool.Close()
+
+				// Everything was durable before the checkpoint started (via
+				// policy or explicit flush), and an interrupted checkpoint
+				// must never un-durable it: either the old epoch's WAL or
+				// the new epoch's snapshot serves every acked write.
+				verifyRecovered(t, cfs, cfg, acked, 0, nil)
+			}
+		})
+	}
+}
+
+// TestCrashMatrixRepeatedCrashes chains crash→recover→write→crash cycles
+// to catch state the first recovery fails to re-arm.
+func TestCrashMatrixRepeatedCrashes(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+	st := openMatrixStore(t, cfs, FsyncAlways)
+	pool, _, err := st.Recover(cfg)
+	if err != nil {
+		t.Fatalf("fresh Recover: %v", err)
+	}
+	mustHave := make(map[layout.Addr][]byte)
+	from := 0
+	for round := 0; round < 6; round++ {
+		cfs.armFail(11 + 7*round)
+		acked, lastA, lastV := crashWrites(pool, cfg, from, 200)
+		from += 200
+		for a, v := range acked {
+			mustHave[a] = v
+		}
+		cfs.crash()
+		pool.Close()
+
+		st = openMatrixStore(t, cfs, FsyncAlways)
+		var info RecoveryInfo
+		pool, info, err = st.Recover(cfg)
+		if err != nil {
+			t.Fatalf("round %d: recovery failed: %v", round, err)
+		}
+		if info.Fresh {
+			t.Fatalf("round %d: recovery lost the directory", round)
+		}
+		buf := make([]byte, layout.BlockSize)
+		for a, want := range mustHave {
+			if err := pool.Read(context.Background(), a, buf, testMeta(a)); err != nil {
+				t.Fatalf("round %d: read %#x: %v", round, a, err)
+			}
+			if !bytes.Equal(buf, want) && !(a == lastA && lastV != nil && bytes.Equal(buf, lastV)) {
+				t.Fatalf("round %d: acked write lost at %#x", round, a)
+			}
+		}
+		if a := lastA; lastV != nil {
+			// Whatever the in-flight write left behind is now the durable
+			// truth; track it so later rounds compare against reality.
+			if err := pool.Read(context.Background(), a, buf, testMeta(a)); err == nil {
+				mustHave[a] = append([]byte(nil), buf...)
+			}
+		}
+		// Every other round, cut a checkpoint so the chain also covers
+		// recover→checkpoint→crash.
+		if round%2 == 1 {
+			if err := st.Checkpoint(); err != nil {
+				t.Fatalf("round %d: checkpoint: %v", round, err)
+			}
+		}
+	}
+	st.Close()
+	pool.Close()
+}

@@ -1,0 +1,240 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// crashFS is an in-memory FS that models power loss, which a SIGKILL'd
+// process on a real filesystem cannot (the page cache survives the
+// process): Crash() drops every write since each file's last Sync and
+// reverts every directory operation since the last SyncDir. It also
+// injects faults: after failAfter mutating operations every call fails,
+// simulating the instant the power went out mid-sequence.
+type crashFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	journal []func() // revert actions for un-synced directory ops, newest last
+
+	failAfter int // countdown of mutating ops; <0 disables injection
+	failed    bool
+}
+
+var errInjected = errors.New("crashfs: injected power failure")
+
+type memFile struct {
+	data   []byte
+	synced []byte
+}
+
+func newCrashFS() *crashFS {
+	return &crashFS{files: make(map[string]*memFile), failAfter: -1}
+}
+
+// armFail makes the n-th mutating operation from now (1-based) and every
+// operation after it fail.
+func (c *crashFS) armFail(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failAfter = n
+	c.failed = false
+}
+
+// crash applies the loss model and clears the fault so recovery can run.
+func (c *crashFS) crash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.journal) - 1; i >= 0; i-- {
+		c.journal[i]()
+	}
+	c.journal = nil
+	for _, f := range c.files {
+		f.data = append([]byte(nil), f.synced...)
+	}
+	c.failAfter = -1
+	c.failed = false
+}
+
+// tick counts one mutating op against the fault budget; callers hold mu.
+func (c *crashFS) tick() error {
+	if c.failed {
+		return errInjected
+	}
+	if c.failAfter > 0 {
+		c.failAfter--
+		if c.failAfter == 0 {
+			c.failed = true
+			return errInjected
+		}
+	}
+	return nil
+}
+
+func (c *crashFS) MkdirAll(string) error { return nil }
+
+func (c *crashFS) Create(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.tick(); err != nil {
+		return nil, err
+	}
+	f, ok := c.files[name]
+	if ok {
+		f.data = nil // truncate in place; synced content survives a crash
+	} else {
+		f = &memFile{}
+		c.files[name] = f
+		c.journal = append(c.journal, func() { delete(c.files, name) })
+	}
+	return &memHandle{fs: c, f: f}, nil
+}
+
+func (c *crashFS) OpenFile(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("crashfs: open %s: %w", name, fs.ErrNotExist)
+	}
+	return &memHandle{fs: c, f: f}, nil
+}
+
+func (c *crashFS) ReadFile(name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("crashfs: read %s: %w", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (c *crashFS) Rename(oldname, newname string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.tick(); err != nil {
+		return err
+	}
+	f, ok := c.files[oldname]
+	if !ok {
+		return fmt.Errorf("crashfs: rename %s: %w", oldname, fs.ErrNotExist)
+	}
+	prev, hadPrev := c.files[newname]
+	delete(c.files, oldname)
+	c.files[newname] = f
+	c.journal = append(c.journal, func() {
+		c.files[oldname] = f
+		if hadPrev {
+			c.files[newname] = prev
+		} else {
+			delete(c.files, newname)
+		}
+	})
+	return nil
+}
+
+func (c *crashFS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.tick(); err != nil {
+		return err
+	}
+	f, ok := c.files[name]
+	if !ok {
+		return fmt.Errorf("crashfs: remove %s: %w", name, fs.ErrNotExist)
+	}
+	delete(c.files, name)
+	c.journal = append(c.journal, func() { c.files[name] = f })
+	return nil
+}
+
+func (c *crashFS) ReadDir(dir string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for n := range c.files {
+		if filepath.Dir(n) == filepath.Clean(dir) {
+			names = append(names, filepath.Base(n))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (c *crashFS) SyncDir(string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.tick(); err != nil {
+		return err
+	}
+	c.journal = nil // directory entries are durable now
+	return nil
+}
+
+// mutate edits a file's current content in place (tamper simulation).
+func (c *crashFS) mutate(name string, fn func([]byte) []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[name]
+	if !ok {
+		panic("crashfs: mutate missing " + name)
+	}
+	f.data = fn(append([]byte(nil), f.data...))
+	f.synced = append([]byte(nil), f.data...)
+}
+
+// memHandle is an open file; Write appends at the handle's own position.
+type memHandle struct {
+	fs  *crashFS
+	f   *memFile
+	pos int64
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	n, err := h.WriteAt(p, h.pos)
+	h.pos += int64(n)
+	return n, err
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.tick(); err != nil {
+		return 0, err
+	}
+	if need := off + int64(len(p)); int64(len(h.f.data)) < need {
+		h.f.data = append(h.f.data, make([]byte, need-int64(len(h.f.data)))...)
+	}
+	copy(h.f.data[off:], p)
+	return len(p), nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.tick(); err != nil {
+		return err
+	}
+	if int64(len(h.f.data)) > size {
+		h.f.data = h.f.data[:size]
+	} else {
+		h.f.data = append(h.f.data, make([]byte, size-int64(len(h.f.data)))...)
+	}
+	return nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.tick(); err != nil {
+		return err
+	}
+	h.f.synced = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }

@@ -1,0 +1,227 @@
+package persist
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/server"
+)
+
+// This file is the process-level crash harness: it builds the real
+// secmemd binary, SIGKILLs it under write load, restarts it on the same
+// data directory, and asserts that every acknowledged write survived and
+// that the recovered state verifies. A second scenario tampers with the
+// on-disk WAL between the kill and the restart and asserts the daemon
+// refuses to start. (In-process fault injection lives in
+// crash_matrix_test.go; this layer proves the wiring in cmd/secmemd.)
+
+func buildSecmemd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "secmemd")
+	cmd := exec.Command("go", "build", "-o", bin, "aisebmt/cmd/secmemd")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build secmemd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startDaemon launches secmemd on addr with the given data dir and
+// returns the running command; stderr is captured into the buffer.
+func startDaemon(t *testing.T, bin, addr, dataDir string, stderr *bytes.Buffer) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-listen", addr,
+		"-shards", "2",
+		"-mem", "256KiB",
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-snapshot-every", "0",
+	)
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	return cmd
+}
+
+func dialRetry(t *testing.T, addr string, budget time.Duration) *server.Client {
+	t.Helper()
+	deadline := time.Now().Add(budget)
+	for {
+		c, err := server.Dial(addr, 5*time.Second)
+		if err == nil {
+			return c
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up on %s: %v", addr, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func daemonMeta(a layout.Addr) core.Meta {
+	return core.Meta{VirtAddr: uint64(a) | 0x9000000, PID: 7}
+}
+
+func daemonVal(i int) []byte {
+	b := bytes.Repeat([]byte{byte(i)}, layout.BlockSize)
+	b[0], b[1] = byte(i>>8), 0xA5
+	return b
+}
+
+// waitExit waits for the daemon to exit, failing the test on timeout.
+func waitExit(t *testing.T, cmd *exec.Cmd, budget time.Duration) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(budget):
+		cmd.Process.Kill()
+		t.Fatal("daemon did not exit in time")
+		return nil
+	}
+}
+
+func TestDaemonSIGKILLUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon")
+	}
+	bin := buildSecmemd(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	addr := freeAddr(t)
+
+	var log1 bytes.Buffer
+	cmd1 := startDaemon(t, bin, addr, dataDir, &log1)
+	cli := dialRetry(t, addr, 10*time.Second)
+
+	// Write load with a kill timer racing it: the loop ends when the
+	// daemon dies mid-request.
+	killed := make(chan struct{})
+	timer := time.AfterFunc(300*time.Millisecond, func() {
+		cmd1.Process.Signal(syscall.SIGKILL)
+		close(killed)
+	})
+	defer timer.Stop()
+	acked := make(map[layout.Addr][]byte)
+	var lastA layout.Addr
+	var lastV []byte
+	for i := 0; ; i++ {
+		a := layout.Addr((i % 512) * layout.BlockSize)
+		v := daemonVal(i)
+		lastA, lastV = a, v
+		if err := cli.Write(a, v, daemonMeta(a)); err != nil {
+			break
+		}
+		acked[a] = v
+	}
+	cli.Close()
+	<-killed
+	if err := waitExit(t, cmd1, 10*time.Second); err == nil {
+		t.Fatal("SIGKILL'd daemon reported clean exit")
+	}
+	if len(acked) == 0 {
+		t.Fatal("no writes acknowledged before the kill; nothing tested")
+	}
+	t.Logf("killed daemon after %d acked writes", len(acked))
+
+	// Restart on the same directory: the port opens during recovery and
+	// the first read waits the recovery out behind the gate.
+	var log2 bytes.Buffer
+	cmd2 := startDaemon(t, bin, addr, dataDir, &log2)
+	cli2 := dialRetry(t, addr, 10*time.Second)
+	for a, want := range acked {
+		got, err := cli2.Read(a, layout.BlockSize, daemonMeta(a))
+		if err != nil {
+			t.Fatalf("read %#x after recovery: %v\ndaemon log:\n%s", a, err, log2.String())
+		}
+		if bytes.Equal(got, want) {
+			continue
+		}
+		if a == lastA && bytes.Equal(got, lastV) {
+			continue // in-flight at the kill: durable but unacknowledged
+		}
+		t.Fatalf("acked write lost at %#x: got %x..., want %x...", a, got[:4], want[:4])
+	}
+	if err := cli2.Verify(); err != nil {
+		t.Fatalf("verify after recovery: %v", err)
+	}
+	cli2.Close()
+
+	// SIGTERM must drain, checkpoint and exit 0.
+	cmd2.Process.Signal(syscall.SIGTERM)
+	if err := waitExit(t, cmd2, 15*time.Second); err != nil {
+		t.Fatalf("graceful shutdown: %v\ndaemon log:\n%s", err, log2.String())
+	}
+}
+
+func TestDaemonRefusesTamperedWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon")
+	}
+	bin := buildSecmemd(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	addr := freeAddr(t)
+
+	var log1 bytes.Buffer
+	cmd1 := startDaemon(t, bin, addr, dataDir, &log1)
+	cli := dialRetry(t, addr, 10*time.Second)
+	for i := 0; i < 20; i++ {
+		// All writes to one page → shard 0 → wal-000.log holds them.
+		if err := cli.Write(0, daemonVal(i), daemonMeta(0)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	cli.Close()
+	cmd1.Process.Signal(syscall.SIGKILL)
+	waitExit(t, cmd1, 10*time.Second)
+
+	walPath := filepath.Join(dataDir, "wal-000.log")
+	wb, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatalf("read WAL: %v", err)
+	}
+	wb[walHeaderLen+recFrameLen+5] ^= 0x01 // inside committed record 1
+	if err := os.WriteFile(walPath, wb, 0o644); err != nil {
+		t.Fatalf("write tampered WAL: %v", err)
+	}
+
+	var log2 bytes.Buffer
+	cmd2 := startDaemon(t, bin, freeAddr(t), dataDir, &log2)
+	err = waitExit(t, cmd2, 30*time.Second)
+	if err == nil {
+		t.Fatalf("daemon started on a tampered WAL\nlog:\n%s", log2.String())
+	}
+	if !bytes.Contains(log2.Bytes(), []byte("tampered")) {
+		t.Fatalf("daemon exit did not name the tampering; log:\n%s", log2.String())
+	}
+	t.Logf("daemon refused tampered WAL: %s", lastLine(log2.String()))
+}
+
+func lastLine(s string) string {
+	lines := bytes.Split(bytes.TrimSpace([]byte(s)), []byte("\n"))
+	if len(lines) == 0 {
+		return ""
+	}
+	return string(lines[len(lines)-1])
+}

@@ -1,0 +1,234 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/server"
+	"aisebmt/internal/shard"
+)
+
+// Recover builds the store's pool from the data directory and arms the
+// durability machinery around it. On a fresh directory it creates the
+// pool, cuts the initial checkpoint (epoch 1) and returns. Otherwise it
+// verifies the sealed anchor, resumes the pool from the matching
+// snapshot, replays every shard's WAL against its sealed head, runs a
+// full integrity sweep so the Bonsai roots are re-verified before any
+// traffic, and only then installs the commit hook and background tasks.
+//
+// Every trust violation fails closed: ErrTrustTampered for the sealed
+// files, ErrWALTampered for the log, ErrSnapshotTampered for snapshot
+// state that fails verification. cfg must match the configuration the
+// directory was written with (same key, schemes, sizes, shard count).
+func (st *Store) Recover(cfg shard.Config) (*shard.Pool, RecoveryInfo, error) {
+	start := time.Now()
+	st.ckptMu.Lock()
+	if st.closed {
+		st.ckptMu.Unlock()
+		return nil, RecoveryInfo{}, ErrClosed
+	}
+	if st.pool != nil {
+		st.ckptMu.Unlock()
+		return nil, RecoveryInfo{}, errors.New("persist: Recover called twice")
+	}
+	st.ckptMu.Unlock()
+
+	ab, err := st.fs.ReadFile(st.anchorPath())
+	if err != nil {
+		return st.recoverFresh(cfg, start)
+	}
+	anc, err := parseAnchor(st.key, ab)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	snapB, err := st.fs.ReadFile(st.snapPath(anc.Epoch))
+	if err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("%w: snapshot for anchored epoch %d missing", ErrSnapshotTampered, anc.Epoch)
+	}
+	sEpoch, sShards, err := parseSnapHeader(snapB)
+	if err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("%w: %v", ErrSnapshotTampered, err)
+	}
+	if sEpoch != anc.Epoch || int(sShards) != len(anc.Chips) {
+		return nil, RecoveryInfo{}, fmt.Errorf("%w: snapshot header (epoch %d, %d shards) does not match anchor (epoch %d, %d shards)",
+			ErrSnapshotTampered, sEpoch, sShards, anc.Epoch, len(anc.Chips))
+	}
+	pool, err := shard.Resume(cfg, anc.Chips, bytes.NewReader(snapB[snapHeaderLen:]))
+	if err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("%w: resume: %v", ErrSnapshotTampered, err)
+	}
+	info := RecoveryInfo{Epoch: anc.Epoch, Shards: pool.Shards(), SnapshotBytes: int64(len(snapB))}
+	fail := func(err error) (*shard.Pool, RecoveryInfo, error) {
+		pool.Close()
+		return nil, RecoveryInfo{}, err
+	}
+
+	st.initWriters(pool.Shards())
+	for i, w := range st.wals {
+		hb, herr := st.fs.ReadFile(w.headPath)
+		if herr != nil {
+			return fail(fmt.Errorf("%w: WAL head for shard %d missing", ErrTrustTampered, i))
+		}
+		head, herr := chooseHead(st.key, hb, uint32(i))
+		if herr != nil {
+			return fail(herr)
+		}
+		if head.Epoch > anc.Epoch {
+			return fail(fmt.Errorf("%w: shard %d WAL head epoch %d is ahead of anchor epoch %d (anchor rolled back?)",
+				ErrTrustTampered, i, head.Epoch, anc.Epoch))
+		}
+		var recs []walRec
+		var seq uint64
+		var chain [sealSize]byte
+		var validLen int64
+		if head.Epoch == anc.Epoch {
+			wb, rerr := st.fs.ReadFile(w.path)
+			if rerr != nil {
+				wb = nil // scanWAL fails closed unless the head committed nothing
+			}
+			recs, seq, chain, validLen, err = scanWAL(st.key, wb, head)
+			if err != nil {
+				return fail(err)
+			}
+			if validLen > 0 && validLen < int64(len(wb)) {
+				if st.opts.Logf != nil {
+					st.opts.Logf("shard %d: truncating %d bytes of torn WAL tail", i, int64(len(wb))-validLen)
+				}
+			}
+		}
+		// head.Epoch < anc.Epoch: a checkpoint was interrupted after the
+		// new anchor became durable but before this shard's log reset.
+		// The snapshot supersedes the old log completely; start it fresh.
+
+		for _, r := range recs {
+			op, cerr := recToOp(r)
+			if cerr != nil {
+				return fail(fmt.Errorf("%w: shard %d: %v", ErrWALTampered, i, cerr))
+			}
+			if rerr := pool.ReplayOp(i, op); rerr != nil {
+				if errors.Is(rerr, core.ErrTampered) {
+					return fail(fmt.Errorf("%w: replay on shard %d: %v", ErrSnapshotTampered, i, rerr))
+				}
+				// The live run rejected this op the same deterministic way
+				// (bad range, stale slot, unsupported); reproduce and move on.
+				info.ReplaySkipped++
+			} else {
+				info.Replayed++
+			}
+		}
+		info.WALRecords += seq
+		info.WALBytes += validLen
+
+		// Prime the writer to continue the verified log in place.
+		if validLen == 0 {
+			if err := func() error { w.mu.Lock(); defer w.mu.Unlock(); return w.reset(anc.Epoch) }(); err != nil {
+				return fail(fmt.Errorf("persist: shard %d WAL reset: %w", i, err))
+			}
+			continue
+		}
+		w.mu.Lock()
+		err = w.reopen()
+		if err == nil {
+			err = w.f.Truncate(validLen)
+		}
+		if err == nil {
+			w.off = validLen
+			w.epoch = anc.Epoch
+			w.seq = seq
+			w.chain = chain
+			w.syncedSeq = head.Seq
+			err = w.syncAndPublish() // cover replayed-but-unsealed records
+		}
+		w.mu.Unlock()
+		if err != nil {
+			return fail(fmt.Errorf("persist: shard %d WAL reopen: %w", i, err))
+		}
+	}
+
+	// Gate: a full verification sweep re-checks every shard against its
+	// restored root before the pool is handed out for traffic.
+	if err := pool.Verify(context.Background()); err != nil {
+		return fail(fmt.Errorf("%w: post-replay verify: %v", ErrSnapshotTampered, err))
+	}
+
+	st.ckptMu.Lock()
+	st.pool = pool
+	st.epoch = anc.Epoch
+	st.ckptMu.Unlock()
+	pool.SetCommitHook(st)
+	st.startBackground()
+	info.Elapsed = time.Since(start)
+	if st.opts.Logf != nil {
+		st.opts.Logf("recovered epoch %d: %d WAL records (%d applied, %d reproduced rejections) over a %s snapshot in %s",
+			info.Epoch, info.WALRecords, info.Replayed, info.ReplaySkipped, sizeString(info.SnapshotBytes), info.Elapsed.Round(time.Millisecond))
+	}
+	return pool, info, nil
+}
+
+// recoverFresh initializes an empty data directory. Leftover layer files
+// without an anchor mean the root of trust was destroyed — fail closed
+// rather than silently starting over.
+func (st *Store) recoverFresh(cfg shard.Config, start time.Time) (*shard.Pool, RecoveryInfo, error) {
+	names, _ := st.fs.ReadDir(st.opts.Dir)
+	for _, n := range names {
+		if ownFile(n) && n != "snap.tmp" && n != "anchor.tmp" {
+			return nil, RecoveryInfo{}, fmt.Errorf("%w: anchor missing but %s present", ErrTrustTampered, n)
+		}
+	}
+	pool, err := shard.New(cfg)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	st.ckptMu.Lock()
+	st.pool = pool
+	st.epoch = 0
+	st.ckptMu.Unlock()
+	st.initWriters(pool.Shards())
+	if err := st.Checkpoint(); err != nil {
+		pool.Close()
+		return nil, RecoveryInfo{}, err
+	}
+	pool.SetCommitHook(st)
+	st.startBackground()
+	info := RecoveryInfo{Fresh: true, Epoch: 1, Shards: pool.Shards(), Elapsed: time.Since(start)}
+	if st.opts.Logf != nil {
+		st.opts.Logf("initialized fresh data dir: epoch 1, %d shards", info.Shards)
+	}
+	return pool, info, nil
+}
+
+// recToOp converts a WAL record back into a pool mutation.
+func recToOp(r walRec) (shard.MutOp, error) {
+	op := shard.MutOp{
+		Kind: r.Kind,
+		Addr: r.Addr,
+		Virt: r.Virt,
+		PID:  r.PID,
+		Slot: int(r.Slot),
+		Data: r.Data,
+	}
+	if r.Kind == shard.MutSwapIn {
+		img, err := server.DecodeImage(r.Data)
+		if err != nil {
+			return shard.MutOp{}, fmt.Errorf("swap-in image: %v", err)
+		}
+		op.Img, op.Data = img, nil
+	}
+	return op, nil
+}
+
+// sizeString renders a byte count with a binary suffix.
+func sizeString(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,202 @@
+package persist
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"aisebmt/internal/core"
+)
+
+// The trusted files play the role of the paper's on-chip non-volatile
+// registers: the anchor holds the per-shard chip states (Global Page
+// Counter + Bonsai tree root) sealed at the last snapshot, and each WAL
+// head holds the committed log position with a running MAC over the log's
+// records. Both are authenticated with a key derived from the processor
+// key, so nothing on disk can be altered, substituted or rolled back
+// without detection — only the simulated chip (which holds the key) can
+// produce a valid seal.
+
+// Fail-closed recovery errors. Each names a distinct trust violation so
+// operators (and tests) can tell what was attacked.
+var (
+	// ErrTrustTampered: a sealed trusted file (anchor or WAL head) is
+	// missing, malformed, or fails its authenticity check.
+	ErrTrustTampered = errors.New("persist: trusted state tampered")
+	// ErrWALTampered: the write-ahead log does not match its sealed head —
+	// a record was altered, forged, or the committed tail was deleted.
+	ErrWALTampered = errors.New("persist: WAL tampered")
+	// ErrSnapshotTampered: the snapshot body fails verification against
+	// the sealed chip states.
+	ErrSnapshotTampered = errors.New("persist: snapshot tampered")
+)
+
+const (
+	sealSize    = sha256.Size
+	maxRootLen  = 1024 // sanity bound on a serialized tree root
+	anchorMagic = "SMANCHR1"
+	headMagic   = "SMWALHD1"
+)
+
+// sealKey derives the at-rest authentication key from the processor key.
+func sealKey(processorKey []byte) []byte {
+	m := hmac.New(sha256.New, processorKey)
+	m.Write([]byte("aisebmt/persist/seal/v1"))
+	return m.Sum(nil)
+}
+
+// seal computes HMAC-SHA256 over b under k.
+func seal(k, b []byte) [sealSize]byte {
+	m := hmac.New(sha256.New, k)
+	m.Write(b)
+	var out [sealSize]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// anchor is the snapshot-time trusted state for the whole pool.
+type anchor struct {
+	Epoch uint64
+	Chips []core.ChipState
+}
+
+// encodeAnchor serializes and seals an anchor.
+func encodeAnchor(k []byte, a anchor) []byte {
+	b := make([]byte, 0, 64+len(a.Chips)*64)
+	b = append(b, anchorMagic...)
+	b = binary.LittleEndian.AppendUint32(b, 1) // version
+	b = binary.LittleEndian.AppendUint64(b, a.Epoch)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(a.Chips)))
+	for _, c := range a.Chips {
+		b = append(b, c.GPC[:]...)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(c.Root)))
+		b = append(b, c.Root...)
+	}
+	mac := seal(k, b)
+	return append(b, mac[:]...)
+}
+
+// parseAnchor verifies and decodes an anchor. Any structural or seal
+// failure is ErrTrustTampered: the anchor is the root of trust, so a bad
+// anchor never degrades to "start fresh".
+func parseAnchor(k, b []byte) (anchor, error) {
+	if len(b) < len(anchorMagic)+4+8+4+sealSize {
+		return anchor{}, fmt.Errorf("%w: anchor too short (%d bytes)", ErrTrustTampered, len(b))
+	}
+	body, mac := b[:len(b)-sealSize], b[len(b)-sealSize:]
+	want := seal(k, body)
+	if !hmac.Equal(mac, want[:]) {
+		return anchor{}, fmt.Errorf("%w: anchor seal mismatch", ErrTrustTampered)
+	}
+	if string(body[:8]) != anchorMagic {
+		return anchor{}, fmt.Errorf("%w: anchor bad magic", ErrTrustTampered)
+	}
+	if v := binary.LittleEndian.Uint32(body[8:12]); v != 1 {
+		return anchor{}, fmt.Errorf("%w: anchor unknown version %d", ErrTrustTampered, v)
+	}
+	a := anchor{Epoch: binary.LittleEndian.Uint64(body[12:20])}
+	n := binary.LittleEndian.Uint32(body[20:24])
+	off := 24
+	for i := uint32(0); i < n; i++ {
+		if len(body)-off < 10 {
+			return anchor{}, fmt.Errorf("%w: anchor truncated chip %d", ErrTrustTampered, i)
+		}
+		var c core.ChipState
+		copy(c.GPC[:], body[off:off+8])
+		rl := int(binary.LittleEndian.Uint16(body[off+8 : off+10]))
+		off += 10
+		if rl > maxRootLen || len(body)-off < rl {
+			return anchor{}, fmt.Errorf("%w: anchor bad root length %d", ErrTrustTampered, rl)
+		}
+		if rl > 0 {
+			c.Root = append([]byte(nil), body[off:off+rl]...)
+		}
+		off += rl
+		a.Chips = append(a.Chips, c)
+	}
+	if off != len(body) {
+		return anchor{}, fmt.Errorf("%w: anchor has %d trailing bytes", ErrTrustTampered, len(body)-off)
+	}
+	return a, nil
+}
+
+// walHead is one shard's committed WAL position: everything up to Seq is
+// acknowledged-durable and must be present and unaltered at recovery;
+// Chain is the record MAC chain's value at Seq.
+type walHead struct {
+	Epoch uint64
+	Shard uint32
+	Seq   uint64
+	Chain [sealSize]byte
+}
+
+// WAL head files hold two fixed-size slots written alternately, so a
+// crash mid-update tears at most the slot being written and recovery
+// falls back to the other (one committed position behind, which is safe:
+// the head may trail the durable WAL, never lead it).
+const (
+	headSlotSize = 128
+	headBodyLen  = 8 + 8 + 4 + 8 + sealSize // magic, epoch, shard, seq, chain
+)
+
+// encodeHead serializes and seals one WAL head slot.
+func encodeHead(k []byte, h walHead) [headSlotSize]byte {
+	var out [headSlotSize]byte
+	b := out[:0]
+	b = append(b, headMagic...)
+	b = binary.LittleEndian.AppendUint64(b, h.Epoch)
+	b = binary.LittleEndian.AppendUint32(b, h.Shard)
+	b = binary.LittleEndian.AppendUint64(b, h.Seq)
+	b = append(b, h.Chain[:]...)
+	mac := seal(k, out[:headBodyLen])
+	copy(out[headBodyLen:], mac[:])
+	return out
+}
+
+// parseHeadSlot validates one slot; ok is false for any mismatch.
+func parseHeadSlot(k []byte, b []byte, shard uint32) (walHead, bool) {
+	if len(b) < headBodyLen+sealSize {
+		return walHead{}, false
+	}
+	want := seal(k, b[:headBodyLen])
+	if !hmac.Equal(b[headBodyLen:headBodyLen+sealSize], want[:]) {
+		return walHead{}, false
+	}
+	if string(b[:8]) != headMagic {
+		return walHead{}, false
+	}
+	h := walHead{
+		Epoch: binary.LittleEndian.Uint64(b[8:16]),
+		Shard: binary.LittleEndian.Uint32(b[16:20]),
+		Seq:   binary.LittleEndian.Uint64(b[20:28]),
+	}
+	copy(h.Chain[:], b[28:28+sealSize])
+	return h, h.Shard == shard
+}
+
+// chooseHead picks the newest valid slot of a WAL head file. At least one
+// slot must verify — a head with no valid slot means the trusted state
+// was destroyed, and recovery fails closed.
+func chooseHead(k []byte, file []byte, shard uint32) (walHead, error) {
+	var best walHead
+	found := false
+	for slot := 0; slot < 2; slot++ {
+		off := slot * headSlotSize
+		if len(file) < off+headSlotSize {
+			break
+		}
+		h, ok := parseHeadSlot(k, file[off:off+headSlotSize], shard)
+		if !ok {
+			continue
+		}
+		if !found || h.Epoch > best.Epoch || (h.Epoch == best.Epoch && h.Seq > best.Seq) {
+			best, found = h, true
+		}
+	}
+	if !found {
+		return walHead{}, fmt.Errorf("%w: WAL head for shard %d has no valid slot", ErrTrustTampered, shard)
+	}
+	return best, nil
+}

@@ -1,0 +1,49 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Snapshot file layout: a fixed header followed by the pool's hibernation
+// stream (shard.Pool.Hibernate). The body is untrusted by design — its
+// integrity comes from re-verification against the sealed chip states in
+// the anchor, not from anything in this file — so the header carries only
+// a CRC, enough to tell "wrong/damaged file" apart from "tampered state".
+//
+//	magic(8) "SMSNAP01" | version u32 | epoch u64 | shards u32 | crc u32
+
+const (
+	snapMagic     = "SMSNAP01"
+	snapHeaderLen = 8 + 4 + 8 + 4 + 4
+)
+
+// encodeSnapHeader builds a snapshot header.
+func encodeSnapHeader(epoch uint64, shards uint32) [snapHeaderLen]byte {
+	var b [snapHeaderLen]byte
+	copy(b[:8], snapMagic)
+	binary.LittleEndian.PutUint32(b[8:12], 1)
+	binary.LittleEndian.PutUint64(b[12:20], epoch)
+	binary.LittleEndian.PutUint32(b[20:24], shards)
+	binary.LittleEndian.PutUint32(b[24:28], crc32.ChecksumIEEE(b[:24]))
+	return b
+}
+
+// parseSnapHeader validates a snapshot header.
+func parseSnapHeader(b []byte) (epoch uint64, shards uint32, err error) {
+	if len(b) < snapHeaderLen {
+		return 0, 0, fmt.Errorf("persist: snapshot header truncated (%d bytes)", len(b))
+	}
+	if string(b[:8]) != snapMagic {
+		return 0, 0, errors.New("persist: snapshot bad magic")
+	}
+	if crc32.ChecksumIEEE(b[:24]) != binary.LittleEndian.Uint32(b[24:28]) {
+		return 0, 0, errors.New("persist: snapshot header CRC mismatch")
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != 1 {
+		return 0, 0, fmt.Errorf("persist: snapshot unknown version %d", v)
+	}
+	return binary.LittleEndian.Uint64(b[12:20]), binary.LittleEndian.Uint32(b[20:24]), nil
+}

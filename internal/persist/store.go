@@ -1,0 +1,447 @@
+// Package persist makes the secure-memory service durable: it gives a
+// shard.Pool a per-shard write-ahead log with group commit, periodic
+// verified snapshots with WAL truncation, and a crash-recovery path that
+// replays the log over the latest snapshot and re-verifies the Bonsai
+// tree roots before the pool serves traffic.
+//
+// The trust model extends the paper's: the Global Page Counter and tree
+// roots live in simulated on-chip non-volatile storage (the sealed anchor
+// and WAL head files, authenticated under a key derived from the
+// processor key), while the snapshot body and WAL records are untrusted
+// at-rest storage. Any offline modification — a flipped byte in the
+// snapshot or log, a forged record, a deleted committed tail — is
+// detected at recovery, which then fails closed with a distinct error
+// rather than serving doubtful state.
+package persist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/server"
+	"aisebmt/internal/shard"
+)
+
+// Policy selects when WAL appends reach stable storage.
+type Policy int
+
+// Fsync policies, strongest first.
+const (
+	// FsyncAlways syncs the log and seals its head before each batch is
+	// acknowledged: zero acknowledged-write loss across crashes.
+	FsyncAlways Policy = iota
+	// FsyncBatch acknowledges from the page cache and syncs on a short
+	// background interval: a crash can lose at most the last interval.
+	FsyncBatch
+	// FsyncOff never syncs outside checkpoints: a crash can lose
+	// everything since the last snapshot. Recovery still fails closed on
+	// tampering; only durability is relaxed.
+	FsyncOff
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncBatch:
+		return "batch"
+	case FsyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps the -fsync flag values to policies.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "off":
+		return FsyncOff, nil
+	default:
+		return 0, fmt.Errorf("persist: unknown fsync policy %q (want always, batch or off)", s)
+	}
+}
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the data directory; it is created if missing.
+	Dir string
+	// Key is the processor key; the at-rest sealing key derives from it.
+	Key []byte
+	// Fsync selects the durability/latency trade-off.
+	Fsync Policy
+	// FsyncInterval is FsyncBatch's background sync period (default 10ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery cuts a background checkpoint (snapshot + WAL
+	// truncation) on this period; 0 disables periodic checkpoints.
+	SnapshotEvery time.Duration
+	// Logf, when non-nil, receives recovery and checkpoint events.
+	Logf func(format string, args ...any)
+	// FS overrides the filesystem (crash tests); nil means the OS.
+	FS FS
+}
+
+// RecoveryInfo reports what Recover found and did.
+type RecoveryInfo struct {
+	Fresh         bool          `json:"fresh"`
+	Epoch         uint64        `json:"epoch"`
+	Shards        int           `json:"shards"`
+	SnapshotBytes int64         `json:"snapshot_bytes"`
+	WALBytes      int64         `json:"wal_bytes"`
+	WALRecords    uint64        `json:"wal_records"`
+	Replayed      uint64        `json:"replayed"`
+	ReplaySkipped uint64        `json:"replay_skipped"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("persist: store is closed")
+
+// Store is the durability layer bound to one data directory and, after
+// Recover, one pool. It implements shard.CommitHook.
+type Store struct {
+	opts Options
+	fs   FS
+	key  []byte // seal key
+
+	// ckptMu serializes checkpoints, recovery and close against each
+	// other; epoch and pool are written under it.
+	ckptMu sync.Mutex
+	epoch  uint64
+	pool   *shard.Pool
+	closed bool
+
+	wals []*walWriter
+
+	lastSnapPath  string
+	lastSnapBytes int64
+
+	stopc chan struct{}
+	bg    sync.WaitGroup
+}
+
+// LastSnapshot reports the most recent checkpoint's snapshot path and
+// size (zero values before the first checkpoint).
+func (st *Store) LastSnapshot() (string, int64) {
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	return st.lastSnapPath, st.lastSnapBytes
+}
+
+// countingWriter counts bytes on their way to a File.
+type countingWriter struct {
+	f File
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Open validates options and binds a store to its data directory. No
+// state is read until Recover.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("persist: Dir is required")
+	}
+	if len(opts.Key) == 0 {
+		return nil, errors.New("persist: Key is required (the seal key derives from it)")
+	}
+	if opts.FsyncInterval == 0 {
+		opts.FsyncInterval = 10 * time.Millisecond
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS()
+	}
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return &Store{opts: opts, fs: fs, key: sealKey(opts.Key)}, nil
+}
+
+func (st *Store) anchorPath() string { return filepath.Join(st.opts.Dir, "anchor.bin") }
+
+func (st *Store) snapPath(epoch uint64) string {
+	return filepath.Join(st.opts.Dir, fmt.Sprintf("snap-%016x.img", epoch))
+}
+
+func (st *Store) walPath(i int) string {
+	return filepath.Join(st.opts.Dir, fmt.Sprintf("wal-%03d.log", i))
+}
+
+func (st *Store) headPath(i int) string {
+	return filepath.Join(st.opts.Dir, fmt.Sprintf("walhead-%03d.bin", i))
+}
+
+// ownFile reports whether a directory entry belongs to this layer.
+func ownFile(name string) bool {
+	return name == "anchor.bin" || name == "anchor.tmp" || name == "snap.tmp" ||
+		strings.HasPrefix(name, "snap-") || strings.HasPrefix(name, "wal-") ||
+		strings.HasPrefix(name, "walhead-")
+}
+
+// initWriters builds the per-shard writer set (files opened lazily).
+func (st *Store) initWriters(n int) {
+	st.wals = make([]*walWriter, n)
+	for i := range st.wals {
+		st.wals[i] = &walWriter{
+			fs:       st.fs,
+			key:      st.key,
+			shardIdx: uint32(i),
+			path:     st.walPath(i),
+			headPath: st.headPath(i),
+		}
+	}
+}
+
+// Commit implements shard.CommitHook: it appends the batch's mutations to
+// the shard's WAL and, under FsyncAlways, makes them durable and seals
+// the head before returning — i.e., before the pool executes or
+// acknowledges anything in the batch.
+func (st *Store) Commit(shardIdx int, ops []shard.MutOp) error {
+	w := st.wals[shardIdx]
+	recs := make([]walRec, len(ops))
+	for i, op := range ops {
+		recs[i] = walRec{
+			Kind: op.Kind,
+			Addr: op.Addr,
+			Virt: op.Virt,
+			PID:  op.PID,
+			Slot: uint32(op.Slot),
+			Data: op.Data,
+		}
+		if op.Kind == shard.MutSwapIn {
+			recs[i].Data = server.EncodeImage(op.Img)
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.append(recs); err != nil {
+		return err
+	}
+	if st.opts.Fsync == FsyncAlways {
+		return w.syncAndPublish()
+	}
+	return nil
+}
+
+// Flush syncs every shard's WAL and seals its head, regardless of policy.
+func (st *Store) Flush() error {
+	var first error
+	for _, w := range st.wals {
+		w.mu.Lock()
+		err := w.syncAndPublish()
+		w.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Checkpoint cuts a verified snapshot and truncates every WAL: the pool
+// is frozen, its image written and synced, the anchor resealed with the
+// fresh chip states, and the logs reset to the new epoch — in that order,
+// so a crash at any point leaves either the old epoch fully recoverable
+// or the new one. Checkpoints are always fully synced, whatever the
+// fsync policy. Older snapshots are removed afterwards.
+func (st *Store) Checkpoint() error {
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if st.pool == nil {
+		return errors.New("persist: Checkpoint before Recover")
+	}
+	newEpoch := st.epoch + 1
+	tmpPath := filepath.Join(st.opts.Dir, "snap.tmp")
+	f, err := st.fs.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	cw := &countingWriter{f: f}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	hdr := encodeSnapHeader(newEpoch, uint32(st.pool.Shards()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	_, err = st.pool.Checkpoint(bw, func(chips []core.ChipState) error {
+		// The pool is frozen from here to return: no batch can commit
+		// between the image cut and the log reset.
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := st.fs.Rename(tmpPath, st.snapPath(newEpoch)); err != nil {
+			return err
+		}
+		if err := st.fs.SyncDir(st.opts.Dir); err != nil {
+			return err
+		}
+		if err := st.writeAnchor(anchor{Epoch: newEpoch, Chips: chips}); err != nil {
+			return err
+		}
+		// From the durable anchor on, the new snapshot is authoritative;
+		// the old logs are now superseded and can be reset. A crash
+		// between these steps leaves heads/logs on the old epoch, which
+		// recovery treats as empty under the new anchor.
+		for _, w := range st.wals {
+			w.mu.Lock()
+			err := w.reset(newEpoch)
+			w.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		if err := st.fs.SyncDir(st.opts.Dir); err != nil {
+			return err
+		}
+		st.epoch = newEpoch
+		return nil
+	})
+	if err != nil {
+		st.fs.Remove(tmpPath) // best effort; a stale tmp is ignored anyway
+		return fmt.Errorf("persist: checkpoint: %w", err)
+	}
+	st.lastSnapPath, st.lastSnapBytes = st.snapPath(newEpoch), cw.n
+	st.gcSnapshots(newEpoch)
+	if st.opts.Logf != nil {
+		st.opts.Logf("checkpoint: epoch %d snapshotted (%s), WALs truncated", newEpoch, sizeString(cw.n))
+	}
+	return nil
+}
+
+// writeAnchor atomically replaces the sealed anchor.
+func (st *Store) writeAnchor(a anchor) error {
+	tmp := filepath.Join(st.opts.Dir, "anchor.tmp")
+	f, err := st.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeAnchor(st.key, a)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := st.fs.Rename(tmp, st.anchorPath()); err != nil {
+		return err
+	}
+	return st.fs.SyncDir(st.opts.Dir)
+}
+
+// gcSnapshots removes snapshots of superseded epochs and stale temp files.
+func (st *Store) gcSnapshots(current uint64) {
+	names, err := st.fs.ReadDir(st.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		if n == "snap.tmp" || n == "anchor.tmp" {
+			st.fs.Remove(filepath.Join(st.opts.Dir, n))
+			continue
+		}
+		if !strings.HasPrefix(n, "snap-") || !strings.HasSuffix(n, ".img") {
+			continue
+		}
+		e, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(n, "snap-"), ".img"), 16, 64)
+		if perr == nil && e != current {
+			st.fs.Remove(filepath.Join(st.opts.Dir, n))
+		}
+	}
+}
+
+// startBackground launches the flusher (FsyncBatch) and the periodic
+// snapshotter (SnapshotEvery > 0).
+func (st *Store) startBackground() {
+	st.stopc = make(chan struct{})
+	if st.opts.Fsync == FsyncBatch {
+		st.bg.Add(1)
+		go func() {
+			defer st.bg.Done()
+			t := time.NewTicker(st.opts.FsyncInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := st.Flush(); err != nil && st.opts.Logf != nil {
+						st.opts.Logf("wal flush: %v", err)
+					}
+				case <-st.stopc:
+					return
+				}
+			}
+		}()
+	}
+	if st.opts.SnapshotEvery > 0 {
+		st.bg.Add(1)
+		go func() {
+			defer st.bg.Done()
+			t := time.NewTicker(st.opts.SnapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := st.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) && st.opts.Logf != nil {
+						st.opts.Logf("checkpoint: %v", err)
+					}
+				case <-st.stopc:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Close stops the background goroutines, gives every WAL a final durable
+// sync, and releases file handles. Call Checkpoint first for a clean
+// final snapshot; Close alone leaves a valid WAL-replay state.
+func (st *Store) Close() error {
+	st.ckptMu.Lock()
+	if st.closed {
+		st.ckptMu.Unlock()
+		return ErrClosed
+	}
+	st.closed = true
+	st.ckptMu.Unlock()
+	if st.stopc != nil {
+		close(st.stopc)
+		st.bg.Wait()
+	}
+	first := st.Flush()
+	for _, w := range st.wals {
+		w.mu.Lock()
+		err := w.close()
+		w.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,440 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+)
+
+var testProcKey = []byte("persist-test-key")
+
+// testCfg builds a small pool: shards × 8 pages, full AISE + Bonsai
+// protection so recovery's verification sweep actually checks something.
+func testCfg(shards int) shard.Config {
+	return shard.Config{
+		Shards:     shards,
+		QueueDepth: 16,
+		BatchMax:   8,
+		Core: core.Config{
+			DataBytes:  uint64(shards) * 8 * layout.PageSize,
+			MACBits:    64,
+			Key:        testProcKey,
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  8,
+		},
+	}
+}
+
+// openStore opens a Store on fs with background work disabled, so tests
+// control every sync and checkpoint.
+func openStore(t *testing.T, fsys FS, p Policy) *Store {
+	t.Helper()
+	st, err := Open(Options{
+		Dir:           "data",
+		Key:           testProcKey,
+		Fsync:         p,
+		FsyncInterval: time.Hour, // effectively never: tests flush explicitly
+		FS:            fsys,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st
+}
+
+func testVal(i int) []byte {
+	b := bytes.Repeat([]byte{byte(i)}, layout.BlockSize)
+	b[0], b[1] = byte(i>>8), byte(i)
+	return b
+}
+
+func testAddr(i int, cfg shard.Config) layout.Addr {
+	stride := layout.Addr(layout.PageSize + layout.BlockSize) // walks pages and shards
+	return (layout.Addr(i) * stride) % layout.Addr(cfg.Core.DataBytes)
+}
+
+func testMeta(a layout.Addr) core.Meta {
+	return core.Meta{VirtAddr: uint64(a) | 0x7f000000, PID: 42}
+}
+
+// writeN issues n writes through the pool and returns the last acked
+// value per address.
+func writeN(t *testing.T, pool *shard.Pool, cfg shard.Config, from, n int) map[layout.Addr][]byte {
+	t.Helper()
+	acked := make(map[layout.Addr][]byte)
+	ctx := context.Background()
+	for i := from; i < from+n; i++ {
+		a := testAddr(i, cfg)
+		v := testVal(i)
+		if err := pool.Write(ctx, a, v, testMeta(a)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		acked[a] = v
+	}
+	return acked
+}
+
+func checkValues(t *testing.T, pool *shard.Pool, vals map[layout.Addr][]byte) {
+	t.Helper()
+	buf := make([]byte, layout.BlockSize)
+	for a, want := range vals {
+		if err := pool.Read(context.Background(), a, buf, testMeta(a)); err != nil {
+			t.Fatalf("read %#x: %v", a, err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("read %#x: got %x..., want %x...", a, buf[:4], want[:4])
+		}
+	}
+}
+
+// TestRecoverReplaysWAL is the basic durability roundtrip: acked writes
+// with no checkpoint survive a crash purely through WAL replay.
+func TestRecoverReplaysWAL(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+
+	st1 := openStore(t, cfs, FsyncAlways)
+	pool1, info, err := st1.Recover(cfg)
+	if err != nil {
+		t.Fatalf("fresh Recover: %v", err)
+	}
+	if !info.Fresh || info.Epoch != 1 {
+		t.Fatalf("fresh info = %+v", info)
+	}
+	acked := writeN(t, pool1, cfg, 0, 40)
+	cfs.crash() // SIGKILL + power loss; FsyncAlways synced every batch
+
+	st2 := openStore(t, cfs, FsyncAlways)
+	pool2, info, err := st2.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover after crash: %v", err)
+	}
+	if info.Fresh || info.Epoch != 1 || info.WALRecords != 40 || info.Replayed != 40 {
+		t.Fatalf("recovery info = %+v, want epoch 1 with 40 replayed", info)
+	}
+	checkValues(t, pool2, acked)
+	if err := st2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	pool2.Close()
+}
+
+// TestCheckpointTruncatesWAL: after a checkpoint the WAL is empty, the
+// old snapshot is gone, and recovery resumes from the snapshot alone.
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+
+	st1 := openStore(t, cfs, FsyncAlways)
+	pool1, _, err := st1.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	acked := writeN(t, pool1, cfg, 0, 30)
+	if err := st1.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// The superseded snapshot is unlinked right away. (The unlink is not
+	// dir-synced, so a crash may resurrect it — recovery ignores it and the
+	// next checkpoint collects it again.)
+	if _, err := cfs.ReadFile(filepath.Join("data", fmt.Sprintf("snap-%016x.img", 1))); err == nil {
+		t.Fatal("epoch-1 snapshot not garbage-collected after checkpoint")
+	}
+	more := writeN(t, pool1, cfg, 30, 10)
+	for a, v := range more {
+		acked[a] = v
+	}
+	cfs.crash()
+	st2 := openStore(t, cfs, FsyncAlways)
+	pool2, info, err := st2.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if info.Epoch != 2 || info.WALRecords != 10 {
+		t.Fatalf("info = %+v, want epoch 2 with 10 WAL records", info)
+	}
+	checkValues(t, pool2, acked)
+	st2.Close()
+	pool2.Close()
+}
+
+// TestRecoverReplaysSwaps covers the swap-out/swap-in WAL records: page
+// state changes from swapping must be reproduced at recovery.
+func TestRecoverReplaysSwaps(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+	ctx := context.Background()
+
+	st1 := openStore(t, cfs, FsyncAlways)
+	pool1, _, err := st1.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	acked := writeN(t, pool1, cfg, 0, 8)
+	page := layout.Addr(0)
+	img, err := pool1.SwapOut(ctx, page, 3)
+	if err != nil {
+		t.Fatalf("SwapOut: %v", err)
+	}
+	if err := pool1.SwapIn(ctx, img, page, 3); err != nil {
+		t.Fatalf("SwapIn: %v", err)
+	}
+	post := writeN(t, pool1, cfg, 100, 4)
+	for a, v := range post {
+		acked[a] = v
+	}
+	cfs.crash()
+
+	st2 := openStore(t, cfs, FsyncAlways)
+	pool2, info, err := st2.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover with swaps in WAL: %v", err)
+	}
+	if info.ReplaySkipped != 0 {
+		t.Fatalf("info = %+v, want no skipped replays", info)
+	}
+	checkValues(t, pool2, acked)
+	st2.Close()
+	pool2.Close()
+}
+
+// TestUnsyncedLossTolerated: under FsyncOff a crash loses unsynced acked
+// writes, but recovery must still succeed — relaxed durability is not a
+// trust violation.
+func TestUnsyncedLossTolerated(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+
+	st1 := openStore(t, cfs, FsyncOff)
+	pool1, _, err := st1.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	writeN(t, pool1, cfg, 0, 20) // acked but never synced
+	cfs.crash()
+
+	st2 := openStore(t, cfs, FsyncOff)
+	pool2, info, err := st2.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover after unsynced loss: %v", err)
+	}
+	if info.WALRecords != 0 {
+		t.Fatalf("info = %+v, want 0 WAL records (all lost by policy)", info)
+	}
+	st2.Close()
+	pool2.Close()
+}
+
+// tamperSetup runs a daemon lifecycle that leaves both a snapshot and a
+// committed WAL on "disk", then hands the fs to the tamper cases. One
+// shard, so wal-000.log is guaranteed to hold the records.
+func tamperSetup(t *testing.T) (*crashFS, shard.Config) {
+	t.Helper()
+	cfs := newCrashFS()
+	cfg := testCfg(1)
+	st := openStore(t, cfs, FsyncAlways)
+	pool, _, err := st.Recover(cfg)
+	if err != nil {
+		t.Fatalf("setup Recover: %v", err)
+	}
+	writeN(t, pool, cfg, 0, 12)
+	cfs.crash() // synced state only, like a real post-crash disk
+	return cfs, cfg
+}
+
+func wantRecoveryError(t *testing.T, cfs *crashFS, cfg shard.Config, want error) {
+	t.Helper()
+	st := openStore(t, cfs, FsyncAlways)
+	pool, _, err := st.Recover(cfg)
+	if !errors.Is(err, want) {
+		if pool != nil {
+			pool.Close()
+		}
+		t.Fatalf("Recover: got %v, want %v", err, want)
+	}
+}
+
+func TestTamperSnapshotBody(t *testing.T) {
+	cfs, cfg := tamperSetup(t)
+	cfs.mutate(filepath.Join("data", fmt.Sprintf("snap-%016x.img", 1)), func(b []byte) []byte {
+		// Flip bytes across the body; the header CRC stays intact so the
+		// damage must be caught by state verification, not framing.
+		for off := snapHeaderLen + 7; off < len(b); off += 1024 {
+			b[off] ^= 0x20
+		}
+		return b
+	})
+	wantRecoveryError(t, cfs, cfg, ErrSnapshotTampered)
+}
+
+func TestTamperSnapshotMissing(t *testing.T) {
+	cfs, cfg := tamperSetup(t)
+	if err := cfs.Remove(filepath.Join("data", fmt.Sprintf("snap-%016x.img", 1))); err != nil {
+		t.Fatal(err)
+	}
+	wantRecoveryError(t, cfs, cfg, ErrSnapshotTampered)
+}
+
+func TestTamperWALRecord(t *testing.T) {
+	cfs, cfg := tamperSetup(t)
+	cfs.mutate(filepath.Join("data", "wal-000.log"), func(b []byte) []byte {
+		b[walHeaderLen+recFrameLen+9] ^= 0x01 // inside committed record 1
+		return b
+	})
+	wantRecoveryError(t, cfs, cfg, ErrWALTampered)
+}
+
+func TestTamperWALTailDeleted(t *testing.T) {
+	cfs, cfg := tamperSetup(t)
+	cfs.mutate(filepath.Join("data", "wal-000.log"), func(b []byte) []byte {
+		return b[:len(b)-40] // cut into the last committed record
+	})
+	wantRecoveryError(t, cfs, cfg, ErrWALTampered)
+}
+
+func TestTamperWALFileDeleted(t *testing.T) {
+	cfs, cfg := tamperSetup(t)
+	if err := cfs.Remove(filepath.Join("data", "wal-000.log")); err != nil {
+		t.Fatal(err)
+	}
+	wantRecoveryError(t, cfs, cfg, ErrWALTampered)
+}
+
+func TestTamperAnchor(t *testing.T) {
+	cfs, cfg := tamperSetup(t)
+	cfs.mutate(filepath.Join("data", "anchor.bin"), func(b []byte) []byte {
+		b[15] ^= 0x01
+		return b
+	})
+	wantRecoveryError(t, cfs, cfg, ErrTrustTampered)
+}
+
+func TestTamperAnchorDeleted(t *testing.T) {
+	cfs, cfg := tamperSetup(t)
+	if err := cfs.Remove(filepath.Join("data", "anchor.bin")); err != nil {
+		t.Fatal(err)
+	}
+	// Anchor gone but logs present: the root of trust was destroyed; this
+	// must NOT degrade to a fresh start.
+	wantRecoveryError(t, cfs, cfg, ErrTrustTampered)
+}
+
+func TestTamperBothHeadSlots(t *testing.T) {
+	cfs, cfg := tamperSetup(t)
+	cfs.mutate(filepath.Join("data", "walhead-000.bin"), func(b []byte) []byte {
+		b[20] ^= 0xFF
+		if len(b) > headSlotSize {
+			b[headSlotSize+20] ^= 0xFF
+		}
+		return b
+	})
+	wantRecoveryError(t, cfs, cfg, ErrTrustTampered)
+}
+
+func TestTamperWrongKey(t *testing.T) {
+	cfs, cfg := tamperSetup(t)
+	st, err := Open(Options{Dir: "data", Key: []byte("some-other-key!!"), FS: cfs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, _, err := st.Recover(cfg); !errors.Is(err, ErrTrustTampered) {
+		t.Fatalf("Recover under wrong key: got %v, want ErrTrustTampered", err)
+	}
+}
+
+// TestTornHeadSlotFallsBack: damage to only the newest head slot is a
+// torn in-place update, not tampering — recovery uses the older slot and
+// still replays the full durable log.
+func TestTornHeadSlotFallsBack(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(1)
+	st1 := openStore(t, cfs, FsyncAlways)
+	pool1, _, err := st1.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	acked := writeN(t, pool1, cfg, 0, 12) // ≥2 commits: both slots populated
+	cfs.crash()
+
+	headPath := filepath.Join("data", "walhead-000.bin")
+	hb, err := cfs.ReadFile(headPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sealKey(testProcKey)
+	h0, ok0 := parseHeadSlot(key, hb[:headSlotSize], 0)
+	h1, ok1 := parseHeadSlot(key, hb[headSlotSize:], 0)
+	if !ok0 || !ok1 {
+		t.Fatalf("expected two valid head slots, got %v/%v", ok0, ok1)
+	}
+	newest := 0
+	if h1.Seq > h0.Seq {
+		newest = 1
+	}
+	cfs.mutate(headPath, func(b []byte) []byte {
+		b[newest*headSlotSize+30] ^= 0xFF
+		return b
+	})
+
+	st2 := openStore(t, cfs, FsyncAlways)
+	pool2, info, err := st2.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover with torn newest slot: %v", err)
+	}
+	// The older slot commits less, but the chain-valid records beyond it
+	// are durable-but-unacknowledged and must still be replayed.
+	if info.WALRecords != 12 {
+		t.Fatalf("info = %+v, want all 12 records replayed", info)
+	}
+	checkValues(t, pool2, acked)
+	st2.Close()
+	pool2.Close()
+}
+
+// TestRecoveredStoreContinues: after recovery the store must keep
+// logging — a second crash after more writes still loses nothing.
+func TestRecoveredStoreContinues(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+
+	st1 := openStore(t, cfs, FsyncAlways)
+	pool1, _, err := st1.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	acked := writeN(t, pool1, cfg, 0, 15)
+	cfs.crash()
+
+	st2 := openStore(t, cfs, FsyncAlways)
+	pool2, _, err := st2.Recover(cfg)
+	if err != nil {
+		t.Fatalf("second Recover: %v", err)
+	}
+	more := writeN(t, pool2, cfg, 15, 15)
+	for a, v := range more {
+		acked[a] = v
+	}
+	cfs.crash()
+
+	st3 := openStore(t, cfs, FsyncAlways)
+	pool3, info, err := st3.Recover(cfg)
+	if err != nil {
+		t.Fatalf("third Recover: %v", err)
+	}
+	if info.WALRecords != 30 {
+		t.Fatalf("info = %+v, want 30 records across both generations", info)
+	}
+	checkValues(t, pool3, acked)
+	st3.Close()
+	pool3.Close()
+}

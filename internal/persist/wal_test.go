@@ -1,0 +1,216 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+)
+
+var testSealKey = sealKey([]byte("wal-test-processor-key"))
+
+// buildWAL frames recs into a complete WAL file and returns it with the
+// sealed head that commits all of them.
+func buildWAL(k []byte, epoch uint64, shardIdx uint32, recs []walRec) ([]byte, walHead) {
+	hdr := encodeWALHeader(epoch, shardIdx)
+	b := append([]byte(nil), hdr[:]...)
+	chain := chainSeed(k, epoch, shardIdx)
+	for _, r := range recs {
+		b, chain = appendRecord(b, k, chain, r)
+	}
+	return b, walHead{Epoch: epoch, Shard: shardIdx, Seq: uint64(len(recs)), Chain: chain}
+}
+
+func testRecs(n int) []walRec {
+	recs := make([]walRec, n)
+	for i := range recs {
+		recs[i] = walRec{
+			Kind: shard.MutWrite,
+			Addr: layout.Addr(i * layout.BlockSize),
+			Virt: uint64(i) << 12,
+			PID:  uint32(i + 1),
+			Data: bytes.Repeat([]byte{byte(i + 1)}, layout.BlockSize),
+		}
+	}
+	return recs
+}
+
+func TestWALScanRoundtrip(t *testing.T) {
+	want := testRecs(5)
+	file, head := buildWAL(testSealKey, 3, 1, want)
+	got, seq, chain, validLen, err := scanWAL(testSealKey, file, head)
+	if err != nil {
+		t.Fatalf("scanWAL: %v", err)
+	}
+	if seq != 5 || validLen != int64(len(file)) {
+		t.Fatalf("seq=%d validLen=%d, want 5, %d", seq, validLen, len(file))
+	}
+	if !bytes.Equal(chain[:], head.Chain[:]) {
+		t.Fatal("final chain does not match head chain")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Addr != want[i].Addr ||
+			got[i].Virt != want[i].Virt || got[i].PID != want[i].PID ||
+			!bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	recs := testRecs(4)
+	full, _ := buildWAL(testSealKey, 1, 0, recs)
+	committed, head := buildWAL(testSealKey, 1, 0, recs[:3])
+	// The 4th record was appended but never committed; tear it mid-write.
+	for cut := len(committed) + 1; cut < len(full); cut += 7 {
+		got, seq, _, validLen, err := scanWAL(testSealKey, full[:cut], head)
+		if err != nil {
+			t.Fatalf("cut=%d: torn uncommitted tail must be tolerated, got %v", cut, err)
+		}
+		if seq != 3 || len(got) != 3 {
+			t.Fatalf("cut=%d: got seq=%d len=%d, want 3", cut, seq, len(got))
+		}
+		if validLen != int64(len(committed)) {
+			t.Fatalf("cut=%d: validLen=%d, want %d", cut, validLen, len(committed))
+		}
+	}
+}
+
+func TestWALTornBeforeCommitFailsClosed(t *testing.T) {
+	recs := testRecs(4)
+	full, head := buildWAL(testSealKey, 1, 0, recs)
+	committed, _ := buildWAL(testSealKey, 1, 0, recs[:3])
+	// Truncation inside the committed range is a deleted tail, not a torn
+	// append: the sealed head says 4 records were acknowledged.
+	for _, cut := range []int{walHeaderLen, len(committed) - 5, len(committed), len(full) - 1} {
+		_, _, _, _, err := scanWAL(testSealKey, full[:cut], head)
+		if !errors.Is(err, ErrWALTampered) {
+			t.Fatalf("cut=%d: want ErrWALTampered, got %v", cut, err)
+		}
+	}
+}
+
+func TestWALCRCDamage(t *testing.T) {
+	recs := testRecs(4)
+	full, _ := buildWAL(testSealKey, 1, 0, recs)
+	committed, head := buildWAL(testSealKey, 1, 0, recs[:3])
+
+	tail := append([]byte(nil), full...)
+	tail[len(committed)+recFrameLen+3] ^= 0x40 // payload of the uncommitted record
+	got, seq, _, _, err := scanWAL(testSealKey, tail, head)
+	if err != nil || seq != 3 || len(got) != 3 {
+		t.Fatalf("CRC damage beyond commit: want clean truncation to 3, got seq=%d err=%v", seq, err)
+	}
+
+	mid := append([]byte(nil), full...)
+	mid[walHeaderLen+recFrameLen+3] ^= 0x40 // payload of committed record 1
+	if _, _, _, _, err := scanWAL(testSealKey, mid, head); !errors.Is(err, ErrWALTampered) {
+		t.Fatalf("CRC damage inside committed range: want ErrWALTampered, got %v", err)
+	}
+}
+
+func TestWALForgedRecordFailsClosedEvenBeyondCommit(t *testing.T) {
+	recs := testRecs(4)
+	full, _ := buildWAL(testSealKey, 1, 0, recs)
+	committed, head := buildWAL(testSealKey, 1, 0, recs[:3])
+	// Flip a payload byte of the uncommitted record and fix up its CRC: a
+	// complete, CRC-clean record whose chain MAC fails is forgery, never a
+	// torn write, so even the unacknowledged tail fails closed.
+	forged := append([]byte(nil), full...)
+	payStart := len(committed) + recFrameLen
+	payLen := int(binary.LittleEndian.Uint32(forged[len(committed):]))
+	forged[payStart+3] ^= 0x40
+	binary.LittleEndian.PutUint32(forged[len(committed)+4:], crc32.ChecksumIEEE(forged[payStart:payStart+payLen]))
+	if _, _, _, _, err := scanWAL(testSealKey, forged, head); !errors.Is(err, ErrWALTampered) {
+		t.Fatalf("forged record: want ErrWALTampered, got %v", err)
+	}
+}
+
+func TestWALHeaderMismatch(t *testing.T) {
+	file, head := buildWAL(testSealKey, 2, 0, testRecs(2))
+	// Wrong-epoch file under a head that committed records: fail closed.
+	stale, _ := buildWAL(testSealKey, 1, 0, testRecs(2))
+	if _, _, _, _, err := scanWAL(testSealKey, stale, head); !errors.Is(err, ErrWALTampered) {
+		t.Fatalf("stale-epoch WAL: want ErrWALTampered, got %v", err)
+	}
+	// Same file under a zero-commit head: pre-reset leftover, treated empty.
+	empty := walHead{Epoch: 3, Shard: 0}
+	if recs, seq, _, validLen, err := scanWAL(testSealKey, file, empty); err != nil || seq != 0 || len(recs) != 0 || validLen != 0 {
+		t.Fatalf("pre-reset WAL under zero head: want empty accept, got seq=%d err=%v", seq, err)
+	}
+}
+
+func TestAnchorRoundtripAndTamper(t *testing.T) {
+	a := anchor{Epoch: 7, Chips: []core.ChipState{
+		{GPC: [8]byte{1, 2, 3}, Root: []byte("root-a")},
+		{GPC: [8]byte{9}, Root: nil},
+	}}
+	b := encodeAnchor(testSealKey, a)
+	got, err := parseAnchor(testSealKey, b)
+	if err != nil {
+		t.Fatalf("parseAnchor: %v", err)
+	}
+	if got.Epoch != 7 || len(got.Chips) != 2 || !bytes.Equal(got.Chips[0].Root, []byte("root-a")) ||
+		got.Chips[0].GPC != a.Chips[0].GPC || got.Chips[1].Root != nil {
+		t.Fatalf("anchor roundtrip mismatch: %+v", got)
+	}
+	for i := 0; i < len(b); i += 3 {
+		bad := append([]byte(nil), b...)
+		bad[i] ^= 0x01
+		if _, err := parseAnchor(testSealKey, bad); !errors.Is(err, ErrTrustTampered) {
+			t.Fatalf("flip at %d: want ErrTrustTampered, got %v", i, err)
+		}
+	}
+	if _, err := parseAnchor(sealKey([]byte("other-key")), b); !errors.Is(err, ErrTrustTampered) {
+		t.Fatalf("wrong key: want ErrTrustTampered, got %v", err)
+	}
+	if _, err := parseAnchor(testSealKey, b[:10]); !errors.Is(err, ErrTrustTampered) {
+		t.Fatalf("short anchor: want ErrTrustTampered, got %v", err)
+	}
+}
+
+func TestHeadSlotSelection(t *testing.T) {
+	older := encodeHead(testSealKey, walHead{Epoch: 2, Shard: 1, Seq: 9})
+	newer := encodeHead(testSealKey, walHead{Epoch: 2, Shard: 1, Seq: 10})
+	file := append(append([]byte(nil), older[:]...), newer[:]...)
+
+	h, err := chooseHead(testSealKey, file, 1)
+	if err != nil || h.Seq != 10 {
+		t.Fatalf("want newest slot seq 10, got %+v err=%v", h, err)
+	}
+
+	// Torn newest slot: fall back to the older one.
+	torn := append([]byte(nil), file...)
+	torn[headSlotSize+20] ^= 0xFF
+	h, err = chooseHead(testSealKey, torn, 1)
+	if err != nil || h.Seq != 9 {
+		t.Fatalf("want fallback slot seq 9, got %+v err=%v", h, err)
+	}
+
+	// Both slots damaged: the trusted state is gone; fail closed.
+	torn[20] ^= 0xFF
+	if _, err := chooseHead(testSealKey, torn, 1); !errors.Is(err, ErrTrustTampered) {
+		t.Fatalf("both slots bad: want ErrTrustTampered, got %v", err)
+	}
+
+	// A valid slot sealed for another shard must not be accepted.
+	if _, err := chooseHead(testSealKey, file, 2); !errors.Is(err, ErrTrustTampered) {
+		t.Fatalf("wrong shard: want ErrTrustTampered, got %v", err)
+	}
+
+	// A higher epoch wins even with a lower seq.
+	newEpoch := encodeHead(testSealKey, walHead{Epoch: 3, Shard: 1, Seq: 1})
+	file2 := append(append([]byte(nil), older[:]...), newEpoch[:]...)
+	h, err = chooseHead(testSealKey, file2, 1)
+	if err != nil || h.Epoch != 3 || h.Seq != 1 {
+		t.Fatalf("want epoch-3 slot, got %+v err=%v", h, err)
+	}
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+)
+
+// TestGatedStartup: a gated server accepts connections and parks their
+// requests until Publish; the parked request then completes against the
+// published pool. This is the recovery window a durable daemon exposes.
+func TestGatedStartup(t *testing.T) {
+	srv := NewGated(Options{Timeout: 5 * time.Second, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial during recovery window: %v", err)
+	}
+	defer c.Close()
+
+	msg := []byte("written before the pool existed")
+	wrote := make(chan error, 1)
+	go func() { wrote <- c.Write(64, msg, core.Meta{}) }()
+
+	// The request must still be parked, not failed, while unpublished.
+	select {
+	case err := <-wrote:
+		t.Fatalf("write completed before Publish: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	pool, err := shard.New(shard.Config{
+		Shards: 2,
+		Core: core.Config{
+			DataBytes:  2 * 8 * layout.PageSize,
+			Key:        []byte("0123456789abcdef"),
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+		},
+	})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	srv.Publish(pool)
+
+	if err := <-wrote; err != nil {
+		t.Fatalf("parked write after Publish: %v", err)
+	}
+	got, err := c.Read(64, len(msg), core.Meta{})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read back %q, want %q", got, msg)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestGatedTimeout: if recovery never finishes, gated requests fail with
+// a timeout instead of hanging forever, and Shutdown of a never-published
+// server is clean.
+func TestGatedTimeout(t *testing.T) {
+	srv := NewGated(Options{Timeout: 150 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	err = c.Write(0, []byte("never lands"), core.Meta{})
+	if err == nil {
+		t.Fatal("write succeeded with no pool published")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown of never-published server: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("serve: %v", err)
+	}
+}

@@ -24,6 +24,11 @@ type Options struct {
 	// HibernatePath is where OpHibernate writes the pool image;
 	// "" means "secmemd.hib".
 	HibernatePath string
+	// Checkpoint, when non-nil, replaces the legacy hibernate-to-file
+	// path: OpHibernate cuts a durable snapshot through it (the
+	// durability layer's snapshot + WAL truncation) and reports the
+	// returned path and size.
+	Checkpoint func() (path string, bytes int64, err error)
 	// Logf, when non-nil, receives connection-level events.
 	Logf func(format string, args ...any)
 }
@@ -35,6 +40,11 @@ type Server struct {
 	pool *shard.Pool
 	opts Options
 
+	// ready is closed by Publish; until then every request waits (startup
+	// gating: the listener can accept while recovery still runs, and the
+	// first byte goes out the moment the recovered pool is published).
+	ready chan struct{}
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -42,15 +52,32 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// New wraps a pool in a server.
+// New wraps a pool in a server, ready to serve immediately.
 func New(pool *shard.Pool, opts Options) *Server {
+	s := NewGated(opts)
+	s.Publish(pool)
+	return s
+}
+
+// NewGated builds a server with no pool yet: it accepts connections and
+// queues requests until Publish supplies the pool. A daemon uses this to
+// open its port before crash recovery finishes — clients connect and
+// block instead of seeing connection refused.
+func NewGated(opts Options) *Server {
 	if opts.Timeout == 0 {
 		opts.Timeout = 5 * time.Second
 	}
 	if opts.HibernatePath == "" {
 		opts.HibernatePath = "secmemd.hib"
 	}
-	return &Server{pool: pool, opts: opts, conns: make(map[net.Conn]struct{})}
+	return &Server{opts: opts, ready: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+}
+
+// Publish installs the pool and releases every gated request. It must be
+// called exactly once per NewGated server (New calls it for you).
+func (s *Server) Publish(pool *shard.Pool) {
+	s.pool = pool
+	close(s.ready)
 }
 
 // ErrServerClosed is returned by Serve after Shutdown.
@@ -134,6 +161,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 	}
+	select {
+	case <-s.ready:
+	default:
+		return drainErr // never published: no pool to drain
+	}
 	if err := s.pool.Close(); err != nil {
 		return err
 	}
@@ -174,10 +206,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// dispatch executes one request against the pool.
+// dispatch executes one request against the pool, waiting out recovery
+// first if the server is gated.
 func (s *Server) dispatch(q *Request) *Response {
 	ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout)
 	defer cancel()
+	select {
+	case <-s.ready:
+	case <-ctx.Done():
+		return fail(StatusTimeout, errors.New("server: still recovering"))
+	}
 	meta := core.Meta{VirtAddr: q.Virt, PID: q.PID}
 	switch q.Op {
 	case OpRead:
@@ -233,6 +271,13 @@ func (s *Server) dispatch(q *Request) *Response {
 		}
 		return &Response{Status: StatusOK}
 	case OpHibernate:
+		if s.opts.Checkpoint != nil {
+			path, n, err := s.opts.Checkpoint()
+			if err != nil {
+				return fail(StatusInternal, err)
+			}
+			return &Response{Status: StatusOK, Data: []byte(fmt.Sprintf(`{"path":%q,"bytes":%d}`, path, n))}
+		}
 		n, err := s.hibernate()
 		if err != nil {
 			return fail(StatusInternal, err)

@@ -19,6 +19,16 @@ var hibMagic = [8]byte{'S', 'H', 'R', 'D', 'H', 'I', 'B', '1'}
 // pool-consistent cut: requests already executed are included, queued
 // ones are not. The pool remains usable afterwards.
 func (p *Pool) Hibernate(w io.Writer) ([]core.ChipState, error) {
+	return p.Checkpoint(w, nil)
+}
+
+// Checkpoint is Hibernate with a commit phase: after the image is written
+// it invokes commit(chips) while the pool-wide freeze is still held, so a
+// durability layer can seal the chip states and cut its write-ahead logs
+// in the same consistent instant — no batch can commit between the
+// snapshot cut and the log reset. A commit error is returned as-is; the
+// pool itself is unaffected either way.
+func (p *Pool) Checkpoint(w io.Writer, commit func(chips []core.ChipState) error) ([]core.ChipState, error) {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 	}
@@ -48,6 +58,11 @@ func (p *Pool) Hibernate(w io.Writer) ([]core.ChipState, error) {
 			return nil, err
 		}
 		if _, err := w.Write(img.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	if commit != nil {
+		if err := commit(chips); err != nil {
 			return nil, err
 		}
 	}

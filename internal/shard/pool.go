@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"aisebmt/internal/core"
 	"aisebmt/internal/layout"
@@ -70,6 +71,10 @@ type Pool struct {
 	// it shared, Close takes it exclusively before closing the queues.
 	sendMu sync.RWMutex
 	closed bool
+
+	// hook, when set, is invoked with each batch's mutations before they
+	// execute (see CommitHook); nil means no durability layer is attached.
+	hook atomic.Pointer[hookRef]
 
 	svc serviceCounters
 }
@@ -150,7 +155,7 @@ func New(cfg Config) (*Pool, error) {
 			done: make(chan struct{}),
 		}
 		p.shards = append(p.shards, sh)
-		go p.worker(sh)
+		go p.worker(i, sh)
 	}
 	return p, nil
 }
@@ -357,9 +362,10 @@ func (p *Pool) Close() error {
 }
 
 // worker is a shard's execution loop: it blocks for one request, then
-// greedily drains up to BatchMax-1 more, coalesces superseded writes, and
+// greedily drains up to BatchMax-1 more, commits the batch's mutations
+// through the hook (group commit), coalesces superseded writes, and
 // executes the batch under a single lock acquisition.
-func (p *Pool) worker(sh *shard) {
+func (p *Pool) worker(idx int, sh *shard) {
 	defer close(sh.done)
 	batch := make([]*request, 0, p.cfg.BatchMax)
 	for first := range sh.reqs {
@@ -376,11 +382,27 @@ func (p *Pool) worker(sh *shard) {
 				break drain
 			}
 		}
+		sh.mu.Lock()
+		// The hook runs before coalescing so the log carries every mutation
+		// in order, and before execution so nothing is acknowledged that was
+		// not first made durable. A hook failure fails the whole batch
+		// unexecuted: the pool refuses to apply what it cannot log.
+		if href := p.hook.Load(); href != nil {
+			if ops := mutOps(batch); len(ops) > 0 {
+				if err := href.h.Commit(idx, ops); err != nil {
+					err = fmt.Errorf("shard %d: commit: %w", idx, err)
+					for _, r := range batch {
+						r.resp <- result{err: err}
+					}
+					sh.mu.Unlock()
+					continue
+				}
+			}
+		}
 		skipped := coalesceWrites(batch)
 		p.svc.batches.Add(1)
 		p.svc.batchedOps.Add(uint64(len(batch)))
 		p.svc.coalescedWrites.Add(uint64(skipped))
-		sh.mu.Lock()
 		for _, r := range batch {
 			p.execute(sh, r)
 		}

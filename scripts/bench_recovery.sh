@@ -1,0 +1,19 @@
+#!/bin/sh
+# bench_recovery.sh — crash-recovery benchmark: for each fsync policy ×
+# WAL length, loadgen spawns a durable secmemd on a scratch data dir,
+# fills the WAL with acknowledged writes, SIGKILLs the daemon, restarts
+# it, and measures restart-to-first-byte. Leaves BENCH_recovery.json in
+# the repo root. Used by `make bench-recovery`.
+set -eu
+
+cd "$(dirname "$0")/.."
+WRITES="${WRITES:-0,2000,10000}"
+FSYNC="${FSYNC:-always,batch,off}"
+CONNS="${CONNS:-8}"
+
+go build -o /tmp/secmemd ./cmd/secmemd
+go build -o /tmp/loadgen ./cmd/loadgen
+
+/tmp/loadgen -recovery -secmemd /tmp/secmemd \
+    -recovery-writes "$WRITES" -recovery-fsync "$FSYNC" -conns "$CONNS" \
+    -json -out BENCH_recovery.json

@@ -31,3 +31,9 @@ kill -TERM $PID
 wait $PID
 trap - EXIT INT TERM
 echo "secmemd exited cleanly (all shards verified)"
+
+# Optional durability leg: RECOVERY=1 also runs the crash-recovery sweep
+# (restart-to-first-byte vs WAL length per fsync policy).
+if [ "${RECOVERY:-0}" = "1" ]; then
+    ./scripts/bench_recovery.sh
+fi
