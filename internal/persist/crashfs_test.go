@@ -6,6 +6,7 @@ import (
 	"io/fs"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -20,8 +21,10 @@ type crashFS struct {
 	files   map[string]*memFile
 	journal []func() // revert actions for un-synced directory ops, newest last
 
-	failAfter int // countdown of mutating ops; <0 disables injection
-	failed    bool
+	failAfter  int    // countdown of mutating ops; <0 disables injection
+	failOnce   bool   // fail only the op that trips failAfter, then recover
+	failSubstr string // when non-empty, every op on a matching path fails
+	failed     bool
 }
 
 var errInjected = errors.New("crashfs: injected power failure")
@@ -41,7 +44,26 @@ func (c *crashFS) armFail(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.failAfter = n
+	c.failOnce = false
 	c.failed = false
+}
+
+// armFailOnce makes only the n-th mutating operation from now fail — a
+// transient I/O error, not a power loss: later operations succeed.
+func (c *crashFS) armFailOnce(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failAfter = n
+	c.failOnce = true
+	c.failed = false
+}
+
+// armFailPath makes every mutating operation on a path containing substr
+// fail (a device that lost one file but not the rest).
+func (c *crashFS) armFailPath(substr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failSubstr = substr
 }
 
 // crash applies the loss model and clears the fault so recovery can run.
@@ -56,17 +78,27 @@ func (c *crashFS) crash() {
 		f.data = append([]byte(nil), f.synced...)
 	}
 	c.failAfter = -1
+	c.failOnce = false
+	c.failSubstr = ""
 	c.failed = false
 }
 
-// tick counts one mutating op against the fault budget; callers hold mu.
-func (c *crashFS) tick() error {
+// tick counts one mutating op on name against the fault budget; callers
+// hold mu.
+func (c *crashFS) tick(name string) error {
+	if c.failSubstr != "" && strings.Contains(name, c.failSubstr) {
+		return errInjected
+	}
 	if c.failed {
 		return errInjected
 	}
 	if c.failAfter > 0 {
 		c.failAfter--
 		if c.failAfter == 0 {
+			if c.failOnce {
+				c.failOnce = false
+				return errInjected
+			}
 			c.failed = true
 			return errInjected
 		}
@@ -79,7 +111,7 @@ func (c *crashFS) MkdirAll(string) error { return nil }
 func (c *crashFS) Create(name string) (File, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.tick(); err != nil {
+	if err := c.tick(name); err != nil {
 		return nil, err
 	}
 	f, ok := c.files[name]
@@ -90,7 +122,7 @@ func (c *crashFS) Create(name string) (File, error) {
 		c.files[name] = f
 		c.journal = append(c.journal, func() { delete(c.files, name) })
 	}
-	return &memHandle{fs: c, f: f}, nil
+	return &memHandle{fs: c, f: f, name: name}, nil
 }
 
 func (c *crashFS) OpenFile(name string) (File, error) {
@@ -100,7 +132,7 @@ func (c *crashFS) OpenFile(name string) (File, error) {
 	if !ok {
 		return nil, fmt.Errorf("crashfs: open %s: %w", name, fs.ErrNotExist)
 	}
-	return &memHandle{fs: c, f: f}, nil
+	return &memHandle{fs: c, f: f, name: name}, nil
 }
 
 func (c *crashFS) ReadFile(name string) ([]byte, error) {
@@ -116,7 +148,7 @@ func (c *crashFS) ReadFile(name string) ([]byte, error) {
 func (c *crashFS) Rename(oldname, newname string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.tick(); err != nil {
+	if err := c.tick(newname); err != nil {
 		return err
 	}
 	f, ok := c.files[oldname]
@@ -140,7 +172,7 @@ func (c *crashFS) Rename(oldname, newname string) error {
 func (c *crashFS) Remove(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.tick(); err != nil {
+	if err := c.tick(name); err != nil {
 		return err
 	}
 	f, ok := c.files[name]
@@ -165,10 +197,10 @@ func (c *crashFS) ReadDir(dir string) ([]string, error) {
 	return names, nil
 }
 
-func (c *crashFS) SyncDir(string) error {
+func (c *crashFS) SyncDir(dir string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.tick(); err != nil {
+	if err := c.tick(dir); err != nil {
 		return err
 	}
 	c.journal = nil // directory entries are durable now
@@ -189,9 +221,10 @@ func (c *crashFS) mutate(name string, fn func([]byte) []byte) {
 
 // memHandle is an open file; Write appends at the handle's own position.
 type memHandle struct {
-	fs  *crashFS
-	f   *memFile
-	pos int64
+	fs   *crashFS
+	f    *memFile
+	name string
+	pos  int64
 }
 
 func (h *memHandle) Write(p []byte) (int, error) {
@@ -203,7 +236,7 @@ func (h *memHandle) Write(p []byte) (int, error) {
 func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
-	if err := h.fs.tick(); err != nil {
+	if err := h.fs.tick(h.name); err != nil {
 		return 0, err
 	}
 	if need := off + int64(len(p)); int64(len(h.f.data)) < need {
@@ -216,7 +249,7 @@ func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
 func (h *memHandle) Truncate(size int64) error {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
-	if err := h.fs.tick(); err != nil {
+	if err := h.fs.tick(h.name); err != nil {
 		return err
 	}
 	if int64(len(h.f.data)) > size {
@@ -230,7 +263,7 @@ func (h *memHandle) Truncate(size int64) error {
 func (h *memHandle) Sync() error {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
-	if err := h.fs.tick(); err != nil {
+	if err := h.fs.tick(h.name); err != nil {
 		return err
 	}
 	h.f.synced = append([]byte(nil), h.f.data...)

@@ -51,14 +51,17 @@ type osFS struct{}
 // OSFS returns the production FS backed by the operating system.
 func OSFS() FS { return osFS{} }
 
-func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+// The data dir and everything in it are owner-only: the WAL and snapshot
+// hold (encrypted) memory contents and the sealed files hold trusted
+// state, none of which other users have any business reading.
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o700) }
 
 func (osFS) Create(name string) (File, error) {
-	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
 }
 
 func (osFS) OpenFile(name string) (File, error) {
-	return os.OpenFile(name, os.O_RDWR, 0o644)
+	return os.OpenFile(name, os.O_RDWR, 0o600)
 }
 
 func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }

@@ -90,7 +90,7 @@ func (st *Store) Recover(cfg shard.Config) (*shard.Pool, RecoveryInfo, error) {
 			if rerr != nil {
 				wb = nil // scanWAL fails closed unless the head committed nothing
 			}
-			recs, seq, chain, validLen, err = scanWAL(st.key, wb, head)
+			recs, seq, chain, validLen, err = scanWAL(st.key, st.dataKey, wb, head)
 			if err != nil {
 				return fail(err)
 			}
@@ -140,6 +140,7 @@ func (st *Store) Recover(cfg shard.Config) (*shard.Pool, RecoveryInfo, error) {
 			w.epoch = anc.Epoch
 			w.seq = seq
 			w.chain = chain
+			w.crypt = newWALCrypt(st.dataKey, anc.Epoch, w.shardIdx)
 			w.syncedSeq = head.Seq
 			err = w.syncAndPublish() // cover replayed-but-unsealed records
 		}

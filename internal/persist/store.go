@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aisebmt/internal/core"
@@ -111,9 +112,16 @@ var ErrClosed = errors.New("persist: store is closed")
 // Store is the durability layer bound to one data directory and, after
 // Recover, one pool. It implements shard.CommitHook.
 type Store struct {
-	opts Options
-	fs   FS
-	key  []byte // seal key
+	opts    Options
+	fs      FS
+	key     []byte // seal key
+	dataKey []byte // WAL payload encryption key
+
+	// failErr latches the first unrecoverable durability fault. Once set
+	// the store is fail-closed: Commit refuses every batch (so the pool
+	// stops acknowledging mutations it can no longer make durable) and
+	// Checkpoint refuses to run. Reads are unaffected.
+	failErr atomic.Pointer[error]
 
 	// ckptMu serializes checkpoints, recovery and close against each
 	// other; epoch and pool are written under it.
@@ -170,7 +178,25 @@ func Open(opts Options) (*Store, error) {
 	if err := fs.MkdirAll(opts.Dir); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	return &Store{opts: opts, fs: fs, key: sealKey(opts.Key)}, nil
+	return &Store{opts: opts, fs: fs, key: sealKey(opts.Key), dataKey: walDataKey(opts.Key)}, nil
+}
+
+// fail latches err as the store's permanent fault and returns the wrapped
+// error. First caller wins; later faults are reported but not latched.
+func (st *Store) fail(err error) error {
+	werr := fmt.Errorf("persist: store failed closed: %w", err)
+	if st.failErr.CompareAndSwap(nil, &werr) && st.opts.Logf != nil {
+		st.opts.Logf("store failed closed: %v", err)
+	}
+	return *st.failErr.Load()
+}
+
+// failedErr returns the latched fault, or nil for a healthy store.
+func (st *Store) failedErr() error {
+	if p := st.failErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 func (st *Store) anchorPath() string { return filepath.Join(st.opts.Dir, "anchor.bin") }
@@ -201,6 +227,7 @@ func (st *Store) initWriters(n int) {
 		st.wals[i] = &walWriter{
 			fs:       st.fs,
 			key:      st.key,
+			dataKey:  st.dataKey,
 			shardIdx: uint32(i),
 			path:     st.walPath(i),
 			headPath: st.headPath(i),
@@ -213,6 +240,9 @@ func (st *Store) initWriters(n int) {
 // the head before returning — i.e., before the pool executes or
 // acknowledges anything in the batch.
 func (st *Store) Commit(shardIdx int, ops []shard.MutOp) error {
+	if err := st.failedErr(); err != nil {
+		return err
+	}
 	w := st.wals[shardIdx]
 	recs := make([]walRec, len(ops))
 	for i, op := range ops {
@@ -230,11 +260,20 @@ func (st *Store) Commit(shardIdx int, ops []shard.MutOp) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.append(recs); err != nil {
-		return err
+	preOff, preSeq, preChain := w.off, w.seq, w.chain
+	err := w.append(recs)
+	if err == nil && st.opts.Fsync == FsyncAlways {
+		err = w.syncAndPublish()
 	}
-	if st.opts.Fsync == FsyncAlways {
-		return w.syncAndPublish()
+	if err != nil {
+		// The pool fails this batch unexecuted, so its records must not
+		// stay in the log: rewind to the batch's start so no later batch
+		// chains past operations the live process never performed. If even
+		// the rewind cannot be made durable, the store fails closed.
+		if rerr := w.rewind(preOff, preSeq, preChain); rerr != nil {
+			return st.fail(fmt.Errorf("commit on shard %d: %v; rewind: %v", shardIdx, err, rerr))
+		}
+		return err
 	}
 	return nil
 }
@@ -264,6 +303,9 @@ func (st *Store) Checkpoint() error {
 	defer st.ckptMu.Unlock()
 	if st.closed {
 		return ErrClosed
+	}
+	if err := st.failedErr(); err != nil {
+		return err
 	}
 	if st.pool == nil {
 		return errors.New("persist: Checkpoint before Recover")
@@ -305,17 +347,21 @@ func (st *Store) Checkpoint() error {
 		// From the durable anchor on, the new snapshot is authoritative;
 		// the old logs are now superseded and can be reset. A crash
 		// between these steps leaves heads/logs on the old epoch, which
-		// recovery treats as empty under the new anchor.
+		// recovery treats as empty under the new anchor. For the same
+		// reason a live failure past this point must fail the store
+		// closed: were the pool to keep acknowledging into old-epoch logs,
+		// recovery under the new anchor would discard those records and
+		// acknowledged writes would be lost.
 		for _, w := range st.wals {
 			w.mu.Lock()
 			err := w.reset(newEpoch)
 			w.mu.Unlock()
 			if err != nil {
-				return err
+				return st.fail(fmt.Errorf("shard %d WAL reset after durable epoch-%d anchor: %v", w.shardIdx, newEpoch, err))
 			}
 		}
 		if err := st.fs.SyncDir(st.opts.Dir); err != nil {
-			return err
+			return st.fail(fmt.Errorf("dir sync after durable epoch-%d anchor: %v", newEpoch, err))
 		}
 		st.epoch = newEpoch
 		return nil

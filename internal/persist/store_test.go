@@ -438,3 +438,163 @@ func TestRecoveredStoreContinues(t *testing.T) {
 	st3.Close()
 	pool3.Close()
 }
+
+// TestWALConfidentialAtRest: the WAL shares the snapshot's untrusted
+// storage, so write plaintext routed through the commit hook must never
+// appear in the log file bytes.
+func TestWALConfidentialAtRest(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(1)
+	st := openStore(t, cfs, FsyncAlways)
+	pool, _, err := st.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	marker := bytes.Repeat([]byte("CONFIDENTIAL-BLOCK-0123456789abcdef./"), 4)[:layout.BlockSize]
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		a := testAddr(i, cfg)
+		if err := pool.Write(ctx, a, marker, testMeta(a)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	wal, err := cfs.ReadFile(filepath.Join("data", "wal-000.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wal) <= walHeaderLen {
+		t.Fatalf("WAL unexpectedly empty (%d bytes)", len(wal))
+	}
+	if bytes.Contains(wal, marker[:32]) {
+		t.Fatal("WAL file contains write plaintext")
+	}
+	st.Close()
+	pool.Close()
+}
+
+// TestCommitRewindAfterTransientFailure: a one-off I/O error fails the
+// batch, but the store rewinds the log durably and keeps serving — later
+// batches must not chain past records the pool never executed, and
+// recovery must see exactly the acknowledged writes.
+func TestCommitRewindAfterTransientFailure(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+	st1 := openStore(t, cfs, FsyncAlways)
+	pool1, _, err := st1.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	acked := writeN(t, pool1, cfg, 0, 5)
+
+	// A commit under FsyncAlways is WriteAt(log), Sync(log), WriteAt(head),
+	// Sync(head); fail the log sync only.
+	cfs.armFailOnce(2)
+	a := testAddr(1000, cfg)
+	if err := pool1.Write(context.Background(), a, testVal(1000), testMeta(a)); err == nil {
+		t.Fatal("write with failed log sync was acknowledged")
+	}
+
+	more := writeN(t, pool1, cfg, 5, 5) // store must still be healthy
+	for a, v := range more {
+		acked[a] = v
+	}
+	cfs.crash()
+
+	st2 := openStore(t, cfs, FsyncAlways)
+	pool2, info, err := st2.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover after rewound commit: %v", err)
+	}
+	if info.WALRecords != 10 {
+		t.Fatalf("info = %+v, want exactly the 10 acked records (failed batch rewound)", info)
+	}
+	checkValues(t, pool2, acked)
+	st2.Close()
+	pool2.Close()
+}
+
+// TestCommitFailsClosedWhenRewindFails: if the failed batch cannot be
+// rewound out of the log either, the store must stop acknowledging
+// mutations entirely — otherwise recovery would replay operations the
+// live process never executed.
+func TestCommitFailsClosedWhenRewindFails(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+	st1 := openStore(t, cfs, FsyncAlways)
+	pool1, _, err := st1.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	acked := writeN(t, pool1, cfg, 0, 5)
+
+	cfs.armFail(2) // log sync fails, and so does everything after — rewind included
+	ctx := context.Background()
+	a := testAddr(1000, cfg)
+	if err := pool1.Write(ctx, a, testVal(1000), testMeta(a)); err == nil {
+		t.Fatal("write with failed log sync was acknowledged")
+	}
+	// The store is failed closed: every further mutation is refused…
+	b := testAddr(1001, cfg)
+	if err := pool1.Write(ctx, b, testVal(1001), testMeta(b)); err == nil {
+		t.Fatal("write on failed store was acknowledged")
+	}
+	if err := st1.Checkpoint(); err == nil {
+		t.Fatal("checkpoint on failed store succeeded")
+	}
+	// …while reads keep working.
+	checkValues(t, pool1, acked)
+	cfs.crash()
+
+	st2 := openStore(t, cfs, FsyncAlways)
+	pool2, info, err := st2.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover after failed store: %v", err)
+	}
+	if info.WALRecords != 5 {
+		t.Fatalf("info = %+v, want the 5 acked records only", info)
+	}
+	checkValues(t, pool2, acked)
+	st2.Close()
+	pool2.Close()
+}
+
+// TestCheckpointFailsClosedAfterDurableAnchor: once the new epoch's
+// anchor is durable, a failure while resetting the WALs must fail the
+// store closed — acks into the superseded old-epoch logs would be
+// silently discarded by the next recovery.
+func TestCheckpointFailsClosedAfterDurableAnchor(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+	st1 := openStore(t, cfs, FsyncAlways)
+	pool1, _, err := st1.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	acked := writeN(t, pool1, cfg, 0, 8)
+
+	// Snapshot and anchor writes succeed; shard 0's log reset then hits a
+	// dead file and the checkpoint fails after its point of no return.
+	cfs.armFailPath("wal-000.log")
+	if err := st1.Checkpoint(); err == nil {
+		t.Fatal("checkpoint with failed WAL reset succeeded")
+	}
+	ctx := context.Background()
+	a := testAddr(1000, cfg)
+	if err := pool1.Write(ctx, a, testVal(1000), testMeta(a)); err == nil {
+		t.Fatal("write after failed post-anchor checkpoint was acknowledged")
+	}
+	checkValues(t, pool1, acked) // reads still served
+	cfs.crash()
+
+	st2 := openStore(t, cfs, FsyncAlways)
+	pool2, info, err := st2.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover after interrupted checkpoint: %v", err)
+	}
+	if info.Epoch != 2 || info.WALRecords != 0 {
+		t.Fatalf("info = %+v, want epoch 2 with superseded logs empty", info)
+	}
+	checkValues(t, pool2, acked)
+	st2.Close()
+	pool2.Close()
+}

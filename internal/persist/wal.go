@@ -1,6 +1,8 @@
 package persist
 
 import (
+	"crypto/aes"
+	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
@@ -17,7 +19,13 @@ import (
 //
 //	header:  magic(8) "SMWAL001" | epoch u64 | shard u32 | crc u32
 //	record:  len u32 | crc u32 | payload | chain[32]
-//	payload: kind u8 | addr u64 | virt u64 | pid u32 | slot u32 | data…
+//	payload: AES-CTR( kind u8 | addr u64 | virt u64 | pid u32 | slot u32 | data… )
+//
+// The log sits on the same untrusted storage as the snapshot body, so a
+// record's payload — which carries write plaintext — is encrypted before
+// it is framed: AES-256-CTR under a key derived from the processor key
+// per (epoch, shard), with the record's 1-based sequence number as the
+// nonce (encrypt-then-MAC; CRC and chain both cover the ciphertext).
 //
 // len covers the payload only; crc (IEEE) covers the payload; chain is
 // HMAC(sealKey, prevChain ‖ payload), seeded per (epoch, shard). The CRC
@@ -72,6 +80,49 @@ func chainSeed(k []byte, epoch uint64, shardIdx uint32) [sealSize]byte {
 	return out
 }
 
+// walDataKey derives the WAL payload encryption key from the processor
+// key, on a separate branch from the sealing (authentication) key.
+func walDataKey(processorKey []byte) []byte {
+	m := hmac.New(sha256.New, processorKey)
+	m.Write([]byte("aisebmt/persist/wal-data/v1"))
+	return m.Sum(nil)
+}
+
+// walCrypt encrypts record payloads for one (epoch, shard) log
+// generation. Each generation gets its own AES-256 key, so the record
+// sequence number alone is a safe CTR nonce: the seq fills the IV's high
+// half, leaving a 64-bit block counter — far beyond maxRecPayload — so
+// keystreams of distinct records never overlap. The one caveat is a
+// record that is appended and then torn away (crash truncation, commit
+// rewind): its replacement reuses the seq's keystream, which only aids an
+// attacker who also captured the disk before the truncation — the live
+// file never holds both.
+type walCrypt struct {
+	blk cipher.Block
+}
+
+// newWALCrypt derives the (epoch, shard) generation cipher.
+func newWALCrypt(dataKey []byte, epoch uint64, shardIdx uint32) *walCrypt {
+	var b [12]byte
+	binary.LittleEndian.PutUint64(b[:8], epoch)
+	binary.LittleEndian.PutUint32(b[8:12], shardIdx)
+	m := hmac.New(sha256.New, dataKey)
+	m.Write([]byte("wal-epoch"))
+	m.Write(b[:])
+	blk, err := aes.NewCipher(m.Sum(nil))
+	if err != nil {
+		panic("persist: walCrypt key derivation: " + err.Error()) // 32-byte key; unreachable
+	}
+	return &walCrypt{blk: blk}
+}
+
+// xor applies record seq's CTR keystream to p in place.
+func (c *walCrypt) xor(seq uint64, p []byte) {
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(iv[:8], seq)
+	cipher.NewCTR(c.blk, iv[:]).XORKeyStream(p, p)
+}
+
 // chainNext advances the MAC chain over one record payload.
 func chainNext(k []byte, prev [sealSize]byte, payload []byte) [sealSize]byte {
 	m := hmac.New(sha256.New, k)
@@ -93,20 +144,27 @@ type walRec struct {
 	Data []byte
 }
 
-// appendRecord frames rec onto b and returns the new chain value.
-func appendRecord(b []byte, k []byte, prev [sealSize]byte, rec walRec) ([]byte, [sealSize]byte) {
-	plen := recFixedLen + len(rec.Data)
-	b = binary.LittleEndian.AppendUint32(b, uint32(plen))
-	crcAt := len(b)
-	b = binary.LittleEndian.AppendUint32(b, 0) // CRC backfilled below
-	payAt := len(b)
+// encodeRecPayload serializes rec's plaintext payload onto b.
+func encodeRecPayload(b []byte, rec walRec) []byte {
 	b = append(b, byte(rec.Kind))
 	b = binary.LittleEndian.AppendUint64(b, uint64(rec.Addr))
 	b = binary.LittleEndian.AppendUint64(b, rec.Virt)
 	b = binary.LittleEndian.AppendUint32(b, rec.PID)
 	b = binary.LittleEndian.AppendUint32(b, rec.Slot)
-	b = append(b, rec.Data...)
+	return append(b, rec.Data...)
+}
+
+// appendRecord encrypts and frames rec — taking sequence number seq — onto
+// b and returns the new chain value.
+func appendRecord(b []byte, k []byte, c *walCrypt, prev [sealSize]byte, seq uint64, rec walRec) ([]byte, [sealSize]byte) {
+	plen := recFixedLen + len(rec.Data)
+	b = binary.LittleEndian.AppendUint32(b, uint32(plen))
+	crcAt := len(b)
+	b = binary.LittleEndian.AppendUint32(b, 0) // CRC backfilled below
+	payAt := len(b)
+	b = encodeRecPayload(b, rec)
 	payload := b[payAt:]
+	c.xor(seq, payload) // only ciphertext reaches untrusted storage
 	binary.LittleEndian.PutUint32(b[crcAt:], crc32.ChecksumIEEE(payload))
 	next := chainNext(k, prev, payload)
 	b = append(b, next[:]...)
@@ -141,7 +199,7 @@ func parseRecPayload(p []byte) (walRec, error) {
 // past the last committed record that looks like a torn append
 // (truncation, CRC failure) is tolerated — recovery truncates it; every
 // other mismatch fails closed.
-func scanWAL(k []byte, file []byte, head walHead) (recs []walRec, seq uint64, chain [sealSize]byte, validLen int64, err error) {
+func scanWAL(k, dataKey []byte, file []byte, head walHead) (recs []walRec, seq uint64, chain [sealSize]byte, validLen int64, err error) {
 	if len(file) < walHeaderLen {
 		if head.Seq == 0 {
 			return nil, 0, chain, 0, nil // pre-reset file; nothing committed to it
@@ -156,6 +214,7 @@ func scanWAL(k []byte, file []byte, head walHead) (recs []walRec, seq uint64, ch
 		return nil, 0, chain, 0, fmt.Errorf("%w: shard %d WAL header does not match its head (epoch %d)", ErrWALTampered, head.Shard, head.Epoch)
 	}
 	chain = chainSeed(k, epoch, shardIdx)
+	crypt := newWALCrypt(dataKey, epoch, shardIdx)
 	off := walHeaderLen
 	for off < len(file) {
 		// A damaged frame is a torn tail only if it sits entirely beyond
@@ -202,7 +261,9 @@ func scanWAL(k []byte, file []byte, head walHead) (recs []walRec, seq uint64, ch
 		if !hmac.Equal(next[:], rest[recFrameLen+int(plen):total]) {
 			return nil, 0, chain, 0, fmt.Errorf("%w: shard %d WAL record %d chain MAC mismatch", ErrWALTampered, head.Shard, seq+1)
 		}
-		rec, perr := parseRecPayload(payload)
+		plain := append([]byte(nil), payload...)
+		crypt.xor(seq+1, plain)
+		rec, perr := parseRecPayload(plain)
 		if perr != nil {
 			return nil, 0, chain, 0, fmt.Errorf("%w: shard %d WAL record %d: %v", ErrWALTampered, head.Shard, seq+1, perr)
 		}
@@ -229,6 +290,7 @@ type walWriter struct {
 	mu       sync.Mutex
 	fs       FS
 	key      []byte
+	dataKey  []byte
 	shardIdx uint32
 	path     string
 	headPath string
@@ -239,6 +301,7 @@ type walWriter struct {
 	epoch uint64
 	seq   uint64
 	chain [sealSize]byte
+	crypt *walCrypt // payload cipher for the current epoch
 
 	syncedSeq uint64 // last seq covered by a durable head
 	headSlot  int    // slot the next head write targets
@@ -251,8 +314,10 @@ type walWriter struct {
 func (w *walWriter) append(recs []walRec) error {
 	b := w.scratch[:0]
 	chain := w.chain
+	seq := w.seq
 	for _, r := range recs {
-		b, chain = appendRecord(b, w.key, chain, r)
+		seq++
+		b, chain = appendRecord(b, w.key, w.crypt, chain, seq, r)
 	}
 	if _, err := w.f.WriteAt(b, w.off); err != nil {
 		return err
@@ -260,7 +325,24 @@ func (w *walWriter) append(recs []walRec) error {
 	w.scratch = b[:0]
 	w.off += int64(len(b))
 	w.chain = chain
-	w.seq += uint64(len(recs))
+	w.seq = seq
+	return nil
+}
+
+// rewind durably removes appended-but-unpublished records after a failed
+// commit, restoring the writer to the batch's start position. The batch
+// was failed unexecuted and unacknowledged, so its records must not stay
+// in the log: later batches would chain past them and recovery would
+// replay operations the live process never performed. The truncation is
+// synced so a crash cannot resurrect the removed bytes.
+func (w *walWriter) rewind(off int64, seq uint64, chain [sealSize]byte) error {
+	if err := w.f.Truncate(off); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.off, w.seq, w.chain = off, seq, chain
 	return nil
 }
 
@@ -316,6 +398,7 @@ func (w *walWriter) reset(epoch uint64) error {
 	w.seq = 0
 	w.syncedSeq = 0
 	w.chain = chainSeed(w.key, epoch, w.shardIdx)
+	w.crypt = newWALCrypt(w.dataKey, epoch, w.shardIdx)
 	return w.writeHead()
 }
 

@@ -12,18 +12,24 @@ import (
 	"aisebmt/internal/shard"
 )
 
-var testSealKey = sealKey([]byte("wal-test-processor-key"))
+var (
+	testSealKey = sealKey([]byte("wal-test-processor-key"))
+	testDataKey = walDataKey([]byte("wal-test-processor-key"))
+)
 
 // buildWAL frames recs into a complete WAL file and returns it with the
 // sealed head that commits all of them.
-func buildWAL(k []byte, epoch uint64, shardIdx uint32, recs []walRec) ([]byte, walHead) {
+func buildWAL(k, dk []byte, epoch uint64, shardIdx uint32, recs []walRec) ([]byte, walHead) {
 	hdr := encodeWALHeader(epoch, shardIdx)
 	b := append([]byte(nil), hdr[:]...)
 	chain := chainSeed(k, epoch, shardIdx)
+	crypt := newWALCrypt(dk, epoch, shardIdx)
+	var seq uint64
 	for _, r := range recs {
-		b, chain = appendRecord(b, k, chain, r)
+		seq++
+		b, chain = appendRecord(b, k, crypt, chain, seq, r)
 	}
-	return b, walHead{Epoch: epoch, Shard: shardIdx, Seq: uint64(len(recs)), Chain: chain}
+	return b, walHead{Epoch: epoch, Shard: shardIdx, Seq: seq, Chain: chain}
 }
 
 func testRecs(n int) []walRec {
@@ -42,8 +48,8 @@ func testRecs(n int) []walRec {
 
 func TestWALScanRoundtrip(t *testing.T) {
 	want := testRecs(5)
-	file, head := buildWAL(testSealKey, 3, 1, want)
-	got, seq, chain, validLen, err := scanWAL(testSealKey, file, head)
+	file, head := buildWAL(testSealKey, testDataKey, 3, 1, want)
+	got, seq, chain, validLen, err := scanWAL(testSealKey, testDataKey, file, head)
 	if err != nil {
 		t.Fatalf("scanWAL: %v", err)
 	}
@@ -65,13 +71,50 @@ func TestWALScanRoundtrip(t *testing.T) {
 	}
 }
 
+// TestWALPayloadConfidential: the log lives on the same untrusted storage
+// as the snapshot, so no field of a record's payload — least of all the
+// write plaintext — may appear in the file bytes.
+func TestWALPayloadConfidential(t *testing.T) {
+	marker := bytes.Repeat([]byte("TOP-SECRET-PLAINTEXT-0123456789./"), 4)[:layout.BlockSize]
+	recs := []walRec{
+		{Kind: shard.MutWrite, Addr: 4096, Virt: 0xDEADBEEF, PID: 99, Data: append([]byte(nil), marker...)},
+		{Kind: shard.MutWrite, Addr: 8192, Virt: 0xDEADBEEF, PID: 99, Data: append([]byte(nil), marker...)},
+	}
+	file, head := buildWAL(testSealKey, testDataKey, 1, 0, recs)
+	if bytes.Contains(file, marker[:16]) {
+		t.Fatal("WAL file contains write plaintext")
+	}
+	plainPayload := encodeRecPayload(nil, recs[0])
+	if bytes.Contains(file, plainPayload[:recFixedLen]) {
+		t.Fatal("WAL file contains a plaintext payload header")
+	}
+	// Identical plaintext in two records must not produce identical
+	// ciphertext (distinct per-record keystreams).
+	body := file[walHeaderLen:]
+	recLen := recFrameLen + recFixedLen + len(marker) + sealSize
+	if bytes.Equal(body[recFrameLen:recFrameLen+32], body[recLen+recFrameLen:recLen+recFrameLen+32]) {
+		t.Fatal("identical plaintexts encrypted to identical ciphertexts")
+	}
+	// And the scan must still decrypt back to the original.
+	got, _, _, _, err := scanWAL(testSealKey, testDataKey, file, head)
+	if err != nil || len(got) != 2 || !bytes.Equal(got[0].Data, marker) || !bytes.Equal(got[1].Data, marker) {
+		t.Fatalf("scan of encrypted WAL: err=%v", err)
+	}
+	// A different epoch (or key) must not decrypt: same records under
+	// epoch 2 yield different bytes on disk.
+	file2, _ := buildWAL(testSealKey, testDataKey, 2, 0, recs)
+	if bytes.Equal(file[walHeaderLen:walHeaderLen+64], file2[walHeaderLen:walHeaderLen+64]) {
+		t.Fatal("epochs 1 and 2 share a keystream")
+	}
+}
+
 func TestWALTornTailTruncated(t *testing.T) {
 	recs := testRecs(4)
-	full, _ := buildWAL(testSealKey, 1, 0, recs)
-	committed, head := buildWAL(testSealKey, 1, 0, recs[:3])
+	full, _ := buildWAL(testSealKey, testDataKey, 1, 0, recs)
+	committed, head := buildWAL(testSealKey, testDataKey, 1, 0, recs[:3])
 	// The 4th record was appended but never committed; tear it mid-write.
 	for cut := len(committed) + 1; cut < len(full); cut += 7 {
-		got, seq, _, validLen, err := scanWAL(testSealKey, full[:cut], head)
+		got, seq, _, validLen, err := scanWAL(testSealKey, testDataKey, full[:cut], head)
 		if err != nil {
 			t.Fatalf("cut=%d: torn uncommitted tail must be tolerated, got %v", cut, err)
 		}
@@ -86,12 +129,12 @@ func TestWALTornTailTruncated(t *testing.T) {
 
 func TestWALTornBeforeCommitFailsClosed(t *testing.T) {
 	recs := testRecs(4)
-	full, head := buildWAL(testSealKey, 1, 0, recs)
-	committed, _ := buildWAL(testSealKey, 1, 0, recs[:3])
+	full, head := buildWAL(testSealKey, testDataKey, 1, 0, recs)
+	committed, _ := buildWAL(testSealKey, testDataKey, 1, 0, recs[:3])
 	// Truncation inside the committed range is a deleted tail, not a torn
 	// append: the sealed head says 4 records were acknowledged.
 	for _, cut := range []int{walHeaderLen, len(committed) - 5, len(committed), len(full) - 1} {
-		_, _, _, _, err := scanWAL(testSealKey, full[:cut], head)
+		_, _, _, _, err := scanWAL(testSealKey, testDataKey, full[:cut], head)
 		if !errors.Is(err, ErrWALTampered) {
 			t.Fatalf("cut=%d: want ErrWALTampered, got %v", cut, err)
 		}
@@ -100,27 +143,27 @@ func TestWALTornBeforeCommitFailsClosed(t *testing.T) {
 
 func TestWALCRCDamage(t *testing.T) {
 	recs := testRecs(4)
-	full, _ := buildWAL(testSealKey, 1, 0, recs)
-	committed, head := buildWAL(testSealKey, 1, 0, recs[:3])
+	full, _ := buildWAL(testSealKey, testDataKey, 1, 0, recs)
+	committed, head := buildWAL(testSealKey, testDataKey, 1, 0, recs[:3])
 
 	tail := append([]byte(nil), full...)
 	tail[len(committed)+recFrameLen+3] ^= 0x40 // payload of the uncommitted record
-	got, seq, _, _, err := scanWAL(testSealKey, tail, head)
+	got, seq, _, _, err := scanWAL(testSealKey, testDataKey, tail, head)
 	if err != nil || seq != 3 || len(got) != 3 {
 		t.Fatalf("CRC damage beyond commit: want clean truncation to 3, got seq=%d err=%v", seq, err)
 	}
 
 	mid := append([]byte(nil), full...)
 	mid[walHeaderLen+recFrameLen+3] ^= 0x40 // payload of committed record 1
-	if _, _, _, _, err := scanWAL(testSealKey, mid, head); !errors.Is(err, ErrWALTampered) {
+	if _, _, _, _, err := scanWAL(testSealKey, testDataKey, mid, head); !errors.Is(err, ErrWALTampered) {
 		t.Fatalf("CRC damage inside committed range: want ErrWALTampered, got %v", err)
 	}
 }
 
 func TestWALForgedRecordFailsClosedEvenBeyondCommit(t *testing.T) {
 	recs := testRecs(4)
-	full, _ := buildWAL(testSealKey, 1, 0, recs)
-	committed, head := buildWAL(testSealKey, 1, 0, recs[:3])
+	full, _ := buildWAL(testSealKey, testDataKey, 1, 0, recs)
+	committed, head := buildWAL(testSealKey, testDataKey, 1, 0, recs[:3])
 	// Flip a payload byte of the uncommitted record and fix up its CRC: a
 	// complete, CRC-clean record whose chain MAC fails is forgery, never a
 	// torn write, so even the unacknowledged tail fails closed.
@@ -129,21 +172,21 @@ func TestWALForgedRecordFailsClosedEvenBeyondCommit(t *testing.T) {
 	payLen := int(binary.LittleEndian.Uint32(forged[len(committed):]))
 	forged[payStart+3] ^= 0x40
 	binary.LittleEndian.PutUint32(forged[len(committed)+4:], crc32.ChecksumIEEE(forged[payStart:payStart+payLen]))
-	if _, _, _, _, err := scanWAL(testSealKey, forged, head); !errors.Is(err, ErrWALTampered) {
+	if _, _, _, _, err := scanWAL(testSealKey, testDataKey, forged, head); !errors.Is(err, ErrWALTampered) {
 		t.Fatalf("forged record: want ErrWALTampered, got %v", err)
 	}
 }
 
 func TestWALHeaderMismatch(t *testing.T) {
-	file, head := buildWAL(testSealKey, 2, 0, testRecs(2))
+	file, head := buildWAL(testSealKey, testDataKey, 2, 0, testRecs(2))
 	// Wrong-epoch file under a head that committed records: fail closed.
-	stale, _ := buildWAL(testSealKey, 1, 0, testRecs(2))
-	if _, _, _, _, err := scanWAL(testSealKey, stale, head); !errors.Is(err, ErrWALTampered) {
+	stale, _ := buildWAL(testSealKey, testDataKey, 1, 0, testRecs(2))
+	if _, _, _, _, err := scanWAL(testSealKey, testDataKey, stale, head); !errors.Is(err, ErrWALTampered) {
 		t.Fatalf("stale-epoch WAL: want ErrWALTampered, got %v", err)
 	}
 	// Same file under a zero-commit head: pre-reset leftover, treated empty.
 	empty := walHead{Epoch: 3, Shard: 0}
-	if recs, seq, _, validLen, err := scanWAL(testSealKey, file, empty); err != nil || seq != 0 || len(recs) != 0 || validLen != 0 {
+	if recs, seq, _, validLen, err := scanWAL(testSealKey, testDataKey, file, empty); err != nil || seq != 0 || len(recs) != 0 || validLen != 0 {
 		t.Fatalf("pre-reset WAL under zero head: want empty accept, got seq=%d err=%v", seq, err)
 	}
 }
