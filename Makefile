@@ -13,10 +13,14 @@
 #                        loadgen, write BENCH_service.json
 #   make bench-recovery  crash-recovery benchmark: restart-to-first-byte vs
 #                        WAL length per fsync policy, BENCH_recovery.json
+#   make chaos           deterministic fault-injection matrix (cmd/chaos):
+#                        bit-flips, rollback, WAL faults, torn writes, slow
+#                        I/O against a live durable pool; CI runs a short
+#                        smoke of it
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery
+.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery chaos chaos-smoke
 
 check: vet build test race
 
@@ -30,7 +34,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shard/... ./internal/server/... ./internal/persist/...
+	$(GO) test -race ./internal/shard/... ./internal/server/... ./internal/persist/... ./internal/chaos/...
 
 fuzz:
 	$(GO) test -run=none -fuzz=FuzzRequestRoundTrip -fuzztime=20s ./internal/server/
@@ -40,6 +44,13 @@ fuzz-smoke:
 	$(GO) test -run=none -fuzz=FuzzWALRecord -fuzztime=5s ./internal/persist/
 	$(GO) test -run=none -fuzz=FuzzWALScan -fuzztime=5s ./internal/persist/
 	$(GO) test -run=none -fuzz=FuzzAnchor -fuzztime=5s ./internal/persist/
+
+chaos: build
+	$(GO) run ./cmd/chaos -rounds 3
+	$(GO) run ./cmd/chaos -rounds 3 -seed 42
+
+chaos-smoke: build
+	$(GO) run ./cmd/chaos -rounds 1 -q
 
 bench: build
 	./scripts/bench_service.sh

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -65,13 +66,30 @@ func main() {
 	secmemd := flag.String("secmemd", "/tmp/secmemd", "secmemd binary for -recovery (spawned per run)")
 	recWrites := flag.String("recovery-writes", "0,2000,10000", "comma-separated WAL lengths (acked writes) per -recovery run")
 	recFsync := flag.String("recovery-fsync", "always,batch,off", "comma-separated fsync policies to sweep in -recovery")
+	retries := flag.Int("retries", 0, "per-op retry budget for retryable statuses (timeout/overload/quarantine), with jittered exponential backoff")
+	waitReady := flag.String("wait-ready", "", "poll this /readyz URL until the daemon reports ready before measuring (e.g. http://127.0.0.1:7394/readyz)")
+	waitBudget := flag.Duration("wait-ready-timeout", 30*time.Second, "how long -wait-ready polls before giving up")
+	degraded := flag.Bool("degraded", false, "benchmark fault-domain isolation: cordon one shard, measure healthy-shard throughput, then heal it")
+	degradedShard := flag.Int("degraded-shard", 0, "shard to cordon in -degraded mode")
 	flag.Parse()
 
+	if *waitReady != "" {
+		if err := pollReady(*waitReady, *waitBudget); err != nil {
+			fatalf("-wait-ready: %v", err)
+		}
+	}
 	if *recovery {
 		if *outPath == "" {
 			*outPath = "BENCH_recovery.json"
 		}
 		runRecoveryBench(*secmemd, *memSize, *conns, *recWrites, *recFsync, *seed, *jsonOut, *outPath)
+		return
+	}
+	if *degraded {
+		if *outPath == "" {
+			*outPath = "BENCH_degraded.json"
+		}
+		runDegradedBench(*addr, *conns, *duration, *ops, *memSize, *opBytes, *seed, *retries, *degradedShard, *jsonOut, *outPath)
 		return
 	}
 	if *outPath == "" {
@@ -107,7 +125,11 @@ func main() {
 	}
 	failed := false
 	for _, frac := range fracs {
-		run := runMix(*addr, *conns, frac, *duration, *ops, *dist, *zipfS, pages, *opBytes, *seed)
+		run := runMix(mixConfig{
+			addr: *addr, conns: *conns, readFrac: frac, duration: *duration,
+			fixedOps: *ops, dist: *dist, zipfS: *zipfS, pages: pages,
+			opBytes: *opBytes, seed: *seed, retries: *retries, skipShard: -1,
+		})
 		out.Runs = append(out.Runs, run)
 		fmt.Printf("mix read=%.0f%%: %d ops in %.2fs → %.0f ops/s, p50=%s p90=%s p99=%s max=%s, errors=%d\n",
 			frac*100, run.Ops, run.Seconds, run.Throughput,
@@ -166,6 +188,7 @@ type mixResult struct {
 	ReadFrac   float64   `json:"read_frac"`
 	Ops        uint64    `json:"ops"`
 	Errors     uint64    `json:"errors"`
+	Retries    uint64    `json:"retries"`
 	Seconds    float64   `json:"seconds"`
 	Throughput float64   `json:"throughput_ops_per_sec"`
 	Latency    latencies `json:"latency_us"`
@@ -179,36 +202,71 @@ type latencies struct {
 	Max float64 `json:"max"`
 }
 
-// runMix measures one read fraction with conns closed-loop clients.
-func runMix(addr string, conns int, readFrac float64, duration time.Duration, fixedOps int, dist string, zipfS float64, pages uint64, opBytes int, seed int64) mixResult {
-	type workerOut struct {
-		lat  []int64 // ns
-		errs uint64
+// mixConfig parameterizes one runMix measurement.
+type mixConfig struct {
+	addr      string
+	conns     int
+	readFrac  float64
+	duration  time.Duration
+	fixedOps  int
+	dist      string
+	zipfS     float64
+	pages     uint64
+	opBytes   int
+	seed      int64
+	retries   int // retryable-status retry budget per op (0 = fail fast)
+	shards    int // pool shard count; only needed when skipShard >= 0
+	skipShard int // avoid addresses owned by this shard (-1 = none)
+}
+
+// retryOp runs op, retrying retryable status errors (timeout, overload,
+// quarantine) with jittered exponential backoff: 1ms doubling to a
+// 100ms cap, each delay drawn uniformly from [base/2, 3·base/2).
+func retryOp(rng *rand.Rand, retries int, op func() error) (uint64, error) {
+	backoff := time.Millisecond
+	for attempt := uint64(0); ; attempt++ {
+		err := op()
+		if err == nil || attempt >= uint64(retries) || !server.Retryable(err) {
+			return attempt, err
+		}
+		time.Sleep(backoff/2 + time.Duration(rng.Int63n(int64(backoff))))
+		if backoff *= 2; backoff > 100*time.Millisecond {
+			backoff = 100 * time.Millisecond
+		}
 	}
-	outs := make([]workerOut, conns)
-	deadline := time.Now().Add(duration)
+}
+
+// runMix measures one read fraction with conns closed-loop clients.
+func runMix(cfg mixConfig) mixResult {
+	type workerOut struct {
+		lat     []int64 // ns
+		errs    uint64
+		retries uint64
+	}
+	outs := make([]workerOut, cfg.conns)
+	deadline := time.Now().Add(cfg.duration)
 	opsPerWorker := 0
-	if fixedOps > 0 {
-		opsPerWorker = (fixedOps + conns - 1) / conns
+	if cfg.fixedOps > 0 {
+		opsPerWorker = (cfg.fixedOps + cfg.conns - 1) / cfg.conns
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < conns; w++ {
+	for w := 0; w < cfg.conns; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*7919 + int64(readFrac*1000)))
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919 + int64(cfg.readFrac*1000)))
 			var zipf *rand.Zipf
-			if dist == "zipf" {
-				zipf = rand.NewZipf(rng, zipfS, 1, pages-1)
+			if cfg.dist == "zipf" {
+				zipf = rand.NewZipf(rng, cfg.zipfS, 1, cfg.pages-1)
 			}
-			c, err := server.Dial(addr, 5*time.Second)
+			c, err := server.Dial(cfg.addr, 5*time.Second)
 			if err != nil {
 				outs[w].errs++
 				return
 			}
 			defer c.Close()
-			payload := make([]byte, opBytes)
+			payload := make([]byte, cfg.opBytes)
 			rng.Read(payload)
 			for n := 0; ; n++ {
 				if opsPerWorker > 0 {
@@ -219,24 +277,34 @@ func runMix(addr string, conns int, readFrac float64, duration time.Duration, fi
 					return
 				}
 				var page uint64
-				if zipf != nil {
-					page = zipf.Uint64()
-				} else {
-					page = rng.Uint64() % pages
+				for {
+					if zipf != nil {
+						page = zipf.Uint64()
+					} else {
+						page = rng.Uint64() % cfg.pages
+					}
+					// Global page k lives on shard k mod shards; resample
+					// to keep traffic off a quarantined shard.
+					if cfg.skipShard < 0 || page%uint64(cfg.shards) != uint64(cfg.skipShard) {
+						break
+					}
 				}
 				// Block-aligned offset keeping the op inside its page.
-				maxOff := int(layout.PageSize) - opBytes
+				maxOff := int(layout.PageSize) - cfg.opBytes
 				off := 0
 				if maxOff > 0 {
 					off = rng.Intn(maxOff/layout.BlockSize+1) * layout.BlockSize
 				}
 				a := layout.Addr(page*layout.PageSize + uint64(off))
 				t0 := time.Now()
-				if rng.Float64() < readFrac {
-					_, err = c.Read(a, opBytes, core.Meta{})
-				} else {
-					err = c.Write(a, payload, core.Meta{})
-				}
+				retried, err := retryOp(rng, cfg.retries, func() error {
+					if rng.Float64() < cfg.readFrac {
+						_, err := c.Read(a, cfg.opBytes, core.Meta{})
+						return err
+					}
+					return c.Write(a, payload, core.Meta{})
+				})
+				outs[w].retries += retried
 				if err != nil {
 					outs[w].errs++
 					// A status error still completed a round trip on an
@@ -255,10 +323,11 @@ func runMix(addr string, conns int, readFrac float64, duration time.Duration, fi
 	elapsed := time.Since(start).Seconds()
 
 	var all []int64
-	res := mixResult{ReadFrac: readFrac, Seconds: elapsed}
+	res := mixResult{ReadFrac: cfg.readFrac, Seconds: elapsed}
 	for _, o := range outs {
 		all = append(all, o.lat...)
 		res.Errors += o.errs
+		res.Retries += o.retries
 	}
 	res.Ops = uint64(len(all))
 	if elapsed > 0 {
@@ -272,6 +341,143 @@ func runMix(addr string, conns int, readFrac float64, duration time.Duration, fi
 		res.Latency = latencies{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99), Max: float64(all[len(all)-1]) / 1e3}
 	}
 	return res
+}
+
+// pollReady polls a /readyz URL until it returns 200 or the budget runs
+// out. The daemon answers 503 while recovering or fully degraded, so
+// this is the "wait for the service to actually serve" barrier scripts
+// want between `secmemd &` and the first measurement.
+func pollReady(url string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err != nil {
+			last = err.Error()
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = resp.Status
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("%s not ready after %s (last: %s)", url, budget, last)
+}
+
+// degradedOutput is the -degraded -json document.
+type degradedOutput struct {
+	Addr     string    `json:"addr"`
+	Conns    int       `json:"conns"`
+	Shards   int       `json:"shards"`
+	Victim   int       `json:"victim_shard"`
+	Baseline mixResult `json:"baseline"`
+	Degraded mixResult `json:"degraded"`
+	Ratio    float64   `json:"degraded_over_baseline"`
+	Healed   bool      `json:"healed"`
+}
+
+// runDegradedBench measures fault-domain isolation on a live daemon:
+// baseline throughput with every shard serving, then the same mix with
+// one shard cordoned (traffic steered to the survivors), then an
+// uncordon that re-verifies and heals the victim. The run fails if the
+// healthy shards' throughput collapses below a quarter of baseline —
+// the whole point of per-shard fault domains is that it doesn't.
+func runDegradedBench(addr string, conns int, duration time.Duration, ops int, memSize string, opBytes int, seed int64, retries, victim int, jsonOut bool, outPath string) {
+	memBytes, err := parseSize(memSize)
+	if err != nil {
+		fatalf("-mem: %v", err)
+	}
+	pages := memBytes / layout.PageSize
+
+	ctl, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		fatalf("dial %s: %v", addr, err)
+	}
+	defer ctl.Close()
+	st, err := ctl.Stats()
+	if err != nil {
+		fatalf("stats: %v", err)
+	}
+	if victim < 0 || victim >= st.Shards {
+		fatalf("-degraded-shard %d out of range (daemon has %d shards)", victim, st.Shards)
+	}
+
+	cfg := mixConfig{
+		addr: addr, conns: conns, readFrac: 0.5, duration: duration, fixedOps: ops,
+		dist: "uniform", pages: pages, opBytes: opBytes, seed: seed,
+		retries: retries, shards: st.Shards, skipShard: -1,
+	}
+	out := degradedOutput{Addr: addr, Conns: conns, Shards: st.Shards, Victim: victim}
+
+	out.Baseline = runMix(cfg)
+	fmt.Printf("baseline (all %d shards): %.0f ops/s, p99=%s, errors=%d\n",
+		st.Shards, out.Baseline.Throughput, us(out.Baseline.Latency.P99), out.Baseline.Errors)
+
+	if err := ctl.Cordon(victim); err != nil {
+		fatalf("cordon shard %d: %v", victim, err)
+	}
+	cfg.skipShard = victim
+	cfg.seed = seed + 1
+	out.Degraded = runMix(cfg)
+	fmt.Printf("degraded (shard %d cordoned): %.0f ops/s, p99=%s, errors=%d, retries=%d\n",
+		victim, out.Degraded.Throughput, us(out.Degraded.Latency.P99), out.Degraded.Errors, out.Degraded.Retries)
+
+	// Uncordon re-verifies the victim before it serves again — in place
+	// on an in-memory daemon, via the async repair worker on a durable
+	// one — so poll until a read from one of its pages proves the heal
+	// end to end.
+	if err := ctl.Uncordon(victim); err != nil {
+		fmt.Printf("heal: uncordon failed: %v\n", err)
+	} else {
+		healStart := time.Now()
+		for {
+			_, err := ctl.Read(layout.Addr(uint64(victim)*layout.PageSize), opBytes, core.Meta{})
+			if err == nil {
+				out.Healed = true
+				fmt.Printf("heal: shard %d re-verified and serving again after %s\n", victim, time.Since(healStart).Round(time.Millisecond))
+				break
+			}
+			if !server.Retryable(err) || time.Since(healStart) > 30*time.Second {
+				fmt.Printf("heal: victim shard still refusing reads: %v\n", err)
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	if out.Baseline.Throughput > 0 {
+		out.Ratio = out.Degraded.Throughput / out.Baseline.Throughput
+	}
+	fmt.Printf("healthy-shard throughput retained: %.0f%% of baseline\n", out.Ratio*100)
+
+	if jsonOut {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+
+	switch {
+	case out.Baseline.Ops == 0 || out.Degraded.Ops == 0:
+		fatalf("a measurement moved no ops")
+	case out.Baseline.Errors > 0 || out.Degraded.Errors > 0:
+		fatalf("measurements saw errors")
+	case !out.Healed:
+		fatalf("victim shard did not heal")
+	case out.Ratio < 0.25:
+		fatalf("healthy-shard throughput collapsed to %.0f%% of baseline", out.Ratio*100)
+	}
 }
 
 // recoveryOutput is the -recovery -json document.
@@ -375,7 +581,10 @@ func recoveryCell(bin, memSize string, memBytes uint64, fsync string, nWrites, c
 		return run, fmt.Errorf("fill daemon never served: %w", err)
 	}
 	if nWrites > 0 {
-		res := runMix(addr, conns, 0.0, 0, nWrites, "uniform", 1.2, memBytes/layout.PageSize, layout.BlockSize, seed)
+		res := runMix(mixConfig{
+			addr: addr, conns: conns, fixedOps: nWrites, dist: "uniform", zipfS: 1.2,
+			pages: memBytes / layout.PageSize, opBytes: layout.BlockSize, seed: seed, skipShard: -1,
+		})
 		if res.Errors > 0 || res.Ops == 0 {
 			cmd.Process.Kill()
 			return run, fmt.Errorf("fill saw %d errors over %d ops", res.Errors, res.Ops)

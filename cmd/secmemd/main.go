@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -69,6 +70,11 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots); empty runs in-memory only")
 	fsyncMode := flag.String("fsync", "always", "WAL sync policy: always (sync before ack), batch (background interval), off")
 	snapEvery := flag.Duration("snapshot-every", time.Minute, "background snapshot + WAL truncation period (0 disables; requires -data-dir)")
+	healthAddr := flag.String("health", "", "HTTP address for /healthz and /readyz probes (empty disables)")
+	maxInflight := flag.Int("max-inflight", 0, "admission-control bound on concurrent requests (0 = default, negative disables shedding)")
+	frameTimeout := flag.Duration("frame-timeout", 0, "budget for a client to finish sending a request frame (0 = default)")
+	repairBackoff := flag.Duration("repair-backoff", 0, "initial backoff between online shard-repair attempts (0 = default; requires -data-dir)")
+	repairAttempts := flag.Int("repair-attempts", 0, "repair attempts before the crash-loop breaker marks a shard down (0 = default)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "secmemd: ", log.LstdFlags)
@@ -114,11 +120,13 @@ func main() {
 			logger.Fatalf("-fsync: %v", err)
 		}
 		store, err = persist.Open(persist.Options{
-			Dir:           *dataDir,
-			Key:           key,
-			Fsync:         policy,
-			SnapshotEvery: *snapEvery,
-			Logf:          logger.Printf,
+			Dir:            *dataDir,
+			Key:            key,
+			Fsync:          policy,
+			SnapshotEvery:  *snapEvery,
+			RepairBackoff:  *repairBackoff,
+			RepairAttempts: *repairAttempts,
+			Logf:           logger.Printf,
 		})
 		if err != nil {
 			logger.Fatalf("persist: %v", err)
@@ -128,6 +136,8 @@ func main() {
 	srvOpts := server.Options{
 		Timeout:       *timeout,
 		HibernatePath: *hibPath,
+		FrameTimeout:  *frameTimeout,
+		MaxInflight:   *maxInflight,
 		Logf:          logger.Printf,
 	}
 	if store != nil {
@@ -140,6 +150,24 @@ func main() {
 		}
 	}
 	srv := server.NewGated(srvOpts)
+
+	// The health endpoint opens before recovery too: orchestrators can
+	// probe liveness immediately, and /readyz reports recovery-pending
+	// until the pool is published.
+	var healthSrv *http.Server
+	if *healthAddr != "" {
+		hln, err := net.Listen("tcp", *healthAddr)
+		if err != nil {
+			logger.Fatalf("health listen: %v", err)
+		}
+		healthSrv = &http.Server{Handler: srv.HealthHandler()}
+		go func() {
+			if err := healthSrv.Serve(hln); err != nil && err != http.ErrServerClosed {
+				logger.Printf("health server: %v", err)
+			}
+		}()
+		logger.Printf("health probes on http://%s/healthz and /readyz", hln.Addr())
+	}
 
 	// Install the signal handler before the listener becomes visible, so a
 	// supervisor that probes the port and then signals us always gets the
@@ -189,6 +217,9 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			logger.Printf("shutdown: %v", err)
 			os.Exit(1)
+		}
+		if healthSrv != nil {
+			healthSrv.Close()
 		}
 		if store != nil {
 			if err := store.Checkpoint(); err != nil {

@@ -1,0 +1,453 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/persist"
+	"aisebmt/internal/shard"
+)
+
+// Scenario names the fault schedules the harness knows how to run.
+// Each one injects a different fault class into a live, durable pool
+// and checks the same three invariants afterwards: acked writes
+// survive, tampering is detected (never served), and untouched shards
+// keep serving throughout.
+var Scenarios = []string{
+	"bitflip-data",    // flip a ciphertext bit on the memory bus
+	"bitflip-counter", // flip a bit in a page's counter block
+	"rollback",        // record whole shard memory, replay it after writes
+	"wal-fault",       // one shard's WAL device dies (every op errors)
+	"torn-append",     // WAL appends land half a record then error
+	"slow-io",         // the disk stalls but never fails
+	"checkpoint",      // cut a checkpoint mid-run (WAL truncation in the mix)
+}
+
+// Config sizes a harness run.
+type Config struct {
+	// Dir is the store's data directory (must be writable and private to
+	// the run).
+	Dir string
+	// Seed drives every random choice: victims, addresses, values, fault
+	// dice. Two runs with the same seed execute the same schedule.
+	Seed int64
+	// Shards is the pool width (default 3 — one victim, two bystanders).
+	Shards int
+	// PagesPerShard sizes each shard's slice (default 4).
+	PagesPerShard int
+	// BaseFS is the real filesystem under the fault wrapper (default OS).
+	BaseFS persist.FS
+	// Logf, when non-nil, receives store and harness events.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts what a run did and found.
+type Stats struct {
+	Scenarios       int    `json:"scenarios"`
+	AckedWrites     int    `json:"acked_writes"`
+	FailedWrites    int    `json:"failed_writes"`
+	TampersInjected int    `json:"tampers_injected"`
+	TampersDetected int    `json:"tampers_detected"`
+	FSFaults        uint64 `json:"fs_faults_injected"`
+	Heals           int    `json:"heals"`
+	ModelReads      int    `json:"model_reads"`
+	PoolFaults      uint64 `json:"pool_faults"`
+	PoolRepairs     uint64 `json:"pool_repairs"`
+}
+
+// Harness drives a durable secure-memory service through fault
+// scenarios while maintaining a shadow model of every acknowledged
+// write. Methods are not safe for concurrent use: the harness is the
+// single client, which keeps seeded runs deterministic.
+type Harness struct {
+	cfg   Config
+	FS    *FaultFS
+	Store *persist.Store
+	Pool  *shard.Pool
+	Inj   *Injector
+	rng   *rand.Rand
+
+	// model maps each written pool address to its value candidates.
+	// candidates[0] is the last acknowledged value; later entries are
+	// values of failed writes, which the durability contract allows to
+	// surface after a repair (a failed write may have reached the log —
+	// the usual indeterminacy of a failed write, never loss of an acked
+	// one). A read must return SOME candidate; anything else is loss or
+	// fabrication.
+	model   map[layout.Addr][][]byte
+	byShard [][]layout.Addr
+	stats   Stats
+}
+
+var harnessKey = []byte("chaos-matrix-key") // 16 bytes
+
+const valLen = 32
+
+// New opens a durable store under fault injection and recovers its pool.
+// The repair monitor runs hot (millisecond cadence, effectively no
+// breaker) so scenarios heal quickly once faults clear.
+func New(cfg Config) (*Harness, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 3
+	}
+	if cfg.PagesPerShard == 0 {
+		cfg.PagesPerShard = 4
+	}
+	if cfg.BaseFS == nil {
+		cfg.BaseFS = persist.OSFS()
+	}
+	ffs := WrapFS(cfg.BaseFS, cfg.Seed)
+	st, err := persist.Open(persist.Options{
+		Dir:              cfg.Dir,
+		Key:              harnessKey,
+		Fsync:            persist.FsyncAlways,
+		FsyncInterval:    time.Hour, // no background flusher races in seeded runs
+		RepairPoll:       2 * time.Millisecond,
+		RepairBackoff:    time.Millisecond,
+		RepairMaxBackoff: 8 * time.Millisecond,
+		RepairAttempts:   1_000_000,
+		Logf:             cfg.Logf,
+		FS:               ffs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool, _, err := st.Recover(shard.Config{
+		Shards: cfg.Shards,
+		Core: core.Config{
+			DataBytes:  uint64(cfg.Shards*cfg.PagesPerShard) * layout.PageSize,
+			Key:        harnessKey,
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  4,
+		},
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &Harness{
+		cfg:     cfg,
+		FS:      ffs,
+		Store:   st,
+		Pool:    pool,
+		Inj:     NewInjector(pool),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		model:   make(map[layout.Addr][][]byte),
+		byShard: make([][]layout.Addr, cfg.Shards),
+	}, nil
+}
+
+// Close tears the service down (pool drain + final WAL sync).
+func (h *Harness) Close() error {
+	err := h.Pool.Close()
+	if cerr := h.Store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats returns the run's counters, folding in the pool's own.
+func (h *Harness) Stats() Stats {
+	s := h.stats
+	s.FSFaults = h.FS.Injected()
+	ps := h.Pool.Stats()
+	s.PoolFaults = ps.Faults
+	s.PoolRepairs = ps.Repairs
+	return s
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+func ctx10() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 10*time.Second)
+}
+
+// metaFor derives the fixed request metadata for an address, so reads
+// always present the same AISE seed components the write used.
+func metaFor(addr layout.Addr) core.Meta {
+	return core.Meta{VirtAddr: uint64(addr), PID: 7}
+}
+
+// pickAddr returns a random block-aligned pool address on shard sh.
+// Pool page k of shard s is global page k*Shards+s.
+func (h *Harness) pickAddr(sh int) layout.Addr {
+	localPage := h.rng.Intn(h.cfg.PagesPerShard)
+	globalPage := localPage*h.cfg.Shards + sh
+	block := h.rng.Intn(int(layout.BlocksPerPage))
+	return layout.Addr(globalPage)*layout.PageSize + layout.Addr(block)*layout.BlockSize
+}
+
+// localAddr converts a pool address to its shard-local address.
+func (h *Harness) localAddr(addr layout.Addr) layout.Addr {
+	page := uint64(addr) / layout.PageSize
+	local := (page/uint64(h.cfg.Shards))*layout.PageSize + uint64(addr)%layout.PageSize
+	return layout.Addr(local)
+}
+
+// writeOne issues one random write to shard sh and records its outcome
+// in the model: an acked value replaces all candidates, a failed value
+// joins them (it may still surface after a repair). It returns the
+// address written alongside the write's outcome.
+func (h *Harness) writeOne(sh int) (layout.Addr, error) {
+	addr := h.pickAddr(sh)
+	val := make([]byte, valLen)
+	h.rng.Read(val)
+	ctx, cancel := ctx10()
+	defer cancel()
+	err := h.Pool.Write(ctx, addr, val, metaFor(addr))
+	if _, known := h.model[addr]; !known {
+		h.byShard[sh] = append(h.byShard[sh], addr)
+	}
+	if err == nil {
+		h.stats.AckedWrites++
+		h.model[addr] = [][]byte{val}
+	} else {
+		h.stats.FailedWrites++
+		if len(h.model[addr]) == 0 {
+			// Never written before: "not applied" reads back as zeros.
+			h.model[addr] = [][]byte{make([]byte, valLen)}
+		}
+		h.model[addr] = append(h.model[addr], val)
+	}
+	return addr, err
+}
+
+// burst writes n values spread across all shards; every write must ack.
+func (h *Harness) burst(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := h.writeOne(i % h.cfg.Shards); err != nil {
+			return fmt.Errorf("chaos: burst write failed with no fault armed: %w", err)
+		}
+	}
+	return nil
+}
+
+// modelAddrOn returns a model address on shard sh, writing one first if
+// none exists yet.
+func (h *Harness) modelAddrOn(sh int) (layout.Addr, error) {
+	if len(h.byShard[sh]) == 0 {
+		if _, err := h.writeOne(sh); err != nil {
+			return 0, err
+		}
+	}
+	return h.byShard[sh][h.rng.Intn(len(h.byShard[sh]))], nil
+}
+
+// CheckModel reads back every modeled address and verifies the value is
+// one of its candidates. Call it with all shards serving; any read
+// error or non-candidate value is an invariant violation.
+func (h *Harness) CheckModel() error {
+	for addr, cands := range h.model {
+		buf := make([]byte, valLen)
+		ctx, cancel := ctx10()
+		err := h.Pool.Read(ctx, addr, buf, metaFor(addr))
+		cancel()
+		if err != nil {
+			return fmt.Errorf("chaos: model read %#x: %w", addr, err)
+		}
+		h.stats.ModelReads++
+		ok := false
+		for _, c := range cands {
+			if bytes.Equal(buf, c) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("chaos: ACKED-WRITE LOSS at %#x: read %x, want one of %d candidate(s), acked %x",
+				addr, buf, len(cands), cands[0])
+		}
+	}
+	return nil
+}
+
+// expectDetected reads addr and requires the service to refuse it: a
+// tampered or quarantined error. Returning data — any data — after a
+// tamper is the one unforgivable outcome.
+func (h *Harness) expectDetected(addr layout.Addr) error {
+	buf := make([]byte, valLen)
+	ctx, cancel := ctx10()
+	defer cancel()
+	err := h.Pool.Read(ctx, addr, buf, metaFor(addr))
+	if err == nil {
+		return fmt.Errorf("chaos: TAMPER SERVED: read of tampered %#x returned %x with no error", addr, buf)
+	}
+	if !errors.Is(err, core.ErrTampered) && !errors.Is(err, shard.ErrShardQuarantined) {
+		return fmt.Errorf("chaos: tampered read %#x failed with unexpected error: %w", addr, err)
+	}
+	h.stats.TampersDetected++
+	return nil
+}
+
+// expectBystandersServe proves fault containment: every shard except
+// victim must ack a fresh write while the victim is latched or under
+// repair.
+func (h *Harness) expectBystandersServe(victim int) error {
+	for sh := 0; sh < h.cfg.Shards; sh++ {
+		if sh == victim {
+			continue
+		}
+		if _, err := h.writeOne(sh); err != nil {
+			return fmt.Errorf("chaos: CONTAINMENT BREACH: shard %d failed while shard %d was the victim: %w", sh, victim, err)
+		}
+	}
+	return nil
+}
+
+// WaitAllServing blocks until every shard is back in StateServing.
+func (h *Harness) WaitAllServing(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		all := true
+		for _, s := range h.Pool.ShardStates() {
+			if s != shard.StateServing {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("chaos: shards not healed after %v: states %v", timeout, h.Pool.ShardStates())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Run executes one named scenario and checks its invariants.
+func (h *Harness) Run(scenario string) error {
+	h.stats.Scenarios++
+	victim := h.rng.Intn(h.cfg.Shards)
+	h.logf("scenario %s (victim shard %d)", scenario, victim)
+	switch scenario {
+	case "bitflip-data":
+		if err := h.burst(2 * h.cfg.Shards); err != nil {
+			return err
+		}
+		addr, err := h.modelAddrOn(victim)
+		if err != nil {
+			return err
+		}
+		h.stats.TampersInjected++
+		if err := h.Inj.BitflipData(victim, h.localAddr(addr), h.rng.Intn(valLen*8)); err != nil {
+			return err
+		}
+		if err := h.expectDetected(addr); err != nil {
+			return err
+		}
+		if err := h.expectBystandersServe(victim); err != nil {
+			return err
+		}
+	case "bitflip-counter":
+		if err := h.burst(2 * h.cfg.Shards); err != nil {
+			return err
+		}
+		addr, err := h.modelAddrOn(victim)
+		if err != nil {
+			return err
+		}
+		// One counter block per page under AISE; the victim page's
+		// counter block index is its shard-local page number.
+		localPage := int(uint64(h.localAddr(addr)) / layout.PageSize)
+		h.stats.TampersInjected++
+		if err := h.Inj.BitflipRegion(victim, "counters", localPage, h.rng.Intn(layout.BlockSize*8)); err != nil {
+			return err
+		}
+		if err := h.expectDetected(addr); err != nil {
+			return err
+		}
+		if err := h.expectBystandersServe(victim); err != nil {
+			return err
+		}
+	case "rollback":
+		if err := h.burst(2 * h.cfg.Shards); err != nil {
+			return err
+		}
+		adv, err := h.Inj.Recorder(victim)
+		if err != nil {
+			return err
+		}
+		// Writes after the recording are what the replay tries to erase.
+		target, err := h.writeOne(victim)
+		if err != nil {
+			return fmt.Errorf("chaos: post-recording write: %w", err)
+		}
+		if _, err := h.writeOne(victim); err != nil {
+			return fmt.Errorf("chaos: post-recording write: %w", err)
+		}
+		h.stats.TampersInjected++
+		adv.ReplayAll()
+		if err := h.expectDetected(target); err != nil {
+			return err
+		}
+		if err := h.expectBystandersServe(victim); err != nil {
+			return err
+		}
+	case "wal-fault":
+		if err := h.burst(2 * h.cfg.Shards); err != nil {
+			return err
+		}
+		h.FS.Arm(FSFaults{PathSubstr: fmt.Sprintf("wal-%03d", victim), ErrRate: 1})
+		// The append fails and so does the rewind (the device is gone):
+		// an unsafe durability fault that must quarantine this shard only.
+		if _, err := h.writeOne(victim); err == nil {
+			return fmt.Errorf("chaos: write acked while shard %d's WAL device was dead", victim)
+		}
+		if st := h.Pool.ShardStates()[victim]; st == shard.StateServing {
+			return fmt.Errorf("chaos: shard %d still serving after unsafe durability fault", victim)
+		}
+		if err := h.expectBystandersServe(victim); err != nil {
+			return err
+		}
+		h.FS.Disarm()
+	case "torn-append":
+		if err := h.burst(2 * h.cfg.Shards); err != nil {
+			return err
+		}
+		h.FS.Arm(FSFaults{PathSubstr: fmt.Sprintf("wal-%03d", victim), TornRate: 1})
+		// A torn append is rewound cleanly: the batch fails but the log
+		// still matches execution, so the shard must keep serving.
+		if _, err := h.writeOne(victim); err == nil {
+			return fmt.Errorf("chaos: write acked while shard %d's WAL tore every append", victim)
+		}
+		h.FS.Disarm()
+		if st := h.Pool.ShardStates()[victim]; st != shard.StateServing {
+			return fmt.Errorf("chaos: clean torn-append rewind latched shard %d into %s", victim, st)
+		}
+		if _, err := h.writeOne(victim); err != nil {
+			return fmt.Errorf("chaos: shard %d refused a write after the torn-append device recovered: %w", victim, err)
+		}
+	case "slow-io":
+		h.FS.Arm(FSFaults{SlowRate: 0.5, SlowDelay: 2 * time.Millisecond})
+		if err := h.burst(3 * h.cfg.Shards); err != nil {
+			return fmt.Errorf("chaos: slow I/O must stall, never fail: %w", err)
+		}
+		h.FS.Disarm()
+	case "checkpoint":
+		if err := h.burst(h.cfg.Shards); err != nil {
+			return err
+		}
+		if err := h.Store.Checkpoint(); err != nil {
+			return fmt.Errorf("chaos: checkpoint on a healthy pool: %w", err)
+		}
+	default:
+		return fmt.Errorf("chaos: unknown scenario %q", scenario)
+	}
+	if err := h.WaitAllServing(30 * time.Second); err != nil {
+		return err
+	}
+	h.stats.Heals++
+	return h.CheckModel()
+}

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosMatrix runs every scenario several rounds under two seeds
+// against a live durable pool and holds the harness to its invariants:
+// zero acked-write loss, every injected tamper detected (never served),
+// bystander shards available throughout, and every victim healed back
+// to serving. The schedule — victims, addresses, values, fault dice —
+// is fully determined by the seed.
+func TestChaosMatrix(t *testing.T) {
+	const rounds = 2
+	for _, seed := range []int64{1, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			h, err := New(Config{Dir: t.TempDir(), Seed: seed, Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("harness: %v", err)
+			}
+			defer h.Close()
+			for r := 0; r < rounds; r++ {
+				for _, scn := range Scenarios {
+					if err := h.Run(scn); err != nil {
+						t.Fatalf("round %d %s: %v", r, scn, err)
+					}
+				}
+			}
+			st := h.Stats()
+			t.Logf("matrix stats: %+v", st)
+			if st.TampersDetected != st.TampersInjected {
+				t.Errorf("detected %d of %d injected tampers", st.TampersDetected, st.TampersInjected)
+			}
+			if st.Heals != st.Scenarios {
+				t.Errorf("healed %d of %d scenarios", st.Heals, st.Scenarios)
+			}
+			if st.PoolFaults == 0 || st.PoolRepairs == 0 {
+				t.Errorf("no faults (%d) or repairs (%d) recorded — the matrix exercised nothing", st.PoolFaults, st.PoolRepairs)
+			}
+			if st.FSFaults == 0 {
+				t.Errorf("no filesystem faults injected")
+			}
+			if st.AckedWrites == 0 || st.ModelReads == 0 {
+				t.Errorf("no traffic: %d acked writes, %d model reads", st.AckedWrites, st.ModelReads)
+			}
+		})
+	}
+}
+
+// TestChaosSurvivesRestart ends a chaotic life with a crash-free close
+// and a fresh recovery: every acked write must still be there.
+func TestChaosSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	h, err := New(Config{Dir: dir, Seed: 7, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	for _, scn := range []string{"bitflip-data", "wal-fault", "checkpoint", "rollback"} {
+		if err := h.Run(scn); err != nil {
+			h.Close()
+			t.Fatalf("%s: %v", scn, err)
+		}
+	}
+	model, byShard := h.model, h.byShard
+	if err := h.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	h2, err := New(Config{Dir: dir, Seed: 8, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer h2.Close()
+	h2.model, h2.byShard = model, byShard
+	if err := h2.CheckModel(); err != nil {
+		t.Fatalf("model after restart: %v", err)
+	}
+}

@@ -27,7 +27,13 @@ func openMatrixStore(t *testing.T, cfs *crashFS, p Policy) *Store {
 		Key:           testProcKey,
 		Fsync:         p,
 		FsyncInterval: time.Hour, // keep the flusher deterministic: never
-		FS:            cfs,
+		// The matrix simulates process death by abandoning the store after
+		// fs.crash(); a live repair monitor would be a goroutine from the
+		// "dead" process mutating the directory while the successor
+		// recovers — a two-writers scenario the single-process model
+		// excludes. Online repair has its own suite (internal/chaos).
+		RepairPoll: -1,
+		FS:         cfs,
 	})
 	if err != nil {
 		t.Fatalf("Open: %v", err)

@@ -66,6 +66,17 @@ func (c *crashFS) armFailPath(substr string) {
 	c.failSubstr = substr
 }
 
+// disarm clears every armed fault without applying the loss model — the
+// device recovered while the process kept running.
+func (c *crashFS) disarm() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failAfter = -1
+	c.failOnce = false
+	c.failSubstr = ""
+	c.failed = false
+}
+
 // crash applies the loss model and clears the fault so recovery can run.
 func (c *crashFS) crash() {
 	c.mu.Lock()

@@ -87,6 +87,19 @@ type Options struct {
 	// SnapshotEvery cuts a background checkpoint (snapshot + WAL
 	// truncation) on this period; 0 disables periodic checkpoints.
 	SnapshotEvery time.Duration
+	// RepairPoll is how often the repair monitor scans for quarantined
+	// shards between fault notifications (default 250ms); a negative value
+	// disables the monitor (repairs only via RepairShard).
+	RepairPoll time.Duration
+	// RepairBackoff is the delay after a failed repair attempt before the
+	// next one; it doubles per consecutive failure up to RepairMaxBackoff
+	// with ±25% jitter (defaults 100ms and 5s).
+	RepairBackoff    time.Duration
+	RepairMaxBackoff time.Duration
+	// RepairAttempts is the crash-loop breaker: after this many
+	// consecutive failed repairs of one shard it stays down until an
+	// operator uncordons it (default 5).
+	RepairAttempts int
 	// Logf, when non-nil, receives recovery and checkpoint events.
 	Logf func(format string, args ...any)
 	// FS overrides the filesystem (crash tests); nil means the OS.
@@ -170,6 +183,18 @@ func Open(opts Options) (*Store, error) {
 	}
 	if opts.FsyncInterval == 0 {
 		opts.FsyncInterval = 10 * time.Millisecond
+	}
+	if opts.RepairPoll == 0 {
+		opts.RepairPoll = 250 * time.Millisecond
+	}
+	if opts.RepairBackoff == 0 {
+		opts.RepairBackoff = 100 * time.Millisecond
+	}
+	if opts.RepairMaxBackoff == 0 {
+		opts.RepairMaxBackoff = 5 * time.Second
+	}
+	if opts.RepairAttempts == 0 {
+		opts.RepairAttempts = 5
 	}
 	fs := opts.FS
 	if fs == nil {
@@ -269,9 +294,16 @@ func (st *Store) Commit(shardIdx int, ops []shard.MutOp) error {
 		// The pool fails this batch unexecuted, so its records must not
 		// stay in the log: rewind to the batch's start so no later batch
 		// chains past operations the live process never performed. If even
-		// the rewind cannot be made durable, the store fails closed.
+		// the rewind cannot be made durable, this shard's log no longer
+		// matches its execution — an unsafe per-shard durability fault. The
+		// error is marked ErrDurabilityFault so the pool quarantines the
+		// shard (and only it); the writer is poisoned so the background
+		// flusher cannot publish a head over the un-rewound tail before the
+		// repair worker rebuilds the shard and re-primes the log.
 		if rerr := w.rewind(preOff, preSeq, preChain); rerr != nil {
-			return st.fail(fmt.Errorf("commit on shard %d: %v; rewind: %v", shardIdx, err, rerr))
+			w.poisoned = true
+			return fmt.Errorf("%w: shard %d WAL rewind after failed commit: %v (commit: %v)",
+				shard.ErrDurabilityFault, shardIdx, rerr, err)
 		}
 		return err
 	}
@@ -454,6 +486,8 @@ func (st *Store) startBackground() {
 			for {
 				select {
 				case <-t.C:
+					// A degraded pool refuses checkpoints (shard.ErrPoolDegraded);
+					// the snapshotter just retries next period, after repair.
 					if err := st.Checkpoint(); err != nil && !errors.Is(err, ErrClosed) && st.opts.Logf != nil {
 						st.opts.Logf("checkpoint: %v", err)
 					}
@@ -462,6 +496,10 @@ func (st *Store) startBackground() {
 				}
 			}
 		}()
+	}
+	if st.opts.RepairPoll > 0 {
+		st.bg.Add(1)
+		go st.repairLoop()
 	}
 }
 

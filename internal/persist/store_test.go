@@ -35,7 +35,7 @@ func testCfg(shards int) shard.Config {
 }
 
 // openStore opens a Store on fs with background work disabled, so tests
-// control every sync and checkpoint.
+// control every sync, checkpoint and repair.
 func openStore(t *testing.T, fsys FS, p Policy) *Store {
 	t.Helper()
 	st, err := Open(Options{
@@ -43,6 +43,7 @@ func openStore(t *testing.T, fsys FS, p Policy) *Store {
 		Key:           testProcKey,
 		Fsync:         p,
 		FsyncInterval: time.Hour, // effectively never: tests flush explicitly
+		RepairPoll:    -1,        // no repair monitor: tests repair explicitly
 		FS:            fsys,
 		Logf:          t.Logf,
 	})
@@ -513,11 +514,14 @@ func TestCommitRewindAfterTransientFailure(t *testing.T) {
 	pool2.Close()
 }
 
-// TestCommitFailsClosedWhenRewindFails: if the failed batch cannot be
-// rewound out of the log either, the store must stop acknowledging
-// mutations entirely — otherwise recovery would replay operations the
-// live process never executed.
-func TestCommitFailsClosedWhenRewindFails(t *testing.T) {
+// TestCommitQuarantinesShardWhenRewindFails: if a failed batch cannot be
+// rewound out of the log either, that shard's log no longer matches its
+// execution — but the fault is the shard's alone. The shard quarantines
+// (refusing mutations AND reads, since nothing it serves can be trusted
+// to be re-derivable), every other shard keeps acking, and an online
+// repair rebuilds the shard from snapshot + WAL once the device recovers,
+// without a process restart.
+func TestCommitQuarantinesShardWhenRewindFails(t *testing.T) {
 	cfs := newCrashFS()
 	cfg := testCfg(2)
 	st1 := openStore(t, cfs, FsyncAlways)
@@ -527,35 +531,192 @@ func TestCommitFailsClosedWhenRewindFails(t *testing.T) {
 	}
 	acked := writeN(t, pool1, cfg, 0, 5)
 
-	cfs.armFail(2) // log sync fails, and so does everything after — rewind included
+	// Shard 1's log device dies: the append (or its sync) fails and the
+	// rewind cannot be made durable either — an unsafe durability fault
+	// confined to shard 1.
+	cfs.armFailPath("wal-001.log")
 	ctx := context.Background()
-	a := testAddr(1000, cfg)
-	if err := pool1.Write(ctx, a, testVal(1000), testMeta(a)); err == nil {
-		t.Fatal("write with failed log sync was acknowledged")
+	a := layout.Addr(layout.PageSize) // pool page 1 → shard 1
+	err = pool1.Write(ctx, a, testVal(1000), testMeta(a))
+	if !errors.Is(err, shard.ErrDurabilityFault) {
+		t.Fatalf("write error = %v, want shard.ErrDurabilityFault", err)
 	}
-	// The store is failed closed: every further mutation is refused…
-	b := testAddr(1001, cfg)
-	if err := pool1.Write(ctx, b, testVal(1001), testMeta(b)); err == nil {
-		t.Fatal("write on failed store was acknowledged")
+	if states := pool1.ShardStates(); states[1] != shard.StateQuarantined || states[0] != shard.StateServing {
+		t.Fatalf("states = %v, want shard 1 quarantined, shard 0 serving", states)
 	}
-	if err := st1.Checkpoint(); err == nil {
-		t.Fatal("checkpoint on failed store succeeded")
+
+	// The latched shard refuses with the typed error…
+	if err := pool1.Write(ctx, a, testVal(1001), testMeta(a)); !errors.Is(err, shard.ErrShardQuarantined) {
+		t.Fatalf("quarantined write error = %v, want shard.ErrShardQuarantined", err)
 	}
-	// …while reads keep working.
+	// …while shard 0 keeps acknowledging (its log is fine).
+	b := layout.Addr(0)
+	if err := pool1.Write(ctx, b, testVal(7), testMeta(b)); err != nil {
+		t.Fatalf("healthy shard write: %v", err)
+	}
+	acked[b] = testVal(7)
+
+	// A checkpoint would bake the degraded pool into a new epoch: refused.
+	if err := st1.Checkpoint(); !errors.Is(err, shard.ErrPoolDegraded) {
+		t.Fatalf("degraded checkpoint error = %v, want shard.ErrPoolDegraded", err)
+	}
+	// A repair with the device fault still armed fails and re-latches.
+	if err := st1.RepairShard(1); err == nil {
+		t.Fatal("repair with armed fault succeeded")
+	}
+	if pool1.ShardStates()[1] != shard.StateQuarantined {
+		t.Fatalf("state after failed repair = %v, want quarantined", pool1.ShardStates()[1])
+	}
+
+	// The device recovers; online repair rebuilds shard 1 from its last
+	// snapshot + WAL, re-verifies it, and swaps it back in.
+	cfs.disarm()
+	if err := st1.RepairShard(1); err != nil {
+		t.Fatalf("RepairShard after disarm: %v", err)
+	}
+	if pool1.ShardStates()[1] != shard.StateServing {
+		t.Fatalf("state after repair = %v, want serving", pool1.ShardStates()[1])
+	}
+	if err := pool1.Write(ctx, a, testVal(1002), testMeta(a)); err != nil {
+		t.Fatalf("write after repair: %v", err)
+	}
+	acked[a] = testVal(1002)
 	checkValues(t, pool1, acked)
+	if err := st1.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after repair: %v", err)
+	}
 	cfs.crash()
 
+	// Recovery agrees with the live view: exactly the acked values.
 	st2 := openStore(t, cfs, FsyncAlways)
-	pool2, info, err := st2.Recover(cfg)
+	pool2, _, err := st2.Recover(cfg)
 	if err != nil {
-		t.Fatalf("Recover after failed store: %v", err)
-	}
-	if info.WALRecords != 5 {
-		t.Fatalf("info = %+v, want the 5 acked records only", info)
+		t.Fatalf("Recover after repaired run: %v", err)
 	}
 	checkValues(t, pool2, acked)
 	st2.Close()
 	pool2.Close()
+}
+
+// monitorStore opens a store with a fast repair monitor for the
+// background-healing tests.
+func monitorStore(t *testing.T, fsys FS, attempts int) *Store {
+	t.Helper()
+	st, err := Open(Options{
+		Dir:              "data",
+		Key:              testProcKey,
+		Fsync:            FsyncAlways,
+		FsyncInterval:    time.Hour,
+		RepairPoll:       2 * time.Millisecond,
+		RepairBackoff:    time.Millisecond,
+		RepairMaxBackoff: 4 * time.Millisecond,
+		RepairAttempts:   attempts,
+		FS:               fsys,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st
+}
+
+// waitShardState polls until shard i reaches want or the deadline passes.
+func waitShardState(t *testing.T, pool *shard.Pool, i int, want shard.ShardState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pool.ShardStates()[i] == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("shard %d stuck in %v, want %v", i, pool.ShardStates()[i], want)
+}
+
+// TestRepairMonitorHealsQuarantinedShard: the background monitor retries
+// a failing repair with backoff and heals the shard as soon as the
+// device recovers — no manual intervention, no restart.
+func TestRepairMonitorHealsQuarantinedShard(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+	st := monitorStore(t, cfs, 1000) // breaker out of the way
+	pool, _, err := st.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer pool.Close()
+	defer st.Close() // before pool.Close, and on every failure path: the
+	// monitor goroutine must stop before the test (and its t.Logf) ends
+	acked := writeN(t, pool, cfg, 0, 5)
+
+	cfs.armFailPath("wal-001.log")
+	ctx := context.Background()
+	a := layout.Addr(layout.PageSize)
+	if err := pool.Write(ctx, a, testVal(1000), testMeta(a)); !errors.Is(err, shard.ErrDurabilityFault) {
+		t.Fatalf("write error = %v, want shard.ErrDurabilityFault", err)
+	}
+	// Let the monitor fail a few attempts against the armed fault, then
+	// recover the device and wait for the online heal. Mid-attempt the
+	// state legitimately reads "repairing"; it must just never be serving.
+	time.Sleep(20 * time.Millisecond)
+	if s := pool.ShardStates()[1]; s == shard.StateServing {
+		t.Fatal("shard healed while its log device was still failing")
+	}
+	cfs.disarm()
+	waitShardState(t, pool, 1, shard.StateServing)
+
+	if err := pool.Write(ctx, a, testVal(1001), testMeta(a)); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	acked[a] = testVal(1001)
+	checkValues(t, pool, acked)
+}
+
+// TestRepairBreakerTripsShardStaysDown: a persistently failing repair
+// trips the crash-loop breaker — the shard stays down, the pool stays up
+// — and an operator uncordon routes the shard back through quarantine
+// for the monitor to heal once the fault is gone.
+func TestRepairBreakerTripsShardStaysDown(t *testing.T) {
+	cfs := newCrashFS()
+	cfg := testCfg(2)
+	st := monitorStore(t, cfs, 2) // trip after two failed attempts
+	pool, _, err := st.Recover(cfg)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer pool.Close()
+	defer st.Close()
+	acked := writeN(t, pool, cfg, 0, 5)
+
+	cfs.armFailPath("wal-001.log")
+	ctx := context.Background()
+	a := layout.Addr(layout.PageSize)
+	if err := pool.Write(ctx, a, testVal(1000), testMeta(a)); !errors.Is(err, shard.ErrDurabilityFault) {
+		t.Fatalf("write error = %v, want shard.ErrDurabilityFault", err)
+	}
+	waitShardState(t, pool, 1, shard.StateDown)
+
+	// The pool stays up: shard 0 still serves and acks.
+	b := layout.Addr(0)
+	if err := pool.Write(ctx, b, testVal(7), testMeta(b)); err != nil {
+		t.Fatalf("healthy shard write with shard 1 down: %v", err)
+	}
+	acked[b] = testVal(7)
+	// Down means down: no repair claims until an operator steps in.
+	if err := st.RepairShard(1); err == nil {
+		t.Fatal("RepairShard succeeded on a down shard")
+	}
+
+	cfs.disarm()
+	if err := pool.Uncordon(1); err != nil {
+		t.Fatalf("Uncordon: %v", err)
+	}
+	waitShardState(t, pool, 1, shard.StateServing)
+	if err := pool.Write(ctx, a, testVal(1001), testMeta(a)); err != nil {
+		t.Fatalf("write after uncordon heal: %v", err)
+	}
+	acked[a] = testVal(1001)
+	checkValues(t, pool, acked)
 }
 
 // TestCheckpointFailsClosedAfterDurableAnchor: once the new epoch's

@@ -306,6 +306,11 @@ type walWriter struct {
 	syncedSeq uint64 // last seq covered by a durable head
 	headSlot  int    // slot the next head write targets
 	scratch   []byte
+
+	// poisoned marks a writer whose in-memory position no longer matches
+	// the file (a rewind failed). Nothing may be published from it until a
+	// shard repair re-primes it from the durable state.
+	poisoned bool
 }
 
 // append frames recs onto the file. Callers holding the batch are
@@ -350,6 +355,12 @@ func (w *walWriter) rewind(off int64, seq uint64, chain [sealSize]byte) error {
 // committed position into the head file. WAL data is always synced before
 // the head, so the sealed head never claims records the log lost.
 func (w *walWriter) syncAndPublish() error {
+	if w.poisoned {
+		// The in-memory position is a lie; sealing a head from it could
+		// commit records of a batch the pool refused. The shard is
+		// quarantined and repair will re-prime this writer.
+		return nil
+	}
 	if w.seq == w.syncedSeq {
 		return nil
 	}
@@ -399,6 +410,7 @@ func (w *walWriter) reset(epoch uint64) error {
 	w.syncedSeq = 0
 	w.chain = chainSeed(w.key, epoch, w.shardIdx)
 	w.crypt = newWALCrypt(w.dataKey, epoch, w.shardIdx)
+	w.poisoned = false
 	return w.writeHead()
 }
 

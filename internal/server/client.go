@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -16,9 +17,10 @@ import (
 // It is not safe for concurrent use; closed-loop load generators open one
 // Client per worker.
 type Client struct {
-	conn net.Conn
-	bw   *bufio.Writer
-	br   *bufio.Reader
+	conn       net.Conn
+	bw         *bufio.Writer
+	br         *bufio.Reader
+	deadlineUS uint32
 }
 
 // Dial connects to a secmemd server.
@@ -33,8 +35,30 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetRequestDeadline stamps every subsequent request with a per-request
+// execution budget; the server uses min(budget, its own timeout).
+// 0 restores the server default. Budgets are capped at ~71 minutes by
+// the wire format's microsecond field.
+func (c *Client) SetRequestDeadline(d time.Duration) {
+	if d <= 0 {
+		c.deadlineUS = 0
+		return
+	}
+	us := d.Microseconds()
+	if us <= 0 {
+		us = 1
+	}
+	if us > int64(^uint32(0)) {
+		us = int64(^uint32(0))
+	}
+	c.deadlineUS = uint32(us)
+}
+
 // Do sends one request and reads its response.
 func (c *Client) Do(q *Request) (*Response, error) {
+	if q.DeadlineUS == 0 {
+		q.DeadlineUS = c.deadlineUS
+	}
 	if err := EncodeRequest(c.bw, q); err != nil {
 		return nil, err
 	}
@@ -53,6 +77,14 @@ type StatusError struct {
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("server: %s: %s: %s", e.Op, e.Status, e.Msg)
+}
+
+// Retryable reports whether err is a transient *StatusError (timeout,
+// overloaded, quarantined): the request was not executed and a backoff
+// retry can reasonably succeed.
+func Retryable(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Status.Retryable()
 }
 
 // check converts a non-OK response into a *StatusError.
@@ -161,4 +193,22 @@ func (c *Client) Hibernate() error {
 		return err
 	}
 	return check(OpHibernate, p)
+}
+
+// Cordon takes shard i out of service (operator control).
+func (c *Client) Cordon(i int) error {
+	p, err := c.Do(&Request{Op: OpCordon, Addr: uint64(i)})
+	if err != nil {
+		return err
+	}
+	return check(OpCordon, p)
+}
+
+// Uncordon routes a down shard back through quarantine and repair.
+func (c *Client) Uncordon(i int) error {
+	p, err := c.Do(&Request{Op: OpUncordon, Addr: uint64(i)})
+	if err != nil {
+		return err
+	}
+	return check(OpUncordon, p)
 }

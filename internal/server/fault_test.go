@@ -1,0 +1,302 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+)
+
+// TestSlowClientGetsTypedErrorFrame: a client that starts a frame and
+// then stalls must not pin the connection goroutine. The server stops
+// reading at FrameTimeout, answers with a StatusSlowClient error frame,
+// and closes the connection — a typed goodbye, not a bare TCP reset.
+func TestSlowClientGetsTypedErrorFrame(t *testing.T) {
+	pool := newServerTestPool(t)
+	srv := New(pool, Options{Timeout: 2 * time.Second, FrameTimeout: 150 * time.Millisecond, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer shutdownServer(t, srv, serveDone)
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	// Promise a 64-byte frame body, deliver only the first 10 bytes.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 64)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatalf("write header: %v", err)
+	}
+	partial := make([]byte, 10)
+	partial[0] = byte(OpWrite)
+	if _, err := conn.Write(partial); err != nil {
+		t.Fatalf("write partial body: %v", err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	p, err := DecodeResponse(conn)
+	if err != nil {
+		t.Fatalf("expected a typed error frame, got read error: %v", err)
+	}
+	if p.Status != StatusSlowClient {
+		t.Fatalf("status = %s, want %s", p.Status, StatusSlowClient)
+	}
+	if p.Status.Retryable() {
+		t.Fatal("slow-client must not be marked retryable")
+	}
+	// After the goodbye frame the server hangs up.
+	if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Fatalf("connection still open after slow-client frame: %v", err)
+	}
+
+	// A healthy client on the same server is unaffected.
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	defer c.Close()
+	if err := c.Write(64, []byte("still serving"), core.Meta{}); err != nil {
+		t.Fatalf("write after slow client: %v", err)
+	}
+}
+
+// TestOverloadSheds: with MaxInflight=1 and one request parked, the next
+// request is shed immediately with the retryable StatusOverloaded —
+// admission control answers fast instead of queueing without bound.
+func TestOverloadSheds(t *testing.T) {
+	srv := NewGated(Options{Timeout: 5 * time.Second, MaxInflight: 1, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer shutdownServer(t, srv, serveDone)
+
+	// Occupy the single inflight slot: a gated server parks the dispatch
+	// until Publish, holding the admission token the whole time.
+	c1, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial 1: %v", err)
+	}
+	defer c1.Close()
+	parked := make(chan error, 1)
+	go func() { parked <- c1.Write(0, []byte("first"), core.Meta{}) }()
+
+	// Wait until the first request holds the token.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.inflight) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never acquired the inflight token")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c2, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	defer c2.Close()
+	start := time.Now()
+	err = c2.Write(0, []byte("second"), core.Meta{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != StatusOverloaded {
+		t.Fatalf("second write err = %v, want StatusOverloaded", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("overloaded must be retryable")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("shed took %v, want fast-fail", elapsed)
+	}
+	if srv.shed.Load() == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+
+	srv.Publish(newServerTestPool(t))
+	if err := <-parked; err != nil {
+		t.Fatalf("parked write after Publish: %v", err)
+	}
+	// With the token free again, the shed client retries successfully.
+	if err := c2.Write(0, []byte("second retry"), core.Meta{}); err != nil {
+		t.Fatalf("retry after shed: %v", err)
+	}
+}
+
+// TestQuarantinedStatusOverWire: requests to a latched shard map to the
+// retryable StatusQuarantined, other shards keep serving, the health
+// probe reports the degradation, and uncordon heals it.
+func TestQuarantinedStatusOverWire(t *testing.T) {
+	pool := newServerTestPool(t)
+	srv := New(pool, Options{Timeout: 2 * time.Second, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer shutdownServer(t, srv, serveDone)
+
+	hs := httptest.NewServer(srv.HealthHandler())
+	defer hs.Close()
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetRequestDeadline(time.Second)
+
+	// Page 0 → shard 0, page 1 → shard 1.
+	shard1Addr := layout.Addr(layout.PageSize)
+	if err := c.Write(0, []byte("shard zero"), core.Meta{}); err != nil {
+		t.Fatalf("write shard 0: %v", err)
+	}
+	if err := c.Write(shard1Addr, []byte("shard one"), core.Meta{}); err != nil {
+		t.Fatalf("write shard 1: %v", err)
+	}
+
+	if err := c.Cordon(0); err != nil {
+		t.Fatalf("cordon: %v", err)
+	}
+	err = c.Write(0, []byte("refused"), core.Meta{})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != StatusQuarantined {
+		t.Fatalf("write to cordoned shard: err = %v, want StatusQuarantined", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("quarantined must be retryable")
+	}
+	if _, err := c.Read(0, 5, core.Meta{}); !Retryable(err) {
+		t.Fatalf("read on cordoned shard: %v, want retryable", err)
+	}
+	// The other fault domain is untouched.
+	if got, err := c.Read(shard1Addr, 9, core.Meta{}); err != nil || string(got) != "shard one" {
+		t.Fatalf("shard 1 read = %q, %v", got, err)
+	}
+
+	h := probeHealth(t, hs.URL+"/readyz")
+	if !h.Ready || !h.Degraded {
+		t.Fatalf("health = %+v, want ready (one shard serving) and degraded", h)
+	}
+	if h.Shards[0].State != "down" || h.Shards[0].Kind != "operator" {
+		t.Fatalf("shard 0 health = %+v, want down/operator", h.Shards[0])
+	}
+	if h.Shards[1].State != "serving" {
+		t.Fatalf("shard 1 health = %+v, want serving", h.Shards[1])
+	}
+
+	// Uncordon: no durability layer is attached, so the pool re-verifies
+	// the shard in place and it serves again — with its data intact.
+	if err := c.Uncordon(0); err != nil {
+		t.Fatalf("uncordon: %v", err)
+	}
+	if got, err := c.Read(0, 10, core.Meta{}); err != nil || string(got) != "shard zero" {
+		t.Fatalf("read after uncordon = %q, %v", got, err)
+	}
+	if h := probeHealth(t, hs.URL+"/readyz"); h.Degraded {
+		t.Fatalf("health after heal = %+v, want not degraded", h)
+	}
+}
+
+// TestPerRequestDeadline: a client's DeadlineUS tightens the server
+// timeout, so a parked request fails in the client's budget, not the
+// server's much larger default.
+func TestPerRequestDeadline(t *testing.T) {
+	srv := NewGated(Options{Timeout: 30 * time.Second, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer shutdownServer(t, srv, serveDone)
+
+	// The gated server also reports recovery-pending until published.
+	hs := httptest.NewServer(srv.HealthHandler())
+	defer hs.Close()
+	if h := probeHealth(t, hs.URL+"/readyz"); h.Ready || len(h.Shards) != 1 || h.Shards[0].State != "recovery-pending" {
+		t.Fatalf("gated health = %+v, want not-ready recovery-pending", h)
+	}
+
+	c, err := Dial(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetRequestDeadline(100 * time.Millisecond)
+	start := time.Now()
+	err = c.Write(0, []byte("never lands"), core.Meta{})
+	elapsed := time.Since(start)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != StatusTimeout {
+		t.Fatalf("gated write err = %v, want StatusTimeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: request took %v with a 100ms budget", elapsed)
+	}
+}
+
+// newServerTestPool builds the standard 2-shard pool used by server tests.
+func newServerTestPool(t *testing.T) *shard.Pool {
+	t.Helper()
+	pool, err := shard.New(shard.Config{
+		Shards: 2,
+		Core: core.Config{
+			DataBytes:  2 * 8 * layout.PageSize,
+			Key:        []byte("0123456789abcdef"),
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  8,
+		},
+	})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	return pool
+}
+
+// shutdownServer drains srv and checks Serve exited with ErrServerClosed.
+func shutdownServer(t *testing.T, srv *Server, serveDone chan error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// probeHealth GETs a health endpoint and decodes its JSON body.
+func probeHealth(t *testing.T, url string) Health {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("probe %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("probe %s: decode: %v", url, err)
+	}
+	return h
+}

@@ -15,6 +15,10 @@ func FuzzRequestRoundTrip(f *testing.F) {
 		{Op: OpWrite, Addr: 64, Virt: 1 << 40, PID: 9, Data: []byte("hello")},
 		{Op: OpSwapIn, Addr: 8192, Slot: 3, Data: bytes.Repeat([]byte{1}, 64)},
 		{Op: OpHibernate},
+		{Op: OpRead, Addr: 4096, Count: 64, DeadlineUS: 250_000},
+		{Op: OpWrite, Addr: 64, Data: []byte("d"), DeadlineUS: ^uint32(0)},
+		{Op: OpCordon, Addr: 1},
+		{Op: OpUncordon, Addr: 1},
 	} {
 		var buf bytes.Buffer
 		if err := EncodeRequest(&buf, q); err != nil {
@@ -22,7 +26,12 @@ func FuzzRequestRoundTrip(f *testing.F) {
 		}
 		seed = append(seed, buf.Bytes()[4:]) // frame body without the length prefix
 	}
-	seed = append(seed, []byte{}, []byte{0}, bytes.Repeat([]byte{0xff}, reqHeaderLen))
+	seed = append(seed,
+		[]byte{}, []byte{0},
+		bytes.Repeat([]byte{0xff}, reqHeaderLen),
+		// A legacy deadline-less header (4 bytes short) must be rejected
+		// cleanly, never sliced out of range.
+		append([]byte{byte(OpRead)}, make([]byte, reqHeaderLen-5)...))
 	for _, s := range seed {
 		f.Add(s)
 	}
@@ -52,11 +61,19 @@ func FuzzRequestRoundTrip(f *testing.F) {
 
 // FuzzResponseDecode feeds arbitrary frames to the response decoder.
 func FuzzResponseDecode(f *testing.F) {
-	var ok bytes.Buffer
-	EncodeResponse(&ok, &Response{Status: StatusOK, Data: []byte("x")})
-	f.Add(ok.Bytes())
+	for _, p := range []*Response{
+		{Status: StatusOK, Data: []byte("x")},
+		{Status: StatusOverloaded, Data: []byte("server: 1024 requests in flight")},
+		{Status: StatusQuarantined, Data: []byte("shard 1 quarantined (integrity)")},
+		{Status: StatusSlowClient, Data: []byte("frame not completed within 10s")},
+	} {
+		var buf bytes.Buffer
+		EncodeResponse(&buf, p)
+		f.Add(buf.Bytes())
+	}
 	f.Add([]byte{0, 0, 0, 1, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 1, byte(StatusSlowClient) + 1}) // just past the last status
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		p, err := DecodeResponse(bytes.NewReader(frame))
 		if err != nil {

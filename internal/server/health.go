@@ -1,0 +1,86 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"aisebmt/internal/shard"
+)
+
+// Health is the server's probe snapshot: overall liveness is implicit
+// (the handler answered), readiness means the pool is published and at
+// least one shard is serving, and Shards reports each fault domain's
+// state so an operator or orchestrator can see a partial degradation
+// without parsing logs.
+type Health struct {
+	Ready    bool          `json:"ready"`
+	Degraded bool          `json:"degraded"`
+	Shed     uint64        `json:"shed_requests"`
+	Shards   []ShardHealth `json:"shards"`
+}
+
+// ShardHealth is one shard's fault-domain state. State is one of
+// "serving", "quarantined", "repairing", "down", or "recovery-pending"
+// (the server is still gated on crash recovery and no pool exists yet).
+type ShardHealth struct {
+	Shard int    `json:"shard"`
+	State string `json:"state"`
+	Kind  string `json:"kind,omitempty"`  // fault kind when latched
+	Fault string `json:"fault,omitempty"` // latched cause, human-readable
+}
+
+// Health reports the server's current probe snapshot.
+func (s *Server) Health() Health {
+	h := Health{Shed: s.shed.Load()}
+	select {
+	case <-s.ready:
+	default:
+		// Gated: recovery is still replaying the WAL; every shard is
+		// pending and the server is not ready for traffic.
+		return Health{Shards: []ShardHealth{{State: "recovery-pending"}}, Shed: h.Shed}
+	}
+	for i, st := range s.pool.ShardStates() {
+		sh := ShardHealth{Shard: i, State: st.String()}
+		if kind, cause := s.pool.ShardFault(i); cause != nil {
+			sh.Kind = kind.String()
+			sh.Fault = cause.Error()
+		}
+		if st == shard.StateServing {
+			h.Ready = true
+		} else {
+			h.Degraded = true
+		}
+		h.Shards = append(h.Shards, sh)
+	}
+	return h
+}
+
+// HealthHandler returns an http.Handler serving the probe endpoints:
+//
+//	/healthz — liveness: always 200 while the process can answer.
+//	/readyz  — readiness: 200 once the pool is published and at least
+//	           one shard is serving, 503 otherwise. The body is the
+//	           same Health JSON either way.
+//
+// cmd/secmemd mounts it on a sidecar listener so probes don't compete
+// with the data plane for wire-protocol connections.
+func (s *Server) HealthHandler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, code int, h Health) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(h)
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Health())
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		code := http.StatusOK
+		if !h.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+	return mux
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aisebmt/internal/core"
@@ -19,8 +21,19 @@ import (
 // Options tunes a Server. The zero value is usable.
 type Options struct {
 	// Timeout bounds each request's execution (queueing included);
-	// 0 means 5s.
+	// 0 means 5s. A request's wire deadline (Request.DeadlineUS) can only
+	// tighten this, never extend it.
 	Timeout time.Duration
+	// FrameTimeout bounds how long a client may take to deliver one
+	// request frame once its first byte has arrived; 0 means 10s. A
+	// client that stalls mid-frame is answered with StatusSlowClient and
+	// disconnected instead of pinning a connection goroutine forever.
+	FrameTimeout time.Duration
+	// MaxInflight bounds concurrently executing requests across all
+	// connections (admission control); 0 means 1024, negative disables
+	// shedding. Excess requests are answered immediately with
+	// StatusOverloaded rather than queueing without bound.
+	MaxInflight int
 	// HibernatePath is where OpHibernate writes the pool image;
 	// "" means "secmemd.hib".
 	HibernatePath string
@@ -45,6 +58,10 @@ type Server struct {
 	// first byte goes out the moment the recovered pool is published).
 	ready chan struct{}
 
+	// inflight is the admission-control semaphore; nil disables shedding.
+	inflight chan struct{}
+	shed     atomic.Uint64
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -67,10 +84,20 @@ func NewGated(opts Options) *Server {
 	if opts.Timeout == 0 {
 		opts.Timeout = 5 * time.Second
 	}
+	if opts.FrameTimeout == 0 {
+		opts.FrameTimeout = 10 * time.Second
+	}
+	if opts.MaxInflight == 0 {
+		opts.MaxInflight = 1024
+	}
 	if opts.HibernatePath == "" {
 		opts.HibernatePath = "secmemd.hib"
 	}
-	return &Server{opts: opts, ready: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	s := &Server{opts: opts, ready: make(chan struct{}), conns: make(map[net.Conn]struct{})}
+	if opts.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInflight)
+	}
+	return s
 }
 
 // Publish installs the pool and releases every gated request. It must be
@@ -181,6 +208,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
+	br := bufio.NewReader(conn)
 	for {
 		s.mu.Lock()
 		draining := s.draining
@@ -188,15 +216,49 @@ func (s *Server) serveConn(conn net.Conn) {
 		if draining {
 			return
 		}
+		// Waiting for the next request may take forever (idle connections
+		// are fine; Shutdown nudges them out via a read deadline). But once
+		// a frame's first byte arrives, the rest must follow within
+		// FrameTimeout: a client stalling mid-frame is told so with a typed
+		// error frame and disconnected, instead of pinning this goroutine
+		// indefinitely and ending in a bare TCP reset.
 		conn.SetReadDeadline(time.Time{})
-		q, err := DecodeRequest(conn)
-		if err != nil {
+		if _, err := br.Peek(1); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, os.ErrDeadlineExceeded) && s.opts.Logf != nil {
 				s.opts.Logf("conn %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		resp := s.dispatch(q)
+		conn.SetReadDeadline(time.Now().Add(s.opts.FrameTimeout))
+		q, err := DecodeRequest(br)
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				conn.SetWriteDeadline(time.Now().Add(s.opts.FrameTimeout))
+				EncodeResponse(conn, fail(StatusSlowClient,
+					fmt.Errorf("server: request frame not completed within %s", s.opts.FrameTimeout)))
+				if s.opts.Logf != nil {
+					s.opts.Logf("conn %s: slow client: frame not completed within %s", conn.RemoteAddr(), s.opts.FrameTimeout)
+				}
+			} else if !errors.Is(err, io.EOF) && s.opts.Logf != nil {
+				s.opts.Logf("conn %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		// Admission control: a full server sheds instead of queueing
+		// without bound — the client gets a fast, retryable answer.
+		var resp *Response
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				resp = s.dispatch(q)
+				<-s.inflight
+			default:
+				s.shed.Add(1)
+				resp = fail(StatusOverloaded, fmt.Errorf("server: %d requests in flight", cap(s.inflight)))
+			}
+		} else {
+			resp = s.dispatch(q)
+		}
 		if err := EncodeResponse(conn, resp); err != nil {
 			if s.opts.Logf != nil {
 				s.opts.Logf("conn %s: write: %v", conn.RemoteAddr(), err)
@@ -209,7 +271,13 @@ func (s *Server) serveConn(conn net.Conn) {
 // dispatch executes one request against the pool, waiting out recovery
 // first if the server is gated.
 func (s *Server) dispatch(q *Request) *Response {
-	ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout)
+	d := s.opts.Timeout
+	if q.DeadlineUS > 0 {
+		if cd := time.Duration(q.DeadlineUS) * time.Microsecond; cd < d {
+			d = cd
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
 	select {
 	case <-s.ready:
@@ -270,6 +338,16 @@ func (s *Server) dispatch(q *Request) *Response {
 			return fail(classify(err), err)
 		}
 		return &Response{Status: StatusOK}
+	case OpCordon:
+		if err := s.pool.Cordon(int(q.Addr)); err != nil {
+			return fail(StatusBadRequest, err)
+		}
+		return &Response{Status: StatusOK}
+	case OpUncordon:
+		if err := s.pool.Uncordon(int(q.Addr)); err != nil {
+			return fail(StatusBadRequest, err)
+		}
+		return &Response{Status: StatusOK}
 	case OpHibernate:
 		if s.opts.Checkpoint != nil {
 			path, n, err := s.opts.Checkpoint()
@@ -323,6 +401,8 @@ func fail(st Status, err error) *Response {
 // classify maps pool/core errors to wire statuses.
 func classify(err error) Status {
 	switch {
+	case errors.Is(err, shard.ErrShardQuarantined):
+		return StatusQuarantined
 	case errors.Is(err, core.ErrTampered):
 		return StatusTampered
 	case errors.Is(err, core.ErrUnsupported):

@@ -25,6 +25,11 @@ const (
 	OpSwapOut
 	OpSwapIn
 	OpHibernate
+	// OpCordon / OpUncordon are operator controls over one shard's fault
+	// domain (Addr carries the shard index): cordon takes the shard out of
+	// service, uncordon routes it back through quarantine and repair.
+	OpCordon
+	OpUncordon
 )
 
 func (o Op) String() string {
@@ -45,6 +50,10 @@ func (o Op) String() string {
 		return "swapin"
 	case OpHibernate:
 		return "hibernate"
+	case OpCordon:
+		return "cordon"
+	case OpUncordon:
+		return "uncordon"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -61,6 +70,18 @@ const (
 	StatusBadRequest
 	StatusTimeout
 	StatusInternal
+	// StatusOverloaded: admission control shed the request before it
+	// queued; nothing was executed. Retry with backoff.
+	StatusOverloaded
+	// StatusQuarantined: the addressed shard is latched out of service
+	// (integrity or durability fault, or an operator cordon) and nothing
+	// was executed; other shards are unaffected. Retry with backoff —
+	// online repair usually brings the shard back.
+	StatusQuarantined
+	// StatusSlowClient: the client failed to deliver a complete request
+	// frame within the server's frame timeout; the server closes the
+	// connection after sending this.
+	StatusSlowClient
 )
 
 func (s Status) String() string {
@@ -77,8 +98,27 @@ func (s Status) String() string {
 		return "timeout"
 	case StatusInternal:
 		return "error"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusQuarantined:
+		return "quarantined"
+	case StatusSlowClient:
+		return "slow-client"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Retryable reports whether the status is transient — the request was
+// not executed and a retry with backoff can reasonably succeed. Every
+// other non-OK status is fatal for the request (tampered, unsupported,
+// malformed) and retrying it verbatim cannot help.
+func (s Status) Retryable() bool {
+	switch s {
+	case StatusTimeout, StatusOverloaded, StatusQuarantined:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -87,8 +127,8 @@ func (s Status) String() string {
 const MaxFrame = 1 << 20
 
 // reqHeaderLen is the fixed request body prefix: op(1) + addr(8) +
-// virt(8) + pid(4) + count(4) + slot(4).
-const reqHeaderLen = 1 + 8 + 8 + 4 + 4 + 4
+// virt(8) + pid(4) + count(4) + slot(4) + deadline(4).
+const reqHeaderLen = 1 + 8 + 8 + 4 + 4 + 4 + 4
 
 // Request is one wire request. All operations share a fixed header;
 // fields an operation does not use are zero. Data carries the payload for
@@ -100,7 +140,12 @@ type Request struct {
 	PID   uint32 // Meta.PID for read/write
 	Count uint32 // byte count for reads
 	Slot  uint32 // directory slot for swapout/swapin
-	Data  []byte
+	// DeadlineUS is the client's budget for this request in microseconds;
+	// the server uses min(DeadlineUS, its own timeout) as the execution
+	// deadline. 0 means "server default". ~71 minutes is the ceiling,
+	// far above any sane per-request budget.
+	DeadlineUS uint32
+	Data       []byte
 }
 
 // Response is one wire response. Data carries read plaintext, an encoded
@@ -151,6 +196,7 @@ func EncodeRequest(w io.Writer, q *Request) error {
 	binary.BigEndian.PutUint32(body[17:21], q.PID)
 	binary.BigEndian.PutUint32(body[21:25], q.Count)
 	binary.BigEndian.PutUint32(body[25:29], q.Slot)
+	binary.BigEndian.PutUint32(body[29:33], q.DeadlineUS)
 	copy(body[reqHeaderLen:], q.Data)
 	return writeFrame(w, body)
 }
@@ -170,14 +216,15 @@ func parseRequest(body []byte) (*Request, error) {
 		return nil, fmt.Errorf("server: request frame of %d bytes is shorter than the %d-byte header", len(body), reqHeaderLen)
 	}
 	q := &Request{
-		Op:    Op(body[0]),
-		Addr:  binary.BigEndian.Uint64(body[1:9]),
-		Virt:  binary.BigEndian.Uint64(body[9:17]),
-		PID:   binary.BigEndian.Uint32(body[17:21]),
-		Count: binary.BigEndian.Uint32(body[21:25]),
-		Slot:  binary.BigEndian.Uint32(body[25:29]),
+		Op:         Op(body[0]),
+		Addr:       binary.BigEndian.Uint64(body[1:9]),
+		Virt:       binary.BigEndian.Uint64(body[9:17]),
+		PID:        binary.BigEndian.Uint32(body[17:21]),
+		Count:      binary.BigEndian.Uint32(body[21:25]),
+		Slot:       binary.BigEndian.Uint32(body[25:29]),
+		DeadlineUS: binary.BigEndian.Uint32(body[29:33]),
 	}
-	if q.Op < OpRead || q.Op > OpHibernate {
+	if q.Op < OpRead || q.Op > OpUncordon {
 		return nil, fmt.Errorf("server: unknown op %d", body[0])
 	}
 	if len(body) > reqHeaderLen {
@@ -203,7 +250,7 @@ func DecodeResponse(r io.Reader) (*Response, error) {
 	if len(body) < 1 {
 		return nil, fmt.Errorf("server: empty response frame")
 	}
-	if Status(body[0]) > StatusInternal {
+	if Status(body[0]) > StatusSlowClient {
 		return nil, fmt.Errorf("server: unknown status %d", body[0])
 	}
 	p := &Response{Status: Status(body[0])}

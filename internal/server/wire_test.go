@@ -19,6 +19,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpSwapOut, Addr: 0x2000, Slot: 7},
 		{Op: OpSwapIn, Addr: 0x3000, Slot: 9, Data: bytes.Repeat([]byte{0xab}, imageFixedLen)},
 		{Op: OpHibernate},
+		{Op: OpRead, Addr: 0x1000, Count: 64, DeadlineUS: 500_000},
+		{Op: OpCordon, Addr: 1},
+		{Op: OpUncordon, Addr: 1},
 	}
 	for _, q := range cases {
 		var buf bytes.Buffer
@@ -41,6 +44,9 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Status: StatusOK, Data: []byte("plaintext")},
 		{Status: StatusTampered, Data: []byte("core: integrity verification failed")},
 		{Status: StatusTimeout, Data: []byte("context deadline exceeded")},
+		{Status: StatusOverloaded, Data: []byte("server: 1024 requests in flight")},
+		{Status: StatusQuarantined, Data: []byte("shard 1: quarantined (integrity)")},
+		{Status: StatusSlowClient, Data: []byte("request frame not completed within 10s")},
 	}
 	for _, p := range cases {
 		var buf bytes.Buffer
@@ -89,6 +95,25 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	writeFrame(&e, nil)
 	if _, err := DecodeResponse(&e); err == nil {
 		t.Fatal("empty response accepted")
+	}
+	// Legacy header without the deadline field (4 bytes short).
+	var l bytes.Buffer
+	writeFrame(&l, append([]byte{byte(OpRead)}, make([]byte, reqHeaderLen-5)...))
+	if _, err := DecodeRequest(&l); err == nil {
+		t.Fatal("legacy deadline-less header accepted")
+	}
+}
+
+func TestStatusRetryable(t *testing.T) {
+	retryable := map[Status]bool{
+		StatusTimeout:     true,
+		StatusOverloaded:  true,
+		StatusQuarantined: true,
+	}
+	for s := StatusOK; s <= StatusSlowClient; s++ {
+		if got := s.Retryable(); got != retryable[s] {
+			t.Errorf("%s.Retryable() = %v, want %v", s, got, retryable[s])
+		}
 	}
 }
 

@@ -88,14 +88,22 @@ func (p *Pool) ReplayOp(shard int, op MutOp) error {
 	sh := p.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	return ApplyOp(sh.sm, op)
+}
+
+// ApplyOp applies one mutating operation to a bare controller — the
+// replay primitive shared by recovery (via ReplayOp) and online shard
+// repair, which rebuilds a quarantined shard's controller off to the side
+// before adopting it into the pool.
+func ApplyOp(sm *core.SecureMemory, op MutOp) error {
 	switch op.Kind {
 	case MutWrite:
-		return sh.sm.Write(op.Addr, op.Data, core.Meta{VirtAddr: op.Virt, PID: op.PID})
+		return sm.Write(op.Addr, op.Data, core.Meta{VirtAddr: op.Virt, PID: op.PID})
 	case MutSwapOut:
-		_, err := sh.sm.SwapOut(op.Addr, op.Slot)
+		_, err := sm.SwapOut(op.Addr, op.Slot)
 		return err
 	case MutSwapIn:
-		return sh.sm.SwapIn(op.Img, op.Addr, op.Slot)
+		return sm.SwapIn(op.Img, op.Addr, op.Slot)
 	default:
 		return fmt.Errorf("shard: replay: unknown op kind %d", op.Kind)
 	}

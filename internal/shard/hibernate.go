@@ -28,6 +28,11 @@ func (p *Pool) Hibernate(w io.Writer) ([]core.ChipState, error) {
 // in the same consistent instant — no batch can commit between the
 // snapshot cut and the log reset. A commit error is returned as-is; the
 // pool itself is unaffected either way.
+//
+// Checkpoint refuses with ErrPoolDegraded while any shard is latched: a
+// snapshot cut then would bake unverified (possibly tampered) memory into
+// the new epoch and destroy the very state a repair needs, so the
+// previous epoch stays authoritative until the pool heals.
 func (p *Pool) Checkpoint(w io.Writer, commit func(chips []core.ChipState) error) ([]core.ChipState, error) {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
@@ -37,6 +42,11 @@ func (p *Pool) Checkpoint(w io.Writer, commit func(chips []core.ChipState) error
 			sh.mu.Unlock()
 		}
 	}()
+	for i, sh := range p.shards {
+		if st := sh.fault.load(); st != StateServing {
+			return nil, fmt.Errorf("%w: shard %d is %s", ErrPoolDegraded, i, st)
+		}
+	}
 
 	if _, err := w.Write(hibMagic[:]); err != nil {
 		return nil, err
@@ -67,6 +77,37 @@ func (p *Pool) Checkpoint(w io.Writer, commit func(chips []core.ChipState) error
 		}
 	}
 	return chips, nil
+}
+
+// ExtractShardImage picks one shard's memory image out of a hibernation
+// stream without materializing the others — how a repairer re-reads a
+// single fault domain from a pool-wide snapshot. The stream is untrusted;
+// the caller must verify the resumed controller against its sealed chip
+// state before trusting the result.
+func ExtractShardImage(b []byte, shardIdx int) ([]byte, error) {
+	if len(b) < 12 || [8]byte(b[:8]) != hibMagic {
+		return nil, fmt.Errorf("shard: extract: bad hibernation header")
+	}
+	n := int(binary.LittleEndian.Uint32(b[8:12]))
+	if shardIdx < 0 || shardIdx >= n {
+		return nil, fmt.Errorf("shard: extract: shard %d out of range [0,%d)", shardIdx, n)
+	}
+	off := 12
+	for i := 0; i < n; i++ {
+		if len(b)-off < 8 {
+			return nil, fmt.Errorf("shard: extract: truncated stream at shard %d", i)
+		}
+		imgLen := binary.LittleEndian.Uint64(b[off : off+8])
+		off += 8
+		if uint64(len(b)-off) < imgLen {
+			return nil, fmt.Errorf("shard: extract: truncated image for shard %d", i)
+		}
+		if i == shardIdx {
+			return b[off : off+int(imgLen)], nil
+		}
+		off += int(imgLen)
+	}
+	return nil, fmt.Errorf("shard: extract: shard %d not found", shardIdx)
 }
 
 // Resume reconstructs a pool from a hibernation stream and the trusted

@@ -76,15 +76,19 @@ type Pool struct {
 	// execute (see CommitHook); nil means no durability layer is attached.
 	hook atomic.Pointer[hookRef]
 
+	// faults carries best-effort quarantine notifications (see Faults).
+	faults chan Fault
+
 	svc serviceCounters
 }
 
 // shard is one controller plus its queue and worker.
 type shard struct {
-	mu   sync.Mutex // guards sm (worker batches, stats/root/hibernate peeks)
-	sm   *core.SecureMemory
-	reqs chan *request
-	done chan struct{} // closed when the worker exits
+	mu    sync.Mutex // guards sm (worker batches, stats/root/hibernate peeks)
+	sm    *core.SecureMemory
+	reqs  chan *request
+	done  chan struct{} // closed when the worker exits
+	fault faultState    // the shard's fault-containment latch
 }
 
 // opKind enumerates the operations a request can carry.
@@ -141,7 +145,11 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.Core.DataBytes == 0 || cfg.Core.DataBytes%stride != 0 {
 		return nil, fmt.Errorf("shard: DataBytes %d must be a positive multiple of Shards*PageSize (%d)", cfg.Core.DataBytes, stride)
 	}
-	p := &Pool{cfg: cfg, perShardBytes: cfg.Core.DataBytes / uint64(cfg.Shards)}
+	p := &Pool{
+		cfg:           cfg,
+		perShardBytes: cfg.Core.DataBytes / uint64(cfg.Shards),
+		faults:        make(chan Fault, 32),
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		ccfg := cfg.Core
 		ccfg.DataBytes = p.perShardBytes
@@ -186,12 +194,19 @@ func (p *Pool) checkRange(a layout.Addr, n int) error {
 
 // submit enqueues a request on a shard and waits for its result,
 // honouring ctx both while blocked on a full queue (backpressure) and
-// while awaiting execution.
-func (p *Pool) submit(sh *shard, r *request) (result, error) {
+// while awaiting execution. A latched shard refuses immediately with a
+// QuarantineError — its queue may be mid-drain, and callers should fail
+// fast rather than wait behind requests that will all be refused anyway.
+func (p *Pool) submit(si int, sh *shard, r *request) (result, error) {
 	p.sendMu.RLock()
 	if p.closed {
 		p.sendMu.RUnlock()
 		return result{}, ErrClosed
+	}
+	if sh.fault.load() != StateServing {
+		p.sendMu.RUnlock()
+		p.svc.quarRefused.Add(1)
+		return result{}, sh.quarErr(si)
 	}
 	var err error
 	select {
@@ -220,7 +235,7 @@ func (p *Pool) submit(sh *shard, r *request) (result, error) {
 // opOn runs a single-shard operation through the queue.
 func (p *Pool) opOn(si int, r *request) (result, error) {
 	r.resp = make(chan result, 1)
-	return p.submit(p.shards[si], r)
+	return p.submit(si, p.shards[si], r)
 }
 
 // Read copies len(dst) plaintext bytes starting at pool address a,
@@ -383,14 +398,32 @@ func (p *Pool) worker(idx int, sh *shard) {
 			}
 		}
 		sh.mu.Lock()
+		// A latched shard refuses the whole batch: requests enqueued before
+		// the fault (or racing the submit-side check) must not execute
+		// against a controller whose state can no longer be trusted.
+		if sh.fault.load() != StateServing {
+			err := sh.quarErr(idx)
+			p.svc.quarRefused.Add(uint64(len(batch)))
+			for _, r := range batch {
+				r.resp <- result{err: err}
+			}
+			sh.mu.Unlock()
+			continue
+		}
 		// The hook runs before coalescing so the log carries every mutation
 		// in order, and before execution so nothing is acknowledged that was
 		// not first made durable. A hook failure fails the whole batch
-		// unexecuted: the pool refuses to apply what it cannot log.
+		// unexecuted: the pool refuses to apply what it cannot log. A hook
+		// failure marked ErrDurabilityFault additionally quarantines the
+		// shard — the log can no longer be trusted to match execution, so
+		// this shard (and only this shard) stops serving.
 		if href := p.hook.Load(); href != nil {
 			if ops := mutOps(batch); len(ops) > 0 {
 				if err := href.h.Commit(idx, ops); err != nil {
 					err = fmt.Errorf("shard %d: commit: %w", idx, err)
+					if errors.Is(err, ErrDurabilityFault) {
+						p.quarantine(idx, sh, FaultDurability, err)
+					}
 					for _, r := range batch {
 						r.resp <- result{err: err}
 					}
@@ -403,8 +436,21 @@ func (p *Pool) worker(idx int, sh *shard) {
 		p.svc.batches.Add(1)
 		p.svc.batchedOps.Add(uint64(len(batch)))
 		p.svc.coalescedWrites.Add(uint64(skipped))
-		for _, r := range batch {
-			p.execute(sh, r)
+		for bi, r := range batch {
+			if !p.execute(idx, sh, r) {
+				// Integrity latch fired mid-batch: nothing after the faulting
+				// request may execute. Refuse the remainder so the shard
+				// never serves data past a detected tamper.
+				err := sh.quarErr(idx)
+				for _, rest := range batch[bi+1:] {
+					if rest.answered {
+						continue
+					}
+					p.svc.quarRefused.Add(1)
+					rest.resp <- result{err: err}
+				}
+				break
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -413,15 +459,20 @@ func (p *Pool) worker(idx int, sh *shard) {
 // execute runs one request against the shard's controller (the caller
 // holds sh.mu) and delivers its result. A request whose context expired
 // while queued is answered with the context error without touching the
-// controller, so the client's timeout means "not applied".
-func (p *Pool) execute(sh *shard, r *request) {
+// controller, so the client's timeout means "not applied". The return
+// value reports whether the shard may keep executing: an integrity
+// violation (core.ErrTampered) on the shard's own state latches the
+// quarantine and returns false. SwapIn is exempt — a tampered *client*
+// image is the client's fault, not evidence against the shard, and must
+// not let a malicious client take a fault domain down.
+func (p *Pool) execute(idx int, sh *shard, r *request) bool {
 	if r.answered { // coalesced-away write: result already delivered
-		return
+		return true
 	}
 	if err := r.ctx.Err(); err != nil {
 		p.svc.expired.Add(1)
 		r.resp <- result{err: err}
-		return
+		return true
 	}
 	var res result
 	switch r.kind {
@@ -436,7 +487,31 @@ func (p *Pool) execute(sh *shard, r *request) {
 	case opSwapIn:
 		res.err = sh.sm.SwapIn(r.img, r.addr, r.slot)
 	}
+	ok := true
+	if res.err != nil && r.kind != opSwapIn && errors.Is(res.err, core.ErrTampered) {
+		p.quarantine(idx, sh, FaultIntegrity, fmt.Errorf("shard %d: %s: %w", idx, kindName(r.kind), res.err))
+		ok = false
+	}
 	r.resp <- result{err: res.err, img: res.img}
+	return ok
+}
+
+// kindName names an opKind for fault reports.
+func kindName(k opKind) string {
+	switch k {
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	case opVerify:
+		return "verify"
+	case opSwapOut:
+		return "swapout"
+	case opSwapIn:
+		return "swapin"
+	default:
+		return "op"
+	}
 }
 
 // coalesceWrites drops writes that a later write in the same batch fully

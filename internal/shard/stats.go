@@ -15,6 +15,10 @@ type serviceCounters struct {
 	batches         atomic.Uint64
 	batchedOps      atomic.Uint64
 	coalescedWrites atomic.Uint64
+	faults          atomic.Uint64
+	repairs         atomic.Uint64
+	repairFailures  atomic.Uint64
+	quarRefused     atomic.Uint64
 }
 
 // ServiceStats is the pool's service-level view: queueing and batching
@@ -36,6 +40,17 @@ type ServiceStats struct {
 	Batches         uint64 `json:"batches"`
 	BatchedOps      uint64 `json:"batched_ops"`
 	CoalescedWrites uint64 `json:"coalesced_writes"`
+	// Fault-containment counters: Faults counts quarantine latches (and
+	// cordons), Repairs counts shards returned to service, RepairFailures
+	// counts failed repair attempts, QuarantineRefused counts requests
+	// refused because their shard was latched.
+	Faults            uint64 `json:"faults"`
+	Repairs           uint64 `json:"repairs"`
+	RepairFailures    uint64 `json:"repair_failures"`
+	QuarantineRefused uint64 `json:"quarantine_refused"`
+	// ShardStates is each shard's fault-domain state ("serving",
+	// "quarantined", "repairing", "down"), indexed by shard.
+	ShardStates []string `json:"shard_states"`
 
 	Core     core.Stats   `json:"core"`
 	PerShard []core.Stats `json:"per_shard"`
@@ -45,15 +60,20 @@ type ServiceStats struct {
 // service counters.
 func (p *Pool) Stats() ServiceStats {
 	st := ServiceStats{
-		Shards:          len(p.shards),
-		Enqueued:        p.svc.enqueued.Load(),
-		Rejected:        p.svc.rejected.Load(),
-		Expired:         p.svc.expired.Load(),
-		Batches:         p.svc.batches.Load(),
-		BatchedOps:      p.svc.batchedOps.Load(),
-		CoalescedWrites: p.svc.coalescedWrites.Load(),
+		Shards:            len(p.shards),
+		Enqueued:          p.svc.enqueued.Load(),
+		Rejected:          p.svc.rejected.Load(),
+		Expired:           p.svc.expired.Load(),
+		Batches:           p.svc.batches.Load(),
+		BatchedOps:        p.svc.batchedOps.Load(),
+		CoalescedWrites:   p.svc.coalescedWrites.Load(),
+		Faults:            p.svc.faults.Load(),
+		Repairs:           p.svc.repairs.Load(),
+		RepairFailures:    p.svc.repairFailures.Load(),
+		QuarantineRefused: p.svc.quarRefused.Load(),
 	}
 	for _, sh := range p.shards {
+		st.ShardStates = append(st.ShardStates, sh.fault.load().String())
 		sh.mu.Lock()
 		cs := sh.sm.Stats()
 		sh.mu.Unlock()
