@@ -13,6 +13,11 @@
 #                        loadgen, write BENCH_service.json
 #   make bench-recovery  crash-recovery benchmark: restart-to-first-byte vs
 #                        WAL length per fsync policy, BENCH_recovery.json
+#   make bench-crypto    crypto hot-path microbenchmarks: overhauled engines
+#                        vs their frozen reference implementations,
+#                        BENCH_crypto.json
+#   make bench-smoke     one-iteration pass over every microbenchmark (CI
+#                        keeps them compiling and allocation-clean)
 #   make chaos           deterministic fault-injection matrix (cmd/chaos):
 #                        bit-flips, rollback, WAL faults, torn writes, slow
 #                        I/O against a live durable pool; CI runs a short
@@ -20,7 +25,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery chaos chaos-smoke
+.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-smoke chaos chaos-smoke
 
 check: vet build test race
 
@@ -44,6 +49,9 @@ fuzz-smoke:
 	$(GO) test -run=none -fuzz=FuzzWALRecord -fuzztime=5s ./internal/persist/
 	$(GO) test -run=none -fuzz=FuzzWALScan -fuzztime=5s ./internal/persist/
 	$(GO) test -run=none -fuzz=FuzzAnchor -fuzztime=5s ./internal/persist/
+	$(GO) test -run=none -fuzz=FuzzAgainstStdlib -fuzztime=5s ./internal/crypto/aes/
+	$(GO) test -run=none -fuzz=FuzzAgainstStdlib -fuzztime=5s ./internal/crypto/hmac/
+	$(GO) test -run=none -fuzz=FuzzAgainstStdlib -fuzztime=5s ./internal/crypto/sha1/
 
 chaos: build
 	$(GO) run ./cmd/chaos -rounds 3
@@ -57,3 +65,9 @@ bench: build
 
 bench-recovery: build
 	./scripts/bench_recovery.sh
+
+bench-crypto:
+	./scripts/bench_crypto.sh
+
+bench-smoke:
+	$(GO) test -run=none -bench . -benchtime 1x ./internal/crypto/... .

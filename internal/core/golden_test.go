@@ -1,0 +1,45 @@
+package core
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+// TestGoldenControllerRoot drives a full AISE+BMT controller through a
+// deterministic write sequence and pins the resulting on-chip tree root,
+// captured before the crypto hot-path overhaul. This is the end-to-end
+// freeze: seeds, pads, counter encoding, data MACs and every tree level all
+// have to reproduce bit-identically for the root to match.
+func TestGoldenControllerRoot(t *testing.T) {
+	s, err := New(Config{
+		DataBytes:  1 << 20,
+		Key:        []byte("0123456789abcdef"),
+		Encryption: AISE,
+		Integrity:  BonsaiMT,
+		MACBits:    128,
+		SwapSlots:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		var blk mem.Block
+		for j := range blk {
+			blk[j] = byte(i*3 + j)
+		}
+		a := layout.Addr(i)*4096 + layout.Addr(i%16)*64
+		if err := s.WriteBlock(a, &blk, Meta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const want = "509a6f63d7dd378d477447fd333f318b"
+	if got := hex.EncodeToString(s.Root()); got != want {
+		t.Errorf("controller root = %s, want %s (END-TO-END FORMAT CHANGED)", got, want)
+	}
+	if err := s.VerifyAll(); err != nil {
+		t.Errorf("VerifyAll after golden writes: %v", err)
+	}
+}

@@ -261,10 +261,8 @@ func (g *GlobalStore) SetStored(data layout.Addr, v uint64) {
 
 // Stored returns the counter value recorded for the data block.
 func (g *GlobalStore) Stored(data layout.Addr) uint64 {
-	buf := make([]byte, g.Bits/8)
-	g.Mem.Read(g.slotAddr(data), buf)
 	var full [8]byte
-	copy(full[8-len(buf):], buf)
+	g.Mem.Read(g.slotAddr(data), full[8-g.Bits/8:])
 	return binary.BigEndian.Uint64(full[:])
 }
 

@@ -165,6 +165,17 @@ func (c *Cipher) Encrypt(dst, src []byte) {
 	c.encryptTTable(dst, src)
 }
 
+// EncryptRef encrypts one block with the reference state-array
+// implementation instead of the T-table path. Differential tests and the
+// bench harness use it as the frozen "old" implementation; production paths
+// never should.
+func (c *Cipher) EncryptRef(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: input not full block")
+	}
+	c.encryptReference(dst, src)
+}
+
 // encryptReference is the direct FIPS-197 state-array implementation.
 func (c *Cipher) encryptReference(dst, src []byte) {
 	var st [4][4]byte // state[row][col]

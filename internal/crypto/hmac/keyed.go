@@ -1,0 +1,148 @@
+package hmac
+
+import (
+	"fmt"
+
+	"aisebmt/internal/crypto/sha1"
+)
+
+// Keyed is a reusable HMAC-SHA1 key with precomputed midstates: the
+// one-block absorptions of key⊕ipad and key⊕opad happen once in Init, so
+// each tag costs only the message blocks plus one finalization of each
+// digest. This is the software analogue of the paper's fixed-key MAC engine
+// sitting next to the memory controller — the key never changes between
+// tags, so re-deriving the pads per tag (what the package-level MAC did
+// before) is pure waste on the per-block hot path.
+//
+// A Keyed is safe for concurrent use after Init: all methods copy the
+// midstates by value and never mutate the struct.
+type Keyed struct {
+	inner sha1.Digest // state after absorbing key ⊕ ipad (one block)
+	outer sha1.Digest // state after absorbing key ⊕ opad (one block)
+}
+
+// NewKeyed returns a Keyed MAC for key.
+func NewKeyed(key []byte) *Keyed {
+	k := new(Keyed)
+	k.Init(key)
+	return k
+}
+
+// Init (re)derives the midstates for key. It is the only method that writes
+// the struct; callers embedding a Keyed by value use it to avoid the
+// NewKeyed allocation.
+func (k *Keyed) Init(key []byte) {
+	var kb [sha1.BlockSize]byte
+	if len(key) > sha1.BlockSize {
+		sum := sha1.Sum160(key)
+		copy(kb[:], sum[:])
+	} else {
+		copy(kb[:], key)
+	}
+	var pad [sha1.BlockSize]byte
+	for i := range kb {
+		pad[i] = kb[i] ^ 0x36
+	}
+	k.inner.Reset()
+	k.inner.Write(pad[:])
+	for i := range kb {
+		pad[i] = kb[i] ^ 0x5c
+	}
+	k.outer.Reset()
+	k.outer.Write(pad[:])
+}
+
+// sumInto finalizes HMAC(key, prefix ‖ msg) into out. The optional one-byte
+// prefix serves the domain-separated 256-bit widening without copying msg.
+func (k *Keyed) sumInto(out *[sha1.Size]byte, prefix []byte, msg []byte) {
+	d := k.inner // struct copy: the midstate stays untouched
+	if len(prefix) > 0 {
+		d.Write(prefix)
+	}
+	d.Write(msg)
+	var innerSum [sha1.Size]byte
+	d.FinalInto(&innerSum) // d is our copy: destructive finalization is free
+	o := k.outer
+	o.Write(innerSum[:])
+	o.FinalInto(out)
+}
+
+// SumInto writes the full 20-byte tag of msg into out without allocating.
+func (k *Keyed) SumInto(out *[sha1.Size]byte, msg []byte) {
+	k.sumInto(out, nil, msg)
+}
+
+// Sum returns the full 20-byte tag of msg.
+func (k *Keyed) Sum(msg []byte) [sha1.Size]byte {
+	var out [sha1.Size]byte
+	k.sumInto(&out, nil, msg)
+	return out
+}
+
+// AppendSum appends the full 20-byte tag of msg to dst and returns the
+// extended slice. When dst has capacity it does not allocate.
+func (k *Keyed) AppendSum(dst, msg []byte) []byte {
+	var out [sha1.Size]byte
+	k.sumInto(&out, nil, msg)
+	return append(dst, out[:]...)
+}
+
+// widthBytes validates a MAC width and returns its byte length.
+func widthBytes(bits int) (int, error) {
+	switch bits {
+	case 32, 64, 128, 160, 256:
+		return bits / 8, nil
+	default:
+		return 0, fmt.Errorf("%w: %d bits", ErrMACSize, bits)
+	}
+}
+
+// SizedInto writes the tag of msg truncated or widened to bits into dst,
+// whose length must be exactly bits/8. It performs no allocations: widths
+// ≤160 truncate one HMAC-SHA-1 tag; 256 concatenates two domain-separated
+// tags, streaming the domain byte ahead of msg instead of copying msg.
+func (k *Keyed) SizedInto(dst []byte, msg []byte, bits int) error {
+	n, err := widthBytes(bits)
+	if err != nil {
+		return err
+	}
+	if len(dst) != n {
+		return fmt.Errorf("hmac: dst is %d bytes, want %d for %d-bit tag", len(dst), n, bits)
+	}
+	switch bits {
+	case 32, 64, 128, 160:
+		var out [sha1.Size]byte
+		k.sumInto(&out, nil, msg)
+		copy(dst, out[:bits/8])
+		return nil
+	case 256:
+		var t0, t1 [sha1.Size]byte
+		k.sumInto(&t0, domain0[:], msg)
+		k.sumInto(&t1, domain1[:], msg)
+		copy(dst, t0[:])
+		copy(dst[sha1.Size:], t1[:12])
+		return nil
+	default:
+		return fmt.Errorf("%w: %d bits", ErrMACSize, bits)
+	}
+}
+
+// SizedAppend appends the bits-wide tag of msg to dst and returns the
+// extended slice. When dst has capacity it does not allocate.
+func (k *Keyed) SizedAppend(dst, msg []byte, bits int) ([]byte, error) {
+	n, err := widthBytes(bits)
+	if err != nil {
+		return dst, err
+	}
+	var scratch [32]byte
+	if err := k.SizedInto(scratch[:n], msg, bits); err != nil {
+		return dst, err
+	}
+	return append(dst, scratch[:n]...), nil
+}
+
+// Domain-separation prefixes for the 256-bit widening (see Sized).
+var (
+	domain0 = [1]byte{0x00}
+	domain1 = [1]byte{0x01}
+)

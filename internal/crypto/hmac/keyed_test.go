@@ -1,0 +1,170 @@
+package hmac
+
+import (
+	"bytes"
+	stdhmac "crypto/hmac"
+	stdsha1 "crypto/sha1"
+	"math/rand"
+	"testing"
+
+	"aisebmt/internal/crypto/sha1"
+)
+
+// TestKeyedMatchesReference cross-checks every Keyed entry point against the
+// pre-midstate reference implementation (macRef) and the standard library on
+// random keys and messages.
+func TestKeyedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		key := make([]byte, rng.Intn(100))
+		msg := make([]byte, rng.Intn(300))
+		rng.Read(key)
+		rng.Read(msg)
+		want := macRef(key, msg)
+
+		k := NewKeyed(key)
+		if got := k.Sum(msg); got != want {
+			t.Fatalf("Keyed.Sum != macRef for key %x msg len %d", key, len(msg))
+		}
+		var into [sha1.Size]byte
+		k.SumInto(&into, msg)
+		if into != want {
+			t.Fatalf("Keyed.SumInto != macRef")
+		}
+		if got := k.AppendSum(nil, msg); !bytes.Equal(got, want[:]) {
+			t.Fatalf("Keyed.AppendSum != macRef")
+		}
+		if got := MAC(key, msg); got != want {
+			t.Fatalf("MAC != macRef")
+		}
+		ref := stdhmac.New(stdsha1.New, key)
+		ref.Write(msg)
+		if !bytes.Equal(want[:], ref.Sum(nil)) {
+			t.Fatalf("macRef != stdlib (reference itself broken)")
+		}
+	}
+}
+
+// TestKeyedSizedMatchesSized: the width-parametric paths must agree with the
+// package-level Sized (which pins the frozen widening construction) for all
+// valid widths, and reject invalid ones.
+func TestKeyedSizedMatchesSized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 100; i++ {
+		key := make([]byte, 16)
+		msg := make([]byte, rng.Intn(200))
+		rng.Read(key)
+		rng.Read(msg)
+		k := NewKeyed(key)
+		for _, bits := range ValidSizes {
+			want, err := Sized(key, msg, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]byte, bits/8)
+			if err := k.SizedInto(dst, msg, bits); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("SizedInto(%d) disagrees with Sized", bits)
+			}
+			app, err := k.SizedAppend(nil, msg, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(app, want) {
+				t.Fatalf("SizedAppend(%d) disagrees with Sized", bits)
+			}
+		}
+	}
+	k := NewKeyed([]byte("k"))
+	if err := k.SizedInto(make([]byte, 6), []byte("m"), 48); err == nil {
+		t.Error("SizedInto(48): want error")
+	}
+	if _, err := k.SizedAppend(nil, []byte("m"), 48); err == nil {
+		t.Error("SizedAppend(48): want error")
+	}
+	if err := k.SizedInto(make([]byte, 3), []byte("m"), 32); err == nil {
+		t.Error("SizedInto with short dst: want error")
+	}
+}
+
+// Test256WideningFrozen pins the widened construction bit-for-bit: the
+// 256-bit tag must equal HMAC(key, 0x00‖msg) ‖ HMAC(key, 0x01‖msg)[:12]
+// computed the pre-overhaul way (explicit prefix concatenation).
+func Test256WideningFrozen(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	msg := []byte("minor counter block contents....")
+	t0 := macRef(key, append([]byte{0x00}, msg...))
+	t1 := macRef(key, append([]byte{0x01}, msg...))
+	want := append(append([]byte{}, t0[:]...), t1[:12]...)
+	got, err := Sized(key, msg, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("256-bit widening changed:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestKeyedZeroAlloc pins the allocation-free contract of the per-tag hot
+// paths, including the widened 256-bit tag and the package-level MAC.
+func TestKeyedZeroAlloc(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	msg := make([]byte, 74) // ciphertext block + counter metadata, the BMT shape
+	k := NewKeyed(key)
+	var out [sha1.Size]byte
+	if a := testing.AllocsPerRun(200, func() { k.SumInto(&out, msg) }); a != 0 {
+		t.Errorf("Keyed.SumInto allocates %v per tag, want 0", a)
+	}
+	dst := make([]byte, 32)
+	if a := testing.AllocsPerRun(200, func() { _ = k.SizedInto(dst, msg, 256) }); a != 0 {
+		t.Errorf("Keyed.SizedInto(256) allocates %v per tag, want 0", a)
+	}
+	buf := make([]byte, 0, 32)
+	if a := testing.AllocsPerRun(200, func() { _, _ = k.SizedAppend(buf, msg, 128) }); a != 0 {
+		t.Errorf("Keyed.SizedAppend into capacity allocates %v per tag, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() { MAC(key, msg) }); a != 0 {
+		t.Errorf("MAC allocates %v per tag, want 0", a)
+	}
+}
+
+// BenchmarkKeyedSum64B / BenchmarkMACRef64B expose the midstate-vs-naive
+// ratio the bench harness reports as the HMAC old-vs-new delta (64-byte
+// messages: the Merkle node shape).
+func BenchmarkKeyedSum64B(b *testing.B) {
+	k := NewKeyed([]byte("0123456789abcdef"))
+	msg := make([]byte, 64)
+	var out [sha1.Size]byte
+	b.SetBytes(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.SumInto(&out, msg)
+	}
+}
+
+func BenchmarkMACRef64B(b *testing.B) {
+	key := []byte("0123456789abcdef")
+	msg := make([]byte, 64)
+	b.SetBytes(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		macRef(key, msg)
+	}
+}
+
+// BenchmarkKeyedSized256 measures the widened path, which was the worst
+// allocation offender before the overhaul (two message copies per tag).
+func BenchmarkKeyedSized256(b *testing.B) {
+	k := NewKeyed([]byte("0123456789abcdef"))
+	msg := make([]byte, 74)
+	dst := make([]byte, 32)
+	b.SetBytes(74)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := k.SizedInto(dst, msg, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -25,6 +25,7 @@ type Digest struct {
 	n   int    // bytes buffered in buf
 	len uint64 // total message length in bytes
 	ini bool
+	ref bool // compress with the reference FIPS loop instead of block.go
 }
 
 // New returns a new, initialized Digest.
@@ -32,6 +33,25 @@ func New() *Digest {
 	d := &Digest{}
 	d.Reset()
 	return d
+}
+
+// NewRef returns a Digest that compresses with the reference FIPS 180-1
+// loop (blockRef) instead of the rolling-window fast path. Differential
+// tests and the bench harness use it as the frozen "old" implementation;
+// production paths never should.
+func NewRef() *Digest {
+	d := New()
+	d.ref = true
+	return d
+}
+
+// compress dispatches one 64-byte block to the selected implementation.
+func (d *Digest) compress(p []byte) {
+	if d.ref {
+		d.blockRef(p)
+	} else {
+		d.block(p)
+	}
 }
 
 // Reset returns the digest to its initial state.
@@ -58,12 +78,12 @@ func (d *Digest) Write(p []byte) (int, error) {
 		d.n += c
 		p = p[c:]
 		if d.n == BlockSize {
-			d.block(d.buf[:])
+			d.compress(d.buf[:])
 			d.n = 0
 		}
 	}
 	for len(p) >= BlockSize {
-		d.block(p[:BlockSize])
+		d.compress(p[:BlockSize])
 		p = p[BlockSize:]
 	}
 	if len(p) > 0 {
@@ -75,32 +95,58 @@ func (d *Digest) Write(p []byte) (int, error) {
 // Sum appends the digest of everything written so far to b and returns the
 // result. It does not modify the underlying state.
 func (d *Digest) Sum(b []byte) []byte {
-	d.lazyInit()
-	// Work on a copy so Sum can be called repeatedly / interleaved with Write.
-	cp := *d
-	var pad [BlockSize + 8]byte
-	pad[0] = 0x80
-	// Pad with 0x80 then zeros so that the length field ends exactly on a
-	// block boundary: (len + padLen + 8) ≡ 0 (mod 64).
-	rem := int(cp.len % BlockSize)
-	padLen := 56 - rem
-	if rem >= 56 {
-		padLen = 120 - rem
-	}
-	msgBits := cp.len * 8
-	var lenb [8]byte
-	binary.BigEndian.PutUint64(lenb[:], msgBits)
-	cp.Write(pad[:padLen])
-	cp.Write(lenb[:])
 	var out [Size]byte
-	for i, v := range cp.h {
-		binary.BigEndian.PutUint32(out[4*i:], v)
-	}
+	d.SumInto(&out)
 	return append(b, out[:]...)
 }
 
-// block processes one 64-byte block.
-func (d *Digest) block(p []byte) {
+// SumInto writes the digest of everything written so far into out without
+// allocating. Like Sum, it does not modify the underlying state, so it can
+// be called repeatedly or interleaved with Write. The hot MAC paths use it
+// to finalize tags straight into caller scratch.
+func (d *Digest) SumInto(out *[Size]byte) {
+	d.lazyInit()
+	// Work on a copy so finalization can repeat / interleave with Write.
+	cp := *d
+	cp.FinalInto(out)
+}
+
+// FinalInto finalizes the digest destructively into out, avoiding the state
+// copy SumInto makes: padding is written straight into the internal buffer
+// and compressed in place. After FinalInto the digest holds no meaningful
+// state — call Reset before reuse. The keyed-MAC hot path uses it on
+// midstate copies it owns, where the copy SumInto would make is pure waste.
+func (d *Digest) FinalInto(out *[Size]byte) {
+	d.lazyInit()
+	msgBits := d.len * 8
+	i := d.n
+	d.buf[i] = 0x80
+	i++
+	if i > 56 {
+		for ; i < BlockSize; i++ {
+			d.buf[i] = 0
+		}
+		d.compress(d.buf[:])
+		i = 0
+	}
+	for ; i < 56; i++ {
+		d.buf[i] = 0
+	}
+	binary.BigEndian.PutUint64(d.buf[56:], msgBits)
+	d.compress(d.buf[:])
+	d.n = 0
+	d.len = 0
+	for j, v := range d.h {
+		binary.BigEndian.PutUint32(out[4*j:], v)
+	}
+}
+
+// blockRef is the reference compression function: the direct FIPS 180-1
+// 80-iteration loop with the expanded message schedule. The rolling-window
+// implementation in block.go is the default; tests cross-check the two on
+// every width and the benchmark harness reports their ratio as the
+// old-vs-new SHA-1 delta.
+func (d *Digest) blockRef(p []byte) {
 	var w [80]uint32
 	for i := 0; i < 16; i++ {
 		w[i] = binary.BigEndian.Uint32(p[4*i:])
@@ -140,11 +186,12 @@ func (d *Digest) block(p []byte) {
 	d.h[4] += e
 }
 
-// Sum160 computes the SHA-1 digest of data in one call.
+// Sum160 computes the SHA-1 digest of data in one call without allocating.
 func Sum160(data []byte) [Size]byte {
-	d := New()
+	var d Digest
+	d.Reset()
 	d.Write(data)
 	var out [Size]byte
-	copy(out[:], d.Sum(nil))
+	d.SumInto(&out)
 	return out
 }

@@ -112,10 +112,115 @@ func TestBoundaryLengths(t *testing.T) {
 	}
 }
 
+// TestBlockMatchesReference cross-checks the rolling-window compression in
+// block.go against the direct FIPS 180-1 loop on random blocks and random
+// chaining states.
+func TestBlockMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		var fast, ref Digest
+		fast.Reset()
+		ref.Reset()
+		for j := range fast.h {
+			fast.h[j] = rng.Uint32()
+		}
+		ref.h = fast.h
+		var p [BlockSize]byte
+		rng.Read(p[:])
+		fast.block(p[:])
+		ref.blockRef(p[:])
+		if fast.h != ref.h {
+			t.Fatalf("iteration %d: fast %x != reference %x", i, fast.h, ref.h)
+		}
+	}
+}
+
+// TestRefDigestMatchesFast: a NewRef digest must produce identical output
+// to the default digest for arbitrary write patterns.
+func TestRefDigestMatchesFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		fast, ref := New(), NewRef()
+		for parts := rng.Intn(4); parts >= 0; parts-- {
+			p := make([]byte, rng.Intn(150))
+			rng.Read(p)
+			fast.Write(p)
+			ref.Write(p)
+		}
+		var a, b [Size]byte
+		fast.SumInto(&a)
+		ref.SumInto(&b)
+		if a != b {
+			t.Fatalf("iteration %d: ref digest %x != fast digest %x", i, b, a)
+		}
+	}
+}
+
+// TestSumIntoMatchesSum: the allocation-free finalizer must agree with Sum
+// and be idempotent.
+func TestSumIntoMatchesSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		data := make([]byte, rng.Intn(200))
+		rng.Read(data)
+		d := New()
+		d.Write(data)
+		var out, again [Size]byte
+		d.SumInto(&out)
+		d.SumInto(&again)
+		if out != again {
+			t.Fatal("SumInto not idempotent")
+		}
+		if !bytes.Equal(d.Sum(nil), out[:]) {
+			t.Fatalf("SumInto disagrees with Sum for len %d", len(data))
+		}
+	}
+}
+
+// TestSumIntoZeroAlloc pins the allocation-free contract of the hot path.
+func TestSumIntoZeroAlloc(t *testing.T) {
+	var d Digest
+	data := make([]byte, 96)
+	var out [Size]byte
+	allocs := testing.AllocsPerRun(100, func() {
+		d.Reset()
+		d.Write(data)
+		d.SumInto(&out)
+	})
+	if allocs != 0 {
+		t.Fatalf("Write+SumInto allocates %v per op, want 0", allocs)
+	}
+	if a := testing.AllocsPerRun(100, func() { Sum160(data) }); a != 0 {
+		t.Fatalf("Sum160 allocates %v per op, want 0", a)
+	}
+}
+
 func BenchmarkSum1K(b *testing.B) {
 	data := make([]byte, 1024)
 	b.SetBytes(1024)
 	for i := 0; i < b.N; i++ {
 		Sum160(data)
+	}
+}
+
+// BenchmarkBlock / BenchmarkBlockRef expose the compression-function ratio
+// the bench harness reports as the SHA-1 old-vs-new delta.
+func BenchmarkBlock(b *testing.B) {
+	var d Digest
+	d.Reset()
+	var p [BlockSize]byte
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		d.block(p[:])
+	}
+}
+
+func BenchmarkBlockRef(b *testing.B) {
+	var d Digest
+	d.Reset()
+	var p [BlockSize]byte
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		d.blockRef(p[:])
 	}
 }

@@ -185,24 +185,35 @@ func (c *CounterMode) Pads() uint64 { return c.pads }
 
 // Pad generates the cryptographic pad for one chunk.
 func (c *CounterMode) Pad(in SeedInput) [aes.BlockSize]byte {
-	seed := c.composer.Compose(in)
 	var pad [aes.BlockSize]byte
+	c.PadInto(&pad, in)
+	return pad
+}
+
+// PadInto generates the cryptographic pad for one chunk straight into the
+// caller's buffer, avoiding the return-value copy on the per-block path.
+func (c *CounterMode) PadInto(pad *[aes.BlockSize]byte, in SeedInput) {
+	seed := c.composer.Compose(in)
 	c.cipher.Encrypt(pad[:], seed[:])
 	c.pads++
-	return pad
 }
 
 // EncryptBlock encrypts (or, symmetrically, decrypts) a 64-byte block by
 // XORing each 16-byte chunk with its pad. in.Chunk is set per chunk; the
-// other fields apply to the whole block.
+// other fields apply to the whole block. The XOR runs word-at-a-time over
+// the pad so the whole block costs four cipher calls and no heap traffic.
 func (c *CounterMode) EncryptBlock(dst, src *mem.Block, in SeedInput) {
+	var pad [aes.BlockSize]byte
 	for chunk := 0; chunk < layout.ChunksPerBlock; chunk++ {
 		in.Chunk = chunk
-		pad := c.Pad(in)
+		c.PadInto(&pad, in)
 		off := chunk * aes.BlockSize
-		for i := 0; i < aes.BlockSize; i++ {
-			dst[off+i] = src[off+i] ^ pad[i]
-		}
+		s := src[off : off+aes.BlockSize : off+aes.BlockSize]
+		d := dst[off : off+aes.BlockSize : off+aes.BlockSize]
+		p0 := binary.LittleEndian.Uint64(pad[0:8])
+		p1 := binary.LittleEndian.Uint64(pad[8:16])
+		binary.LittleEndian.PutUint64(d[0:8], binary.LittleEndian.Uint64(s[0:8])^p0)
+		binary.LittleEndian.PutUint64(d[8:16], binary.LittleEndian.Uint64(s[8:16])^p1)
 	}
 }
 

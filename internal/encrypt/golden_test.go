@@ -63,6 +63,72 @@ func TestGoldenCiphertexts(t *testing.T) {
 	check("direct", ct[:16])
 }
 
+// TestGoldenFullBlockCiphertexts extends the first-chunk goldens to whole
+// 64-byte blocks, captured from the build immediately before the crypto
+// hot-path overhaul. All four chunks — not just chunk 0 — must survive the
+// pad-into-destination and word-wise XOR rewrite bit for bit.
+func TestGoldenFullBlockCiphertexts(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	var plain mem.Block
+	for i := range plain {
+		plain[i] = byte(i)
+	}
+	in := SeedInput{PhysAddr: 0x4000, VirtAddr: 0x7f004000, PID: 9, LPID: 1234, Counter: 56}
+
+	golden := map[string]string{
+		"AISE":     "a73d81bbdc69dc56af8379a4a606e08f2d4d34bf7867a5112824bf7122e63fffaab7ea21ad8d085e70c16877200fab6184ca243ecb816dc47e3424dba078f4a6",
+		"global64": "d93e67017b63805c76a3f609516e18565ee04b60185d71576f56d0d2e91d71dbdb1772bc443221880390ae2dc4a779e5eea5875a4b34f7ac0995ab6ba7c1ea3a",
+		"global32": "d93e67017b63805c76a3f609516e18565ee04b60185d71576f56d0d2e91d71dbdb1772bc443221880390ae2dc4a779e5eea5875a4b34f7ac0995ab6ba7c1ea3a",
+		"phys":     "0842e23d9d7cac086ecfd46cc302336dcb72c44233d539e68442bc7abba140662862c21dbd5c8c284eeff44ce322134deb52e46213f519c6a4629c5a9b816046",
+		"virt":     "d092020a14a7bddd10d33f61962d768b8d4507f91165634feb62557ff3a595aac200652b22c2218e995408d38080da39d052cb7f12ffd42e4e8a5ca7036f2ac1",
+	}
+
+	for name, comp := range map[string]Composer{
+		"AISE":     AISESeed{},
+		"global64": GlobalSeed{Bits: 64},
+		"global32": GlobalSeed{Bits: 32},
+		"phys":     PhysSeed{},
+		"virt":     VirtSeed{},
+	} {
+		e, err := NewCounterMode(key, comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ct mem.Block
+		e.EncryptBlock(&ct, &plain, in)
+		if got := hex.EncodeToString(ct[:]); got != golden[name] {
+			t.Errorf("%s: full block =\n %s, want\n %s (ON-DISK FORMAT CHANGED)", name, got, golden[name])
+		}
+		// Decryption is the same XOR stream; the round trip must restore
+		// the plaintext exactly.
+		var back mem.Block
+		e.DecryptBlock(&back, &ct, in)
+		if back != plain {
+			t.Errorf("%s: decrypt(encrypt(p)) != p", name)
+		}
+	}
+}
+
+// TestPadIntoMatchesPad pins the new zero-copy entry point to the original.
+func TestPadIntoMatchesPad(t *testing.T) {
+	e, err := NewCounterMode([]byte("0123456789abcdef"), AISESeed{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for chunk := 0; chunk < 4; chunk++ {
+		in := SeedInput{PhysAddr: 0x1040, LPID: 77, Counter: 3, Chunk: chunk}
+		want := e.Pad(in)
+		var got [16]byte
+		e.PadInto(&got, in)
+		if got != want {
+			t.Fatalf("chunk %d: PadInto != Pad", chunk)
+		}
+	}
+	if e.Pads() != 8 {
+		t.Errorf("pads counter = %d, want 8", e.Pads())
+	}
+}
+
 // TestAISESeedBitLayout pins the documented seed format: LPID in bytes 0-7
 // (big endian), minor counter in byte 8 (7 bits), block-in-page in byte 9,
 // chunk id in byte 10, zero padding after. Figure 3's layout, frozen.

@@ -1,0 +1,98 @@
+package integrity
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"aisebmt/internal/counter"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+// The golden values below were captured from the build immediately before
+// the crypto hot-path overhaul (T-table AES dispatch, HMAC midstates,
+// scratch-buffer MAC stores). They pin the scheme's exact bytes: tree roots
+// and stored MACs are on-the-wire/on-disk state, so any drift here is a
+// compatibility break with snapshots and swapped-out pages written by older
+// builds — not a value to regenerate casually.
+
+var goldenKey = []byte("0123456789abcdef")
+
+// goldenMemory fills [0, 64KB) with the deterministic pattern the capture
+// used: blk[i] = byte(addr + i*7).
+func goldenMemory() *mem.Memory {
+	m := mem.New(4 << 20)
+	for a := layout.Addr(0); a < 64<<10; a += layout.BlockSize {
+		var blk mem.Block
+		for i := range blk {
+			blk[i] = byte(uint64(a) + uint64(i)*7)
+		}
+		m.WriteBlock(a, &blk)
+	}
+	return m
+}
+
+func TestGoldenTreeRoots(t *testing.T) {
+	golden := map[int]string{
+		32:  "16ff3fb2",
+		64:  "aba66cdca186d3c8",
+		128: "06f4d9aad0b44be7cbbc8870d2592138",
+		256: "5d1860b721a74d115fa143b7aaea7f9e9df486c753cd36edceb0acec564979b0",
+	}
+	m := goldenMemory()
+	for _, bits := range []int{32, 64, 128, 256} {
+		tr, err := NewTree(m, goldenKey, bits, []mem.Region{{Name: "d", Base: 0, Size: 64 << 10}}, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Build()
+		if got := hex.EncodeToString(tr.Root()); got != golden[bits] {
+			t.Errorf("%d-bit tree root = %s, want %s (TREE FORMAT CHANGED)", bits, got, golden[bits])
+		}
+	}
+}
+
+func TestGoldenDataMACs(t *testing.T) {
+	golden := map[int]string{
+		32:  "8e0ef14a",
+		64:  "8e0ef14a86694902",
+		128: "8e0ef14a86694902a4077fb75b685437",
+		256: "d7865b863eae002fc80221aca3b4481639fd78b5dd0b3b3231c8173a3146cc27",
+	}
+	m := goldenMemory()
+	var plain mem.Block
+	for i := range plain {
+		plain[i] = byte(i)
+	}
+	for _, bits := range []int{32, 64, 128, 256} {
+		dm, err := NewDataMACStore(m, goldenKey, bits, 2<<20, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm.Update(0x1000, &plain, 777, 5)
+		got := make([]byte, bits/8)
+		m.Read(dm.SlotAddr(0x1000), got)
+		if hex.EncodeToString(got) != golden[bits] {
+			t.Errorf("%d-bit data MAC = %s, want %s (MAC FORMAT CHANGED)", bits, hex.EncodeToString(got), golden[bits])
+		}
+	}
+}
+
+func TestGoldenGroupMAC(t *testing.T) {
+	m := goldenMemory()
+	gm, err := NewGroupMACStore(m, goldenKey, 128, 3<<20, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := counter.Block{LPID: 999}
+	for i := range cb.Minor {
+		cb.Minor[i] = uint8(i)
+	}
+	gm.Update(0x1000, cb)
+	got := make([]byte, 16)
+	m.Read(gm.SlotAddr(0x1000), got)
+	const want = "daf13cc1a8793d697a18ee4950510d55"
+	if hex.EncodeToString(got) != want {
+		t.Errorf("group MAC = %s, want %s (MAC FORMAT CHANGED)", hex.EncodeToString(got), want)
+	}
+}

@@ -21,12 +21,20 @@ import (
 // so a group never crosses a page (all members share one counter block).
 type GroupMACStore struct {
 	m        *mem.Memory
-	key      []byte
+	mac      hmac.Keyed
 	macBits  int
 	macBytes int
 	base     layout.Addr
 	dataBase layout.Addr
 	coverage int
+
+	// Scratch for the per-group hot path: the assembled message (sized once
+	// in the constructor from coverage) and tag buffers, so Update/Verify
+	// perform zero heap allocations. See DataMACStore for the concurrency
+	// contract.
+	msg  []byte
+	want [32]byte
+	got  [32]byte
 
 	// MACOps counts HMAC computations; GroupReads counts the sibling block
 	// fetches verification and update require.
@@ -43,8 +51,11 @@ func NewGroupMACStore(m *mem.Memory, key []byte, macBits int, base, dataBase lay
 	if coverage < 1 || coverage > layout.BlocksPerPage || coverage&(coverage-1) != 0 {
 		return nil, fmt.Errorf("integrity: coverage %d must be a power of two in [1, %d]", coverage, layout.BlocksPerPage)
 	}
-	return &GroupMACStore{m: m, key: key, macBits: macBits, macBytes: g.MACBytes,
-		base: base, dataBase: dataBase, coverage: coverage}, nil
+	s := &GroupMACStore{m: m, macBits: macBits, macBytes: g.MACBytes,
+		base: base, dataBase: dataBase, coverage: coverage,
+		msg: make([]byte, 0, coverage*layout.BlockSize+8+coverage+1)}
+	s.mac.Init(key)
+	return s, nil
 }
 
 // Coverage returns the blocks-per-MAC factor.
@@ -68,10 +79,11 @@ func (s *GroupMACStore) SlotAddr(a layout.Addr) layout.Addr {
 	return s.base + layout.Addr(grp*uint64(s.macBytes))
 }
 
-// compute hashes the whole group's ciphertext plus its counters.
-func (s *GroupMACStore) compute(a layout.Addr, cb counter.Block) []byte {
+// computeInto hashes the whole group's ciphertext plus its counters into
+// dst (len macBytes), assembling the message in per-store scratch.
+func (s *GroupMACStore) computeInto(dst []byte, a layout.Addr, cb counter.Block) {
 	gb := s.groupBase(a)
-	msg := make([]byte, 0, s.coverage*layout.BlockSize+8+s.coverage+1)
+	msg := s.msg[:0]
 	firstIdx := gb.BlockInPage()
 	for i := 0; i < s.coverage; i++ {
 		var blk mem.Block
@@ -88,24 +100,25 @@ func (s *GroupMACStore) compute(a layout.Addr, cb counter.Block) []byte {
 		msg = append(msg, cb.Minor[firstIdx+i])
 	}
 	msg = append(msg, uint8(firstIdx/s.coverage))
-	tag, err := hmac.Sized(s.key, msg, s.macBits)
-	if err != nil {
+	if err := s.mac.SizedInto(dst, msg, s.macBits); err != nil {
 		panic(err) // width validated in the constructor
 	}
 	s.MACOps++
-	return tag
 }
 
 // Update recomputes and stores the MAC of a's group from current memory
 // contents and the page's counter block.
 func (s *GroupMACStore) Update(a layout.Addr, cb counter.Block) {
-	s.m.Write(s.SlotAddr(a), s.compute(a, cb))
+	mac := s.want[:s.macBytes]
+	s.computeInto(mac, a, cb)
+	s.m.Write(s.SlotAddr(a), mac)
 }
 
 // Verify checks a's group against its stored MAC.
 func (s *GroupMACStore) Verify(a layout.Addr, cb counter.Block) error {
-	want := s.compute(a, cb)
-	got := make([]byte, s.macBytes)
+	want := s.want[:s.macBytes]
+	s.computeInto(want, a, cb)
+	got := s.got[:s.macBytes]
 	s.m.Read(s.SlotAddr(a), got)
 	if !hmac.Equal(want, got) {
 		return &Error{Addr: a, Level: -1, Node: s.SlotAddr(a)}

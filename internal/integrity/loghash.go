@@ -22,11 +22,15 @@ import (
 // next checkpoint, leaving a window the attacker can exploit.
 type LogHash struct {
 	m        *mem.Memory
-	key      []byte
+	mac      hmac.Keyed
 	region   mem.Region
 	writeLog [20]byte
 	readLog  [20]byte
 	version  map[layout.Addr]uint64
+
+	// msg is per-verifier scratch for entry assembly (zero allocations on
+	// the read/write log paths).
+	msg [layout.BlockSize + 16]byte
 
 	// Ops counts HMAC computations for the experiment harness.
 	Ops uint64
@@ -36,7 +40,8 @@ type LogHash struct {
 // block starts at version 0 with its current (zero) memory content recorded
 // as the initial write.
 func NewLogHash(m *mem.Memory, key []byte, region mem.Region) *LogHash {
-	l := &LogHash{m: m, key: key, region: region, version: make(map[layout.Addr]uint64)}
+	l := &LogHash{m: m, region: region, version: make(map[layout.Addr]uint64)}
+	l.mac.Init(key)
 	// Record the initial contents as writes at version 0 so the first
 	// checkpoint balances.
 	for a := region.Base; a < region.Base+layout.Addr(region.Size); a += layout.BlockSize {
@@ -49,14 +54,11 @@ func NewLogHash(m *mem.Memory, key []byte, region mem.Region) *LogHash {
 }
 
 func (l *LogHash) entry(a layout.Addr, version uint64, blk *mem.Block) [20]byte {
-	msg := make([]byte, 0, layout.BlockSize+16)
-	var meta [16]byte
-	binary.BigEndian.PutUint64(meta[:8], uint64(a))
-	binary.BigEndian.PutUint64(meta[8:], version)
-	msg = append(msg, meta[:]...)
-	msg = append(msg, blk[:]...)
+	binary.BigEndian.PutUint64(l.msg[:8], uint64(a))
+	binary.BigEndian.PutUint64(l.msg[8:16], version)
+	copy(l.msg[16:], blk[:])
 	l.Ops++
-	return hmac.MAC(l.key, msg)
+	return l.mac.Sum(l.msg[:])
 }
 
 func xorInto(dst *[20]byte, src [20]byte) {

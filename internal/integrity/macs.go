@@ -22,11 +22,19 @@ import (
 // to disk.
 type DataMACStore struct {
 	m        *mem.Memory
-	key      []byte
+	mac      hmac.Keyed // precomputed midstates; the per-tag engine
 	macBits  int
 	macBytes int
 	base     layout.Addr // MAC region base
 	dataBase layout.Addr // protected data region base
+
+	// Scratch for the per-block hot path (message assembly and tag
+	// buffers), so Update/Verify perform zero heap allocations. Stores
+	// follow the controller's concurrency contract: not safe for
+	// concurrent use.
+	msg  [layout.BlockSize + 10]byte
+	want [32]byte
+	got  [32]byte
 
 	// MACOps counts HMAC computations for the experiment harness.
 	MACOps uint64
@@ -39,7 +47,9 @@ func NewDataMACStore(m *mem.Memory, key []byte, macBits int, base, dataBase layo
 	if err != nil {
 		return nil, err
 	}
-	return &DataMACStore{m: m, key: key, macBits: macBits, macBytes: g.MACBytes, base: base, dataBase: dataBase}, nil
+	s := &DataMACStore{m: m, macBits: macBits, macBytes: g.MACBytes, base: base, dataBase: dataBase}
+	s.mac.Init(key)
+	return s, nil
 }
 
 // SlotAddr returns where the MAC for the data block at a is stored.
@@ -48,26 +58,24 @@ func (s *DataMACStore) SlotAddr(a layout.Addr) layout.Addr {
 	return s.base + layout.Addr(blk*uint64(s.macBytes))
 }
 
-func (s *DataMACStore) compute(ct *mem.Block, lpid uint64, minor uint8, blockInPage int) []byte {
-	msg := make([]byte, 0, layout.BlockSize+10)
-	msg = append(msg, ct[:]...)
-	var meta [10]byte
-	binary.BigEndian.PutUint64(meta[:8], lpid)
-	meta[8] = minor
-	meta[9] = uint8(blockInPage)
-	msg = append(msg, meta[:]...)
-	tag, err := hmac.Sized(s.key, msg, s.macBits)
-	if err != nil {
+// computeInto assembles the MAC message in per-store scratch and writes the
+// tag into dst (len macBytes) without allocating.
+func (s *DataMACStore) computeInto(dst []byte, ct *mem.Block, lpid uint64, minor uint8, blockInPage int) {
+	copy(s.msg[:], ct[:])
+	binary.BigEndian.PutUint64(s.msg[layout.BlockSize:], lpid)
+	s.msg[layout.BlockSize+8] = minor
+	s.msg[layout.BlockSize+9] = uint8(blockInPage)
+	if err := s.mac.SizedInto(dst, s.msg[:], s.macBits); err != nil {
 		panic(err) // width validated in the constructor
 	}
 	s.MACOps++
-	return tag
 }
 
 // Update recomputes and stores the MAC for the data block at a with
 // ciphertext ct encrypted under (lpid, minor).
 func (s *DataMACStore) Update(a layout.Addr, ct *mem.Block, lpid uint64, minor uint8) {
-	mac := s.compute(ct, lpid, minor, a.BlockInPage())
+	mac := s.want[:s.macBytes]
+	s.computeInto(mac, ct, lpid, minor, a.BlockInPage())
 	s.m.Write(s.SlotAddr(a), mac)
 }
 
@@ -75,8 +83,9 @@ func (s *DataMACStore) Update(a layout.Addr, ct *mem.Block, lpid uint64, minor u
 // ct and counter (lpid, minor). A mismatch is reported as an *Error with
 // Level -1 (data MAC, outside the tree).
 func (s *DataMACStore) Verify(a layout.Addr, ct *mem.Block, lpid uint64, minor uint8) error {
-	want := s.compute(ct, lpid, minor, a.BlockInPage())
-	got := make([]byte, s.macBytes)
+	want := s.want[:s.macBytes]
+	s.computeInto(want, ct, lpid, minor, a.BlockInPage())
+	got := s.got[:s.macBytes]
 	s.m.Read(s.SlotAddr(a), got)
 	if !hmac.Equal(want, got) {
 		return &Error{Addr: a, Level: -1, Node: s.SlotAddr(a)}
@@ -90,11 +99,16 @@ func (s *DataMACStore) Verify(a layout.Addr, ct *mem.Block, lpid uint64, minor u
 // undetected — the weakness Merkle trees close.
 type MACOnlyStore struct {
 	m        *mem.Memory
-	key      []byte
+	mac      hmac.Keyed
 	macBits  int
 	macBytes int
 	base     layout.Addr
 	dataBase layout.Addr
+
+	// Scratch for the per-block hot path; see DataMACStore.
+	msg  [layout.BlockSize + 8]byte
+	want [32]byte
+	got  [32]byte
 
 	// MACOps counts HMAC computations for the experiment harness.
 	MACOps uint64
@@ -106,7 +120,9 @@ func NewMACOnlyStore(m *mem.Memory, key []byte, macBits int, base, dataBase layo
 	if err != nil {
 		return nil, err
 	}
-	return &MACOnlyStore{m: m, key: key, macBits: macBits, macBytes: g.MACBytes, base: base, dataBase: dataBase}, nil
+	s := &MACOnlyStore{m: m, macBits: macBits, macBytes: g.MACBytes, base: base, dataBase: dataBase}
+	s.mac.Init(key)
+	return s, nil
 }
 
 // SlotAddr returns where the MAC for the data block at a is stored.
@@ -115,29 +131,29 @@ func (s *MACOnlyStore) SlotAddr(a layout.Addr) layout.Addr {
 	return s.base + layout.Addr(blk*uint64(s.macBytes))
 }
 
-func (s *MACOnlyStore) compute(a layout.Addr, ct *mem.Block) []byte {
-	msg := make([]byte, 0, layout.BlockSize+8)
-	msg = append(msg, ct[:]...)
-	var ab [8]byte
-	binary.BigEndian.PutUint64(ab[:], uint64(a.BlockAddr()))
-	msg = append(msg, ab[:]...)
-	tag, err := hmac.Sized(s.key, msg, s.macBits)
-	if err != nil {
+// computeInto assembles the MAC message in per-store scratch and writes the
+// tag into dst (len macBytes) without allocating.
+func (s *MACOnlyStore) computeInto(dst []byte, a layout.Addr, ct *mem.Block) {
+	copy(s.msg[:], ct[:])
+	binary.BigEndian.PutUint64(s.msg[layout.BlockSize:], uint64(a.BlockAddr()))
+	if err := s.mac.SizedInto(dst, s.msg[:], s.macBits); err != nil {
 		panic(err)
 	}
 	s.MACOps++
-	return tag
 }
 
 // Update stores the MAC for the block at a.
 func (s *MACOnlyStore) Update(a layout.Addr, ct *mem.Block) {
-	s.m.Write(s.SlotAddr(a), s.compute(a, ct))
+	mac := s.want[:s.macBytes]
+	s.computeInto(mac, a, ct)
+	s.m.Write(s.SlotAddr(a), mac)
 }
 
 // Verify checks the block at a against its stored MAC.
 func (s *MACOnlyStore) Verify(a layout.Addr, ct *mem.Block) error {
-	want := s.compute(a, ct)
-	got := make([]byte, s.macBytes)
+	want := s.want[:s.macBytes]
+	s.computeInto(want, a, ct)
+	got := s.got[:s.macBytes]
 	s.m.Read(s.SlotAddr(a), got)
 	if !hmac.Equal(want, got) {
 		return &Error{Addr: a, Level: -1, Node: s.SlotAddr(a)}

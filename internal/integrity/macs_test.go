@@ -78,8 +78,10 @@ func TestDataMACPositionIndependentAcrossFrames(t *testing.T) {
 	_, s := dataMACStore(t)
 	var ct mem.Block
 	ct[9] = 0x5a
-	mac1 := s.compute(&ct, 42, 7, layout.Addr(0x1040).BlockInPage())
-	mac2 := s.compute(&ct, 42, 7, layout.Addr(0x9040).BlockInPage())
+	mac1 := make([]byte, 16)
+	mac2 := make([]byte, 16)
+	s.computeInto(mac1, &ct, 42, 7, layout.Addr(0x1040).BlockInPage())
+	s.computeInto(mac2, &ct, 42, 7, layout.Addr(0x9040).BlockInPage())
 	if !bytes.Equal(mac1, mac2) {
 		t.Error("data MAC depends on physical frame; swap would break it")
 	}

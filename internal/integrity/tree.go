@@ -54,9 +54,15 @@ func storageBlocks(count uint64, b int) uint64 {
 type Tree struct {
 	*TreeGeometry
 	m     *mem.Memory
-	key   []byte
+	mac   hmac.Keyed // precomputed midstates; the per-node tag engine
 	root  []byte
 	built bool
+
+	// Per-instance scratch for the verify/update walks, so the per-access
+	// hot path performs zero heap allocations. Tree is not safe for
+	// concurrent use (one controller pipeline), so plain fields suffice.
+	nodeScratch   [32]byte // recomputed node MAC (≤256 bits)
+	storedScratch [32]byte // stored node MAC read back from memory
 
 	// MACOps counts HMAC computations for the experiment harness.
 	MACOps uint64
@@ -90,29 +96,37 @@ func NewTree(m *mem.Memory, key []byte, macBits int, regions []mem.Region, stora
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{TreeGeometry: tg, m: m, key: key}, nil
+	t := &Tree{TreeGeometry: tg, m: m}
+	t.mac.Init(key)
+	return t, nil
 }
 
-// macAt reads the stored MAC at a level slot.
-func (t *Tree) macAt(lv level, idx uint64) []byte {
-	buf := make([]byte, t.g.MACBytes)
-	t.m.Read(lv.base+layout.Addr(idx*uint64(t.g.MACBytes)), buf)
-	return buf
+// macAtInto reads the stored MAC at a level slot into dst (len MACBytes).
+func (t *Tree) macAtInto(lv level, idx uint64, dst []byte) {
+	t.m.Read(lv.base+layout.Addr(idx*uint64(t.g.MACBytes)), dst)
 }
 
 func (t *Tree) setMACAt(lv level, idx uint64, mac []byte) {
 	t.m.Write(lv.base+layout.Addr(idx*uint64(t.g.MACBytes)), mac)
 }
 
-// nodeMAC computes the content MAC of one 64-byte block.
-func (t *Tree) nodeMAC(a layout.Addr) []byte {
+// nodeMACInto computes the content MAC of one 64-byte block into dst
+// (len MACBytes) without allocating.
+func (t *Tree) nodeMACInto(a layout.Addr, dst []byte) {
 	var blk mem.Block
 	t.m.ReadBlock(a, &blk)
-	tag, err := hmac.Sized(t.key, blk[:], t.g.MACBits)
-	if err != nil {
+	if err := t.mac.SizedInto(dst, blk[:], t.g.MACBits); err != nil {
 		panic(err) // width validated in NewTree
 	}
 	t.MACOps++
+}
+
+// nodeMAC computes the content MAC of one 64-byte block, allocating the
+// result. Cold paths (Build, LeafMAC) use it; the per-access walks use
+// nodeMACInto with per-tree scratch.
+func (t *Tree) nodeMAC(a layout.Addr) []byte {
+	tag := make([]byte, t.g.MACBytes)
+	t.nodeMACInto(a, tag)
 	return tag
 }
 
@@ -172,27 +186,17 @@ func (t *Tree) VerifyBlock(a layout.Addr) error {
 	if !ok {
 		return fmt.Errorf("integrity: %#x is not covered by this tree", a)
 	}
+	computed := t.nodeScratch[:t.g.MACBytes]
+	stored := t.storedScratch[:t.g.MACBytes]
 	// Leaf: recompute the block's MAC and compare to the stored level-0 MAC.
-	if !hmac.Equal(t.nodeMAC(a.BlockAddr()), t.macAt(t.levels[0], idx)) {
+	t.nodeMACInto(a.BlockAddr(), computed)
+	t.macAtInto(t.levels[0], idx, stored)
+	if !hmac.Equal(computed, stored) {
 		node, _ := t.TreeGeometry.slotBlock(t.levels[0], idx)
 		return &Error{Addr: a, Level: 0, Node: node}
 	}
 	// Interior: each storage block must match its parent's stored MAC.
-	for li := 0; li < len(t.levels); li++ {
-		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
-		computed := t.nodeMAC(blockAddr)
-		var stored []byte
-		if li == len(t.levels)-1 {
-			stored = t.root
-		} else {
-			stored = t.macAt(t.levels[li+1], parentIdx)
-		}
-		if !hmac.Equal(computed, stored) {
-			return &Error{Addr: a, Level: li + 1, Node: blockAddr}
-		}
-		idx = parentIdx
-	}
-	return nil
+	return t.verifyChainFrom(0, idx, a)
 }
 
 // UpdateBlock recomputes the MAC chain for the protected block at a after
@@ -205,18 +209,29 @@ func (t *Tree) UpdateBlock(a layout.Addr) error {
 	if !ok {
 		return fmt.Errorf("integrity: %#x is not covered by this tree", a)
 	}
-	t.setMACAt(t.levels[0], idx, t.nodeMAC(a.BlockAddr()))
+	mac := t.nodeScratch[:t.g.MACBytes]
+	t.nodeMACInto(a.BlockAddr(), mac)
+	t.setMACAt(t.levels[0], idx, mac)
 	for li := 0; li < len(t.levels); li++ {
 		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
-		mac := t.nodeMAC(blockAddr)
+		t.nodeMACInto(blockAddr, mac)
 		if li == len(t.levels)-1 {
-			t.root = mac
+			t.setRoot(mac)
 		} else {
 			t.setMACAt(t.levels[li+1], parentIdx, mac)
 		}
 		idx = parentIdx
 	}
 	return nil
+}
+
+// setRoot copies mac into the on-chip root register without aliasing the
+// caller's scratch.
+func (t *Tree) setRoot(mac []byte) {
+	if len(t.root) != len(mac) {
+		t.root = make([]byte, len(mac))
+	}
+	copy(t.root, mac)
 }
 
 // LeafMAC returns the stored level-0 MAC protecting the block at a. For the
@@ -228,7 +243,9 @@ func (t *Tree) LeafMAC(a layout.Addr) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("integrity: %#x is not covered by this tree", a)
 	}
-	return t.macAt(t.levels[0], idx), nil
+	buf := make([]byte, t.g.MACBytes)
+	t.macAtInto(t.levels[0], idx, buf)
+	return buf, nil
 }
 
 // InstallLeafMAC overwrites the stored level-0 MAC for the block at a and
@@ -243,11 +260,12 @@ func (t *Tree) InstallLeafMAC(a layout.Addr, mac []byte) error {
 		return fmt.Errorf("integrity: MAC is %d bytes, want %d", len(mac), t.g.MACBytes)
 	}
 	t.setMACAt(t.levels[0], idx, mac)
+	m := t.nodeScratch[:t.g.MACBytes]
 	for li := 0; li < len(t.levels); li++ {
 		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
-		m := t.nodeMAC(blockAddr)
+		t.nodeMACInto(blockAddr, m)
 		if li == len(t.levels)-1 {
-			t.root = m
+			t.setRoot(m)
 		} else {
 			t.setMACAt(t.levels[li+1], parentIdx, m)
 		}
@@ -277,14 +295,16 @@ func (t *Tree) NodeAddrs(a layout.Addr) ([]layout.Addr, error) {
 // for a slot index (used after leaf-level checks by callers that already
 // validated leaf content another way).
 func (t *Tree) verifyChainFrom(li int, idx uint64, blames layout.Addr) error {
+	computed := t.nodeScratch[:t.g.MACBytes]
 	for ; li < len(t.levels); li++ {
 		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
-		computed := t.nodeMAC(blockAddr)
+		t.nodeMACInto(blockAddr, computed)
 		var stored []byte
 		if li == len(t.levels)-1 {
 			stored = t.root
 		} else {
-			stored = t.macAt(t.levels[li+1], parentIdx)
+			stored = t.storedScratch[:t.g.MACBytes]
+			t.macAtInto(t.levels[li+1], parentIdx, stored)
 		}
 		if !hmac.Equal(computed, stored) {
 			return &Error{Addr: blames, Level: li + 1, Node: blockAddr}

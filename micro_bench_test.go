@@ -7,7 +7,11 @@ import (
 	"testing"
 
 	"aisebmt/internal/cache"
+	"aisebmt/internal/core"
 	"aisebmt/internal/counter"
+	"aisebmt/internal/crypto/aes"
+	"aisebmt/internal/crypto/hmac"
+	"aisebmt/internal/encrypt"
 	"aisebmt/internal/integrity"
 	"aisebmt/internal/layout"
 	"aisebmt/internal/mem"
@@ -71,6 +75,124 @@ func BenchmarkCounterBlockCodec(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		enc := cb.Encode()
 		cb = counter.DecodeBlock(enc)
+	}
+}
+
+// BenchmarkAESPadGen measures one pad generation (one AES block) on the
+// T-table path — the unit of work counter mode performs four times per
+// 64-byte cache block.
+func BenchmarkAESPadGen(b *testing.B) {
+	c, err := aes.New([]byte("0123456789abcdef"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seed, pad [aes.BlockSize]byte
+	seed[0] = 1
+	b.SetBytes(aes.BlockSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(pad[:], seed[:])
+	}
+}
+
+// BenchmarkAESPadGenRef is the same work on the frozen reference
+// implementation (per-round InvSubBytes-style scalar math) — the "before"
+// row of the crypto overhaul.
+func BenchmarkAESPadGenRef(b *testing.B) {
+	c, err := aes.New([]byte("0123456789abcdef"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seed, pad [aes.BlockSize]byte
+	seed[0] = 1
+	b.SetBytes(aes.BlockSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.EncryptRef(pad[:], seed[:])
+	}
+}
+
+// BenchmarkBlockEncrypt measures counter-mode encryption of one 64-byte
+// block (four pad generations plus the word-wise XOR), the write path's
+// crypto cost. Must run allocation-free.
+func BenchmarkBlockEncrypt(b *testing.B) {
+	e, err := encrypt.NewCounterMode([]byte("0123456789abcdef"), encrypt.AISESeed{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var src, dst mem.Block
+	for i := range src {
+		src[i] = byte(i)
+	}
+	in := encrypt.SeedInput{PhysAddr: 0x4000, LPID: 42, Counter: 7}
+	b.SetBytes(layout.BlockSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.EncryptBlock(&dst, &src, in)
+	}
+}
+
+// BenchmarkDataMACUpdate measures one Bonsai data-MAC computation and store
+// (74-byte message through the midstate HMAC). Must run allocation-free.
+func BenchmarkDataMACUpdate(b *testing.B) {
+	m := mem.New(1 << 20)
+	s, err := integrity.NewDataMACStore(m, []byte("integrity-test-k"), 128, 256<<10, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ct mem.Block
+	ct[0] = 0xa5
+	b.SetBytes(layout.BlockSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Update(0x1040, &ct, 77, uint8(i)&0x7f)
+	}
+}
+
+// BenchmarkHMACSized256 measures the widened 256-bit tag (two HMAC
+// invocations) over a block-sized message.
+func BenchmarkHMACSized256(b *testing.B) {
+	var k hmac.Keyed
+	k.Init([]byte("integrity-test-k"))
+	msg := make([]byte, layout.BlockSize+10)
+	dst := make([]byte, 32)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := k.SizedInto(dst, msg, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSecureWriteRead measures the full controller round trip under
+// the paper's AISE+BMT configuration — every layer of the overhauled hot
+// path at once. Must run allocation-free in steady state.
+func BenchmarkSecureWriteRead(b *testing.B) {
+	s, err := core.New(core.Config{
+		DataBytes:  1 << 20,
+		Key:        []byte("0123456789abcdef"),
+		Encryption: core.AISE,
+		Integrity:  core.BonsaiMT,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blk, out mem.Block
+	blk[0] = 1
+	if err := s.WriteBlock(0x4000, &blk, core.Meta{}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(layout.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.WriteBlock(0x4000, &blk, core.Meta{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.ReadBlock(0x4000, &out, core.Meta{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

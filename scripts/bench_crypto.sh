@@ -1,0 +1,64 @@
+#!/bin/sh
+# bench_crypto.sh — run the crypto hot-path microbenchmarks, compare the
+# overhauled engines against their frozen reference implementations (both
+# live in one binary, so old and new run under identical conditions), and
+# leave BENCH_crypto.json in the repo root. Used by `make bench-crypto`.
+#
+# Pairs reported:
+#   aes_pad_gen     T-table AES block vs the reference scalar rounds
+#   sha1_compress   rolling-window compression vs the FIPS 180-1 loop
+#   hmac_tag_64b    midstate HMAC vs naive per-tag key derivation
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${BENCHTIME:-300ms}"
+OUT="BENCH_crypto.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+go test -run=none -benchtime "$BENCHTIME" -benchmem \
+    -bench '^(BenchmarkAESPadGen|BenchmarkAESPadGenRef|BenchmarkBlockEncrypt|BenchmarkDataMACUpdate|BenchmarkHMACSized256|BenchmarkSecureWriteRead)$' \
+    . >>"$TMP"
+go test -run=none -benchtime "$BENCHTIME" -benchmem \
+    -bench '^(BenchmarkBlock|BenchmarkBlockRef)$' ./internal/crypto/sha1/ >>"$TMP"
+go test -run=none -benchtime "$BENCHTIME" -benchmem \
+    -bench '^(BenchmarkKeyedSum64B|BenchmarkMACRef64B)$' ./internal/crypto/hmac/ >>"$TMP"
+
+awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "allocs/op") allocs[name] = $(i - 1)
+    }
+}
+END {
+    pairs = "aes_pad_gen BenchmarkAESPadGenRef BenchmarkAESPadGen\n" \
+            "sha1_compress BenchmarkBlockRef BenchmarkBlock\n" \
+            "hmac_tag_64b BenchmarkMACRef64B BenchmarkKeyedSum64B"
+    singles = "BenchmarkBlockEncrypt BenchmarkDataMACUpdate BenchmarkHMACSized256 BenchmarkSecureWriteRead"
+
+    printf "{\n  \"benchtime\": \"%s\",\n  \"pairs\": [\n", benchtime > out
+    n = split(pairs, p, "\n")
+    printf "%-14s %12s %12s %9s\n", "pair", "old ns/op", "new ns/op", "speedup"
+    for (i = 1; i <= n; i++) {
+        split(p[i], f, " ")
+        old = ns[f[2]] + 0; new = ns[f[3]] + 0
+        sp = (new > 0) ? old / new : 0
+        printf "    {\"name\": \"%s\", \"old_ns_per_op\": %s, \"new_ns_per_op\": %s, \"speedup\": %.2f}%s\n", \
+            f[1], old, new, sp, (i < n ? "," : "") > out
+        printf "%-14s %12.1f %12.1f %8.2fx\n", f[1], old, new, sp
+    }
+    printf "  ],\n  \"hot_path\": [\n" > out
+    m = split(singles, s, " ")
+    for (i = 1; i <= m; i++) {
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            s[i], ns[s[i]] + 0, allocs[s[i]] + 0, (i < m ? "," : "") > out
+        printf "%-24s %10.1f ns/op  %s allocs/op\n", s[i], ns[s[i]] + 0, allocs[s[i]] + 0
+    }
+    printf "  ]\n}\n" > out
+}
+' benchtime="$BENCHTIME" "$TMP"
+
+echo "wrote $OUT"
