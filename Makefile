@@ -18,6 +18,9 @@
 #                        BENCH_crypto.json
 #   make bench-smoke     one-iteration pass over every microbenchmark (CI
 #                        keeps them compiling and allocation-clean)
+#   make metrics-smoke   start a daemon with observability on, drive traced
+#                        traffic, lint the /metrics exposition (prefix,
+#                        HELP/TYPE, duplicates); CI runs this after check
 #   make chaos           deterministic fault-injection matrix (cmd/chaos):
 #                        bit-flips, rollback, WAL faults, torn writes, slow
 #                        I/O against a live durable pool; CI runs a short
@@ -25,7 +28,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-smoke chaos chaos-smoke
+.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-smoke chaos chaos-smoke metrics-smoke
 
 check: vet build test race
 
@@ -39,7 +42,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/shard/... ./internal/server/... ./internal/persist/... ./internal/chaos/...
+	$(GO) test -race ./internal/obs/... ./internal/shard/... ./internal/server/... ./internal/persist/... ./internal/chaos/...
 
 fuzz:
 	$(GO) test -run=none -fuzz=FuzzRequestRoundTrip -fuzztime=20s ./internal/server/
@@ -71,3 +74,6 @@ bench-crypto:
 
 bench-smoke:
 	$(GO) test -run=none -bench . -benchtime 1x ./internal/crypto/... .
+
+metrics-smoke: build
+	./scripts/metrics_smoke.sh

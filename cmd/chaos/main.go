@@ -81,6 +81,13 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	// The run doubles as an observability check: the exposition must lint
+	// clean, quarantines must be visible as metric transitions, and a
+	// traced write must span queue→crypto→append→fsync.
+	if err := h.VerifyObs(); err != nil {
+		log.Fatalf("chaos: OBSERVABILITY VIOLATION (seed %d): %v", *seed, err)
+	}
+
 	st := h.Stats()
 	summary := struct {
 		Seed      int64       `json:"seed"`

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -45,6 +46,7 @@ import (
 
 	"aisebmt/internal/core"
 	"aisebmt/internal/layout"
+	"aisebmt/internal/obs"
 	"aisebmt/internal/server"
 	"aisebmt/internal/shard"
 )
@@ -71,6 +73,8 @@ func main() {
 	waitBudget := flag.Duration("wait-ready-timeout", 30*time.Second, "how long -wait-ready polls before giving up")
 	degraded := flag.Bool("degraded", false, "benchmark fault-domain isolation: cordon one shard, measure healthy-shard throughput, then heal it")
 	degradedShard := flag.Int("degraded-shard", 0, "shard to cordon in -degraded mode")
+	scrape := flag.String("scrape", "", "daemon observability base URL (the -health address, e.g. http://127.0.0.1:7394); /metrics is snapshotted before and after the run and the delta embedded in -json output")
+	traceOn := flag.Bool("trace", false, "stamp every request with a TraceID; with -scrape, recent span timelines are fetched from /tracez and printed after the run")
 	flag.Parse()
 
 	if *waitReady != "" {
@@ -123,12 +127,19 @@ func main() {
 		Addr: *addr, Conns: *conns, Dist: *dist, OpBytes: *opBytes,
 		MemBytes: bytes, Seed: *seed,
 	}
+	var preScrape map[string]float64
+	if *scrape != "" {
+		if preScrape, err = fetchSamples(*scrape); err != nil {
+			fatalf("-scrape: %v", err)
+		}
+	}
 	failed := false
 	for _, frac := range fracs {
 		run := runMix(mixConfig{
 			addr: *addr, conns: *conns, readFrac: frac, duration: *duration,
 			fixedOps: *ops, dist: *dist, zipfS: *zipfS, pages: pages,
 			opBytes: *opBytes, seed: *seed, retries: *retries, skipShard: -1,
+			trace: *traceOn,
 		})
 		out.Runs = append(out.Runs, run)
 		fmt.Printf("mix read=%.0f%%: %d ops in %.2fs → %.0f ops/s, p50=%s p90=%s p99=%s max=%s, errors=%d\n",
@@ -147,6 +158,18 @@ func main() {
 				st.Enqueued, st.Batches, float64(st.BatchedOps)/max(1, float64(st.Batches)), st.CoalescedWrites)
 		}
 		c.Close()
+	}
+
+	if *scrape != "" {
+		post, err := fetchSamples(*scrape)
+		if err != nil {
+			fatalf("-scrape: %v", err)
+		}
+		out.MetricsDelta = sampleDelta(preScrape, post)
+		fmt.Printf("scrape: %d series moved at %s\n", len(out.MetricsDelta), *scrape)
+		if *traceOn {
+			printTracez(*scrape, 10)
+		}
 	}
 
 	if *jsonOut {
@@ -181,6 +204,9 @@ type benchOutput struct {
 	Seed        int64               `json:"seed"`
 	Runs        []mixResult         `json:"runs"`
 	ServerStats *shard.ServiceStats `json:"server_stats,omitempty"`
+	// MetricsDelta holds, per Prometheus series, how much the daemon's
+	// /metrics value moved across the run (-scrape; gauges may be negative).
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
 }
 
 // mixResult is one read/write mix's measurement.
@@ -192,6 +218,10 @@ type mixResult struct {
 	Seconds    float64   `json:"seconds"`
 	Throughput float64   `json:"throughput_ops_per_sec"`
 	Latency    latencies `json:"latency_us"`
+	// Hist is the full fixed-bucket latency distribution, same power-of-two
+	// microsecond edges as the daemon's request histograms
+	// (obs.LatencyBucketsUS) so client- and server-side views line up.
+	Hist *latencyHist `json:"latency_hist,omitempty"`
 }
 
 // latencies are microsecond percentiles over per-op round-trip times.
@@ -200,6 +230,26 @@ type latencies struct {
 	P90 float64 `json:"p90"`
 	P99 float64 `json:"p99"`
 	Max float64 `json:"max"`
+}
+
+// latencyHist is a fixed-bucket latency histogram in microseconds.
+// Counts are per-bucket (non-cumulative); the last entry counts samples
+// above the final edge (+Inf bucket).
+type latencyHist struct {
+	LeUS  []uint64 `json:"le_us"`
+	Count []uint64 `json:"counts"`
+	N     uint64   `json:"count"`
+	SumUS uint64   `json:"sum_us"`
+}
+
+// histFrom folds nanosecond samples into the shared bucket geometry.
+func histFrom(latNs []int64) *latencyHist {
+	h := obs.NewHistogram(obs.LatencyBucketsUS())
+	for _, ns := range latNs {
+		h.Observe(uint64(ns) / 1e3)
+	}
+	bounds, counts := h.Buckets()
+	return &latencyHist{LeUS: bounds, Count: counts, N: h.Count(), SumUS: h.Sum()}
 }
 
 // mixConfig parameterizes one runMix measurement.
@@ -214,9 +264,10 @@ type mixConfig struct {
 	pages     uint64
 	opBytes   int
 	seed      int64
-	retries   int // retryable-status retry budget per op (0 = fail fast)
-	shards    int // pool shard count; only needed when skipShard >= 0
-	skipShard int // avoid addresses owned by this shard (-1 = none)
+	retries   int  // retryable-status retry budget per op (0 = fail fast)
+	shards    int  // pool shard count; only needed when skipShard >= 0
+	skipShard int  // avoid addresses owned by this shard (-1 = none)
+	trace     bool // stamp a distinct TraceID on every request
 }
 
 // retryOp runs op, retrying retryable status errors (timeout, overload,
@@ -266,6 +317,11 @@ func runMix(cfg mixConfig) mixResult {
 				return
 			}
 			defer c.Close()
+			if cfg.trace {
+				// Disjoint per-worker ID ranges: worker index in the high
+				// half, a counter in the low.
+				c.EnableTrace(uint64(w+1) << 32)
+			}
 			payload := make([]byte, cfg.opBytes)
 			rng.Read(payload)
 			for n := 0; ; n++ {
@@ -334,6 +390,7 @@ func runMix(cfg mixConfig) mixResult {
 		res.Throughput = float64(res.Ops) / elapsed
 	}
 	if len(all) > 0 {
+		res.Hist = histFrom(all)
 		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 		pct := func(f float64) float64 {
 			return float64(all[int(f*float64(len(all)-1))]) / 1e3
@@ -341,6 +398,81 @@ func runMix(cfg mixConfig) mixResult {
 		res.Latency = latencies{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99), Max: float64(all[len(all)-1]) / 1e3}
 	}
 	return res
+}
+
+// obsURL joins the -scrape base with an endpoint path, tolerating a base
+// given with or without the scheme or a trailing /metrics.
+func obsURL(base, path string) string {
+	base = strings.TrimSuffix(strings.TrimSuffix(base, "/metrics"), "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return base + path
+}
+
+// fetchSamples snapshots the daemon's /metrics into series → value.
+func fetchSamples(base string) (map[string]float64, error) {
+	resp, err := http.Get(obsURL(base, "/metrics"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", obsURL(base, "/metrics"), resp.Status)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		return nil, err
+	}
+	return obs.ParseSamples(sb.String()), nil
+}
+
+// sampleDelta reports how much each series moved, dropping the ones that
+// didn't (series born during the run count from zero).
+func sampleDelta(pre, post map[string]float64) map[string]float64 {
+	delta := make(map[string]float64)
+	for k, v := range post {
+		if d := v - pre[k]; d != 0 {
+			delta[k] = d
+		}
+	}
+	return delta
+}
+
+// printTracez fetches the daemon's most recent span timelines.
+func printTracez(base string, n int) {
+	resp, err := http.Get(fmt.Sprintf("%s?n=%d", obsURL(base, "/tracez"), n))
+	if err != nil {
+		fmt.Printf("tracez: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var dump struct {
+		Count   int `json:"count"`
+		Records []struct {
+			TraceID    uint64 `json:"trace_id"`
+			Shard      uint32 `json:"shard"`
+			OpName     string `json:"op_name"`
+			StatusName string `json:"status_name"`
+			QueueNs    int64  `json:"queue_ns"`
+			CoalesceNs int64  `json:"coalesce_ns"`
+			AppendNs   int64  `json:"append_ns"`
+			FsyncNs    int64  `json:"fsync_ns"`
+			ExecNs     int64  `json:"exec_ns"`
+			TotalUS    int64  `json:"total_us"`
+		} `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		fmt.Printf("tracez: %v\n", err)
+		return
+	}
+	fmt.Printf("tracez: %d recent traced requests (queue → coalesce → append → fsync → exec):\n", dump.Count)
+	for _, r := range dump.Records {
+		fmt.Printf("  %016x shard=%d %-7s %-5s %6.1fµs → %5.1fµs → %6.1fµs → %6.1fµs → %6.1fµs  total=%dµs\n",
+			r.TraceID, r.Shard, r.OpName, r.StatusName,
+			float64(r.QueueNs)/1e3, float64(r.CoalesceNs)/1e3, float64(r.AppendNs)/1e3,
+			float64(r.FsyncNs)/1e3, float64(r.ExecNs)/1e3, r.TotalUS)
+	}
 }
 
 // pollReady polls a /readyz URL until it returns 200 or the budget runs

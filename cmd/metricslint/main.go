@@ -1,0 +1,61 @@
+// Command metricslint checks a Prometheus text exposition against the
+// repository's metric conventions: every series carries the secmemd_
+// prefix, every sampled family has HELP and TYPE lines, no family or
+// series is emitted twice, and every sample value parses. CI scrapes a
+// live daemon's /metrics through it so a mis-registered or unprefixed
+// metric fails the build, not a dashboard.
+//
+// Usage:
+//
+//	metricslint -url http://127.0.0.1:7394/metrics
+//	curl -s http://127.0.0.1:7394/metrics | metricslint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"aisebmt/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this /metrics URL (empty reads the exposition from stdin)")
+	prefix := flag.String("prefix", "secmemd_", "required series name prefix")
+	flag.Parse()
+
+	var text []byte
+	var err error
+	if *url != "" {
+		resp, herr := http.Get(*url)
+		if herr != nil {
+			fatalf("%v", herr)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatalf("%s: %s", *url, resp.Status)
+		}
+		text, err = io.ReadAll(resp.Body)
+	} else {
+		text, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	problems := obs.Lint(string(text), *prefix)
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "metricslint: %s\n", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("metricslint: %d bytes of exposition clean (prefix %s)\n", len(text), *prefix)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metricslint: "+format+"\n", args...)
+	os.Exit(1)
+}

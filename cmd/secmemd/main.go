@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"aisebmt/internal/core"
+	"aisebmt/internal/obs"
 	"aisebmt/internal/persist"
 	"aisebmt/internal/server"
 	"aisebmt/internal/shard"
@@ -75,7 +76,19 @@ func main() {
 	frameTimeout := flag.Duration("frame-timeout", 0, "budget for a client to finish sending a request frame (0 = default)")
 	repairBackoff := flag.Duration("repair-backoff", 0, "initial backoff between online shard-repair attempts (0 = default; requires -data-dir)")
 	repairAttempts := flag.Int("repair-attempts", 0, "repair attempts before the crash-loop breaker marks a shard down (0 = default)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -health address")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *showVersion {
+		bi := obs.ReadBuildInfo()
+		fmt.Printf("secmemd %s (%s, rev %s", bi.Version, bi.GoVersion, bi.Revision)
+		if bi.Modified {
+			fmt.Print(", modified")
+		}
+		fmt.Println(")")
+		return
+	}
 
 	logger := log.New(os.Stderr, "secmemd: ", log.LstdFlags)
 
@@ -99,10 +112,18 @@ func main() {
 		slots = 0 // swap protection is a BMT feature; other presets run without it
 	}
 
+	// One observability service backs every layer: the pool registers its
+	// worker instruments and trace rings, persist deposits commit-stage
+	// costs, and the server registers the request-level series. Scrape it
+	// at /metrics on the -health address.
+	obsSvc := obs.NewService(*shardsN, obs.DefaultRingSize)
+	obs.RegisterBuildInfo(obsSvc.Reg, obs.ReadBuildInfo())
+
 	cfg := shard.Config{
 		Shards:     *shardsN,
 		QueueDepth: *queue,
 		BatchMax:   *batch,
+		Obs:        obsSvc,
 		Core: core.Config{
 			DataBytes:  bytes,
 			MACBits:    *macBits,
@@ -127,6 +148,7 @@ func main() {
 			RepairBackoff:  *repairBackoff,
 			RepairAttempts: *repairAttempts,
 			Logf:           logger.Printf,
+			Obs:            obsSvc,
 		})
 		if err != nil {
 			logger.Fatalf("persist: %v", err)
@@ -139,6 +161,7 @@ func main() {
 		FrameTimeout:  *frameTimeout,
 		MaxInflight:   *maxInflight,
 		Logf:          logger.Printf,
+		Obs:           obsSvc,
 	}
 	if store != nil {
 		srvOpts.Checkpoint = func() (string, int64, error) {
@@ -160,13 +183,20 @@ func main() {
 		if err != nil {
 			logger.Fatalf("health listen: %v", err)
 		}
-		healthSrv = &http.Server{Handler: srv.HealthHandler()}
+		mux := http.NewServeMux()
+		mux.Handle("/", srv.HealthHandler())
+		srv.ObsHandler(mux, *pprofOn)
+		healthSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := healthSrv.Serve(hln); err != nil && err != http.ErrServerClosed {
 				logger.Printf("health server: %v", err)
 			}
 		}()
-		logger.Printf("health probes on http://%s/healthz and /readyz", hln.Addr())
+		extra := ""
+		if *pprofOn {
+			extra = ", /debug/pprof"
+		}
+		logger.Printf("health probes on http://%s/healthz and /readyz (/metrics, /tracez%s)", hln.Addr(), extra)
 	}
 
 	// Install the signal handler before the listener becomes visible, so a

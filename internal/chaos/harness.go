@@ -10,6 +10,7 @@ import (
 
 	"aisebmt/internal/core"
 	"aisebmt/internal/layout"
+	"aisebmt/internal/obs"
 	"aisebmt/internal/persist"
 	"aisebmt/internal/shard"
 )
@@ -71,7 +72,13 @@ type Harness struct {
 	Store *persist.Store
 	Pool  *shard.Pool
 	Inj   *Injector
+	Obs   *obs.Service
 	rng   *rand.Rand
+
+	// traceSeq stamps every harness request with a distinct trace ID, so
+	// fault scenarios double as soak tests for the per-shard trace rings
+	// and VerifyObs can hold the spans to the acceptance timeline.
+	traceSeq uint64
 
 	// model maps each written pool address to its value candidates.
 	// candidates[0] is the last acknowledged value; later entries are
@@ -103,6 +110,7 @@ func New(cfg Config) (*Harness, error) {
 		cfg.BaseFS = persist.OSFS()
 	}
 	ffs := WrapFS(cfg.BaseFS, cfg.Seed)
+	obsSvc := obs.NewService(cfg.Shards, obs.DefaultRingSize)
 	st, err := persist.Open(persist.Options{
 		Dir:              cfg.Dir,
 		Key:              harnessKey,
@@ -114,6 +122,7 @@ func New(cfg Config) (*Harness, error) {
 		RepairAttempts:   1_000_000,
 		Logf:             cfg.Logf,
 		FS:               ffs,
+		Obs:              obsSvc,
 	})
 	if err != nil {
 		return nil, err
@@ -127,6 +136,7 @@ func New(cfg Config) (*Harness, error) {
 			Integrity:  core.BonsaiMT,
 			SwapSlots:  4,
 		},
+		Obs: obsSvc,
 	})
 	if err != nil {
 		st.Close()
@@ -138,6 +148,7 @@ func New(cfg Config) (*Harness, error) {
 		Store:   st,
 		Pool:    pool,
 		Inj:     NewInjector(pool),
+		Obs:     obsSvc,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		model:   make(map[layout.Addr][][]byte),
 		byShard: make([][]layout.Addr, cfg.Shards),
@@ -173,10 +184,14 @@ func ctx10() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), 10*time.Second)
 }
 
-// metaFor derives the fixed request metadata for an address, so reads
-// always present the same AISE seed components the write used.
-func metaFor(addr layout.Addr) core.Meta {
-	return core.Meta{VirtAddr: uint64(addr), PID: 7}
+// metaFor derives the request metadata for an address: fixed AISE seed
+// components (reads must present the same VirtAddr/PID the write used)
+// plus a fresh trace ID, so every harness request lands a span in its
+// shard's trace ring. Trace IDs are sequential and therefore as
+// deterministic as the rest of the schedule.
+func (h *Harness) metaFor(addr layout.Addr) core.Meta {
+	h.traceSeq++
+	return core.Meta{VirtAddr: uint64(addr), PID: 7, Trace: h.traceSeq}
 }
 
 // pickAddr returns a random block-aligned pool address on shard sh.
@@ -205,7 +220,7 @@ func (h *Harness) writeOne(sh int) (layout.Addr, error) {
 	h.rng.Read(val)
 	ctx, cancel := ctx10()
 	defer cancel()
-	err := h.Pool.Write(ctx, addr, val, metaFor(addr))
+	err := h.Pool.Write(ctx, addr, val, h.metaFor(addr))
 	if _, known := h.model[addr]; !known {
 		h.byShard[sh] = append(h.byShard[sh], addr)
 	}
@@ -251,7 +266,7 @@ func (h *Harness) CheckModel() error {
 	for addr, cands := range h.model {
 		buf := make([]byte, valLen)
 		ctx, cancel := ctx10()
-		err := h.Pool.Read(ctx, addr, buf, metaFor(addr))
+		err := h.Pool.Read(ctx, addr, buf, h.metaFor(addr))
 		cancel()
 		if err != nil {
 			return fmt.Errorf("chaos: model read %#x: %w", addr, err)
@@ -279,7 +294,7 @@ func (h *Harness) expectDetected(addr layout.Addr) error {
 	buf := make([]byte, valLen)
 	ctx, cancel := ctx10()
 	defer cancel()
-	err := h.Pool.Read(ctx, addr, buf, metaFor(addr))
+	err := h.Pool.Read(ctx, addr, buf, h.metaFor(addr))
 	if err == nil {
 		return fmt.Errorf("chaos: TAMPER SERVED: read of tampered %#x returned %x with no error", addr, buf)
 	}

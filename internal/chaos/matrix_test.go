@@ -27,6 +27,9 @@ func TestChaosMatrix(t *testing.T) {
 					}
 				}
 			}
+			if err := h.VerifyObs(); err != nil {
+				t.Errorf("observability: %v", err)
+			}
 			st := h.Stats()
 			t.Logf("matrix stats: %+v", st)
 			if st.TampersDetected != st.TampersInjected {

@@ -142,6 +142,15 @@ type Stats struct {
 	FullReencrypts uint64 // global-counter wrap re-encryptions
 	SwapOuts       uint64
 	SwapIns        uint64
+
+	// Metadata-cache model counters (see metacache.go): how often the
+	// counter block / tree node a verification needs would have been
+	// resident in a small on-chip cache. The observability layer surfaces
+	// these as hit rates.
+	CtrCacheHits      uint64
+	CtrCacheMisses    uint64
+	TreeNodeCacheHits uint64
+	TreeNodeCacheMiss uint64
 }
 
 // String renders the counters compactly for logs and examples.
@@ -151,10 +160,14 @@ func (s Stats) String() string {
 		s.PageReencrypts, s.FullReencrypts, s.SwapOuts, s.SwapIns)
 }
 
-// Meta carries the per-access context some seed schemes need.
+// Meta carries the per-access context some seed schemes need, plus the
+// wire-level trace identifier. Trace is opaque to the controller — it
+// rides through so the service layers above can attribute per-stage
+// spans to a request without allocating a context.
 type Meta struct {
 	VirtAddr uint64
 	PID      uint32
+	Trace    uint64
 }
 
 // SecureMemory is a functional secure memory controller. Instances are
@@ -182,7 +195,8 @@ type SecureMemory struct {
 	macOnly   *integrity.MACOnlyStore
 	rootDir   *integrity.PageRootDirectory
 
-	stats Stats
+	mcache metaCache
+	stats  Stats
 }
 
 // Errors returned by the controller.
@@ -502,6 +516,9 @@ func (s *SecureMemory) WriteBlock(a layout.Addr, plain *mem.Block, meta Meta) er
 	if err := s.checkData(a); err != nil {
 		return err
 	}
+	if s.ctrRegion.Size > 0 {
+		s.touchCtr(s.ctrSlotBlock(a))
+	}
 	var ct mem.Block
 	var lpid uint64
 	var minor uint8
@@ -530,6 +547,7 @@ func (s *SecureMemory) WriteBlock(a layout.Addr, plain *mem.Block, meta Meta) er
 				return err
 			}
 			s.stats.TreeUpdates++
+			s.touchTreeWalk(s.split.BlockAddr(a))
 		}
 	case CtrPhys, CtrVirt:
 		v, _ := s.perBlock.Increment(a)
@@ -563,6 +581,7 @@ func (s *SecureMemory) WriteBlock(a layout.Addr, plain *mem.Block, meta Meta) er
 			return err
 		}
 		s.stats.TreeUpdates++
+		s.touchTreeWalk(a)
 		// Counter storage written by the encryption step is also covered.
 		// (The AISE branch above already refreshed its counter block.)
 		if s.ctrRegion.Size > 0 && s.cfg.Encryption != AISE {
@@ -570,6 +589,7 @@ func (s *SecureMemory) WriteBlock(a layout.Addr, plain *mem.Block, meta Meta) er
 				return err
 			}
 			s.stats.TreeUpdates++
+			s.touchTreeWalk(s.ctrSlotBlock(a))
 		}
 	}
 	return nil
@@ -603,6 +623,9 @@ func (s *SecureMemory) ReadBlock(a layout.Addr, dst *mem.Block, meta Meta) error
 	var ct mem.Block
 	s.mem.ReadBlock(a, &ct)
 	s.stats.BlockReads++
+	if s.ctrRegion.Size > 0 {
+		s.touchCtr(s.ctrSlotBlock(a))
+	}
 
 	var lpid uint64
 	var minor uint8
@@ -615,6 +638,7 @@ func (s *SecureMemory) ReadBlock(a layout.Addr, dst *mem.Block, meta Meta) error
 			// hand the processor zeros.
 			if s.tree != nil && s.tree.Covers(s.split.BlockAddr(a)) {
 				s.stats.TreeVerifies++
+				s.touchTreeWalk(s.split.BlockAddr(a))
 				if err := s.tree.VerifyBlock(s.split.BlockAddr(a)); err != nil {
 					*dst = mem.Block{}
 					return fmt.Errorf("%w: counter %v", ErrTampered, err)
@@ -633,6 +657,7 @@ func (s *SecureMemory) ReadBlock(a layout.Addr, dst *mem.Block, meta Meta) error
 		}
 	case MerkleTree:
 		s.stats.TreeVerifies++
+		s.touchTreeWalk(a)
 		if err := s.tree.VerifyBlock(a); err != nil {
 			*dst = mem.Block{}
 			return fmt.Errorf("%w: %v", ErrTampered, err)
@@ -649,6 +674,7 @@ func (s *SecureMemory) ReadBlock(a layout.Addr, dst *mem.Block, meta Meta) error
 		// Verify the counter block through the Bonsai tree, then the data
 		// MAC against the guaranteed-fresh counter (§5.2).
 		s.stats.TreeVerifies++
+		s.touchTreeWalk(s.split.BlockAddr(a))
 		if err := s.tree.VerifyBlock(s.split.BlockAddr(a)); err != nil {
 			*dst = mem.Block{}
 			return fmt.Errorf("%w: counter %v", ErrTampered, err)

@@ -17,6 +17,11 @@ type statsJSON struct {
 	FullReencrypts uint64 `json:"full_reencrypts"`
 	SwapOuts       uint64 `json:"swap_outs"`
 	SwapIns        uint64 `json:"swap_ins"`
+
+	CtrCacheHits      uint64 `json:"ctr_cache_hits"`
+	CtrCacheMisses    uint64 `json:"ctr_cache_misses"`
+	TreeNodeCacheHits uint64 `json:"tree_node_cache_hits"`
+	TreeNodeCacheMiss uint64 `json:"tree_node_cache_misses"`
 }
 
 // MarshalJSON renders the counters under stable snake_case keys.
@@ -48,5 +53,10 @@ func (s Stats) Add(o Stats) Stats {
 		TreeVerifies:   s.TreeVerifies + o.TreeVerifies,
 		SwapOuts:       s.SwapOuts + o.SwapOuts,
 		SwapIns:        s.SwapIns + o.SwapIns,
+
+		CtrCacheHits:      s.CtrCacheHits + o.CtrCacheHits,
+		CtrCacheMisses:    s.CtrCacheMisses + o.CtrCacheMisses,
+		TreeNodeCacheHits: s.TreeNodeCacheHits + o.TreeNodeCacheHits,
+		TreeNodeCacheMiss: s.TreeNodeCacheMiss + o.TreeNodeCacheMiss,
 	}
 }

@@ -291,6 +291,26 @@ func (t *Tree) NodeAddrs(a layout.Addr) ([]layout.Addr, error) {
 	return addrs, nil
 }
 
+// AppendNodeAddrs appends the same walk to dst without allocating (when
+// dst has capacity) and reports whether a is covered. The secure memory
+// controller's metadata-cache model replays the walk on every
+// verification, so this variant must stay off the heap.
+func (t *Tree) AppendNodeAddrs(dst []layout.Addr, a layout.Addr) ([]layout.Addr, bool) {
+	idx, ok := t.LeafIndex(a)
+	if !ok {
+		return dst, false
+	}
+	for li := 0; li < len(t.levels); li++ {
+		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
+		dst = append(dst, blockAddr)
+		idx = parentIdx
+	}
+	return dst, true
+}
+
+// Levels returns the number of node levels in the tree.
+func (t *Tree) Levels() int { return len(t.levels) }
+
 // verifyChainFrom checks the interior chain starting at the given level
 // for a slot index (used after leaf-level checks by callers that already
 // validated leaf content another way).

@@ -1,0 +1,41 @@
+package obs
+
+import "testing"
+
+// TestRecordPathsZeroAlloc pins the subsystem's contract: recording a
+// counter, gauge, histogram sample or trace record on the request hot
+// path performs zero heap allocations.
+func TestRecordPathsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("secmemd_alloc_total", "A.")
+	g := r.Gauge("secmemd_alloc_depth", "A.")
+	h := r.Histogram("secmemd_alloc_us", "A.", LatencyBucketsUS())
+	ring := NewRing(256)
+	rec := Record{TraceID: 1, Shard: 3, Op: 2, QueueNs: 100, ExecNs: 200}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter", func() { c.Inc(); c.Add(3) }},
+		{"gauge", func() { g.Set(4); g.Add(-1) }},
+		{"histogram", func() { h.Observe(17); h.Observe(1 << 30) }},
+		{"ring publish", func() { ring.Publish(&rec) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestCommitStagesZeroAlloc covers the persist→shard stage handoff.
+func TestCommitStagesZeroAlloc(t *testing.T) {
+	s := NewService(4, 16)
+	allocs := testing.AllocsPerRun(200, func() {
+		s.SetCommitStages(2, CommitStages{AppendNs: 1, FsyncNs: 2, Bytes: 3})
+		_ = s.TakeCommitStages(2)
+	})
+	if allocs != 0 {
+		t.Errorf("commit stage handoff: %.1f allocs/op, want 0", allocs)
+	}
+}

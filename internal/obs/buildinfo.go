@@ -1,0 +1,45 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo identifies the running binary for scrapes and probes.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
+	Modified  bool   `json:"dirty,omitempty"`
+}
+
+// ReadBuildInfo extracts the module version, Go toolchain version and VCS
+// revision from the binary's embedded build info. Fields degrade to
+// "unknown" when the binary was built without module or VCS stamping
+// (go test binaries, for instance).
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "unknown", GoVersion: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.GoVersion = info.GoVersion
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo publishes the secmemd_build_info gauge (constant 1,
+// identity in the labels — the Prometheus convention for build metadata).
+func RegisterBuildInfo(reg *Registry, bi BuildInfo) {
+	reg.GaugeFunc("secmemd_build_info",
+		"Build metadata of the running binary (value is always 1).",
+		func() float64 { return 1 },
+		"version", bi.Version, "goversion", bi.GoVersion, "revision", bi.Revision)
+}

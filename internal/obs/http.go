@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// MetricsHandler serves the Prometheus text exposition: the registry's
+// families followed by any extra scrape-time sections (the shard pool
+// contributes per-shard state and core counters this way so the same
+// bytes are testable without an HTTP server).
+func MetricsHandler(s *Service, extra ...func(http.ResponseWriter)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.WritePrometheus(w); err != nil {
+			return
+		}
+		for _, fn := range extra {
+			fn(w)
+		}
+	})
+}
+
+// tracezEntry is the JSON shape of one trace record, with human-readable
+// stage durations in microseconds alongside the raw record.
+type tracezEntry struct {
+	Record
+	OpName     string `json:"op_name"`
+	StatusName string `json:"status_name"`
+	TotalUS    int64  `json:"total_us"`
+}
+
+// tracezDump is the /tracez response body.
+type tracezDump struct {
+	Count   int           `json:"count"`
+	Records []tracezEntry `json:"records"`
+}
+
+// TracezHandler dumps recent traced requests as JSON, newest first
+// across all shards. ?n= caps the record count (default 128). The
+// opName/statusName funcs let the server layer decorate records with its
+// wire-level names without obs importing it; either may be nil.
+func TracezHandler(s *Service, opName, statusName func(uint8) string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		limit := 128
+		if v := req.URL.Query().Get("n"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		recs := s.SnapshotTraces(nil)
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].StartNs > recs[j].StartNs })
+		if len(recs) > limit {
+			recs = recs[:limit]
+		}
+		dump := tracezDump{Count: len(recs), Records: make([]tracezEntry, len(recs))}
+		for i, r := range recs {
+			e := tracezEntry{Record: r}
+			if opName != nil {
+				e.OpName = opName(r.Op)
+			}
+			if statusName != nil {
+				e.StatusName = statusName(r.Status)
+			}
+			e.TotalUS = (r.QueueNs + r.CoalesceNs + r.AppendNs + r.FsyncNs + r.ExecNs) / 1e3
+			dump.Records[i] = e
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(dump)
+	})
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintCleanExposition(t *testing.T) {
+	text := `# HELP secmemd_ops_total Ops.
+# TYPE secmemd_ops_total counter
+secmemd_ops_total{op="read"} 3
+secmemd_ops_total{op="write"} 1
+# HELP secmemd_lat_us Latency.
+# TYPE secmemd_lat_us histogram
+secmemd_lat_us_bucket{le="1"} 0
+secmemd_lat_us_bucket{le="+Inf"} 2
+secmemd_lat_us_sum 11
+secmemd_lat_us_count 2
+`
+	if probs := Lint(text, "secmemd_"); len(probs) != 0 {
+		t.Errorf("clean exposition rejected: %v", probs)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name, text, wantSub string
+	}{
+		{"missing prefix", "# HELP other_total X.\n# TYPE other_total counter\nother_total 1\n", "lacks prefix"},
+		{"missing help", "# TYPE secmemd_x counter\nsecmemd_x 1\n", "no HELP"},
+		{"missing type", "# HELP secmemd_x X.\nsecmemd_x 1\n", "no TYPE"},
+		{"duplicate series", "# HELP secmemd_x X.\n# TYPE secmemd_x counter\nsecmemd_x 1\nsecmemd_x 2\n", "duplicate series"},
+		{"duplicate family", "# HELP secmemd_x X.\n# TYPE secmemd_x counter\n# HELP secmemd_x X.\n# TYPE secmemd_x counter\nsecmemd_x 1\n", "duplicate HELP"},
+		{"bad value", "# HELP secmemd_x X.\n# TYPE secmemd_x counter\nsecmemd_x banana\n", "bad value"},
+	}
+	for _, tc := range cases {
+		probs := Lint(tc.text, "secmemd_")
+		found := false
+		for _, p := range probs {
+			if strings.Contains(p, tc.wantSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: want a problem containing %q, got %v", tc.name, tc.wantSub, probs)
+		}
+	}
+}
+
+func TestLintRegistryOutput(t *testing.T) {
+	// The registry's own exposition must be lint-clean, including
+	// labeled histograms where le is spliced into an existing label set.
+	r := NewRegistry()
+	r.Counter("secmemd_a_total", "A.").Inc()
+	r.Gauge("secmemd_b", "B.").Set(2)
+	r.Histogram("secmemd_c_us", "C.", LatencyBucketsUS(), "op", "read").Observe(9)
+	r.Histogram("secmemd_c_us", "C.", LatencyBucketsUS(), "op", "write").Observe(3)
+	r.GaugeFunc("secmemd_d", "D.", func() float64 { return 1.25 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if probs := Lint(b.String(), "secmemd_"); len(probs) != 0 {
+		t.Errorf("registry exposition fails lint: %v\n%s", probs, b.String())
+	}
+}
+
+func TestParseSamples(t *testing.T) {
+	text := "# HELP secmemd_x X.\n# TYPE secmemd_x counter\nsecmemd_x{op=\"read\"} 5\nsecmemd_y 1.5\n"
+	got := ParseSamples(text)
+	if got[`secmemd_x{op="read"}`] != 5 {
+		t.Errorf("labeled sample: %v", got)
+	}
+	if got["secmemd_y"] != 1.5 {
+		t.Errorf("bare sample: %v", got)
+	}
+}

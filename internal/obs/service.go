@@ -1,0 +1,92 @@
+package obs
+
+import "io"
+
+// CommitStages carries the persist layer's per-commit stage timings from
+// store.Commit back to the shard worker that invoked it. Commit runs
+// synchronously on the worker goroutine (group commit rides the batch),
+// so the slot is plain memory: the persist layer writes it and the same
+// goroutine reads it immediately after Commit returns. The background
+// batch flusher never touches these slots.
+type CommitStages struct {
+	AppendNs int64
+	FsyncNs  int64
+	Bytes    int64
+}
+
+// Service bundles the pieces each layer needs: the shared Registry for
+// instruments, one trace Ring per shard, and the per-shard commit-stage
+// mailbox between persist and shard. A nil *Service disables
+// observability everywhere — every integration point checks.
+type Service struct {
+	Reg    *Registry
+	rings  []*Ring
+	commit []CommitStages
+}
+
+// DefaultRingSize is the per-shard trace ring capacity (records).
+const DefaultRingSize = 1024
+
+// NewService builds a Service for the given shard count.
+func NewService(shards, ringSize int) *Service {
+	if shards < 1 {
+		shards = 1
+	}
+	if ringSize <= 0 {
+		ringSize = DefaultRingSize
+	}
+	s := &Service{
+		Reg:    NewRegistry(),
+		rings:  make([]*Ring, shards),
+		commit: make([]CommitStages, shards),
+	}
+	for i := range s.rings {
+		s.rings[i] = NewRing(ringSize)
+	}
+	return s
+}
+
+// Shards returns the number of shards the service was built for.
+func (s *Service) Shards() int { return len(s.rings) }
+
+// Ring returns shard i's trace ring (nil if out of range).
+func (s *Service) Ring(i int) *Ring {
+	if i < 0 || i >= len(s.rings) {
+		return nil
+	}
+	return s.rings[i]
+}
+
+// SetCommitStages records the persist stage timings for shard i. Called
+// by the persist layer from within Commit, on the shard worker's
+// goroutine.
+func (s *Service) SetCommitStages(i int, cs CommitStages) {
+	if i >= 0 && i < len(s.commit) {
+		s.commit[i] = cs
+	}
+}
+
+// TakeCommitStages returns and clears shard i's commit stage slot.
+// Called by the shard worker right after the commit hook returns.
+func (s *Service) TakeCommitStages(i int) CommitStages {
+	if i < 0 || i >= len(s.commit) {
+		return CommitStages{}
+	}
+	cs := s.commit[i]
+	s.commit[i] = CommitStages{}
+	return cs
+}
+
+// SnapshotTraces appends the most recent records from every shard ring
+// to dst, newest first per shard.
+func (s *Service) SnapshotTraces(dst []Record) []Record {
+	for _, r := range s.rings {
+		dst = r.Snapshot(dst)
+	}
+	return dst
+}
+
+// WritePrometheus renders the registry's exposition.
+func (s *Service) WritePrometheus(w io.Writer) error {
+	return s.Reg.WritePrometheus(w)
+}

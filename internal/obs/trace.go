@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Trace stage semantics: a traced request carries a nonzero TraceID from
+// the wire codec through the shard worker into the persist commit. The
+// worker assembles one Record per traced request and publishes it into
+// its shard's Ring. Stages are durations in nanoseconds:
+//
+//	QueueNs    enqueue → worker picked the batch up (queue wait)
+//	CoalesceNs batch drain + write coalescing overhead, shared by the batch
+//	AppendNs   WAL append inside the group commit (0 when no persist layer)
+//	FsyncNs    WAL fsync inside the group commit (0 under -fsync batch/off)
+//	ExecNs     crypto execution: AISE pad/MAC work + BMT walk in core
+//
+// Record is fixed-size and flat so ring writes are plain stores — no
+// pointers, nothing for the GC to chase.
+type Record struct {
+	TraceID uint64 `json:"trace_id"`
+	Shard   uint32 `json:"shard"`
+	Op      uint8  `json:"op"`
+	Status  uint8  `json:"status"`
+	StartNs int64  `json:"start_unix_ns"`
+
+	QueueNs    int64 `json:"queue_ns"`
+	CoalesceNs int64 `json:"coalesce_ns"`
+	AppendNs   int64 `json:"append_ns"`
+	FsyncNs    int64 `json:"fsync_ns"`
+	ExecNs     int64 `json:"exec_ns"`
+}
+
+// slot is one ring entry. Every field is atomic so concurrent snapshot
+// readers are race-detector-clean; seq doubles as the commit word: a
+// writer zeroes it, stores the payload, then stores the claimed
+// index+1. A reader that sees seq change across its field reads discards
+// the torn slot.
+type slot struct {
+	seq atomic.Uint64 // 0 = being written; else claim index + 1
+
+	trace atomic.Uint64
+	meta  atomic.Uint64 // shard<<16 | op<<8 | status
+	start atomic.Int64
+
+	queue    atomic.Int64
+	coalesce atomic.Int64
+	app      atomic.Int64
+	fsync    atomic.Int64
+	exec     atomic.Int64
+}
+
+// Ring is a lock-free, fixed-capacity, overwrite-oldest trace buffer.
+// There is one Ring per shard and exactly one producer (the shard worker
+// goroutine); Publish is therefore wait-free and zero-alloc. Any number
+// of readers may Snapshot concurrently.
+type Ring struct {
+	mask  uint64
+	pos   atomic.Uint64 // next claim index (monotone)
+	slots []slot
+}
+
+// NewRing returns a ring holding at least size records (rounded up to a
+// power of two, minimum 2).
+func NewRing(size int) *Ring {
+	if size < 2 {
+		size = 2
+	}
+	n := 1 << bits.Len(uint(size-1))
+	return &Ring{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Publish stores rec, overwriting the oldest entry when full.
+func (r *Ring) Publish(rec *Record) {
+	idx := r.pos.Add(1) - 1
+	s := &r.slots[idx&r.mask]
+	s.seq.Store(0)
+	s.trace.Store(rec.TraceID)
+	s.meta.Store(uint64(rec.Shard)<<16 | uint64(rec.Op)<<8 | uint64(rec.Status))
+	s.start.Store(rec.StartNs)
+	s.queue.Store(rec.QueueNs)
+	s.coalesce.Store(rec.CoalesceNs)
+	s.app.Store(rec.AppendNs)
+	s.fsync.Store(rec.FsyncNs)
+	s.exec.Store(rec.ExecNs)
+	s.seq.Store(idx + 1)
+}
+
+// Snapshot appends up to Cap() most recent records to dst, newest first,
+// skipping slots torn by a concurrent Publish, and returns the extended
+// slice.
+func (r *Ring) Snapshot(dst []Record) []Record {
+	pos := r.pos.Load()
+	n := uint64(len(r.slots))
+	for back := uint64(0); back < n && back < pos; back++ {
+		idx := pos - 1 - back
+		s := &r.slots[idx&r.mask]
+		seq := s.seq.Load()
+		if seq != idx+1 {
+			continue // empty, torn, or already overwritten by a lap
+		}
+		rec := Record{
+			TraceID:    s.trace.Load(),
+			StartNs:    s.start.Load(),
+			QueueNs:    s.queue.Load(),
+			CoalesceNs: s.coalesce.Load(),
+			AppendNs:   s.app.Load(),
+			FsyncNs:    s.fsync.Load(),
+			ExecNs:     s.exec.Load(),
+		}
+		meta := s.meta.Load()
+		rec.Shard = uint32(meta >> 16)
+		rec.Op = uint8(meta >> 8)
+		rec.Status = uint8(meta)
+		if s.seq.Load() != seq {
+			continue // overwritten while we copied: discard the torn read
+		}
+		dst = append(dst, rec)
+	}
+	return dst
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingPublishSnapshot(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	for i := 1; i <= 3; i++ {
+		r.Publish(&Record{TraceID: uint64(i), Shard: 2, Op: 1, Status: 0, QueueNs: int64(i * 10)})
+	}
+	recs := r.Snapshot(nil)
+	if len(recs) != 3 {
+		t.Fatalf("snapshot has %d records, want 3", len(recs))
+	}
+	// Newest first.
+	if recs[0].TraceID != 3 || recs[2].TraceID != 1 {
+		t.Errorf("order wrong: %+v", recs)
+	}
+	if recs[0].Shard != 2 || recs[0].Op != 1 || recs[0].QueueNs != 30 {
+		t.Errorf("fields wrong: %+v", recs[0])
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Publish(&Record{TraceID: uint64(i)})
+	}
+	recs := r.Snapshot(nil)
+	if len(recs) != 4 {
+		t.Fatalf("snapshot has %d records, want 4", len(recs))
+	}
+	want := uint64(10)
+	for _, rec := range recs {
+		if rec.TraceID != want {
+			t.Errorf("TraceID = %d, want %d", rec.TraceID, want)
+		}
+		want--
+	}
+}
+
+func TestRingSizeRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {1024, 1024}} {
+		if got := NewRing(tc.in).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRingConcurrency runs one producer against several snapshot readers
+// under -race: readers must only ever observe fully committed records.
+func TestRingConcurrency(t *testing.T) {
+	r := NewRing(64)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= 50000; i++ {
+			// Every field carries the same value so a torn read is
+			// detectable as a mismatch.
+			r.Publish(&Record{TraceID: i, StartNs: int64(i), QueueNs: int64(i), ExecNs: int64(i)})
+		}
+		close(done)
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]Record, 0, 64)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				buf = r.Snapshot(buf[:0])
+				for _, rec := range buf {
+					if int64(rec.TraceID) != rec.StartNs || rec.StartNs != rec.QueueNs || rec.QueueNs != rec.ExecNs {
+						t.Errorf("torn record escaped: %+v", rec)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestServiceCommitStages(t *testing.T) {
+	s := NewService(2, 8)
+	if s.Shards() != 2 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+	s.SetCommitStages(1, CommitStages{AppendNs: 5, FsyncNs: 7, Bytes: 9})
+	cs := s.TakeCommitStages(1)
+	if cs.AppendNs != 5 || cs.FsyncNs != 7 || cs.Bytes != 9 {
+		t.Errorf("stages = %+v", cs)
+	}
+	if cs = s.TakeCommitStages(1); cs != (CommitStages{}) {
+		t.Errorf("slot not cleared: %+v", cs)
+	}
+	// Out-of-range indices are ignored, not panics.
+	s.SetCommitStages(99, CommitStages{AppendNs: 1})
+	if got := s.TakeCommitStages(99); got != (CommitStages{}) {
+		t.Errorf("oob take = %+v", got)
+	}
+	s.Ring(0).Publish(&Record{TraceID: 11})
+	s.Ring(1).Publish(&Record{TraceID: 22})
+	recs := s.SnapshotTraces(nil)
+	if len(recs) != 2 {
+		t.Fatalf("SnapshotTraces has %d records, want 2", len(recs))
+	}
+}

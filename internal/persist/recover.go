@@ -163,6 +163,7 @@ func (st *Store) Recover(cfg shard.Config) (*shard.Pool, RecoveryInfo, error) {
 	pool.SetCommitHook(st)
 	st.startBackground()
 	info.Elapsed = time.Since(start)
+	st.met.observeRecovery(info)
 	if st.opts.Logf != nil {
 		st.opts.Logf("recovered epoch %d: %d WAL records (%d applied, %d reproduced rejections) over a %s snapshot in %s",
 			info.Epoch, info.WALRecords, info.Replayed, info.ReplaySkipped, sizeString(info.SnapshotBytes), info.Elapsed.Round(time.Millisecond))
@@ -196,6 +197,7 @@ func (st *Store) recoverFresh(cfg shard.Config, start time.Time) (*shard.Pool, R
 	pool.SetCommitHook(st)
 	st.startBackground()
 	info := RecoveryInfo{Fresh: true, Epoch: 1, Shards: pool.Shards(), Elapsed: time.Since(start)}
+	st.met.observeRecovery(info)
 	if st.opts.Logf != nil {
 		st.opts.Logf("initialized fresh data dir: epoch 1, %d shards", info.Shards)
 	}

@@ -50,6 +50,9 @@ func (st *Store) repairAttempt(i int, last bool) error {
 	if !pool.BeginRepair(i) {
 		return fmt.Errorf("persist: repair shard %d: not quarantined (state %v)", i, pool.ShardStates()[i])
 	}
+	if st.met != nil {
+		defer func(t0 time.Time) { st.met.observeRepair(time.Since(t0)) }(time.Now())
+	}
 	sm, err := st.rebuildShard(pool, i, epoch)
 	if err != nil {
 		pool.FailRepair(i, last)

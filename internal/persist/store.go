@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"aisebmt/internal/core"
+	"aisebmt/internal/obs"
 	"aisebmt/internal/server"
 	"aisebmt/internal/shard"
 )
@@ -104,6 +105,12 @@ type Options struct {
 	Logf func(format string, args ...any)
 	// FS overrides the filesystem (crash tests); nil means the OS.
 	FS FS
+	// Obs, when non-nil, wires the observability subsystem in: checkpoint,
+	// recovery and repair durations are registered as instruments, and each
+	// group commit deposits its WAL append/fsync stage costs in the
+	// Service's per-shard mailbox for the pool worker to fold into its
+	// histograms and trace spans. Use the same Service as the pool's.
+	Obs *obs.Service
 }
 
 // RecoveryInfo reports what Recover found and did.
@@ -147,6 +154,8 @@ type Store struct {
 
 	lastSnapPath  string
 	lastSnapBytes int64
+
+	met *storeMetrics // nil when Options.Obs is nil
 
 	stopc chan struct{}
 	bg    sync.WaitGroup
@@ -203,15 +212,22 @@ func Open(opts Options) (*Store, error) {
 	if err := fs.MkdirAll(opts.Dir); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	return &Store{opts: opts, fs: fs, key: sealKey(opts.Key), dataKey: walDataKey(opts.Key)}, nil
+	st := &Store{opts: opts, fs: fs, key: sealKey(opts.Key), dataKey: walDataKey(opts.Key)}
+	if opts.Obs != nil {
+		st.met = newStoreMetrics(opts.Obs)
+	}
+	return st, nil
 }
 
 // fail latches err as the store's permanent fault and returns the wrapped
 // error. First caller wins; later faults are reported but not latched.
 func (st *Store) fail(err error) error {
 	werr := fmt.Errorf("persist: store failed closed: %w", err)
-	if st.failErr.CompareAndSwap(nil, &werr) && st.opts.Logf != nil {
-		st.opts.Logf("store failed closed: %v", err)
+	if st.failErr.CompareAndSwap(nil, &werr) {
+		st.met.markFailed()
+		if st.opts.Logf != nil {
+			st.opts.Logf("store failed closed: %v", err)
+		}
 	}
 	return *st.failErr.Load()
 }
@@ -286,9 +302,23 @@ func (st *Store) Commit(shardIdx int, ops []shard.MutOp) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	preOff, preSeq, preChain := w.off, w.seq, w.chain
+	var appendNs, fsyncNs int64
+	var t0 time.Time
+	if st.met != nil {
+		t0 = time.Now()
+	}
 	err := w.append(recs)
+	if st.met != nil {
+		appendNs = time.Since(t0).Nanoseconds()
+	}
 	if err == nil && st.opts.Fsync == FsyncAlways {
+		if st.met != nil {
+			t0 = time.Now()
+		}
 		err = w.syncAndPublish()
+		if st.met != nil {
+			fsyncNs = time.Since(t0).Nanoseconds()
+		}
 	}
 	if err != nil {
 		// The pool fails this batch unexecuted, so its records must not
@@ -307,6 +337,7 @@ func (st *Store) Commit(shardIdx int, ops []shard.MutOp) error {
 		}
 		return err
 	}
+	st.met.commitStages(shardIdx, appendNs, fsyncNs, w.off-preOff)
 	return nil
 }
 
@@ -331,6 +362,7 @@ func (st *Store) Flush() error {
 // or the new one. Checkpoints are always fully synced, whatever the
 // fsync policy. Older snapshots are removed afterwards.
 func (st *Store) Checkpoint() error {
+	ckptStart := time.Now()
 	st.ckptMu.Lock()
 	defer st.ckptMu.Unlock()
 	if st.closed {
@@ -403,6 +435,7 @@ func (st *Store) Checkpoint() error {
 		return fmt.Errorf("persist: checkpoint: %w", err)
 	}
 	st.lastSnapPath, st.lastSnapBytes = st.snapPath(newEpoch), cw.n
+	st.met.observeCheckpoint(time.Since(ckptStart), newEpoch, cw.n)
 	st.gcSnapshots(newEpoch)
 	if st.opts.Logf != nil {
 		st.opts.Logf("checkpoint: epoch %d snapshotted (%s), WALs truncated", newEpoch, sizeString(cw.n))

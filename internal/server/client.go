@@ -21,6 +21,7 @@ type Client struct {
 	bw         *bufio.Writer
 	br         *bufio.Reader
 	deadlineUS uint32
+	traceNext  uint64 // next TraceID to stamp; 0 = tracing off
 }
 
 // Dial connects to a secmemd server.
@@ -54,10 +55,32 @@ func (c *Client) SetRequestDeadline(d time.Duration) {
 	c.deadlineUS = uint32(us)
 }
 
+// EnableTrace stamps every subsequent request with a distinct nonzero
+// TraceID, counting up from base (base 0 picks 1). The server records a
+// per-stage span for each traced request in its trace rings (/tracez).
+// Returns the first TraceID that will be used.
+func (c *Client) EnableTrace(base uint64) uint64 {
+	if base == 0 {
+		base = 1
+	}
+	c.traceNext = base
+	return base
+}
+
+// DisableTrace stops stamping TraceIDs.
+func (c *Client) DisableTrace() { c.traceNext = 0 }
+
 // Do sends one request and reads its response.
 func (c *Client) Do(q *Request) (*Response, error) {
 	if q.DeadlineUS == 0 {
 		q.DeadlineUS = c.deadlineUS
+	}
+	if q.TraceID == 0 && c.traceNext != 0 {
+		q.TraceID = c.traceNext
+		c.traceNext++
+		if c.traceNext == 0 { // wrapped: 0 means "off", skip it
+			c.traceNext = 1
+		}
 	}
 	if err := EncodeRequest(c.bw, q); err != nil {
 		return nil, err

@@ -17,6 +17,8 @@ func FuzzRequestRoundTrip(f *testing.F) {
 		{Op: OpHibernate},
 		{Op: OpRead, Addr: 4096, Count: 64, DeadlineUS: 250_000},
 		{Op: OpWrite, Addr: 64, Data: []byte("d"), DeadlineUS: ^uint32(0)},
+		{Op: OpRead, Addr: 4096, Count: 64, TraceID: ^uint64(0)},
+		{Op: OpWrite, Addr: 64, Data: []byte("t"), DeadlineUS: 1, TraceID: 7},
 		{Op: OpCordon, Addr: 1},
 		{Op: OpUncordon, Addr: 1},
 	} {
@@ -29,9 +31,10 @@ func FuzzRequestRoundTrip(f *testing.F) {
 	seed = append(seed,
 		[]byte{}, []byte{0},
 		bytes.Repeat([]byte{0xff}, reqHeaderLen),
-		// A legacy deadline-less header (4 bytes short) must be rejected
-		// cleanly, never sliced out of range.
-		append([]byte{byte(OpRead)}, make([]byte, reqHeaderLen-5)...))
+		// Legacy headers (trace-less: 8 short; trace- and deadline-less:
+		// 12 short) must be rejected cleanly, never sliced out of range.
+		append([]byte{byte(OpRead)}, make([]byte, reqHeaderLen-9)...),
+		append([]byte{byte(OpRead)}, make([]byte, reqHeaderLen-13)...))
 	for _, s := range seed {
 		f.Add(s)
 	}

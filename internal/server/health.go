@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"aisebmt/internal/obs"
 	"aisebmt/internal/shard"
 )
 
@@ -11,11 +12,14 @@ import (
 // (the handler answered), readiness means the pool is published and at
 // least one shard is serving, and Shards reports each fault domain's
 // state so an operator or orchestrator can see a partial degradation
-// without parsing logs.
+// without parsing logs. Build identifies the binary (same fields as the
+// secmemd_build_info metric) so probes and scrapes agree on what is
+// running.
 type Health struct {
 	Ready    bool          `json:"ready"`
 	Degraded bool          `json:"degraded"`
 	Shed     uint64        `json:"shed_requests"`
+	Build    obs.BuildInfo `json:"build"`
 	Shards   []ShardHealth `json:"shards"`
 }
 
@@ -31,13 +35,13 @@ type ShardHealth struct {
 
 // Health reports the server's current probe snapshot.
 func (s *Server) Health() Health {
-	h := Health{Shed: s.shed.Load()}
+	h := Health{Shed: s.shed.Load(), Build: obs.ReadBuildInfo()}
 	select {
 	case <-s.ready:
 	default:
 		// Gated: recovery is still replaying the WAL; every shard is
 		// pending and the server is not ready for traffic.
-		return Health{Shards: []ShardHealth{{State: "recovery-pending"}}, Shed: h.Shed}
+		return Health{Shards: []ShardHealth{{State: "recovery-pending"}}, Shed: h.Shed, Build: h.Build}
 	}
 	for i, st := range s.pool.ShardStates() {
 		sh := ShardHealth{Shard: i, State: st.String()}

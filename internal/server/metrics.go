@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"aisebmt/internal/obs"
+	"aisebmt/internal/shard"
+)
+
+// serverMetrics holds the front-end's instruments, pre-registered so the
+// request loop only does array indexing and atomic adds (the hot path
+// stays allocation-free). Latency histograms are split per op by outcome
+// class rather than by each of the nine statuses — the full op×status
+// cross lives in the cheap counters, the expensive bucket series stay
+// bounded.
+type serverMetrics struct {
+	// lat[op][outcome]: outcome 0 = ok, 1 = retryable, 2 = fatal.
+	lat [OpUncordon + 1][3]*obs.Histogram
+	cnt [OpUncordon + 1][StatusSlowClient + 1]*obs.Counter
+}
+
+const (
+	outcomeOK = iota
+	outcomeRetryable
+	outcomeFatal
+)
+
+func outcomeName(o int) string {
+	switch o {
+	case outcomeOK:
+		return "ok"
+	case outcomeRetryable:
+		return "retryable"
+	default:
+		return "fatal"
+	}
+}
+
+// newServerMetrics registers the front-end instruments.
+func newServerMetrics(svc *obs.Service, s *Server) *serverMetrics {
+	reg := svc.Reg
+	m := &serverMetrics{}
+	buckets := obs.LatencyBucketsUS()
+	for op := OpRead; op <= OpUncordon; op++ {
+		for o := outcomeOK; o <= outcomeFatal; o++ {
+			m.lat[op][o] = reg.Histogram("secmemd_request_duration_us",
+				"Wire request duration from decode to response, microseconds.",
+				buckets, "op", op.String(), "outcome", outcomeName(o))
+		}
+		for st := StatusOK; st <= StatusSlowClient; st++ {
+			m.cnt[op][st] = reg.Counter("secmemd_requests_total",
+				"Wire requests by operation and response status.",
+				"op", op.String(), "status", st.String())
+		}
+	}
+	reg.CounterFunc("secmemd_server_sheds_total",
+		"Requests shed by admission control before queueing.",
+		func() float64 { return float64(s.shed.Load()) })
+	return m
+}
+
+// observe records one completed request.
+func (m *serverMetrics) observe(op Op, st Status, d time.Duration) {
+	if m == nil || op < OpRead || op > OpUncordon || st > StatusSlowClient {
+		return
+	}
+	o := outcomeFatal
+	switch {
+	case st == StatusOK:
+		o = outcomeOK
+	case st.Retryable():
+		o = outcomeRetryable
+	}
+	m.lat[op][o].Observe(uint64(d.Microseconds()))
+	m.cnt[op][st].Inc()
+}
+
+// ObsHandler mounts the observability endpoints on mux:
+//
+//	/metrics — Prometheus text exposition: the registry plus the pool's
+//	           scrape-time section (shard states, queue depths, core
+//	           counters). Gated like the data plane: the pool section
+//	           appears once recovery publishes the pool.
+//	/tracez  — JSON dump of recent traced requests, newest first.
+//
+// When pprofOn is set the net/http/pprof handlers are mounted under
+// /debug/pprof/ as well.
+func (s *Server) ObsHandler(mux *http.ServeMux, pprofOn bool) {
+	svc := s.opts.Obs
+	if svc == nil {
+		return
+	}
+	mux.Handle("/metrics", obs.MetricsHandler(svc, func(w http.ResponseWriter) {
+		select {
+		case <-s.ready:
+			s.pool.WriteMetrics(w)
+		default:
+		}
+	}))
+	// Trace records are published by pool workers and carry the pool's
+	// internal op/status numbering, not wire opcodes.
+	mux.Handle("/tracez", obs.TracezHandler(svc, shard.TraceOpName, shard.TraceStatusName))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}

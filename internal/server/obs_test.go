@@ -1,0 +1,149 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/obs"
+	"aisebmt/internal/shard"
+)
+
+// tracezBody mirrors the /tracez response shape for decoding.
+type tracezBody struct {
+	Count   int `json:"count"`
+	Records []struct {
+		TraceID    uint64 `json:"trace_id"`
+		OpName     string `json:"op_name"`
+		StatusName string `json:"status_name"`
+		QueueNs    int64  `json:"queue_ns"`
+		ExecNs     int64  `json:"exec_ns"`
+	} `json:"records"`
+}
+
+// TestObsEndpointsEndToEnd runs traced requests over the real TCP wire
+// and checks the observability surface the way an operator would: the
+// /metrics exposition lints clean and shows the request series plus the
+// pool scrape section, /tracez returns the traced spans with decoded op
+// names, and the pprof mux answers when enabled.
+func TestObsEndpointsEndToEnd(t *testing.T) {
+	svc := obs.NewService(2, 256)
+	pool, err := shard.New(shard.Config{
+		Shards: 2,
+		Core: core.Config{
+			DataBytes:  2 * 8 * layout.PageSize,
+			Key:        []byte("0123456789abcdef"),
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  8,
+		},
+		Obs: svc,
+	})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	srv := New(pool, Options{Timeout: 2 * time.Second, Logf: t.Logf, Obs: svc})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.HealthHandler())
+	srv.ObsHandler(mux, true)
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	const traceBase = uint64(0x51d00000)
+	c.EnableTrace(traceBase)
+	msg := []byte("observed over the wire")
+	if err := c.Write(128, msg, core.Meta{}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := c.Read(128, len(msg), core.Meta{}); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	// /metrics: lint-clean exposition with the request series moved and
+	// the pool's scrape-time section present.
+	text := httpGet(t, hs.URL+"/metrics")
+	if probs := obs.Lint(text, "secmemd_"); len(probs) > 0 {
+		t.Fatalf("metrics lint:\n%s", strings.Join(probs, "\n"))
+	}
+	samples := obs.ParseSamples(text)
+	for _, series := range []string{
+		`secmemd_requests_total{op="write",status="ok"}`,
+		`secmemd_requests_total{op="read",status="ok"}`,
+		`secmemd_request_duration_us_count{op="read",outcome="ok"}`,
+		"secmemd_pool_enqueued_total",
+	} {
+		if samples[series] < 1 {
+			t.Errorf("%s = %v, want >= 1", series, samples[series])
+		}
+	}
+	if samples[`secmemd_shard_state{shard="0",state="serving"}`] != 1 {
+		t.Errorf("pool scrape section missing or shard 0 not serving")
+	}
+
+	// /tracez: both spans present, op names decoded in the pool's
+	// namespace, and the timeline populated.
+	var dump tracezBody
+	if err := json.Unmarshal([]byte(httpGet(t, hs.URL+"/tracez?n=16")), &dump); err != nil {
+		t.Fatalf("tracez decode: %v", err)
+	}
+	found := map[uint64]string{}
+	for _, r := range dump.Records {
+		found[r.TraceID] = r.OpName
+		if r.StatusName != "ok" || r.ExecNs <= 0 || r.QueueNs < 0 {
+			t.Errorf("span %#x: status=%q exec=%d queue=%d", r.TraceID, r.StatusName, r.ExecNs, r.QueueNs)
+		}
+	}
+	if found[traceBase] != "write" || found[traceBase+1] != "read" {
+		t.Errorf("traced spans = %v, want %#x→write and %#x→read", found, traceBase, traceBase+1)
+	}
+
+	// pprof answers when mounted.
+	if body := httpGet(t, hs.URL+"/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline returned an empty body")
+	}
+
+	if err := srv.Shutdown(t.Context()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// httpGet fetches a URL and fails the test on any error or non-200.
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(body)
+}

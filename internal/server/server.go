@@ -15,6 +15,7 @@ import (
 
 	"aisebmt/internal/core"
 	"aisebmt/internal/layout"
+	"aisebmt/internal/obs"
 	"aisebmt/internal/shard"
 )
 
@@ -44,6 +45,11 @@ type Options struct {
 	Checkpoint func() (path string, bytes int64, err error)
 	// Logf, when non-nil, receives connection-level events.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, enables the observability subsystem: request
+	// metrics register against its registry and ObsHandler can mount
+	// /metrics and /tracez. One Service must not back two servers (the
+	// instruments would collide).
+	Obs *obs.Service
 }
 
 // Server speaks the wire protocol over TCP on behalf of a shard.Pool.
@@ -61,6 +67,9 @@ type Server struct {
 	// inflight is the admission-control semaphore; nil disables shedding.
 	inflight chan struct{}
 	shed     atomic.Uint64
+
+	// metrics is non-nil iff Options.Obs was supplied.
+	metrics *serverMetrics
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -96,6 +105,9 @@ func NewGated(opts Options) *Server {
 	s := &Server{opts: opts, ready: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 	if opts.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInflight)
+	}
+	if opts.Obs != nil {
+		s.metrics = newServerMetrics(opts.Obs, s)
 	}
 	return s
 }
@@ -247,6 +259,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		// Admission control: a full server sheds instead of queueing
 		// without bound — the client gets a fast, retryable answer.
 		var resp *Response
+		start := time.Now()
 		if s.inflight != nil {
 			select {
 			case s.inflight <- struct{}{}:
@@ -259,6 +272,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		} else {
 			resp = s.dispatch(q)
 		}
+		s.metrics.observe(q.Op, resp.Status, time.Since(start))
 		if err := EncodeResponse(conn, resp); err != nil {
 			if s.opts.Logf != nil {
 				s.opts.Logf("conn %s: write: %v", conn.RemoteAddr(), err)
@@ -284,7 +298,7 @@ func (s *Server) dispatch(q *Request) *Response {
 	case <-ctx.Done():
 		return fail(StatusTimeout, errors.New("server: still recovering"))
 	}
-	meta := core.Meta{VirtAddr: q.Virt, PID: q.PID}
+	meta := core.Meta{VirtAddr: q.Virt, PID: q.PID, Trace: q.TraceID}
 	switch q.Op {
 	case OpRead:
 		if q.Count > MaxFrame-1 {

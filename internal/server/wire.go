@@ -127,8 +127,8 @@ func (s Status) Retryable() bool {
 const MaxFrame = 1 << 20
 
 // reqHeaderLen is the fixed request body prefix: op(1) + addr(8) +
-// virt(8) + pid(4) + count(4) + slot(4) + deadline(4).
-const reqHeaderLen = 1 + 8 + 8 + 4 + 4 + 4 + 4
+// virt(8) + pid(4) + count(4) + slot(4) + deadline(4) + trace(8).
+const reqHeaderLen = 1 + 8 + 8 + 4 + 4 + 4 + 4 + 8
 
 // Request is one wire request. All operations share a fixed header;
 // fields an operation does not use are zero. Data carries the payload for
@@ -145,7 +145,13 @@ type Request struct {
 	// deadline. 0 means "server default". ~71 minutes is the ceiling,
 	// far above any sane per-request budget.
 	DeadlineUS uint32
-	Data       []byte
+	// TraceID, when nonzero, asks the server to record a per-stage span
+	// timeline (queue wait, coalesce, crypto, WAL append, fsync) for this
+	// request into its shard's trace ring, retrievable via /tracez. Zero
+	// disables tracing; recording is lock-free and allocation-free either
+	// way.
+	TraceID uint64
+	Data    []byte
 }
 
 // Response is one wire response. Data carries read plaintext, an encoded
@@ -197,6 +203,7 @@ func EncodeRequest(w io.Writer, q *Request) error {
 	binary.BigEndian.PutUint32(body[21:25], q.Count)
 	binary.BigEndian.PutUint32(body[25:29], q.Slot)
 	binary.BigEndian.PutUint32(body[29:33], q.DeadlineUS)
+	binary.BigEndian.PutUint64(body[33:41], q.TraceID)
 	copy(body[reqHeaderLen:], q.Data)
 	return writeFrame(w, body)
 }
@@ -223,6 +230,7 @@ func parseRequest(body []byte) (*Request, error) {
 		Count:      binary.BigEndian.Uint32(body[21:25]),
 		Slot:       binary.BigEndian.Uint32(body[25:29]),
 		DeadlineUS: binary.BigEndian.Uint32(body[29:33]),
+		TraceID:    binary.BigEndian.Uint64(body[33:41]),
 	}
 	if q.Op < OpRead || q.Op > OpUncordon {
 		return nil, fmt.Errorf("server: unknown op %d", body[0])

@@ -20,6 +20,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpSwapIn, Addr: 0x3000, Slot: 9, Data: bytes.Repeat([]byte{0xab}, imageFixedLen)},
 		{Op: OpHibernate},
 		{Op: OpRead, Addr: 0x1000, Count: 64, DeadlineUS: 500_000},
+		{Op: OpRead, Addr: 0x1000, Count: 64, TraceID: 0xfeedface12345678},
+		{Op: OpWrite, Addr: 0x4000, Data: []byte("traced"), DeadlineUS: 250_000, TraceID: 1},
 		{Op: OpCordon, Addr: 1},
 		{Op: OpUncordon, Addr: 1},
 	}
@@ -96,10 +98,16 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := DecodeResponse(&e); err == nil {
 		t.Fatal("empty response accepted")
 	}
-	// Legacy header without the deadline field (4 bytes short).
+	// Legacy header without the trace field (8 bytes short).
 	var l bytes.Buffer
-	writeFrame(&l, append([]byte{byte(OpRead)}, make([]byte, reqHeaderLen-5)...))
+	writeFrame(&l, append([]byte{byte(OpRead)}, make([]byte, reqHeaderLen-9)...))
 	if _, err := DecodeRequest(&l); err == nil {
+		t.Fatal("legacy trace-less header accepted")
+	}
+	// Legacy header without trace or deadline fields (12 bytes short).
+	var l2 bytes.Buffer
+	writeFrame(&l2, append([]byte{byte(OpRead)}, make([]byte, reqHeaderLen-13)...))
+	if _, err := DecodeRequest(&l2); err == nil {
 		t.Fatal("legacy deadline-less header accepted")
 	}
 }

@@ -26,9 +26,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aisebmt/internal/core"
 	"aisebmt/internal/layout"
+	"aisebmt/internal/obs"
 )
 
 // Defaults for Config fields left zero.
@@ -54,6 +56,12 @@ type Config struct {
 	// protected size and must divide evenly into Shards pages; every other
 	// field (key, schemes, MAC width, swap slots) applies to each shard.
 	Core core.Config
+	// Obs, when non-nil, wires the observability subsystem in: workers
+	// record queue wait, batch size and commit-stage histograms, and
+	// requests whose Meta.Trace is nonzero get a per-stage span record in
+	// their shard's trace ring. The Service must have been built for at
+	// least Shards shards and must not back a second pool.
+	Obs *obs.Service
 }
 
 // ErrClosed is returned for requests issued after Close begins.
@@ -80,6 +88,7 @@ type Pool struct {
 	faults chan Fault
 
 	svc serviceCounters
+	met *poolMetrics // nil when Config.Obs is nil
 }
 
 // shard is one controller plus its queue and worker.
@@ -112,6 +121,9 @@ type request struct {
 	slot int
 	img  *core.PageImage
 	resp chan result
+	// enq is the submit-side enqueue timestamp (unix ns), stamped only
+	// when observability is wired; the worker derives queue-wait from it.
+	enq int64
 	// answered is worker-local bookkeeping: coalesceWrites sets it after
 	// delivering a superseded write's result so execute skips the request.
 	// Only the worker goroutine touches it (between dequeue and answer);
@@ -163,6 +175,11 @@ func New(cfg Config) (*Pool, error) {
 			done: make(chan struct{}),
 		}
 		p.shards = append(p.shards, sh)
+	}
+	if cfg.Obs != nil {
+		p.met = newPoolMetrics(cfg.Obs, p)
+	}
+	for i, sh := range p.shards {
 		go p.worker(i, sh)
 	}
 	return p, nil
@@ -207,6 +224,9 @@ func (p *Pool) submit(si int, sh *shard, r *request) (result, error) {
 		p.sendMu.RUnlock()
 		p.svc.quarRefused.Add(1)
 		return result{}, sh.quarErr(si)
+	}
+	if p.met != nil {
+		r.enq = time.Now().UnixNano()
 	}
 	var err error
 	select {
@@ -410,6 +430,16 @@ func (p *Pool) worker(idx int, sh *shard) {
 			sh.mu.Unlock()
 			continue
 		}
+		// Stage timing: queue wait per request, then the batch-shared
+		// commit and coalesce costs every traced request in the batch
+		// inherits (they rode the same group commit).
+		var span batchSpan
+		if p.met != nil {
+			span.startNs = time.Now().UnixNano()
+			for _, r := range batch {
+				p.met.observeQueueWait(span.startNs - r.enq)
+			}
+		}
 		// The hook runs before coalescing so the log carries every mutation
 		// in order, and before execution so nothing is acknowledged that was
 		// not first made durable. A hook failure fails the whole batch
@@ -419,7 +449,13 @@ func (p *Pool) worker(idx int, sh *shard) {
 		// this shard (and only this shard) stops serving.
 		if href := p.hook.Load(); href != nil {
 			if ops := mutOps(batch); len(ops) > 0 {
-				if err := href.h.Commit(idx, ops); err != nil {
+				err := href.h.Commit(idx, ops)
+				if p.met != nil {
+					cs := p.met.takeCommitStages(idx)
+					span.appendNs, span.fsyncNs = cs.AppendNs, cs.FsyncNs
+					p.met.observeCommit(cs)
+				}
+				if err != nil {
 					err = fmt.Errorf("shard %d: commit: %w", idx, err)
 					if errors.Is(err, ErrDurabilityFault) {
 						p.quarantine(idx, sh, FaultDurability, err)
@@ -432,12 +468,20 @@ func (p *Pool) worker(idx int, sh *shard) {
 				}
 			}
 		}
+		var coalesceStart time.Time
+		if p.met != nil {
+			coalesceStart = time.Now()
+		}
 		skipped := coalesceWrites(batch)
+		if p.met != nil {
+			span.coalesceNs = time.Since(coalesceStart).Nanoseconds()
+		}
 		p.svc.batches.Add(1)
 		p.svc.batchedOps.Add(uint64(len(batch)))
 		p.svc.coalescedWrites.Add(uint64(skipped))
+		p.met.observeBatch(len(batch))
 		for bi, r := range batch {
-			if !p.execute(idx, sh, r) {
+			if !p.executeTraced(idx, sh, r, &span) {
 				// Integrity latch fired mid-batch: nothing after the faulting
 				// request may execute. Refuse the remainder so the shard
 				// never serves data past a detected tamper.
@@ -456,6 +500,51 @@ func (p *Pool) worker(idx int, sh *shard) {
 	}
 }
 
+// batchSpan carries the batch-shared stage costs the worker attributes
+// to every traced request it executes.
+type batchSpan struct {
+	startNs    int64 // worker drain timestamp (unix ns)
+	coalesceNs int64
+	appendNs   int64
+	fsyncNs    int64
+}
+
+// executeTraced wraps execute with per-request span capture: a request
+// carrying a nonzero Meta.Trace gets a Record in the shard's trace ring
+// combining its own queue wait and crypto execution time with the
+// batch-shared coalesce/append/fsync costs.
+func (p *Pool) executeTraced(idx int, sh *shard, r *request, span *batchSpan) bool {
+	if p.met == nil || r.meta.Trace == 0 || r.answered {
+		ok, _ := p.execute(idx, sh, r)
+		return ok
+	}
+	execStart := time.Now()
+	ok, err := p.execute(idx, sh, r)
+	if ring := p.met.ring(idx); ring != nil {
+		var status uint8
+		if err != nil {
+			status = 1
+		}
+		queueNs := span.startNs - r.enq
+		if queueNs < 0 {
+			queueNs = 0
+		}
+		ring.Publish(&obs.Record{
+			TraceID:    r.meta.Trace,
+			Shard:      uint32(idx),
+			Op:         uint8(r.kind),
+			Status:     status,
+			StartNs:    r.enq,
+			QueueNs:    queueNs,
+			CoalesceNs: span.coalesceNs,
+			AppendNs:   span.appendNs,
+			FsyncNs:    span.fsyncNs,
+			ExecNs:     time.Since(execStart).Nanoseconds(),
+		})
+	}
+	return ok
+}
+
 // execute runs one request against the shard's controller (the caller
 // holds sh.mu) and delivers its result. A request whose context expired
 // while queued is answered with the context error without touching the
@@ -464,15 +553,16 @@ func (p *Pool) worker(idx int, sh *shard) {
 // violation (core.ErrTampered) on the shard's own state latches the
 // quarantine and returns false. SwapIn is exempt — a tampered *client*
 // image is the client's fault, not evidence against the shard, and must
-// not let a malicious client take a fault domain down.
-func (p *Pool) execute(idx int, sh *shard, r *request) bool {
+// not let a malicious client take a fault domain down. The error return
+// is the request's own outcome, for trace status labelling.
+func (p *Pool) execute(idx int, sh *shard, r *request) (bool, error) {
 	if r.answered { // coalesced-away write: result already delivered
-		return true
+		return true, nil
 	}
 	if err := r.ctx.Err(); err != nil {
 		p.svc.expired.Add(1)
 		r.resp <- result{err: err}
-		return true
+		return true, err
 	}
 	var res result
 	switch r.kind {
@@ -493,7 +583,7 @@ func (p *Pool) execute(idx int, sh *shard, r *request) bool {
 		ok = false
 	}
 	r.resp <- result{err: res.err, img: res.img}
-	return ok
+	return ok, res.err
 }
 
 // kindName names an opKind for fault reports.

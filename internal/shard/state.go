@@ -245,11 +245,13 @@ func (sh *shard) quarErr(idx int) error {
 // quarantine latches a shard out of service. Only the first fault wins;
 // later faults on an already-latched shard are absorbed.
 func (p *Pool) quarantine(idx int, sh *shard, kind FaultKind, cause error) {
-	if _, ok := sh.fault.fire(evFault); !ok {
+	st, ok := sh.fault.fire(evFault)
+	if !ok {
 		return
 	}
 	sh.fault.setFault(kind, cause)
 	p.svc.faults.Add(1)
+	p.met.transition(st)
 	p.notifyFault(Fault{Shard: idx, Kind: kind, Err: cause})
 }
 
@@ -319,7 +321,10 @@ func (p *Pool) BeginRepair(i int) bool {
 		// to a successor.
 		return false
 	}
-	_, ok := p.shards[i].fault.fire(evRepairBegin)
+	st, ok := p.shards[i].fault.fire(evRepairBegin)
+	if ok {
+		p.met.transition(st)
+	}
 	return ok
 }
 
@@ -340,6 +345,7 @@ func (p *Pool) AdoptShard(i int, sm *core.SecureMemory) error {
 	sh.sm = sm
 	sh.fault.clearFault()
 	p.svc.repairs.Add(1)
+	p.met.transition(StateServing)
 	return nil
 }
 
@@ -355,7 +361,9 @@ func (p *Pool) FailRepair(i int, trip bool) {
 	if trip {
 		ev = evBreakerTrip
 	}
-	p.shards[i].fault.fire(ev)
+	if st, ok := p.shards[i].fault.fire(ev); ok {
+		p.met.transition(st)
+	}
 	p.svc.repairFailures.Add(1)
 }
 
@@ -373,11 +381,14 @@ func (p *Pool) ReverifyShard(i int) error {
 	if st, ok := sh.fault.fire(evRepairBegin); !ok {
 		return fmt.Errorf("shard: reverify shard %d: not quarantined (state %s)", i, st)
 	}
+	p.met.transition(StateRepairing)
 	sh.mu.Lock()
 	err := sh.sm.VerifyAll()
 	if err != nil {
 		sh.mu.Unlock()
-		sh.fault.fire(evRepairFail)
+		if st, ok := sh.fault.fire(evRepairFail); ok {
+			p.met.transition(st)
+		}
 		p.svc.repairFailures.Add(1)
 		return fmt.Errorf("shard %d: reverify: %w", i, err)
 	}
@@ -388,6 +399,7 @@ func (p *Pool) ReverifyShard(i int) error {
 	sh.fault.clearFault()
 	sh.mu.Unlock()
 	p.svc.repairs.Add(1)
+	p.met.transition(StateServing)
 	return nil
 }
 
@@ -404,6 +416,7 @@ func (p *Pool) Cordon(i int) error {
 	}
 	sh.fault.setFault(FaultOperator, errors.New("operator cordon"))
 	p.svc.faults.Add(1)
+	p.met.transition(StateDown)
 	return nil
 }
 
@@ -419,6 +432,7 @@ func (p *Pool) Uncordon(i int) error {
 	if st, ok := sh.fault.fire(evUncordon); !ok {
 		return fmt.Errorf("shard: uncordon shard %d: illegal from state %s", i, st)
 	}
+	p.met.transition(StateQuarantined)
 	kind, cause := sh.fault.fault()
 	p.notifyFault(Fault{Shard: i, Kind: kind, Err: cause})
 	if p.hook.Load() == nil {

@@ -6,12 +6,15 @@ set -eu
 
 cd "$(dirname "$0")/.."
 ADDR="${ADDR:-127.0.0.1:7393}"
+HEALTH="${HEALTH:-127.0.0.1:7394}"
 DURATION="${DURATION:-2s}"
 
 go build -o /tmp/secmemd ./cmd/secmemd
 go build -o /tmp/loadgen ./cmd/loadgen
 
-/tmp/secmemd -listen "$ADDR" -shards 4 -mem 16MiB -hibernate /tmp/secmemd.hib &
+# -health wires the observability subsystem (metrics registry, trace
+# rings), so the published numbers include instrumentation cost.
+/tmp/secmemd -listen "$ADDR" -health "$HEALTH" -shards 4 -mem 16MiB -hibernate /tmp/secmemd.hib &
 PID=$!
 trap 'kill -TERM $PID 2>/dev/null || true' EXIT INT TERM
 
@@ -23,7 +26,8 @@ until /tmp/loadgen -addr "$ADDR" -conns 1 -ops 1 -mixes 1.0 >/dev/null 2>&1; do
     sleep 0.1
 done
 
-/tmp/loadgen -addr "$ADDR" -conns 16 -duration "$DURATION" -mixes 0.95,0.50 -json
+/tmp/loadgen -addr "$ADDR" -conns 16 -duration "$DURATION" -mixes 0.95,0.50 -json \
+    -scrape "http://$HEALTH"
 
 # Graceful SIGTERM: the daemon drains and verifies every shard; its exit
 # code is the integrity verdict.
