@@ -21,6 +21,13 @@
 #   make metrics-smoke   start a daemon with observability on, drive traced
 #                        traffic, lint the /metrics exposition (prefix,
 #                        HELP/TYPE, duplicates); CI runs this after check
+#   make bench-cluster   cluster benchmark: 3-node smoke with metrics lint,
+#                        then single-daemon vs cluster throughput and a
+#                        kill-the-owner failover phase, BENCH_cluster.json
+#   make cluster-smoke   the same at CI sizes (short duration, small pool);
+#                        CI runs this after check
+#   make cluster         run a local 3-node cluster + router in the
+#                        foreground (the README quickstart); Ctrl-C stops it
 #   make chaos           deterministic fault-injection matrix (cmd/chaos):
 #                        bit-flips, rollback, WAL faults, torn writes, slow
 #                        I/O against a live durable pool; CI runs a short
@@ -28,7 +35,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-smoke chaos chaos-smoke metrics-smoke
+.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-smoke chaos chaos-smoke metrics-smoke bench-cluster cluster-smoke cluster
 
 check: vet build test race
 
@@ -42,7 +49,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/shard/... ./internal/server/... ./internal/persist/... ./internal/chaos/...
+	$(GO) test -race ./internal/obs/... ./internal/shard/... ./internal/server/... ./internal/persist/... ./internal/cluster/... ./internal/chaos/...
 
 fuzz:
 	$(GO) test -run=none -fuzz=FuzzRequestRoundTrip -fuzztime=20s ./internal/server/
@@ -77,3 +84,12 @@ bench-smoke:
 
 metrics-smoke: build
 	./scripts/metrics_smoke.sh
+
+bench-cluster: build
+	./scripts/bench_cluster.sh
+
+cluster-smoke: build
+	DURATION=1s MEM=4MiB CONNS=4 ./scripts/bench_cluster.sh
+
+cluster: build
+	./scripts/cluster_local.sh

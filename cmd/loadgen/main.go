@@ -37,6 +37,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"aisebmt/internal/cluster"
 	"aisebmt/internal/core"
 	"aisebmt/internal/layout"
 	"aisebmt/internal/obs"
@@ -69,7 +71,9 @@ func main() {
 	recWrites := flag.String("recovery-writes", "0,2000,10000", "comma-separated WAL lengths (acked writes) per -recovery run")
 	recFsync := flag.String("recovery-fsync", "always,batch,off", "comma-separated fsync policies to sweep in -recovery")
 	retries := flag.Int("retries", 0, "per-op retry budget for retryable statuses (timeout/overload/quarantine), with jittered exponential backoff")
-	waitReady := flag.String("wait-ready", "", "poll this /readyz URL until the daemon reports ready before measuring (e.g. http://127.0.0.1:7394/readyz)")
+	clusterFlag := flag.String("cluster", "", "cluster member list (id=wire/health/repl,...): drive ring-aware smart clients instead of -addr")
+	clusterBench := flag.Bool("cluster-bench", false, "benchmark cluster scale-out and failover: spawns a single-daemon baseline and a 3-node cluster from -secmemd, writes BENCH_cluster.json")
+	waitReady := flag.String("wait-ready", "", "poll these /readyz URLs (comma-separated) until every daemon reports ready before measuring")
 	waitBudget := flag.Duration("wait-ready-timeout", 30*time.Second, "how long -wait-ready polls before giving up")
 	degraded := flag.Bool("degraded", false, "benchmark fault-domain isolation: cordon one shard, measure healthy-shard throughput, then heal it")
 	degradedShard := flag.Int("degraded-shard", 0, "shard to cordon in -degraded mode")
@@ -78,9 +82,24 @@ func main() {
 	flag.Parse()
 
 	if *waitReady != "" {
-		if err := pollReady(*waitReady, *waitBudget); err != nil {
-			fatalf("-wait-ready: %v", err)
+		// Every listed daemon must be ready: a cluster is only serving once
+		// each member's follower handshake resolved, so waiting on one node
+		// races the measurement against the others' attach loops.
+		for _, url := range strings.Split(*waitReady, ",") {
+			if url = strings.TrimSpace(url); url == "" {
+				continue
+			}
+			if err := pollReady(url, *waitBudget); err != nil {
+				fatalf("-wait-ready: %v", err)
+			}
 		}
+	}
+	if *clusterBench {
+		if *outPath == "" {
+			*outPath = "BENCH_cluster.json"
+		}
+		runClusterBench(*secmemd, *memSize, *conns, *duration, *seed, *jsonOut, *outPath)
+		return
 	}
 	if *recovery {
 		if *outPath == "" {
@@ -123,9 +142,19 @@ func main() {
 		fracs = append(fracs, v)
 	}
 
+	var members []cluster.Member
+	if *clusterFlag != "" {
+		if members, err = cluster.ParseMembers(*clusterFlag); err != nil {
+			fatalf("-cluster: %v", err)
+		}
+	}
+
 	out := benchOutput{
 		Addr: *addr, Conns: *conns, Dist: *dist, OpBytes: *opBytes,
 		MemBytes: bytes, Seed: *seed,
+	}
+	if members != nil {
+		out.Addr = *clusterFlag
 	}
 	var preScrape map[string]float64
 	if *scrape != "" {
@@ -139,7 +168,7 @@ func main() {
 			addr: *addr, conns: *conns, readFrac: frac, duration: *duration,
 			fixedOps: *ops, dist: *dist, zipfS: *zipfS, pages: pages,
 			opBytes: *opBytes, seed: *seed, retries: *retries, skipShard: -1,
-			trace: *traceOn,
+			trace: *traceOn, members: members,
 		})
 		out.Runs = append(out.Runs, run)
 		fmt.Printf("mix read=%.0f%%: %d ops in %.2fs → %.0f ops/s, p50=%s p90=%s p99=%s max=%s, errors=%d\n",
@@ -150,14 +179,17 @@ func main() {
 		}
 	}
 
-	// One final stats snapshot shows the service-side view of the run.
-	if c, err := server.Dial(*addr, 2*time.Second); err == nil {
-		if st, err := c.Stats(); err == nil {
-			out.ServerStats = &st
-			fmt.Printf("server: %d requests enqueued, %d batches (%.1f ops/batch), %d writes coalesced\n",
-				st.Enqueued, st.Batches, float64(st.BatchedOps)/max(1, float64(st.Batches)), st.CoalescedWrites)
+	// One final stats snapshot shows the service-side view of the run
+	// (single-daemon mode only; cluster members report their own).
+	if members == nil {
+		if c, err := server.Dial(*addr, 2*time.Second); err == nil {
+			if st, err := c.Stats(); err == nil {
+				out.ServerStats = &st
+				fmt.Printf("server: %d requests enqueued, %d batches (%.1f ops/batch), %d writes coalesced\n",
+					st.Enqueued, st.Batches, float64(st.BatchedOps)/max(1, float64(st.Batches)), st.CoalescedWrites)
+			}
+			c.Close()
 		}
-		c.Close()
 	}
 
 	if *scrape != "" {
@@ -268,16 +300,21 @@ type mixConfig struct {
 	shards    int  // pool shard count; only needed when skipShard >= 0
 	skipShard int  // avoid addresses owned by this shard (-1 = none)
 	trace     bool // stamp a distinct TraceID on every request
+	// members switches the workers from plain clients on addr to
+	// ring-aware smart clients over the cluster (NotOwner redirects
+	// followed, successor fallback during failover).
+	members []cluster.Member
 }
 
-// retryOp runs op, retrying retryable status errors (timeout, overload,
-// quarantine) with jittered exponential backoff: 1ms doubling to a
-// 100ms cap, each delay drawn uniformly from [base/2, 3·base/2).
-func retryOp(rng *rand.Rand, retries int, op func() error) (uint64, error) {
+// retryOp runs op, retrying errors retryable deems transient (timeout,
+// overload, quarantine, cluster unavailability) with jittered exponential
+// backoff: 1ms doubling to a 100ms cap, each delay drawn uniformly from
+// [base/2, 3·base/2).
+func retryOp(rng *rand.Rand, retries int, retryable func(error) bool, op func() error) (uint64, error) {
 	backoff := time.Millisecond
 	for attempt := uint64(0); ; attempt++ {
 		err := op()
-		if err == nil || attempt >= uint64(retries) || !server.Retryable(err) {
+		if err == nil || attempt >= uint64(retries) || !retryable(err) {
 			return attempt, err
 		}
 		time.Sleep(backoff/2 + time.Duration(rng.Int63n(int64(backoff))))
@@ -311,16 +348,28 @@ func runMix(cfg mixConfig) mixResult {
 			if cfg.dist == "zipf" {
 				zipf = rand.NewZipf(rng, cfg.zipfS, 1, cfg.pages-1)
 			}
-			c, err := server.Dial(cfg.addr, 5*time.Second)
-			if err != nil {
-				outs[w].errs++
-				return
-			}
-			defer c.Close()
-			if cfg.trace {
-				// Disjoint per-worker ID ranges: worker index in the high
-				// half, a counter in the low.
-				c.EnableTrace(uint64(w+1) << 32)
+			retryable := server.Retryable
+			var c *server.Client
+			var sc *cluster.SmartClient
+			var err error
+			if cfg.members != nil {
+				retryable = cluster.Retryable
+				if sc, err = cluster.NewSmartClient(cfg.members, 5*time.Second); err != nil {
+					outs[w].errs++
+					return
+				}
+				defer sc.Close()
+			} else {
+				if c, err = server.Dial(cfg.addr, 5*time.Second); err != nil {
+					outs[w].errs++
+					return
+				}
+				defer c.Close()
+				if cfg.trace {
+					// Disjoint per-worker ID ranges: worker index in the high
+					// half, a counter in the low.
+					c.EnableTrace(uint64(w+1) << 32)
+				}
 			}
 			payload := make([]byte, cfg.opBytes)
 			rng.Read(payload)
@@ -353,10 +402,17 @@ func runMix(cfg mixConfig) mixResult {
 				}
 				a := layout.Addr(page*layout.PageSize + uint64(off))
 				t0 := time.Now()
-				retried, err := retryOp(rng, cfg.retries, func() error {
+				retried, err := retryOp(rng, cfg.retries, retryable, func() error {
 					if rng.Float64() < cfg.readFrac {
+						if sc != nil {
+							_, err := sc.Read(a, cfg.opBytes, core.Meta{})
+							return err
+						}
 						_, err := c.Read(a, cfg.opBytes, core.Meta{})
 						return err
+					}
+					if sc != nil {
+						return sc.Write(a, payload, core.Meta{})
 					}
 					return c.Write(a, payload, core.Meta{})
 				})
@@ -366,8 +422,10 @@ func runMix(cfg mixConfig) mixResult {
 					// A status error still completed a round trip on an
 					// intact stream; a transport error means the connection
 					// is dead — stop rather than spin-fail until deadline.
+					// The smart client re-dials internally, so it rides
+					// through member deaths instead of bailing.
 					var se *server.StatusError
-					if !errors.As(err, &se) {
+					if sc == nil && !errors.As(err, &se) {
 						return
 					}
 				}
@@ -609,6 +667,357 @@ func runDegradedBench(addr string, conns int, duration time.Duration, ops int, m
 		fatalf("victim shard did not heal")
 	case out.Ratio < 0.25:
 		fatalf("healthy-shard throughput collapsed to %.0f%% of baseline", out.Ratio*100)
+	}
+}
+
+// clusterOutput is the -cluster-bench -json document.
+type clusterOutput struct {
+	Secmemd  string `json:"secmemd"`
+	Members  int    `json:"members"`
+	Conns    int    `json:"conns"`
+	// Cores is runtime.NumCPU on the bench host. Scale-out headroom is
+	// per-node compute; on a single-core host the cluster and the single
+	// daemon contend for the same CPU and the speedup column measures
+	// protocol overhead, not capacity.
+	Cores    int            `json:"cores"`
+	MemBytes uint64         `json:"mem_bytes"`
+	ReadFrac float64        `json:"read_frac"`
+	Seed     int64          `json:"seed"`
+	Baseline mixResult      `json:"single_daemon"`
+	Cluster  mixResult      `json:"cluster"`
+	Speedup  float64        `json:"cluster_over_single"`
+	Failover failoverResult `json:"failover"`
+}
+
+// failoverResult is the kill-the-owner phase of -cluster-bench.
+type failoverResult struct {
+	Victim     string  `json:"victim"`
+	RecoveryMs float64 `json:"recovery_to_first_byte_ms"`
+	AckedOps   uint64  `json:"acked_writes"`
+	Verified   int     `json:"addresses_verified"`
+	Lost       int     `json:"acked_writes_lost"`
+	Promotions float64 `json:"promotions"`
+}
+
+// clusterMembers allocates scratch loopback addresses for an n-node
+// cluster and renders the -cluster flag value every process shares.
+func clusterMembers(n int) ([]cluster.Member, string, error) {
+	members := make([]cluster.Member, n)
+	var ents []string
+	for i := range members {
+		var addrs [3]string
+		for j := range addrs {
+			a, err := scratchAddr()
+			if err != nil {
+				return nil, "", err
+			}
+			addrs[j] = a
+		}
+		members[i] = cluster.Member{ID: fmt.Sprintf("n%d", i+1), Wire: addrs[0], Health: addrs[1], Repl: addrs[2]}
+		ents = append(ents, fmt.Sprintf("%s=%s/%s/%s", members[i].ID, addrs[0], addrs[1], addrs[2]))
+	}
+	return members, strings.Join(ents, ","), nil
+}
+
+// ackWrite writes through a smart client until the write is acknowledged
+// or the budget runs out, retrying transient unavailability (replication
+// stalls, failover windows).
+func ackWrite(sc *cluster.SmartClient, a layout.Addr, payload []byte, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	delay := 2 * time.Millisecond
+	for {
+		err := sc.Write(a, payload, core.Meta{})
+		if err == nil {
+			return nil
+		}
+		if !cluster.Retryable(err) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > 100*time.Millisecond {
+			delay = 100 * time.Millisecond
+		}
+	}
+}
+
+// runClusterBench measures cluster scale-out and failover with daemons it
+// spawns itself: a single durable secmemd as the baseline, then a 3-node
+// cluster under the same per-node configuration driven by ring-aware
+// smart clients, then a failover phase — acknowledged writes shadowed
+// client-side, the owner of page 0 SIGKILLed mid-load, the time until its
+// range serves again measured, and every acknowledged write read back.
+// Zero acknowledged-write loss is the hard assertion; throughput is
+// reported (see clusterOutput.Cores for why the ratio needs real cores).
+func runClusterBench(bin, memSize string, conns int, duration time.Duration, seed int64, jsonOut bool, outPath string) {
+	const nNodes = 3
+	const readFrac = 0.95
+	memBytes, err := parseSize(memSize)
+	if err != nil {
+		fatalf("-mem: %v", err)
+	}
+	pages := memBytes / layout.PageSize
+	if _, err := os.Stat(bin); err != nil {
+		fatalf("-secmemd: %v (build it first: go build -o %s ./cmd/secmemd)", err, bin)
+	}
+	out := clusterOutput{
+		Secmemd: bin, Members: nNodes, Conns: conns, Cores: runtime.NumCPU(),
+		MemBytes: memBytes, ReadFrac: readFrac, Seed: seed,
+	}
+
+	// Phase 1: single-daemon baseline, same durability configuration a
+	// cluster member runs with.
+	baseDir, err := os.MkdirTemp("", "secmemd-cluster-base-*")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(baseDir)
+	baseAddr, err := scratchAddr()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	base := exec.Command(bin, "-listen", baseAddr, "-mem", memSize,
+		"-data-dir", baseDir, "-fsync", "always", "-snapshot-every", "0")
+	base.Stderr = os.Stderr
+	if err := base.Start(); err != nil {
+		fatalf("baseline daemon: %v", err)
+	}
+	if _, err := waitFirstByte(baseAddr, 30*time.Second); err != nil {
+		base.Process.Kill()
+		fatalf("baseline daemon never served: %v", err)
+	}
+	out.Baseline = runMix(mixConfig{
+		addr: baseAddr, conns: conns, readFrac: readFrac, duration: duration,
+		dist: "uniform", pages: pages, opBytes: layout.BlockSize, seed: seed,
+		retries: 8, skipShard: -1,
+	})
+	base.Process.Signal(syscall.SIGTERM)
+	base.Wait()
+	if out.Baseline.Ops == 0 || out.Baseline.Errors > 0 {
+		fatalf("baseline run failed: %d ops, %d errors", out.Baseline.Ops, out.Baseline.Errors)
+	}
+	fmt.Printf("single daemon: %.0f ops/s (read=%.0f%%, p99=%s)\n",
+		out.Baseline.Throughput, readFrac*100, us(out.Baseline.Latency.P99))
+
+	// Phase 2: the cluster, same binary and per-node flags.
+	members, list, err := clusterMembers(nNodes)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cmds := map[string]*exec.Cmd{}
+	for _, m := range members {
+		dir, err := os.MkdirTemp("", "secmemd-cluster-"+m.ID+"-*")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer os.RemoveAll(dir)
+		cmd := exec.Command(bin, "-cluster-id", m.ID, "-cluster", list,
+			"-mem", memSize, "-data-dir", dir, "-fsync", "always")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fatalf("spawn %s: %v", m.ID, err)
+		}
+		cmds[m.ID] = cmd
+	}
+	defer func() {
+		for _, cmd := range cmds {
+			if cmd.ProcessState == nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+	}()
+	for _, m := range members {
+		if err := pollReady("http://"+m.Health+"/readyz", 30*time.Second); err != nil {
+			fatalf("member %s: %v", m.ID, err)
+		}
+	}
+	sc, err := cluster.NewSmartClient(members, 5*time.Second)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// First acknowledged write proves every replication stream attached.
+	warm := make([]byte, layout.BlockSize)
+	if err := ackWrite(sc, 0, warm, 30*time.Second); err != nil {
+		fatalf("cluster never acknowledged a write: %v", err)
+	}
+	out.Cluster = runMix(mixConfig{
+		conns: conns, readFrac: readFrac, duration: duration,
+		dist: "uniform", pages: pages, opBytes: layout.BlockSize, seed: seed + 1,
+		retries: 12, skipShard: -1, members: members,
+	})
+	if out.Cluster.Ops == 0 {
+		fatalf("cluster run moved no ops")
+	}
+	if out.Baseline.Throughput > 0 {
+		out.Speedup = out.Cluster.Throughput / out.Baseline.Throughput
+	}
+	fmt.Printf("cluster (%d nodes): %.0f ops/s → %.2fx single daemon (%d cores; errors=%d retries=%d)\n",
+		nNodes, out.Cluster.Throughput, out.Speedup, out.Cores, out.Cluster.Errors, out.Cluster.Retries)
+
+	// Phase 3: failover under load. Workers shadow the last value each
+	// address acknowledged; a write only enters the shadow once acked, and
+	// a worker finishes its in-flight op before stopping, so at the end
+	// the shadow IS what the cluster promised to keep.
+	victim := sc.Owner(0)
+	out.Failover.Victim = victim
+	const nWriters = 4
+	stop := make(chan struct{})
+	type wres struct {
+		shadow map[layout.Addr]byte
+		acked  uint64
+		err    error
+	}
+	results := make([]wres, nWriters)
+	var wg sync.WaitGroup
+	perWriter := pages / nWriters
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wsc, err := cluster.NewSmartClient(members, 5*time.Second)
+			if err != nil {
+				results[w].err = err
+				return
+			}
+			defer wsc.Close()
+			shadow := map[layout.Addr]byte{}
+			results[w].shadow = shadow
+			payload := make([]byte, layout.BlockSize)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Disjoint per-writer page sets: no cross-writer races on
+				// what the last acknowledged value is.
+				page := uint64(w) + nWriters*(uint64(i)%perWriter)
+				a := layout.Addr(page * layout.PageSize)
+				v := byte(i*7 + w + 1)
+				for j := range payload {
+					payload[j] = v
+				}
+				if err := ackWrite(wsc, a, payload, 20*time.Second); err != nil {
+					results[w].err = fmt.Errorf("writer %d page %d: %w", w, page, err)
+					return
+				}
+				shadow[a] = v
+				results[w].acked++
+			}
+		}(w)
+	}
+	time.Sleep(500 * time.Millisecond)
+	cmds[victim].Process.Signal(syscall.SIGKILL)
+	cmds[victim].Wait()
+	killT := time.Now()
+	fmt.Printf("killed %s (owner of page 0) mid-load\n", victim)
+
+	// Recovery to first byte on the victim's range: page 0 serves again
+	// once the follower promotes.
+	psc, err := cluster.NewSmartClient(members, 5*time.Second)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for {
+		if _, err := psc.Read(0, layout.BlockSize, core.Meta{}); err == nil {
+			break
+		} else if !cluster.Retryable(err) {
+			fatalf("victim range read failed definitively: %v", err)
+		}
+		if time.Since(killT) > 30*time.Second {
+			fatalf("victim range never recovered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	out.Failover.RecoveryMs = float64(time.Since(killT).Microseconds()) / 1e3
+	psc.Close()
+	fmt.Printf("recovery to first byte: %.1fms\n", out.Failover.RecoveryMs)
+
+	time.Sleep(time.Second)
+	close(stop)
+	wg.Wait()
+	shadow := map[layout.Addr]byte{}
+	for w, r := range results {
+		if r.err != nil {
+			fatalf("failover writer %d: %v", w, r.err)
+		}
+		out.Failover.AckedOps += r.acked
+		for a, v := range r.shadow {
+			shadow[a] = v
+		}
+	}
+
+	// Verify: every acknowledged write must read back intact from the
+	// post-failover topology.
+	vsc, err := cluster.NewSmartClient(members, 5*time.Second)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer vsc.Close()
+	for a, v := range shadow {
+		out.Failover.Verified++
+		got, err := vsc.Read(a, layout.BlockSize, core.Meta{})
+		if err != nil {
+			fmt.Printf("LOST: addr %#x unreadable after failover: %v\n", uint64(a), err)
+			out.Failover.Lost++
+			continue
+		}
+		for i := range got {
+			if got[i] != v {
+				fmt.Printf("LOST: addr %#x byte %d: got %#x want %#x\n", uint64(a), i, got[i], v)
+				out.Failover.Lost++
+				break
+			}
+		}
+	}
+
+	// Exactly one survivor must have promoted the victim's range.
+	for _, m := range members {
+		if m.ID == victim {
+			continue
+		}
+		if samples, err := fetchSamples("http://" + m.Health); err == nil {
+			out.Failover.Promotions += samples["secmemd_cluster_failovers_total"]
+		}
+	}
+	fmt.Printf("failover: %d acked writes over %d addresses, %d lost, %.0f promotion(s)\n",
+		out.Failover.AckedOps, out.Failover.Verified, out.Failover.Lost, out.Failover.Promotions)
+
+	// Graceful shutdown of the survivors: their final integrity sweep
+	// (local and promoted pools) must pass for a clean exit code.
+	for id, cmd := range cmds {
+		if id == victim {
+			continue
+		}
+		cmd.Process.Signal(syscall.SIGTERM)
+		if err := cmd.Wait(); err != nil {
+			fatalf("member %s exited dirty: %v", id, err)
+		}
+	}
+
+	if jsonOut {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+
+	switch {
+	case out.Failover.Lost > 0:
+		fatalf("%d acknowledged writes lost in failover", out.Failover.Lost)
+	case out.Failover.AckedOps == 0:
+		fatalf("failover phase acknowledged no writes")
+	case out.Failover.Promotions != 1:
+		fatalf("want exactly 1 promotion, got %.0f", out.Failover.Promotions)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"aisebmt/internal/cluster"
 	"aisebmt/internal/core"
 	"aisebmt/internal/obs"
 	"aisebmt/internal/persist"
@@ -77,6 +78,9 @@ func main() {
 	repairBackoff := flag.Duration("repair-backoff", 0, "initial backoff between online shard-repair attempts (0 = default; requires -data-dir)")
 	repairAttempts := flag.Int("repair-attempts", 0, "repair attempts before the crash-loop breaker marks a shard down (0 = default)")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -health address")
+	clusterID := flag.String("cluster-id", "", "this node's member ID; enables cluster mode (requires -cluster and -data-dir)")
+	clusterList := flag.String("cluster", "", "static membership: comma-separated id=wire/health/repl entries")
+	clusterProxy := flag.Bool("cluster-proxy", false, "forward misrouted requests to their owner instead of answering NotOwner")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -112,6 +116,54 @@ func main() {
 		slots = 0 // swap protection is a BMT feature; other presets run without it
 	}
 
+	// Cluster mode: the member list is the single source of addresses, so
+	// every node built from the same -cluster string agrees on where every
+	// peer listens. Our own entry overrides -listen and (if unset) -health.
+	var (
+		clusterMembers []cluster.Member
+		clusterSelf    cluster.Member
+	)
+	if *clusterID != "" {
+		if *clusterList == "" {
+			logger.Fatalf("-cluster-id requires -cluster")
+		}
+		if *dataDir == "" {
+			logger.Fatalf("cluster mode requires -data-dir: replication ships sealed WAL segments")
+		}
+		clusterMembers, err = cluster.ParseMembers(*clusterList)
+		if err != nil {
+			logger.Fatalf("-cluster: %v", err)
+		}
+		found := false
+		for _, m := range clusterMembers {
+			if m.ID == *clusterID {
+				clusterSelf, found = m, true
+				break
+			}
+		}
+		if !found {
+			logger.Fatalf("-cluster-id: %q not in -cluster member list", *clusterID)
+		}
+		*listen = clusterSelf.Wire
+		if *healthAddr == "" {
+			*healthAddr = clusterSelf.Health
+		}
+		// A background snapshot rotates the WAL epoch, which forces the
+		// follower to re-baseline (writes stall until it re-attaches), so
+		// periodic snapshots default off in cluster mode unless asked for.
+		snapSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "snapshot-every" {
+				snapSet = true
+			}
+		})
+		if !snapSet {
+			*snapEvery = 0
+		} else if *snapEvery > 0 {
+			logger.Printf("cluster: note: -snapshot-every=%s rotates the WAL epoch and forces a follower re-baseline each period", *snapEvery)
+		}
+	}
+
 	// One observability service backs every layer: the pool registers its
 	// worker instruments and trace rings, persist deposits commit-stage
 	// costs, and the server registers the request-level series. Scrape it
@@ -135,11 +187,13 @@ func main() {
 	}
 
 	var store *persist.Store
+	var fsyncPolicy persist.Policy
 	if *dataDir != "" {
 		policy, err := persist.ParsePolicy(*fsyncMode)
 		if err != nil {
 			logger.Fatalf("-fsync: %v", err)
 		}
+		fsyncPolicy = policy
 		store, err = persist.Open(persist.Options{
 			Dir:            *dataDir,
 			Key:            key,
@@ -232,7 +286,36 @@ func main() {
 			logger.Fatalf("pool: %v", err)
 		}
 	}
-	srv.Publish(pool)
+	if *clusterID != "" {
+		replLn, err := net.Listen("tcp", clusterSelf.Repl)
+		if err != nil {
+			logger.Fatalf("repl listen: %v", err)
+		}
+		node, err := cluster.NewNode(cluster.Config{
+			Self:         *clusterID,
+			Members:      clusterMembers,
+			Pool:         pool,
+			Store:        store,
+			ShardCfg:     cfg,
+			Key:          key,
+			DataDir:      *dataDir,
+			Fsync:        fsyncPolicy,
+			ReplListener: replLn,
+			Proxy:        *clusterProxy,
+			Obs:          obsSvc,
+			Logf:         logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("cluster: %v", err)
+		}
+		// Shutdown closes the published backend, so the node (standbys and
+		// promoted stores included) tears down inside srv.Shutdown.
+		srv.Publish(node)
+		logger.Printf("cluster: member %s of %d (wire=%s repl=%s proxy=%v)",
+			*clusterID, len(clusterMembers), clusterSelf.Wire, clusterSelf.Repl, *clusterProxy)
+	} else {
+		srv.Publish(pool)
+	}
 	logger.Printf("serving %s on %s: %d shards × %s, scheme=%s mac=%db queue=%d batch=%d",
 		*memSize, ln.Addr(), *shardsN, sizeString(bytes/uint64(*shardsN)), *scheme, *macBits, *queue, *batch)
 

@@ -1,0 +1,546 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"aisebmt/internal/cluster"
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/persist"
+	"aisebmt/internal/server"
+	"aisebmt/internal/shard"
+)
+
+// ClusterScenarios names the fault schedules the cluster harness knows.
+// Where the single-node matrix chaoses the memory bus and the disk,
+// these chaos the cluster's substrate — the network and whole nodes —
+// and hold it to the cluster-wide invariant: no acknowledged write is
+// ever lost, no matter which member dies or which links drop.
+var ClusterScenarios = []string{
+	"node-kill", // SIGKILL-equivalent on a random member under load
+	"partition", // isolate a member from its peers; fencing must depose it
+}
+
+// ClusterConfig sizes a cluster chaos run.
+type ClusterConfig struct {
+	// Dir is the parent directory; each member gets a subdirectory.
+	Dir string
+	// Seed drives victim choice, addresses and values.
+	Seed int64
+	// Nodes is the member count (default 3).
+	Nodes int
+	// Logf, when non-nil, receives member and harness events.
+	Logf func(format string, args ...any)
+}
+
+// ClusterStats counts what a cluster run did and found.
+type ClusterStats struct {
+	Scenarios   int `json:"scenarios"`
+	AckedWrites int `json:"acked_writes"`
+	Kills       int `json:"kills"`
+	Partitions  int `json:"partitions"`
+	Fenced      int `json:"fenced_members"`
+	ModelReads  int `json:"model_reads"`
+}
+
+// netWorld simulates network failure modes for an in-process cluster:
+// members marked down refuse probes and replication dials, and cut pairs
+// model a partition. The client-facing data plane stays real loopback
+// TCP; crashes sever it through the tracked listener instead.
+type netWorld struct {
+	mu     sync.Mutex
+	down   map[string]bool
+	cut    map[[2]string]bool
+	byAddr map[string]string
+}
+
+func pairOf(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+func (w *netWorld) blocked(from, toID string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.down[toID] || w.cut[pairOf(from, toID)]
+}
+
+func (w *netWorld) probe(from string, m cluster.Member) error {
+	if w.blocked(from, m.ID) {
+		return fmt.Errorf("chaos: %s unreachable from %s", m.ID, from)
+	}
+	return nil
+}
+
+func (w *netWorld) dial(from, addr string) (net.Conn, error) {
+	w.mu.Lock()
+	toID := w.byAddr[addr]
+	w.mu.Unlock()
+	if toID != "" && w.blocked(from, toID) {
+		return nil, fmt.Errorf("chaos: dial %s: unreachable from %s", toID, from)
+	}
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil || toID == "" {
+		return c, err
+	}
+	return &cutConn{Conn: c, w: w, from: from, to: toID}, nil
+}
+
+// cutConn makes an established connection honor partitions: once the
+// pair is cut, in-flight I/O fails — a replication stream riding a
+// pre-partition TCP connection must stall like the real network would
+// stall it, not keep acknowledging through the cut.
+type cutConn struct {
+	net.Conn
+	w        *netWorld
+	from, to string
+}
+
+func (c *cutConn) Read(p []byte) (int, error) {
+	if c.w.blocked(c.from, c.to) {
+		c.Conn.Close()
+		return 0, fmt.Errorf("chaos: %s->%s cut", c.from, c.to)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *cutConn) Write(p []byte) (int, error) {
+	if c.w.blocked(c.from, c.to) {
+		c.Conn.Close()
+		return 0, fmt.Errorf("chaos: %s->%s cut", c.from, c.to)
+	}
+	return c.Conn.Write(p)
+}
+
+// severListener tracks accepted connections so a crash can cut them all.
+type severListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func (s *severListener) Accept() (net.Conn, error) {
+	c, err := s.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	return c, nil
+}
+
+func (s *severListener) sever() {
+	s.Listener.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	s.mu.Unlock()
+}
+
+// clusterMember is one member's full in-process stack.
+type clusterMember struct {
+	m      cluster.Member
+	store  *persist.Store
+	node   *cluster.Node
+	srv    *server.Server
+	wireLn *severListener
+	dead   bool
+	fenced bool
+}
+
+// ClusterHarness drives an in-process secmemd cluster through node
+// deaths and partitions while shadowing every acknowledged write
+// cluster-wide. Methods are not safe for concurrent use; the harness is
+// the single client, which keeps seeded runs deterministic.
+type ClusterHarness struct {
+	cfg     ClusterConfig
+	world   *netWorld
+	members []cluster.Member
+	nodes   map[string]*clusterMember
+	client  *cluster.SmartClient
+	rng     *rand.Rand
+	pages   uint64
+
+	// model maps each address to its value candidates: candidates[0] is
+	// the last acknowledged value, later entries come from failed writes,
+	// which may legally surface (an ack can be lost in flight while the
+	// write replicated). A read must return some candidate.
+	model map[layout.Addr][][]byte
+	stats ClusterStats
+}
+
+var clusterChaosKey = []byte("chaos-clustr-key") // 16 bytes
+
+func clusterShardCfg() shard.Config {
+	return shard.Config{
+		Shards:     2,
+		QueueDepth: 16,
+		BatchMax:   8,
+		Core: core.Config{
+			DataBytes:  2 * 8 * layout.PageSize,
+			MACBits:    64,
+			Key:        clusterChaosKey,
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  8,
+		},
+	}
+}
+
+// NewCluster boots an in-process cluster with fast failover tuning
+// (probe 25ms, promote after 3 misses) on loopback listeners.
+func NewCluster(cfg ClusterConfig) (*ClusterHarness, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 3
+	}
+	h := &ClusterHarness{
+		cfg:   cfg,
+		world: &netWorld{down: map[string]bool{}, cut: map[[2]string]bool{}, byAddr: map[string]string{}},
+		nodes: map[string]*clusterMember{},
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		pages: clusterShardCfg().Core.DataBytes / layout.PageSize,
+		model: map[layout.Addr][][]byte{},
+	}
+	type pre struct{ wire, repl net.Listener }
+	pres := make([]pre, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		id := fmt.Sprintf("n%d", i+1)
+		wire, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		repl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		pres[i] = pre{wire, repl}
+		m := cluster.Member{
+			ID:     id,
+			Wire:   wire.Addr().String(),
+			Health: "127.0.0.1:1", // never probed: the harness injects Probe
+			Repl:   repl.Addr().String(),
+		}
+		h.members = append(h.members, m)
+		h.world.byAddr[m.Wire] = id
+		h.world.byAddr[m.Repl] = id
+	}
+	for i, m := range h.members {
+		cm, err := h.boot(m, pres[i].wire, pres[i].repl)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.nodes[m.ID] = cm
+	}
+	c, err := cluster.NewSmartClient(h.members, 2*time.Second)
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	h.client = c
+	return h, nil
+}
+
+func (h *ClusterHarness) boot(m cluster.Member, wireLn, replLn net.Listener) (*clusterMember, error) {
+	dir := filepath.Join(h.cfg.Dir, m.ID, "data")
+	st, err := persist.Open(persist.Options{Dir: dir, Key: clusterChaosKey, Fsync: persist.FsyncAlways})
+	if err != nil {
+		return nil, err
+	}
+	pool, _, err := st.Recover(clusterShardCfg())
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	node, err := cluster.NewNode(cluster.Config{
+		Self:          m.ID,
+		Members:       h.members,
+		Pool:          pool,
+		Store:         st,
+		ShardCfg:      clusterShardCfg(),
+		Key:           clusterChaosKey,
+		DataDir:       filepath.Join(h.cfg.Dir, m.ID),
+		Fsync:         persist.FsyncAlways,
+		ReplListener:  replLn,
+		Dialer:        h.world.dial,
+		Probe:         h.world.probe,
+		ProbeEvery:    25 * time.Millisecond,
+		FailAfter:     3,
+		IOTimeout:     2 * time.Second,
+		AttachBackoff: 10 * time.Millisecond,
+		Logf:          h.cfg.Logf,
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	srv := server.New(node, server.Options{Timeout: time.Second})
+	sln := &severListener{Listener: wireLn, conns: map[net.Conn]struct{}{}}
+	go srv.Serve(sln)
+	return &clusterMember{m: m, store: st, node: node, srv: srv, wireLn: sln}, nil
+}
+
+// Close shuts the surviving members down gracefully.
+func (h *ClusterHarness) Close() error {
+	if h.client != nil {
+		h.client.Close()
+	}
+	var first error
+	for _, cm := range h.nodes {
+		if cm.dead {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := cm.srv.Shutdown(ctx)
+		cancel()
+		if err != nil && first == nil {
+			first = err
+		}
+		if err := cm.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats returns the run's counters.
+func (h *ClusterHarness) Stats() ClusterStats { return h.stats }
+
+func (h *ClusterHarness) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// alive returns the IDs of members not killed or fenced off their range.
+func (h *ClusterHarness) alive() []string {
+	var out []string
+	for _, m := range h.members {
+		cm := h.nodes[m.ID]
+		if !cm.dead {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// ackRetry writes until acknowledged or the budget runs out, retrying
+// transient unavailability (failover windows, replication stalls).
+func (h *ClusterHarness) ackRetry(a layout.Addr, val []byte, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	delay := 2 * time.Millisecond
+	for {
+		err := h.client.Write(a, val, core.Meta{})
+		if err == nil {
+			return nil
+		}
+		if !cluster.Retryable(err) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > 100*time.Millisecond {
+			delay = 100 * time.Millisecond
+		}
+	}
+}
+
+// writeOne writes a random value to a random block and records the
+// outcome in the cluster-wide model.
+func (h *ClusterHarness) writeOne(budget time.Duration) error {
+	page := uint64(h.rng.Intn(int(h.pages)))
+	block := uint64(h.rng.Intn(int(layout.BlocksPerPage)))
+	a := layout.Addr(page*layout.PageSize + block*layout.BlockSize)
+	val := make([]byte, layout.BlockSize)
+	h.rng.Read(val)
+	err := h.ackRetry(a, val, budget)
+	if err == nil {
+		h.stats.AckedWrites++
+		h.model[a] = [][]byte{val}
+		return nil
+	}
+	if len(h.model[a]) == 0 {
+		h.model[a] = [][]byte{make([]byte, layout.BlockSize)}
+	}
+	h.model[a] = append(h.model[a], val)
+	return err
+}
+
+// burst writes n random values; every write must eventually ack.
+func (h *ClusterHarness) burst(n int, budget time.Duration) error {
+	for i := 0; i < n; i++ {
+		if err := h.writeOne(budget); err != nil {
+			return fmt.Errorf("chaos: cluster write failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// CheckModel reads back every modeled address and verifies the value is
+// one of its candidates — cluster-wide zero acked-write loss.
+func (h *ClusterHarness) CheckModel() error {
+	for a, cands := range h.model {
+		var got []byte
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			b, err := h.client.Read(a, layout.BlockSize, core.Meta{})
+			if err == nil {
+				got = b
+				break
+			}
+			if !cluster.Retryable(err) || time.Now().After(deadline) {
+				return fmt.Errorf("chaos: model read %#x: %w", uint64(a), err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		h.stats.ModelReads++
+		ok := false
+		for _, c := range cands {
+			if bytes.Equal(got, c) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("chaos: ACKED-WRITE LOSS at %#x: read %x, want one of %d candidate(s), acked %x",
+				uint64(a), got, len(cands), cands[0])
+		}
+	}
+	return nil
+}
+
+// kill crashes a member: its listeners and live connections sever, peers
+// can no longer probe or dial it, nothing is flushed.
+func (h *ClusterHarness) kill(id string) {
+	cm := h.nodes[id]
+	cm.dead = true
+	h.world.mu.Lock()
+	h.world.down[id] = true
+	h.world.mu.Unlock()
+	cm.node.Halt()
+	cm.wireLn.sever()
+	h.stats.Kills++
+	h.logf("chaos: killed member %s", id)
+}
+
+// isolate cuts (or heals) every link between id and its peers. Clients
+// still reach it — the point of the scenario is that fencing, not
+// reachability, decides who serves.
+func (h *ClusterHarness) isolate(id string, v bool) {
+	for _, m := range h.members {
+		if m.ID == id {
+			continue
+		}
+		h.world.mu.Lock()
+		h.world.cut[pairOf(id, m.ID)] = v
+		h.world.mu.Unlock()
+	}
+	if v {
+		h.stats.Partitions++
+	}
+}
+
+// expectFenced direct-writes to a member's own former range until it
+// answers NotOwner: the fencing epoch deposed it. Transient stall
+// errors are retried — the member may not have learned its fate yet.
+func (h *ClusterHarness) expectFenced(id string, a layout.Addr) error {
+	val := make([]byte, layout.BlockSize)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := h.client.DirectWrite(id, a, val, core.Meta{})
+		if err == nil {
+			return fmt.Errorf("chaos: SPLIT BRAIN: deposed member %s acked a write to %#x", id, uint64(a))
+		}
+		if _, isNotOwner := server.NotOwnerAddr(err); isNotOwner {
+			h.nodes[id].fenced = true
+			h.stats.Fenced++
+			return nil
+		}
+		if !cluster.Retryable(err) || time.Now().After(deadline) {
+			return fmt.Errorf("chaos: deposed member %s: want NotOwner, got: %w", id, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ownerOfPage returns the ring owner of global page p.
+func (h *ClusterHarness) ownerOfPage(p uint64) string {
+	return h.client.Owner(layout.Addr(p * layout.PageSize))
+}
+
+// RunCluster executes one named scenario and checks the cluster-wide
+// model afterwards.
+func (h *ClusterHarness) RunCluster(scenario string) error {
+	h.stats.Scenarios++
+	switch scenario {
+	case "node-kill":
+		if err := h.burst(12, 10*time.Second); err != nil {
+			return err
+		}
+		// Kill a random live member that still owns its range; its
+		// follower must promote and every acked write must survive.
+		live := h.alive()
+		if len(live) < 2 {
+			return fmt.Errorf("chaos: not enough live members to kill one")
+		}
+		victim := live[h.rng.Intn(len(live))]
+		h.kill(victim)
+		// Writes across the whole ring — the victim's range included —
+		// must keep acking once the follower promotes.
+		if err := h.burst(12, 20*time.Second); err != nil {
+			return fmt.Errorf("chaos: writes did not recover after killing %s: %w", victim, err)
+		}
+	case "partition":
+		if err := h.burst(12, 10*time.Second); err != nil {
+			return err
+		}
+		// Isolate a live member from its peers. Its replication stalls, so
+		// it can acknowledge nothing; its follower promotes; the fencing
+		// epoch deposes it even though clients still reach it.
+		live := h.alive()
+		if len(live) < 3 {
+			// A 2-member remainder cannot spare another: isolating one
+			// leaves no majority-side pair to replicate. Skip into a burst.
+			return h.burst(6, 10*time.Second)
+		}
+		victim := live[h.rng.Intn(len(live))]
+		h.isolate(victim, true)
+		h.logf("chaos: partitioned %s from its peers", victim)
+		// Find a page the victim owns to probe its fate with.
+		var ownedPage uint64
+		found := false
+		for p := uint64(0); p < h.pages; p++ {
+			if h.ownerOfPage(p) == victim {
+				ownedPage, found = p, true
+				break
+			}
+		}
+		// Writes must keep acking cluster-wide (the victim's range fails
+		// over to its successor).
+		if err := h.burst(12, 20*time.Second); err != nil {
+			h.isolate(victim, false)
+			return fmt.Errorf("chaos: writes did not recover after partitioning %s: %w", victim, err)
+		}
+		h.isolate(victim, false)
+		if found {
+			if err := h.expectFenced(victim, layout.Addr(ownedPage*layout.PageSize)); err != nil {
+				return err
+			}
+			h.logf("chaos: healed partition; %s is fenced off its range", victim)
+		}
+	default:
+		return fmt.Errorf("chaos: unknown cluster scenario %q", scenario)
+	}
+	return h.CheckModel()
+}

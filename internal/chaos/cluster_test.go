@@ -1,0 +1,51 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestClusterChaos drives an in-process 3-node cluster through each
+// cluster scenario — a member killed under load, a member partitioned
+// from its peers — and holds it to the cluster-wide invariant: every
+// acknowledged write survives into whatever topology the faults leave,
+// and a partitioned owner ends up fenced, not split-brained.
+//
+// Each scenario gets a fresh cluster: promoted ranges run unreplicated
+// (a documented limitation), so compounding failovers onto one cluster
+// would test a state the design explicitly does not cover.
+func TestClusterChaos(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		for _, scn := range ClusterScenarios {
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, scn), func(t *testing.T) {
+				h, err := NewCluster(ClusterConfig{Dir: t.TempDir(), Seed: seed, Logf: t.Logf})
+				if err != nil {
+					t.Fatalf("cluster harness: %v", err)
+				}
+				defer func() {
+					if err := h.Close(); err != nil {
+						t.Errorf("close: %v", err)
+					}
+				}()
+				if err := h.RunCluster(scn); err != nil {
+					t.Fatal(err)
+				}
+				st := h.Stats()
+				t.Logf("cluster stats: %+v", st)
+				if st.AckedWrites == 0 || st.ModelReads == 0 {
+					t.Errorf("no traffic: %d acked writes, %d model reads", st.AckedWrites, st.ModelReads)
+				}
+				switch scn {
+				case "node-kill":
+					if st.Kills != 1 {
+						t.Errorf("want 1 kill, got %d", st.Kills)
+					}
+				case "partition":
+					if st.Partitions != 1 || st.Fenced != 1 {
+						t.Errorf("want 1 partition and 1 fenced member, got %d/%d", st.Partitions, st.Fenced)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/server"
+	"aisebmt/internal/shard"
+)
+
+// SmartClient is a ring-aware wire client: it computes each page's owner
+// locally, dials nodes lazily, follows NotOwner redirects, and when an
+// owner is unreachable walks its successor list — the same order
+// failover promotes in — so it finds a promoted range without any
+// cluster-wide coordination. Like server.Client it is NOT safe for
+// concurrent use; give each worker its own.
+type SmartClient struct {
+	ms      *Membership
+	timeout time.Duration
+	dial    func(addr string) (*server.Client, error)
+
+	conns    map[string]*server.Client
+	redirect map[string]string // owner ID -> learned wire addr
+}
+
+// NewSmartClient builds a client over the member list. timeout bounds
+// each dial and each request.
+func NewSmartClient(members []Member, timeout time.Duration) (*SmartClient, error) {
+	ms, err := NewMembership(members)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c := &SmartClient{
+		ms:       ms,
+		timeout:  timeout,
+		conns:    map[string]*server.Client{},
+		redirect: map[string]string{},
+	}
+	c.dial = func(addr string) (*server.Client, error) {
+		cl, err := server.Dial(addr, c.timeout)
+		if err != nil {
+			return nil, err
+		}
+		cl.SetRequestDeadline(c.timeout)
+		return cl, nil
+	}
+	return c, nil
+}
+
+// Owner returns the member ID owning address a (per the static ring;
+// failover delegation is discovered, not computed).
+func (c *SmartClient) Owner(a layout.Addr) string { return c.ms.ring.Owner(a) }
+
+// Members returns the cluster membership the client routes over.
+func (c *SmartClient) Members() []Member {
+	out := make([]Member, 0, len(c.ms.ids))
+	for _, id := range c.ms.ids {
+		out = append(out, c.ms.byID[id])
+	}
+	return out
+}
+
+func (c *SmartClient) conn(addr string) (*server.Client, error) {
+	if cl := c.conns[addr]; cl != nil {
+		return cl, nil
+	}
+	cl, err := c.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.conns[addr] = cl
+	return cl, nil
+}
+
+func (c *SmartClient) drop(addr string) {
+	if cl := c.conns[addr]; cl != nil {
+		cl.Close()
+		delete(c.conns, addr)
+	}
+}
+
+// do walks the candidates for page p: learned redirect, ring owner, then
+// successors, following NotOwner answers, up to maxHops connections.
+func (c *SmartClient) do(p uint64, op func(cl *server.Client) error) error {
+	ownerID := c.ms.ring.OwnerPage(p)
+	var targets []string
+	if learned := c.redirect[ownerID]; learned != "" {
+		targets = append(targets, learned)
+	}
+	m, _ := c.ms.Member(ownerID)
+	targets = append(targets, m.Wire)
+	for _, s := range c.ms.Successors(ownerID) {
+		targets = append(targets, s.Wire)
+	}
+	tried := map[string]bool{}
+	var lastErr error
+	hops := 0
+	for i := 0; i < len(targets) && hops < maxHops; i++ {
+		addr := targets[i]
+		if addr == "" || tried[addr] {
+			continue
+		}
+		tried[addr] = true
+		hops++
+		cl, err := c.conn(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = op(cl)
+		if err == nil {
+			if addr == m.Wire {
+				delete(c.redirect, ownerID)
+			} else {
+				c.redirect[ownerID] = addr
+			}
+			return nil
+		}
+		if na, ok := server.NotOwnerAddr(err); ok {
+			targets = append(targets[:i+1], append([]string{na}, targets[i+1:]...)...)
+			lastErr = err
+			continue
+		}
+		if st, ok := statusOf(err); ok {
+			if st.Retryable() {
+				// A transient shed (overloaded, timeout, quarantined): the
+				// node answered, but another candidate may hold a promoted
+				// copy of this range — keep walking before giving up.
+				lastErr = err
+				continue
+			}
+			// A definitive verdict; surface it to the caller.
+			return err
+		}
+		// Transport error: connection (and possibly node) dead.
+		c.drop(addr)
+		lastErr = err
+	}
+	if _, ok := statusOf(lastErr); ok {
+		return lastErr
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no candidates")
+	}
+	return fmt.Errorf("%w: page %d (owner %s): %v", server.ErrUnavailable, p, ownerID, lastErr)
+}
+
+func statusOf(err error) (server.Status, bool) {
+	var se *server.StatusError
+	if errors.As(err, &se) {
+		return se.Status, true
+	}
+	return 0, false
+}
+
+// Read fetches n plaintext bytes at addr from the serving node.
+func (c *SmartClient) Read(a layout.Addr, n int, meta core.Meta) ([]byte, error) {
+	var out []byte
+	err := c.do(uint64(a)/layout.PageSize, func(cl *server.Client) error {
+		b, e := cl.Read(a, n, meta)
+		if e == nil {
+			out = b
+		}
+		return e
+	})
+	return out, err
+}
+
+// Write stores data at addr on the serving node.
+func (c *SmartClient) Write(a layout.Addr, data []byte, meta core.Meta) error {
+	return c.do(uint64(a)/layout.PageSize, func(cl *server.Client) error {
+		return cl.Write(a, data, meta)
+	})
+}
+
+// DirectWrite writes via a specific member with no redirect-following or
+// fallback — the fencing probe: a deposed owner must answer NotOwner.
+func (c *SmartClient) DirectWrite(memberID string, a layout.Addr, data []byte, meta core.Meta) error {
+	m, ok := c.ms.Member(memberID)
+	if !ok {
+		return fmt.Errorf("cluster: unknown member %q", memberID)
+	}
+	cl, err := c.conn(m.Wire)
+	if err != nil {
+		return err
+	}
+	err = cl.Write(a, data, meta)
+	if err != nil {
+		if _, ok := statusOf(err); !ok {
+			c.drop(m.Wire)
+		}
+	}
+	return err
+}
+
+// Close drops every connection.
+func (c *SmartClient) Close() error {
+	var first error
+	for addr, cl := range c.conns {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.conns, addr)
+	}
+	return first
+}
+
+// Retryable reports whether err is worth a backoff retry against the
+// cluster: a retryable wire status, or the client-side unavailable
+// wrapper (owner dead, promotion pending).
+func Retryable(err error) bool {
+	return server.Retryable(err) || errors.Is(err, server.ErrUnavailable) || errors.Is(err, shard.ErrReplStalled)
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"aisebmt/internal/persist"
+)
+
+// monitor is the failover loop: it probes every peer this node holds a
+// standby for, and after FailAfter consecutive failures promotes the
+// standby — if, and only if, this node is the dead owner's first live
+// successor, so concurrent followers arbitrate deterministically by
+// ring order and at most one of them acts.
+func (n *Node) monitor() {
+	defer n.wg.Done()
+	fails := map[string]int{}
+	tick := time.NewTicker(n.cfg.ProbeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-tick.C:
+		}
+		n.mu.Lock()
+		owners := make([]string, 0, len(n.standbys))
+		for o := range n.standbys {
+			owners = append(owners, o)
+		}
+		n.mu.Unlock()
+		for _, o := range owners {
+			m, _ := n.ms.Member(o)
+			if err := n.cfg.Probe(n.self.ID, m); err != nil {
+				fails[o]++
+			} else {
+				fails[o] = 0
+			}
+			if fails[o] < n.cfg.FailAfter {
+				continue
+			}
+			if !n.firstLiveSuccessor(o) {
+				// A member between the dead owner and us is alive; it (or
+				// its own follower chain) is responsible. Keep counting —
+				// if it dies too, responsibility walks down to us.
+				continue
+			}
+			fails[o] = 0
+			if err := n.promote(o); err != nil {
+				n.logf("cluster: promote %s: %v", o, err)
+			}
+		}
+	}
+}
+
+// firstLiveSuccessor reports whether every member between owner and this
+// node in successor order is unreachable — the arbitration rule that
+// keeps two standby holders from both promoting.
+func (n *Node) firstLiveSuccessor(owner string) bool {
+	for _, m := range n.ms.Successors(owner) {
+		if m.ID == n.self.ID {
+			return true
+		}
+		if n.cfg.Probe(n.self.ID, m) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// promote adopts the standby held for owner: the fencing epoch ratchets
+// past everything the owner ever shipped, the standby pool is bound to a
+// fresh durable store with that fence sealed into its anchor, and the
+// node starts serving the range. From this instant the deposed owner's
+// handshake and segments answer ackFenced everywhere the fence has been
+// seen, and its own write fence kills anything already in its queues.
+func (n *Node) promote(owner string) error {
+	n.mu.Lock()
+	sb := n.standbys[owner]
+	if sb == nil || n.promoted[owner] != nil {
+		n.mu.Unlock()
+		return nil
+	}
+	delete(n.standbys, owner)
+	n.met.standbys.Set(int64(len(n.standbys)))
+	fence := n.fences[owner]
+	if sb.fence > fence {
+		fence = sb.fence
+	}
+	fence++
+	n.fences[owner] = fence
+	n.mu.Unlock()
+
+	sb.mu.Lock()
+	sb.promoted = true
+	st, err := persist.Open(persist.Options{
+		Dir:   n.promotedDir(owner, fence),
+		Key:   n.cfg.Key,
+		Fsync: n.cfg.Fsync,
+		Logf:  n.cfg.Logf,
+	})
+	if err == nil {
+		st.SetFence(fence)
+		err = st.Adopt(sb.pool)
+		if err != nil {
+			st.Close()
+		}
+	}
+	sb.mu.Unlock()
+	if err != nil {
+		// The range stays unserved (clients bounce off NotOwner and
+		// retries stall) rather than served without durability.
+		return fmt.Errorf("adopt standby of %s under fence %d: %w", owner, fence, err)
+	}
+
+	n.mu.Lock()
+	n.promoted[owner] = &promotedRange{owner: owner, pool: sb.pool, store: st, fence: fence}
+	n.met.promoted.Set(int64(len(n.promoted)))
+	n.mu.Unlock()
+	n.met.failovers.Inc()
+	n.logf("cluster: promoted standby of %s under fence %d; range served here", owner, fence)
+	return nil
+}

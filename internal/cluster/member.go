@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aisebmt/internal/layout"
+)
+
+// Member is one node of a static cluster: a stable ID (the ring key) and
+// the three addresses it serves on. Wire is the client-facing data plane
+// (the length-prefixed secmemd protocol), Health the HTTP sidecar with
+// /healthz and /readyz, and Repl the replication stream listener that
+// this member's predecessor ships sealed WAL segments to.
+type Member struct {
+	ID     string
+	Wire   string
+	Health string
+	Repl   string
+}
+
+// ParseMembers parses the -cluster flag format: a comma-separated list
+// of "id=wire/health/repl" entries, e.g.
+//
+//	n1=127.0.0.1:7070/127.0.0.1:9090/127.0.0.1:8080,n2=...
+//
+// IDs must be unique and every address non-empty: a member that cannot
+// be probed or replicated to is a configuration error, not a runtime
+// surprise.
+func ParseMembers(s string) ([]Member, error) {
+	var out []Member
+	seen := map[string]bool{}
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		id, addrs, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: member %q: want id=wire/health/repl", ent)
+		}
+		parts := strings.Split(addrs, "/")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("cluster: member %q: want 3 addresses wire/health/repl, got %d", ent, len(parts))
+		}
+		m := Member{ID: strings.TrimSpace(id), Wire: parts[0], Health: parts[1], Repl: parts[2]}
+		if m.ID == "" || m.Wire == "" || m.Health == "" || m.Repl == "" {
+			return nil, fmt.Errorf("cluster: member %q: empty id or address", ent)
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("cluster: duplicate member ID %q", m.ID)
+		}
+		seen[m.ID] = true
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty member list")
+	}
+	return out, nil
+}
+
+// Membership is the resolved cluster view: the consistent-hash ring over
+// the member IDs plus address lookup and the successor order failover
+// arbitration runs on.
+type Membership struct {
+	ring *Ring
+	byID map[string]Member
+	ids  []string // sorted; successor order
+}
+
+// NewMembership builds the view. Every ring operation and the follower
+// assignment derive from it, so two nodes constructed from the same
+// member list agree on ownership and on who promotes whom.
+func NewMembership(members []Member) (*Membership, error) {
+	ids := make([]string, len(members))
+	byID := make(map[string]Member, len(members))
+	for i, m := range members {
+		ids[i] = m.ID
+		if _, dup := byID[m.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member ID %q", m.ID)
+		}
+		byID[m.ID] = m
+	}
+	sort.Strings(ids)
+	return &Membership{ring: NewRing(ids), byID: byID, ids: ids}, nil
+}
+
+// Ring exposes the membership's consistent-hash ring.
+func (ms *Membership) Ring() *Ring { return ms.ring }
+
+// Member returns the member with the given ID.
+func (ms *Membership) Member(id string) (Member, bool) {
+	m, ok := ms.byID[id]
+	return m, ok
+}
+
+// Owner returns the member owning the page containing address a.
+func (ms *Membership) Owner(a layout.Addr) Member {
+	return ms.byID[ms.ring.Owner(a)]
+}
+
+// OwnerPage returns the member owning page p.
+func (ms *Membership) OwnerPage(p uint64) Member {
+	return ms.byID[ms.ring.OwnerPage(p)]
+}
+
+// Successors returns the other members in deterministic successor order
+// starting after id (sorted-ID order, wrapping). The first entry is id's
+// designated follower; an owner whose follower is unreachable walks
+// further down the same list, and failover arbitration promotes the
+// first *live* successor, so both sides of a failover agree on who acts.
+func (ms *Membership) Successors(id string) []Member {
+	at := sort.SearchStrings(ms.ids, id)
+	out := make([]Member, 0, len(ms.ids)-1)
+	for off := 1; off < len(ms.ids)+1; off++ {
+		sid := ms.ids[(at+off)%len(ms.ids)]
+		if sid == id {
+			continue
+		}
+		out = append(out, ms.byID[sid])
+	}
+	if len(out) > len(ms.ids)-1 {
+		out = out[:len(ms.ids)-1]
+	}
+	return out
+}

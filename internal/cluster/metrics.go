@@ -1,0 +1,50 @@
+package cluster
+
+import "aisebmt/internal/obs"
+
+// metrics is the secmemd_cluster_* family, registered on the daemon's
+// observability registry (or a throwaway one when observability is off,
+// so call sites never nil-check). Counters follow the repo's metric
+// conventions and pass cmd/metricslint over a live node's /metrics.
+type metrics struct {
+	members     *obs.Gauge
+	ownedArcs   *obs.Gauge
+	attached    *obs.Gauge
+	promoted    *obs.Gauge
+	standbys    *obs.Gauge
+	deposed     *obs.Gauge
+	segShipped  *obs.Counter
+	segApplied  *obs.Counter
+	baseShipped *obs.Counter
+	baseApplied *obs.Counter
+	failovers   *obs.Counter
+	fenceRej    *obs.Counter
+	fencedWr    *obs.Counter
+	notOwner    *obs.Counter
+	attachTries *obs.Counter
+	resyncs     *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &metrics{
+		members:     reg.Gauge("secmemd_cluster_members", "Configured cluster members."),
+		ownedArcs:   reg.Gauge("secmemd_cluster_ring_arcs_owned", "Ring arcs this node owns."),
+		attached:    reg.Gauge("secmemd_cluster_follower_attached", "1 when this node's segment stream is attached to a follower."),
+		promoted:    reg.Gauge("secmemd_cluster_promoted_ranges", "Dead peers whose ranges this node serves after failover."),
+		standbys:    reg.Gauge("secmemd_cluster_standbys", "Warm standbys this node holds for peers."),
+		deposed:     reg.Gauge("secmemd_cluster_deposed", "1 after this node's follower was promoted over it."),
+		segShipped:  reg.Counter("secmemd_cluster_segments_shipped_total", "Sealed WAL segments shipped to the follower."),
+		segApplied:  reg.Counter("secmemd_cluster_segments_applied_total", "Sealed WAL segments applied to standbys."),
+		baseShipped: reg.Counter("secmemd_cluster_baselines_shipped_total", "Baselines exported and shipped to followers."),
+		baseApplied: reg.Counter("secmemd_cluster_baselines_applied_total", "Baselines verified and imported as standbys."),
+		failovers:   reg.Counter("secmemd_cluster_failovers_total", "Standbys this node promoted after an owner death."),
+		fenceRej:    reg.Counter("secmemd_cluster_fence_rejections_total", "Replication frames refused from deposed owners."),
+		fencedWr:    reg.Counter("secmemd_cluster_fenced_writes_total", "Local mutations refused by the ownership write fence."),
+		notOwner:    reg.Counter("secmemd_cluster_not_owner_total", "Requests answered with a NotOwner redirect."),
+		attachTries: reg.Counter("secmemd_cluster_attach_attempts_total", "Follower attach attempts by the segment shipper."),
+		resyncs:     reg.Counter("secmemd_cluster_resyncs_total", "Streams torn down for a fresh baseline (checkpoint rotation or continuity loss)."),
+	}
+}

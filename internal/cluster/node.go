@@ -1,0 +1,513 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/obs"
+	"aisebmt/internal/persist"
+	"aisebmt/internal/server"
+	"aisebmt/internal/shard"
+)
+
+// Config wires a Node into a daemon.
+type Config struct {
+	// Self is this node's member ID; it must appear in Members.
+	Self string
+	// Members is the static cluster membership.
+	Members []Member
+	// Pool and Store are the daemon's recovered local pool and its
+	// persistence store; the node installs the write fence on the pool
+	// and the segment sink on the store.
+	Pool  *shard.Pool
+	Store *persist.Store
+	// ShardCfg is the pool's configuration. Standby pools for peers are
+	// built from it (with observability stripped — instruments register
+	// once per process, for the local pool).
+	ShardCfg shard.Config
+	// Key is the processor key; baselines and segments are sealed under
+	// the at-rest key derived from it, identically on every member.
+	Key []byte
+	// DataDir is the daemon's data directory. Promoted standbys open
+	// fresh stores in promoted-<owner>-f<fence> subdirectories of it.
+	DataDir string
+	// Fsync is the durability policy for promoted stores.
+	Fsync persist.Policy
+	// ReplListener accepts replication streams from peers (the address
+	// advertised as this member's Repl). Nil disables the receiver (and
+	// with it this node's ability to hold standbys) — single-node rings
+	// and router-only tests.
+	ReplListener net.Listener
+	// Proxy, when true, forwards misrouted requests to the owner instead
+	// of answering NotOwner, so dumb clients work against any node.
+	Proxy bool
+
+	// Obs registers the secmemd_cluster_* metrics; nil is allowed.
+	Obs *obs.Service
+	// Logf receives failover and replication lifecycle events.
+	Logf func(format string, args ...any)
+
+	// Dialer opens replication/forwarding connections (chaos tests
+	// inject partitions here); nil means net.Dial with IOTimeout. The
+	// from argument is this node's ID.
+	Dialer func(from, addr string) (net.Conn, error)
+	// Probe checks a member's liveness; nil means an HTTP GET of
+	// http://<health>/healthz. The from argument is this node's ID.
+	Probe func(from string, m Member) error
+	// ProbeEvery is the failover monitor period (default 250ms).
+	ProbeEvery time.Duration
+	// FailAfter is how many consecutive failed probes of an owner make
+	// its follower promote (default 4).
+	FailAfter int
+	// IOTimeout bounds each replication send/ack round trip and the
+	// attach handshake (default 5s).
+	IOTimeout time.Duration
+	// AttachBackoff is the shipper's retry delay between failed attach
+	// sweeps (default 50ms, doubling to 1s).
+	AttachBackoff time.Duration
+}
+
+// standby is a warm copy of one peer's state: the imported pool plus the
+// segment cursors its stream advances. mu serializes segment application
+// against promotion, so a promoted pool is never mutated by a straggling
+// replication frame.
+type standby struct {
+	owner string
+	mu    sync.Mutex
+	pool  *shard.Pool
+	curs  []*persist.SegmentCursor
+	fence uint64
+	// promoted flips under mu when failover adopts the pool; the stream
+	// handler answers ackFenced from then on.
+	promoted bool
+	// live is true while a stream is attached (diagnostic only).
+	live bool
+}
+
+// promotedRange is a dead peer's range this node now serves: the adopted
+// pool bound to its own fresh store under a higher fencing epoch.
+type promotedRange struct {
+	owner string
+	pool  *shard.Pool
+	store *persist.Store
+	fence uint64
+}
+
+// Node federates one secmemd daemon into the cluster. It implements
+// server.Backend: requests for pages this node owns hit the local pool,
+// requests for ranges it promoted hit the adopted pools, and everything
+// else is redirected (or proxied) to the owner. A node does not serve
+// its own range until its first follower handshake resolves — attached,
+// fenced, or no-followers — so a rebooted deposed owner can never serve
+// stale state.
+type Node struct {
+	cfg  Config
+	self Member
+	ms   *Membership
+	met  *metrics
+	ship *shipper
+	fwd  *forwarder
+
+	shards int // local pool shard count
+
+	// ready is closed once ownership of the local range is resolved.
+	ready     chan struct{}
+	readyOnce sync.Once
+
+	mu        sync.Mutex
+	deposedTo string // member ID holding our range after we were fenced
+	standbys  map[string]*standby
+	promoted  map[string]*promotedRange
+	fences    map[string]uint64 // highest fencing epoch seen per member
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	replConnMu sync.Mutex
+	replConns  map[net.Conn]struct{}
+}
+
+// NewNode validates cfg, installs the write fence and segment sink, and
+// starts the replication receiver, the segment shipper and the failover
+// monitor. The returned Node is ready to Publish on a server.
+func NewNode(cfg Config) (*Node, error) {
+	ms, err := NewMembership(cfg.Members)
+	if err != nil {
+		return nil, err
+	}
+	self, ok := ms.Member(cfg.Self)
+	if !ok {
+		return nil, fmt.Errorf("cluster: self ID %q not in member list", cfg.Self)
+	}
+	if cfg.Pool == nil || cfg.Store == nil {
+		return nil, errors.New("cluster: Config.Pool and Config.Store are required")
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 250 * time.Millisecond
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 4
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 5 * time.Second
+	}
+	if cfg.AttachBackoff <= 0 {
+		cfg.AttachBackoff = 50 * time.Millisecond
+	}
+	var reg *obs.Registry
+	if cfg.Obs != nil {
+		reg = cfg.Obs.Reg
+	}
+	n := &Node{
+		cfg:       cfg,
+		self:      self,
+		ms:        ms,
+		met:       newMetrics(reg),
+		shards:    cfg.Pool.Shards(),
+		ready:     make(chan struct{}),
+		standbys:  map[string]*standby{},
+		promoted:  map[string]*promotedRange{},
+		fences:    map[string]uint64{},
+		closed:    make(chan struct{}),
+		replConns: map[net.Conn]struct{}{},
+	}
+	if cfg.Dialer == nil {
+		n.cfg.Dialer = func(_, addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, n.cfg.IOTimeout)
+		}
+	}
+	if cfg.Probe == nil {
+		probe := &http.Client{Timeout: n.cfg.ProbeEvery}
+		n.cfg.Probe = func(_ string, m Member) error {
+			resp, err := probe.Get("http://" + m.Health + "/healthz")
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("cluster: %s /healthz: %s", m.ID, resp.Status)
+			}
+			return nil
+		}
+	}
+	n.met.members.Set(int64(len(cfg.Members)))
+	n.met.ownedArcs.Set(int64(ms.Ring().Ranges()[self.ID]))
+	n.fwd = newForwarder(ms, n.cfg.IOTimeout)
+
+	cfg.Pool.SetWriteFence(n.writeFence)
+	if n.cfg.ReplListener != nil {
+		n.wg.Add(1)
+		go n.serveRepl(n.cfg.ReplListener)
+	}
+	if len(cfg.Members) == 1 {
+		// No follower exists; the node owns its range unconditionally.
+		n.resolveReady()
+	} else {
+		n.ship = newShipper(n)
+		cfg.Store.SetSegmentSink(n.ship.sink)
+		n.wg.Add(1)
+		go n.ship.run()
+		n.wg.Add(1)
+		go n.monitor()
+	}
+	return n, nil
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// resolveReady opens the local-range gate.
+func (n *Node) resolveReady() {
+	n.readyOnce.Do(func() { close(n.ready) })
+}
+
+// becomeDeposed records that holder's fencing epoch superseded ours: the
+// local range is no longer served here, and own-range requests redirect.
+func (n *Node) becomeDeposed(holder string) {
+	n.mu.Lock()
+	if n.deposedTo == "" {
+		if _, ok := n.ms.Member(holder); !ok {
+			// Unknown or empty holder: best guess is our first successor,
+			// the deterministic promotion choice.
+			if succ := n.ms.Successors(n.self.ID); len(succ) > 0 {
+				holder = succ[0].ID
+			}
+		}
+		n.deposedTo = holder
+		n.met.deposed.Set(1)
+		n.logf("cluster: node %s deposed; range now served by %s", n.self.ID, holder)
+	}
+	n.mu.Unlock()
+	// Wake gated requests so they observe the redirect instead of
+	// timing out.
+	n.resolveReady()
+}
+
+// isDeposed reports whether this node was fenced off its own range, and
+// by whom.
+func (n *Node) isDeposed() (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.deposedTo, n.deposedTo != ""
+}
+
+// writeFence vets every local mutation at the commit boundary: after
+// this node is deposed — or for any op whose page the ring does not
+// assign to it — the batch fails with ErrNotOwner before it is logged or
+// executed. Requests that passed routing before a failover die here.
+func (n *Node) writeFence(shardIdx int, ops []shard.MutOp) error {
+	if _, dep := n.isDeposed(); dep {
+		n.met.fencedWr.Inc()
+		return shard.ErrNotOwner
+	}
+	for _, op := range ops {
+		local := uint64(op.Addr) / layout.PageSize
+		global := local*uint64(n.shards) + uint64(shardIdx)
+		if n.ms.ring.OwnerPage(global) != n.self.ID {
+			n.met.fencedWr.Inc()
+			return shard.ErrNotOwner
+		}
+	}
+	return nil
+}
+
+// waitReady blocks until local-range ownership is resolved (follower
+// attached, no followers configured, or deposed). The strict gate: a
+// node that cannot replicate acks nothing, and a node that might have
+// been failed over serves nothing until it knows.
+func (n *Node) waitReady(ctx context.Context) error {
+	select {
+	case <-n.ready:
+		return nil
+	default:
+	}
+	select {
+	case <-n.ready:
+		return nil
+	case <-n.closed:
+		return shard.ErrClosed
+	case <-ctx.Done():
+		return fmt.Errorf("cluster: awaiting follower attach: %w", ctx.Err())
+	}
+}
+
+// route resolves the pool serving address a: the local pool for our own
+// range, an adopted pool for ranges we promoted, nil plus a redirect
+// target otherwise.
+func (n *Node) route(ctx context.Context, a layout.Addr) (*shard.Pool, string, error) {
+	owner := n.ms.ring.Owner(a)
+	if owner == n.self.ID {
+		if to, dep := n.isDeposed(); dep {
+			return nil, to, nil
+		}
+		if err := n.waitReady(ctx); err != nil {
+			return nil, "", err
+		}
+		// Re-check: waitReady also unblocks on deposition.
+		if to, dep := n.isDeposed(); dep {
+			return nil, to, nil
+		}
+		return n.cfg.Pool, "", nil
+	}
+	n.mu.Lock()
+	pr := n.promoted[owner]
+	n.mu.Unlock()
+	if pr != nil {
+		return pr.pool, "", nil
+	}
+	return nil, owner, nil
+}
+
+// redirect converts a non-local route into the wire answer: a proxy call
+// when Proxy is on, a NotOwner error carrying the target's wire address
+// otherwise.
+func (n *Node) redirect(to string) error {
+	n.met.notOwner.Inc()
+	m, ok := n.ms.Member(to)
+	if !ok {
+		return &server.NotOwnerError{Addr: ""}
+	}
+	return &server.NotOwnerError{Addr: m.Wire}
+}
+
+// wrapOwn translates fence refusals on the local pool into the redirect
+// clients can follow. Everything else passes through.
+func (n *Node) wrapOwn(err error) error {
+	if err == nil || !errors.Is(err, shard.ErrNotOwner) {
+		return err
+	}
+	if to, dep := n.isDeposed(); dep {
+		return n.redirect(to)
+	}
+	// Fence refused a misrouted op while we still own our range: the
+	// client's ring view must be wrong; point it at the real owner.
+	return &server.NotOwnerError{Addr: ""}
+}
+
+// Read implements server.Backend.
+func (n *Node) Read(ctx context.Context, a layout.Addr, dst []byte, meta core.Meta) error {
+	pool, to, err := n.route(ctx, a)
+	if err != nil {
+		return err
+	}
+	if pool != nil {
+		return n.wrapOwn(pool.Read(ctx, a, dst, meta))
+	}
+	if n.cfg.Proxy {
+		return n.fwd.Read(ctx, a, dst, meta)
+	}
+	return n.redirect(to)
+}
+
+// Write implements server.Backend.
+func (n *Node) Write(ctx context.Context, a layout.Addr, src []byte, meta core.Meta) error {
+	pool, to, err := n.route(ctx, a)
+	if err != nil {
+		return err
+	}
+	if pool != nil {
+		return n.wrapOwn(pool.Write(ctx, a, src, meta))
+	}
+	if n.cfg.Proxy {
+		return n.fwd.Write(ctx, a, src, meta)
+	}
+	return n.redirect(to)
+}
+
+// SwapOut implements server.Backend.
+func (n *Node) SwapOut(ctx context.Context, a layout.Addr, slot int) (*core.PageImage, error) {
+	pool, to, err := n.route(ctx, a)
+	if err != nil {
+		return nil, err
+	}
+	if pool == nil {
+		return nil, n.redirect(to)
+	}
+	img, err := pool.SwapOut(ctx, a, slot)
+	return img, n.wrapOwn(err)
+}
+
+// SwapIn implements server.Backend.
+func (n *Node) SwapIn(ctx context.Context, img *core.PageImage, a layout.Addr, slot int) error {
+	pool, to, err := n.route(ctx, a)
+	if err != nil {
+		return err
+	}
+	if pool == nil {
+		return n.redirect(to)
+	}
+	return n.wrapOwn(pool.SwapIn(ctx, img, a, slot))
+}
+
+// Verify sweeps the local pool and every adopted pool.
+func (n *Node) Verify(ctx context.Context) error {
+	if err := n.cfg.Pool.Verify(ctx); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	prs := make([]*promotedRange, 0, len(n.promoted))
+	for _, pr := range n.promoted {
+		prs = append(prs, pr)
+	}
+	n.mu.Unlock()
+	for _, pr := range prs {
+		if err := pr.pool.Verify(ctx); err != nil {
+			return fmt.Errorf("promoted range of %s: %w", pr.owner, err)
+		}
+	}
+	return nil
+}
+
+// Roots returns the local pool's Merkle roots (adopted ranges attest via
+// their own stores).
+func (n *Node) Roots() [][]byte { return n.cfg.Pool.Roots() }
+
+// Stats reports the local pool's stats.
+func (n *Node) Stats() shard.ServiceStats { return n.cfg.Pool.Stats() }
+
+// Cordon implements server.Backend against the local pool.
+func (n *Node) Cordon(i int) error { return n.cfg.Pool.Cordon(i) }
+
+// Uncordon implements server.Backend against the local pool.
+func (n *Node) Uncordon(i int) error { return n.cfg.Pool.Uncordon(i) }
+
+// Hibernate implements server.Backend against the local pool.
+func (n *Node) Hibernate(w io.Writer) ([]core.ChipState, error) { return n.cfg.Pool.Hibernate(w) }
+
+// ShardStates implements server.Backend against the local pool.
+func (n *Node) ShardStates() []shard.ShardState { return n.cfg.Pool.ShardStates() }
+
+// ShardFault implements server.Backend against the local pool.
+func (n *Node) ShardFault(i int) (shard.FaultKind, error) { return n.cfg.Pool.ShardFault(i) }
+
+// Close tears the node down: replication stops, standbys are discarded,
+// promoted stores are closed durably, and the local pool closes last.
+func (n *Node) Close() error {
+	n.stop(true)
+	return n.cfg.Pool.Close()
+}
+
+// Halt stops the node abruptly — replication, receiver and monitor die,
+// but pools are left unclosed and nothing is checkpointed. Crash
+// simulation for tests; the data directory is what a SIGKILL leaves.
+func (n *Node) Halt() { n.stop(false) }
+
+func (n *Node) stop(graceful bool) {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		n.cfg.Store.SetSegmentSink(nil)
+		if n.ship != nil {
+			n.ship.close()
+		}
+		if n.cfg.ReplListener != nil {
+			n.cfg.ReplListener.Close()
+		}
+		n.replConnMu.Lock()
+		for c := range n.replConns {
+			c.Close()
+		}
+		n.replConnMu.Unlock()
+		n.wg.Wait()
+		n.fwd.close()
+		if !graceful {
+			return
+		}
+		n.mu.Lock()
+		sbs, prs := n.standbys, n.promoted
+		n.standbys, n.promoted = map[string]*standby{}, map[string]*promotedRange{}
+		n.mu.Unlock()
+		for _, sb := range sbs {
+			sb.pool.Close()
+		}
+		for _, pr := range prs {
+			if err := pr.store.Checkpoint(); err != nil {
+				n.logf("cluster: checkpoint promoted range of %s: %v", pr.owner, err)
+			}
+			pr.pool.Close()
+			if err := pr.store.Close(); err != nil {
+				n.logf("cluster: close promoted range of %s: %v", pr.owner, err)
+			}
+		}
+	})
+}
+
+// promotedDir names the fresh store directory for a promoted range; the
+// fencing epoch in the name keeps successive promotions of the same
+// owner from colliding.
+func (n *Node) promotedDir(owner string, fence uint64) string {
+	return filepath.Join(n.cfg.DataDir, fmt.Sprintf("promoted-%s-f%d", owner, fence))
+}

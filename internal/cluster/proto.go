@@ -1,0 +1,127 @@
+package cluster
+
+// The replication stream protocol. One TCP connection per (owner →
+// follower) pair carries, in order: a hello exchange that settles
+// fencing, one sealed baseline, then sealed WAL segments, each
+// acknowledged before the owner acks its client. Frames are
+// length-prefixed like the data-plane wire protocol, but the payloads
+// are the persist layer's sealed encodings — the transport adds no
+// trust, and a forged or replayed frame dies in DecodeSegment /
+// DecodeBaseline, not here.
+//
+//	frame := len(u32 BE, payload length) | type(u8) | payload
+//
+// Acks carry a code plus a short message; on ackFenced the message is
+// the member ID the sender believes holds the range now, which the
+// deposed owner uses to answer NotOwner redirects.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	msgHello       = 1
+	msgHelloAck    = 2
+	msgBaseline    = 3
+	msgBaselineAck = 4
+	msgSegment     = 5
+	msgSegmentAck  = 6
+
+	ackOK     = 0
+	ackFenced = 1 // sender's fencing epoch is superseded; stop shipping
+	ackResync = 2 // continuity lost (owner checkpointed); re-baseline
+	ackError  = 3 // structural/verification failure; re-baseline
+
+	// maxReplFrame bounds one frame. Baselines carry a full snapshot plus
+	// WAL tails, so the bound is generous; segments are a few pages.
+	maxReplFrame = 1 << 30
+)
+
+// hello opens the stream: the owner identifies itself and declares its
+// fencing epoch and shard count before shipping anything expensive.
+type hello struct {
+	ID     string
+	Fence  uint64
+	Shards uint32
+}
+
+// ack answers hello, baseline and segment frames.
+type ack struct {
+	Code uint8
+	Msg  string
+}
+
+func writeFrame(w io.Writer, typ uint8, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxReplFrame {
+		return 0, nil, fmt.Errorf("cluster: repl frame of %d bytes exceeds limit", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], p, nil
+}
+
+func encodeHello(h hello) []byte {
+	b := make([]byte, 0, 2+len(h.ID)+8+4)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(h.ID)))
+	b = append(b, h.ID...)
+	b = binary.BigEndian.AppendUint64(b, h.Fence)
+	b = binary.BigEndian.AppendUint32(b, h.Shards)
+	return b
+}
+
+func decodeHello(b []byte) (hello, error) {
+	var h hello
+	if len(b) < 2 {
+		return h, fmt.Errorf("cluster: hello truncated")
+	}
+	n := int(binary.BigEndian.Uint16(b[:2]))
+	if len(b) != 2+n+12 {
+		return h, fmt.Errorf("cluster: hello length mismatch")
+	}
+	h.ID = string(b[2 : 2+n])
+	h.Fence = binary.BigEndian.Uint64(b[2+n : 2+n+8])
+	h.Shards = binary.BigEndian.Uint32(b[2+n+8:])
+	return h, nil
+}
+
+func encodeAck(a ack) []byte {
+	b := make([]byte, 0, 1+2+len(a.Msg))
+	b = append(b, a.Code)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(a.Msg)))
+	b = append(b, a.Msg...)
+	return b
+}
+
+func decodeAck(b []byte) (ack, error) {
+	var a ack
+	if len(b) < 3 {
+		return a, fmt.Errorf("cluster: ack truncated")
+	}
+	a.Code = b[0]
+	n := int(binary.BigEndian.Uint16(b[1:3]))
+	if len(b) != 3+n {
+		return a, fmt.Errorf("cluster: ack length mismatch")
+	}
+	a.Msg = string(b[3:])
+	return a, nil
+}

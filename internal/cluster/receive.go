@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/persist"
+)
+
+// serveRepl accepts replication streams from peers on the node's Repl
+// listener. One goroutine per stream; the listener closing (node
+// shutdown) ends the loop.
+func (n *Node) serveRepl(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		n.replConnMu.Lock()
+		n.replConns[conn] = struct{}{}
+		n.replConnMu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handleRepl(conn)
+			n.replConnMu.Lock()
+			delete(n.replConns, conn)
+			n.replConnMu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// handleRepl is the follower side of one stream: handshake, baseline
+// import, then segment application until the connection dies. Fencing is
+// enforced at every stage — a deposed owner gets ackFenced, never an
+// apply — and every baseline and segment is cryptographically verified
+// by the persist layer before it touches a standby.
+func (n *Node) handleRepl(conn net.Conn) {
+	bw, br := bufio.NewWriterSize(conn, 64<<10), bufio.NewReader(conn)
+	reply := func(typ uint8, a ack) bool {
+		conn.SetWriteDeadline(time.Now().Add(n.cfg.IOTimeout))
+		if err := writeFrame(bw, typ, encodeAck(a)); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+
+	conn.SetReadDeadline(time.Now().Add(n.cfg.IOTimeout))
+	typ, p, err := readFrame(br)
+	if err != nil || typ != msgHello {
+		return
+	}
+	h, err := decodeHello(p)
+	if err != nil {
+		return
+	}
+	owner, ok := n.ms.Member(h.ID)
+	if !ok || owner.ID == n.self.ID {
+		reply(msgHelloAck, ack{Code: ackError, Msg: "unknown member"})
+		return
+	}
+	if int(h.Shards) != n.shards {
+		reply(msgHelloAck, ack{Code: ackError, Msg: "shard count mismatch"})
+		return
+	}
+	if holder, fenced := n.checkFence(owner.ID, h.Fence); fenced {
+		n.met.fenceRej.Inc()
+		n.logf("cluster: refused handshake from deposed %s (fence %d)", owner.ID, h.Fence)
+		reply(msgHelloAck, ack{Code: ackFenced, Msg: holder})
+		return
+	}
+	if !reply(msgHelloAck, ack{Code: ackOK}) {
+		return
+	}
+
+	// Baselines are big; give the transfer several IO windows.
+	conn.SetReadDeadline(time.Now().Add(4 * n.cfg.IOTimeout))
+	typ, p, err = readFrame(br)
+	if err != nil || typ != msgBaseline {
+		return
+	}
+	bl, err := persist.DecodeBaseline(n.cfg.Key, p)
+	if err != nil {
+		reply(msgBaselineAck, ack{Code: ackError, Msg: err.Error()})
+		return
+	}
+	if holder, fenced := n.checkFence(owner.ID, bl.Fence); fenced {
+		n.met.fenceRej.Inc()
+		reply(msgBaselineAck, ack{Code: ackFenced, Msg: holder})
+		return
+	}
+	// Standby pools run without observability: instruments register once
+	// per process, for the local pool.
+	cfg := n.cfg.ShardCfg
+	cfg.Obs = nil
+	pool, curs, err := persist.ImportBaseline(n.cfg.Key, cfg, bl)
+	if err != nil {
+		n.logf("cluster: baseline from %s rejected: %v", owner.ID, err)
+		reply(msgBaselineAck, ack{Code: ackError, Msg: err.Error()})
+		return
+	}
+	sb := &standby{owner: owner.ID, pool: pool, curs: curs, fence: bl.Fence, live: true}
+	if !n.installStandby(sb) {
+		pool.Close()
+		n.met.fenceRej.Inc()
+		reply(msgBaselineAck, ack{Code: ackFenced, Msg: n.holderOf(owner.ID)})
+		return
+	}
+	n.met.baseApplied.Inc()
+	if !reply(msgBaselineAck, ack{Code: ackOK}) {
+		return
+	}
+	n.logf("cluster: standby for %s imported (epoch %d, fence %d, %d shards)", owner.ID, bl.Epoch, bl.Fence, len(curs))
+
+	defer func() {
+		sb.mu.Lock()
+		sb.live = false
+		sb.mu.Unlock()
+	}()
+	for {
+		// Streams idle while the owner takes no writes; only the transfer
+		// itself is bounded.
+		conn.SetReadDeadline(time.Time{})
+		typ, p, err = readFrame(br)
+		if err != nil || typ != msgSegment {
+			return
+		}
+		seg, err := persist.DecodeSegment(n.cfg.Key, p)
+		if err != nil {
+			reply(msgSegmentAck, ack{Code: ackError, Msg: err.Error()})
+			return
+		}
+		code, msg := n.applySegment(owner.ID, sb, seg)
+		if !reply(msgSegmentAck, ack{Code: code, Msg: msg}) {
+			return
+		}
+		if code == ackFenced {
+			return
+		}
+	}
+}
+
+// checkFence records the epoch f claimed by owner and reports whether a
+// higher epoch has already superseded it (or the range was promoted
+// here). Epochs only ratchet up.
+func (n *Node) checkFence(owner string, f uint64) (holder string, fenced bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.promoted[owner] != nil || n.fences[owner] > f {
+		return n.holderLocked(owner), true
+	}
+	if f > n.fences[owner] {
+		n.fences[owner] = f
+	}
+	return "", false
+}
+
+func (n *Node) holderOf(owner string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.holderLocked(owner)
+}
+
+// holderLocked is this node's best knowledge of who serves owner's range
+// now: itself if it promoted the range, otherwise whoever raised the
+// fence (unknown — report self's view as empty and let the client walk
+// successors).
+func (n *Node) holderLocked(owner string) string {
+	if n.promoted[owner] != nil {
+		return n.self.ID
+	}
+	return ""
+}
+
+// installStandby registers a freshly imported standby, replacing any
+// previous one for the same owner (a reconnecting owner re-baselines).
+// It refuses if the range was already promoted here — the owner is
+// deposed, not resyncing.
+func (n *Node) installStandby(sb *standby) bool {
+	n.mu.Lock()
+	if n.promoted[sb.owner] != nil {
+		n.mu.Unlock()
+		return false
+	}
+	old := n.standbys[sb.owner]
+	n.standbys[sb.owner] = sb
+	n.met.standbys.Set(int64(len(n.standbys)))
+	n.mu.Unlock()
+	if old != nil {
+		old.mu.Lock()
+		stale := !old.promoted
+		old.mu.Unlock()
+		if stale {
+			old.pool.Close()
+		}
+	}
+	return true
+}
+
+// applySegment validates one shipped batch against the standby's cursor
+// and replays it. The standby lock serializes application against
+// promotion: once promoted, the answer is ackFenced and nothing touches
+// the pool.
+func (n *Node) applySegment(owner string, sb *standby, seg *persist.Segment) (uint8, string) {
+	if holder, fenced := n.checkFence(owner, seg.Fence); fenced {
+		n.met.fenceRej.Inc()
+		return ackFenced, holder
+	}
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.promoted {
+		n.met.fenceRej.Inc()
+		return ackFenced, n.self.ID
+	}
+	if int(seg.Shard) >= len(sb.curs) {
+		return ackError, fmt.Sprintf("segment for shard %d of %d", seg.Shard, len(sb.curs))
+	}
+	ops, err := sb.curs[seg.Shard].Apply(seg)
+	if err != nil {
+		switch {
+		case errors.Is(err, persist.ErrSegmentEpoch), errors.Is(err, persist.ErrSegmentGap):
+			// The owner checkpointed (log epoch rotated) or we missed
+			// traffic; the stream must restart from a fresh baseline. The
+			// standby keeps its last consistent state meanwhile — every
+			// acknowledged write up to this point is already in it.
+			n.met.resyncs.Inc()
+			return ackResync, err.Error()
+		case errors.Is(err, persist.ErrSegmentRollback):
+			// The sender is behind what we already hold: a restarted owner
+			// replaying old traffic. Never applied; it must re-baseline.
+			n.met.resyncs.Inc()
+			return ackResync, err.Error()
+		default:
+			return ackError, err.Error()
+		}
+	}
+	for _, op := range ops {
+		if rerr := sb.pool.ReplayOp(int(seg.Shard), op); rerr != nil {
+			if errors.Is(rerr, core.ErrTampered) {
+				return ackError, fmt.Sprintf("replay: %v", rerr)
+			}
+			// Deterministic rejection the owner saw too (the op was logged
+			// but refused identically on both sides); skip, like recovery.
+			continue
+		}
+	}
+	n.met.segApplied.Inc()
+	return ackOK, ""
+}

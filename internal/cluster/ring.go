@@ -1,0 +1,113 @@
+// Package cluster federates secmemd daemons: a consistent-hash ring maps
+// page numbers to owner nodes, a synchronous replication stream ships
+// each owner's sealed WAL segments to a designated follower, and an
+// epoch-fenced failover promotes the follower when an owner dies. The
+// fencing epoch rides inside the sealed segments and anchors of the
+// persistence layer, so a deposed owner stays deposed across restarts and
+// cannot roll the cluster back to pre-failover state.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"aisebmt/internal/layout"
+)
+
+// ringReplicas is how many virtual nodes each member projects onto the
+// ring. More replicas smooth the ownership split between members at the
+// cost of a larger table; at 96 the max/min ownership ratio across a
+// handful of nodes stays within a few percent.
+const ringReplicas = 96
+
+// Ring is a consistent-hash ring over static cluster membership. Pages
+// hash onto a 64-bit circle; a page's owner is the member whose next
+// virtual node follows it. Membership is fixed at construction — failover
+// re-routes via delegation (the dead owner's pages are served by its
+// designated follower), not by rebuilding the ring, so assignments stay
+// stable across node deaths and recoveries.
+type Ring struct {
+	ids    []string // members, sorted
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into ids
+}
+
+// fnv64 is FNV-1a followed by a splitmix64 finalizer. Bare FNV-1a does
+// not avalanche: short keys that differ only in their last bytes (page
+// numbers, "id#replica" strings) land in a narrow band of the circle and
+// the ring degenerates to one owner. The finalizer diffuses every input
+// bit across the word. Both stages are fixed constants — stable across
+// runs and platforms, so ring assignments can be pinned in tests and
+// depended on across daemon restarts.
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// NewRing builds the ring for the given member IDs (order-insensitive;
+// duplicates are an error expressed as a panic, since membership comes
+// from validated configuration).
+func NewRing(ids []string) *Ring {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			panic(fmt.Sprintf("cluster: duplicate node ID %q", sorted[i]))
+		}
+	}
+	r := &Ring{ids: sorted, points: make([]ringPoint, 0, len(sorted)*ringReplicas)}
+	for ni, id := range sorted {
+		for rep := 0; rep < ringReplicas; rep++ {
+			r.points = append(r.points, ringPoint{
+				hash: fnv64([]byte(fmt.Sprintf("%s#%d", id, rep))),
+				node: ni,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Members returns the ring's member IDs, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.ids...) }
+
+// OwnerPage returns the member owning page number p.
+func (r *Ring) OwnerPage(p uint64) string {
+	var key [8]byte
+	binary.BigEndian.PutUint64(key[:], p)
+	h := fnv64(key[:])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point succeeds the last hash
+	}
+	return r.ids[r.points[i].node]
+}
+
+// Owner returns the member owning the page containing physical address a.
+func (r *Ring) Owner(a layout.Addr) string {
+	return r.OwnerPage(uint64(a) / layout.PageSize)
+}
+
+// Ranges returns how many of the ring's arcs each member owns, keyed by
+// ID — the granularity at which ownership moves, exported as a gauge.
+func (r *Ring) Ranges() map[string]int {
+	out := make(map[string]int, len(r.ids))
+	for _, p := range r.points {
+		out[r.ids[p.node]]++
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingStability is the consistent-hashing contract, table-driven over
+// membership changes: adding or removing one member of N must move only
+// about 1/N of the pages, and pages that do move must move to (or from)
+// the changed member — never between surviving members.
+func TestRingStability(t *testing.T) {
+	const pages = 4096
+	cases := []struct {
+		name   string
+		before []string
+		after  []string
+		delta  string // the member added or removed
+	}{
+		{"add third node", []string{"n1", "n2"}, []string{"n1", "n2", "n3"}, "n3"},
+		{"remove third node", []string{"n1", "n2", "n3"}, []string{"n1", "n2"}, "n3"},
+		{"add fifth node", []string{"n1", "n2", "n3", "n4"}, []string{"n1", "n2", "n3", "n4", "n5"}, "n5"},
+		{"remove first node", []string{"n1", "n2", "n3"}, []string{"n2", "n3"}, "n1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rb, ra := NewRing(tc.before), NewRing(tc.after)
+			moved := 0
+			for p := uint64(0); p < pages; p++ {
+				ob, oa := rb.OwnerPage(p), ra.OwnerPage(p)
+				if ob == oa {
+					continue
+				}
+				moved++
+				if ob != tc.delta && oa != tc.delta {
+					t.Fatalf("page %d moved %s -> %s, neither is the changed member %s", p, ob, oa, tc.delta)
+				}
+			}
+			// Expect ~pages/len(after or before, whichever is larger); allow
+			// a factor-of-two band for hash unevenness at 96 replicas.
+			n := len(tc.before)
+			if len(tc.after) > n {
+				n = len(tc.after)
+			}
+			ideal := pages / n
+			if moved < ideal/2 || moved > ideal*2 {
+				t.Fatalf("moved %d pages, want within [%d, %d] (~1/%d of %d)", moved, ideal/2, ideal*2, n, pages)
+			}
+		})
+	}
+}
+
+// TestRingGoldenAssignments pins concrete page->owner assignments. These
+// must never change: daemons restarted with the same membership must
+// route identically to daemons that never restarted, and a silent change
+// in the hash or replica scheme would misroute every deployed cluster.
+func TestRingGoldenAssignments(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"})
+	golden := map[uint64]string{
+		0:    "n1",
+		1:    "n2",
+		2:    "n3",
+		3:    "n3",
+		4:    "n1",
+		5:    "n1",
+		6:    "n1",
+		7:    "n1",
+		100:  "n3",
+		1000: "n3",
+		4095: "n1",
+	}
+	for p, want := range golden {
+		if got := r.OwnerPage(p); got != want {
+			t.Errorf("OwnerPage(%d) = %s, want %s", p, got, want)
+		}
+	}
+}
+
+// TestRingBalance checks the split is usable: no member of a 3-node ring
+// owns less than half or more than double its fair share of pages.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"})
+	const pages = 8192
+	counts := map[string]int{}
+	for p := uint64(0); p < pages; p++ {
+		counts[r.OwnerPage(p)]++
+	}
+	fair := pages / 3
+	for id, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("%s owns %d of %d pages; fair share is %d", id, c, pages, fair)
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("only %d members own pages: %v", len(counts), counts)
+	}
+}
+
+// TestRingOrderInsensitive: construction order must not matter.
+func TestRingOrderInsensitive(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"})
+	b := NewRing([]string{"n3", "n1", "n2"})
+	for p := uint64(0); p < 512; p++ {
+		if a.OwnerPage(p) != b.OwnerPage(p) {
+			t.Fatalf("page %d: %s vs %s", p, a.OwnerPage(p), b.OwnerPage(p))
+		}
+	}
+}
+
+func TestRingDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate ID did not panic")
+		}
+	}()
+	NewRing([]string{"n1", "n1"})
+}
+
+func ExampleRing_Ranges() {
+	r := NewRing([]string{"a", "b"})
+	ranges := r.Ranges()
+	fmt.Println(ranges["a"]+ranges["b"] == 2*ringReplicas)
+	// Output: true
+}

@@ -1,0 +1,439 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/obs"
+	"aisebmt/internal/server"
+	"aisebmt/internal/shard"
+)
+
+// forwarder moves requests to their owning node over pooled wire-client
+// connections, following NotOwner redirects and falling back to the
+// owner's successors when it is unreachable (its follower may have
+// promoted the range). It backs both a Node in proxy mode and the
+// standalone router.
+type forwarder struct {
+	ms      *Membership
+	timeout time.Duration
+
+	mu       sync.Mutex
+	idle     map[string][]*server.Client
+	redirect map[string]string // owner ID -> learned wire addr
+	closed   bool
+}
+
+func newForwarder(ms *Membership, timeout time.Duration) *forwarder {
+	return &forwarder{
+		ms:       ms,
+		timeout:  timeout,
+		idle:     map[string][]*server.Client{},
+		redirect: map[string]string{},
+	}
+}
+
+// maxHops bounds one request's walk across redirects and successor
+// fallbacks; a 3-node cluster resolves in 2.
+const maxHops = 4
+
+func (f *forwarder) get(addr string) (*server.Client, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, shard.ErrClosed
+	}
+	if s := f.idle[addr]; len(s) > 0 {
+		c := s[len(s)-1]
+		f.idle[addr] = s[:len(s)-1]
+		f.mu.Unlock()
+		return c, nil
+	}
+	f.mu.Unlock()
+	c, err := server.Dial(addr, f.timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.SetRequestDeadline(f.timeout)
+	return c, nil
+}
+
+func (f *forwarder) put(addr string, c *server.Client) {
+	f.mu.Lock()
+	if !f.closed && len(f.idle[addr]) < 8 {
+		f.idle[addr] = append(f.idle[addr], c)
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+	c.Close()
+}
+
+func (f *forwarder) learn(ownerID, addr string) {
+	f.mu.Lock()
+	m, _ := f.ms.Member(ownerID)
+	if addr == m.Wire {
+		delete(f.redirect, ownerID)
+	} else {
+		f.redirect[ownerID] = addr
+	}
+	f.mu.Unlock()
+}
+
+// targets is the deterministic probe order for a page owned by ownerID:
+// any learned redirect first, then the owner itself, then its
+// successors (the promotion order).
+func (f *forwarder) targets(ownerID string) []string {
+	f.mu.Lock()
+	learned := f.redirect[ownerID]
+	f.mu.Unlock()
+	var out []string
+	if learned != "" {
+		out = append(out, learned)
+	}
+	m, _ := f.ms.Member(ownerID)
+	out = append(out, m.Wire)
+	for _, s := range f.ms.Successors(ownerID) {
+		out = append(out, s.Wire)
+	}
+	return out
+}
+
+// do runs op against the node serving page p, walking redirects and
+// fallbacks up to maxHops. A definitive status from a node is returned
+// as-is (the caller's retry policy sees it); exhausting the walk maps to
+// the retryable ErrUnavailable.
+func (f *forwarder) do(p uint64, op func(c *server.Client) error) error {
+	ownerID := f.ms.ring.OwnerPage(p)
+	targets := f.targets(ownerID)
+	tried := map[string]bool{}
+	var lastErr error
+	hops := 0
+	for i := 0; i < len(targets) && hops < maxHops; i++ {
+		addr := targets[i]
+		if addr == "" || tried[addr] {
+			continue
+		}
+		tried[addr] = true
+		hops++
+		c, err := f.get(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = op(c)
+		if err == nil {
+			f.put(addr, c)
+			f.learn(ownerID, addr)
+			return nil
+		}
+		if na, ok := server.NotOwnerAddr(err); ok {
+			f.put(addr, c)
+			// Splice the redirect in as the immediate next target.
+			targets = append(targets[:i+1], append([]string{na}, targets[i+1:]...)...)
+			lastErr = err
+			continue
+		}
+		var se *server.StatusError
+		if errors.As(err, &se) {
+			f.put(addr, c)
+			if se.Status.Retryable() {
+				// A transient shed: another candidate may hold a promoted
+				// copy of this range — keep walking before giving up.
+				lastErr = err
+				continue
+			}
+			// The serving node's definitive verdict stands.
+			return err
+		}
+		// Transport failure: the connection is dead, the node may be too.
+		c.Close()
+		lastErr = err
+	}
+	var se *server.StatusError
+	if errors.As(lastErr, &se) {
+		return lastErr
+	}
+	return fmt.Errorf("%w: no node served page %d (owner %s): %v", server.ErrUnavailable, p, ownerID, lastErr)
+}
+
+// withMember runs op against one specific member (no routing).
+func (f *forwarder) withMember(m Member, op func(c *server.Client) error) error {
+	c, err := f.get(m.Wire)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", server.ErrUnavailable, m.ID, err)
+	}
+	err = op(c)
+	var se *server.StatusError
+	if err == nil || errors.As(err, &se) {
+		f.put(m.Wire, c)
+		return err
+	}
+	c.Close()
+	return fmt.Errorf("%w: %s: %v", server.ErrUnavailable, m.ID, err)
+}
+
+func (f *forwarder) close() {
+	f.mu.Lock()
+	f.closed = true
+	for _, s := range f.idle {
+		for _, c := range s {
+			c.Close()
+		}
+	}
+	f.idle = map[string][]*server.Client{}
+	f.mu.Unlock()
+}
+
+// Read forwards a read to the owner of a's page.
+func (f *forwarder) Read(ctx context.Context, a layout.Addr, dst []byte, meta core.Meta) error {
+	return f.do(uint64(a)/layout.PageSize, func(c *server.Client) error {
+		b, err := c.Read(a, len(dst), meta)
+		if err != nil {
+			return err
+		}
+		copy(dst, b)
+		return nil
+	})
+}
+
+// Write forwards a write to the owner of a's page.
+func (f *forwarder) Write(ctx context.Context, a layout.Addr, src []byte, meta core.Meta) error {
+	return f.do(uint64(a)/layout.PageSize, func(c *server.Client) error {
+		return c.Write(a, src, meta)
+	})
+}
+
+// RouterOptions configures a standalone router.
+type RouterOptions struct {
+	// Timeout bounds each forwarded request (default 5s).
+	Timeout time.Duration
+	// ProbeEvery is the member health poll period (default 1s).
+	ProbeEvery time.Duration
+	// Obs registers router metrics; nil is allowed.
+	Obs *obs.Service
+	// Logf receives member up/down transitions.
+	Logf func(format string, args ...any)
+}
+
+// RouterBackend implements server.Backend by forwarding every request to
+// the owning cluster node. It holds no state of its own, so any number
+// of routers can run in front of one cluster; clients that speak the
+// plain single-daemon protocol get location transparency, and smart
+// clients can bypass it entirely.
+type RouterBackend struct {
+	ms   *Membership
+	fwd  *forwarder
+	opts RouterOptions
+
+	up     []atomic32
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// atomic32 avoids importing sync/atomic twice for one flag slice.
+type atomic32 struct {
+	mu sync.Mutex
+	v  bool
+}
+
+func (a *atomic32) set(v bool) { a.mu.Lock(); a.v = v; a.mu.Unlock() }
+func (a *atomic32) get() bool  { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+// NewRouter builds a router over the member list and starts its health
+// poller.
+func NewRouter(members []Member, opts RouterOptions) (*RouterBackend, error) {
+	ms, err := NewMembership(members)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.ProbeEvery <= 0 {
+		opts.ProbeEvery = time.Second
+	}
+	r := &RouterBackend{
+		ms:     ms,
+		fwd:    newForwarder(ms, opts.Timeout),
+		opts:   opts,
+		up:     make([]atomic32, len(ms.ids)),
+		closed: make(chan struct{}),
+	}
+	for i := range r.up {
+		r.up[i].set(true)
+	}
+	r.wg.Add(1)
+	go r.poll()
+	return r, nil
+}
+
+// poll marks members up or down from their /healthz, for ShardStates
+// (one synthetic "shard" per member in the router's health view).
+func (r *RouterBackend) poll() {
+	defer r.wg.Done()
+	probe := func(m Member) bool {
+		c, err := server.Dial(m.Wire, r.opts.ProbeEvery)
+		if err != nil {
+			return false
+		}
+		c.Close()
+		return true
+	}
+	tick := time.NewTicker(r.opts.ProbeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-tick.C:
+		}
+		for i, id := range r.ms.ids {
+			m, _ := r.ms.Member(id)
+			now := probe(m)
+			if was := r.up[i].get(); was != now {
+				if r.opts.Logf != nil {
+					state := "down"
+					if now {
+						state = "up"
+					}
+					r.opts.Logf("router: member %s is %s", id, state)
+				}
+			}
+			r.up[i].set(now)
+		}
+	}
+}
+
+// Read implements server.Backend.
+func (r *RouterBackend) Read(ctx context.Context, a layout.Addr, dst []byte, meta core.Meta) error {
+	return r.fwd.Read(ctx, a, dst, meta)
+}
+
+// Write implements server.Backend.
+func (r *RouterBackend) Write(ctx context.Context, a layout.Addr, src []byte, meta core.Meta) error {
+	return r.fwd.Write(ctx, a, src, meta)
+}
+
+// Verify fans out to every member; the first failure wins.
+func (r *RouterBackend) Verify(ctx context.Context) error {
+	for _, id := range r.ms.ids {
+		m, _ := r.ms.Member(id)
+		if err := r.fwd.withMember(m, func(c *server.Client) error { return c.Verify() }); err != nil {
+			return fmt.Errorf("member %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Roots concatenates every member's roots in sorted member order;
+// unreachable members contribute nothing (attestation of a partial
+// cluster is visibly shorter).
+func (r *RouterBackend) Roots() [][]byte {
+	var out [][]byte
+	for _, id := range r.ms.ids {
+		m, _ := r.ms.Member(id)
+		r.fwd.withMember(m, func(c *server.Client) error {
+			roots, err := c.Roots()
+			if err == nil {
+				out = append(out, roots...)
+			}
+			return err
+		})
+	}
+	return out
+}
+
+// Stats sums the reachable members' stats.
+func (r *RouterBackend) Stats() shard.ServiceStats {
+	var out shard.ServiceStats
+	for _, id := range r.ms.ids {
+		m, _ := r.ms.Member(id)
+		r.fwd.withMember(m, func(c *server.Client) error {
+			st, err := c.Stats()
+			if err != nil {
+				return err
+			}
+			out.Shards += st.Shards
+			out.Enqueued += st.Enqueued
+			out.Rejected += st.Rejected
+			out.Expired += st.Expired
+			out.Batches += st.Batches
+			out.BatchedOps += st.BatchedOps
+			out.CoalescedWrites += st.CoalescedWrites
+			out.Faults += st.Faults
+			out.Repairs += st.Repairs
+			out.RepairFailures += st.RepairFailures
+			out.QuarantineRefused += st.QuarantineRefused
+			out.ShardStates = append(out.ShardStates, st.ShardStates...)
+			out.PerShard = append(out.PerShard, st.PerShard...)
+			return nil
+		})
+	}
+	return out
+}
+
+// SwapOut implements server.Backend by routing to the page's owner.
+func (r *RouterBackend) SwapOut(ctx context.Context, a layout.Addr, slot int) (*core.PageImage, error) {
+	var img *core.PageImage
+	err := r.fwd.do(uint64(a)/layout.PageSize, func(c *server.Client) error {
+		var e error
+		img, e = c.SwapOut(a, slot)
+		return e
+	})
+	return img, err
+}
+
+// SwapIn implements server.Backend by routing to the page's owner.
+func (r *RouterBackend) SwapIn(ctx context.Context, img *core.PageImage, a layout.Addr, slot int) error {
+	return r.fwd.do(uint64(a)/layout.PageSize, func(c *server.Client) error {
+		return c.SwapIn(img, a, slot)
+	})
+}
+
+// Cordon is node-local; a router cannot address one member's shard.
+func (r *RouterBackend) Cordon(int) error { return core.ErrUnsupported }
+
+// Uncordon is node-local; a router cannot address one member's shard.
+func (r *RouterBackend) Uncordon(int) error { return core.ErrUnsupported }
+
+// Hibernate is node-local.
+func (r *RouterBackend) Hibernate(io.Writer) ([]core.ChipState, error) {
+	return nil, core.ErrUnsupported
+}
+
+// ShardStates reports one synthetic state per member: serving while its
+// wire port answers, down otherwise. The health endpoint's readiness
+// ("at least one shard serving") then means "at least one member up".
+func (r *RouterBackend) ShardStates() []shard.ShardState {
+	out := make([]shard.ShardState, len(r.ms.ids))
+	for i := range r.ms.ids {
+		if r.up[i].get() {
+			out[i] = shard.StateServing
+		} else {
+			out[i] = shard.StateDown
+		}
+	}
+	return out
+}
+
+// ShardFault reports no latched fault; member outages show in ShardStates.
+func (r *RouterBackend) ShardFault(int) (shard.FaultKind, error) { return 0, nil }
+
+// Close stops the poller and drops pooled connections.
+func (r *RouterBackend) Close() error {
+	select {
+	case <-r.closed:
+	default:
+		close(r.closed)
+	}
+	r.wg.Wait()
+	r.fwd.close()
+	return nil
+}

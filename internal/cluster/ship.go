@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"aisebmt/internal/persist"
+	"aisebmt/internal/shard"
+)
+
+// shipper is the owner side of the replication stream: it attaches to
+// the first reachable successor (handshake, then a verified baseline),
+// and from then on the store's segment sink ships every committed batch
+// and waits for the follower's ack before the batch is acknowledged to
+// the client. Replication is strictly synchronous — while no follower is
+// attached the sink fails batches with shard.ErrReplStalled, which the
+// wire maps to a retryable status. An owner that cannot replicate
+// accepts nothing, so a promoted follower is never missing an
+// acknowledged write.
+type shipper struct {
+	n *Node
+
+	mu     sync.Mutex
+	conn   net.Conn
+	bw     *bufio.Writer
+	br     *bufio.Reader
+	target Member
+	// attached is true while segments can be shipped; fenced is terminal
+	// (a follower refused our fencing epoch — we are deposed).
+	attached bool
+	fenced   bool
+
+	kick chan struct{}
+}
+
+func newShipper(n *Node) *shipper {
+	return &shipper{n: n, kick: make(chan struct{}, 1)}
+}
+
+// wake nudges the attach loop (after a detach) without blocking.
+func (s *shipper) wake() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the attach loop: whenever the stream is down it sweeps the
+// successor list in order and attaches to the first member that accepts
+// a handshake and a baseline. Exponential backoff between sweeps.
+func (s *shipper) run() {
+	defer s.n.wg.Done()
+	backoff := s.n.cfg.AttachBackoff
+	for {
+		select {
+		case <-s.n.closed:
+			return
+		default:
+		}
+		s.mu.Lock()
+		down := !s.attached && !s.fenced
+		s.mu.Unlock()
+		if !down {
+			select {
+			case <-s.n.closed:
+				return
+			case <-s.kick:
+			}
+			continue
+		}
+		if s.attachSweep() {
+			backoff = s.n.cfg.AttachBackoff
+			continue
+		}
+		select {
+		case <-s.n.closed:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// attachSweep tries each successor once, in deterministic order.
+// Returns true once attached (or once fenced — there is nothing left to
+// retry; the node is deposed).
+func (s *shipper) attachSweep() bool {
+	for _, m := range s.n.ms.Successors(s.n.self.ID) {
+		select {
+		case <-s.n.closed:
+			return true
+		default:
+		}
+		s.n.met.attachTries.Inc()
+		err := s.attach(m)
+		if err == nil {
+			return true
+		}
+		s.mu.Lock()
+		fenced := s.fenced
+		s.mu.Unlock()
+		if fenced {
+			return true
+		}
+		s.n.logf("cluster: attach %s -> %s: %v", s.n.self.ID, m.ID, err)
+	}
+	return false
+}
+
+// attach runs the handshake and ships a fresh baseline to m. On success
+// the stream is installed and the node's ownership gate opens.
+func (s *shipper) attach(m Member) error {
+	conn, err := s.n.cfg.Dialer(s.n.self.ID, m.Repl)
+	if err != nil {
+		return err
+	}
+	bw, br := bufio.NewWriterSize(conn, 64<<10), bufio.NewReader(conn)
+	fail := func(err error) error {
+		conn.Close()
+		return err
+	}
+	deadline := func() { conn.SetDeadline(time.Now().Add(s.n.cfg.IOTimeout)) }
+
+	deadline()
+	h := hello{ID: s.n.self.ID, Fence: s.n.cfg.Store.Fence(), Shards: uint32(s.n.shards)}
+	if err := writeFrame(bw, msgHello, encodeHello(h)); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	typ, p, err := readFrame(br)
+	if err != nil {
+		return fail(err)
+	}
+	if typ != msgHelloAck {
+		return fail(fmt.Errorf("cluster: unexpected frame %d for hello ack", typ))
+	}
+	a, err := decodeAck(p)
+	if err != nil {
+		return fail(err)
+	}
+	switch a.Code {
+	case ackOK:
+	case ackFenced:
+		conn.Close()
+		s.becomeFenced(a.Msg)
+		return nil
+	default:
+		return fail(fmt.Errorf("cluster: %s refused handshake: code %d %s", m.ID, a.Code, a.Msg))
+	}
+
+	// The baseline is exported after the handshake settles fencing, so a
+	// deposed owner never pays the export. Export takes the checkpoint
+	// lock and each shard writer lock briefly; commits resume as soon as
+	// each shard's tail is captured.
+	bl, err := s.n.cfg.Store.ExportBaseline()
+	if err != nil {
+		return fail(fmt.Errorf("cluster: export baseline: %w", err))
+	}
+	enc := persist.EncodeBaseline(s.n.cfg.Key, bl)
+	// A baseline is snapshot-sized; allow it more time than one segment
+	// round trip.
+	conn.SetDeadline(time.Now().Add(4 * s.n.cfg.IOTimeout))
+	if err := writeFrame(bw, msgBaseline, enc); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	typ, p, err = readFrame(br)
+	if err != nil {
+		return fail(err)
+	}
+	if typ != msgBaselineAck {
+		return fail(fmt.Errorf("cluster: unexpected frame %d for baseline ack", typ))
+	}
+	if a, err = decodeAck(p); err != nil {
+		return fail(err)
+	}
+	switch a.Code {
+	case ackOK:
+	case ackFenced:
+		conn.Close()
+		s.becomeFenced(a.Msg)
+		return nil
+	default:
+		return fail(fmt.Errorf("cluster: %s refused baseline: code %d %s", m.ID, a.Code, a.Msg))
+	}
+	conn.SetDeadline(time.Time{})
+
+	s.mu.Lock()
+	s.conn, s.bw, s.br, s.target, s.attached = conn, bw, br, m, true
+	s.mu.Unlock()
+	s.n.met.baseShipped.Inc()
+	s.n.met.attached.Set(1)
+	s.n.logf("cluster: %s attached follower %s (epoch %d, fence %d)", s.n.self.ID, m.ID, bl.Epoch, bl.Fence)
+	s.n.resolveReady()
+	return nil
+}
+
+// becomeFenced records a terminal fencing refusal: the stream stays
+// permanently down and the node flips to deposed.
+func (s *shipper) becomeFenced(holder string) {
+	s.mu.Lock()
+	s.fenced = true
+	s.attached = false
+	s.mu.Unlock()
+	s.n.met.attached.Set(0)
+	s.n.becomeDeposed(holder)
+}
+
+// detachLocked drops the stream (s.mu held) and wakes the attach loop.
+func (s *shipper) detachLocked() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn, s.bw, s.br = nil, nil, nil
+	}
+	s.attached = false
+	s.n.met.attached.Set(0)
+	s.wake()
+}
+
+// sink ships one committed batch and waits for the follower's verdict.
+// It is called by persist.Store.Commit with the shard's writer lock
+// held, before the batch is acknowledged — so it must only move bytes:
+// no baseline export (deadlock on the same locks), no blocking beyond
+// the IO timeout. A non-nil return fails the batch; the store rewinds
+// its log as if the commit never happened.
+func (s *shipper) sink(seg *persist.Segment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fenced {
+		return shard.ErrNotOwner
+	}
+	if !s.attached {
+		return shard.ErrReplStalled
+	}
+	enc := persist.EncodeSegment(s.n.cfg.Key, seg)
+	s.conn.SetDeadline(time.Now().Add(s.n.cfg.IOTimeout))
+	if err := writeFrame(s.bw, msgSegment, enc); err != nil {
+		s.detachLocked()
+		return fmt.Errorf("%w: %v", shard.ErrReplStalled, err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.detachLocked()
+		return fmt.Errorf("%w: %v", shard.ErrReplStalled, err)
+	}
+	typ, p, err := readFrame(s.br)
+	if err != nil {
+		s.detachLocked()
+		return fmt.Errorf("%w: %v", shard.ErrReplStalled, err)
+	}
+	if typ != msgSegmentAck {
+		s.detachLocked()
+		return fmt.Errorf("%w: unexpected frame %d", shard.ErrReplStalled, typ)
+	}
+	a, err := decodeAck(p)
+	if err != nil {
+		s.detachLocked()
+		return fmt.Errorf("%w: %v", shard.ErrReplStalled, err)
+	}
+	switch a.Code {
+	case ackOK:
+		s.n.met.segShipped.Inc()
+		return nil
+	case ackFenced:
+		s.detachLocked()
+		s.fenced = true
+		// becomeDeposed takes n.mu only; safe under s.mu.
+		s.n.becomeDeposed(a.Msg)
+		return shard.ErrNotOwner
+	case ackResync:
+		// Continuity lost (usually our own checkpoint rotated the log
+		// epoch). Drop the stream; the attach loop re-baselines.
+		s.n.met.resyncs.Inc()
+		s.detachLocked()
+		return shard.ErrReplStalled
+	default:
+		s.detachLocked()
+		return fmt.Errorf("%w: follower: %s", shard.ErrReplStalled, a.Msg)
+	}
+}
+
+// close tears the stream down for node shutdown.
+func (s *shipper) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detachLocked()
+}

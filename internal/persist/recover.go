@@ -160,6 +160,7 @@ func (st *Store) Recover(cfg shard.Config) (*shard.Pool, RecoveryInfo, error) {
 	st.pool = pool
 	st.epoch = anc.Epoch
 	st.ckptMu.Unlock()
+	st.fence.Store(anc.Fence)
 	pool.SetCommitHook(st)
 	st.startBackground()
 	info.Elapsed = time.Since(start)

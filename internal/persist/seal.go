@@ -56,18 +56,25 @@ func seal(k, b []byte) [sealSize]byte {
 	return out
 }
 
-// anchor is the snapshot-time trusted state for the whole pool.
+// anchor is the snapshot-time trusted state for the whole pool. Fence is
+// the node's cluster fencing epoch: a follower promoting over a dead
+// owner seals the owner's last fence + 1 into its own anchor, and the
+// replication receiver refuses segments stamped with an older fence —
+// so a deposed owner stays deposed across restarts of either side.
 type anchor struct {
 	Epoch uint64
+	Fence uint64
 	Chips []core.ChipState
 }
 
-// encodeAnchor serializes and seals an anchor.
+// encodeAnchor serializes and seals an anchor. Version 2 added the
+// fencing epoch; version-1 anchors (fence implicitly 0) still parse.
 func encodeAnchor(k []byte, a anchor) []byte {
 	b := make([]byte, 0, 64+len(a.Chips)*64)
 	b = append(b, anchorMagic...)
-	b = binary.LittleEndian.AppendUint32(b, 1) // version
+	b = binary.LittleEndian.AppendUint32(b, 2) // version
 	b = binary.LittleEndian.AppendUint64(b, a.Epoch)
+	b = binary.LittleEndian.AppendUint64(b, a.Fence)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(a.Chips)))
 	for _, c := range a.Chips {
 		b = append(b, c.GPC[:]...)
@@ -93,12 +100,21 @@ func parseAnchor(k, b []byte) (anchor, error) {
 	if string(body[:8]) != anchorMagic {
 		return anchor{}, fmt.Errorf("%w: anchor bad magic", ErrTrustTampered)
 	}
-	if v := binary.LittleEndian.Uint32(body[8:12]); v != 1 {
+	v := binary.LittleEndian.Uint32(body[8:12])
+	if v != 1 && v != 2 {
 		return anchor{}, fmt.Errorf("%w: anchor unknown version %d", ErrTrustTampered, v)
 	}
 	a := anchor{Epoch: binary.LittleEndian.Uint64(body[12:20])}
-	n := binary.LittleEndian.Uint32(body[20:24])
-	off := 24
+	off := 20
+	if v >= 2 {
+		if len(body) < off+8+4 {
+			return anchor{}, fmt.Errorf("%w: anchor too short for v2 header", ErrTrustTampered)
+		}
+		a.Fence = binary.LittleEndian.Uint64(body[off : off+8])
+		off += 8
+	}
+	n := binary.LittleEndian.Uint32(body[off : off+4])
+	off += 4
 	for i := uint32(0); i < n; i++ {
 		if len(body)-off < 10 {
 			return anchor{}, fmt.Errorf("%w: anchor truncated chip %d", ErrTrustTampered, i)

@@ -150,6 +150,16 @@ type Store struct {
 	pool   *shard.Pool
 	closed bool
 
+	// fence is the node's cluster fencing epoch. It stamps every shipped
+	// segment and is sealed into the anchor at each checkpoint, so both
+	// sides of a failover remember who was deposed across restarts.
+	// 0 outside cluster deployments.
+	fence atomic.Uint64
+
+	// segSink, when set, receives a sealed Segment for every committed
+	// batch before the batch is acknowledged (synchronous replication).
+	segSink atomic.Pointer[segSinkRef]
+
 	wals []*walWriter
 
 	lastSnapPath  string
@@ -159,6 +169,29 @@ type Store struct {
 
 	stopc chan struct{}
 	bg    sync.WaitGroup
+}
+
+// segSinkRef boxes the replication sink func for atomic.Pointer.
+type segSinkRef struct{ f func(*Segment) error }
+
+// SetFence sets the node's cluster fencing epoch. New segments carry it
+// immediately; it is sealed into the anchor at the next checkpoint.
+func (st *Store) SetFence(f uint64) { st.fence.Store(f) }
+
+// Fence returns the node's current cluster fencing epoch.
+func (st *Store) Fence() uint64 { return st.fence.Load() }
+
+// SetSegmentSink installs (or, with nil, removes) the replication sink.
+// While set, every committed batch is encoded as a Segment and handed to
+// the sink before the batch is acknowledged; a sink error fails the batch
+// and rewinds its records out of the local log. The sink is called with
+// the shard's WAL writer lock held, serializing it per shard.
+func (st *Store) SetSegmentSink(f func(*Segment) error) {
+	if f == nil {
+		st.segSink.Store(nil)
+		return
+	}
+	st.segSink.Store(&segSinkRef{f: f})
 }
 
 // LastSnapshot reports the most recent checkpoint's snapshot path and
@@ -307,7 +340,7 @@ func (st *Store) Commit(shardIdx int, ops []shard.MutOp) error {
 	if st.met != nil {
 		t0 = time.Now()
 	}
-	err := w.append(recs)
+	frames, err := w.append(recs)
 	if st.met != nil {
 		appendNs = time.Since(t0).Nanoseconds()
 	}
@@ -318,6 +351,24 @@ func (st *Store) Commit(shardIdx int, ops []shard.MutOp) error {
 		err = w.syncAndPublish()
 		if st.met != nil {
 			fsyncNs = time.Since(t0).Nanoseconds()
+		}
+	}
+	if err == nil {
+		// Replication ships the batch before it is acknowledged. A sink
+		// error (e.g. the follower fenced this node off) fails the batch,
+		// and the rewind below removes its records so the local log never
+		// chains past operations that were refused. The follower may have
+		// applied the shipped segment by then; since the batch was never
+		// acknowledged, either outcome is a legal post-failure state and
+		// the follower resolves the divergence by requesting a resync.
+		if ref := st.segSink.Load(); ref != nil {
+			seg := &Segment{
+				Epoch: w.epoch, Fence: st.fence.Load(), Shard: w.shardIdx,
+				FromSeq: preSeq, FromChain: preChain,
+				ToSeq: w.seq, ToChain: w.chain,
+				Records: append([]byte(nil), frames...),
+			}
+			err = ref.f(seg)
 		}
 	}
 	if err != nil {
@@ -405,7 +456,7 @@ func (st *Store) Checkpoint() error {
 		if err := st.fs.SyncDir(st.opts.Dir); err != nil {
 			return err
 		}
-		if err := st.writeAnchor(anchor{Epoch: newEpoch, Chips: chips}); err != nil {
+		if err := st.writeAnchor(anchor{Epoch: newEpoch, Fence: st.fence.Load(), Chips: chips}); err != nil {
 			return err
 		}
 		// From the durable anchor on, the new snapshot is authoritative;

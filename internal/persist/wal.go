@@ -313,10 +313,12 @@ type walWriter struct {
 	poisoned bool
 }
 
-// append frames recs onto the file. Callers holding the batch are
+// append frames recs onto the file and returns the framed bytes (valid
+// until the writer's next append — callers that retain them, e.g. to
+// build a replication segment, must copy). Callers holding the batch are
 // responsible for calling syncAndPublish (always policy) or leaving it to
 // the flusher (batch policy).
-func (w *walWriter) append(recs []walRec) error {
+func (w *walWriter) append(recs []walRec) ([]byte, error) {
 	b := w.scratch[:0]
 	chain := w.chain
 	seq := w.seq
@@ -325,13 +327,13 @@ func (w *walWriter) append(recs []walRec) error {
 		b, chain = appendRecord(b, w.key, w.crypt, chain, seq, r)
 	}
 	if _, err := w.f.WriteAt(b, w.off); err != nil {
-		return err
+		return nil, err
 	}
 	w.scratch = b[:0]
 	w.off += int64(len(b))
 	w.chain = chain
 	w.seq = seq
-	return nil
+	return b, nil
 }
 
 // rewind durably removes appended-but-unpublished records after a failed

@@ -103,11 +103,22 @@ func (e *StatusError) Error() string {
 }
 
 // Retryable reports whether err is a transient *StatusError (timeout,
-// overloaded, quarantined): the request was not executed and a backoff
-// retry can reasonably succeed.
+// overloaded, quarantined, not-owner): the request was not executed and
+// a backoff retry can reasonably succeed.
 func Retryable(err error) bool {
 	var se *StatusError
 	return errors.As(err, &se) && se.Status.Retryable()
+}
+
+// NotOwnerAddr extracts the owner's wire address from a StatusNotOwner
+// error. A smart cluster client uses it to re-route the retry straight
+// to the owning node instead of bouncing off the same replica again.
+func NotOwnerAddr(err error) (string, bool) {
+	var se *StatusError
+	if errors.As(err, &se) && se.Status == StatusNotOwner && se.Msg != "" {
+		return se.Msg, true
+	}
+	return "", false
 }
 
 // check converts a non-OK response into a *StatusError.

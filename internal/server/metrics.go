@@ -1,6 +1,7 @@
 package server
 
 import (
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"time"
@@ -18,7 +19,7 @@ import (
 type serverMetrics struct {
 	// lat[op][outcome]: outcome 0 = ok, 1 = retryable, 2 = fatal.
 	lat [OpUncordon + 1][3]*obs.Histogram
-	cnt [OpUncordon + 1][StatusSlowClient + 1]*obs.Counter
+	cnt [OpUncordon + 1][StatusNotOwner + 1]*obs.Counter
 }
 
 const (
@@ -49,7 +50,7 @@ func newServerMetrics(svc *obs.Service, s *Server) *serverMetrics {
 				"Wire request duration from decode to response, microseconds.",
 				buckets, "op", op.String(), "outcome", outcomeName(o))
 		}
-		for st := StatusOK; st <= StatusSlowClient; st++ {
+		for st := StatusOK; st <= StatusNotOwner; st++ {
 			m.cnt[op][st] = reg.Counter("secmemd_requests_total",
 				"Wire requests by operation and response status.",
 				"op", op.String(), "status", st.String())
@@ -63,7 +64,7 @@ func newServerMetrics(svc *obs.Service, s *Server) *serverMetrics {
 
 // observe records one completed request.
 func (m *serverMetrics) observe(op Op, st Status, d time.Duration) {
-	if m == nil || op < OpRead || op > OpUncordon || st > StatusSlowClient {
+	if m == nil || op < OpRead || op > OpUncordon || st > StatusNotOwner {
 		return
 	}
 	o := outcomeFatal
@@ -95,7 +96,11 @@ func (s *Server) ObsHandler(mux *http.ServeMux, pprofOn bool) {
 	mux.Handle("/metrics", obs.MetricsHandler(svc, func(w http.ResponseWriter) {
 		select {
 		case <-s.ready:
-			s.pool.WriteMetrics(w)
+			// Pool-style backends expose a scrape-time section (shard
+			// states, core counters); other backends may not.
+			if wm, ok := s.pool.(interface{ WriteMetrics(io.Writer) }); ok {
+				wm.WriteMetrics(w)
+			}
 		default:
 		}
 	}))

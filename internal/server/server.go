@@ -52,11 +52,46 @@ type Options struct {
 	Obs *obs.Service
 }
 
-// Server speaks the wire protocol over TCP on behalf of a shard.Pool.
-// Requests on one connection are served in order; concurrency comes from
-// concurrent connections, which the pool fans out across shards.
+// Backend is what the server front-end needs from its data plane. A
+// *shard.Pool satisfies it directly (the single-daemon case); a
+// cluster.Node satisfies it by routing each operation to the owning
+// node's pool (serving locally, from a promoted standby, or answering
+// with a NotOwner redirect).
+type Backend interface {
+	Read(ctx context.Context, addr layout.Addr, dst []byte, meta core.Meta) error
+	Write(ctx context.Context, addr layout.Addr, src []byte, meta core.Meta) error
+	Verify(ctx context.Context) error
+	Roots() [][]byte
+	Stats() shard.ServiceStats
+	SwapOut(ctx context.Context, addr layout.Addr, slot int) (*core.PageImage, error)
+	SwapIn(ctx context.Context, img *core.PageImage, addr layout.Addr, slot int) error
+	Cordon(i int) error
+	Uncordon(i int) error
+	Hibernate(w io.Writer) ([]core.ChipState, error)
+	ShardStates() []shard.ShardState
+	ShardFault(i int) (shard.FaultKind, error)
+	Close() error
+}
+
+// NotOwnerError is returned by a cluster backend when the addressed page
+// belongs to another node; Addr is the owner's wire address. The server
+// maps it to StatusNotOwner with the address as the response payload.
+type NotOwnerError struct{ Addr string }
+
+func (e *NotOwnerError) Error() string { return "server: not owner; retry at " + e.Addr }
+
+// ErrUnavailable marks a request no node could serve right now (the
+// owner of its range is unreachable and no promotion has completed).
+// It classifies to StatusOverloaded: retryable, and typically resolved
+// within a failover detection window.
+var ErrUnavailable = errors.New("server: temporarily unavailable")
+
+// Server speaks the wire protocol over TCP on behalf of a Backend
+// (typically a shard.Pool). Requests on one connection are served in
+// order; concurrency comes from concurrent connections, which the pool
+// fans out across shards.
 type Server struct {
-	pool *shard.Pool
+	pool Backend
 	opts Options
 
 	// ready is closed by Publish; until then every request waits (startup
@@ -78,8 +113,8 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// New wraps a pool in a server, ready to serve immediately.
-func New(pool *shard.Pool, opts Options) *Server {
+// New wraps a backend in a server, ready to serve immediately.
+func New(pool Backend, opts Options) *Server {
 	s := NewGated(opts)
 	s.Publish(pool)
 	return s
@@ -112,9 +147,9 @@ func NewGated(opts Options) *Server {
 	return s
 }
 
-// Publish installs the pool and releases every gated request. It must be
-// called exactly once per NewGated server (New calls it for you).
-func (s *Server) Publish(pool *shard.Pool) {
+// Publish installs the backend and releases every gated request. It must
+// be called exactly once per NewGated server (New calls it for you).
+func (s *Server) Publish(pool Backend) {
 	s.pool = pool
 	close(s.ready)
 }
@@ -306,17 +341,17 @@ func (s *Server) dispatch(q *Request) *Response {
 		}
 		buf := make([]byte, q.Count)
 		if err := s.pool.Read(ctx, layout.Addr(q.Addr), buf, meta); err != nil {
-			return fail(classify(err), err)
+			return failErr(err)
 		}
 		return &Response{Status: StatusOK, Data: buf}
 	case OpWrite:
 		if err := s.pool.Write(ctx, layout.Addr(q.Addr), q.Data, meta); err != nil {
-			return fail(classify(err), err)
+			return failErr(err)
 		}
 		return &Response{Status: StatusOK}
 	case OpVerify:
 		if err := s.pool.Verify(ctx); err != nil {
-			return fail(classify(err), err)
+			return failErr(err)
 		}
 		return &Response{Status: StatusOK}
 	case OpRoot:
@@ -340,7 +375,7 @@ func (s *Server) dispatch(q *Request) *Response {
 	case OpSwapOut:
 		img, err := s.pool.SwapOut(ctx, layout.Addr(q.Addr), int(q.Slot))
 		if err != nil {
-			return fail(classify(err), err)
+			return failErr(err)
 		}
 		return &Response{Status: StatusOK, Data: EncodeImage(img)}
 	case OpSwapIn:
@@ -349,7 +384,7 @@ func (s *Server) dispatch(q *Request) *Response {
 			return fail(StatusBadRequest, err)
 		}
 		if err := s.pool.SwapIn(ctx, img, layout.Addr(q.Addr), int(q.Slot)); err != nil {
-			return fail(classify(err), err)
+			return failErr(err)
 		}
 		return &Response{Status: StatusOK}
 	case OpCordon:
@@ -412,6 +447,24 @@ func fail(st Status, err error) *Response {
 	return &Response{Status: st, Data: []byte(err.Error())}
 }
 
+// failErr classifies a backend error into a response. NotOwner redirects
+// carry the owner's address alone as the payload so a smart client can
+// re-dial without parsing prose. A *StatusError from a downstream node
+// (proxy and router backends forward over the same protocol) passes
+// through with its status and payload intact, so a chain of hops answers
+// exactly what the serving node answered.
+func failErr(err error) *Response {
+	var no *NotOwnerError
+	if errors.As(err, &no) {
+		return &Response{Status: StatusNotOwner, Data: []byte(no.Addr)}
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return &Response{Status: se.Status, Data: []byte(se.Msg)}
+	}
+	return fail(classify(err), err)
+}
+
 // classify maps pool/core errors to wire statuses.
 func classify(err error) Status {
 	switch {
@@ -421,6 +474,11 @@ func classify(err error) Status {
 		return StatusTampered
 	case errors.Is(err, core.ErrUnsupported):
 		return StatusUnsupported
+	case errors.Is(err, shard.ErrReplStalled) || errors.Is(err, ErrUnavailable):
+		// Transient cluster conditions (replication stream down, no node
+		// reachable for a range mid-failover): shed retryably, like
+		// admission control.
+		return StatusOverloaded
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		return StatusTimeout
 	case errors.Is(err, shard.ErrClosed):

@@ -82,6 +82,10 @@ const (
 	// frame within the server's frame timeout; the server closes the
 	// connection after sending this.
 	StatusSlowClient
+	// StatusNotOwner: in cluster mode the addressed page belongs to
+	// another node; nothing was executed. Data carries the owner's wire
+	// address as text so a smart client can re-route without a proxy hop.
+	StatusNotOwner
 )
 
 func (s Status) String() string {
@@ -104,6 +108,8 @@ func (s Status) String() string {
 		return "quarantined"
 	case StatusSlowClient:
 		return "slow-client"
+	case StatusNotOwner:
+		return "not-owner"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -115,7 +121,7 @@ func (s Status) String() string {
 // malformed) and retrying it verbatim cannot help.
 func (s Status) Retryable() bool {
 	switch s {
-	case StatusTimeout, StatusOverloaded, StatusQuarantined:
+	case StatusTimeout, StatusOverloaded, StatusQuarantined, StatusNotOwner:
 		return true
 	default:
 		return false
@@ -258,7 +264,7 @@ func DecodeResponse(r io.Reader) (*Response, error) {
 	if len(body) < 1 {
 		return nil, fmt.Errorf("server: empty response frame")
 	}
-	if Status(body[0]) > StatusSlowClient {
+	if Status(body[0]) > StatusNotOwner {
 		return nil, fmt.Errorf("server: unknown status %d", body[0])
 	}
 	p := &Response{Status: Status(body[0])}

@@ -1,0 +1,42 @@
+package shard
+
+import "errors"
+
+// ErrNotOwner marks a mutation refused by the pool's write fence: the
+// node hosting this pool no longer owns the addressed range (its
+// designated follower was promoted under a higher fencing epoch).
+// Callers translate it into a wire-level NotOwner redirect.
+var ErrNotOwner = errors.New("shard: not owner")
+
+// ErrReplStalled marks a mutation refused because the node's synchronous
+// replication stream is down: with no follower attached, an acknowledged
+// write could be lost by a failover, so the owner refuses to acknowledge
+// at all. The condition is transient (the shipper re-attaches with a
+// fresh baseline) and the wire maps it to a retryable status.
+var ErrReplStalled = errors.New("shard: replication stalled")
+
+// WriteFence vets a batch's mutations just before the commit hook runs.
+// The pool calls it from the shard's worker with the shard lock held;
+// shard is the pool-local shard index and ops carries the batch's
+// mutations in execution order (addresses are shard-local). A non-nil
+// error fails the whole batch unexecuted and unlogged.
+//
+// Cluster nodes install a fence that checks each op's page against the
+// node's current ownership view, closing the race where a request passed
+// routing while the node still owned the range but commits after the
+// node was deposed. Single-daemon deployments leave it unset.
+type WriteFence func(shard int, ops []MutOp) error
+
+// fenceRef boxes a WriteFence so atomic.Pointer can hold the func value.
+type fenceRef struct{ f WriteFence }
+
+// SetWriteFence installs (or, with nil, removes) the pool's write fence.
+// Like SetCommitHook it takes effect for batches drained after the call;
+// a batch mid-commit completes under the fence it started with.
+func (p *Pool) SetWriteFence(f WriteFence) {
+	if f == nil {
+		p.fence.Store(nil)
+		return
+	}
+	p.fence.Store(&fenceRef{f: f})
+}

@@ -82,7 +82,8 @@ type Pool struct {
 
 	// hook, when set, is invoked with each batch's mutations before they
 	// execute (see CommitHook); nil means no durability layer is attached.
-	hook atomic.Pointer[hookRef]
+	hook  atomic.Pointer[hookRef]
+	fence atomic.Pointer[fenceRef]
 
 	// faults carries best-effort quarantine notifications (see Faults).
 	faults chan Fault
@@ -440,6 +441,22 @@ func (p *Pool) worker(idx int, sh *shard) {
 				p.met.observeQueueWait(span.startNs - r.enq)
 			}
 		}
+		ops := mutOps(batch)
+		// The write fence runs before the commit hook: a cluster node that
+		// has been deposed (its follower promoted with a higher fencing
+		// epoch) must refuse mutations at the commit boundary, even for
+		// batches that passed routing before the fence dropped. A fence
+		// error fails the whole batch unexecuted.
+		if fref := p.fence.Load(); fref != nil && len(ops) > 0 {
+			if err := fref.f(idx, ops); err != nil {
+				err = fmt.Errorf("shard %d: fence: %w", idx, err)
+				for _, r := range batch {
+					r.resp <- result{err: err}
+				}
+				sh.mu.Unlock()
+				continue
+			}
+		}
 		// The hook runs before coalescing so the log carries every mutation
 		// in order, and before execution so nothing is acknowledged that was
 		// not first made durable. A hook failure fails the whole batch
@@ -448,7 +465,7 @@ func (p *Pool) worker(idx int, sh *shard) {
 		// shard — the log can no longer be trusted to match execution, so
 		// this shard (and only this shard) stops serving.
 		if href := p.hook.Load(); href != nil {
-			if ops := mutOps(batch); len(ops) > 0 {
+			if len(ops) > 0 {
 				err := href.h.Commit(idx, ops)
 				if p.met != nil {
 					cs := p.met.takeCommitStages(idx)

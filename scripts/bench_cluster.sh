@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench_cluster.sh — cluster benchmark and failover smoke in two acts.
+#
+# Act 1 boots a 3-node secmemd cluster on fixed loopback ports, waits for
+# every member's /readyz, drives ring-aware smart-client traffic through
+# it, lints one member's /metrics exposition (the secmemd_cluster_*
+# family included) and asserts the replication series actually moved,
+# then shuts every member down cleanly (each runs its final integrity
+# sweep).
+#
+# Act 2 hands over to loadgen -cluster-bench, which spawns its own
+# daemons: a single-node baseline, a fresh 3-node cluster under the same
+# per-node flags, and a failover phase that SIGKILLs the owner of the hot
+# range mid-load, measures recovery-to-first-byte, and fails the run if
+# any acknowledged write is lost or the promotion count is not exactly 1.
+# Leaves BENCH_cluster.json in the repo root.
+#
+# Used by `make bench-cluster` (full) and `make cluster-smoke` (CI sizes,
+# DURATION/MEM trimmed).
+set -eu
+
+cd "$(dirname "$0")/.."
+DURATION="${DURATION:-3s}"
+MEM="${MEM:-8MiB}"
+CONNS="${CONNS:-8}"
+BASE="${BASE:-127.0.0.1}"
+
+MEMBERS="n1=$BASE:7401/$BASE:9401/$BASE:8401,n2=$BASE:7402/$BASE:9402/$BASE:8402,n3=$BASE:7403/$BASE:9403/$BASE:8403"
+
+go build -o /tmp/secmemd ./cmd/secmemd
+go build -o /tmp/loadgen ./cmd/loadgen
+go build -o /tmp/metricslint ./cmd/metricslint
+
+DATA=$(mktemp -d /tmp/secmemd-cluster.XXXXXX)
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do kill -KILL "$pid" 2>/dev/null || true; done
+    rm -rf "$DATA"
+}
+trap cleanup EXIT INT TERM
+
+for id in n1 n2 n3; do
+    /tmp/secmemd -cluster-id "$id" -cluster "$MEMBERS" \
+        -mem "$MEM" -data-dir "$DATA/$id" -fsync always &
+    PIDS="$PIDS $!"
+done
+
+# Every member must be ready before the measurement: the cluster serves
+# only once each node's follower handshake resolves.
+/tmp/loadgen -cluster "$MEMBERS" -mem "$MEM" -conns 1 -ops 1 -mixes 1.0 \
+    -wait-ready "http://$BASE:9401/readyz,http://$BASE:9402/readyz,http://$BASE:9403/readyz" \
+    -retries 8 >/dev/null
+
+/tmp/loadgen -cluster "$MEMBERS" -mem "$MEM" -conns "$CONNS" \
+    -duration "$DURATION" -mixes 0.95,0.50 -dist uniform -retries 8
+
+# The exposition must satisfy the metric conventions, cluster family
+# included, and the replication series must have moved.
+/tmp/metricslint -url "http://$BASE:9401/metrics"
+SCRAPE=$(curl -s "http://$BASE:9401/metrics" 2>/dev/null || wget -qO- "http://$BASE:9401/metrics")
+echo "$SCRAPE" | grep -q '^secmemd_cluster_members 3' ||
+    { echo "cluster membership gauge missing" >&2; exit 1; }
+echo "$SCRAPE" | grep -q '^secmemd_cluster_follower_attached 1' ||
+    { echo "member n1 has no attached follower" >&2; exit 1; }
+echo "$SCRAPE" | grep -q '^secmemd_cluster_segments_shipped_total [1-9]' ||
+    { echo "no sealed WAL segments were shipped" >&2; exit 1; }
+echo "$SCRAPE" | grep -q '^secmemd_cluster_baselines_applied_total [1-9]' ||
+    { echo "member n1 imported no baseline" >&2; exit 1; }
+
+# Clean shutdown: every member drains, verifies every shard, checkpoints.
+for pid in $PIDS; do kill -TERM "$pid"; done
+for pid in $PIDS; do wait "$pid" || { echo "a member exited dirty" >&2; exit 1; }; done
+PIDS=""
+
+# Act 2: scale-out baseline + failover kill, all daemons spawned by
+# loadgen itself. Fails on any acked-write loss or a promotion count != 1.
+/tmp/loadgen -cluster-bench -secmemd /tmp/secmemd \
+    -mem "$MEM" -conns "$CONNS" -duration "$DURATION" \
+    -json -out BENCH_cluster.json
