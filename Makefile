@@ -30,12 +30,20 @@
 #                        foreground (the README quickstart); Ctrl-C stops it
 #   make chaos           deterministic fault-injection matrix (cmd/chaos):
 #                        bit-flips, rollback, WAL faults, torn writes, slow
-#                        I/O against a live durable pool; CI runs a short
-#                        smoke of it
+#                        I/O and multi-tenant attacks against a live durable
+#                        pool; CI runs a short smoke of it
+#   make tenant-smoke    start a tenant-enabled daemon (swap scheme +
+#                        resident budget), drive tenant churn over the wire,
+#                        lint the exposition incl. secmemd_tenant_*; CI runs
+#                        this after check
+#   make bench-tenants   multi-tenant benchmark suites: lifecycle churn,
+#                        swap-under-pressure with client-side shadowing,
+#                        counter-overflow re-encryption storm,
+#                        BENCH_tenants.json
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-smoke chaos chaos-smoke metrics-smoke bench-cluster cluster-smoke cluster
+.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-smoke chaos chaos-smoke metrics-smoke bench-cluster cluster-smoke cluster tenant-smoke bench-tenants
 
 check: vet build test race
 
@@ -49,13 +57,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/shard/... ./internal/server/... ./internal/persist/... ./internal/cluster/... ./internal/chaos/...
+	$(GO) test -race ./internal/obs/... ./internal/shard/... ./internal/server/... ./internal/persist/... ./internal/cluster/... ./internal/chaos/... ./internal/vm/... ./internal/tenant/...
 
 fuzz:
 	$(GO) test -run=none -fuzz=FuzzRequestRoundTrip -fuzztime=20s ./internal/server/
 
 fuzz-smoke:
 	$(GO) test -run=none -fuzz=FuzzRequestRoundTrip -fuzztime=5s ./internal/server/
+	$(GO) test -run=none -fuzz=FuzzTenantDispatch -fuzztime=5s ./internal/server/
 	$(GO) test -run=none -fuzz=FuzzWALRecord -fuzztime=5s ./internal/persist/
 	$(GO) test -run=none -fuzz=FuzzWALScan -fuzztime=5s ./internal/persist/
 	$(GO) test -run=none -fuzz=FuzzAnchor -fuzztime=5s ./internal/persist/
@@ -93,3 +102,9 @@ cluster-smoke: build
 
 cluster: build
 	./scripts/cluster_local.sh
+
+tenant-smoke: build
+	./scripts/tenant_smoke.sh
+
+bench-tenants: build
+	./scripts/bench_tenants.sh

@@ -73,6 +73,8 @@ func main() {
 	retries := flag.Int("retries", 0, "per-op retry budget for retryable statuses (timeout/overload/quarantine), with jittered exponential backoff")
 	clusterFlag := flag.String("cluster", "", "cluster member list (id=wire/health/repl,...): drive ring-aware smart clients instead of -addr")
 	clusterBench := flag.Bool("cluster-bench", false, "benchmark cluster scale-out and failover: spawns a single-daemon baseline and a 3-node cluster from -secmemd, writes BENCH_cluster.json")
+	tenantBench := flag.Bool("tenant-bench", false, "benchmark the multi-tenant layer: spawns tenant-enabled daemons from -secmemd and runs lifecycle-churn, swap-pressure and re-encryption-storm suites, writes BENCH_tenants.json")
+	tenantChurn := flag.Bool("tenant-churn", false, "drive tenant create/fork/destroy churn against a running tenant-enabled daemon at -addr for -duration (with -scrape, tenant metric deltas are printed)")
 	waitReady := flag.String("wait-ready", "", "poll these /readyz URLs (comma-separated) until every daemon reports ready before measuring")
 	waitBudget := flag.Duration("wait-ready-timeout", 30*time.Second, "how long -wait-ready polls before giving up")
 	degraded := flag.Bool("degraded", false, "benchmark fault-domain isolation: cordon one shard, measure healthy-shard throughput, then heal it")
@@ -99,6 +101,17 @@ func main() {
 			*outPath = "BENCH_cluster.json"
 		}
 		runClusterBench(*secmemd, *memSize, *conns, *duration, *seed, *jsonOut, *outPath)
+		return
+	}
+	if *tenantBench {
+		if *outPath == "" {
+			*outPath = "BENCH_tenants.json"
+		}
+		runTenantBench(*secmemd, *conns, *duration, *seed, *jsonOut, *outPath)
+		return
+	}
+	if *tenantChurn {
+		runTenantChurnMode(*addr, *conns, *duration, *seed, *scrape)
 		return
 	}
 	if *recovery {

@@ -1,0 +1,538 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/server"
+)
+
+// tenantOutput is the -tenant-bench -json document. Each suite runs
+// against its own freshly spawned tenant-enabled daemon so the embedded
+// metric deltas are attributable to that suite alone.
+type tenantOutput struct {
+	Secmemd  string               `json:"secmemd"`
+	Conns    int                  `json:"conns"`
+	Seed     int64                `json:"seed"`
+	Churn    tenantChurnResult    `json:"churn"`
+	Pressure tenantPressureResult `json:"swap_pressure"`
+	Storm    tenantStormResult    `json:"reencrypt_storm"`
+}
+
+// tenantChurnResult measures tenant lifecycle throughput: each cycle is
+// create → write → fork → COW-isolation check → destroy both.
+type tenantChurnResult struct {
+	PagesPerTenant int                `json:"pages_per_tenant"`
+	Cycles         uint64             `json:"cycles"`
+	Errors         uint64             `json:"errors"`
+	Seconds        float64            `json:"seconds"`
+	CyclesPerSec   float64            `json:"cycles_per_sec"`
+	CycleLatency   latencies          `json:"cycle_latency_us"`
+	MetricsDelta   map[string]float64 `json:"metrics_delta,omitempty"`
+}
+
+// tenantPressureResult measures swap behaviour under a resident-set
+// budget far below the working set, with every acknowledged write
+// shadowed client-side and read back after the storm.
+type tenantPressureResult struct {
+	BudgetPages   int                `json:"budget_pages"`
+	WorkingSet    int                `json:"working_set_pages"`
+	Writes        uint64             `json:"writes"`
+	Errors        uint64             `json:"errors"`
+	Seconds       float64            `json:"seconds"`
+	WritesPerSec  float64            `json:"writes_per_sec"`
+	Verified      int                `json:"pages_verified"`
+	Lost          int                `json:"acked_writes_lost"`
+	ResidentPages uint64             `json:"resident_pages_final"`
+	SwappedPages  uint64             `json:"swapped_pages_final"`
+	MetricsDelta  map[string]float64 `json:"metrics_delta,omitempty"`
+}
+
+// tenantStormResult measures the counter-overflow path: hammering a few
+// blocks past the 7-bit minor-counter limit forces whole-page
+// re-encryptions under fresh LPIDs, which must show up in the metrics.
+type tenantStormResult struct {
+	Blocks         int                `json:"blocks"`
+	WritesPerBlock int                `json:"writes_per_block"`
+	Errors         uint64             `json:"errors"`
+	Seconds        float64            `json:"seconds"`
+	Reencrypts     float64            `json:"page_reencrypts"`
+	MetricsDelta   map[string]float64 `json:"metrics_delta,omitempty"`
+}
+
+// tenantDaemon is one spawned tenant-enabled secmemd.
+type tenantDaemon struct {
+	cmd    *exec.Cmd
+	wire   string
+	health string
+}
+
+// spawnTenantDaemon boots a tenant-enabled daemon on scratch loopback
+// ports and waits until it reports ready.
+func spawnTenantDaemon(bin string, extra ...string) (*tenantDaemon, error) {
+	wire, err := scratchAddr()
+	if err != nil {
+		return nil, err
+	}
+	health, err := scratchAddr()
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{
+		"-listen", wire, "-health", health,
+		"-mem", "16MiB", "-scheme", "aise-bmt", "-swapslots", "64",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	if err := pollReady("http://"+health+"/readyz", 30*time.Second); err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, err
+	}
+	return &tenantDaemon{cmd: cmd, wire: wire, health: health}, nil
+}
+
+// stop shuts the daemon down; a dirty exit fails the bench because the
+// daemon's shutdown integrity sweep did not pass.
+func (d *tenantDaemon) stop() error {
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	return d.cmd.Wait()
+}
+
+// tenantDelta snapshots how much each tenant/vm series moved across fn.
+// health accepts host:port or a full URL (fetchSamples adds the scheme).
+func tenantDelta(health string, fn func() error) (map[string]float64, error) {
+	pre, err := fetchSamples(health)
+	if err != nil {
+		return nil, err
+	}
+	if err := fn(); err != nil {
+		return nil, err
+	}
+	post, err := fetchSamples(health)
+	if err != nil {
+		return nil, err
+	}
+	delta := map[string]float64{}
+	for k, v := range sampleDelta(pre, post) {
+		if strings.HasPrefix(k, "secmemd_tenant_") || strings.HasPrefix(k, "secmemd_vm_") {
+			delta[k] = v
+		}
+	}
+	return delta, nil
+}
+
+// pagePattern is the self-checking payload for (page, generation): any
+// byte that survives a swap round-trip corrupted is detected on re-read.
+func pagePattern(page, gen int) []byte {
+	b := make([]byte, layout.PageSize)
+	for i := range b {
+		b[i] = byte(page*31 + gen*7 + i)
+	}
+	return b
+}
+
+// runTenantChurn drives conns workers through create/fork/destroy cycles
+// against the tenant-enabled daemon at wire.
+func runTenantChurn(wire string, conns int, duration time.Duration, seed int64) (tenantChurnResult, error) {
+	const pagesPer = 8
+	res := tenantChurnResult{PagesPerTenant: pagesPer}
+	type out struct {
+		lat    []int64
+		cycles uint64
+		errs   uint64
+		err    error
+	}
+	outs := make([]out, conns)
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := server.Dial(wire, 5*time.Second)
+			if err != nil {
+				outs[w].err = err
+				return
+			}
+			defer c.Close()
+			c.EnableTrace(uint64(w+1) << 32)
+			for gen := 0; time.Now().Before(deadline); gen++ {
+				t0 := time.Now()
+				if err := churnCycle(c, pagesPer, w, gen); err != nil {
+					outs[w].errs++
+					outs[w].err = err
+					return
+				}
+				outs[w].cycles++
+				outs[w].lat = append(outs[w].lat, time.Since(t0).Nanoseconds())
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	var all []int64
+	for w, o := range outs {
+		res.Cycles += o.cycles
+		res.Errors += o.errs
+		all = append(all, o.lat...)
+		if o.err != nil {
+			return res, fmt.Errorf("churn worker %d: %w", w, o.err)
+		}
+	}
+	res.CyclesPerSec = float64(res.Cycles) / res.Seconds
+	if len(all) > 0 {
+		res.CycleLatency = percentilesOf(all)
+	}
+	return res, nil
+}
+
+// churnCycle runs one full tenant lifecycle and verifies COW isolation.
+func churnCycle(c *server.Client, pagesPer, w, gen int) error {
+	id, err := c.TenantCreate(pagesPer)
+	if err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	want := pagePattern(w, gen)[:layout.BlockSize]
+	for p := 0; p < pagesPer; p++ {
+		if err := c.TenantWrite(id, uint64(p)*layout.PageSize, want); err != nil {
+			return fmt.Errorf("write page %d: %w", p, err)
+		}
+	}
+	child, err := c.TenantFork(id)
+	if err != nil {
+		return fmt.Errorf("fork: %w", err)
+	}
+	got, err := c.TenantRead(child, 0, layout.BlockSize)
+	if err != nil || !bytes.Equal(got, want) {
+		return fmt.Errorf("child inheritance: %v", err)
+	}
+	// The child diverges; the parent must not see it (COW break).
+	if err := c.TenantWrite(child, 0, pagePattern(w+1, gen+1)[:layout.BlockSize]); err != nil {
+		return fmt.Errorf("child write: %w", err)
+	}
+	if got, err = c.TenantRead(id, 0, layout.BlockSize); err != nil || !bytes.Equal(got, want) {
+		return fmt.Errorf("parent saw child's write: %v", err)
+	}
+	if err := c.TenantDestroy(child); err != nil {
+		return fmt.Errorf("destroy child: %w", err)
+	}
+	if err := c.TenantDestroy(id); err != nil {
+		return fmt.Errorf("destroy parent: %w", err)
+	}
+	return nil
+}
+
+// runTenantPressure hammers a working set far above the daemon's
+// resident budget, then reads every page back against the client-side
+// shadow of its last acknowledged write.
+func runTenantPressure(d *tenantDaemon, conns int, budget, workingSet int, duration time.Duration) (tenantPressureResult, error) {
+	res := tenantPressureResult{BudgetPages: budget, WorkingSet: workingSet}
+	ctl, err := server.Dial(d.wire, 5*time.Second)
+	if err != nil {
+		return res, err
+	}
+	defer ctl.Close()
+	id, err := ctl.TenantCreate(workingSet)
+	if err != nil {
+		return res, fmt.Errorf("create: %w", err)
+	}
+	perWorker := workingSet / conns
+	type out struct {
+		shadow map[int]int // page → last acked generation
+		writes uint64
+		err    error
+	}
+	outs := make([]out, conns)
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := server.Dial(d.wire, 5*time.Second)
+			if err != nil {
+				outs[w].err = err
+				return
+			}
+			defer c.Close()
+			shadow := map[int]int{}
+			outs[w].shadow = shadow
+			// Disjoint per-worker page ranges: the shadow of "last value
+			// acknowledged" has a single writer per page.
+			for i := 0; time.Now().Before(deadline); i++ {
+				page := w*perWorker + i%perWorker
+				gen := i / perWorker
+				if err := c.TenantWrite(id, uint64(page)*layout.PageSize, pagePattern(page, gen)); err != nil {
+					outs[w].err = fmt.Errorf("write page %d: %w", page, err)
+					return
+				}
+				shadow[page] = gen
+				outs[w].writes++
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Seconds = time.Since(start).Seconds()
+	for w, o := range outs {
+		res.Writes += o.writes
+		if o.err != nil {
+			res.Errors++
+			return res, fmt.Errorf("pressure worker %d: %w", w, o.err)
+		}
+	}
+	res.WritesPerSec = float64(res.Writes) / res.Seconds
+
+	// The budget held and pages actually swapped.
+	var st struct {
+		ResidentPages uint64 `json:"resident_pages"`
+		SwappedPages  uint64 `json:"swapped_pages"`
+	}
+	raw, err := ctl.TenantStats()
+	if err != nil {
+		return res, err
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return res, err
+	}
+	res.ResidentPages, res.SwappedPages = st.ResidentPages, st.SwappedPages
+
+	// Sweep-back: every page the storm acknowledged must decrypt and
+	// verify against its shadow, faulting swapped pages back in.
+	for _, o := range outs {
+		for page, gen := range o.shadow {
+			res.Verified++
+			got, err := ctl.TenantRead(id, uint64(page)*layout.PageSize, layout.PageSize)
+			if err != nil {
+				fmt.Printf("LOST: tenant page %d unreadable: %v\n", page, err)
+				res.Lost++
+				continue
+			}
+			if !bytes.Equal(got, pagePattern(page, gen)) {
+				fmt.Printf("LOST: tenant page %d corrupted across swap\n", page)
+				res.Lost++
+			}
+		}
+	}
+	if err := ctl.TenantDestroy(id); err != nil {
+		return res, fmt.Errorf("destroy: %w", err)
+	}
+	return res, nil
+}
+
+// runTenantStorm overflows 7-bit minor counters: writesPerBlock rewrites
+// of the same blocks force page re-encryptions under fresh LPIDs.
+func runTenantStorm(d *tenantDaemon) (tenantStormResult, error) {
+	const nPages = 4
+	const writesPerBlock = 300 // minor counters saturate at 127 writes
+	res := tenantStormResult{Blocks: nPages, WritesPerBlock: writesPerBlock}
+	c, err := server.Dial(d.wire, 5*time.Second)
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	id, err := c.TenantCreate(nPages)
+	if err != nil {
+		return res, fmt.Errorf("create: %w", err)
+	}
+	start := time.Now()
+	payload := make([]byte, layout.BlockSize)
+	for i := 0; i < writesPerBlock; i++ {
+		for p := 0; p < nPages; p++ {
+			payload[0] = byte(i)
+			if err := c.TenantWrite(id, uint64(p)*layout.PageSize, payload); err != nil {
+				res.Errors++
+				return res, fmt.Errorf("storm write %d/%d: %w", i, p, err)
+			}
+		}
+	}
+	res.Seconds = time.Since(start).Seconds()
+	// The final values must survive the re-encryptions.
+	for p := 0; p < nPages; p++ {
+		got, err := c.TenantRead(id, uint64(p)*layout.PageSize, layout.BlockSize)
+		if err != nil || got[0] != byte((writesPerBlock-1)&0xff) {
+			res.Errors++
+			return res, fmt.Errorf("post-storm read page %d: %v", p, err)
+		}
+	}
+	if err := c.TenantDestroy(id); err != nil {
+		return res, fmt.Errorf("destroy: %w", err)
+	}
+	return res, nil
+}
+
+// percentilesOf folds nanosecond samples into microsecond percentiles.
+func percentilesOf(ns []int64) latencies {
+	sorted := append([]int64(nil), ns...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: churn sample counts are small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	pct := func(f float64) float64 {
+		return float64(sorted[int(f*float64(len(sorted)-1))]) / 1e3
+	}
+	return latencies{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99), Max: float64(sorted[len(sorted)-1]) / 1e3}
+}
+
+// runTenantChurnMode drives churn against an already-running daemon at
+// addr (-tenant-churn): the smoke-test entry point, where the daemon
+// under test is external so its exposition can be linted afterwards.
+// With scrape set, the tenant metric deltas are printed.
+func runTenantChurnMode(addr string, conns int, duration time.Duration, seed int64, scrape string) {
+	if conns > 16 {
+		conns = 16
+	}
+	var res tenantChurnResult
+	run := func() error {
+		var err error
+		res, err = runTenantChurn(addr, conns, duration, seed)
+		return err
+	}
+	if scrape != "" {
+		delta, err := tenantDelta(scrape, run)
+		if err != nil {
+			fatalf("tenant-churn: %v", err)
+		}
+		res.MetricsDelta = delta
+	} else if err := run(); err != nil {
+		fatalf("tenant-churn: %v", err)
+	}
+	fmt.Printf("tenant churn: %d cycles in %.2fs → %.0f cycles/s (p50=%s p99=%s)\n",
+		res.Cycles, res.Seconds, res.CyclesPerSec, us(res.CycleLatency.P50), us(res.CycleLatency.P99))
+	for _, k := range []string{"secmemd_tenant_created_total", "secmemd_tenant_forked_total", "secmemd_tenant_cow_breaks_total"} {
+		if res.MetricsDelta != nil {
+			fmt.Printf("  %s moved by %.0f\n", k, res.MetricsDelta[k])
+		}
+	}
+	switch {
+	case res.Cycles == 0:
+		fatalf("tenant churn moved no cycles")
+	case res.MetricsDelta != nil && res.MetricsDelta["secmemd_tenant_cow_breaks_total"] == 0:
+		fatalf("tenant churn broke no COW pages")
+	}
+}
+
+// runTenantBench spawns tenant-enabled daemons from bin and runs the
+// three tenant suites: lifecycle churn (create/fork/COW/destroy),
+// swap-under-pressure with client-side shadowing (zero acked-write loss
+// is the hard assertion), and a counter-overflow re-encryption storm.
+func runTenantBench(bin string, conns int, duration time.Duration, seed int64, jsonOut bool, outPath string) {
+	if _, err := os.Stat(bin); err != nil {
+		fatalf("-secmemd: %v (build it first: go build -o %s ./cmd/secmemd)", err, bin)
+	}
+	if conns > 16 {
+		conns = 16 // the suites are about tenant mechanics, not fan-out
+	}
+	out := tenantOutput{Secmemd: bin, Conns: conns, Seed: seed}
+
+	// Suite 1: lifecycle churn on an unconstrained daemon.
+	d, err := spawnTenantDaemon(bin)
+	if err != nil {
+		fatalf("churn daemon: %v", err)
+	}
+	out.Churn.MetricsDelta, err = tenantDelta(d.health, func() error {
+		out.Churn, err = runTenantChurn(d.wire, conns, duration, seed)
+		return err
+	})
+	if err != nil {
+		d.stop()
+		fatalf("churn: %v", err)
+	}
+	if err := d.stop(); err != nil {
+		fatalf("churn daemon exited dirty: %v", err)
+	}
+	fmt.Printf("churn: %d create/fork/destroy cycles in %.2fs → %.0f cycles/s (p50=%s p99=%s), %.0f COW breaks\n",
+		out.Churn.Cycles, out.Churn.Seconds, out.Churn.CyclesPerSec,
+		us(out.Churn.CycleLatency.P50), us(out.Churn.CycleLatency.P99),
+		out.Churn.MetricsDelta["secmemd_tenant_cow_breaks_total"])
+
+	// Suite 2: swap pressure. The budget is a quarter of the working
+	// set, so most of the tenant's pages live swapped out at any moment;
+	// the per-shard Page Root Directories (4 shards × 64 slots) bound
+	// how much can be out at once, and 256-64 stays well inside that.
+	const budget, workingSet = 64, 256
+	d, err = spawnTenantDaemon(bin, "-resident-pages", fmt.Sprint(budget))
+	if err != nil {
+		fatalf("pressure daemon: %v", err)
+	}
+	out.Pressure.MetricsDelta, err = tenantDelta(d.health, func() error {
+		out.Pressure, err = runTenantPressure(d, conns, budget, workingSet, duration)
+		return err
+	})
+	if err != nil {
+		d.stop()
+		fatalf("pressure: %v", err)
+	}
+	if err := d.stop(); err != nil {
+		fatalf("pressure daemon exited dirty: %v", err)
+	}
+	fmt.Printf("pressure: %d writes over %d pages under a %d-page budget → %.0f writes/s, resident=%d swapped=%d, %d/%d pages verified, %d lost\n",
+		out.Pressure.Writes, workingSet, budget, out.Pressure.WritesPerSec,
+		out.Pressure.ResidentPages, out.Pressure.SwappedPages,
+		out.Pressure.Verified-out.Pressure.Lost, out.Pressure.Verified, out.Pressure.Lost)
+
+	// Suite 3: counter-overflow re-encryption storm.
+	d, err = spawnTenantDaemon(bin)
+	if err != nil {
+		fatalf("storm daemon: %v", err)
+	}
+	out.Storm.MetricsDelta, err = tenantDelta(d.health, func() error {
+		out.Storm, err = runTenantStorm(d)
+		return err
+	})
+	if err != nil {
+		d.stop()
+		fatalf("storm: %v", err)
+	}
+	if err := d.stop(); err != nil {
+		fatalf("storm daemon exited dirty: %v", err)
+	}
+	out.Storm.Reencrypts = out.Storm.MetricsDelta["secmemd_tenant_reencrypts_total"]
+	fmt.Printf("storm: %d×%d same-block writes in %.2fs → %.0f fresh-LPID page re-encryptions\n",
+		out.Storm.WritesPerBlock, out.Storm.Blocks, out.Storm.Seconds, out.Storm.Reencrypts)
+
+	if jsonOut {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+
+	switch {
+	case out.Churn.Cycles == 0:
+		fatalf("churn moved no cycles")
+	case out.Churn.MetricsDelta["secmemd_tenant_cow_breaks_total"] == 0:
+		fatalf("churn broke no COW pages")
+	case out.Pressure.Lost > 0:
+		fatalf("%d acknowledged writes lost under swap pressure", out.Pressure.Lost)
+	case out.Pressure.SwappedPages == 0 && out.Pressure.MetricsDelta["secmemd_tenant_swap_outs_total"] == 0:
+		fatalf("pressure suite never swapped")
+	case out.Pressure.ResidentPages > budget:
+		fatalf("resident budget violated: %d > %d", out.Pressure.ResidentPages, budget)
+	case out.Storm.Reencrypts == 0:
+		fatalf("overflow storm forced no re-encryptions")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"aisebmt/internal/persist"
 	"aisebmt/internal/server"
 	"aisebmt/internal/shard"
+	"aisebmt/internal/tenant"
 )
 
 // schemes maps the -scheme presets to controller configurations.
@@ -65,6 +66,7 @@ func main() {
 	scheme := flag.String("scheme", "aise-bmt", "protection preset: aise-bmt, aise-mt, aise, global64-mt, none")
 	macBits := flag.Int("macbits", 128, "MAC width in bits (32, 64, 128, 256)")
 	swapSlots := flag.Int("swapslots", 64, "Page Root Directory slots per shard (0 disables swap)")
+	residentPages := flag.Int("resident-pages", 0, "tenant memory-pressure budget: swap cold tenant pages out once more than this many are resident (0 disables the controller; requires a swap-capable scheme)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout (queueing included)")
 	hibPath := flag.String("hibernate", "secmemd.hib", "file the hibernate operation writes the pool image to (ignored with -data-dir)")
 	keyHex := flag.String("key", "", "32 hex chars of processor key (default: a fixed demo key)")
@@ -314,6 +316,22 @@ func main() {
 		logger.Printf("cluster: member %s of %d (wire=%s repl=%s proxy=%v)",
 			*clusterID, len(clusterMembers), clusterSelf.Wire, clusterSelf.Repl, *clusterProxy)
 	} else {
+		// The multi-tenant layer runs over the local pool only: a cluster
+		// partitions the keyspace across nodes, but one tenant's page table
+		// and swap placement need a single manager's view.
+		if slots > 0 {
+			srv.SetTenants(tenant.New(tenant.Config{
+				Pool:          pool,
+				ResidentPages: *residentPages,
+				Obs:           obsSvc,
+			}))
+			if *residentPages > 0 {
+				logger.Printf("tenants: resident-set budget %d pages (%s of %s)",
+					*residentPages, sizeString(uint64(*residentPages)*4096), *memSize)
+			}
+		} else if *residentPages > 0 {
+			logger.Fatalf("-resident-pages requires a swap-capable scheme (aise-bmt with -swapslots > 0)")
+		}
 		srv.Publish(pool)
 	}
 	logger.Printf("serving %s on %s: %d shards × %s, scheme=%s mac=%db queue=%d batch=%d",

@@ -28,6 +28,10 @@ var Scenarios = []string{
 	"torn-append",     // WAL appends land half a record then error
 	"slow-io",         // the disk stalls but never fails
 	"checkpoint",      // cut a checkpoint mid-run (WAL truncation in the mix)
+
+	"tenant-swap-tamper",   // see TenantScenarios
+	"tenant-fork-kill",     //
+	"tenant-swap-pressure", //
 }
 
 // Config sizes a harness run.
@@ -60,6 +64,9 @@ type Stats struct {
 	ModelReads      int    `json:"model_reads"`
 	PoolFaults      uint64 `json:"pool_faults"`
 	PoolRepairs     uint64 `json:"pool_repairs"`
+	TenantsCreated  int    `json:"tenants_created"`
+	TenantForks     int    `json:"tenant_forks"`
+	TenantSwaps     int    `json:"tenant_swaps"`
 }
 
 // Harness drives a durable secure-memory service through fault
@@ -456,6 +463,18 @@ func (h *Harness) Run(scenario string) error {
 		}
 		if err := h.Store.Checkpoint(); err != nil {
 			return fmt.Errorf("chaos: checkpoint on a healthy pool: %w", err)
+		}
+	case "tenant-swap-tamper":
+		if err := h.runTenantSwapTamper(); err != nil {
+			return err
+		}
+	case "tenant-fork-kill":
+		if err := h.runTenantForkKill(); err != nil {
+			return err
+		}
+	case "tenant-swap-pressure":
+		if err := h.runTenantSwapPressure(); err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("chaos: unknown scenario %q", scenario)

@@ -1,0 +1,318 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+	"aisebmt/internal/tenant"
+)
+
+// TenantScenarios are the multi-tenant fault schedules: they attack the
+// OS-visible substrate (address spaces, copy-on-write forks, swapped
+// pages on the attacker-owned disk) rather than the memory bus. Each
+// runs against a private in-memory pool so tenant frame allocation
+// cannot disturb the durable pool's shadow model; the usual end-of-run
+// invariants still hold on the durable pool afterwards.
+var TenantScenarios = []string{
+	"tenant-swap-tamper",   // corrupt a swapped-out page's counter block on disk
+	"tenant-fork-kill",     // destroy a tenant in the middle of a fork storm
+	"tenant-swap-pressure", // working set ≫ resident budget, shadow-checked
+}
+
+// nextTrace issues the next harness trace ID for a tenant request.
+func (h *Harness) nextTrace() uint64 {
+	h.traceSeq++
+	return h.traceSeq
+}
+
+// tenantService builds a tenant layer over a private 2-shard AISE+BMT
+// pool. Tenant scenarios cannot share h.Pool: the vm frame allocator
+// claims pool pages for tenant address spaces, and those frames would
+// collide with the durable model's addresses.
+func (h *Harness) tenantService(budget int) (*tenant.Service, *shard.Pool, error) {
+	pool, err := shard.New(shard.Config{
+		Shards: 2,
+		Core: core.Config{
+			DataBytes:  2 * 16 * layout.PageSize,
+			Key:        harnessKey,
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  16,
+		},
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: tenant pool: %w", err)
+	}
+	return tenant.New(tenant.Config{Pool: pool, ResidentPages: budget}), pool, nil
+}
+
+// tenantVal draws a fresh random page payload from the schedule rng.
+func (h *Harness) tenantVal() []byte {
+	val := make([]byte, valLen)
+	h.rng.Read(val)
+	return val
+}
+
+// tenantWrite writes val at the start of a tenant page and records the
+// ack; every acknowledged tenant write joins the scenario's shadow.
+func (h *Harness) tenantWrite(svc *tenant.Service, id uint32, page int, val []byte) error {
+	ctx, cancel := ctx10()
+	defer cancel()
+	if err := svc.Write(ctx, id, uint64(page)*layout.PageSize, val, h.nextTrace()); err != nil {
+		h.stats.FailedWrites++
+		return fmt.Errorf("chaos: tenant %d page %d write: %w", id, page, err)
+	}
+	h.stats.AckedWrites++
+	return nil
+}
+
+// tenantExpect reads a tenant page and requires the shadow value back.
+func (h *Harness) tenantExpect(svc *tenant.Service, id uint32, page int, want []byte) error {
+	ctx, cancel := ctx10()
+	defer cancel()
+	got, err := svc.Read(ctx, id, uint64(page)*layout.PageSize, len(want), h.nextTrace())
+	if err != nil {
+		return fmt.Errorf("chaos: ACKED-WRITE LOSS: tenant %d page %d unreadable: %w", id, page, err)
+	}
+	h.stats.ModelReads++
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("chaos: ACKED-WRITE LOSS: tenant %d page %d read %x, want %x", id, page, got, want)
+	}
+	return nil
+}
+
+// runTenantSwapTamper swaps a tenant page out to the attacker-owned
+// disk, flips one counter-block bit in the on-disk image, and requires
+// the Page Root Directory to refuse the swap-in — before any data block
+// decrypts — while the tenant's other pages and a bystander tenant keep
+// serving.
+func (h *Harness) runTenantSwapTamper() error {
+	svc, pool, err := h.tenantService(0)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	ctx, cancel := ctx10()
+	defer cancel()
+
+	const npages = 4
+	victim, err := svc.Create(ctx, npages, h.nextTrace())
+	if err != nil {
+		return fmt.Errorf("chaos: tenant create: %w", err)
+	}
+	bystander, err := svc.Create(ctx, 2, h.nextTrace())
+	if err != nil {
+		return fmt.Errorf("chaos: tenant create: %w", err)
+	}
+	h.stats.TenantsCreated += 2
+	vals := make([][]byte, npages)
+	for p := range vals {
+		vals[p] = h.tenantVal()
+		if err := h.tenantWrite(svc, victim, p, vals[p]); err != nil {
+			return err
+		}
+	}
+	byVal := h.tenantVal()
+	if err := h.tenantWrite(svc, bystander, 0, byVal); err != nil {
+		return err
+	}
+
+	// Swap one page out and corrupt its counter block on disk. The leaf
+	// MAC stored in the PRD covers the whole block, so any bit works.
+	page := h.rng.Intn(npages)
+	vaddr := uint64(page) * layout.PageSize
+	if err := svc.ForceSwapOut(ctx, victim, vaddr); err != nil {
+		return fmt.Errorf("chaos: force swap-out: %w", err)
+	}
+	h.stats.TenantSwaps++
+	slot := svc.SwapSlotOf(victim, vaddr)
+	if slot < 0 {
+		return fmt.Errorf("chaos: page %d not in swap after forced swap-out", page)
+	}
+	img := svc.Swap().Image(slot).Clone()
+	img.Counters[h.rng.Intn(len(img.Counters))] ^= 1 << h.rng.Intn(8)
+	svc.Swap().Tamper(slot, img)
+	h.stats.TampersInjected++
+
+	buf, err := svc.Read(ctx, victim, vaddr, valLen, h.nextTrace())
+	if err == nil {
+		return fmt.Errorf("chaos: TAMPER SERVED: tampered swap image for tenant page %d returned %x", page, buf)
+	}
+	if !errors.Is(err, core.ErrTampered) {
+		return fmt.Errorf("chaos: tampered swap-in failed with unexpected error: %w", err)
+	}
+	h.stats.TampersDetected++
+	if st := svc.Stats(); st.Cums.TamperRefused == 0 {
+		return fmt.Errorf("chaos: PRD refusal not visible in tenant counters: %+v", st.Cums)
+	}
+
+	// Containment: the tenant's resident pages and the bystander tenant
+	// still serve their acknowledged values.
+	for p := range vals {
+		if p == page {
+			continue
+		}
+		if err := h.tenantExpect(svc, victim, p, vals[p]); err != nil {
+			return err
+		}
+	}
+	if err := h.tenantExpect(svc, bystander, 0, byVal); err != nil {
+		return err
+	}
+	for _, id := range []uint32{victim, bystander} {
+		if err := svc.Destroy(ctx, id, h.nextTrace()); err != nil {
+			return fmt.Errorf("chaos: tenant destroy: %w", err)
+		}
+	}
+	return nil
+}
+
+// runTenantForkKill runs a copy-on-write fork storm and destroys the
+// parent in the middle of it: every surviving descendant must keep its
+// own diverged view (fork-time snapshot plus its private writes), and
+// tearing everything down must return every frame and swap slot.
+func (h *Harness) runTenantForkKill() error {
+	svc, pool, err := h.tenantService(0)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	ctx, cancel := ctx10()
+	defer cancel()
+
+	const npages = 6
+	parent, err := svc.Create(ctx, npages, h.nextTrace())
+	if err != nil {
+		return fmt.Errorf("chaos: tenant create: %w", err)
+	}
+	h.stats.TenantsCreated++
+	views := map[uint32]map[int][]byte{parent: {}}
+	for p := 0; p < npages; p++ {
+		val := h.tenantVal()
+		if err := h.tenantWrite(svc, parent, p, val); err != nil {
+			return err
+		}
+		views[parent][p] = val
+	}
+
+	// The storm: fork a live tenant, diverge one page in the child, and
+	// kill the parent mid-storm. Later forks clone a surviving child.
+	live := []uint32{parent}
+	const forks = 4
+	for i := 0; i < forks; i++ {
+		src := live[h.rng.Intn(len(live))]
+		child, err := svc.Fork(ctx, src, h.nextTrace())
+		if err != nil {
+			return fmt.Errorf("chaos: fork of %d: %w", src, err)
+		}
+		h.stats.TenantForks++
+		view := make(map[int][]byte, npages)
+		for p, v := range views[src] {
+			view[p] = v
+		}
+		views[child] = view
+		live = append(live, child)
+		diverge := h.rng.Intn(npages)
+		val := h.tenantVal()
+		if err := h.tenantWrite(svc, child, diverge, val); err != nil {
+			return err
+		}
+		view[diverge] = val
+
+		if i == 1 {
+			// Mid-storm kill: the parent dies while children still share
+			// its COW frames.
+			if err := svc.Destroy(ctx, parent, h.nextTrace()); err != nil {
+				return fmt.Errorf("chaos: mid-storm destroy of parent: %w", err)
+			}
+			delete(views, parent)
+			live = live[1:]
+		}
+	}
+
+	// Every survivor holds exactly its own view.
+	for _, id := range live {
+		for p := 0; p < npages; p++ {
+			if err := h.tenantExpect(svc, id, p, views[id][p]); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Teardown in random order must reclaim everything.
+	h.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	for _, id := range live {
+		if err := svc.Destroy(ctx, id, h.nextTrace()); err != nil {
+			return fmt.Errorf("chaos: teardown destroy of %d: %w", id, err)
+		}
+	}
+	if st := svc.Stats(); st.Live != 0 || st.ResidentPages != 0 || st.SwappedPages != 0 {
+		return fmt.Errorf("chaos: FRAME LEAK after fork-kill teardown: %+v", st)
+	}
+	return nil
+}
+
+// runTenantSwapPressure runs two tenants whose combined working set is
+// more than triple the resident budget, so the pressure controller swaps
+// continuously, then sweeps every page back against the shadow of its
+// last acknowledged write. Zero acked-write loss is the invariant.
+func (h *Harness) runTenantSwapPressure() error {
+	const budget, npages, generations = 6, 10, 3
+	svc, pool, err := h.tenantService(budget)
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+	ctx, cancel := ctx10()
+	defer cancel()
+
+	ids := make([]uint32, 2)
+	shadow := map[uint32]map[int][]byte{}
+	for i := range ids {
+		if ids[i], err = svc.Create(ctx, npages, h.nextTrace()); err != nil {
+			return fmt.Errorf("chaos: tenant create: %w", err)
+		}
+		h.stats.TenantsCreated++
+		shadow[ids[i]] = map[int][]byte{}
+	}
+	for gen := 0; gen < generations; gen++ {
+		for _, id := range ids {
+			for p := 0; p < npages; p++ {
+				val := h.tenantVal()
+				if err := h.tenantWrite(svc, id, p, val); err != nil {
+					return err
+				}
+				shadow[id][p] = val
+			}
+		}
+	}
+
+	st := svc.Stats()
+	if st.ResidentPages > budget {
+		return fmt.Errorf("chaos: resident budget breached: %d pages resident, budget %d", st.ResidentPages, budget)
+	}
+	if st.SwappedPages == 0 || st.VM.SwapOuts == 0 {
+		return fmt.Errorf("chaos: pressure never swapped (stats %+v)", st)
+	}
+	h.stats.TenantSwaps += int(st.VM.SwapOuts)
+
+	// The sweep faults every page back in; each must carry the last
+	// value its write acknowledged.
+	for _, id := range ids {
+		for p := 0; p < npages; p++ {
+			if err := h.tenantExpect(svc, id, p, shadow[id][p]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range ids {
+		if err := svc.Destroy(ctx, id, h.nextTrace()); err != nil {
+			return fmt.Errorf("chaos: tenant destroy: %w", err)
+		}
+	}
+	return nil
+}

@@ -229,6 +229,79 @@ func (c *Client) Hibernate() error {
 	return check(OpHibernate, p)
 }
 
+// tenantID parses the 4-byte big-endian tenant ID create and fork answer.
+func tenantID(op Op, p *Response) (uint32, error) {
+	if err := check(op, p); err != nil {
+		return 0, err
+	}
+	if len(p.Data) != 4 {
+		return 0, fmt.Errorf("server: %s answered %d bytes, want a 4-byte tenant id", op, len(p.Data))
+	}
+	return uint32(p.Data[0])<<24 | uint32(p.Data[1])<<16 | uint32(p.Data[2])<<8 | uint32(p.Data[3]), nil
+}
+
+// TenantCreate allocates a tenant with npages of zeroed memory and
+// returns its ID.
+func (c *Client) TenantCreate(npages int) (uint32, error) {
+	p, err := c.Do(&Request{Op: OpTenantCreate, Count: uint32(npages)})
+	if err != nil {
+		return 0, err
+	}
+	return tenantID(OpTenantCreate, p)
+}
+
+// TenantDestroy tears a tenant down.
+func (c *Client) TenantDestroy(id uint32) error {
+	p, err := c.Do(&Request{Op: OpTenantDestroy, Addr: uint64(id)})
+	if err != nil {
+		return err
+	}
+	return check(OpTenantDestroy, p)
+}
+
+// TenantFork clones a tenant copy-on-write and returns the child's ID.
+func (c *Client) TenantFork(id uint32) (uint32, error) {
+	p, err := c.Do(&Request{Op: OpTenantFork, Addr: uint64(id)})
+	if err != nil {
+		return 0, err
+	}
+	return tenantID(OpTenantFork, p)
+}
+
+// TenantRead fetches n bytes from a tenant's address space at vaddr.
+func (c *Client) TenantRead(id uint32, vaddr uint64, n int) ([]byte, error) {
+	p, err := c.Do(&Request{Op: OpTenantRead, Addr: uint64(id), Virt: vaddr, Count: uint32(n)})
+	if err != nil {
+		return nil, err
+	}
+	if err := check(OpTenantRead, p); err != nil {
+		return nil, err
+	}
+	return p.Data, nil
+}
+
+// TenantWrite stores data into a tenant's address space at vaddr.
+func (c *Client) TenantWrite(id uint32, vaddr uint64, data []byte) error {
+	p, err := c.Do(&Request{Op: OpTenantWrite, Addr: uint64(id), Virt: vaddr, Data: data})
+	if err != nil {
+		return err
+	}
+	return check(OpTenantWrite, p)
+}
+
+// TenantStats fetches the tenant layer's snapshot as raw JSON (the shape
+// is tenant.Stats; raw bytes keep the client decoupled from that package).
+func (c *Client) TenantStats() ([]byte, error) {
+	p, err := c.Do(&Request{Op: OpTenantStats})
+	if err != nil {
+		return nil, err
+	}
+	if err := check(OpTenantStats, p); err != nil {
+		return nil, err
+	}
+	return p.Data, nil
+}
+
 // Cordon takes shard i out of service (operator control).
 func (c *Client) Cordon(i int) error {
 	p, err := c.Do(&Request{Op: OpCordon, Addr: uint64(i)})

@@ -2,7 +2,14 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"testing"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+	"aisebmt/internal/tenant"
 )
 
 // FuzzRequestRoundTrip checks the codec both ways: any decodable request
@@ -21,6 +28,12 @@ func FuzzRequestRoundTrip(f *testing.F) {
 		{Op: OpWrite, Addr: 64, Data: []byte("t"), DeadlineUS: 1, TraceID: 7},
 		{Op: OpCordon, Addr: 1},
 		{Op: OpUncordon, Addr: 1},
+		{Op: OpTenantCreate, Count: 8},
+		{Op: OpTenantDestroy, Addr: 3},
+		{Op: OpTenantFork, Addr: 3, TraceID: 11},
+		{Op: OpTenantRead, Addr: 3, Virt: 4096, Count: 64},
+		{Op: OpTenantWrite, Addr: 3, Virt: 8192, Data: []byte("tenant bytes")},
+		{Op: OpTenantStats},
 	} {
 		var buf bytes.Buffer
 		if err := EncodeRequest(&buf, q); err != nil {
@@ -58,6 +71,66 @@ func FuzzRequestRoundTrip(f *testing.F) {
 			q.PID != q2.PID || q.Count != q2.Count || q.Slot != q2.Slot ||
 			!bytes.Equal(q.Data, q2.Data) {
 			t.Fatal("double round-trip mismatch")
+		}
+	})
+}
+
+// FuzzTenantDispatch drives arbitrary frame bodies through the decoder
+// and — when they parse to a tenant operation — through a real tenant
+// service over a live pool: malformed tenant frames must never panic the
+// server, whatever tenant IDs, virtual addresses, page counts or
+// payloads they carry. Tenants a fuzz input manages to create are torn
+// down again so state stays bounded across iterations.
+func FuzzTenantDispatch(f *testing.F) {
+	pool, err := shard.New(shard.Config{
+		Shards: 2,
+		Core: core.Config{
+			DataBytes:  2 * 8 * layout.PageSize,
+			Key:        []byte("0123456789abcdef"),
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  8,
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer pool.Close()
+	svc := tenant.New(tenant.Config{Pool: pool, ResidentPages: 6})
+	srv := New(pool, Options{Timeout: time.Second, Tenants: svc})
+	for _, q := range []*Request{
+		{Op: OpTenantCreate, Count: 4},
+		{Op: OpTenantCreate, Count: ^uint32(0)},
+		{Op: OpTenantDestroy, Addr: ^uint64(0)},
+		{Op: OpTenantFork, Addr: 1},
+		{Op: OpTenantRead, Addr: 1, Virt: ^uint64(0), Count: 64},
+		{Op: OpTenantRead, Addr: 1, Count: ^uint32(0)},
+		{Op: OpTenantWrite, Addr: 1, Virt: 1<<32 - 4096, Data: bytes.Repeat([]byte{7}, 128)},
+		{Op: OpTenantStats},
+	} {
+		var buf bytes.Buffer
+		if err := EncodeRequest(&buf, q); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes()[4:])
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		q, err := parseRequest(body)
+		if err != nil || q.Op < OpTenantCreate || q.Op > OpTenantStats {
+			return
+		}
+		resp := srv.dispatch(q)
+		if resp == nil {
+			t.Fatal("dispatch returned nil response")
+		}
+		if q.Op == OpTenantCreate && resp.Status == StatusOK {
+			id, err := tenantID(OpTenantCreate, resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.Destroy(context.Background(), id, 0); err != nil {
+				t.Fatalf("cleanup destroy: %v", err)
+			}
 		}
 	})
 }

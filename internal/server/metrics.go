@@ -18,8 +18,8 @@ import (
 // bounded.
 type serverMetrics struct {
 	// lat[op][outcome]: outcome 0 = ok, 1 = retryable, 2 = fatal.
-	lat [OpUncordon + 1][3]*obs.Histogram
-	cnt [OpUncordon + 1][StatusNotOwner + 1]*obs.Counter
+	lat [OpTenantStats + 1][3]*obs.Histogram
+	cnt [OpTenantStats + 1][StatusNotOwner + 1]*obs.Counter
 }
 
 const (
@@ -44,7 +44,7 @@ func newServerMetrics(svc *obs.Service, s *Server) *serverMetrics {
 	reg := svc.Reg
 	m := &serverMetrics{}
 	buckets := obs.LatencyBucketsUS()
-	for op := OpRead; op <= OpUncordon; op++ {
+	for op := OpRead; op <= OpTenantStats; op++ {
 		for o := outcomeOK; o <= outcomeFatal; o++ {
 			m.lat[op][o] = reg.Histogram("secmemd_request_duration_us",
 				"Wire request duration from decode to response, microseconds.",
@@ -64,7 +64,7 @@ func newServerMetrics(svc *obs.Service, s *Server) *serverMetrics {
 
 // observe records one completed request.
 func (m *serverMetrics) observe(op Op, st Status, d time.Duration) {
-	if m == nil || op < OpRead || op > OpUncordon || st > StatusNotOwner {
+	if m == nil || op < OpRead || op > OpTenantStats || st > StatusNotOwner {
 		return
 	}
 	o := outcomeFatal
@@ -97,8 +97,12 @@ func (s *Server) ObsHandler(mux *http.ServeMux, pprofOn bool) {
 		select {
 		case <-s.ready:
 			// Pool-style backends expose a scrape-time section (shard
-			// states, core counters); other backends may not.
+			// states, core counters); other backends may not. The tenant
+			// layer appends its vm substrate section the same way.
 			if wm, ok := s.pool.(interface{ WriteMetrics(io.Writer) }); ok {
+				wm.WriteMetrics(w)
+			}
+			if wm, ok := s.opts.Tenants.(interface{ WriteMetrics(io.Writer) }); ok {
 				wm.WriteMetrics(w)
 			}
 		default:

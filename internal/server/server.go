@@ -50,6 +50,24 @@ type Options struct {
 	// /metrics and /tracez. One Service must not back two servers (the
 	// instruments would collide).
 	Obs *obs.Service
+	// Tenants, when non-nil, serves the tenant wire operations (create,
+	// destroy, fork, per-tenant read/write, stats) against the
+	// multi-tenant address-space layer. Nil answers them Unsupported —
+	// e.g. cluster nodes, whose keyspace is partitioned across machines.
+	Tenants TenantBackend
+}
+
+// TenantBackend is what the tenant wire operations need from the
+// multi-tenant layer; *tenant.Service implements it. It is an interface
+// here so the server package does not depend on the tenant package's
+// construction details (and tests can stub it).
+type TenantBackend interface {
+	Create(ctx context.Context, npages int, trace uint64) (uint32, error)
+	Destroy(ctx context.Context, id uint32, trace uint64) error
+	Fork(ctx context.Context, id uint32, trace uint64) (uint32, error)
+	Read(ctx context.Context, id uint32, vaddr uint64, n int, trace uint64) ([]byte, error)
+	Write(ctx context.Context, id uint32, vaddr uint64, data []byte, trace uint64) error
+	StatsJSON() ([]byte, error)
 }
 
 // Backend is what the server front-end needs from its data plane. A
@@ -146,6 +164,12 @@ func NewGated(opts Options) *Server {
 	}
 	return s
 }
+
+// SetTenants installs the tenant layer. A daemon calls it between
+// NewGated and Publish: the layer wraps the recovered pool, which does
+// not exist yet when the gated server is built, and requests cannot race
+// the assignment because they wait on the gate Publish releases.
+func (s *Server) SetTenants(tb TenantBackend) { s.opts.Tenants = tb }
 
 // Publish installs the backend and releases every gated request. It must
 // be called exactly once per NewGated server (New calls it for you).
@@ -397,6 +421,8 @@ func (s *Server) dispatch(q *Request) *Response {
 			return fail(StatusBadRequest, err)
 		}
 		return &Response{Status: StatusOK}
+	case OpTenantCreate, OpTenantDestroy, OpTenantFork, OpTenantRead, OpTenantWrite, OpTenantStats:
+		return s.dispatchTenant(ctx, q)
 	case OpHibernate:
 		if s.opts.Checkpoint != nil {
 			path, n, err := s.opts.Checkpoint()
@@ -412,6 +438,58 @@ func (s *Server) dispatch(q *Request) *Response {
 		return &Response{Status: StatusOK, Data: []byte(fmt.Sprintf(`{"path":%q,"bytes":%d}`, s.opts.HibernatePath, n))}
 	default:
 		return fail(StatusBadRequest, fmt.Errorf("unknown op %d", q.Op))
+	}
+}
+
+// dispatchTenant executes one tenant-layer request. IDs ride in Addr,
+// tenant-virtual addresses in Virt; create and fork answer with the
+// 4-byte big-endian tenant ID.
+func (s *Server) dispatchTenant(ctx context.Context, q *Request) *Response {
+	tb := s.opts.Tenants
+	if tb == nil {
+		return fail(StatusUnsupported, fmt.Errorf("server: no tenant layer configured (%w)", core.ErrUnsupported))
+	}
+	id32 := func(id uint32) []byte {
+		return []byte{byte(id >> 24), byte(id >> 16), byte(id >> 8), byte(id)}
+	}
+	switch q.Op {
+	case OpTenantCreate:
+		id, err := tb.Create(ctx, int(q.Count), q.TraceID)
+		if err != nil {
+			return failErr(err)
+		}
+		return &Response{Status: StatusOK, Data: id32(id)}
+	case OpTenantDestroy:
+		if err := tb.Destroy(ctx, uint32(q.Addr), q.TraceID); err != nil {
+			return failErr(err)
+		}
+		return &Response{Status: StatusOK}
+	case OpTenantFork:
+		id, err := tb.Fork(ctx, uint32(q.Addr), q.TraceID)
+		if err != nil {
+			return failErr(err)
+		}
+		return &Response{Status: StatusOK, Data: id32(id)}
+	case OpTenantRead:
+		if q.Count > MaxFrame-1 {
+			return fail(StatusBadRequest, fmt.Errorf("tenant read of %d bytes exceeds frame limit", q.Count))
+		}
+		buf, err := tb.Read(ctx, uint32(q.Addr), q.Virt, int(q.Count), q.TraceID)
+		if err != nil {
+			return failErr(err)
+		}
+		return &Response{Status: StatusOK, Data: buf}
+	case OpTenantWrite:
+		if err := tb.Write(ctx, uint32(q.Addr), q.Virt, q.Data, q.TraceID); err != nil {
+			return failErr(err)
+		}
+		return &Response{Status: StatusOK}
+	default: // OpTenantStats
+		data, err := tb.StatsJSON()
+		if err != nil {
+			return fail(StatusInternal, err)
+		}
+		return &Response{Status: StatusOK, Data: data}
 	}
 }
 

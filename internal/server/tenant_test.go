@@ -1,0 +1,211 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+	"aisebmt/internal/tenant"
+)
+
+// startTenantServer boots a tenant-enabled service on a loopback port.
+func startTenantServer(t *testing.T, budget int) (string, *tenant.Service, func() error) {
+	t.Helper()
+	pool, err := shard.New(shard.Config{
+		Shards: 2,
+		Core: core.Config{
+			DataBytes:  2 * 16 * layout.PageSize,
+			Key:        []byte("0123456789abcdef"),
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  16,
+		},
+	})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	svc := tenant.New(tenant.Config{Pool: pool, ResidentPages: budget})
+	srv := New(pool, Options{Timeout: 2 * time.Second, Tenants: svc, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-serveDone; !errors.Is(err, ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+	return ln.Addr().String(), svc, shutdown
+}
+
+func TestTenantOpsEndToEnd(t *testing.T) {
+	addr, _, shutdown := startTenantServer(t, 0)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	id, err := c.TenantCreate(4)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	msg := []byte("tenant-private bytes")
+	if err := c.TenantWrite(id, 2*layout.PageSize+10, msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := c.TenantRead(id, 2*layout.PageSize+10, len(msg))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read = %q, want %q", got, msg)
+	}
+
+	// Fork: child sees the data, a child write stays private.
+	child, err := c.TenantFork(id)
+	if err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	if got, err = c.TenantRead(child, 2*layout.PageSize+10, len(msg)); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("child read = %q, %v", got, err)
+	}
+	if err := c.TenantWrite(child, 2*layout.PageSize+10, []byte("CHILD OVERWRITE DATA")); err != nil {
+		t.Fatalf("child write: %v", err)
+	}
+	if got, err = c.TenantRead(id, 2*layout.PageSize+10, len(msg)); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("parent sees child write: %q, %v", got, err)
+	}
+
+	// Stats reflect the churn and the COW split.
+	raw, err := c.TenantStats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var st tenant.Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if st.Live != 2 || st.Cums.Forked != 1 || st.VM.COWBreaks == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	if err := c.TenantDestroy(child); err != nil {
+		t.Fatalf("destroy child: %v", err)
+	}
+	if err := c.TenantDestroy(id); err != nil {
+		t.Fatalf("destroy parent: %v", err)
+	}
+
+	// Error taxonomy: unknown tenants and bad ranges are BadRequest.
+	var se *StatusError
+	if _, err := c.TenantRead(id, 0, 8); !errors.As(err, &se) || se.Status != StatusBadRequest {
+		t.Fatalf("read of destroyed tenant: %v", err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestTenantPressureOverWire(t *testing.T) {
+	addr, svc, shutdown := startTenantServer(t, 6)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	id, err := c.TenantCreate(16)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for p := 0; p < 16; p++ {
+		if err := c.TenantWrite(id, uint64(p)*layout.PageSize, bytes.Repeat([]byte{byte(p + 1)}, layout.PageSize)); err != nil {
+			t.Fatalf("write page %d: %v", p, err)
+		}
+	}
+	st := svc.Stats()
+	if st.ResidentPages > 6 || st.SwappedPages == 0 {
+		t.Fatalf("budget not enforced: %+v", st)
+	}
+	for p := 0; p < 16; p++ {
+		got, err := c.TenantRead(id, uint64(p)*layout.PageSize, layout.PageSize)
+		if err != nil {
+			t.Fatalf("read page %d: %v", p, err)
+		}
+		if got[0] != byte(p+1) || got[layout.PageSize-1] != byte(p+1) {
+			t.Fatalf("page %d corrupted across swap", p)
+		}
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestTenantOpsUnsupportedWithoutLayer(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	var se *StatusError
+	if _, err := c.TenantCreate(1); !errors.As(err, &se) || se.Status != StatusUnsupported {
+		t.Fatalf("tenant create without layer: %v", err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestTenantTamperedSwapRefusedOverWire(t *testing.T) {
+	addr, svc, shutdown := startTenantServer(t, 0)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	id, err := c.TenantCreate(2)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := c.TenantWrite(id, 0, bytes.Repeat([]byte{0x77}, layout.PageSize)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := svc.ForceSwapOut(context.Background(), id, 0); err != nil {
+		t.Fatalf("force swap-out: %v", err)
+	}
+	slot := svc.SwapSlotOf(id, 0)
+	img := svc.Swap().Image(slot).Clone()
+	// Tampering the counter block is caught by the Page Root Directory
+	// check at swap-in, before any data block is even decrypted.
+	img.Counters[0] ^= 0x80
+	svc.Swap().Tamper(slot, img)
+
+	var se *StatusError
+	if _, err := c.TenantRead(id, 0, 16); !errors.As(err, &se) || se.Status != StatusTampered {
+		t.Fatalf("tampered swap-in answered %v, want StatusTampered", err)
+	}
+	if st := svc.Stats(); st.Cums.TamperRefused == 0 {
+		t.Fatal("refusal not counted")
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -30,6 +30,16 @@ const (
 	// service, uncordon routes it back through quarantine and repair.
 	OpCordon
 	OpUncordon
+	// Tenant operations address the multi-tenant layer rather than the
+	// flat keyspace: Addr carries the tenant ID (except create, where
+	// Count carries the page count), Virt the tenant-virtual address.
+	// Create and fork answer with the 4-byte big-endian tenant ID.
+	OpTenantCreate
+	OpTenantDestroy
+	OpTenantFork
+	OpTenantRead
+	OpTenantWrite
+	OpTenantStats
 )
 
 func (o Op) String() string {
@@ -54,6 +64,18 @@ func (o Op) String() string {
 		return "cordon"
 	case OpUncordon:
 		return "uncordon"
+	case OpTenantCreate:
+		return "tenant-create"
+	case OpTenantDestroy:
+		return "tenant-destroy"
+	case OpTenantFork:
+		return "tenant-fork"
+	case OpTenantRead:
+		return "tenant-read"
+	case OpTenantWrite:
+		return "tenant-write"
+	case OpTenantStats:
+		return "tenant-stats"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -238,7 +260,7 @@ func parseRequest(body []byte) (*Request, error) {
 		DeadlineUS: binary.BigEndian.Uint32(body[29:33]),
 		TraceID:    binary.BigEndian.Uint64(body[33:41]),
 	}
-	if q.Op < OpRead || q.Op > OpUncordon {
+	if q.Op < OpRead || q.Op > OpTenantStats {
 		return nil, fmt.Errorf("server: unknown op %d", body[0])
 	}
 	if len(body) > reqHeaderLen {

@@ -140,6 +140,19 @@ func TraceStatusName(st uint8) string {
 	return "error"
 }
 
+// CoreStats snapshots every shard controller's counters. Callers pay one
+// brief lock acquisition per shard; scrape-time consumers (WriteMetrics,
+// the tenant layer's re-encryption counters) share it.
+func (p *Pool) CoreStats() []core.Stats {
+	per := make([]core.Stats, len(p.shards))
+	for i, sh := range p.shards {
+		sh.mu.Lock()
+		per[i] = sh.sm.Stats()
+		sh.mu.Unlock()
+	}
+	return per
+}
+
 // QueueDepths snapshots each shard's current queue occupancy.
 func (p *Pool) QueueDepths() []int {
 	out := make([]int, len(p.shards))
@@ -185,12 +198,7 @@ func (p *Pool) WriteMetrics(w io.Writer) {
 		{"secmemd_core_tree_node_cache_hits_total", "Tree-node-cache model hits.", func(cs core.Stats) uint64 { return cs.TreeNodeCacheHits }},
 		{"secmemd_core_tree_node_cache_misses_total", "Tree-node-cache model misses.", func(cs core.Stats) uint64 { return cs.TreeNodeCacheMiss }},
 	}
-	per := make([]core.Stats, len(p.shards))
-	for i, sh := range p.shards {
-		sh.mu.Lock()
-		per[i] = sh.sm.Stats()
-		sh.mu.Unlock()
-	}
+	per := p.CoreStats()
 	for _, f := range fields {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name)
 		for i := range per {

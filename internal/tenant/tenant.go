@@ -1,0 +1,426 @@
+// Package tenant is the multi-tenant address-space layer between the wire
+// protocol and the shard pool: each tenant is one LPID-keyed namespace —
+// a vm.Process with its own page table and TLB tags — managed by a single
+// vm.Manager running over the sharded secure memory. Tenants are created,
+// destroyed and forked over the wire; their reads and writes fault pages
+// in through the page table, and a global memory-pressure controller
+// swaps cold pages out through the extended tree's Page Root Directory
+// whenever the resident set exceeds the configured budget, so swapped
+// pages live on the untrusted swap device and tampering them is detected
+// (and refused) at swap-in.
+//
+// This is the paper's OS-friendliness claim surfaced as a service: AISE
+// seeds are keyed by LPID, not physical address, so pages move between
+// frames and the swap device without re-encryption; fork marks pages
+// copy-on-write, and the first write to a shared page re-encrypts the
+// private copy under a fresh LPID through the controller.
+//
+// Concurrency model: the vm.Manager is single-threaded by design (page
+// tables, frame lists and the swap device are plain structures), so the
+// Service serializes tenant operations under one mutex. The crypto work
+// each operation generates still parallelizes across the pool's shard
+// workers; the serialized section is bookkeeping plus the synchronous
+// pool calls.
+package tenant
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/obs"
+	"aisebmt/internal/shard"
+	"aisebmt/internal/vm"
+)
+
+// MaxPages caps one tenant's address space (the vm's 32-bit VA space).
+const MaxPages = 1 << 20
+
+// poolBacking adapts the shard pool to vm.Backing. The vm layer is
+// context-free; the Service stamps the current request's context and
+// TraceID here (under its mutex) so every pool operation an op fans out
+// into — fault-in reads, pressure swap-outs, COW copies — carries the
+// caller's deadline and shows up as per-stage spans in /tracez.
+type poolBacking struct {
+	pool  *shard.Pool
+	ctx   context.Context
+	trace uint64
+}
+
+func (b *poolBacking) Read(a layout.Addr, dst []byte, meta core.Meta) error {
+	meta.Trace = b.trace
+	return b.pool.Read(b.ctx, a, dst, meta)
+}
+
+func (b *poolBacking) Write(a layout.Addr, src []byte, meta core.Meta) error {
+	meta.Trace = b.trace
+	return b.pool.Write(b.ctx, a, src, meta)
+}
+
+func (b *poolBacking) SwapOut(a layout.Addr, slot int) (*core.PageImage, error) {
+	return b.pool.SwapOut(b.ctx, a, slot)
+}
+
+func (b *poolBacking) SwapIn(img *core.PageImage, a layout.Addr, slot int) error {
+	return b.pool.SwapIn(b.ctx, img, a, slot)
+}
+
+func (b *poolBacking) DataBytes() uint64 { return b.pool.DataBytes() }
+
+// SwapGroups: page-interleaved sharding means frame f belongs to shard
+// f%Shards, and a swapped-out page must return to the shard whose Page
+// Root Directory holds its root.
+func (b *poolBacking) SwapGroups() int { return b.pool.Config().Shards }
+
+// Config parameterizes a Service.
+type Config struct {
+	// Pool is the sharded secure memory every tenant lives in.
+	Pool *shard.Pool
+	// SlotsPerShard bounds each shard's slice of the swap device; it must
+	// not exceed the pool's per-shard Page Root Directory capacity
+	// (core.Config.SwapSlots). 0 uses the pool's configured SwapSlots.
+	SlotsPerShard int
+	// ResidentPages is the global memory-pressure budget: after any
+	// operation that may allocate frames, cold pages are swapped out until
+	// at most this many remain resident. 0 disables the controller (pages
+	// still swap when physical frames run out).
+	ResidentPages int
+	// Obs, when non-nil, registers the secmemd_tenant_* instrument family.
+	Obs *obs.Service
+}
+
+// cums are monotonic Service counters, separate from vm.Stats so a scrape
+// can tell service-level events (tenant churn, pressure evictions,
+// refused tampered swap-ins) from substrate events (faults, COW breaks).
+type cums struct {
+	Created           uint64 `json:"created"`
+	Destroyed         uint64 `json:"destroyed"`
+	Forked            uint64 `json:"forked"`
+	PressureEvictions uint64 `json:"pressure_evictions"`
+	EvictFailures     uint64 `json:"evict_failures"`
+	TamperRefused     uint64 `json:"tamper_refused"`
+}
+
+// Service multiplexes tenants over one vm.Manager.
+type Service struct {
+	mu      sync.Mutex
+	mgr     *vm.Manager
+	backing *poolBacking
+	tenants map[uint32]*tenantState
+	budget  int
+	c       cums
+}
+
+type tenantState struct {
+	proc   *vm.Process
+	npages int
+}
+
+// New builds a tenant service over a pool. The pool's scheme must support
+// swapping (AISE + Bonsai tree + SwapSlots > 0) for the pressure
+// controller and fault-in paths to work; without it tenants are still
+// served until the first operation that needs the swap device.
+func New(cfg Config) *Service {
+	slots := cfg.SlotsPerShard
+	if slots <= 0 {
+		slots = cfg.Pool.Config().Core.SwapSlots
+	}
+	b := &poolBacking{pool: cfg.Pool, ctx: context.Background()}
+	s := &Service{
+		mgr:     vm.NewManagerOver(b, slots),
+		backing: b,
+		tenants: make(map[uint32]*tenantState),
+		budget:  cfg.ResidentPages,
+	}
+	if cfg.Obs != nil {
+		s.register(cfg.Obs, cfg.Pool)
+	}
+	return s
+}
+
+// ErrUnknownTenant reports an operation against a tenant ID that does not
+// exist (never created, or already destroyed).
+var ErrUnknownTenant = errors.New("tenant: unknown tenant")
+
+// enter stamps the request context into the backing. Callers hold s.mu.
+func (s *Service) enter(ctx context.Context, trace uint64) {
+	s.backing.ctx, s.backing.trace = ctx, trace
+}
+
+// enforce trims the resident set to the budget by swapping out the
+// coldest (FIFO-oldest) frames. Callers hold s.mu.
+func (s *Service) enforce() {
+	if s.budget <= 0 {
+		return
+	}
+	for s.mgr.ResidentPages() > s.budget {
+		if err := s.mgr.EvictOne(); err != nil {
+			// Nothing evictable right now (pinned frames or a full swap
+			// device); the next allocating operation re-applies pressure.
+			s.c.EvictFailures++
+			return
+		}
+		s.c.PressureEvictions++
+	}
+}
+
+// note classifies an operation error: a tampered swap image surfacing
+// through a fault-in is the PRD integrity path refusing the page.
+func (s *Service) note(err error) {
+	if err != nil && errors.Is(err, core.ErrTampered) {
+		s.c.TamperRefused++
+	}
+}
+
+// Create allocates a new tenant with npages of zeroed memory mapped at
+// virtual address 0 and returns its ID.
+func (s *Service) Create(ctx context.Context, npages int, trace uint64) (uint32, error) {
+	if npages <= 0 || npages > MaxPages {
+		return 0, fmt.Errorf("tenant: npages must be in [1, %d], got %d", MaxPages, npages)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enter(ctx, trace)
+	p := s.mgr.NewProcess()
+	if err := s.mgr.Map(p, 0, npages); err != nil {
+		s.mgr.Exit(p) // release whatever was mapped before the failure
+		s.note(err)
+		return 0, err
+	}
+	s.tenants[uint32(p.PID)] = &tenantState{proc: p, npages: npages}
+	s.c.Created++
+	s.enforce()
+	return uint32(p.PID), nil
+}
+
+// Destroy tears a tenant down, releasing its frames and swap slots.
+func (s *Service) Destroy(ctx context.Context, id uint32, trace uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownTenant, id)
+	}
+	s.enter(ctx, trace)
+	if err := s.mgr.Exit(t.proc); err != nil {
+		s.note(err)
+		return err
+	}
+	delete(s.tenants, id)
+	s.c.Destroyed++
+	return nil
+}
+
+// Fork clones a tenant copy-on-write and returns the child's ID: both
+// address spaces share frames until either side writes, and the first
+// write re-encrypts the private copy under a fresh LPID through the
+// controller (the paper's §4.2 fork optimization).
+func (s *Service) Fork(ctx context.Context, id uint32, trace uint64) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownTenant, id)
+	}
+	s.enter(ctx, trace)
+	child := s.mgr.Fork(t.proc)
+	s.tenants[uint32(child.PID)] = &tenantState{proc: child, npages: t.npages}
+	s.c.Forked++
+	s.enforce()
+	return uint32(child.PID), nil
+}
+
+// checkRange bounds an access against the tenant's mapped region.
+func (t *tenantState) checkRange(vaddr uint64, n int) error {
+	limit := uint64(t.npages) * layout.PageSize
+	if n < 0 || vaddr >= limit || uint64(n) > limit-vaddr {
+		return fmt.Errorf("tenant: access [%#x, %#x) outside the %d-page address space", vaddr, vaddr+uint64(n), t.npages)
+	}
+	return nil
+}
+
+// Read copies n bytes out of a tenant's address space, faulting
+// non-resident pages in through the page table.
+func (s *Service) Read(ctx context.Context, id uint32, vaddr uint64, n int, trace uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownTenant, id)
+	}
+	if err := t.checkRange(vaddr, n); err != nil {
+		return nil, err
+	}
+	s.enter(ctx, trace)
+	buf := make([]byte, n)
+	if err := s.mgr.Read(t.proc, vaddr, buf); err != nil {
+		s.note(err)
+		return nil, err
+	}
+	s.enforce()
+	return buf, nil
+}
+
+// Write copies data into a tenant's address space, faulting pages in and
+// breaking copy-on-write sharing as needed.
+func (s *Service) Write(ctx context.Context, id uint32, vaddr uint64, data []byte, trace uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownTenant, id)
+	}
+	if err := t.checkRange(vaddr, len(data)); err != nil {
+		return err
+	}
+	s.enter(ctx, trace)
+	if err := s.mgr.Write(t.proc, vaddr, data); err != nil {
+		s.note(err)
+		return err
+	}
+	s.enforce()
+	return nil
+}
+
+// ForceSwapOut evicts one tenant page to the swap device, regardless of
+// pressure — deterministic setup for tests and chaos scenarios.
+func (s *Service) ForceSwapOut(ctx context.Context, id uint32, vaddr uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownTenant, id)
+	}
+	s.enter(ctx, 0)
+	return s.mgr.ForceSwapOut(t.proc, vaddr)
+}
+
+// SwapSlotOf reports the swap slot holding a non-resident tenant page, or
+// -1 — the attack surface a chaos scenario tampers.
+func (s *Service) SwapSlotOf(id uint32, vaddr uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return -1
+	}
+	return s.mgr.SwapSlotOf(t.proc, vaddr)
+}
+
+// Swap exposes the swap device (the untrusted disk an attacker owns).
+func (s *Service) Swap() *vm.SwapDevice {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr.Swap()
+}
+
+// Stats is the service-level snapshot OpTenantStats serializes.
+type Stats struct {
+	Live          int      `json:"live"`
+	ResidentPages int      `json:"resident_pages"`
+	SwappedPages  int      `json:"swapped_pages"`
+	Budget        int      `json:"resident_budget"`
+	VM            vm.Stats `json:"vm"`
+	Cums          cums     `json:"service"`
+}
+
+// Stats snapshots the tenant layer.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Live:          len(s.tenants),
+		ResidentPages: s.mgr.ResidentPages(),
+		SwappedPages:  s.mgr.SwappedPages(),
+		Budget:        s.budget,
+		VM:            s.mgr.Stats(),
+		Cums:          s.c,
+	}
+}
+
+// StatsJSON serializes Stats for OpTenantStats (server.TenantBackend).
+func (s *Service) StatsJSON() ([]byte, error) { return json.Marshal(s.Stats()) }
+
+// register wires the secmemd_tenant_* family: live-tenant and page-
+// residency gauges plus cumulative fault/swap/COW/churn counters, all
+// read at scrape time under the service mutex (the hot path pays
+// nothing). Re-encryptions are counted by the shard controllers
+// (minor-counter overflows assign a fresh LPID and re-encrypt the page);
+// the tenant family sums them across shards.
+func (s *Service) register(svc *obs.Service, pool *shard.Pool) {
+	reg := svc.Reg
+	reg.GaugeFunc("secmemd_tenant_live", "Live tenant address spaces.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.tenants)) })
+	reg.GaugeFunc("secmemd_tenant_resident_pages", "Tenant pages currently in physical frames.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.mgr.ResidentPages()) })
+	reg.GaugeFunc("secmemd_tenant_swapped_pages", "Tenant pages currently on the swap device.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.mgr.SwappedPages()) })
+	for _, c := range []struct {
+		name, help string
+		get        func() uint64
+	}{
+		{"secmemd_tenant_page_faults_total", "Tenant accesses that faulted a page in.",
+			func() uint64 { return s.mgr.Stats().PageFaults }},
+		{"secmemd_tenant_swap_ins_total", "Tenant pages brought back from the swap device.",
+			func() uint64 { return s.mgr.Stats().SwapIns }},
+		{"secmemd_tenant_swap_outs_total", "Tenant pages pushed to the swap device.",
+			func() uint64 { return s.mgr.Stats().SwapOuts }},
+		{"secmemd_tenant_cow_breaks_total", "Copy-on-write splits (LPID-fresh page copies through the controller).",
+			func() uint64 { return s.mgr.Stats().COWBreaks }},
+		{"secmemd_tenant_created_total", "Tenants created.", func() uint64 { return s.c.Created }},
+		{"secmemd_tenant_destroyed_total", "Tenants destroyed.", func() uint64 { return s.c.Destroyed }},
+		{"secmemd_tenant_forked_total", "Tenant forks (copy-on-write clones).", func() uint64 { return s.c.Forked }},
+		{"secmemd_tenant_pressure_evictions_total", "Pages evicted by the resident-set budget controller.",
+			func() uint64 { return s.c.PressureEvictions }},
+		{"secmemd_tenant_evict_failures_total", "Pressure evictions that found nothing evictable.",
+			func() uint64 { return s.c.EvictFailures }},
+		{"secmemd_tenant_tamper_refused_total", "Tenant operations refused because a swapped page image failed PRD verification.",
+			func() uint64 { return s.c.TamperRefused }},
+	} {
+		get := c.get
+		reg.CounterFunc(c.name, c.help, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(get())
+		})
+	}
+	reg.CounterFunc("secmemd_tenant_reencrypts_total",
+		"Minor-counter overflow page re-encryptions across all shard controllers (each assigns a fresh LPID).",
+		func() float64 {
+			var n uint64
+			for _, cs := range pool.CoreStats() {
+				n += cs.PageReencrypts
+			}
+			return float64(n)
+		})
+}
+
+// WriteMetrics appends the tenant layer's scrape-time section: the raw
+// vm.Stats view of the substrate (faults, swaps, COW breaks, TLB and
+// frame occupancy). The /metrics handler concatenates it after the
+// registry exposition and the pool section.
+func (s *Service) WriteMetrics(w io.Writer) {
+	s.mu.Lock()
+	st := s.mgr.Stats()
+	s.mu.Unlock()
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"secmemd_vm_page_faults_total", "VM page faults (demand fault-ins).", st.PageFaults},
+		{"secmemd_vm_swap_ins_total", "VM pages swapped in.", st.SwapIns},
+		{"secmemd_vm_swap_outs_total", "VM pages swapped out.", st.SwapOuts},
+		{"secmemd_vm_cow_breaks_total", "VM copy-on-write splits.", st.COWBreaks},
+		{"secmemd_vm_evictions_total", "VM frame evictions.", st.Evictions},
+		{"secmemd_vm_tlb_hits_total", "VM TLB hits.", st.TLBHits},
+		{"secmemd_vm_tlb_misses_total", "VM TLB misses.", st.TLBMisses},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
+	fmt.Fprintf(w, "# HELP secmemd_vm_frames_in_use Physical frames currently allocated.\n# TYPE secmemd_vm_frames_in_use gauge\nsecmemd_vm_frames_in_use %d\n", st.FramesInUse)
+}

@@ -1,0 +1,237 @@
+package tenant
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/obs"
+	"aisebmt/internal/shard"
+)
+
+func newPool(t *testing.T, svc *obs.Service) *shard.Pool {
+	t.Helper()
+	pool, err := shard.New(shard.Config{
+		Shards: 4,
+		Obs:    svc,
+		Core: core.Config{
+			DataBytes:  256 * layout.PageSize,
+			MACBits:    64,
+			Key:        []byte("0123456789abcdef"),
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  64,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	return pool
+}
+
+func TestCreateReadWriteDestroy(t *testing.T) {
+	s := New(Config{Pool: newPool(t, nil)})
+	ctx := context.Background()
+	id, err := s.Create(ctx, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xa5}, 3*layout.PageSize)
+	if err := s.Write(ctx, id, layout.PageSize/2, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(ctx, id, layout.PageSize/2, len(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back wrong bytes")
+	}
+	// Fresh pages read as zero.
+	z, err := s.Read(ctx, id, 7*layout.PageSize, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(z, make([]byte, 16)) {
+		t.Fatal("fresh page not zero")
+	}
+	if err := s.Destroy(ctx, id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(ctx, id, 0, 1, 0); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("read after destroy: %v", err)
+	}
+	if st := s.Stats(); st.Live != 0 || st.ResidentPages != 0 {
+		t.Fatalf("leak after destroy: %+v", st)
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	s := New(Config{Pool: newPool(t, nil)})
+	ctx := context.Background()
+	id, err := s.Create(ctx, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(ctx, id, 2*layout.PageSize, 1, 0); err == nil {
+		t.Fatal("read past the mapped region succeeded")
+	}
+	if err := s.Write(ctx, id, layout.PageSize, make([]byte, layout.PageSize+1), 0); err == nil {
+		t.Fatal("write past the mapped region succeeded")
+	}
+	if _, err := s.Create(ctx, 0, 0); err == nil {
+		t.Fatal("zero-page tenant created")
+	}
+	if _, err := s.Create(ctx, MaxPages+1, 0); err == nil {
+		t.Fatal("oversized tenant created")
+	}
+}
+
+func TestForkCOWIsolation(t *testing.T) {
+	s := New(Config{Pool: newPool(t, nil)})
+	ctx := context.Background()
+	parent, err := s.Create(ctx, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := bytes.Repeat([]byte{0x11}, layout.PageSize)
+	if err := s.Write(ctx, parent, 0, orig, 0); err != nil {
+		t.Fatal(err)
+	}
+	child, err := s.Fork(ctx, parent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child sees the parent's data, then diverges on write.
+	got, err := s.Read(ctx, child, 0, layout.PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, orig) {
+		t.Fatal("child does not see parent data after fork")
+	}
+	mut := bytes.Repeat([]byte{0x22}, 64)
+	if err := s.Write(ctx, child, 0, mut, 0); err != nil {
+		t.Fatal(err)
+	}
+	pgot, err := s.Read(ctx, parent, 0, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pgot, orig[:64]) {
+		t.Fatal("child write leaked into parent (COW not broken)")
+	}
+	if st := s.Stats(); st.VM.COWBreaks == 0 {
+		t.Fatal("no COW break counted")
+	}
+	if err := s.Destroy(ctx, child, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Destroy(ctx, parent, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPressureSwapsAndVerifiesOnReturn(t *testing.T) {
+	s := New(Config{Pool: newPool(t, nil), ResidentPages: 8})
+	ctx := context.Background()
+	id, err := s.Create(ctx, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill every page with a distinct pattern; the 8-frame budget forces
+	// most of the working set through the swap device.
+	for p := 0; p < 32; p++ {
+		fill := bytes.Repeat([]byte{byte(p + 1)}, layout.PageSize)
+		if err := s.Write(ctx, id, uint64(p)*layout.PageSize, fill, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.ResidentPages > 8 {
+		t.Fatalf("resident set %d exceeds budget 8", st.ResidentPages)
+	}
+	if st.SwappedPages == 0 || st.Cums.PressureEvictions == 0 {
+		t.Fatalf("no swap pressure recorded: %+v", st)
+	}
+	// Sweep back: every page must fault in through the PRD and verify.
+	for p := 0; p < 32; p++ {
+		got, err := s.Read(ctx, id, uint64(p)*layout.PageSize, layout.PageSize, 0)
+		if err != nil {
+			t.Fatalf("page %d: %v", p, err)
+		}
+		if got[0] != byte(p+1) || got[layout.PageSize-1] != byte(p+1) {
+			t.Fatalf("page %d corrupted after swap round-trip", p)
+		}
+	}
+	if st := s.Stats(); st.VM.SwapIns == 0 || st.VM.PageFaults == 0 {
+		t.Fatalf("sweep did not fault through swap: %+v", st)
+	}
+}
+
+func TestTamperedSwapImageRefused(t *testing.T) {
+	s := New(Config{Pool: newPool(t, nil)})
+	ctx := context.Background()
+	id, err := s.Create(ctx, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := bytes.Repeat([]byte{0x5a}, layout.PageSize)
+	if err := s.Write(ctx, id, 0, secret, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ForceSwapOut(ctx, id, 0); err != nil {
+		t.Fatal(err)
+	}
+	slot := s.SwapSlotOf(id, 0)
+	if slot < 0 {
+		t.Fatal("page not on swap after ForceSwapOut")
+	}
+	img := s.Swap().Image(slot).Clone()
+	img.Data[0][0] ^= 0xff
+	s.Swap().Tamper(slot, img)
+	if _, err := s.Read(ctx, id, 0, 16, 0); !errors.Is(err, core.ErrTampered) {
+		t.Fatalf("tampered swap image not refused: %v", err)
+	}
+	if st := s.Stats(); st.Cums.TamperRefused == 0 {
+		t.Fatal("refusal not counted")
+	}
+}
+
+func TestMetricsRegisterAndLint(t *testing.T) {
+	svc := obs.NewService(4, 64)
+	pool := newPool(t, svc)
+	s := New(Config{Pool: pool, ResidentPages: 4, Obs: svc})
+	ctx := context.Background()
+	id, err := s.Create(ctx, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(ctx, id, 0, make([]byte, 8*layout.PageSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := svc.Reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	s.WriteMetrics(&b)
+	text := b.String()
+	for _, want := range []string{
+		"secmemd_tenant_live 1",
+		"secmemd_tenant_swap_outs_total",
+		"secmemd_tenant_pressure_evictions_total",
+		"secmemd_vm_page_faults_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+	if errs := obs.Lint(text, "secmemd_"); len(errs) != 0 {
+		t.Fatalf("lint: %v", errs)
+	}
+}

@@ -22,6 +22,43 @@ import (
 // PID identifies a process.
 type PID uint32
 
+// Backing is the physical memory a Manager manages. core.SecureMemory is
+// the single-controller case (NewManager wraps it); the service layer
+// adapts the sharded pool, where page-interleaved placement splits the
+// frame space into swap-placement groups: a page image swapped out of one
+// shard must swap back into a frame of the same shard, because its page
+// root lives in that shard's Page Root Directory. SwapGroups reports the
+// number of such groups (1 when placement is unconstrained); a frame's
+// group is its page number modulo SwapGroups, and swap slots passed to
+// SwapOut/SwapIn are local to the group of the page being moved.
+type Backing interface {
+	Read(addr layout.Addr, dst []byte, meta core.Meta) error
+	Write(addr layout.Addr, src []byte, meta core.Meta) error
+	SwapOut(pageAddr layout.Addr, slot int) (*core.PageImage, error)
+	SwapIn(img *core.PageImage, pageAddr layout.Addr, slot int) error
+	DataBytes() uint64
+	SwapGroups() int
+}
+
+// singleBacking adapts a core.SecureMemory: one controller, one
+// unconstrained swap-placement group.
+type singleBacking struct{ sm *core.SecureMemory }
+
+func (b singleBacking) Read(a layout.Addr, dst []byte, meta core.Meta) error {
+	return b.sm.Read(a, dst, meta)
+}
+func (b singleBacking) Write(a layout.Addr, src []byte, meta core.Meta) error {
+	return b.sm.Write(a, src, meta)
+}
+func (b singleBacking) SwapOut(a layout.Addr, slot int) (*core.PageImage, error) {
+	return b.sm.SwapOut(a, slot)
+}
+func (b singleBacking) SwapIn(img *core.PageImage, a layout.Addr, slot int) error {
+	return b.sm.SwapIn(img, a, slot)
+}
+func (b singleBacking) DataBytes() uint64 { return b.sm.DataBytes() }
+func (b singleBacking) SwapGroups() int   { return 1 }
+
 // Stats counts VM events.
 type Stats struct {
 	PageFaults  uint64
@@ -65,33 +102,58 @@ type Process struct {
 
 // SwapDevice is the untrusted disk's swap area: it stores page images by
 // slot. Attackers can read and replace images freely (see Tamper).
+//
+// Slots are partitioned into one namespace per swap-placement group of
+// the backing (one group, i.e. flat slot numbers, for a single
+// controller): slot g*slotsPerGroup+k is the group-local slot k of group
+// g, mirroring the per-shard Page Root Directories of a sharded backing.
 type SwapDevice struct {
-	slots map[int]*core.PageImage
-	free  []int
+	slots         map[int]*core.PageImage
+	free          [][]int // per-group free lists of device-wide slot numbers
+	slotsPerGroup int
 }
 
-// NewSwapDevice creates a device with the given slot capacity.
-func NewSwapDevice(capacity int) *SwapDevice {
-	d := &SwapDevice{slots: make(map[int]*core.PageImage)}
-	for i := capacity - 1; i >= 0; i-- {
-		d.free = append(d.free, i)
+// NewSwapDevice creates a single-group device with the given slot capacity.
+func NewSwapDevice(capacity int) *SwapDevice { return newGroupedSwapDevice(1, capacity) }
+
+func newGroupedSwapDevice(groups, slotsPerGroup int) *SwapDevice {
+	d := &SwapDevice{
+		slots:         make(map[int]*core.PageImage),
+		free:          make([][]int, groups),
+		slotsPerGroup: slotsPerGroup,
+	}
+	for g := 0; g < groups; g++ {
+		for i := slotsPerGroup - 1; i >= 0; i-- {
+			d.free[g] = append(d.free[g], g*slotsPerGroup+i)
+		}
 	}
 	return d
 }
 
-func (d *SwapDevice) alloc() (int, error) {
-	if len(d.free) == 0 {
+func (d *SwapDevice) alloc(group int) (int, error) {
+	if len(d.free[group]) == 0 {
 		return 0, errors.New("vm: swap device full")
 	}
-	s := d.free[len(d.free)-1]
-	d.free = d.free[:len(d.free)-1]
+	fl := d.free[group]
+	s := fl[len(fl)-1]
+	d.free[group] = fl[:len(fl)-1]
 	return s, nil
 }
 
 func (d *SwapDevice) release(slot int) {
 	delete(d.slots, slot)
-	d.free = append(d.free, slot)
+	g := slot / d.slotsPerGroup
+	d.free[g] = append(d.free[g], slot)
 }
+
+// groupOf returns the swap-placement group owning a device-wide slot.
+func (d *SwapDevice) groupOf(slot int) int { return slot / d.slotsPerGroup }
+
+// localOf returns a slot's index inside its group's directory.
+func (d *SwapDevice) localOf(slot int) int { return slot % d.slotsPerGroup }
+
+// Used reports how many slots currently hold a page image.
+func (d *SwapDevice) Used() int { return len(d.slots) }
 
 // Image returns the stored image for a slot (attacker view).
 func (d *SwapDevice) Image(slot int) *core.PageImage { return d.slots[slot] }
@@ -101,8 +163,11 @@ func (d *SwapDevice) Tamper(slot int, img *core.PageImage) { d.slots[slot] = img
 
 // Manager is the virtual memory manager.
 type Manager struct {
-	sm      *core.SecureMemory
+	mem     Backing
+	sm      *core.SecureMemory // non-nil only when built by NewManager
+	groups  int                // swap-placement groups of the backing
 	frames  []frameInfo
+	inUse   int // frames currently allocated
 	procs   map[PID]*Process
 	swap    *SwapDevice
 	tlb     *TLB
@@ -115,12 +180,27 @@ type Manager struct {
 // swap device; it must not exceed the controller's SwapSlots when the
 // scheme supports swapping.
 func NewManager(sm *core.SecureMemory, swapSlots int) *Manager {
-	nframes := int(sm.DataBytes() / layout.PageSize)
+	m := NewManagerOver(singleBacking{sm}, swapSlots)
+	m.sm = sm
+	return m
+}
+
+// NewManagerOver builds a VM manager over any backing. slotsPerGroup
+// bounds each swap-placement group's slice of the swap device; it must
+// not exceed the backing's per-group Page Root Directory capacity when
+// the scheme supports swapping.
+func NewManagerOver(b Backing, slotsPerGroup int) *Manager {
+	nframes := int(b.DataBytes() / layout.PageSize)
+	groups := b.SwapGroups()
+	if groups < 1 {
+		groups = 1
+	}
 	return &Manager{
-		sm:     sm,
+		mem:    b,
+		groups: groups,
 		frames: make([]frameInfo, nframes),
 		procs:  make(map[PID]*Process),
-		swap:   NewSwapDevice(swapSlots),
+		swap:   newGroupedSwapDevice(groups, slotsPerGroup),
 		tlb:    NewTLB(64),
 	}
 }
@@ -129,18 +209,24 @@ func NewManager(sm *core.SecureMemory, swapSlots int) *Manager {
 func (m *Manager) Stats() Stats {
 	st := m.stats
 	st.TLBHits, st.TLBMisses = m.tlb.Hits, m.tlb.Misses
-	for _, f := range m.frames {
-		if f.used {
-			st.FramesInUse++
-		}
-	}
+	st.FramesInUse = m.inUse
 	return st
 }
+
+// ResidentPages reports how many physical frames are currently allocated.
+func (m *Manager) ResidentPages() int { return m.inUse }
+
+// SwappedPages reports how many pages currently live on the swap device.
+func (m *Manager) SwappedPages() int { return m.swap.Used() }
+
+// Processes reports how many live address spaces the manager holds.
+func (m *Manager) Processes() int { return len(m.procs) }
 
 // Swap exposes the swap device (the attack surface on disk).
 func (m *Manager) Swap() *SwapDevice { return m.swap }
 
-// Memory exposes the underlying secure memory controller.
+// Memory exposes the underlying secure memory controller when the manager
+// was built over one (nil when the backing is a service-layer adapter).
 func (m *Manager) Memory() *core.SecureMemory { return m.sm }
 
 // NewProcess creates an empty address space.
@@ -156,30 +242,38 @@ func frameAddr(frame int) layout.Addr {
 	return layout.Addr(uint64(frame) * layout.PageSize)
 }
 
-// allocFrame finds a free frame, evicting a victim to swap if none is free.
-func (m *Manager) allocFrame() (int, error) {
+// groupOfFrame returns a frame's swap-placement group.
+func (m *Manager) groupOfFrame(frame int) int { return frame % m.groups }
+
+// allocFrame finds a free frame, evicting a victim to swap if none is
+// free. group constrains the frame's swap-placement group; -1 means any
+// (fresh pages and COW copies can land anywhere, but a swap-in must
+// return to the group whose directory holds the page's root).
+func (m *Manager) allocFrame(group int) (int, error) {
 	for i := range m.frames {
-		if !m.frames[i].used {
+		if !m.frames[i].used && (group < 0 || m.groupOfFrame(i) == group) {
 			m.frames[i].used = true
+			m.inUse++
 			m.fifo = append(m.fifo, i)
 			return i, nil
 		}
 	}
-	if err := m.evictOne(); err != nil {
+	if err := m.evictOne(group); err != nil {
 		return 0, err
 	}
-	return m.allocFrame()
+	return m.allocFrame(group)
 }
 
-// evictOne pushes the oldest allocated, unpinned frame to swap.
-func (m *Manager) evictOne() error {
+// evictOne pushes the oldest allocated, unpinned frame (of the given
+// swap-placement group; -1 means any) to swap.
+func (m *Manager) evictOne(group int) error {
 	for scanned := 0; scanned <= len(m.fifo) && len(m.fifo) > 0; scanned++ {
 		victim := m.fifo[0]
 		m.fifo = m.fifo[1:]
 		if !m.frames[victim].used {
 			continue
 		}
-		if m.frames[victim].pinned {
+		if m.frames[victim].pinned || (group >= 0 && m.groupOfFrame(victim) != group) {
 			m.fifo = append(m.fifo, victim) // retry later, keep FIFO position
 			continue
 		}
@@ -188,12 +282,18 @@ func (m *Manager) evictOne() error {
 	return errors.New("vm: no evictable frame")
 }
 
+// EvictOne swaps out the oldest evictable frame. The service layer's
+// memory-pressure controller calls it to trim the resident set below its
+// budget; an error means nothing could be evicted (all pinned, swap full,
+// or the scheme does not support swap).
+func (m *Manager) EvictOne() error { return m.evictOne(-1) }
+
 func (m *Manager) swapOutFrame(frame int) error {
-	slot, err := m.swap.alloc()
+	slot, err := m.swap.alloc(m.groupOfFrame(frame))
 	if err != nil {
 		return err
 	}
-	img, err := m.sm.SwapOut(frameAddr(frame), slot)
+	img, err := m.mem.SwapOut(frameAddr(frame), m.swap.localOf(slot))
 	if err != nil {
 		m.swap.release(slot)
 		return fmt.Errorf("vm: swap-out of frame %d: %w", frame, err)
@@ -207,23 +307,26 @@ func (m *Manager) swapOutFrame(frame int) error {
 		m.tlb.InvalidatePage(o.pid, o.vpn)
 	}
 	m.frames[frame] = frameInfo{}
+	m.inUse--
 	m.stats.SwapOuts++
 	m.stats.Evictions++
 	return nil
 }
 
-// swapInPage brings the page behind a PTE into a (possibly new) frame.
+// swapInPage brings the page behind a PTE into a (possibly new) frame of
+// the swap-placement group whose directory holds the page's root.
 func (m *Manager) swapInPage(e *pte, o owner) error {
 	img := m.swap.slots[e.swapSlot]
 	if img == nil {
 		return fmt.Errorf("vm: swap slot %d empty", e.swapSlot)
 	}
-	frame, err := m.allocFrame()
+	frame, err := m.allocFrame(m.swap.groupOf(e.swapSlot))
 	if err != nil {
 		return err
 	}
-	if err := m.sm.SwapIn(img, frameAddr(frame), e.swapSlot); err != nil {
+	if err := m.mem.SwapIn(img, frameAddr(frame), m.swap.localOf(e.swapSlot)); err != nil {
 		m.frames[frame] = frameInfo{}
+		m.inUse--
 		return fmt.Errorf("vm: swap-in: %w", err)
 	}
 	slot := e.swapSlot
@@ -258,7 +361,7 @@ func (m *Manager) Map(p *Process, vaddr uint64, npages int) error {
 		}
 	}
 	for i := 0; i < npages; i++ {
-		frame, err := m.allocFrame()
+		frame, err := m.allocFrame(-1)
 		if err != nil {
 			return err
 		}
@@ -274,7 +377,7 @@ func (m *Manager) Map(p *Process, vaddr uint64, npages int) error {
 
 func (m *Manager) zeroPage(frame int, pid PID, vaddr uint64) error {
 	zero := make([]byte, layout.PageSize)
-	return m.sm.Write(frameAddr(frame), zero, core.Meta{VirtAddr: vaddr, PID: uint32(pid)})
+	return m.mem.Write(frameAddr(frame), zero, core.Meta{VirtAddr: vaddr, PID: uint32(pid)})
 }
 
 // Unmap releases a process's mapping of npages at vaddr, freeing frames
@@ -322,6 +425,7 @@ func (m *Manager) dropOwner(frame int, pid PID, vpn uint64) {
 	}
 	if len(f.owners) == 0 {
 		*f = frameInfo{}
+		m.inUse--
 	}
 }
 
@@ -372,16 +476,16 @@ func (m *Manager) breakCOW(p *Process, vpn uint64, e *pte) error {
 	// eviction, and the victim must never be the frame being copied.
 	m.frames[e.frame].pinned = true
 	defer func(f int) { m.frames[f].pinned = false }(e.frame)
-	newFrame, err := m.allocFrame()
+	newFrame, err := m.allocFrame(-1)
 	if err != nil {
 		return err
 	}
 	buf := make([]byte, layout.PageSize)
 	meta := core.Meta{VirtAddr: vpn * layout.PageSize, PID: uint32(p.PID)}
-	if err := m.sm.Read(frameAddr(e.frame), buf, meta); err != nil {
+	if err := m.mem.Read(frameAddr(e.frame), buf, meta); err != nil {
 		return fmt.Errorf("vm: COW read: %w", err)
 	}
-	if err := m.sm.Write(frameAddr(newFrame), buf, meta); err != nil {
+	if err := m.mem.Write(frameAddr(newFrame), buf, meta); err != nil {
 		return fmt.Errorf("vm: COW write: %w", err)
 	}
 	m.dropOwner(e.frame, p.PID, vpn)
@@ -456,7 +560,7 @@ func (m *Manager) Read(p *Process, vaddr uint64, buf []byte) error {
 		if n > len(buf) {
 			n = len(buf)
 		}
-		if err := m.sm.Read(pa, buf[:n], core.Meta{VirtAddr: vaddr, PID: uint32(p.PID)}); err != nil {
+		if err := m.mem.Read(pa, buf[:n], core.Meta{VirtAddr: vaddr, PID: uint32(p.PID)}); err != nil {
 			return err
 		}
 		buf = buf[n:]
@@ -476,7 +580,7 @@ func (m *Manager) Write(p *Process, vaddr uint64, buf []byte) error {
 		if n > len(buf) {
 			n = len(buf)
 		}
-		if err := m.sm.Write(pa, buf[:n], core.Meta{VirtAddr: vaddr, PID: uint32(p.PID)}); err != nil {
+		if err := m.mem.Write(pa, buf[:n], core.Meta{VirtAddr: vaddr, PID: uint32(p.PID)}); err != nil {
 			return err
 		}
 		buf = buf[n:]

@@ -1,0 +1,19 @@
+#!/bin/sh
+# bench_tenants.sh — run the multi-tenant benchmark suites and leave
+# BENCH_tenants.json in the repo root. loadgen spawns its own
+# tenant-enabled daemons (one per suite: lifecycle churn, swap pressure
+# under a resident-set budget, counter-overflow re-encryption storm), so
+# no externally started secmemd is needed. Used by `make bench-tenants`.
+set -eu
+
+cd "$(dirname "$0")/.."
+DURATION="${DURATION:-3s}"
+
+go build -o /tmp/secmemd ./cmd/secmemd
+go build -o /tmp/loadgen ./cmd/loadgen
+
+# loadgen exits non-zero if any suite fails its hard assertions: zero
+# acknowledged-write loss across swap, the resident budget held, COW
+# breaks observed, and counter overflow forcing fresh-LPID
+# re-encryptions.
+/tmp/loadgen -tenant-bench -secmemd /tmp/secmemd -duration "$DURATION" -json
