@@ -26,6 +26,11 @@
 #                        kill-the-owner failover phase, BENCH_cluster.json
 #   make cluster-smoke   the same at CI sizes (short duration, small pool);
 #                        CI runs this after check
+#   make lifecycle-smoke cluster lifecycle end-to-end over real daemons:
+#                        admin join via the wire op, kill-the-owner failover
+#                        with automatic re-replication, fenced rejoin of the
+#                        stale member, admin leave with verified handoff;
+#                        CI runs this after the cluster smoke
 #   make cluster         run a local 3-node cluster + router in the
 #                        foreground (the README quickstart); Ctrl-C stops it
 #   make chaos           deterministic fault-injection matrix (cmd/chaos):
@@ -43,7 +48,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-smoke chaos chaos-smoke metrics-smoke bench-cluster cluster-smoke cluster tenant-smoke bench-tenants
+.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-smoke chaos chaos-smoke metrics-smoke bench-cluster cluster-smoke lifecycle-smoke cluster tenant-smoke bench-tenants
 
 check: vet build test race
 
@@ -99,6 +104,9 @@ bench-cluster: build
 
 cluster-smoke: build
 	DURATION=1s MEM=4MiB CONNS=4 ./scripts/bench_cluster.sh
+
+lifecycle-smoke: build
+	./scripts/lifecycle_smoke.sh
 
 cluster: build
 	./scripts/cluster_local.sh

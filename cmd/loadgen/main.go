@@ -706,10 +706,15 @@ type clusterOutput struct {
 type failoverResult struct {
 	Victim     string  `json:"victim"`
 	RecoveryMs float64 `json:"recovery_to_first_byte_ms"`
-	AckedOps   uint64  `json:"acked_writes"`
-	Verified   int     `json:"addresses_verified"`
-	Lost       int     `json:"acked_writes_lost"`
-	Promotions float64 `json:"promotions"`
+	// RereplMs is the single-copy window: the promoter's own measurement
+	// from promotion to the verified re-replication standby attaching on
+	// a survivor. RereplTries counts the attach attempts it took.
+	RereplMs    float64 `json:"rerepl_window_ms"`
+	RereplTries float64 `json:"rerepl_attach_attempts"`
+	AckedOps    uint64  `json:"acked_writes"`
+	Verified    int     `json:"addresses_verified"`
+	Lost        int     `json:"acked_writes_lost"`
+	Promotions  float64 `json:"promotions"`
 }
 
 // clusterMembers allocates scratch loopback addresses for an n-node
@@ -945,6 +950,37 @@ func runClusterBench(bin, memSize string, conns int, duration time.Duration, see
 	out.Failover.RecoveryMs = float64(time.Since(killT).Microseconds()) / 1e3
 	psc.Close()
 	fmt.Printf("recovery to first byte: %.1fms\n", out.Failover.RecoveryMs)
+
+	// The promoted range must close its single-copy window on its own:
+	// the promoter re-replicates onto a survivor and exports the window
+	// it measured from promotion to the verified standby attach.
+	rereplT := time.Now()
+	for {
+		closed := false
+		for _, m := range members {
+			if m.ID == victim {
+				continue
+			}
+			samples, err := fetchSamples("http://" + m.Health)
+			if err != nil {
+				continue
+			}
+			if samples["secmemd_cluster_rerepl_attached"] >= 1 {
+				out.Failover.RereplMs = samples["secmemd_cluster_rerepl_window_ms"]
+				out.Failover.RereplTries = samples["secmemd_cluster_rerepl_attach_attempts_total"]
+				closed = true
+			}
+		}
+		if closed {
+			break
+		}
+		if time.Since(rereplT) > 30*time.Second {
+			fatalf("promoted range never re-replicated: single-copy window unbounded")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fmt.Printf("re-replication window: %.1fms single-copy (%.0f attach attempt(s))\n",
+		out.Failover.RereplMs, out.Failover.RereplTries)
 
 	time.Sleep(time.Second)
 	close(stop)

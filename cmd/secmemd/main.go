@@ -83,6 +83,8 @@ func main() {
 	clusterID := flag.String("cluster-id", "", "this node's member ID; enables cluster mode (requires -cluster and -data-dir)")
 	clusterList := flag.String("cluster", "", "static membership: comma-separated id=wire/health/repl entries")
 	clusterProxy := flag.Bool("cluster-proxy", false, "forward misrouted requests to their owner instead of answering NotOwner")
+	clusterJoinAddr := flag.String("cluster-join", "", "seed member's repl address: bootstrap membership from its sealed view instead of -cluster (waits until an admin admits -cluster-id via the cluster-join wire op)")
+	rereplGrace := flag.Duration("rerepl-grace", 0, "bound on the single-copy grace window after a promotion before writes stall on re-replication (0 = default)")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -124,17 +126,47 @@ func main() {
 	var (
 		clusterMembers []cluster.Member
 		clusterSelf    cluster.Member
+		clusterView    *cluster.View
 	)
 	if *clusterID != "" {
-		if *clusterList == "" {
-			logger.Fatalf("-cluster-id requires -cluster")
+		if *clusterList == "" && *clusterJoinAddr == "" {
+			logger.Fatalf("-cluster-id requires -cluster or -cluster-join")
 		}
 		if *dataDir == "" {
 			logger.Fatalf("cluster mode requires -data-dir: replication ships sealed WAL segments")
 		}
-		clusterMembers, err = cluster.ParseMembers(*clusterList)
-		if err != nil {
-			logger.Fatalf("-cluster: %v", err)
+		if *clusterJoinAddr != "" {
+			// Join bootstrap: the seed's sealed view is the membership. An
+			// admin admits this ID on a live member (cluster-join wire op);
+			// until that lands we are not in the view, so poll.
+			waiting := false
+			for {
+				v, ferr := cluster.FetchView(*clusterJoinAddr, key, 5*time.Second)
+				if ferr == nil {
+					listed := false
+					for _, m := range v.Members {
+						if m.ID == *clusterID {
+							listed = true
+							break
+						}
+					}
+					if listed {
+						clusterView, clusterMembers = v, v.Members
+						break
+					}
+				}
+				if !waiting {
+					logger.Printf("cluster: waiting for %q to be admitted at seed %s (err=%v)", *clusterID, *clusterJoinAddr, ferr)
+					waiting = true
+				}
+				time.Sleep(2 * time.Second)
+			}
+			logger.Printf("cluster: joined view epoch %d via seed %s (%d members)", clusterView.Epoch, *clusterJoinAddr, len(clusterMembers))
+		} else {
+			clusterMembers, err = cluster.ParseMembers(*clusterList)
+			if err != nil {
+				logger.Fatalf("-cluster: %v", err)
+			}
 		}
 		found := false
 		for _, m := range clusterMembers {
@@ -150,9 +182,10 @@ func main() {
 		if *healthAddr == "" {
 			*healthAddr = clusterSelf.Health
 		}
-		// A background snapshot rotates the WAL epoch, which forces the
-		// follower to re-baseline (writes stall until it re-attaches), so
-		// periodic snapshots default off in cluster mode unless asked for.
+		// A background snapshot rotates the WAL epoch; the shipper's rotate
+		// hook re-baselines its follower after each checkpoint (writes stall
+		// briefly until it re-attaches), so periodic snapshots are safe but
+		// still default off in cluster mode unless asked for.
 		snapSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "snapshot-every" {
@@ -162,7 +195,7 @@ func main() {
 		if !snapSet {
 			*snapEvery = 0
 		} else if *snapEvery > 0 {
-			logger.Printf("cluster: note: -snapshot-every=%s rotates the WAL epoch and forces a follower re-baseline each period", *snapEvery)
+			logger.Printf("cluster: note: -snapshot-every=%s rotates the WAL epoch; the replication stream re-baselines its follower after each checkpoint", *snapEvery)
 		}
 	}
 
@@ -304,6 +337,8 @@ func main() {
 			Fsync:        fsyncPolicy,
 			ReplListener: replLn,
 			Proxy:        *clusterProxy,
+			RereplGrace:  *rereplGrace,
+			InitialView:  clusterView,
 			Obs:          obsSvc,
 			Logf:         logger.Printf,
 		})

@@ -40,6 +40,9 @@ func main() {
 	probeEvery := flag.Duration("probe-every", time.Second, "member health poll period")
 	drain := flag.Duration("drain", 10*time.Second, "connection drain budget at shutdown")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -health address")
+	adminOp := flag.String("admin", "", "one-shot membership admin op instead of routing: view, join, leave or remove")
+	adminTarget := flag.String("target", "", "wire address of the member to run the -admin op on")
+	adminArg := flag.String("arg", "", "argument for -admin: join takes the new member's id=wire/health/repl spec, leave/remove the member ID")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -50,6 +53,10 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "secmemrouter: ", log.LstdFlags)
+	if *adminOp != "" {
+		runAdmin(logger, *adminOp, *adminTarget, *adminArg, *timeout)
+		return
+	}
 	if *clusterList == "" {
 		logger.Fatalf("-cluster is required")
 	}
@@ -122,4 +129,48 @@ func main() {
 	case err := <-serveErr:
 		logger.Fatalf("serve: %v", err)
 	}
+}
+
+// runAdmin executes one membership operation against a member's wire
+// port and prints the resulting view as JSON. Leave hands every range
+// off before it returns, so the request deadline gets a generous floor.
+func runAdmin(logger *log.Logger, op, target, arg string, timeout time.Duration) {
+	if target == "" {
+		logger.Fatalf("-admin requires -target (a member's wire address)")
+	}
+	c, err := server.Dial(target, timeout)
+	if err != nil {
+		logger.Fatalf("dial %s: %v", target, err)
+	}
+	defer c.Close()
+	if timeout < 2*time.Minute {
+		timeout = 2 * time.Minute
+	}
+	c.SetRequestDeadline(timeout)
+	var view []byte
+	switch op {
+	case "view":
+		view, err = c.ClusterView()
+	case "join":
+		if arg == "" {
+			logger.Fatalf("-admin join requires -arg id=wire/health/repl")
+		}
+		view, err = c.ClusterJoin(arg)
+	case "leave":
+		if arg == "" {
+			logger.Fatalf("-admin leave requires -arg <member-id> (the id of the -target member)")
+		}
+		view, err = c.ClusterLeave(arg)
+	case "remove":
+		if arg == "" {
+			logger.Fatalf("-admin remove requires -arg <member-id>")
+		}
+		view, err = c.ClusterRemove(arg)
+	default:
+		logger.Fatalf("-admin %q: want view, join, leave or remove", op)
+	}
+	if err != nil {
+		logger.Fatalf("cluster-%s: %v", op, err)
+	}
+	fmt.Printf("%s\n", view)
 }

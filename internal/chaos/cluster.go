@@ -24,8 +24,9 @@ import (
 // and hold it to the cluster-wide invariant: no acknowledged write is
 // ever lost, no matter which member dies or which links drop.
 var ClusterScenarios = []string{
-	"node-kill", // SIGKILL-equivalent on a random member under load
-	"partition", // isolate a member from its peers; fencing must depose it
+	"node-kill",   // SIGKILL-equivalent on a random member under load
+	"partition",   // isolate a member from its peers; fencing must depose it
+	"kill-rejoin", // crash, fail over, then restart the stale member: it must rejoin fenced
 }
 
 // ClusterConfig sizes a cluster chaos run.
@@ -47,6 +48,7 @@ type ClusterStats struct {
 	Kills       int `json:"kills"`
 	Partitions  int `json:"partitions"`
 	Fenced      int `json:"fenced_members"`
+	Restarts    int `json:"restarts"`
 	ModelReads  int `json:"model_reads"`
 }
 
@@ -474,6 +476,37 @@ func (h *ClusterHarness) expectFenced(id string, a layout.Addr) error {
 	}
 }
 
+// restart reboots a crashed member on its original addresses and data
+// directory — the stale-data-dir rejoin path. The member comes back
+// convinced it still owns its range; the fencing epoch must depose it
+// before it can acknowledge anything.
+func (h *ClusterHarness) restart(id string) error {
+	cm := h.nodes[id]
+	if !cm.dead {
+		return fmt.Errorf("chaos: restart of live member %s", id)
+	}
+	wire, err := net.Listen("tcp", cm.m.Wire)
+	if err != nil {
+		return fmt.Errorf("chaos: rebind %s wire: %w", id, err)
+	}
+	repl, err := net.Listen("tcp", cm.m.Repl)
+	if err != nil {
+		wire.Close()
+		return fmt.Errorf("chaos: rebind %s repl: %w", id, err)
+	}
+	h.world.mu.Lock()
+	delete(h.world.down, id)
+	h.world.mu.Unlock()
+	nm, err := h.boot(cm.m, wire, repl)
+	if err != nil {
+		return err
+	}
+	h.nodes[id] = nm
+	h.stats.Restarts++
+	h.logf("chaos: restarted member %s on its stale data dir", id)
+	return nil
+}
+
 // ownerOfPage returns the ring owner of global page p.
 func (h *ClusterHarness) ownerOfPage(p uint64) string {
 	return h.client.Owner(layout.Addr(p * layout.PageSize))
@@ -538,6 +571,44 @@ func (h *ClusterHarness) RunCluster(scenario string) error {
 				return err
 			}
 			h.logf("chaos: healed partition; %s is fenced off its range", victim)
+		}
+	case "kill-rejoin":
+		if err := h.burst(12, 10*time.Second); err != nil {
+			return err
+		}
+		live := h.alive()
+		if len(live) < 3 {
+			return fmt.Errorf("chaos: kill-rejoin needs 3 live members, have %d", len(live))
+		}
+		victim := live[h.rng.Intn(len(live))]
+		h.kill(victim)
+		// The follower promotes and the promoted range re-replicates onto
+		// a survivor while writes keep acking.
+		if err := h.burst(12, 20*time.Second); err != nil {
+			return fmt.Errorf("chaos: writes did not recover after killing %s: %w", victim, err)
+		}
+		// Bring the stale member back. It boots believing it owns its
+		// range, but its outbound stream hits the promoted holder's fence
+		// and deposes it: direct writes must answer NotOwner, never ack.
+		if err := h.restart(victim); err != nil {
+			return err
+		}
+		var ownedPage uint64
+		found := false
+		for p := uint64(0); p < h.pages; p++ {
+			if h.ownerOfPage(p) == victim {
+				ownedPage, found = p, true
+				break
+			}
+		}
+		if found {
+			if err := h.expectFenced(victim, layout.Addr(ownedPage*layout.PageSize)); err != nil {
+				return err
+			}
+			h.logf("chaos: %s rejoined fenced off its former range", victim)
+		}
+		if err := h.burst(12, 20*time.Second); err != nil {
+			return fmt.Errorf("chaos: writes did not survive %s rejoining: %w", victim, err)
 		}
 	default:
 		return fmt.Errorf("chaos: unknown cluster scenario %q", scenario)

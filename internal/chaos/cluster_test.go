@@ -7,13 +7,13 @@ import (
 
 // TestClusterChaos drives an in-process 3-node cluster through each
 // cluster scenario — a member killed under load, a member partitioned
-// from its peers — and holds it to the cluster-wide invariant: every
-// acknowledged write survives into whatever topology the faults leave,
-// and a partitioned owner ends up fenced, not split-brained.
+// from its peers, a crashed member restarted on its stale data dir —
+// and holds it to the cluster-wide invariant: every acknowledged write
+// survives into whatever topology the faults leave, and a stale or
+// partitioned owner ends up fenced, not split-brained.
 //
-// Each scenario gets a fresh cluster: promoted ranges run unreplicated
-// (a documented limitation), so compounding failovers onto one cluster
-// would test a state the design explicitly does not cover.
+// Each scenario gets a fresh cluster so seeded runs stay deterministic:
+// the fault schedule, not leftover topology, decides what is tested.
 func TestClusterChaos(t *testing.T) {
 	for _, seed := range []int64{1, 42} {
 		for _, scn := range ClusterScenarios {
@@ -43,6 +43,11 @@ func TestClusterChaos(t *testing.T) {
 				case "partition":
 					if st.Partitions != 1 || st.Fenced != 1 {
 						t.Errorf("want 1 partition and 1 fenced member, got %d/%d", st.Partitions, st.Fenced)
+					}
+				case "kill-rejoin":
+					if st.Kills != 1 || st.Restarts != 1 || st.Fenced != 1 {
+						t.Errorf("want 1 kill, 1 restart, 1 fenced member, got %d/%d/%d",
+							st.Kills, st.Restarts, st.Fenced)
 					}
 				}
 			})

@@ -85,8 +85,27 @@ func (c *SmartClient) drop(addr string) {
 	}
 }
 
+// stallRetries is how many times do() re-asks the SAME node that
+// answered Overloaded before walking on: an overloaded answer usually
+// means the serving node is the right one but momentarily stalled
+// (replication stream re-attaching after a rotation or a promotion's
+// re-replication catching up), so a short jittered wait at the correct
+// node beats hopping to a successor that will just answer NotOwner.
+const stallRetries = 2
+
+// stallBackoff returns the jittered wait before stall retry attempt k
+// (0-based): ~25ms, ~50ms, spread over [base/2, base).
+func stallBackoff(k int) time.Duration {
+	base := 25 * time.Millisecond << uint(k)
+	return base/2 + time.Duration(int64(time.Now().UnixNano())%int64(base/2))
+}
+
 // do walks the candidates for page p: learned redirect, ring owner, then
-// successors, following NotOwner answers, up to maxHops connections.
+// successors, following NotOwner answers. The walk is bounded by the
+// ring size (a redirect chain can legitimately visit a handoff's old and
+// new holder plus successors, but can never need more distinct nodes
+// than the cluster has) — and the `tried` set breaks redirect loops:
+// a node that already answered is never dialed twice in one walk.
 func (c *SmartClient) do(p uint64, op func(cl *server.Client) error) error {
 	ownerID := c.ms.ring.OwnerPage(p)
 	var targets []string
@@ -98,10 +117,11 @@ func (c *SmartClient) do(p uint64, op func(cl *server.Client) error) error {
 	for _, s := range c.ms.Successors(ownerID) {
 		targets = append(targets, s.Wire)
 	}
+	maxWalk := len(c.ms.ids) + 1 // every member once, plus one learned redirect
 	tried := map[string]bool{}
 	var lastErr error
 	hops := 0
-	for i := 0; i < len(targets) && hops < maxHops; i++ {
+	for i := 0; i < len(targets) && hops < maxWalk; i++ {
 		addr := targets[i]
 		if addr == "" || tried[addr] {
 			continue
@@ -113,6 +133,8 @@ func (c *SmartClient) do(p uint64, op func(cl *server.Client) error) error {
 			lastErr = err
 			continue
 		}
+		stalls := 0
+	again:
 		err = op(cl)
 		if err == nil {
 			if addr == m.Wire {
@@ -128,9 +150,17 @@ func (c *SmartClient) do(p uint64, op func(cl *server.Client) error) error {
 			continue
 		}
 		if st, ok := statusOf(err); ok {
+			if st == server.StatusOverloaded && stalls < stallRetries {
+				// Shed retryably by the node itself (admission control, a
+				// stalled replication stream, a promotion in flight): this IS
+				// the serving node, so wait out the stall here first.
+				time.Sleep(stallBackoff(stalls))
+				stalls++
+				goto again
+			}
 			if st.Retryable() {
-				// A transient shed (overloaded, timeout, quarantined): the
-				// node answered, but another candidate may hold a promoted
+				// Still transient after the stall retries (or a shed of a
+				// different kind): another candidate may hold a promoted
 				// copy of this range — keep walking before giving up.
 				lastErr = err
 				continue

@@ -177,14 +177,16 @@ func startCluster(t *testing.T, n int, proxy bool) *testCluster {
 		tc.w.byAddr[m.Repl] = id
 	}
 	for i, m := range tc.members {
-		tc.nodes[m.ID] = tc.boot(m, pres[i].wire, pres[i].repl, proxy)
+		tc.nodes[m.ID] = tc.boot(m, pres[i].wire, pres[i].repl, proxy, nil)
 	}
 	t.Cleanup(tc.shutdown)
 	return tc
 }
 
-// boot builds one member's stack on the given listeners.
-func (tc *testCluster) boot(m Member, wireLn, replLn net.Listener, proxy bool) *testNode {
+// boot builds one member's stack on the given listeners. A non-nil iv
+// boots the member from a fetched view (the join bootstrap) instead of
+// the static member list.
+func (tc *testCluster) boot(m Member, wireLn, replLn net.Listener, proxy bool, iv *View) *testNode {
 	tc.t.Helper()
 	dir := filepath.Join(tc.dir, m.ID, "data")
 	st, err := persist.Open(persist.Options{Dir: dir, Key: testKey, Fsync: persist.FsyncAlways})
@@ -198,6 +200,7 @@ func (tc *testCluster) boot(m Member, wireLn, replLn net.Listener, proxy bool) *
 	node, err := NewNode(Config{
 		Self:          m.ID,
 		Members:       tc.members,
+		InitialView:   iv,
 		Pool:          pool,
 		Store:         st,
 		ShardCfg:      testShardCfg(),

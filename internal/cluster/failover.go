@@ -7,11 +7,17 @@ import (
 	"aisebmt/internal/persist"
 )
 
-// monitor is the failover loop: it probes every peer this node holds a
-// standby for, and after FailAfter consecutive failures promotes the
-// standby — if, and only if, this node is the dead owner's first live
-// successor, so concurrent followers arbitrate deterministically by
-// ring order and at most one of them acts.
+// monitor is the failover loop: it probes the member shipping each
+// standby this node holds, and after FailAfter consecutive failures
+// promotes the standby — if, and only if, the arbitration walk says this
+// node is the responsible survivor, so concurrent standby holders
+// promote at most once per range.
+//
+// It also reaps stale standbys: a standby whose stream is down while its
+// source is demonstrably alive is one the source re-attached somewhere
+// else (or is re-baselining after a rotation) — promoting it later could
+// resurrect state missing acknowledged writes, so it is discarded; the
+// source re-baselines us if it still wants us.
 func (n *Node) monitor() {
 	defer n.wg.Done()
 	fails := map[string]int{}
@@ -23,84 +29,174 @@ func (n *Node) monitor() {
 			return
 		case <-tick.C:
 		}
+		type watch struct {
+			rangeID, src string
+			live         bool
+		}
 		n.mu.Lock()
-		owners := make([]string, 0, len(n.standbys))
-		for o := range n.standbys {
-			owners = append(owners, o)
+		watches := make([]watch, 0, len(n.standbys))
+		for rid, sb := range n.standbys {
+			sb.mu.Lock()
+			live := sb.live
+			sb.mu.Unlock()
+			watches = append(watches, watch{rangeID: rid, src: sb.src, live: live})
 		}
 		n.mu.Unlock()
-		for _, o := range owners {
-			m, _ := n.ms.Member(o)
-			if err := n.cfg.Probe(n.self.ID, m); err != nil {
-				fails[o]++
-			} else {
-				fails[o] = 0
-			}
-			if fails[o] < n.cfg.FailAfter {
+		ms := n.membership()
+		for _, w := range watches {
+			m, known := ms.Member(w.src)
+			up := known && n.cfg.Probe(n.self.ID, m) == nil
+			if up {
+				fails[w.rangeID] = 0
+				if !w.live {
+					// Alive but not streaming to us: it re-attached elsewhere
+					// or is rotating. Our copy can silently go stale — drop it.
+					n.dropStandby(w.rangeID, w.src)
+				}
 				continue
 			}
-			if !n.firstLiveSuccessor(o) {
-				// A member between the dead owner and us is alive; it (or
-				// its own follower chain) is responsible. Keep counting —
-				// if it dies too, responsibility walks down to us.
+			fails[w.rangeID]++
+			if fails[w.rangeID] < n.cfg.FailAfter {
 				continue
 			}
-			fails[o] = 0
-			if err := n.promote(o); err != nil {
-				n.logf("cluster: promote %s: %v", o, err)
+			if !n.mayPromote(w.rangeID, w.src) {
+				// A member ahead of us in the walk is alive and holds this
+				// range; it is responsible. Keep counting — if it dies too,
+				// responsibility walks down to us.
+				continue
 			}
+			fails[w.rangeID] = 0
+			if err := n.promote(w.rangeID); err != nil {
+				n.logf("cluster: promote %s: %v", w.rangeID, err)
+			}
+		}
+		// Forget ranges we no longer watch.
+		for rid := range fails {
+			if n.holdsStandby(rid) {
+				continue
+			}
+			delete(fails, rid)
 		}
 	}
 }
 
-// firstLiveSuccessor reports whether every member between owner and this
-// node in successor order is unreachable — the arbitration rule that
-// keeps two standby holders from both promoting.
-func (n *Node) firstLiveSuccessor(owner string) bool {
-	for _, m := range n.ms.Successors(owner) {
+func (n *Node) holdsStandby(rangeID string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.standbys[rangeID] != nil
+}
+
+// dropStandby discards the standby for rangeID if its source is still
+// src and it is not promoted.
+func (n *Node) dropStandby(rangeID, src string) {
+	n.mu.Lock()
+	sb := n.standbys[rangeID]
+	if sb == nil || sb.src != src {
+		n.mu.Unlock()
+		return
+	}
+	sb.mu.Lock()
+	if sb.live || sb.promoted {
+		sb.mu.Unlock()
+		n.mu.Unlock()
+		return
+	}
+	sb.mu.Unlock()
+	delete(n.standbys, rangeID)
+	n.met.standbys.Set(int64(len(n.standbys)))
+	n.mu.Unlock()
+	sb.pool.Close()
+	n.logf("cluster: dropped stale standby for %s (source %s alive elsewhere)", rangeID, src)
+}
+
+// mayPromote is the arbitration walk for promoting the standby of
+// rangeID after its source src died: walk src's successors in ring
+// order; the first member that is alive AND involved with the range
+// (serving it or holding a standby) is responsible. Members that are
+// alive but hold nothing are skipped — they could never promote, and
+// treating them as responsible would strand the range. We query
+// involvement over the repl port; an unreachable member counts as dead.
+func (n *Node) mayPromote(rangeID, src string) bool {
+	ms := n.membership()
+	for _, m := range ms.Successors(src) {
 		if m.ID == n.self.ID {
 			return true
 		}
-		if n.cfg.Probe(n.self.ID, m) == nil {
+		if n.cfg.Probe(n.self.ID, m) != nil {
+			continue
+		}
+		switch n.queryRange(m, rangeID) {
+		case "serving", "standby":
 			return false
 		}
 	}
 	return true
 }
 
-// promote adopts the standby held for owner: the fencing epoch ratchets
-// past everything the owner ever shipped, the standby pool is bound to a
-// fresh durable store with that fence sealed into its anchor, and the
-// node starts serving the range. From this instant the deposed owner's
-// handshake and segments answer ackFenced everywhere the fence has been
-// seen, and its own write fence kills anything already in its queues.
-func (n *Node) promote(owner string) error {
+// queryRange asks m what it holds for rangeID over the repl port;
+// returns "serving", "standby", "none" or "" (unreachable).
+func (n *Node) queryRange(m Member, rangeID string) string {
+	conn, err := n.cfg.Dialer(n.self.ID, m.Repl)
+	if err != nil {
+		return ""
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(n.cfg.IOTimeout))
+	if err := writeFrame(conn, msgRangeReq, []byte(rangeID)); err != nil {
+		return ""
+	}
+	typ, p, err := readFrame(conn)
+	if err != nil || typ != msgRangeAck {
+		return ""
+	}
+	a, err := decodeAck(p)
+	if err != nil || a.Code != ackOK {
+		return ""
+	}
+	return a.Msg
+}
+
+// promote adopts the standby held for rangeID: the fencing epoch
+// ratchets past everything its previous holder ever shipped, the standby
+// pool is bound to a fresh durable store with that fence (and the
+// current membership epoch) sealed into its anchor, and the node starts
+// serving the range. From this instant the deposed holder's handshake
+// and segments answer ackFenced everywhere the fence has been seen, and
+// its own write fence kills anything already in its queues.
+//
+// Immediately after adoption the range is a single copy, so promote also
+// starts its re-replication shipper: a bounded grace window lets writes
+// through on local durability alone while the shipper lands a standby on
+// this node's own ring successor; then the strict synchronous rule
+// returns.
+func (n *Node) promote(rangeID string) error {
 	n.mu.Lock()
-	sb := n.standbys[owner]
-	if sb == nil || n.promoted[owner] != nil {
+	sb := n.standbys[rangeID]
+	if sb == nil || (n.promoted[rangeID] != nil && n.rangeDeposed[rangeID] == "") {
 		n.mu.Unlock()
 		return nil
 	}
-	delete(n.standbys, owner)
+	delete(n.standbys, rangeID)
 	n.met.standbys.Set(int64(len(n.standbys)))
-	fence := n.fences[owner]
+	fence := n.fences[rangeID]
 	if sb.fence > fence {
 		fence = sb.fence
 	}
 	fence++
-	n.fences[owner] = fence
+	n.fences[rangeID] = fence
 	n.mu.Unlock()
 
 	sb.mu.Lock()
 	sb.promoted = true
 	st, err := persist.Open(persist.Options{
-		Dir:   n.promotedDir(owner, fence),
+		Dir:   n.promotedDir(rangeID, fence),
 		Key:   n.cfg.Key,
 		Fsync: n.cfg.Fsync,
 		Logf:  n.cfg.Logf,
 	})
 	if err == nil {
 		st.SetFence(fence)
+		st.SetMemEpoch(n.curView().Epoch)
 		err = st.Adopt(sb.pool)
 		if err != nil {
 			st.Close()
@@ -110,14 +206,23 @@ func (n *Node) promote(owner string) error {
 	if err != nil {
 		// The range stays unserved (clients bounce off NotOwner and
 		// retries stall) rather than served without durability.
-		return fmt.Errorf("adopt standby of %s under fence %d: %w", owner, fence, err)
+		return fmt.Errorf("adopt standby of %s under fence %d: %w", rangeID, fence, err)
 	}
 
+	sh := newShipper(n, rangeID, st, false)
+	sb.pool.SetWriteFence(n.rangeFence(rangeID))
 	n.mu.Lock()
-	n.promoted[owner] = &promotedRange{owner: owner, pool: sb.pool, store: st, fence: fence}
+	n.promoted[rangeID] = &promotedRange{owner: rangeID, pool: sb.pool, store: st, fence: fence}
+	delete(n.rangeDeposed, rangeID)
+	n.shippers[rangeID] = sh
 	n.met.promoted.Set(int64(len(n.promoted)))
 	n.mu.Unlock()
+	st.SetSegmentSink(sh.sink)
+	st.SetRotateHook(sh.rotated)
+	n.wg.Add(1)
+	go sh.run()
 	n.met.failovers.Inc()
-	n.logf("cluster: promoted standby of %s under fence %d; range served here", owner, fence)
+	n.logf("cluster: promoted standby of %s under fence %d; range served here, re-replicating (grace %s)",
+		rangeID, fence, n.cfg.RereplGrace)
 	return nil
 }

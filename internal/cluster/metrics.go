@@ -23,6 +23,18 @@ type metrics struct {
 	notOwner    *obs.Counter
 	attachTries *obs.Counter
 	resyncs     *obs.Counter
+
+	// Lifecycle: re-replication of promoted ranges, membership views,
+	// handoffs and fenced rejoins.
+	rereplAttached *obs.Gauge
+	rereplWindowMs *obs.Gauge
+	rereplTries    *obs.Counter
+	rereplUnrepl   *obs.Counter
+	rereplStalled  *obs.Counter
+	viewEpoch      *obs.Gauge
+	viewRefused    *obs.Counter
+	handoffs       *obs.Counter
+	rejoins        *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -46,5 +58,15 @@ func newMetrics(reg *obs.Registry) *metrics {
 		notOwner:    reg.Counter("secmemd_cluster_not_owner_total", "Requests answered with a NotOwner redirect."),
 		attachTries: reg.Counter("secmemd_cluster_attach_attempts_total", "Follower attach attempts by the segment shipper."),
 		resyncs:     reg.Counter("secmemd_cluster_resyncs_total", "Streams torn down for a fresh baseline (checkpoint rotation or continuity loss)."),
+
+		rereplAttached: reg.Gauge("secmemd_cluster_rerepl_attached", "Promoted or handed-off ranges whose re-replication stream is attached to a standby."),
+		rereplWindowMs: reg.Gauge("secmemd_cluster_rerepl_window_ms", "Duration of the last closed single-copy window (promotion or stream loss to standby attach), in milliseconds."),
+		rereplTries:    reg.Counter("secmemd_cluster_rerepl_attach_attempts_total", "Standby attach attempts by re-replication shippers."),
+		rereplUnrepl:   reg.Counter("secmemd_cluster_rerepl_unreplicated_writes_total", "Batches acknowledged within the re-replication grace window while no standby was attached."),
+		rereplStalled:  reg.Counter("secmemd_cluster_rerepl_stalled_writes_total", "Batches refused repl-stalled after the re-replication grace window expired."),
+		viewEpoch:      reg.Gauge("secmemd_cluster_view_epoch", "Membership view epoch this node has applied and sealed."),
+		viewRefused:    reg.Counter("secmemd_cluster_view_refusals_total", "Membership views refused (epoch regression, seal failure, or structural rejection)."),
+		handoffs:       reg.Counter("secmemd_cluster_handoffs_total", "Range handoffs this node completed as the old holder (leave/move)."),
+		rejoins:        reg.Counter("secmemd_cluster_rejoins_total", "Streams accepted for this node's own range after it was fenced (deposed-member rejoin as follower)."),
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aisebmt/internal/core"
@@ -72,16 +73,30 @@ type Config struct {
 	// attach handshake (default 5s).
 	IOTimeout time.Duration
 	// AttachBackoff is the shipper's retry delay between failed attach
-	// sweeps (default 50ms, doubling to 1s).
+	// sweeps (default 50ms, doubling with jitter to 1s).
 	AttachBackoff time.Duration
+	// RereplGrace bounds the single-copy window after a promotion: a
+	// promoted range may acknowledge writes unreplicated for this long
+	// while re-replication establishes a standby on a successor; past it,
+	// writes stall retryably (repl-stalled) until a standby attaches —
+	// the last-resort fence. Default 5s.
+	RereplGrace time.Duration
+	// InitialView, when non-nil, supplies the membership view (a joining
+	// daemon fetched it from a seed member) instead of deriving epoch 0
+	// from Members. Self must appear in its member list.
+	InitialView *View
 }
 
-// standby is a warm copy of one peer's state: the imported pool plus the
-// segment cursors its stream advances. mu serializes segment application
+// standby is a warm copy of one range's state: the imported pool plus
+// the segment cursors its stream advances. owner is the range (lineage)
+// replicated; src is the member shipping the stream — the same as owner
+// for a founding owner's own stream, but the promoted or handed-off
+// holder for re-replication streams. mu serializes segment application
 // against promotion, so a promoted pool is never mutated by a straggling
 // replication frame.
 type standby struct {
 	owner string
+	src   string
 	mu    sync.Mutex
 	pool  *shard.Pool
 	curs  []*persist.SegmentCursor
@@ -112,12 +127,30 @@ type promotedRange struct {
 type Node struct {
 	cfg  Config
 	self Member
-	ms   *Membership
 	met  *metrics
-	ship *shipper
+	ship *shipper // own-range stream; nil for lineage-less (joined) members
 	fwd  *forwarder
 
+	// selfLineage is this node's founding ring lineage — its own ID when
+	// it founded a range, "" for members that joined later and serve
+	// nothing of their own.
+	selfLineage string
+
 	shards int // local pool shard count
+
+	// view and ms are the applied membership view and the routing
+	// structures derived from it (ring over lineages, successor order
+	// over members); both swap atomically when a new view is applied.
+	// viewMu serializes ratchets and applies; adminMu serializes
+	// admin-initiated membership operations (join/leave/remove/handoff),
+	// which may span several ratchets.
+	viewMu  sync.Mutex
+	adminMu sync.Mutex
+	view    atomic.Pointer[View]
+	ms      atomic.Pointer[Membership]
+	// monitorOn records that the failover monitor goroutine is running
+	// (guarded by viewMu after construction).
+	monitorOn bool
 
 	// ready is closed once ownership of the local range is resolved.
 	ready     chan struct{}
@@ -125,9 +158,25 @@ type Node struct {
 
 	mu        sync.Mutex
 	deposedTo string // member ID holding our range after we were fenced
-	standbys  map[string]*standby
-	promoted  map[string]*promotedRange
-	fences    map[string]uint64 // highest fencing epoch seen per member
+	standbys  map[string]*standby       // keyed by range (lineage)
+	promoted  map[string]*promotedRange // keyed by range (lineage)
+	fences    map[string]uint64         // highest fencing epoch seen per range
+	// shippers are the re-replication streams for ranges this node
+	// serves beyond its own (promoted after failover, or received in a
+	// handoff), keyed by range.
+	shippers map[string]*shipper
+	// rangeDeposed records promoted ranges this node lost again (handed
+	// off, or fenced by a failback): range -> holder.
+	rangeDeposed map[string]string
+
+	// reap receives adopted ranges deposed mid-flight (fenced by a new
+	// holder or handed off); a dedicated goroutine tears their stores
+	// down outside the commit path that discovered the deposition.
+	reap chan *reapItem
+
+	// rereplLive counts re-replication streams currently attached to a
+	// standby, mirrored into the rerepl_attached gauge.
+	rereplLive atomic.Int64
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -137,20 +186,48 @@ type Node struct {
 	replConns  map[net.Conn]struct{}
 }
 
+// curView returns the applied membership view.
+func (n *Node) curView() *View { return n.view.Load() }
+
+// membership returns the routing structures of the applied view.
+func (n *Node) membership() *Membership { return n.ms.Load() }
+
 // NewNode validates cfg, installs the write fence and segment sink, and
 // starts the replication receiver, the segment shipper and the failover
 // monitor. The returned Node is ready to Publish on a server.
 func NewNode(cfg Config) (*Node, error) {
-	ms, err := NewMembership(cfg.Members)
+	if cfg.Pool == nil || cfg.Store == nil {
+		return nil, errors.New("cluster: Config.Pool and Config.Store are required")
+	}
+	view := cfg.InitialView
+	if view == nil {
+		if len(cfg.Members) == 0 {
+			return nil, errors.New("cluster: Config.Members or Config.InitialView is required")
+		}
+		view = initialView(cfg.Members)
+	}
+	// A persisted view from an earlier incarnation supersedes the boot
+	// configuration when newer — membership changes survive restarts.
+	if dv, err := loadView(cfg.DataDir, cfg.Key); err != nil {
+		return nil, fmt.Errorf("cluster: stored view: %w", err)
+	} else if dv != nil && dv.Epoch > view.Epoch {
+		view = dv
+	}
+	if sealed := cfg.Store.MemEpoch(); sealed > view.Epoch {
+		// The anchor remembers a newer membership epoch than any view we
+		// can see: the view file was rolled back. Fail closed.
+		return nil, fmt.Errorf("cluster: membership view epoch %d behind sealed epoch %d", view.Epoch, sealed)
+	}
+	if view.isRemoved(cfg.Self) {
+		return nil, fmt.Errorf("cluster: member %q was removed from the cluster", cfg.Self)
+	}
+	ms, err := view.membership()
 	if err != nil {
 		return nil, err
 	}
 	self, ok := ms.Member(cfg.Self)
 	if !ok {
 		return nil, fmt.Errorf("cluster: self ID %q not in member list", cfg.Self)
-	}
-	if cfg.Pool == nil || cfg.Store == nil {
-		return nil, errors.New("cluster: Config.Pool and Config.Store are required")
 	}
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = 250 * time.Millisecond
@@ -164,22 +241,34 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.AttachBackoff <= 0 {
 		cfg.AttachBackoff = 50 * time.Millisecond
 	}
+	if cfg.RereplGrace <= 0 {
+		cfg.RereplGrace = 5 * time.Second
+	}
 	var reg *obs.Registry
 	if cfg.Obs != nil {
 		reg = cfg.Obs.Reg
 	}
 	n := &Node{
-		cfg:       cfg,
-		self:      self,
-		ms:        ms,
-		met:       newMetrics(reg),
-		shards:    cfg.Pool.Shards(),
-		ready:     make(chan struct{}),
-		standbys:  map[string]*standby{},
-		promoted:  map[string]*promotedRange{},
-		fences:    map[string]uint64{},
-		closed:    make(chan struct{}),
-		replConns: map[net.Conn]struct{}{},
+		cfg:          cfg,
+		self:         self,
+		met:          newMetrics(reg),
+		shards:       cfg.Pool.Shards(),
+		ready:        make(chan struct{}),
+		standbys:     map[string]*standby{},
+		promoted:     map[string]*promotedRange{},
+		fences:       map[string]uint64{},
+		shippers:     map[string]*shipper{},
+		rangeDeposed: map[string]string{},
+		reap:         make(chan *reapItem, 16),
+		closed:       make(chan struct{}),
+		replConns:    map[net.Conn]struct{}{},
+	}
+	n.view.Store(view)
+	n.ms.Store(ms)
+	for _, l := range view.Lineages {
+		if l == cfg.Self {
+			n.selfLineage = l
+		}
 	}
 	if cfg.Dialer == nil {
 		n.cfg.Dialer = func(_, addr string) (net.Conn, error) {
@@ -201,27 +290,124 @@ func NewNode(cfg Config) (*Node, error) {
 			return nil
 		}
 	}
-	n.met.members.Set(int64(len(cfg.Members)))
-	n.met.ownedArcs.Set(int64(ms.Ring().Ranges()[self.ID]))
+	n.met.members.Set(int64(len(view.Members)))
+	n.met.viewEpoch.Set(int64(view.Epoch))
+	if n.selfLineage != "" {
+		n.met.ownedArcs.Set(int64(ms.Ring().Ranges()[n.selfLineage]))
+	}
 	n.fwd = newForwarder(ms, n.cfg.IOTimeout)
+	n.fwd.resolve = func(l string) string { return n.curView().servingMember(l) }
 
 	cfg.Pool.SetWriteFence(n.writeFence)
 	if n.cfg.ReplListener != nil {
 		n.wg.Add(1)
 		go n.serveRepl(n.cfg.ReplListener)
 	}
-	if len(cfg.Members) == 1 {
+	ownsRange := n.selfLineage != "" && view.servingMember(n.selfLineage) == n.self.ID
+	switch {
+	case n.selfLineage != "" && !ownsRange:
+		// Our lineage was handed to another member in an earlier epoch:
+		// boot deposed — redirects only, until a rejoin stream arrives.
+		n.becomeDeposed(view.servingMember(n.selfLineage))
+	case !ownsRange:
+		// A joined, lineage-less member: nothing of its own to serve or
+		// ship; it hosts standbys and answers redirects immediately.
+		n.resolveReady()
+	case len(view.Members) == 1:
 		// No follower exists; the node owns its range unconditionally.
 		n.resolveReady()
-	} else {
-		n.ship = newShipper(n)
+	default:
+		n.ship = newShipper(n, n.selfLineage, cfg.Store, true)
 		cfg.Store.SetSegmentSink(n.ship.sink)
+		cfg.Store.SetRotateHook(n.ship.rotated)
 		n.wg.Add(1)
 		go n.ship.run()
+	}
+	if len(view.Members) > 1 {
+		n.monitorOn = true
 		n.wg.Add(1)
 		go n.monitor()
 	}
+	n.wg.Add(1)
+	go n.reaper()
 	return n, nil
+}
+
+// reapItem is one deposed adopted range queued for teardown.
+type reapItem struct {
+	rangeID string
+	pr      *promotedRange
+	sh      *shipper
+}
+
+// reaper tears down adopted stores for ranges this node lost again. The
+// deposition is discovered inside a commit (segment ack) or a view
+// apply; closing the store there would deadlock on its own locks, so the
+// item is queued here instead. Anything still queued at shutdown is
+// drained by stop.
+func (n *Node) reaper() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case it := <-n.reap:
+			n.reapOne(it)
+		}
+	}
+}
+
+func (n *Node) reapOne(it *reapItem) {
+	it.pr.store.SetSegmentSink(nil)
+	it.pr.store.SetRotateHook(nil)
+	if it.sh != nil {
+		it.sh.close()
+	}
+	if err := it.pr.store.Checkpoint(); err != nil {
+		n.logf("cluster: checkpoint deposed range %s: %v", it.rangeID, err)
+	}
+	it.pr.pool.Close()
+	if err := it.pr.store.Close(); err != nil {
+		n.logf("cluster: close deposed range %s: %v", it.rangeID, err)
+	}
+}
+
+// rereplDelta adjusts the live re-replication stream count and mirrors
+// it into the gauge. Called from shippers, possibly under their stream
+// lock — it must take no other locks.
+func (n *Node) rereplDelta(d int64) {
+	n.met.rereplAttached.Set(n.rereplLive.Add(d))
+}
+
+// deposeRange records that an adopted range was fenced away (a new
+// holder promoted past us) or handed off. Routing flips to redirects
+// immediately; the store teardown happens on the reaper.
+func (n *Node) deposeRange(rangeID, holder string) {
+	n.mu.Lock()
+	pr := n.promoted[rangeID]
+	if pr == nil || n.rangeDeposed[rangeID] != "" {
+		n.mu.Unlock()
+		return
+	}
+	n.rangeDeposed[rangeID] = holder
+	delete(n.promoted, rangeID)
+	sh := n.shippers[rangeID]
+	delete(n.shippers, rangeID)
+	n.met.promoted.Set(int64(len(n.promoted)))
+	n.mu.Unlock()
+	n.logf("cluster: range %s deposed here; now served by %s", rangeID, holder)
+	select {
+	case n.reap <- &reapItem{rangeID: rangeID, pr: pr, sh: sh}:
+	case <-n.closed:
+		// stop drains the queue; anything that never made it into the
+		// queue is closed by the graceful path via the maps — but we just
+		// removed it, so hand it back for shutdown to find.
+		n.mu.Lock()
+		if n.promoted[rangeID] == nil {
+			n.promoted[rangeID] = pr
+		}
+		n.mu.Unlock()
+	}
 }
 
 func (n *Node) logf(format string, args ...any) {
@@ -238,12 +424,13 @@ func (n *Node) resolveReady() {
 // becomeDeposed records that holder's fencing epoch superseded ours: the
 // local range is no longer served here, and own-range requests redirect.
 func (n *Node) becomeDeposed(holder string) {
+	ms := n.membership()
 	n.mu.Lock()
 	if n.deposedTo == "" {
-		if _, ok := n.ms.Member(holder); !ok {
+		if _, ok := ms.Member(holder); !ok {
 			// Unknown or empty holder: best guess is our first successor,
 			// the deterministic promotion choice.
-			if succ := n.ms.Successors(n.self.ID); len(succ) > 0 {
+			if succ := ms.Successors(n.self.ID); len(succ) > 0 {
 				holder = succ[0].ID
 			}
 		}
@@ -270,19 +457,50 @@ func (n *Node) isDeposed() (string, bool) {
 // assign to it — the batch fails with ErrNotOwner before it is logged or
 // executed. Requests that passed routing before a failover die here.
 func (n *Node) writeFence(shardIdx int, ops []shard.MutOp) error {
+	if n.selfLineage == "" {
+		// A joined, lineage-less member serves nothing from its local pool.
+		n.met.fencedWr.Inc()
+		return shard.ErrNotOwner
+	}
 	if _, dep := n.isDeposed(); dep {
 		n.met.fencedWr.Inc()
 		return shard.ErrNotOwner
 	}
+	ring := n.membership().ring
 	for _, op := range ops {
 		local := uint64(op.Addr) / layout.PageSize
 		global := local*uint64(n.shards) + uint64(shardIdx)
-		if n.ms.ring.OwnerPage(global) != n.self.ID {
+		if ring.OwnerPage(global) != n.selfLineage {
 			n.met.fencedWr.Inc()
 			return shard.ErrNotOwner
 		}
 	}
 	return nil
+}
+
+// rangeFence builds the write fence for an adopted (promoted or handed
+// off) range: refused once the range was deposed again, and vetted
+// against the ring exactly like the local pool's fence.
+func (n *Node) rangeFence(rangeID string) shard.WriteFence {
+	return func(shardIdx int, ops []shard.MutOp) error {
+		n.mu.Lock()
+		lost := n.rangeDeposed[rangeID] != "" || n.promoted[rangeID] == nil
+		n.mu.Unlock()
+		if lost {
+			n.met.fencedWr.Inc()
+			return shard.ErrNotOwner
+		}
+		ring := n.membership().ring
+		for _, op := range ops {
+			local := uint64(op.Addr) / layout.PageSize
+			global := local*uint64(n.shards) + uint64(shardIdx)
+			if ring.OwnerPage(global) != rangeID {
+				n.met.fencedWr.Inc()
+				return shard.ErrNotOwner
+			}
+		}
+		return nil
+	}
 }
 
 // waitReady blocks until local-range ownership is resolved (follower
@@ -306,30 +524,52 @@ func (n *Node) waitReady(ctx context.Context) error {
 }
 
 // route resolves the pool serving address a: the local pool for our own
-// range, an adopted pool for ranges we promoted, nil plus a redirect
-// target otherwise.
+// range, an adopted pool for ranges we promoted or received in a
+// handoff, nil plus a redirect target otherwise. The ring owner is a
+// lineage; the serving member is resolved through the view's Serving map
+// plus this node's discovered promotions and depositions.
 func (n *Node) route(ctx context.Context, a layout.Addr) (*shard.Pool, string, error) {
-	owner := n.ms.ring.Owner(a)
-	if owner == n.self.ID {
+	l := n.membership().ring.Owner(a)
+	if l == n.selfLineage && l != "" {
+		// A later view may have reassigned our lineage (handoff); failover
+		// promotions are not in views, so fall back to the discovered holder.
+		holder := func(to string) string {
+			if sm := n.curView().servingMember(l); sm != n.self.ID {
+				return sm
+			}
+			return to
+		}
 		if to, dep := n.isDeposed(); dep {
-			return nil, to, nil
+			return n.routeAdopted(l, holder(to))
 		}
 		if err := n.waitReady(ctx); err != nil {
 			return nil, "", err
 		}
 		// Re-check: waitReady also unblocks on deposition.
 		if to, dep := n.isDeposed(); dep {
-			return nil, to, nil
+			return n.routeAdopted(l, holder(to))
 		}
 		return n.cfg.Pool, "", nil
 	}
+	return n.routeAdopted(l, n.curView().servingMember(l))
+}
+
+// routeAdopted resolves a range not served from the local pool: an
+// adopted pool when this node promoted (or received) the range and still
+// holds it, a redirect otherwise. fallback is the best redirect target
+// when this node never held the range.
+func (n *Node) routeAdopted(l, fallback string) (*shard.Pool, string, error) {
 	n.mu.Lock()
-	pr := n.promoted[owner]
+	pr := n.promoted[l]
+	lost := n.rangeDeposed[l]
 	n.mu.Unlock()
-	if pr != nil {
+	if pr != nil && lost == "" {
 		return pr.pool, "", nil
 	}
-	return nil, owner, nil
+	if lost != "" {
+		return nil, lost, nil
+	}
+	return nil, fallback, nil
 }
 
 // redirect converts a non-local route into the wire answer: a proxy call
@@ -337,7 +577,7 @@ func (n *Node) route(ctx context.Context, a layout.Addr) (*shard.Pool, string, e
 // otherwise.
 func (n *Node) redirect(to string) error {
 	n.met.notOwner.Inc()
-	m, ok := n.ms.Member(to)
+	m, ok := n.membership().Member(to)
 	if !ok {
 		return &server.NotOwnerError{Addr: ""}
 	}
@@ -470,8 +710,19 @@ func (n *Node) stop(graceful bool) {
 	n.closeOnce.Do(func() {
 		close(n.closed)
 		n.cfg.Store.SetSegmentSink(nil)
-		if n.ship != nil {
-			n.ship.close()
+		n.cfg.Store.SetRotateHook(nil)
+		n.mu.Lock()
+		ship := n.ship
+		shps := make([]*shipper, 0, len(n.shippers))
+		for _, s := range n.shippers {
+			shps = append(shps, s)
+		}
+		n.mu.Unlock()
+		if ship != nil {
+			ship.close()
+		}
+		for _, s := range shps {
+			s.close()
 		}
 		if n.cfg.ReplListener != nil {
 			n.cfg.ReplListener.Close()
@@ -485,6 +736,16 @@ func (n *Node) stop(graceful bool) {
 		n.fwd.close()
 		if !graceful {
 			return
+		}
+		// Drain depositions the reaper never got to.
+	drain:
+		for {
+			select {
+			case it := <-n.reap:
+				n.reapOne(it)
+			default:
+				break drain
+			}
 		}
 		n.mu.Lock()
 		sbs, prs := n.standbys, n.promoted

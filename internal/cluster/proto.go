@@ -28,6 +28,21 @@ const (
 	msgBaselineAck = 4
 	msgSegment     = 5
 	msgSegmentAck  = 6
+	// msgView carries a sealed membership view: pushed by the member that
+	// ratcheted it (as the first frame of a short-lived connection, or
+	// mid-stream during a range handoff), answered with msgViewAck.
+	msgView    = 7
+	msgViewAck = 8
+	// msgViewReq asks the peer for its current sealed view; the answer is
+	// a msgView frame. A joining daemon bootstraps its membership this
+	// way from any seed member.
+	msgViewReq = 9
+	// msgRangeReq asks the peer what it holds for a range (payload: the
+	// range's lineage ID); the msgRangeAck answer carries "serving",
+	// "standby" or "none". Failover monitors use it to arbitrate which
+	// standby holder promotes.
+	msgRangeReq = 10
+	msgRangeAck = 11
 
 	ackOK     = 0
 	ackFenced = 1 // sender's fencing epoch is superseded; stop shipping
@@ -39,12 +54,16 @@ const (
 	maxReplFrame = 1 << 30
 )
 
-// hello opens the stream: the owner identifies itself and declares its
-// fencing epoch and shard count before shipping anything expensive.
+// hello opens the stream: the shipping member identifies itself, names
+// the range (lineage) it is replicating — empty means its own — and
+// declares the range's fencing epoch, its shard count and its membership
+// view epoch before shipping anything expensive.
 type hello struct {
-	ID     string
-	Fence  uint64
-	Shards uint32
+	ID        string
+	Range     string
+	Fence     uint64
+	Shards    uint32
+	ViewEpoch uint64
 }
 
 // ack answers hello, baseline and segment frames.
@@ -81,26 +100,44 @@ func readFrame(r io.Reader) (uint8, []byte, error) {
 }
 
 func encodeHello(h hello) []byte {
-	b := make([]byte, 0, 2+len(h.ID)+8+4)
+	b := make([]byte, 0, 4+len(h.ID)+len(h.Range)+20)
 	b = binary.BigEndian.AppendUint16(b, uint16(len(h.ID)))
 	b = append(b, h.ID...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(h.Range)))
+	b = append(b, h.Range...)
 	b = binary.BigEndian.AppendUint64(b, h.Fence)
 	b = binary.BigEndian.AppendUint32(b, h.Shards)
+	b = binary.BigEndian.AppendUint64(b, h.ViewEpoch)
 	return b
 }
 
 func decodeHello(b []byte) (hello, error) {
 	var h hello
-	if len(b) < 2 {
+	str := func() (string, bool) {
+		if len(b) < 2 {
+			return "", false
+		}
+		n := int(binary.BigEndian.Uint16(b[:2]))
+		if len(b) < 2+n {
+			return "", false
+		}
+		s := string(b[2 : 2+n])
+		b = b[2+n:]
+		return s, true
+	}
+	var ok bool
+	if h.ID, ok = str(); !ok {
 		return h, fmt.Errorf("cluster: hello truncated")
 	}
-	n := int(binary.BigEndian.Uint16(b[:2]))
-	if len(b) != 2+n+12 {
+	if h.Range, ok = str(); !ok {
+		return h, fmt.Errorf("cluster: hello truncated")
+	}
+	if len(b) != 20 {
 		return h, fmt.Errorf("cluster: hello length mismatch")
 	}
-	h.ID = string(b[2 : 2+n])
-	h.Fence = binary.BigEndian.Uint64(b[2+n : 2+n+8])
-	h.Shards = binary.BigEndian.Uint32(b[2+n+8:])
+	h.Fence = binary.BigEndian.Uint64(b[:8])
+	h.Shards = binary.BigEndian.Uint32(b[8:12])
+	h.ViewEpoch = binary.BigEndian.Uint64(b[12:20])
 	return h, nil
 }
 

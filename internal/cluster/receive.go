@@ -36,11 +36,14 @@ func (n *Node) serveRepl(ln net.Listener) {
 	}
 }
 
-// handleRepl is the follower side of one stream: handshake, baseline
-// import, then segment application until the connection dies. Fencing is
-// enforced at every stage — a deposed owner gets ackFenced, never an
-// apply — and every baseline and segment is cryptographically verified
-// by the persist layer before it touches a standby.
+// handleRepl serves one inbound connection on the repl port. The first
+// frame picks the conversation: a view request (answered and done), a
+// view push (applied, acked, done), a range-holding query (failover
+// arbitration), or a hello opening a replication stream — handshake,
+// baseline import, then segment application until the connection dies.
+// Fencing is enforced at every stage — a deposed holder gets ackFenced,
+// never an apply — and every view, baseline and segment is
+// cryptographically verified before it touches anything.
 func (n *Node) handleRepl(conn net.Conn) {
 	bw, br := bufio.NewWriterSize(conn, 64<<10), bufio.NewReader(conn)
 	reply := func(typ uint8, a ack) bool {
@@ -53,27 +56,83 @@ func (n *Node) handleRepl(conn net.Conn) {
 
 	conn.SetReadDeadline(time.Now().Add(n.cfg.IOTimeout))
 	typ, p, err := readFrame(br)
-	if err != nil || typ != msgHello {
+	if err != nil {
 		return
 	}
+	switch typ {
+	case msgViewReq:
+		conn.SetWriteDeadline(time.Now().Add(n.cfg.IOTimeout))
+		if writeFrame(bw, msgView, encodeView(n.cfg.Key, n.curView())) == nil {
+			bw.Flush()
+		}
+		return
+	case msgView:
+		v, verr := decodeView(n.cfg.Key, p)
+		if verr != nil {
+			n.met.viewRefused.Inc()
+			reply(msgViewAck, ack{Code: ackError, Msg: verr.Error()})
+			return
+		}
+		if verr = n.applyView(v); verr != nil {
+			reply(msgViewAck, ack{Code: ackError, Msg: verr.Error()})
+			return
+		}
+		reply(msgViewAck, ack{Code: ackOK})
+		return
+	case msgRangeReq:
+		reply(msgRangeAck, ack{Code: ackOK, Msg: n.rangeStanding(string(p))})
+		return
+	case msgHello:
+	default:
+		return
+	}
+
 	h, err := decodeHello(p)
 	if err != nil {
 		return
 	}
-	owner, ok := n.ms.Member(h.ID)
-	if !ok || owner.ID == n.self.ID {
+	view := n.curView()
+	if view.isRemoved(h.ID) {
+		n.met.fenceRej.Inc()
+		reply(msgHelloAck, ack{Code: ackError, Msg: "removed member"})
+		return
+	}
+	src, ok := n.membership().Member(h.ID)
+	if !ok || src.ID == n.self.ID {
 		reply(msgHelloAck, ack{Code: ackError, Msg: "unknown member"})
+		return
+	}
+	rangeID := h.Range
+	if rangeID == "" {
+		rangeID = h.ID
+	}
+	if !lineageKnown(view, rangeID) {
+		reply(msgHelloAck, ack{Code: ackError, Msg: "unknown range"})
 		return
 	}
 	if int(h.Shards) != n.shards {
 		reply(msgHelloAck, ack{Code: ackError, Msg: "shard count mismatch"})
 		return
 	}
-	if holder, fenced := n.checkFence(owner.ID, h.Fence); fenced {
+	rejoin := rangeID == n.selfLineage
+	if rejoin && h.Fence <= n.cfg.Store.Fence() {
+		// Someone claims to replicate our own range without a fencing
+		// epoch that supersedes ours: stale or forged. We still hold it.
 		n.met.fenceRej.Inc()
-		n.logf("cluster: refused handshake from deposed %s (fence %d)", owner.ID, h.Fence)
+		reply(msgHelloAck, ack{Code: ackFenced, Msg: n.self.ID})
+		return
+	}
+	if holder, fenced := n.checkFence(rangeID, h.Fence); fenced {
+		n.met.fenceRej.Inc()
+		n.logf("cluster: refused handshake from %s for range %s (fence %d)", h.ID, rangeID, h.Fence)
 		reply(msgHelloAck, ack{Code: ackFenced, Msg: holder})
 		return
+	}
+	if rejoin {
+		// A higher-fence stream for our own lineage is proof we were
+		// deposed (promotion or handoff happened while we were away).
+		// Attach as a follower of the new holder: fenced rejoin.
+		n.becomeDeposed(h.ID)
 	}
 	if !reply(msgHelloAck, ack{Code: ackOK}) {
 		return
@@ -90,7 +149,7 @@ func (n *Node) handleRepl(conn net.Conn) {
 		reply(msgBaselineAck, ack{Code: ackError, Msg: err.Error()})
 		return
 	}
-	if holder, fenced := n.checkFence(owner.ID, bl.Fence); fenced {
+	if holder, fenced := n.checkFence(rangeID, bl.Fence); fenced {
 		n.met.fenceRej.Inc()
 		reply(msgBaselineAck, ack{Code: ackFenced, Msg: holder})
 		return
@@ -101,22 +160,26 @@ func (n *Node) handleRepl(conn net.Conn) {
 	cfg.Obs = nil
 	pool, curs, err := persist.ImportBaseline(n.cfg.Key, cfg, bl)
 	if err != nil {
-		n.logf("cluster: baseline from %s rejected: %v", owner.ID, err)
+		n.logf("cluster: baseline for %s from %s rejected: %v", rangeID, h.ID, err)
 		reply(msgBaselineAck, ack{Code: ackError, Msg: err.Error()})
 		return
 	}
-	sb := &standby{owner: owner.ID, pool: pool, curs: curs, fence: bl.Fence, live: true}
+	sb := &standby{owner: rangeID, src: h.ID, pool: pool, curs: curs, fence: bl.Fence, live: true}
 	if !n.installStandby(sb) {
 		pool.Close()
 		n.met.fenceRej.Inc()
-		reply(msgBaselineAck, ack{Code: ackFenced, Msg: n.holderOf(owner.ID)})
+		reply(msgBaselineAck, ack{Code: ackFenced, Msg: n.holderOf(rangeID)})
 		return
+	}
+	if rejoin {
+		n.met.rejoins.Inc()
+		n.logf("cluster: rejoined as follower of %s for own range (fence %d); pre-fence state discarded", h.ID, bl.Fence)
 	}
 	n.met.baseApplied.Inc()
 	if !reply(msgBaselineAck, ack{Code: ackOK}) {
 		return
 	}
-	n.logf("cluster: standby for %s imported (epoch %d, fence %d, %d shards)", owner.ID, bl.Epoch, bl.Fence, len(curs))
+	n.logf("cluster: standby for %s (from %s) imported (epoch %d, fence %d, %d shards)", rangeID, h.ID, bl.Epoch, bl.Fence, len(curs))
 
 	defer func() {
 		sb.mu.Lock()
@@ -124,11 +187,34 @@ func (n *Node) handleRepl(conn net.Conn) {
 		sb.mu.Unlock()
 	}()
 	for {
-		// Streams idle while the owner takes no writes; only the transfer
+		// Streams idle while the sender takes no writes; only the transfer
 		// itself is bounded.
 		conn.SetReadDeadline(time.Time{})
 		typ, p, err = readFrame(br)
-		if err != nil || typ != msgSegment {
+		if err != nil {
+			return
+		}
+		switch typ {
+		case msgView:
+			// Mid-stream view push: the commit point of a range handoff.
+			// Applying it may promote this very standby; the sender treats
+			// our ack as the ownership flip.
+			v, verr := decodeView(n.cfg.Key, p)
+			if verr != nil {
+				n.met.viewRefused.Inc()
+				reply(msgViewAck, ack{Code: ackError, Msg: verr.Error()})
+				return
+			}
+			if verr = n.applyView(v); verr != nil {
+				reply(msgViewAck, ack{Code: ackError, Msg: verr.Error()})
+				return
+			}
+			if !reply(msgViewAck, ack{Code: ackOK}) {
+				return
+			}
+			continue
+		case msgSegment:
+		default:
 			return
 		}
 		seg, err := persist.DecodeSegment(n.cfg.Key, p)
@@ -136,7 +222,7 @@ func (n *Node) handleRepl(conn net.Conn) {
 			reply(msgSegmentAck, ack{Code: ackError, Msg: err.Error()})
 			return
 		}
-		code, msg := n.applySegment(owner.ID, sb, seg)
+		code, msg := n.applySegment(rangeID, sb, seg)
 		if !reply(msgSegmentAck, ack{Code: code, Msg: msg}) {
 			return
 		}
@@ -146,45 +232,73 @@ func (n *Node) handleRepl(conn net.Conn) {
 	}
 }
 
-// checkFence records the epoch f claimed by owner and reports whether a
-// higher epoch has already superseded it (or the range was promoted
-// here). Epochs only ratchet up.
-func (n *Node) checkFence(owner string, f uint64) (holder string, fenced bool) {
+// lineageKnown reports whether l is a ring lineage in v.
+func lineageKnown(v *View, l string) bool {
+	for _, x := range v.Lineages {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeStanding answers the failover arbitration query: what this node
+// holds for range l — "serving" (promoted or own), "standby", or "none".
+func (n *Node) rangeStanding(l string) string {
+	if l == n.selfLineage && l != "" {
+		if _, dep := n.isDeposed(); !dep {
+			return "serving"
+		}
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.promoted[owner] != nil || n.fences[owner] > f {
-		return n.holderLocked(owner), true
+	if n.promoted[l] != nil && n.rangeDeposed[l] == "" {
+		return "serving"
 	}
-	if f > n.fences[owner] {
-		n.fences[owner] = f
+	if n.standbys[l] != nil {
+		return "standby"
+	}
+	return "none"
+}
+
+// checkFence records the epoch f claimed for a range and reports whether
+// a higher epoch has already superseded it (or the range was promoted
+// here). Epochs only ratchet up.
+func (n *Node) checkFence(rangeID string, f uint64) (holder string, fenced bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if (n.promoted[rangeID] != nil && n.rangeDeposed[rangeID] == "") || n.fences[rangeID] > f {
+		return n.holderLocked(rangeID), true
+	}
+	if f > n.fences[rangeID] {
+		n.fences[rangeID] = f
 	}
 	return "", false
 }
 
-func (n *Node) holderOf(owner string) string {
+func (n *Node) holderOf(rangeID string) string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.holderLocked(owner)
+	return n.holderLocked(rangeID)
 }
 
-// holderLocked is this node's best knowledge of who serves owner's range
-// now: itself if it promoted the range, otherwise whoever raised the
-// fence (unknown — report self's view as empty and let the client walk
-// successors).
-func (n *Node) holderLocked(owner string) string {
-	if n.promoted[owner] != nil {
+// holderLocked is this node's best knowledge of who serves the range
+// now: itself if it promoted the range, the member that fenced it away
+// otherwise, or empty (let the client walk successors).
+func (n *Node) holderLocked(rangeID string) string {
+	if n.promoted[rangeID] != nil && n.rangeDeposed[rangeID] == "" {
 		return n.self.ID
 	}
-	return ""
+	return n.rangeDeposed[rangeID]
 }
 
 // installStandby registers a freshly imported standby, replacing any
-// previous one for the same owner (a reconnecting owner re-baselines).
-// It refuses if the range was already promoted here — the owner is
-// deposed, not resyncing.
+// previous one for the same range (a reconnecting sender re-baselines).
+// It refuses if the range is served here — the sender is deposed, not
+// resyncing.
 func (n *Node) installStandby(sb *standby) bool {
 	n.mu.Lock()
-	if n.promoted[sb.owner] != nil {
+	if n.promoted[sb.owner] != nil && n.rangeDeposed[sb.owner] == "" {
 		n.mu.Unlock()
 		return false
 	}
@@ -207,8 +321,8 @@ func (n *Node) installStandby(sb *standby) bool {
 // and replays it. The standby lock serializes application against
 // promotion: once promoted, the answer is ackFenced and nothing touches
 // the pool.
-func (n *Node) applySegment(owner string, sb *standby, seg *persist.Segment) (uint8, string) {
-	if holder, fenced := n.checkFence(owner, seg.Fence); fenced {
+func (n *Node) applySegment(rangeID string, sb *standby, seg *persist.Segment) (uint8, string) {
+	if holder, fenced := n.checkFence(rangeID, seg.Fence); fenced {
 		n.met.fenceRej.Inc()
 		return ackFenced, holder
 	}
@@ -225,7 +339,7 @@ func (n *Node) applySegment(owner string, sb *standby, seg *persist.Segment) (ui
 	if err != nil {
 		switch {
 		case errors.Is(err, persist.ErrSegmentEpoch), errors.Is(err, persist.ErrSegmentGap):
-			// The owner checkpointed (log epoch rotated) or we missed
+			// The sender checkpointed (log epoch rotated) or we missed
 			// traffic; the stream must restart from a fresh baseline. The
 			// standby keeps its last consistent state meanwhile — every
 			// acknowledged write up to this point is already in it.

@@ -21,10 +21,14 @@ import (
 // promoted the range). It backs both a Node in proxy mode and the
 // standalone router.
 type forwarder struct {
-	ms      *Membership
 	timeout time.Duration
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	ms *Membership
+	// resolve maps a ring owner (a lineage in cluster nodes) to the
+	// member currently assigned to serve it; nil means identity (the
+	// router's static view, where owners are members).
+	resolve  func(string) string
 	idle     map[string][]*server.Client
 	redirect map[string]string // owner ID -> learned wire addr
 	closed   bool
@@ -37,6 +41,21 @@ func newForwarder(ms *Membership, timeout time.Duration) *forwarder {
 		idle:     map[string][]*server.Client{},
 		redirect: map[string]string{},
 	}
+}
+
+// swap installs the routing structures of a newly applied membership
+// view; in-flight requests finish on the old one.
+func (f *forwarder) swap(ms *Membership) {
+	f.mu.Lock()
+	f.ms = ms
+	f.mu.Unlock()
+}
+
+// snapshot returns the current membership and resolver.
+func (f *forwarder) snapshot() (*Membership, func(string) string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ms, f.resolve
 }
 
 // maxHops bounds one request's walk across redirects and successor
@@ -89,7 +108,7 @@ func (f *forwarder) learn(ownerID, addr string) {
 // targets is the deterministic probe order for a page owned by ownerID:
 // any learned redirect first, then the owner itself, then its
 // successors (the promotion order).
-func (f *forwarder) targets(ownerID string) []string {
+func (f *forwarder) targets(ms *Membership, ownerID string) []string {
 	f.mu.Lock()
 	learned := f.redirect[ownerID]
 	f.mu.Unlock()
@@ -97,9 +116,9 @@ func (f *forwarder) targets(ownerID string) []string {
 	if learned != "" {
 		out = append(out, learned)
 	}
-	m, _ := f.ms.Member(ownerID)
+	m, _ := ms.Member(ownerID)
 	out = append(out, m.Wire)
-	for _, s := range f.ms.Successors(ownerID) {
+	for _, s := range ms.Successors(ownerID) {
 		out = append(out, s.Wire)
 	}
 	return out
@@ -110,8 +129,12 @@ func (f *forwarder) targets(ownerID string) []string {
 // as-is (the caller's retry policy sees it); exhausting the walk maps to
 // the retryable ErrUnavailable.
 func (f *forwarder) do(p uint64, op func(c *server.Client) error) error {
-	ownerID := f.ms.ring.OwnerPage(p)
-	targets := f.targets(ownerID)
+	ms, resolve := f.snapshot()
+	ownerID := ms.ring.OwnerPage(p)
+	if resolve != nil {
+		ownerID = resolve(ownerID)
+	}
+	targets := f.targets(ms, ownerID)
 	tried := map[string]bool{}
 	var lastErr error
 	hops := 0

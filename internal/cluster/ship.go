@@ -11,33 +11,73 @@ import (
 	"aisebmt/internal/shard"
 )
 
-// shipper is the owner side of the replication stream: it attaches to
-// the first reachable successor (handshake, then a verified baseline),
-// and from then on the store's segment sink ships every committed batch
-// and waits for the follower's ack before the batch is acknowledged to
-// the client. Replication is strictly synchronous — while no follower is
-// attached the sink fails batches with shard.ErrReplStalled, which the
-// wire maps to a retryable status. An owner that cannot replicate
-// accepts nothing, so a promoted follower is never missing an
-// acknowledged write.
+// shipper is the sending side of one range's replication stream: it
+// attaches to the first reachable successor (handshake, then a verified
+// baseline), and from then on the range's store hands it every committed
+// batch, which it ships and waits to be acknowledged before the batch is
+// acknowledged to the client.
+//
+// One shipper instance serves two roles distinguished by own:
+//
+//   - the node's own range (own=true): replication is strictly
+//     synchronous from the first byte — while no follower is attached the
+//     sink fails batches with shard.ErrReplStalled, so an owner that
+//     cannot replicate accepts nothing and a promoted follower is never
+//     missing an acknowledged write.
+//
+//   - a re-replication stream for a promoted or handed-off range
+//     (own=false): immediately after promotion no standby for the new
+//     fencing epoch exists anywhere, so refusing writes buys no safety —
+//     the sink acknowledges them unreplicated (they are locally durable)
+//     for a bounded grace window while the attach loop establishes a
+//     standby. Once a standby has attached the strict rule returns: a
+//     detached stream stalls writes, because a standby that missed
+//     traffic is exactly the stale copy a failover must never promote.
+//
+// pin, when set, restricts the attach sweep to one member: a range
+// handoff ships its baseline to the designated target, not to whichever
+// successor answers first.
 type shipper struct {
 	n *Node
+	// rangeID is the lineage this stream replicates; st is its store
+	// (the node's own store, or the promoted range's).
+	rangeID string
+	st      *persist.Store
+	own     bool
 
 	mu     sync.Mutex
 	conn   net.Conn
 	bw     *bufio.Writer
 	br     *bufio.Reader
 	target Member
+	pin    string
 	// attached is true while segments can be shipped; fenced is terminal
-	// (a follower refused our fencing epoch — we are deposed).
+	// (a peer refused our fencing epoch — the range is served elsewhere).
 	attached bool
 	fenced   bool
+	// grace bounds the unreplicated-ack window for re-replication
+	// streams; zero for own streams and after the first attach.
+	grace time.Time
+	// windowStart marks when the current single-copy window opened
+	// (shipper creation or detach), for the window-duration metric.
+	windowStart time.Time
 
 	kick chan struct{}
 }
 
-func newShipper(n *Node) *shipper {
-	return &shipper{n: n, kick: make(chan struct{}, 1)}
+func newShipper(n *Node, rangeID string, st *persist.Store, own bool) *shipper {
+	s := &shipper{
+		n:           n,
+		rangeID:     rangeID,
+		st:          st,
+		own:         own,
+		windowStart: time.Now(),
+		kick:        make(chan struct{}, 1),
+	}
+	if !own {
+		s.grace = time.Now().Add(n.cfg.RereplGrace)
+	}
+	return s
 }
 
 // wake nudges the attach loop (after a detach) without blocking.
@@ -48,9 +88,21 @@ func (s *shipper) wake() {
 	}
 }
 
+// jitter spreads d over [d/2, d) so detached shippers across the cluster
+// do not hammer the same successor in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	ns := time.Now().UnixNano()
+	span := int64(d) / 2
+	return time.Duration(int64(d)/2 + (ns^(ns>>17))%span)
+}
+
 // run is the attach loop: whenever the stream is down it sweeps the
-// successor list in order and attaches to the first member that accepts
-// a handshake and a baseline. Exponential backoff between sweeps.
+// candidate list in order and attaches to the first member that accepts
+// a handshake and a baseline. Jittered exponential backoff between
+// sweeps.
 func (s *shipper) run() {
 	defer s.n.wg.Done()
 	backoff := s.n.cfg.AttachBackoff
@@ -78,7 +130,7 @@ func (s *shipper) run() {
 		select {
 		case <-s.n.closed:
 			return
-		case <-time.After(backoff):
+		case <-time.After(jitter(backoff)):
 		}
 		if backoff *= 2; backoff > time.Second {
 			backoff = time.Second
@@ -86,17 +138,42 @@ func (s *shipper) run() {
 	}
 }
 
-// attachSweep tries each successor once, in deterministic order.
+// candidates is the attach order: the pinned target alone when a handoff
+// is in flight, otherwise this node's successors — so a re-replication
+// stream lands the standby on the new holder's own ring successor, and a
+// deposed member coming back (it sits in the successor list too) is
+// re-attached without operator intervention.
+func (s *shipper) candidates() []Member {
+	s.mu.Lock()
+	pin := s.pin
+	s.mu.Unlock()
+	if pin != "" {
+		if m, ok := s.n.membership().Member(pin); ok {
+			return []Member{m}
+		}
+		return nil
+	}
+	return s.n.membership().Successors(s.n.self.ID)
+}
+
+// attachSweep tries each candidate once, in deterministic order.
 // Returns true once attached (or once fenced — there is nothing left to
-// retry; the node is deposed).
+// retry; the range is served elsewhere).
 func (s *shipper) attachSweep() bool {
-	for _, m := range s.n.ms.Successors(s.n.self.ID) {
+	for _, m := range s.candidates() {
 		select {
 		case <-s.n.closed:
 			return true
 		default:
 		}
-		s.n.met.attachTries.Inc()
+		if m.ID == s.n.self.ID {
+			continue
+		}
+		if s.own {
+			s.n.met.attachTries.Inc()
+		} else {
+			s.n.met.rereplTries.Inc()
+		}
 		err := s.attach(m)
 		if err == nil {
 			return true
@@ -107,13 +184,14 @@ func (s *shipper) attachSweep() bool {
 		if fenced {
 			return true
 		}
-		s.n.logf("cluster: attach %s -> %s: %v", s.n.self.ID, m.ID, err)
+		s.n.logf("cluster: attach %s[%s] -> %s: %v", s.n.self.ID, s.rangeID, m.ID, err)
 	}
 	return false
 }
 
 // attach runs the handshake and ships a fresh baseline to m. On success
-// the stream is installed and the node's ownership gate opens.
+// the stream is installed; for an own stream the node's ownership gate
+// also opens.
 func (s *shipper) attach(m Member) error {
 	conn, err := s.n.cfg.Dialer(s.n.self.ID, m.Repl)
 	if err != nil {
@@ -127,7 +205,10 @@ func (s *shipper) attach(m Member) error {
 	deadline := func() { conn.SetDeadline(time.Now().Add(s.n.cfg.IOTimeout)) }
 
 	deadline()
-	h := hello{ID: s.n.self.ID, Fence: s.n.cfg.Store.Fence(), Shards: uint32(s.n.shards)}
+	h := hello{ID: s.n.self.ID, Fence: s.st.Fence(), Shards: uint32(s.n.shards), ViewEpoch: s.n.curView().Epoch}
+	if !s.own {
+		h.Range = s.rangeID
+	}
 	if err := writeFrame(bw, msgHello, encodeHello(h)); err != nil {
 		return fail(err)
 	}
@@ -159,7 +240,7 @@ func (s *shipper) attach(m Member) error {
 	// deposed owner never pays the export. Export takes the checkpoint
 	// lock and each shard writer lock briefly; commits resume as soon as
 	// each shard's tail is captured.
-	bl, err := s.n.cfg.Store.ExportBaseline()
+	bl, err := s.st.ExportBaseline()
 	if err != nil {
 		return fail(fmt.Errorf("cluster: export baseline: %w", err))
 	}
@@ -196,34 +277,148 @@ func (s *shipper) attach(m Member) error {
 
 	s.mu.Lock()
 	s.conn, s.bw, s.br, s.target, s.attached = conn, bw, br, m, true
+	// The single-copy window closes; from here on the strict synchronous
+	// rule applies even to re-replication streams (a standby exists that
+	// a failover could promote, so it must see every acknowledged write).
+	s.grace = time.Time{}
+	window := time.Since(s.windowStart)
 	s.mu.Unlock()
 	s.n.met.baseShipped.Inc()
-	s.n.met.attached.Set(1)
-	s.n.logf("cluster: %s attached follower %s (epoch %d, fence %d)", s.n.self.ID, m.ID, bl.Epoch, bl.Fence)
-	s.n.resolveReady()
+	if s.own {
+		s.n.met.attached.Set(1)
+	} else {
+		s.n.rereplDelta(1)
+		s.n.met.rereplWindowMs.Set(window.Milliseconds())
+	}
+	s.n.logf("cluster: %s[%s] attached follower %s (epoch %d, fence %d, window %s)",
+		s.n.self.ID, s.rangeID, m.ID, bl.Epoch, bl.Fence, window.Round(time.Millisecond))
+	if s.own {
+		s.n.resolveReady()
+	}
 	return nil
 }
 
 // becomeFenced records a terminal fencing refusal: the stream stays
-// permanently down and the node flips to deposed.
+// permanently down and the range flips to deposed here.
 func (s *shipper) becomeFenced(holder string) {
 	s.mu.Lock()
 	s.fenced = true
 	s.attached = false
 	s.mu.Unlock()
-	s.n.met.attached.Set(0)
-	s.n.becomeDeposed(holder)
+	if s.own {
+		s.n.met.attached.Set(0)
+		s.n.becomeDeposed(holder)
+	} else {
+		s.n.deposeRange(s.rangeID, holder)
+	}
 }
 
 // detachLocked drops the stream (s.mu held) and wakes the attach loop.
+// For re-replication streams it reopens the window clock — but not the
+// grace window: an attached standby existed, so writes must stall until
+// a fresh one does.
 func (s *shipper) detachLocked() {
 	if s.conn != nil {
 		s.conn.Close()
 		s.conn, s.bw, s.br = nil, nil, nil
 	}
+	if s.attached {
+		s.windowStart = time.Now()
+		if !s.own {
+			s.n.rereplDelta(-1)
+		}
+	}
 	s.attached = false
-	s.n.met.attached.Set(0)
+	if s.own {
+		s.n.met.attached.Set(0)
+	}
 	s.wake()
+}
+
+// retarget pins (or with "" unpins) the attach sweep to one member and
+// drops any current stream so the next attach lands there. Used by range
+// handoffs.
+func (s *shipper) retarget(memberID string) {
+	s.mu.Lock()
+	s.pin = memberID
+	if s.attached && s.target.ID != memberID {
+		s.detachLocked()
+	} else {
+		s.wake()
+	}
+	s.mu.Unlock()
+}
+
+// depose terminally stops this stream: the range it replicated is now
+// served elsewhere (handed off), so there is nothing left to ship.
+func (s *shipper) depose() {
+	s.mu.Lock()
+	s.fenced = true
+	s.detachLocked()
+	s.mu.Unlock()
+}
+
+// attachedTo reports the attached peer's ID, or "".
+func (s *shipper) attachedTo() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.attached {
+		return ""
+	}
+	return s.target.ID
+}
+
+// rotated is the store's checkpoint-rotation hook: the WAL epoch just
+// advanced, so the attached stream's continuity is gone. Restart it
+// proactively from a fresh post-rotation baseline instead of letting the
+// next commit (possibly mid-handoff) die on the follower's continuity
+// check and stall a client write.
+func (s *shipper) rotated(uint64) {
+	s.mu.Lock()
+	if s.attached {
+		s.n.met.resyncs.Inc()
+		s.detachLocked()
+	}
+	s.mu.Unlock()
+}
+
+// pushView sends a sealed membership view over the attached stream and
+// waits for the peer's ack — the commit point of a range handoff: once
+// the target acks, it has promoted the standby and serves the range.
+func (s *shipper) pushView(sealed []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.attached {
+		return fmt.Errorf("cluster: stream down")
+	}
+	s.conn.SetDeadline(time.Now().Add(s.n.cfg.IOTimeout))
+	if err := writeFrame(s.bw, msgView, sealed); err != nil {
+		s.detachLocked()
+		return err
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.detachLocked()
+		return err
+	}
+	typ, p, err := readFrame(s.br)
+	if err != nil {
+		s.detachLocked()
+		return err
+	}
+	s.conn.SetDeadline(time.Time{})
+	if typ != msgViewAck {
+		s.detachLocked()
+		return fmt.Errorf("cluster: unexpected frame %d for view ack", typ)
+	}
+	a, err := decodeAck(p)
+	if err != nil {
+		s.detachLocked()
+		return err
+	}
+	if a.Code != ackOK {
+		return fmt.Errorf("cluster: view refused: code %d %s", a.Code, a.Msg)
+	}
+	return nil
 }
 
 // sink ships one committed batch and waits for the follower's verdict.
@@ -239,6 +434,16 @@ func (s *shipper) sink(seg *persist.Segment) error {
 		return shard.ErrNotOwner
 	}
 	if !s.attached {
+		if !s.grace.IsZero() && time.Now().Before(s.grace) {
+			// Re-replication grace: no standby for this fencing epoch
+			// exists anywhere yet, so the write is acknowledged on local
+			// durability alone while the attach loop closes the window.
+			s.n.met.rereplUnrepl.Inc()
+			return nil
+		}
+		if !s.own {
+			s.n.met.rereplStalled.Inc()
+		}
 		return shard.ErrReplStalled
 	}
 	enc := persist.EncodeSegment(s.n.cfg.Key, seg)
@@ -272,8 +477,12 @@ func (s *shipper) sink(seg *persist.Segment) error {
 	case ackFenced:
 		s.detachLocked()
 		s.fenced = true
-		// becomeDeposed takes n.mu only; safe under s.mu.
-		s.n.becomeDeposed(a.Msg)
+		// becomeDeposed/deposeRange take n.mu only; safe under s.mu.
+		if s.own {
+			s.n.becomeDeposed(a.Msg)
+		} else {
+			s.n.deposeRange(s.rangeID, a.Msg)
+		}
 		return shard.ErrNotOwner
 	case ackResync:
 		// Continuity lost (usually our own checkpoint rotated the log

@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// View is the cluster's membership state at one epoch. The key design
+// choice: ring arcs are keyed by *lineages* — the founding member IDs —
+// and never move. A lineage's whole range (its pool, its sealed anchors,
+// its fencing history) is handed between physical members as a unit via
+// the baseline-export machinery, so membership changes reuse exactly the
+// replication path that failover already trusts.
+//
+//   - join adds a physical member with no lineage: it serves nothing but
+//     immediately hosts standbys and is a handoff / re-replication target.
+//   - move (and leave, which is a move away from the leaving member)
+//     reassigns Serving[lineage] after a verified baseline + segment
+//     catch-up lands on the target.
+//   - remove expels a member permanently; its streams and any re-join
+//     are refused from then on.
+//
+// Views are sealed under a key derived from the processor key; a forged
+// or truncated view dies in decodeView. The epoch is additionally sealed
+// into every member's persist anchor (anchor v3), so a rolled-back view
+// file cannot resurrect an expelled member across a restart.
+type View struct {
+	Epoch    uint64
+	Members  []Member
+	Lineages []string
+	// Serving maps lineage -> member ID administratively assigned to
+	// serve it. Failover promotions are discovered (redirects + successor
+	// walk), not written here; only ring-change handoffs reassign it.
+	Serving map[string]string
+	Removed []string
+}
+
+// initialView builds epoch-0 state from a static member list: every
+// member is its own lineage and serves it.
+func initialView(members []Member) *View {
+	v := &View{Members: append([]Member(nil), members...), Serving: map[string]string{}}
+	for _, m := range members {
+		v.Lineages = append(v.Lineages, m.ID)
+		v.Serving[m.ID] = m.ID
+	}
+	sort.Strings(v.Lineages)
+	return v
+}
+
+// clone returns a deep copy, the starting point for the next epoch.
+func (v *View) clone() *View {
+	nv := &View{
+		Epoch:    v.Epoch,
+		Members:  append([]Member(nil), v.Members...),
+		Lineages: append([]string(nil), v.Lineages...),
+		Serving:  make(map[string]string, len(v.Serving)),
+		Removed:  append([]string(nil), v.Removed...),
+	}
+	for k, s := range v.Serving {
+		nv.Serving[k] = s
+	}
+	return nv
+}
+
+// member looks up a physical member by ID.
+func (v *View) member(id string) (Member, bool) {
+	for _, m := range v.Members {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// isRemoved reports whether id was expelled.
+func (v *View) isRemoved(id string) bool {
+	for _, r := range v.Removed {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// servingMember is the member administratively assigned to lineage l
+// (the lineage itself when never reassigned).
+func (v *View) servingMember(l string) string {
+	if s := v.Serving[l]; s != "" {
+		return s
+	}
+	return l
+}
+
+// membership builds the routing structures for this view: the ring over
+// the lineages, member lookup and successor order over the members.
+func (v *View) membership() (*Membership, error) {
+	ms, err := NewMembership(v.Members)
+	if err != nil {
+		return nil, err
+	}
+	ms.ring = NewRing(v.Lineages)
+	return ms, nil
+}
+
+func viewSealKey(processorKey []byte) []byte {
+	m := hmac.New(sha256.New, processorKey)
+	m.Write([]byte("aisebmt/cluster/view/v1"))
+	return m.Sum(nil)
+}
+
+const viewMagic = "SMVIEW1\x00"
+
+// encodeView serializes and seals a view under the processor key.
+func encodeView(key []byte, v *View) []byte {
+	b := []byte(viewMagic)
+	b = binary.BigEndian.AppendUint64(b, v.Epoch)
+	appendStr := func(s string) {
+		b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+		b = append(b, s...)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v.Members)))
+	for _, m := range v.Members {
+		appendStr(m.ID)
+		appendStr(m.Wire)
+		appendStr(m.Health)
+		appendStr(m.Repl)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v.Lineages)))
+	for _, l := range v.Lineages {
+		appendStr(l)
+	}
+	// Serving is emitted in sorted-lineage order for a deterministic seal.
+	keys := make([]string, 0, len(v.Serving))
+	for k := range v.Serving {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(keys)))
+	for _, k := range keys {
+		appendStr(k)
+		appendStr(v.Serving[k])
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v.Removed)))
+	for _, r := range v.Removed {
+		appendStr(r)
+	}
+	mac := hmac.New(sha256.New, viewSealKey(key))
+	mac.Write(b)
+	return mac.Sum(b)
+}
+
+// errViewTampered marks a view whose seal or structure failed to verify.
+var errViewTampered = errors.New("cluster: membership view tampered or truncated")
+
+// decodeView verifies and decodes a sealed view.
+func decodeView(key []byte, b []byte) (*View, error) {
+	const macLen = sha256.Size
+	if len(b) < len(viewMagic)+8+macLen {
+		return nil, errViewTampered
+	}
+	body, tag := b[:len(b)-macLen], b[len(b)-macLen:]
+	mac := hmac.New(sha256.New, viewSealKey(key))
+	mac.Write(body)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, errViewTampered
+	}
+	if string(body[:len(viewMagic)]) != viewMagic {
+		return nil, errViewTampered
+	}
+	p := body[len(viewMagic):]
+	ok := true
+	u64 := func() uint64 {
+		if len(p) < 8 {
+			ok = false
+			return 0
+		}
+		x := binary.BigEndian.Uint64(p[:8])
+		p = p[8:]
+		return x
+	}
+	u32 := func() uint32 {
+		if len(p) < 4 {
+			ok = false
+			return 0
+		}
+		x := binary.BigEndian.Uint32(p[:4])
+		p = p[4:]
+		return x
+	}
+	str := func() string {
+		if len(p) < 2 {
+			ok = false
+			return ""
+		}
+		n := int(binary.BigEndian.Uint16(p[:2]))
+		if len(p) < 2+n {
+			ok = false
+			return ""
+		}
+		s := string(p[2 : 2+n])
+		p = p[2+n:]
+		return s
+	}
+	v := &View{Epoch: u64(), Serving: map[string]string{}}
+	nm := u32()
+	if !ok || nm > 1<<16 {
+		return nil, errViewTampered
+	}
+	for i := uint32(0); i < nm && ok; i++ {
+		v.Members = append(v.Members, Member{ID: str(), Wire: str(), Health: str(), Repl: str()})
+	}
+	nl := u32()
+	if !ok || nl > 1<<16 {
+		return nil, errViewTampered
+	}
+	for i := uint32(0); i < nl && ok; i++ {
+		v.Lineages = append(v.Lineages, str())
+	}
+	ns := u32()
+	if !ok || ns > 1<<16 {
+		return nil, errViewTampered
+	}
+	for i := uint32(0); i < ns && ok; i++ {
+		k, s := str(), str()
+		v.Serving[k] = s
+	}
+	nr := u32()
+	if !ok || nr > 1<<16 {
+		return nil, errViewTampered
+	}
+	for i := uint32(0); i < nr && ok; i++ {
+		v.Removed = append(v.Removed, str())
+	}
+	if !ok || len(p) != 0 {
+		return nil, errViewTampered
+	}
+	return v, nil
+}
+
+// viewFile is where a node persists its applied view inside its data dir.
+const viewFile = "cluster-view.bin"
+
+// saveView atomically persists the sealed view into dir. Best effort on
+// fsync granularity — the authoritative rollback guard is the membership
+// epoch sealed into the persist anchor, not this file.
+func saveView(dir string, key []byte, v *View) error {
+	if dir == "" {
+		return nil
+	}
+	tmp := filepath.Join(dir, viewFile+".tmp")
+	if err := os.WriteFile(tmp, encodeView(key, v), 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, viewFile))
+}
+
+// loadView reads a previously saved view; (nil, nil) if none exists.
+func loadView(dir string, key []byte) (*View, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	b, err := os.ReadFile(filepath.Join(dir, viewFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeView(key, b)
+}
+
+// MarshalJSON renders the view for operators (admin "view" output).
+func (v *View) MarshalJSON() ([]byte, error) {
+	type jm struct {
+		ID     string `json:"id"`
+		Wire   string `json:"wire"`
+		Health string `json:"health"`
+		Repl   string `json:"repl"`
+	}
+	out := struct {
+		Epoch    uint64            `json:"epoch"`
+		Members  []jm              `json:"members"`
+		Lineages []string          `json:"lineages"`
+		Serving  map[string]string `json:"serving"`
+		Removed  []string          `json:"removed,omitempty"`
+	}{Epoch: v.Epoch, Lineages: v.Lineages, Serving: map[string]string{}, Removed: v.Removed}
+	for _, m := range v.Members {
+		out.Members = append(out.Members, jm{m.ID, m.Wire, m.Health, m.Repl})
+	}
+	for _, l := range v.Lineages {
+		out.Serving[l] = v.servingMember(l)
+	}
+	return json.Marshal(out)
+}
+
+// FetchView retrieves a member's current sealed membership view over its
+// replication port — how a joining daemon bootstraps its membership from
+// any seed member.
+func FetchView(addr string, key []byte, timeout time.Duration) (*View, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	if err := writeFrame(c, msgViewReq, nil); err != nil {
+		return nil, err
+	}
+	typ, p, err := readFrame(c)
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgView {
+		return nil, fmt.Errorf("cluster: unexpected frame %d for view request", typ)
+	}
+	return decodeView(key, p)
+}

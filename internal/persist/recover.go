@@ -161,6 +161,7 @@ func (st *Store) Recover(cfg shard.Config) (*shard.Pool, RecoveryInfo, error) {
 	st.epoch = anc.Epoch
 	st.ckptMu.Unlock()
 	st.fence.Store(anc.Fence)
+	st.memEpoch.Store(anc.MemEpoch)
 	pool.SetCommitHook(st)
 	st.startBackground()
 	info.Elapsed = time.Since(start)

@@ -61,20 +61,27 @@ func seal(k, b []byte) [sealSize]byte {
 // owner seals the owner's last fence + 1 into its own anchor, and the
 // replication receiver refuses segments stamped with an older fence —
 // so a deposed owner stays deposed across restarts of either side.
+// MemEpoch is the cluster membership epoch the node last applied: a ring
+// change ratchets it, and a node refuses any membership view older than
+// the epoch sealed here — so a rolled-back view cannot resurrect an
+// expelled member or an undone handoff across restarts.
 type anchor struct {
-	Epoch uint64
-	Fence uint64
-	Chips []core.ChipState
+	Epoch    uint64
+	Fence    uint64
+	MemEpoch uint64
+	Chips    []core.ChipState
 }
 
 // encodeAnchor serializes and seals an anchor. Version 2 added the
-// fencing epoch; version-1 anchors (fence implicitly 0) still parse.
+// fencing epoch, version 3 the membership epoch; older anchors (missing
+// fields implicitly 0) still parse.
 func encodeAnchor(k []byte, a anchor) []byte {
 	b := make([]byte, 0, 64+len(a.Chips)*64)
 	b = append(b, anchorMagic...)
-	b = binary.LittleEndian.AppendUint32(b, 2) // version
+	b = binary.LittleEndian.AppendUint32(b, 3) // version
 	b = binary.LittleEndian.AppendUint64(b, a.Epoch)
 	b = binary.LittleEndian.AppendUint64(b, a.Fence)
+	b = binary.LittleEndian.AppendUint64(b, a.MemEpoch)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(a.Chips)))
 	for _, c := range a.Chips {
 		b = append(b, c.GPC[:]...)
@@ -101,7 +108,7 @@ func parseAnchor(k, b []byte) (anchor, error) {
 		return anchor{}, fmt.Errorf("%w: anchor bad magic", ErrTrustTampered)
 	}
 	v := binary.LittleEndian.Uint32(body[8:12])
-	if v != 1 && v != 2 {
+	if v < 1 || v > 3 {
 		return anchor{}, fmt.Errorf("%w: anchor unknown version %d", ErrTrustTampered, v)
 	}
 	a := anchor{Epoch: binary.LittleEndian.Uint64(body[12:20])}
@@ -111,6 +118,13 @@ func parseAnchor(k, b []byte) (anchor, error) {
 			return anchor{}, fmt.Errorf("%w: anchor too short for v2 header", ErrTrustTampered)
 		}
 		a.Fence = binary.LittleEndian.Uint64(body[off : off+8])
+		off += 8
+	}
+	if v >= 3 {
+		if len(body) < off+8+4 {
+			return anchor{}, fmt.Errorf("%w: anchor too short for v3 header", ErrTrustTampered)
+		}
+		a.MemEpoch = binary.LittleEndian.Uint64(body[off : off+8])
 		off += 8
 	}
 	n := binary.LittleEndian.Uint32(body[off : off+4])

@@ -156,9 +156,21 @@ type Store struct {
 	// 0 outside cluster deployments.
 	fence atomic.Uint64
 
+	// memEpoch is the cluster membership epoch last applied on this node;
+	// it is sealed into the anchor alongside the fence so a stale or
+	// rolled-back membership view is refused across restarts. 0 outside
+	// cluster deployments.
+	memEpoch atomic.Uint64
+
 	// segSink, when set, receives a sealed Segment for every committed
 	// batch before the batch is acknowledged (synchronous replication).
 	segSink atomic.Pointer[segSinkRef]
+
+	// rotHook, when set, is called after every successful checkpoint with
+	// the new WAL epoch. The cluster shipper uses it to proactively
+	// restart its follower stream from the post-rotation baseline instead
+	// of letting the next commit die on a continuity error.
+	rotHook atomic.Pointer[rotHookRef]
 
 	wals []*walWriter
 
@@ -174,12 +186,42 @@ type Store struct {
 // segSinkRef boxes the replication sink func for atomic.Pointer.
 type segSinkRef struct{ f func(*Segment) error }
 
+// rotHookRef boxes the checkpoint-rotation hook for atomic.Pointer.
+type rotHookRef struct{ f func(epoch uint64) }
+
 // SetFence sets the node's cluster fencing epoch. New segments carry it
 // immediately; it is sealed into the anchor at the next checkpoint.
 func (st *Store) SetFence(f uint64) { st.fence.Store(f) }
 
 // Fence returns the node's current cluster fencing epoch.
 func (st *Store) Fence() uint64 { return st.fence.Load() }
+
+// SetMemEpoch sets the cluster membership epoch; it is sealed into the
+// anchor at the next checkpoint so view rollbacks are refused across
+// restarts. Epochs only ratchet up.
+func (st *Store) SetMemEpoch(e uint64) {
+	for {
+		cur := st.memEpoch.Load()
+		if e <= cur || st.memEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// MemEpoch returns the last applied cluster membership epoch.
+func (st *Store) MemEpoch() uint64 { return st.memEpoch.Load() }
+
+// SetRotateHook installs (or, with nil, removes) the checkpoint-rotation
+// notifier: it runs at the end of every successful Checkpoint, after the
+// logs have been reset to the new epoch. The hook must not block and
+// must not call back into the store.
+func (st *Store) SetRotateHook(f func(epoch uint64)) {
+	if f == nil {
+		st.rotHook.Store(nil)
+		return
+	}
+	st.rotHook.Store(&rotHookRef{f: f})
+}
 
 // SetSegmentSink installs (or, with nil, removes) the replication sink.
 // While set, every committed batch is encoded as a Segment and handed to
@@ -456,7 +498,7 @@ func (st *Store) Checkpoint() error {
 		if err := st.fs.SyncDir(st.opts.Dir); err != nil {
 			return err
 		}
-		if err := st.writeAnchor(anchor{Epoch: newEpoch, Fence: st.fence.Load(), Chips: chips}); err != nil {
+		if err := st.writeAnchor(anchor{Epoch: newEpoch, Fence: st.fence.Load(), MemEpoch: st.memEpoch.Load(), Chips: chips}); err != nil {
 			return err
 		}
 		// From the durable anchor on, the new snapshot is authoritative;
@@ -487,6 +529,9 @@ func (st *Store) Checkpoint() error {
 	}
 	st.lastSnapPath, st.lastSnapBytes = st.snapPath(newEpoch), cw.n
 	st.met.observeCheckpoint(time.Since(ckptStart), newEpoch, cw.n)
+	if ref := st.rotHook.Load(); ref != nil {
+		ref.f(newEpoch)
+	}
 	st.gcSnapshots(newEpoch)
 	if st.opts.Logf != nil {
 		st.opts.Logf("checkpoint: epoch %d snapshotted (%s), WALs truncated", newEpoch, sizeString(cw.n))

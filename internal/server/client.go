@@ -302,6 +302,34 @@ func (c *Client) TenantStats() ([]byte, error) {
 	return p.Data, nil
 }
 
+// clusterOp runs one membership-admin op with arg in Data and returns
+// the resulting cluster view as raw JSON.
+func (c *Client) clusterOp(op Op, arg string) ([]byte, error) {
+	p, err := c.Do(&Request{Op: op, Data: []byte(arg)})
+	if err != nil {
+		return nil, err
+	}
+	if err := check(op, p); err != nil {
+		return nil, err
+	}
+	return p.Data, nil
+}
+
+// ClusterView fetches the node's current cluster view as JSON.
+func (c *Client) ClusterView() ([]byte, error) { return c.clusterOp(OpClusterView, "") }
+
+// ClusterJoin admits a new member ("id=host:port/repl" spec) to the
+// cluster this node belongs to.
+func (c *Client) ClusterJoin(spec string) ([]byte, error) { return c.clusterOp(OpClusterJoin, spec) }
+
+// ClusterLeave drains the addressed node (id must be the node served by
+// this connection) and retires it from the cluster.
+func (c *Client) ClusterLeave(id string) ([]byte, error) { return c.clusterOp(OpClusterLeave, id) }
+
+// ClusterRemove expels a dead member; its ranges must already be served
+// by the node this connection addresses.
+func (c *Client) ClusterRemove(id string) ([]byte, error) { return c.clusterOp(OpClusterRemove, id) }
+
 // Cordon takes shard i out of service (operator control).
 func (c *Client) Cordon(i int) error {
 	p, err := c.Do(&Request{Op: OpCordon, Addr: uint64(i)})

@@ -70,6 +70,17 @@ type TenantBackend interface {
 	StatsJSON() ([]byte, error)
 }
 
+// ClusterBackend is the optional membership-admin surface of a cluster
+// backend. The server discovers it by type assertion on its Backend —
+// single-daemon pools answer the cluster ops Unsupported. Each method
+// returns the resulting cluster view as JSON.
+type ClusterBackend interface {
+	ClusterView() ([]byte, error)
+	ClusterJoin(spec string) ([]byte, error)
+	ClusterLeave(id string) ([]byte, error)
+	ClusterRemove(id string) ([]byte, error)
+}
+
 // Backend is what the server front-end needs from its data plane. A
 // *shard.Pool satisfies it directly (the single-daemon case); a
 // cluster.Node satisfies it by routing each operation to the owning
@@ -423,6 +434,8 @@ func (s *Server) dispatch(q *Request) *Response {
 		return &Response{Status: StatusOK}
 	case OpTenantCreate, OpTenantDestroy, OpTenantFork, OpTenantRead, OpTenantWrite, OpTenantStats:
 		return s.dispatchTenant(ctx, q)
+	case OpClusterView, OpClusterJoin, OpClusterLeave, OpClusterRemove:
+		return s.dispatchCluster(q)
 	case OpHibernate:
 		if s.opts.Checkpoint != nil {
 			path, n, err := s.opts.Checkpoint()
@@ -491,6 +504,36 @@ func (s *Server) dispatchTenant(ctx context.Context, q *Request) *Response {
 		}
 		return &Response{Status: StatusOK, Data: data}
 	}
+}
+
+// dispatchCluster executes one membership-admin request against the
+// backend's ClusterBackend surface; the argument rides in Data as text.
+// Admin ops serialize inside the backend, so no context plumbing here —
+// a handoff legitimately outlasts a request timeout.
+func (s *Server) dispatchCluster(q *Request) *Response {
+	cb, ok := s.pool.(ClusterBackend)
+	if !ok {
+		return fail(StatusUnsupported, fmt.Errorf("server: backend has no cluster membership layer (%w)", core.ErrUnsupported))
+	}
+	arg := string(q.Data)
+	var (
+		data []byte
+		err  error
+	)
+	switch q.Op {
+	case OpClusterView:
+		data, err = cb.ClusterView()
+	case OpClusterJoin:
+		data, err = cb.ClusterJoin(arg)
+	case OpClusterLeave:
+		data, err = cb.ClusterLeave(arg)
+	default: // OpClusterRemove
+		data, err = cb.ClusterRemove(arg)
+	}
+	if err != nil {
+		return failErr(err)
+	}
+	return &Response{Status: StatusOK, Data: data}
 }
 
 // hibernate writes the pool image plus its chip states to HibernatePath

@@ -40,6 +40,14 @@ const (
 	OpTenantRead
 	OpTenantWrite
 	OpTenantStats
+	// Cluster membership operations drive the ring-change protocol on a
+	// cluster-mode node: Data carries the argument as text (join: the new
+	// member's "id=host:port/repl" spec; leave/remove: the member ID; view:
+	// nothing) and the answer is the resulting cluster view as JSON.
+	OpClusterView
+	OpClusterJoin
+	OpClusterLeave
+	OpClusterRemove
 )
 
 func (o Op) String() string {
@@ -76,6 +84,14 @@ func (o Op) String() string {
 		return "tenant-write"
 	case OpTenantStats:
 		return "tenant-stats"
+	case OpClusterView:
+		return "cluster-view"
+	case OpClusterJoin:
+		return "cluster-join"
+	case OpClusterLeave:
+		return "cluster-leave"
+	case OpClusterRemove:
+		return "cluster-remove"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -260,7 +276,7 @@ func parseRequest(body []byte) (*Request, error) {
 		DeadlineUS: binary.BigEndian.Uint32(body[29:33]),
 		TraceID:    binary.BigEndian.Uint64(body[33:41]),
 	}
-	if q.Op < OpRead || q.Op > OpTenantStats {
+	if q.Op < OpRead || q.Op > OpClusterRemove {
 		return nil, fmt.Errorf("server: unknown op %d", body[0])
 	}
 	if len(body) > reqHeaderLen {

@@ -64,8 +64,18 @@ echo "$SCRAPE" | grep -q '^secmemd_cluster_follower_attached 1' ||
     { echo "member n1 has no attached follower" >&2; exit 1; }
 echo "$SCRAPE" | grep -q '^secmemd_cluster_segments_shipped_total [1-9]' ||
     { echo "no sealed WAL segments were shipped" >&2; exit 1; }
-echo "$SCRAPE" | grep -q '^secmemd_cluster_baselines_applied_total [1-9]' ||
-    { echo "member n1 imported no baseline" >&2; exit 1; }
+# Standby placement prefers the first successor but settles on any live
+# one when boot order races, so baselines are asserted cluster-wide:
+# every member writes through an attached stream (errors=0 above), which
+# needs one imported baseline per range.
+BASELINES=0
+for h in 9401 9402 9403; do
+    S=$(curl -s "http://$BASE:$h/metrics" 2>/dev/null || wget -qO- "http://$BASE:$h/metrics")
+    N=$(echo "$S" | awk '$1 == "secmemd_cluster_baselines_applied_total" {print $2}')
+    BASELINES=$((BASELINES + ${N:-0}))
+done
+[ "$BASELINES" -ge 3 ] ||
+    { echo "only $BASELINES baselines imported cluster-wide, want >= 3" >&2; exit 1; }
 
 # Clean shutdown: every member drains, verifies every shard, checkpoints.
 for pid in $PIDS; do kill -TERM "$pid"; done

@@ -1,0 +1,146 @@
+#!/bin/sh
+# lifecycle_smoke.sh — end-to-end cluster lifecycle smoke over real
+# daemons and the admin wire ops:
+#
+#   1. boot a 3-node cluster and drive ring-aware traffic through it
+#   2. admit a fourth member with `secmemrouter -admin join` and boot it
+#      from the seed's sealed view (`secmemd -cluster-join`)
+#   3. SIGKILL a founding member: its follower must promote AND the
+#      promoted range must re-replicate onto a survivor on its own
+#      (secmemd_cluster_rerepl_attached closes the single-copy window)
+#   4. restart the victim on its stale data dir: it must rejoin fenced
+#      (secmemd_cluster_deposed = 1), never split-brain
+#   5. retire a member with `-admin leave`: verified handoff, epoch
+#      ratchet, traffic keeps flowing
+#   6. lint the /metrics exposition and shut the survivors down cleanly
+#
+# Used by `make lifecycle-smoke`; CI runs it after the cluster smoke.
+set -eu
+
+cd "$(dirname "$0")/.."
+MEM="${MEM:-4MiB}"
+BASE="${BASE:-127.0.0.1}"
+
+MEMBERS="n1=$BASE:7411/$BASE:9411/$BASE:8411,n2=$BASE:7412/$BASE:9412/$BASE:8412,n3=$BASE:7413/$BASE:9413/$BASE:8413"
+N4SPEC="n4=$BASE:7414/$BASE:9414/$BASE:8414"
+
+go build -o /tmp/secmemd ./cmd/secmemd
+go build -o /tmp/secmemrouter ./cmd/secmemrouter
+go build -o /tmp/loadgen ./cmd/loadgen
+go build -o /tmp/metricslint ./cmd/metricslint
+
+DATA=$(mktemp -d /tmp/secmemd-lifecycle.XXXXXX)
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do kill -KILL "$pid" 2>/dev/null || true; done
+    rm -rf "$DATA"
+}
+trap cleanup EXIT INT TERM
+
+scrape() { curl -s "$1" 2>/dev/null || wget -qO- "$1"; }
+metric() { scrape "http://$1/metrics" | awk -v m="$2" '$1==m {print $2; found=1} END {if (!found) print 0}'; }
+
+# wait_metric_ge health-addr metric want seconds what
+wait_metric_ge() {
+    i=0
+    while :; do
+        got=$(metric "$1" "$2" || echo 0)
+        if awk -v g="$got" -v w="$3" 'BEGIN {exit !(g+0 >= w+0)}'; then return 0; fi
+        i=$((i + 1))
+        [ "$i" -ge $(($4 * 10)) ] && { echo "timeout: $5 ($2=$got, want >= $3)" >&2; return 1; }
+        sleep 0.1
+    done
+}
+
+start_member() { # id extra-args...
+    id=$1; shift
+    /tmp/secmemd -cluster-id "$id" -mem "$MEM" -data-dir "$DATA/$id" \
+        -fsync always "$@" &
+    PIDS="$PIDS $!"
+    eval "PID_$id=$!"
+}
+
+# 1. Boot the founding members and prove the ring serves.
+for id in n1 n2 n3; do start_member "$id" -cluster "$MEMBERS"; done
+/tmp/loadgen -cluster "$MEMBERS" -mem "$MEM" -conns 1 -ops 1 -mixes 1.0 \
+    -wait-ready "http://$BASE:9411/readyz,http://$BASE:9412/readyz,http://$BASE:9413/readyz" \
+    -retries 8 >/dev/null
+/tmp/loadgen -cluster "$MEMBERS" -mem "$MEM" -conns 4 -duration 1s \
+    -mixes 0.90,0.50 -dist uniform -retries 8 >/dev/null
+
+# 2. Join: admit n4 through the wire op, then boot it from the seed view.
+/tmp/secmemrouter -admin join -target "$BASE:7411" -arg "$N4SPEC"
+wait_metric_ge "$BASE:9411" secmemd_cluster_view_epoch 1 10 "join epoch never applied on n1"
+wait_metric_ge "$BASE:9413" secmemd_cluster_view_epoch 1 10 "join epoch never reached n3"
+start_member n4 -cluster-join "$BASE:8411"
+/tmp/loadgen -cluster "$MEMBERS" -mem "$MEM" -conns 1 -ops 1 -mixes 1.0 \
+    -wait-ready "http://$BASE:9414/readyz" -retries 8 >/dev/null
+wait_metric_ge "$BASE:9414" secmemd_cluster_view_epoch 1 10 "joiner never fetched the view"
+echo "lifecycle: n4 joined at epoch 1"
+
+# 3. Failover with automatic re-replication: kill n2 and wait for a
+# survivor to promote its range and re-close the single-copy window.
+kill -KILL "$PID_n2"
+deadline=30
+while :; do
+    sum=0
+    for h in 9411 9413 9414; do
+        f=$(metric "$BASE:$h" secmemd_cluster_failovers_total)
+        sum=$(awk -v a="$sum" -v b="$f" 'BEGIN {print a + b}')
+    done
+    if awk -v s="$sum" 'BEGIN {exit !(s >= 1)}'; then break; fi
+    deadline=$((deadline - 1))
+    [ "$deadline" -le 0 ] && { echo "no survivor promoted n2's range" >&2; exit 1; }
+    sleep 1
+done
+deadline=30
+while :; do
+    window=""
+    for h in 9411 9413 9414; do
+        got=$(metric "$BASE:$h" secmemd_cluster_rerepl_attached)
+        if awk -v g="$got" 'BEGIN {exit !(g + 0 >= 1)}'; then
+            window=$(metric "$BASE:$h" secmemd_cluster_rerepl_window_ms)
+            break
+        fi
+    done
+    [ -n "$window" ] && break
+    deadline=$((deadline - 1))
+    [ "$deadline" -le 0 ] && { echo "promoted range never re-replicated on any survivor" >&2; exit 1; }
+    sleep 1
+done
+echo "lifecycle: promoted range re-replicated (single-copy window ${window}ms)"
+/tmp/loadgen -cluster "$MEMBERS" -mem "$MEM" -conns 4 -duration 1s \
+    -mixes 0.90,0.50 -dist uniform -retries 12 >/dev/null
+echo "lifecycle: traffic flows after failover"
+
+# 4. Fenced rejoin: the victim restarts on its stale dir convinced it
+# still owns its range; the fence must depose it automatically.
+start_member n2 -cluster "$MEMBERS"
+wait_metric_ge "$BASE:9412" secmemd_cluster_deposed 1 30 "restarted n2 never rejoined fenced"
+echo "lifecycle: n2 rejoined deposed behind the fence"
+
+# 5. Leave: n3 retires through verified handoffs; the epoch ratchets and
+# every range it served moves without losing a write.
+/tmp/secmemrouter -admin leave -target "$BASE:7413" -arg n3
+wait_metric_ge "$BASE:9413" secmemd_cluster_handoffs_total 1 10 "n3 completed no handoff"
+wait_metric_ge "$BASE:9411" secmemd_cluster_view_epoch 2 10 "leave epochs never reached n1"
+/tmp/loadgen -cluster "$MEMBERS" -mem "$MEM" -conns 4 -duration 1s \
+    -mixes 0.90,0.50 -dist uniform -retries 12 >/dev/null
+echo "lifecycle: n3 left; traffic flows over the remaining members"
+
+# 6. The exposition must still satisfy the metric conventions.
+/tmp/metricslint -url "http://$BASE:9411/metrics"
+
+# Clean shutdown: every survivor drains and runs its final sweep.
+fail=0
+for id in n1 n2 n4 n3; do
+    eval "pid=\$PID_$id"
+    kill -TERM "$pid" 2>/dev/null || true
+done
+for id in n1 n2 n4 n3; do
+    eval "pid=\$PID_$id"
+    wait "$pid" || { echo "member $id exited dirty" >&2; fail=1; }
+done
+PIDS=""
+[ "$fail" -eq 0 ] || exit 1
+echo "lifecycle smoke: join, failover+rerepl, fenced rejoin, leave — all clean"
