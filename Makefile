@@ -16,6 +16,10 @@
 #   make bench-crypto    crypto hot-path microbenchmarks: overhauled engines
 #                        vs their frozen reference implementations,
 #                        BENCH_crypto.json
+#   make bench-integrity Merkle tree update-engine benchmarks: batched,
+#                        coalescing passes vs the frozen serial reference
+#                        walk, plus e2e pool write throughput,
+#                        BENCH_integrity.json
 #   make bench-smoke     one-iteration pass over every microbenchmark (CI
 #                        keeps them compiling and allocation-clean)
 #   make metrics-smoke   start a daemon with observability on, drive traced
@@ -48,7 +52,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-smoke chaos chaos-smoke metrics-smoke bench-cluster cluster-smoke lifecycle-smoke cluster tenant-smoke bench-tenants
+.PHONY: check vet build test race fuzz fuzz-smoke bench bench-recovery bench-crypto bench-integrity bench-smoke chaos chaos-smoke metrics-smoke bench-cluster cluster-smoke lifecycle-smoke cluster tenant-smoke bench-tenants
 
 check: vet build test race
 
@@ -62,7 +66,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/shard/... ./internal/server/... ./internal/persist/... ./internal/cluster/... ./internal/chaos/... ./internal/vm/... ./internal/tenant/...
+	$(GO) test -race ./internal/integrity/... ./internal/obs/... ./internal/shard/... ./internal/server/... ./internal/persist/... ./internal/cluster/... ./internal/chaos/... ./internal/vm/... ./internal/tenant/...
 
 fuzz:
 	$(GO) test -run=none -fuzz=FuzzRequestRoundTrip -fuzztime=20s ./internal/server/
@@ -93,8 +97,11 @@ bench-recovery: build
 bench-crypto:
 	./scripts/bench_crypto.sh
 
+bench-integrity:
+	./scripts/bench_integrity.sh
+
 bench-smoke:
-	$(GO) test -run=none -bench . -benchtime 1x ./internal/crypto/... .
+	$(GO) test -run=none -bench . -benchtime 1x ./internal/crypto/... ./internal/integrity/... ./internal/shard/... .
 
 metrics-smoke: build
 	./scripts/metrics_smoke.sh

@@ -530,6 +530,7 @@ func printTracez(base string, n int) {
 			AppendNs   int64  `json:"append_ns"`
 			FsyncNs    int64  `json:"fsync_ns"`
 			ExecNs     int64  `json:"exec_ns"`
+			TreeNs     int64  `json:"tree_ns"`
 			TotalUS    int64  `json:"total_us"`
 		} `json:"records"`
 	}
@@ -537,12 +538,12 @@ func printTracez(base string, n int) {
 		fmt.Printf("tracez: %v\n", err)
 		return
 	}
-	fmt.Printf("tracez: %d recent traced requests (queue → coalesce → append → fsync → exec):\n", dump.Count)
+	fmt.Printf("tracez: %d recent traced requests (queue → coalesce → append → fsync → exec → tree):\n", dump.Count)
 	for _, r := range dump.Records {
-		fmt.Printf("  %016x shard=%d %-7s %-5s %6.1fµs → %5.1fµs → %6.1fµs → %6.1fµs → %6.1fµs  total=%dµs\n",
+		fmt.Printf("  %016x shard=%d %-7s %-5s %6.1fµs → %5.1fµs → %6.1fµs → %6.1fµs → %6.1fµs → %5.1fµs  total=%dµs\n",
 			r.TraceID, r.Shard, r.OpName, r.StatusName,
 			float64(r.QueueNs)/1e3, float64(r.CoalesceNs)/1e3, float64(r.AppendNs)/1e3,
-			float64(r.FsyncNs)/1e3, float64(r.ExecNs)/1e3, r.TotalUS)
+			float64(r.FsyncNs)/1e3, float64(r.ExecNs)/1e3, float64(r.TreeNs)/1e3, r.TotalUS)
 	}
 }
 

@@ -85,6 +85,9 @@ func main() {
 	clusterProxy := flag.Bool("cluster-proxy", false, "forward misrouted requests to their owner instead of answering NotOwner")
 	clusterJoinAddr := flag.String("cluster-join", "", "seed member's repl address: bootstrap membership from its sealed view instead of -cluster (waits until an admin admits -cluster-id via the cluster-join wire op)")
 	rereplGrace := flag.Duration("rerepl-grace", 0, "bound on the single-copy grace window after a promotion before writes stall on re-replication (0 = default)")
+	treeWorkers := flag.Int("tree-workers", 4, "hash fan-out of the batched Merkle tree update engine per shard batch (<=1 hashes on the worker goroutine)")
+	treeCache := flag.Int("tree-cache", 1024, "write-back cache of tree node storage blocks per shard (0 disables)")
+	treeSerialRef := flag.Bool("tree-serial-ref", false, "route tree updates through the frozen serial reference walk (benchmark baseline; disables batching and -tree-cache)")
 	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -212,13 +215,19 @@ func main() {
 		BatchMax:   *batch,
 		Obs:        obsSvc,
 		Core: core.Config{
-			DataBytes:  bytes,
-			MACBits:    *macBits,
-			Key:        key,
-			Encryption: preset.enc,
-			Integrity:  preset.itg,
-			SwapSlots:  slots,
+			DataBytes:           bytes,
+			MACBits:             *macBits,
+			Key:                 key,
+			Encryption:          preset.enc,
+			Integrity:           preset.itg,
+			SwapSlots:           slots,
+			TreeUpdateWorkers:   *treeWorkers,
+			TreeNodeCacheBlocks: *treeCache,
+			TreeSerialRef:       *treeSerialRef,
 		},
+	}
+	if *treeSerialRef {
+		cfg.Core.TreeNodeCacheBlocks = 0
 	}
 
 	var store *persist.Store

@@ -21,9 +21,10 @@ import (
 // survive, tampering is detected (never served), and untouched shards
 // keep serving throughout.
 var Scenarios = []string{
-	"bitflip-data",    // flip a ciphertext bit on the memory bus
-	"bitflip-counter", // flip a bit in a page's counter block
-	"rollback",        // record whole shard memory, replay it after writes
+	"bitflip-data",     // flip a ciphertext bit on the memory bus
+	"bitflip-counter",  // flip a bit in a page's counter block
+	"bitflip-treenode", // flip a bit in a coalesced interior tree node
+	"rollback",         // record whole shard memory, replay it after writes
 	"wal-fault",       // one shard's WAL device dies (every op errors)
 	"torn-append",     // WAL appends land half a record then error
 	"slow-io",         // the disk stalls but never fails
@@ -142,6 +143,10 @@ func New(cfg Config) (*Harness, error) {
 			Encryption: core.AISE,
 			Integrity:  core.BonsaiMT,
 			SwapSlots:  4,
+			// Batch commits run the coalesced engine with parallel node
+			// hashing; the write-back node cache stays off so injected
+			// tree-node tampering lands where the next read looks.
+			TreeUpdateWorkers: 2,
 		},
 		Obs: obsSvc,
 	})
@@ -385,6 +390,35 @@ func (h *Harness) Run(scenario string) error {
 		localPage := int(uint64(h.localAddr(addr)) / layout.PageSize)
 		h.stats.TampersInjected++
 		if err := h.Inj.BitflipRegion(victim, "counters", localPage, h.rng.Intn(layout.BlockSize*8)); err != nil {
+			return err
+		}
+		if err := h.expectDetected(addr); err != nil {
+			return err
+		}
+		if err := h.expectBystandersServe(victim); err != nil {
+			return err
+		}
+	case "bitflip-treenode":
+		if err := h.burst(2 * h.cfg.Shards); err != nil {
+			return err
+		}
+		addr, err := h.modelAddrOn(victim)
+		if err != nil {
+			return err
+		}
+		// The victim page's counter block is tree leaf `localPage` (the
+		// counters region is the tree's first leaf region, one counter
+		// block per page under AISE), so its stored level-0 MAC is the
+		// 16-byte slot at leaf*16 from the tree region base (default
+		// 128-bit node MACs). Flip a bit inside that slot — the exact
+		// interior bytes the coalesced batch engine rewrites — and the
+		// next read of the page must refuse.
+		const nodeMACBytes = 16
+		localPage := int(uint64(h.localAddr(addr)) / layout.PageSize)
+		slotByte := localPage * nodeMACBytes
+		h.stats.TampersInjected++
+		if err := h.Inj.BitflipRegion(victim, "tree", slotByte/layout.BlockSize,
+			(slotByte%layout.BlockSize)*8+h.rng.Intn(nodeMACBytes*8)); err != nil {
 			return err
 		}
 		if err := h.expectDetected(addr); err != nil {

@@ -128,6 +128,19 @@ type Config struct {
 	// GPCImage, when non-nil, restores the Global Page Counter from a prior
 	// Save — the non-volatile register surviving a reboot.
 	GPCImage *[8]byte
+	// TreeUpdateWorkers bounds the hash fan-out of the batched Merkle tree
+	// update engine per level (see BeginTreeBatch). 0 or 1 hashes on the
+	// calling goroutine; coalescing happens either way.
+	TreeUpdateWorkers int
+	// TreeNodeCacheBlocks sizes the write-back cache of tree node storage
+	// blocks (0 disables). Dirty nodes reach memory on eviction or at the
+	// flush before any hibernate/checkpoint seal.
+	TreeNodeCacheBlocks int
+	// TreeSerialRef routes every tree update through the frozen serial
+	// reference walk (integrity.Tree.UpdateBlockRef) instead of the batched
+	// engine — the benchmark "before" configuration. Incompatible with
+	// TreeNodeCacheBlocks.
+	TreeSerialRef bool
 }
 
 // Stats counts the controller's work for experiments and examples.
@@ -151,6 +164,18 @@ type Stats struct {
 	CtrCacheMisses    uint64
 	TreeNodeCacheHits uint64
 	TreeNodeCacheMiss uint64
+
+	// Batched tree-update engine counters (integrity.UpdateStats): what the
+	// level-ordered pass did and saved, and the write-back node cache's
+	// real (not modeled) traffic. TreeWB* are zero with the cache disabled.
+	TreeBatches        uint64
+	TreeBatchedLeaves  uint64
+	TreeNodesHashed    uint64
+	TreeNodesCoalesced uint64
+	TreeWBHits         uint64
+	TreeWBMisses       uint64
+	TreeWBWritebacks   uint64
+	TreeWBFlushes      uint64
 }
 
 // String renders the counters compactly for logs and examples.
@@ -197,6 +222,10 @@ type SecureMemory struct {
 
 	mcache metaCache
 	stats  Stats
+
+	// Deferred tree updates of the open batch window (see treebatch.go).
+	treeDepth int
+	treeDirty []layout.Addr
 }
 
 // Errors returned by the controller.
@@ -224,6 +253,9 @@ func newController(cfg Config) (*SecureMemory, error) {
 	}
 	if len(cfg.Key) != 16 {
 		return nil, fmt.Errorf("core: key must be 16 bytes, got %d", len(cfg.Key))
+	}
+	if cfg.TreeSerialRef && cfg.TreeNodeCacheBlocks > 0 {
+		return nil, fmt.Errorf("core: TreeSerialRef bypasses the node cache; TreeNodeCacheBlocks must be 0")
 	}
 	s := &SecureMemory{cfg: cfg}
 	dataBlocks := cfg.DataBytes / layout.BlockSize
@@ -374,6 +406,9 @@ func newController(cfg Config) (*SecureMemory, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.TreeNodeCacheBlocks > 0 {
+			s.tree.EnableNodeCache(cfg.TreeNodeCacheBlocks)
+		}
 	}
 	if cfg.SwapSlots > 0 {
 		s.rootDir, err = integrity.NewPageRootDirectory(s.mem, s.dirRegion.Base, cfg.MACBits, cfg.SwapSlots)
@@ -463,6 +498,15 @@ func (s *SecureMemory) Stats() Stats {
 	}
 	if s.tree != nil {
 		st.MACOps += s.tree.MACOps
+		us := s.tree.UpdateStats()
+		st.TreeBatches = us.Batches
+		st.TreeBatchedLeaves = us.BatchedLeaves
+		st.TreeNodesHashed = us.NodesHashed
+		st.TreeNodesCoalesced = us.NodesCoalesced
+		st.TreeWBHits = us.CacheHits
+		st.TreeWBMisses = us.CacheMisses
+		st.TreeWBWritebacks = us.Writebacks
+		st.TreeWBFlushes = us.Flushes
 	}
 	if s.dataMACs != nil {
 		st.MACOps += s.dataMACs.MACOps
@@ -543,7 +587,7 @@ func (s *SecureMemory) WriteBlock(a layout.Addr, plain *mem.Block, meta Meta) er
 		lpid, minor = cb.LPID, cb.Minor[a.BlockInPage()]
 		s.ctrMode.EncryptBlock(&ct, plain, s.seedFor(a, meta, uint64(minor), lpid))
 		if s.tree != nil {
-			if err := s.tree.UpdateBlock(s.split.BlockAddr(a)); err != nil {
+			if err := s.treeUpdate(s.split.BlockAddr(a)); err != nil {
 				return err
 			}
 			s.stats.TreeUpdates++
@@ -577,7 +621,7 @@ func (s *SecureMemory) WriteBlock(a layout.Addr, plain *mem.Block, meta Meta) er
 			s.dataMACs.Update(a, &ct, lpid, minor)
 		}
 	case MerkleTree:
-		if err := s.tree.UpdateBlock(a); err != nil {
+		if err := s.treeUpdate(a); err != nil {
 			return err
 		}
 		s.stats.TreeUpdates++
@@ -585,7 +629,7 @@ func (s *SecureMemory) WriteBlock(a layout.Addr, plain *mem.Block, meta Meta) er
 		// Counter storage written by the encryption step is also covered.
 		// (The AISE branch above already refreshed its counter block.)
 		if s.ctrRegion.Size > 0 && s.cfg.Encryption != AISE {
-			if err := s.tree.UpdateBlock(s.ctrSlotBlock(a)); err != nil {
+			if err := s.treeUpdate(s.ctrSlotBlock(a)); err != nil {
 				return err
 			}
 			s.stats.TreeUpdates++
@@ -618,6 +662,11 @@ func (s *SecureMemory) ctrSlotBlock(a layout.Addr) layout.Addr {
 func (s *SecureMemory) ReadBlock(a layout.Addr, dst *mem.Block, meta Meta) error {
 	a = a.BlockAddr()
 	if err := s.checkData(a); err != nil {
+		return err
+	}
+	// Verification below reads tree state: commit any updates the open
+	// batch window has deferred (no-op outside a window).
+	if err := s.treeBarrier(); err != nil {
 		return err
 	}
 	var ct mem.Block
@@ -728,7 +777,7 @@ func (s *SecureMemory) initializePage(page layout.Addr) error {
 			s.macOnly.Update(a, &ct)
 		}
 		if s.cfg.Integrity == MerkleTree {
-			if err := s.tree.UpdateBlock(a); err != nil {
+			if err := s.treeUpdate(a); err != nil {
 				return err
 			}
 		}
@@ -739,7 +788,7 @@ func (s *SecureMemory) initializePage(page layout.Addr) error {
 		}
 	}
 	if s.tree != nil {
-		if err := s.tree.UpdateBlock(s.split.BlockAddr(page)); err != nil {
+		if err := s.treeUpdate(s.split.BlockAddr(page)); err != nil {
 			return err
 		}
 	}
@@ -763,7 +812,7 @@ func (s *SecureMemory) reencryptPage(page layout.Addr, old, new counter.Block) e
 			s.dataMACs.Update(a, &nct, new.LPID, new.Minor[i])
 		}
 		if s.cfg.Integrity == MerkleTree {
-			if err := s.tree.UpdateBlock(a); err != nil {
+			if err := s.treeUpdate(a); err != nil {
 				return err
 			}
 		}
@@ -795,10 +844,10 @@ func (s *SecureMemory) reencryptAllGlobal() error {
 		s.ctrMode.EncryptBlock(&nct, &plain, encrypt.SeedInput{PhysAddr: a, Counter: v})
 		s.mem.WriteBlock(a, &nct)
 		if s.cfg.Integrity == MerkleTree {
-			if err := s.tree.UpdateBlock(a); err != nil {
+			if err := s.treeUpdate(a); err != nil {
 				return err
 			}
-			if err := s.tree.UpdateBlock(s.ctrSlotBlock(a)); err != nil {
+			if err := s.treeUpdate(s.ctrSlotBlock(a)); err != nil {
 				return err
 			}
 		}

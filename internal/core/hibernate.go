@@ -19,7 +19,17 @@ type ChipState struct {
 // Hibernate writes the untrusted memory image to w and returns the trusted
 // chip state the caller must keep in (simulated) on-chip non-volatile
 // storage. The controller remains usable afterwards.
+//
+// Flush-before-seal invariant: any deferred batched tree updates are
+// committed and every dirty cached tree node is written back BEFORE the
+// memory is serialized, so the image always matches the root it is sealed
+// against. (Checkpointing goes through here, so snapshot seals inherit the
+// invariant.)
 func (s *SecureMemory) Hibernate(w io.Writer) (ChipState, error) {
+	if err := s.treeBarrier(); err != nil {
+		return ChipState{}, fmt.Errorf("core: hibernate: %w", err)
+	}
+	s.FlushTreeNodes()
 	if err := s.mem.Serialize(w); err != nil {
 		return ChipState{}, fmt.Errorf("core: hibernate: %w", err)
 	}

@@ -22,6 +22,15 @@ type statsJSON struct {
 	CtrCacheMisses    uint64 `json:"ctr_cache_misses"`
 	TreeNodeCacheHits uint64 `json:"tree_node_cache_hits"`
 	TreeNodeCacheMiss uint64 `json:"tree_node_cache_misses"`
+
+	TreeBatches        uint64 `json:"tree_batches"`
+	TreeBatchedLeaves  uint64 `json:"tree_batched_leaves"`
+	TreeNodesHashed    uint64 `json:"tree_nodes_hashed"`
+	TreeNodesCoalesced uint64 `json:"tree_nodes_coalesced"`
+	TreeWBHits         uint64 `json:"tree_wb_cache_hits"`
+	TreeWBMisses       uint64 `json:"tree_wb_cache_misses"`
+	TreeWBWritebacks   uint64 `json:"tree_wb_writebacks"`
+	TreeWBFlushes      uint64 `json:"tree_wb_flushes"`
 }
 
 // MarshalJSON renders the counters under stable snake_case keys.
@@ -58,5 +67,14 @@ func (s Stats) Add(o Stats) Stats {
 		CtrCacheMisses:    s.CtrCacheMisses + o.CtrCacheMisses,
 		TreeNodeCacheHits: s.TreeNodeCacheHits + o.TreeNodeCacheHits,
 		TreeNodeCacheMiss: s.TreeNodeCacheMiss + o.TreeNodeCacheMiss,
+
+		TreeBatches:        s.TreeBatches + o.TreeBatches,
+		TreeBatchedLeaves:  s.TreeBatchedLeaves + o.TreeBatchedLeaves,
+		TreeNodesHashed:    s.TreeNodesHashed + o.TreeNodesHashed,
+		TreeNodesCoalesced: s.TreeNodesCoalesced + o.TreeNodesCoalesced,
+		TreeWBHits:         s.TreeWBHits + o.TreeWBHits,
+		TreeWBMisses:       s.TreeWBMisses + o.TreeWBMisses,
+		TreeWBWritebacks:   s.TreeWBWritebacks + o.TreeWBWritebacks,
+		TreeWBFlushes:      s.TreeWBFlushes + o.TreeWBFlushes,
 	}
 }

@@ -55,6 +55,10 @@ func (s *SecureMemory) SwapOut(pageAddr layout.Addr, slot int) (*PageImage, erro
 	if err := s.checkData(pageAddr); err != nil {
 		return nil, err
 	}
+	// The walk below reads tree state; commit any deferred batch first.
+	if err := s.treeBarrier(); err != nil {
+		return nil, err
+	}
 	ctrAddr := s.split.BlockAddr(pageAddr)
 
 	// Authenticate the page root before publishing it to the directory.
@@ -129,6 +133,9 @@ func (s *SecureMemory) SwapIn(img *PageImage, pageAddr layout.Addr, slot int) er
 	if err := s.checkData(pageAddr); err != nil {
 		return err
 	}
+	if err := s.treeBarrier(); err != nil {
+		return err
+	}
 	// Step 1: fetch the page root through a regular (tree-verified) read.
 	if err := s.tree.VerifyBlock(s.rootDir.SlotAddr(slot)); err != nil {
 		return fmt.Errorf("%w: page root directory: %v", ErrTampered, err)
@@ -188,6 +195,9 @@ func (s *SecureMemory) MovePage(oldPage, newPage layout.Addr) error {
 		return err
 	}
 	if err := s.checkData(newPage); err != nil {
+		return err
+	}
+	if err := s.treeBarrier(); err != nil {
 		return err
 	}
 	switch s.cfg.Encryption {

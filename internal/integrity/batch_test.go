@@ -1,0 +1,325 @@
+package integrity
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+// The differential harness: the batched engine and the frozen serial
+// reference must produce bit-identical roots AND bit-identical node
+// storage, for arbitrary update sets, with or without the node cache
+// (after a flush). Two trees over two memories receive the same writes;
+// one replays them through UpdateBlockRef, the other through UpdateBatch.
+
+const diffMemSize = 64 << 10
+
+func diffPair(t *testing.T, bits int) (*mem.Memory, *Tree, *mem.Memory, *Tree) {
+	t.Helper()
+	regions := []mem.Region{{Name: "d", Base: 0, Size: diffMemSize}}
+	mRef := mem.New(4 << 20)
+	mNew := mem.New(4 << 20)
+	trRef, err := NewTree(mRef, goldenKey, bits, regions, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trNew, err := NewTree(mNew, goldenKey, bits, regions, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := layout.Addr(0); a < diffMemSize; a += layout.BlockSize {
+		var blk mem.Block
+		for i := range blk {
+			blk[i] = byte(uint64(a)>>3 + uint64(i)*11)
+		}
+		mRef.WriteBlock(a, &blk)
+		mNew.WriteBlock(a, &blk)
+	}
+	trRef.Build()
+	trNew.Build()
+	return mRef, trRef, mNew, trNew
+}
+
+// storageBytes reads a tree's full node storage range out of memory.
+func storageBytes(m *mem.Memory, tr *Tree) []byte {
+	n := int(tr.StorageEnd() - tr.storage)
+	buf := make([]byte, n)
+	m.Read(tr.storage, buf)
+	return buf
+}
+
+func applyBatch(t *testing.T, mRef *mem.Memory, trRef *Tree, mNew *mem.Memory, trNew *Tree, addrs []layout.Addr, seed int64, workers int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for _, a := range addrs {
+		var blk mem.Block
+		rng.Read(blk[:])
+		mRef.WriteBlock(a, &blk)
+		mNew.WriteBlock(a, &blk)
+	}
+	for _, a := range addrs {
+		if err := trRef.UpdateBlockRef(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := trNew.UpdateBatch(addrs, workers); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkIdentical(t *testing.T, mRef *mem.Memory, trRef *Tree, mNew *mem.Memory, trNew *Tree, what string) {
+	t.Helper()
+	if flushed := trNew.FlushNodes(); trNew.cache == nil && flushed != 0 {
+		t.Fatalf("%s: flush on cacheless tree wrote %d blocks", what, flushed)
+	}
+	if !bytes.Equal(trRef.Root(), trNew.Root()) {
+		t.Fatalf("%s: batched root %x != serial reference root %x", what, trNew.Root(), trRef.Root())
+	}
+	if !bytes.Equal(storageBytes(mRef, trRef), storageBytes(mNew, trNew)) {
+		t.Fatalf("%s: batched node storage differs from serial reference", what)
+	}
+}
+
+func TestUpdateBatchMatchesSerialReference(t *testing.T) {
+	allLeaves := func() []layout.Addr {
+		var addrs []layout.Addr
+		for a := layout.Addr(0); a < diffMemSize; a += layout.BlockSize {
+			addrs = append(addrs, a)
+		}
+		return addrs
+	}
+	cases := []struct {
+		name  string
+		addrs []layout.Addr
+	}{
+		{"single-leaf", []layout.Addr{0x1000}},
+		{"duplicates", []layout.Addr{0x40, 0x40, 0x40, 0x80, 0x40}},
+		{"siblings", []layout.Addr{0x0, 0x40, 0x80, 0xC0, 0x100, 0x140}},
+		{"spread", []layout.Addr{0x0, 0x4000, 0x8000, 0xC000, 0xFFC0}},
+		{"full-tree", allLeaves()},
+	}
+	for _, bits := range []int{32, 64, 128, 256} {
+		for _, workers := range []int{1, 4} {
+			for _, tc := range cases {
+				mRef, trRef, mNew, trNew := diffPair(t, bits)
+				applyBatch(t, mRef, trRef, mNew, trNew, tc.addrs, int64(bits*100+workers), workers)
+				checkIdentical(t, mRef, trRef, mNew, trNew, tc.name)
+				// Back-to-back batches must also agree (state carried over).
+				applyBatch(t, mRef, trRef, mNew, trNew, tc.addrs[:1+len(tc.addrs)/2], int64(bits*100+workers+1), workers)
+				checkIdentical(t, mRef, trRef, mNew, trNew, tc.name+"/second-batch")
+			}
+		}
+	}
+}
+
+func TestUpdateBatchRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 30; round++ {
+		mRef, trRef, mNew, trNew := diffPair(t, 64)
+		workers := 1 + rng.Intn(8)
+		for batch := 0; batch < 4; batch++ {
+			n := 1 + rng.Intn(200)
+			addrs := make([]layout.Addr, n)
+			for i := range addrs {
+				addrs[i] = layout.Addr(rng.Intn(diffMemSize/layout.BlockSize)) * layout.BlockSize
+			}
+			applyBatch(t, mRef, trRef, mNew, trNew, addrs, int64(round*10+batch), workers)
+		}
+		checkIdentical(t, mRef, trRef, mNew, trNew, "randomized")
+	}
+}
+
+// TestUpdateBatchWithCacheMatches runs the batched side with a node cache
+// small enough to force evictions mid-batch; after FlushNodes the memory
+// image must still be bit-identical to the serial reference.
+func TestUpdateBatchWithCacheMatches(t *testing.T) {
+	for _, cacheBlocks := range []int{1, 4, 64, 4096} {
+		mRef, trRef, mNew, trNew := diffPair(t, 64)
+		trNew.EnableNodeCache(cacheBlocks)
+		trNew.Build() // rebuild resets the cache; memories already agree
+		rng := rand.New(rand.NewSource(int64(cacheBlocks)))
+		for batch := 0; batch < 5; batch++ {
+			n := 1 + rng.Intn(100)
+			addrs := make([]layout.Addr, n)
+			for i := range addrs {
+				addrs[i] = layout.Addr(rng.Intn(diffMemSize/layout.BlockSize)) * layout.BlockSize
+			}
+			applyBatch(t, mRef, trRef, mNew, trNew, addrs, int64(batch)+900, 4)
+		}
+		checkIdentical(t, mRef, trRef, mNew, trNew, "cached")
+		st := trNew.UpdateStats()
+		if st.CacheHits == 0 || st.CacheMisses == 0 {
+			t.Fatalf("cache=%d: expected hit and miss traffic, got %+v", cacheBlocks, st)
+		}
+		if cacheBlocks <= 4 && st.Writebacks == 0 {
+			t.Fatalf("cache=%d: tiny cache saw no eviction writebacks: %+v", cacheBlocks, st)
+		}
+	}
+}
+
+// TestUpdateBatchEagerMixMatches interleaves eager UpdateBlock calls (the
+// swap path does this between batches) with batched passes on a cached
+// tree; the mix must stay bit-identical to the serial reference.
+func TestUpdateBatchEagerMixMatches(t *testing.T) {
+	mRef, trRef, mNew, trNew := diffPair(t, 64)
+	trNew.EnableNodeCache(32)
+	trNew.Build()
+	rng := rand.New(rand.NewSource(55))
+	for round := 0; round < 10; round++ {
+		a := layout.Addr(rng.Intn(diffMemSize/layout.BlockSize)) * layout.BlockSize
+		var blk mem.Block
+		rng.Read(blk[:])
+		mRef.WriteBlock(a, &blk)
+		mNew.WriteBlock(a, &blk)
+		if err := trRef.UpdateBlockRef(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := trNew.UpdateBlock(a); err != nil { // eager, through the cache
+			t.Fatal(err)
+		}
+		addrs := make([]layout.Addr, 1+rng.Intn(50))
+		for i := range addrs {
+			addrs[i] = layout.Addr(rng.Intn(diffMemSize/layout.BlockSize)) * layout.BlockSize
+		}
+		applyBatch(t, mRef, trRef, mNew, trNew, addrs, int64(round)+7000, 2)
+	}
+	checkIdentical(t, mRef, trRef, mNew, trNew, "eager-mix")
+}
+
+func TestUpdateBatchCoalescingStats(t *testing.T) {
+	_, _, _, trNew := diffPair(t, 64)
+	mNew := trNew.m
+	addrs := []layout.Addr{0x0, 0x40, 0x80, 0x0} // 3 distinct leaves, shared parents
+	for _, a := range addrs {
+		var blk mem.Block
+		mNew.WriteBlock(a, &blk)
+	}
+	if err := trNew.UpdateBatch(addrs, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := trNew.UpdateStats()
+	if st.Batches != 1 || st.BatchedLeaves != 4 {
+		t.Fatalf("stats = %+v, want 1 batch of 4 leaves", st)
+	}
+	// 3 distinct leaves + 1 shared level-0 block + 1 block per upper level.
+	wantHashed := uint64(3 + trNew.Levels())
+	if st.NodesHashed != wantHashed {
+		t.Fatalf("NodesHashed = %d, want %d", st.NodesHashed, wantHashed)
+	}
+	wantSerial := uint64(4 * (1 + trNew.Levels()))
+	if st.NodesCoalesced != wantSerial-wantHashed {
+		t.Fatalf("NodesCoalesced = %d, want %d", st.NodesCoalesced, wantSerial-wantHashed)
+	}
+}
+
+// TestTamperCoalescedInteriorNode proves a bit-flip in an interior node
+// written by a coalesced batched pass is detected and blames the right
+// storage block. The cache is flushed first so the flip lands on bytes the
+// verifier will actually read.
+func TestTamperCoalescedInteriorNode(t *testing.T) {
+	_, _, mNew, trNew := diffPair(t, 64)
+	trNew.EnableNodeCache(64)
+	trNew.Build()
+	addrs := []layout.Addr{0x0, 0x40, 0x80, 0xC0}
+	for _, a := range addrs {
+		var blk mem.Block
+		for i := range blk {
+			blk[i] = byte(i) ^ 0x5A
+		}
+		mNew.WriteBlock(a, &blk)
+	}
+	if err := trNew.UpdateBatch(addrs, 2); err != nil {
+		t.Fatal(err)
+	}
+	trNew.FlushNodes()
+	trNew.EnableNodeCache(0) // drop the cache: memory is now the authority
+	// Flip one bit in the level-0 storage block all four leaves share.
+	victim, _ := trNew.TreeGeometry.slotBlock(trNew.levels[0], 0)
+	var blk mem.Block
+	mNew.ReadBlock(victim, &blk)
+	blk[3] ^= 0x10
+	mNew.WriteBlock(victim, &blk)
+	err := trNew.VerifyBlock(0x40)
+	ie, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("tampered interior node not detected: err = %v", err)
+	}
+	if ie.Node != victim {
+		t.Fatalf("blamed node %#x, want tampered block %#x", ie.Node, victim)
+	}
+	if ie.Addr != 0x40 {
+		t.Fatalf("blamed address %#x, want %#x", ie.Addr, 0x40)
+	}
+}
+
+func TestUpdateBatchUncoveredAddr(t *testing.T) {
+	_, _, _, trNew := diffPair(t, 64)
+	before := trNew.Root()
+	if err := trNew.UpdateBatch([]layout.Addr{0x0, diffMemSize + 0x40}, 2); err == nil {
+		t.Fatal("uncovered address accepted")
+	}
+	if !bytes.Equal(before, trNew.Root()) {
+		t.Fatal("failed batch mutated the root")
+	}
+	if st := trNew.UpdateStats(); st.Batches != 0 {
+		t.Fatalf("failed batch counted: %+v", st)
+	}
+}
+
+// FuzzUpdateBatchDifferential drives arbitrary byte strings into batches of
+// writes + updates and requires the batched engine to match the frozen
+// serial reference bit for bit.
+func FuzzUpdateBatchDifferential(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02}, uint8(1))
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x80, 0x7F, 0x40}, uint8(4))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, uint8(8))
+	f.Fuzz(func(t *testing.T, raw []byte, w uint8) {
+		if len(raw) == 0 || len(raw) > 512 {
+			t.Skip()
+		}
+		workers := int(w%8) + 1
+		regions := []mem.Region{{Name: "d", Base: 0, Size: diffMemSize}}
+		mRef := mem.New(4 << 20)
+		mNew := mem.New(4 << 20)
+		trRef, err := NewTree(mRef, goldenKey, 64, regions, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trNew, err := NewTree(mNew, goldenKey, 64, regions, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trNew.EnableNodeCache(int(w%3) * 16) // 0 (off), 16, or 32 blocks
+		trRef.Build()
+		trNew.Build()
+		addrs := make([]layout.Addr, 0, len(raw))
+		for i, b := range raw {
+			a := (layout.Addr(b) << 6) % diffMemSize // block-aligned, covered
+			var blk mem.Block
+			for j := range blk {
+				blk[j] = b ^ byte(i) ^ byte(j*3)
+			}
+			mRef.WriteBlock(a, &blk)
+			mNew.WriteBlock(a, &blk)
+			addrs = append(addrs, a)
+		}
+		for _, a := range addrs {
+			if err := trRef.UpdateBlockRef(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := trNew.UpdateBatch(addrs, workers); err != nil {
+			t.Fatal(err)
+		}
+		trNew.FlushNodes()
+		if !bytes.Equal(trRef.Root(), trNew.Root()) {
+			t.Fatalf("batched root %x != serial reference root %x", trNew.Root(), trRef.Root())
+		}
+		if !bytes.Equal(storageBytes(mRef, trRef), storageBytes(mNew, trNew)) {
+			t.Fatal("batched node storage differs from serial reference")
+		}
+	})
+}

@@ -52,6 +52,58 @@ func TestGoldenTreeRoots(t *testing.T) {
 	}
 }
 
+// goldenBatchAddrs is the fixed update batch the batched-update capture
+// used: repeated leaves (0x0000 twice, 0x0040 twice), adjacent siblings,
+// spread-out leaves, and the last covered block.
+func goldenBatchAddrs() []layout.Addr {
+	return []layout.Addr{0x0000, 0x0040, 0x0080, 0x0040, 0x4000, 0x8000, 0xC000, 0xFFC0, 0x0000}
+}
+
+// applyGoldenBatchWrites mutates the batch's blocks with the deterministic
+// pattern the capture used: blk[j] = byte(addr>>6) + byte(i*13 + j*3),
+// applied in batch order (later writes to a repeated address win).
+func applyGoldenBatchWrites(m *mem.Memory) {
+	for i, a := range goldenBatchAddrs() {
+		var blk mem.Block
+		for j := range blk {
+			blk[j] = byte(uint64(a)>>6) + byte(i*13+j*3)
+		}
+		m.WriteBlock(a, &blk)
+	}
+}
+
+// TestGoldenBatchedRoots pins the batched engine to roots captured from the
+// serial UpdateBlock walk of the build immediately before the batched
+// engine landed: the level-ordered pass must reproduce the serial walk's
+// bytes exactly, with and without the node cache (flushed or not — the root
+// is on-chip state).
+func TestGoldenBatchedRoots(t *testing.T) {
+	golden := map[int]string{
+		32:  "76302dee",
+		64:  "1027afcd5a7fd5bd",
+		128: "34a18dad6a2fd14facd68a62de1c5bfe",
+		256: "cd80145b2115960aea3ea3b59e63e35c6340d4f13fa541535a2d7a929e1c2fbc",
+	}
+	for _, bits := range []int{32, 64, 128, 256} {
+		for _, cache := range []int{0, 8} {
+			m := goldenMemory()
+			tr, err := NewTree(m, goldenKey, bits, []mem.Region{{Name: "d", Base: 0, Size: 64 << 10}}, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr.EnableNodeCache(cache)
+			tr.Build()
+			applyGoldenBatchWrites(m)
+			if err := tr.UpdateBatch(goldenBatchAddrs(), 4); err != nil {
+				t.Fatal(err)
+			}
+			if got := hex.EncodeToString(tr.Root()); got != golden[bits] {
+				t.Errorf("%d-bit batched root (cache=%d) = %s, want %s (TREE FORMAT CHANGED)", bits, cache, got, golden[bits])
+			}
+		}
+	}
+}
+
 func TestGoldenDataMACs(t *testing.T) {
 	golden := map[int]string{
 		32:  "8e0ef14a",

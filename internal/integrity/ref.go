@@ -1,0 +1,51 @@
+package integrity
+
+import (
+	"fmt"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/mem"
+)
+
+// UpdateBlockRef is the FROZEN pre-batching reference update: the serial
+// leaf-to-root walk exactly as it shipped before the batched engine, every
+// node store and fetch going straight to memory. The differential harness
+// and BENCH_integrity compare the batched engine against it bit for bit —
+// do not optimize or otherwise change it.
+//
+// Because it bypasses the node cache by design, it must only run on trees
+// with no cache attached (a cached tree would go stale underneath it).
+func (t *Tree) UpdateBlockRef(a layout.Addr) error {
+	if !t.built {
+		return fmt.Errorf("integrity: tree not built")
+	}
+	idx, ok := t.LeafIndex(a)
+	if !ok {
+		return fmt.Errorf("integrity: %#x is not covered by this tree", a)
+	}
+	mac := t.nodeScratch[:t.g.MACBytes]
+	t.refNodeMACInto(a.BlockAddr(), mac)
+	t.rawSetMACAt(t.levels[0], idx, mac)
+	for li := 0; li < len(t.levels); li++ {
+		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
+		t.refNodeMACInto(blockAddr, mac)
+		if li == len(t.levels)-1 {
+			t.setRoot(mac)
+		} else {
+			t.rawSetMACAt(t.levels[li+1], parentIdx, mac)
+		}
+		idx = parentIdx
+	}
+	return nil
+}
+
+// refNodeMACInto is the reference walk's node MAC: a direct memory read
+// plus one HMAC, no cache involvement.
+func (t *Tree) refNodeMACInto(a layout.Addr, dst []byte) {
+	var blk mem.Block
+	t.m.ReadBlock(a, &blk)
+	if err := t.mac.SizedInto(dst, blk[:], t.g.MACBits); err != nil {
+		panic(err) // width validated in NewTree
+	}
+	t.MACOps++
+}

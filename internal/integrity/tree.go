@@ -60,9 +60,19 @@ type Tree struct {
 
 	// Per-instance scratch for the verify/update walks, so the per-access
 	// hot path performs zero heap allocations. Tree is not safe for
-	// concurrent use (one controller pipeline), so plain fields suffice.
+	// concurrent use (one controller pipeline), so plain fields suffice;
+	// UpdateBatch's internal hash fan-out is the only concurrency and it
+	// never touches these fields from more than one goroutine.
 	nodeScratch   [32]byte // recomputed node MAC (≤256 bits)
 	storedScratch [32]byte // stored node MAC read back from memory
+
+	// cache, when non-nil, is the on-chip write-back cache of node storage
+	// blocks: slot reads/writes and interior re-hashes hit it instead of
+	// memory, and dirty blocks reach memory only on eviction or FlushNodes.
+	cache *nodeCache
+
+	up     treeUpdater // reusable scratch for UpdateBatch
+	ustats UpdateStats // batched-engine counters (see UpdateStats)
 
 	// MACOps counts HMAC computations for the experiment harness.
 	MACOps uint64
@@ -101,20 +111,70 @@ func NewTree(m *mem.Memory, key []byte, macBits int, regions []mem.Region, stora
 	return t, nil
 }
 
-// macAtInto reads the stored MAC at a level slot into dst (len MACBytes).
+// macAtInto reads the stored MAC at a level slot into dst (len MACBytes),
+// from the node cache when the slot's storage block is resident. MAC widths
+// divide the block size, so a slot never spans two storage blocks.
 func (t *Tree) macAtInto(lv level, idx uint64, dst []byte) {
-	t.m.Read(lv.base+layout.Addr(idx*uint64(t.g.MACBytes)), dst)
+	addr := lv.base + layout.Addr(idx*uint64(t.g.MACBytes))
+	if t.cache != nil {
+		if e := t.cache.get(addr.BlockAddr()); e != nil {
+			copy(dst, e.content[addr-addr.BlockAddr():])
+			return
+		}
+	}
+	t.m.Read(addr, dst)
 }
 
+// setMACAt writes a level slot. With a node cache attached the write is
+// write-allocate: the slot's storage block is pulled into the cache (filling
+// the rest of the block from memory) and dirtied, reaching memory only on
+// eviction or FlushNodes.
 func (t *Tree) setMACAt(lv level, idx uint64, mac []byte) {
+	addr := lv.base + layout.Addr(idx*uint64(t.g.MACBytes))
+	if t.cache != nil {
+		e := t.cache.ensure(addr.BlockAddr(), t.m)
+		copy(e.content[addr-addr.BlockAddr():], mac)
+		e.dirty = true
+		return
+	}
+	t.m.Write(addr, mac)
+}
+
+// rawSetMACAt writes a level slot directly to memory, bypassing the cache.
+// Build uses it so trusted construction does not churn the bounded cache.
+func (t *Tree) rawSetMACAt(lv level, idx uint64, mac []byte) {
 	t.m.Write(lv.base+layout.Addr(idx*uint64(t.g.MACBytes)), mac)
 }
 
-// nodeMACInto computes the content MAC of one 64-byte block into dst
-// (len MACBytes) without allocating.
+// readNodeBlockInto copies the node storage block at a into dst, from the
+// write-back cache when resident.
+func (t *Tree) readNodeBlockInto(a layout.Addr, dst *mem.Block) {
+	if t.cache != nil {
+		if e := t.cache.get(a); e != nil {
+			*dst = e.content
+			return
+		}
+	}
+	t.m.ReadBlock(a, dst)
+}
+
+// nodeMACInto computes the content MAC of one 64-byte protected (leaf
+// content) block into dst (len MACBytes) without allocating. Node storage
+// blocks go through storageMACInto instead so they see cached contents.
 func (t *Tree) nodeMACInto(a layout.Addr, dst []byte) {
 	var blk mem.Block
 	t.m.ReadBlock(a, &blk)
+	if err := t.mac.SizedInto(dst, blk[:], t.g.MACBits); err != nil {
+		panic(err) // width validated in NewTree
+	}
+	t.MACOps++
+}
+
+// storageMACInto computes the content MAC of one node storage block into
+// dst, reading the block through the node cache.
+func (t *Tree) storageMACInto(a layout.Addr, dst []byte) {
+	var blk mem.Block
+	t.readNodeBlockInto(a, &blk)
 	if err := t.mac.SizedInto(dst, blk[:], t.g.MACBits); err != nil {
 		panic(err) // width validated in NewTree
 	}
@@ -134,10 +194,13 @@ func (t *Tree) nodeMAC(a layout.Addr) []byte {
 // the root on chip. It models the trusted boot-time construction the attack
 // model assumes (§3).
 func (t *Tree) Build() {
+	if t.cache != nil {
+		t.cache.reset() // construction writes go straight to memory
+	}
 	idx := uint64(0)
 	for _, r := range t.leaves {
 		for a := r.Base; a < r.Base+layout.Addr(r.Size); a += layout.BlockSize {
-			t.setMACAt(t.levels[0], idx, t.nodeMAC(a))
+			t.rawSetMACAt(t.levels[0], idx, t.nodeMAC(a))
 			idx++
 		}
 	}
@@ -146,7 +209,7 @@ func (t *Tree) Build() {
 		blocks := storageBlocks(lv.count, t.g.MACBytes)
 		for b := uint64(0); b < blocks; b++ {
 			mac := t.nodeMAC(lv.base + layout.Addr(b*layout.BlockSize))
-			t.setMACAt(t.levels[li+1], b, mac)
+			t.rawSetMACAt(t.levels[li+1], b, mac)
 		}
 	}
 	top := t.levels[len(t.levels)-1]
@@ -165,6 +228,9 @@ func (t *Tree) Restore(root []byte) error {
 	}
 	t.root = append([]byte(nil), root...)
 	t.built = true
+	if t.cache != nil {
+		t.cache.reset() // resuming from an image: nothing is resident yet
+	}
 	return nil
 }
 
@@ -214,7 +280,7 @@ func (t *Tree) UpdateBlock(a layout.Addr) error {
 	t.setMACAt(t.levels[0], idx, mac)
 	for li := 0; li < len(t.levels); li++ {
 		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
-		t.nodeMACInto(blockAddr, mac)
+		t.storageMACInto(blockAddr, mac)
 		if li == len(t.levels)-1 {
 			t.setRoot(mac)
 		} else {
@@ -263,7 +329,7 @@ func (t *Tree) InstallLeafMAC(a layout.Addr, mac []byte) error {
 	m := t.nodeScratch[:t.g.MACBytes]
 	for li := 0; li < len(t.levels); li++ {
 		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
-		t.nodeMACInto(blockAddr, m)
+		t.storageMACInto(blockAddr, m)
 		if li == len(t.levels)-1 {
 			t.setRoot(m)
 		} else {
@@ -318,7 +384,7 @@ func (t *Tree) verifyChainFrom(li int, idx uint64, blames layout.Addr) error {
 	computed := t.nodeScratch[:t.g.MACBytes]
 	for ; li < len(t.levels); li++ {
 		blockAddr, parentIdx := t.TreeGeometry.slotBlock(t.levels[li], idx)
-		t.nodeMACInto(blockAddr, computed)
+		t.storageMACInto(blockAddr, computed)
 		var stored []byte
 		if li == len(t.levels)-1 {
 			stored = t.root

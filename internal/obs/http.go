@@ -64,7 +64,7 @@ func TracezHandler(s *Service, opName, statusName func(uint8) string) http.Handl
 			if statusName != nil {
 				e.StatusName = statusName(r.Status)
 			}
-			e.TotalUS = (r.QueueNs + r.CoalesceNs + r.AppendNs + r.FsyncNs + r.ExecNs) / 1e3
+			e.TotalUS = (r.QueueNs + r.CoalesceNs + r.AppendNs + r.FsyncNs + r.ExecNs + r.TreeNs) / 1e3
 			dump.Records[i] = e
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -14,7 +14,9 @@ import (
 //	CoalesceNs batch drain + write coalescing overhead, shared by the batch
 //	AppendNs   WAL append inside the group commit (0 when no persist layer)
 //	FsyncNs    WAL fsync inside the group commit (0 under -fsync batch/off)
-//	ExecNs     crypto execution: AISE pad/MAC work + BMT walk in core
+//	ExecNs     crypto execution: AISE pad/MAC work in core
+//	TreeNs     the batch's coalesced Merkle tree update pass, shared by the
+//	           batch (0 for batches that deferred no tree updates)
 //
 // Record is fixed-size and flat so ring writes are plain stores — no
 // pointers, nothing for the GC to chase.
@@ -30,6 +32,7 @@ type Record struct {
 	AppendNs   int64 `json:"append_ns"`
 	FsyncNs    int64 `json:"fsync_ns"`
 	ExecNs     int64 `json:"exec_ns"`
+	TreeNs     int64 `json:"tree_ns"`
 }
 
 // slot is one ring entry. Every field is atomic so concurrent snapshot
@@ -49,6 +52,7 @@ type slot struct {
 	app      atomic.Int64
 	fsync    atomic.Int64
 	exec     atomic.Int64
+	tree     atomic.Int64
 }
 
 // Ring is a lock-free, fixed-capacity, overwrite-oldest trace buffer.
@@ -87,6 +91,7 @@ func (r *Ring) Publish(rec *Record) {
 	s.app.Store(rec.AppendNs)
 	s.fsync.Store(rec.FsyncNs)
 	s.exec.Store(rec.ExecNs)
+	s.tree.Store(rec.TreeNs)
 	s.seq.Store(idx + 1)
 }
 
@@ -111,6 +116,7 @@ func (r *Ring) Snapshot(dst []Record) []Record {
 			AppendNs:   s.app.Load(),
 			FsyncNs:    s.fsync.Load(),
 			ExecNs:     s.exec.Load(),
+			TreeNs:     s.tree.Load(),
 		}
 		meta := s.meta.Load()
 		rec.Shard = uint32(meta >> 16)

@@ -172,6 +172,95 @@ func TestCrashMatrixCheckpoint(t *testing.T) {
 	}
 }
 
+// TestCrashMatrixBatchedTree re-runs the steady-state and mid-checkpoint
+// sweeps with the batched tree-update engine and its write-back node
+// cache enabled. The cache keeps dirty interior nodes off the serialized
+// memory image between flushes, so these sweeps put the flush-before-seal
+// ordering on trial: a power cut anywhere between a batch's ack and the
+// next dirty-node flush must never surface a root mismatch at recovery —
+// WAL replay rebuilds the tree from data, and a checkpoint snapshot is
+// sealed only after core.Hibernate's explicit barrier + flush. Recovery
+// itself runs the same batched configuration, so the replay path is
+// exercised with workers and cache live too.
+func TestCrashMatrixBatchedTree(t *testing.T) {
+	batchedCfg := func() shard.Config {
+		cfg := testCfg(2)
+		cfg.Core.TreeUpdateWorkers = 4
+		cfg.Core.TreeNodeCacheBlocks = 64
+		return cfg
+	}
+	t.Run("steady-state", func(t *testing.T) {
+		for k := 1; k <= 49; k += 6 {
+			cfs := newCrashFS()
+			cfg := batchedCfg()
+			st := openMatrixStore(t, cfs, FsyncAlways)
+			pool, _, err := st.Recover(cfg)
+			if err != nil {
+				t.Fatalf("k=%d: fresh Recover: %v", k, err)
+			}
+			mustHave := writeN(t, pool, cfg, 0, 10)
+			if err := st.Checkpoint(); err != nil {
+				t.Fatalf("k=%d: checkpoint: %v", k, err)
+			}
+			cfs.armFail(k)
+			acked, lastA, lastV := crashWrites(pool, cfg, 10, 200)
+			cfs.crash()
+			pool.Close()
+			for a, v := range acked {
+				mustHave[a] = v
+			}
+			verifyRecoveredWith(t, cfs, cfg, mustHave, lastA, lastV)
+		}
+	})
+	t.Run("checkpoint-seal", func(t *testing.T) {
+		for k := 1; k <= 46; k += 5 {
+			cfs := newCrashFS()
+			cfg := batchedCfg()
+			st := openMatrixStore(t, cfs, FsyncAlways)
+			pool, _, err := st.Recover(cfg)
+			if err != nil {
+				t.Fatalf("k=%d: fresh Recover: %v", k, err)
+			}
+			acked := writeN(t, pool, cfg, 0, 25)
+			cfs.armFail(k)
+			_ = st.Checkpoint() // may die between flush, seal and WAL cut
+			cfs.crash()
+			pool.Close()
+			verifyRecoveredWith(t, cfs, cfg, acked, 0, nil)
+		}
+	})
+}
+
+// verifyRecoveredWith is verifyRecovered plus a full post-recovery
+// integrity sweep (Pool.Verify), so a stale or torn tree node is caught
+// even at addresses the must-have map doesn't cover.
+func verifyRecoveredWith(t *testing.T, cfs *crashFS, cfg shard.Config, mustHave map[layout.Addr][]byte, mayHave layout.Addr, mayVal []byte) {
+	t.Helper()
+	st := openMatrixStore(t, cfs, FsyncAlways)
+	pool, _, err := st.Recover(cfg)
+	if err != nil {
+		t.Fatalf("recovery after pure crash failed closed: %v", err)
+	}
+	defer pool.Close()
+	defer st.Close()
+	if err := pool.Verify(context.Background()); err != nil {
+		t.Fatalf("post-recovery integrity sweep: root mismatch or tamper: %v", err)
+	}
+	buf := make([]byte, layout.BlockSize)
+	for a, want := range mustHave {
+		if err := pool.Read(context.Background(), a, buf, testMeta(a)); err != nil {
+			t.Fatalf("read %#x: %v", a, err)
+		}
+		if bytes.Equal(buf, want) {
+			continue
+		}
+		if a == mayHave && mayVal != nil && bytes.Equal(buf, mayVal) {
+			continue
+		}
+		t.Fatalf("acked write lost at %#x: got %x..., want %x...", a, buf[:4], want[:4])
+	}
+}
+
 // TestCrashMatrixRepeatedCrashes chains crash→recover→write→crash cycles
 // to catch state the first recovery fails to re-arm.
 func TestCrashMatrixRepeatedCrashes(t *testing.T) {

@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+)
+
+// End-to-end write throughput through the pool — queue, worker drain,
+// coalesce, AISE encrypt, and the Merkle tree pass — with the tree
+// engine as the only variable: the frozen serial reference walk versus
+// the batched, coalescing engine with its write-back node cache.
+// scripts/bench_integrity.sh pairs the two into BENCH_integrity.json.
+
+const benchPoolBytes = 1024 * layout.PageSize // 512 tree leaves per shard
+
+func benchPool(b *testing.B, serialRef bool) *Pool {
+	b.Helper()
+	cfg := Config{
+		Shards:     2,
+		QueueDepth: 256,
+		BatchMax:   32,
+		Core: core.Config{
+			DataBytes:  benchPoolBytes,
+			MACBits:    128,
+			Key:        []byte("bench-pool-key16"),
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  8,
+		},
+	}
+	if serialRef {
+		cfg.Core.TreeSerialRef = true
+	} else {
+		cfg.Core.TreeUpdateWorkers = 4
+		cfg.Core.TreeNodeCacheBlocks = 1024
+	}
+	p, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p.Close() })
+	return p
+}
+
+func benchPoolWrites(b *testing.B, p *Pool, dataBytes uint64) {
+	var seq atomic.Uint64
+	stride := uint64(layout.PageSize + layout.BlockSize) // walks pages and shards
+	b.SetBytes(layout.BlockSize)
+	b.ReportAllocs()
+	// Keep enough writes in flight that worker drains form real batches
+	// even on a single-CPU host; otherwise every tree pass has one leaf
+	// and the engines are indistinguishable.
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		val := make([]byte, layout.BlockSize)
+		for pb.Next() {
+			a := layout.Addr(seq.Add(1) * stride % dataBytes)
+			val[0]++
+			meta := core.Meta{VirtAddr: uint64(a) | 0x7f000000, PID: 42}
+			if err := p.Write(ctx, a, val, meta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPoolWriteSerialTree(b *testing.B) {
+	p := benchPool(b, true)
+	benchPoolWrites(b, p, benchPoolBytes)
+}
+
+func BenchmarkPoolWriteBatchedTree(b *testing.B) {
+	p := benchPool(b, false)
+	benchPoolWrites(b, p, benchPoolBytes)
+}

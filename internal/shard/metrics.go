@@ -197,6 +197,18 @@ func (p *Pool) WriteMetrics(w io.Writer) {
 		{"secmemd_core_ctr_cache_misses_total", "Counter-cache model misses.", func(cs core.Stats) uint64 { return cs.CtrCacheMisses }},
 		{"secmemd_core_tree_node_cache_hits_total", "Tree-node-cache model hits.", func(cs core.Stats) uint64 { return cs.TreeNodeCacheHits }},
 		{"secmemd_core_tree_node_cache_misses_total", "Tree-node-cache model misses.", func(cs core.Stats) uint64 { return cs.TreeNodeCacheMiss }},
+
+		// The batched tree-update engine's real work (not the cache model
+		// above): one family per counter so dashboards can derive the
+		// coalescing ratio and write-back hit rate per shard.
+		{"secmemd_integrity_tree_batches_total", "Coalesced Merkle tree update passes committed.", func(cs core.Stats) uint64 { return cs.TreeBatches }},
+		{"secmemd_integrity_batched_leaves_total", "Leaf updates submitted to batched tree passes (pre-coalescing).", func(cs core.Stats) uint64 { return cs.TreeBatchedLeaves }},
+		{"secmemd_integrity_nodes_hashed_total", "Tree node MACs computed by batched passes.", func(cs core.Stats) uint64 { return cs.TreeNodesHashed }},
+		{"secmemd_integrity_nodes_coalesced_total", "Tree node hashes saved versus serial leaf-to-root replay.", func(cs core.Stats) uint64 { return cs.TreeNodesCoalesced }},
+		{"secmemd_integrity_node_cache_hits_total", "Write-back tree node cache hits.", func(cs core.Stats) uint64 { return cs.TreeWBHits }},
+		{"secmemd_integrity_node_cache_misses_total", "Write-back tree node cache misses.", func(cs core.Stats) uint64 { return cs.TreeWBMisses }},
+		{"secmemd_integrity_node_writebacks_total", "Dirty tree node blocks written back to memory (evictions and flushes).", func(cs core.Stats) uint64 { return cs.TreeWBWritebacks }},
+		{"secmemd_integrity_node_flushes_total", "Explicit tree node cache flushes (checkpoint seals and barriers).", func(cs core.Stats) uint64 { return cs.TreeWBFlushes }},
 	}
 	per := p.CoreStats()
 	for _, f := range fields {

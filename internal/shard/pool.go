@@ -404,6 +404,7 @@ func (p *Pool) Close() error {
 func (p *Pool) worker(idx int, sh *shard) {
 	defer close(sh.done)
 	batch := make([]*request, 0, p.cfg.BatchMax)
+	recs := make([]obs.Record, 0, p.cfg.BatchMax)
 	for first := range sh.reqs {
 		batch = append(batch[:0], first)
 	drain:
@@ -497,11 +498,19 @@ func (p *Pool) worker(idx int, sh *shard) {
 		p.svc.batchedOps.Add(uint64(len(batch)))
 		p.svc.coalescedWrites.Add(uint64(skipped))
 		p.met.observeBatch(len(batch))
+		// Open the tree batch window: the controller defers Merkle tree
+		// propagation for the batch's writes into one coalescing,
+		// level-ordered pass committed at EndTreeBatch below. Reads and
+		// swaps mid-batch commit pending updates themselves (treeBarrier).
+		span.recs = recs[:0]
+		sh.sm.BeginTreeBatch()
+		latched := false
 		for bi, r := range batch {
 			if !p.executeTraced(idx, sh, r, &span) {
 				// Integrity latch fired mid-batch: nothing after the faulting
 				// request may execute. Refuse the remainder so the shard
 				// never serves data past a detected tamper.
+				latched = true
 				err := sh.quarErr(idx)
 				for _, rest := range batch[bi+1:] {
 					if rest.answered {
@@ -513,23 +522,55 @@ func (p *Pool) worker(idx int, sh *shard) {
 				break
 			}
 		}
+		if latched {
+			// The controller is quarantined and will be rebuilt from
+			// snapshot+WAL; its pending tree updates are moot.
+			sh.sm.AbortTreeBatch()
+		} else {
+			var treeStart time.Time
+			if p.met != nil {
+				treeStart = time.Now()
+			}
+			if err := sh.sm.EndTreeBatch(); err != nil {
+				p.quarantine(idx, sh, FaultIntegrity, fmt.Errorf("shard %d: tree batch commit: %w", idx, err))
+			}
+			if p.met != nil {
+				span.treeNs = time.Since(treeStart).Nanoseconds()
+			}
+		}
+		// Publish buffered trace records now that the batch-shared tree
+		// span is known (records were assembled during execution).
+		if p.met != nil && len(span.recs) > 0 {
+			if ring := p.met.ring(idx); ring != nil {
+				for i := range span.recs {
+					span.recs[i].TreeNs = span.treeNs
+					ring.Publish(&span.recs[i])
+				}
+			}
+		}
+		recs = span.recs[:0]
 		sh.mu.Unlock()
 	}
 }
 
 // batchSpan carries the batch-shared stage costs the worker attributes
-// to every traced request it executes.
+// to every traced request it executes, plus the batch's buffered trace
+// records: records cannot publish until the tree span is known, because
+// the coalesced tree pass runs after the last request executes.
 type batchSpan struct {
 	startNs    int64 // worker drain timestamp (unix ns)
 	coalesceNs int64
 	appendNs   int64
 	fsyncNs    int64
+	treeNs     int64
+	recs       []obs.Record
 }
 
 // executeTraced wraps execute with per-request span capture: a request
-// carrying a nonzero Meta.Trace gets a Record in the shard's trace ring
-// combining its own queue wait and crypto execution time with the
-// batch-shared coalesce/append/fsync costs.
+// carrying a nonzero Meta.Trace gets a Record buffered on the span (and
+// published by the worker after the tree batch commits) combining its own
+// queue wait and crypto execution time with the batch-shared
+// coalesce/append/fsync/tree costs.
 func (p *Pool) executeTraced(idx int, sh *shard, r *request, span *batchSpan) bool {
 	if p.met == nil || r.meta.Trace == 0 || r.answered {
 		ok, _ := p.execute(idx, sh, r)
@@ -537,28 +578,26 @@ func (p *Pool) executeTraced(idx int, sh *shard, r *request, span *batchSpan) bo
 	}
 	execStart := time.Now()
 	ok, err := p.execute(idx, sh, r)
-	if ring := p.met.ring(idx); ring != nil {
-		var status uint8
-		if err != nil {
-			status = 1
-		}
-		queueNs := span.startNs - r.enq
-		if queueNs < 0 {
-			queueNs = 0
-		}
-		ring.Publish(&obs.Record{
-			TraceID:    r.meta.Trace,
-			Shard:      uint32(idx),
-			Op:         uint8(r.kind),
-			Status:     status,
-			StartNs:    r.enq,
-			QueueNs:    queueNs,
-			CoalesceNs: span.coalesceNs,
-			AppendNs:   span.appendNs,
-			FsyncNs:    span.fsyncNs,
-			ExecNs:     time.Since(execStart).Nanoseconds(),
-		})
+	var status uint8
+	if err != nil {
+		status = 1
 	}
+	queueNs := span.startNs - r.enq
+	if queueNs < 0 {
+		queueNs = 0
+	}
+	span.recs = append(span.recs, obs.Record{
+		TraceID:    r.meta.Trace,
+		Shard:      uint32(idx),
+		Op:         uint8(r.kind),
+		Status:     status,
+		StartNs:    r.enq,
+		QueueNs:    queueNs,
+		CoalesceNs: span.coalesceNs,
+		AppendNs:   span.appendNs,
+		FsyncNs:    span.fsyncNs,
+		ExecNs:     time.Since(execStart).Nanoseconds(),
+	})
 	return ok
 }
 

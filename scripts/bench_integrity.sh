@@ -1,0 +1,70 @@
+#!/bin/sh
+# bench_integrity.sh — run the Merkle tree update-engine benchmarks,
+# compare the batched, coalescing engine against the frozen serial
+# reference walk (both live in one binary, so old and new run under
+# identical conditions), and leave BENCH_integrity.json in the repo
+# root. Used by `make bench-integrity`.
+#
+# Pairs reported (unit of work: one 256-leaf batch over a 16384-leaf
+# tree, 128-bit nodes):
+#   tree_update_coalesced   serial leaf-to-root replay vs one coalesced
+#                           level-ordered pass (1 worker: pure dedupe win)
+#   tree_update_parallel    the same pass with a 4-worker hash pool
+#   tree_update_cached      4 workers + write-back node cache (steady state)
+#   shard_write_e2e         pool write throughput, serial-ref tree vs
+#                           batched engine with cache
+# plus the worker-width sweep (1/2/4/8) for the scaling curve.
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${BENCHTIME:-300ms}"
+OUT="BENCH_integrity.json"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+# Three counts per benchmark, min taken below: the e2e pool pair runs
+# whole worker drains per op and is scheduler-noisy on small hosts.
+go test -run=none -benchtime "$BENCHTIME" -count=3 -benchmem \
+    -bench '^(BenchmarkTreeBatchSerialRef|BenchmarkTreeBatch|BenchmarkTreeBatchCached)$' \
+    ./internal/integrity/ >>"$TMP"
+go test -run=none -benchtime "$BENCHTIME" -count=3 -benchmem \
+    -bench '^(BenchmarkPoolWriteSerialTree|BenchmarkPoolWriteBatchedTree)$' \
+    ./internal/shard/ >>"$TMP"
+
+CPUS="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
+awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in ns) || $3 + 0 < ns[name] + 0) ns[name] = $3
+}
+END {
+    pairs = "tree_update_coalesced BenchmarkTreeBatchSerialRef BenchmarkTreeBatch/workers=1\n" \
+            "tree_update_parallel BenchmarkTreeBatchSerialRef BenchmarkTreeBatch/workers=4\n" \
+            "tree_update_cached BenchmarkTreeBatchSerialRef BenchmarkTreeBatchCached\n" \
+            "shard_write_e2e BenchmarkPoolWriteSerialTree BenchmarkPoolWriteBatchedTree"
+
+    printf "{\n  \"benchtime\": \"%s\",\n  \"cpus\": %s,\n  \"batch_leaves\": 256,\n  \"pairs\": [\n", benchtime, cpus > out
+    n = split(pairs, p, "\n")
+    printf "%-22s %12s %12s %9s\n", "pair", "old ns/op", "new ns/op", "speedup"
+    for (i = 1; i <= n; i++) {
+        split(p[i], f, " ")
+        old = ns[f[2]] + 0; new = ns[f[3]] + 0
+        sp = (new > 0) ? old / new : 0
+        printf "    {\"name\": \"%s\", \"old_ns_per_op\": %s, \"new_ns_per_op\": %s, \"speedup\": %.2f}%s\n", \
+            f[1], old, new, sp, (i < n ? "," : "") > out
+        printf "%-22s %12.1f %12.1f %8.2fx\n", f[1], old, new, sp
+    }
+    printf "  ],\n  \"worker_sweep\": [\n" > out
+    m = split("1 2 4 8", ws, " ")
+    for (i = 1; i <= m; i++) {
+        key = "BenchmarkTreeBatch/workers=" ws[i]
+        printf "    {\"workers\": %s, \"ns_per_op\": %s}%s\n", \
+            ws[i], ns[key] + 0, (i < m ? "," : "") > out
+    }
+    printf "  ]\n}\n" > out
+}
+' benchtime="$BENCHTIME" cpus="$CPUS" "$TMP"
+
+echo "wrote $OUT"
