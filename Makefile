@@ -43,12 +43,15 @@
 #                        pool; CI runs a short smoke of it
 #   make tenant-smoke    start a tenant-enabled daemon (swap scheme +
 #                        resident budget), drive tenant churn over the wire,
-#                        lint the exposition incl. secmemd_tenant_*; CI runs
+#                        lint the exposition incl. secmemd_tenant_*, then
+#                        SIGKILL a tenant-durable daemon and assert the
+#                        restart serves every acked tenant byte; CI runs
 #                        this after check
-#   make bench-tenants   multi-tenant benchmark suites: lifecycle churn,
+#   make bench-tenants   multi-tenant benchmark suites: lifecycle churn
+#                        (with a -tenant-serialize A/B baseline),
 #                        swap-under-pressure with client-side shadowing,
-#                        counter-overflow re-encryption storm,
-#                        BENCH_tenants.json
+#                        counter-overflow re-encryption storm, SIGKILL
+#                        kill-and-recover, BENCH_tenants.json
 
 GO ?= go
 

@@ -73,8 +73,9 @@ func main() {
 	retries := flag.Int("retries", 0, "per-op retry budget for retryable statuses (timeout/overload/quarantine), with jittered exponential backoff")
 	clusterFlag := flag.String("cluster", "", "cluster member list (id=wire/health/repl,...): drive ring-aware smart clients instead of -addr")
 	clusterBench := flag.Bool("cluster-bench", false, "benchmark cluster scale-out and failover: spawns a single-daemon baseline and a 3-node cluster from -secmemd, writes BENCH_cluster.json")
-	tenantBench := flag.Bool("tenant-bench", false, "benchmark the multi-tenant layer: spawns tenant-enabled daemons from -secmemd and runs lifecycle-churn, swap-pressure and re-encryption-storm suites, writes BENCH_tenants.json")
+	tenantBench := flag.Bool("tenant-bench", false, "benchmark the multi-tenant layer: spawns tenant-enabled daemons from -secmemd and runs lifecycle-churn (plus a -tenant-serialize A/B baseline), swap-pressure, re-encryption-storm and SIGKILL-recovery suites, writes BENCH_tenants.json")
 	tenantChurn := flag.Bool("tenant-churn", false, "drive tenant create/fork/destroy churn against a running tenant-enabled daemon at -addr for -duration (with -scrape, tenant metric deltas are printed)")
+	tenantRecover := flag.Bool("tenant-recover", false, "kill-and-recover smoke: spawn a tenant-durable daemon from -secmemd, seed tenants, SIGKILL it, restart on its data dir and assert zero acked-write loss")
 	waitReady := flag.String("wait-ready", "", "poll these /readyz URLs (comma-separated) until every daemon reports ready before measuring")
 	waitBudget := flag.Duration("wait-ready-timeout", 30*time.Second, "how long -wait-ready polls before giving up")
 	degraded := flag.Bool("degraded", false, "benchmark fault-domain isolation: cordon one shard, measure healthy-shard throughput, then heal it")
@@ -112,6 +113,10 @@ func main() {
 	}
 	if *tenantChurn {
 		runTenantChurnMode(*addr, *conns, *duration, *seed, *scrape)
+		return
+	}
+	if *tenantRecover {
+		runTenantRecoverMode(*secmemd)
 		return
 	}
 	if *recovery {
@@ -686,9 +691,9 @@ func runDegradedBench(addr string, conns int, duration time.Duration, ops int, m
 
 // clusterOutput is the -cluster-bench -json document.
 type clusterOutput struct {
-	Secmemd  string `json:"secmemd"`
-	Members  int    `json:"members"`
-	Conns    int    `json:"conns"`
+	Secmemd string `json:"secmemd"`
+	Members int    `json:"members"`
+	Conns   int    `json:"conns"`
 	// Cores is runtime.NumCPU on the bench host. Scale-out headroom is
 	// per-node compute; on a single-core host the cluster and the single
 	// daemon contend for the same CPU and the speedup column measures

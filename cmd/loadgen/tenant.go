@@ -19,12 +19,29 @@ import (
 // against its own freshly spawned tenant-enabled daemon so the embedded
 // metric deltas are attributable to that suite alone.
 type tenantOutput struct {
-	Secmemd  string               `json:"secmemd"`
-	Conns    int                  `json:"conns"`
-	Seed     int64                `json:"seed"`
-	Churn    tenantChurnResult    `json:"churn"`
-	Pressure tenantPressureResult `json:"swap_pressure"`
-	Storm    tenantStormResult    `json:"reencrypt_storm"`
+	Secmemd         string               `json:"secmemd"`
+	Conns           int                  `json:"conns"`
+	Seed            int64                `json:"seed"`
+	Churn           tenantChurnResult    `json:"churn"`
+	ChurnSerialized tenantChurnResult    `json:"churn_serialized"`
+	ChurnScaling    float64              `json:"churn_scaling_vs_serialized"`
+	Pressure        tenantPressureResult `json:"swap_pressure"`
+	Storm           tenantStormResult    `json:"reencrypt_storm"`
+	Recovery        tenantRecoveryResult `json:"recovery"`
+}
+
+// tenantRecoveryResult measures the durable tenant path: a daemon
+// carrying tenant state is SIGKILLed and restarted on its data
+// directory. The clock runs from the restart exec to the first tenant
+// byte served over the wire, and every pre-crash acknowledged write —
+// including a diverged COW fork — must come back bit-exact.
+type tenantRecoveryResult struct {
+	Tenants        int     `json:"tenants"`
+	PagesPerTenant int     `json:"pages_per_tenant"`
+	RestartToByte  float64 `json:"restart_to_first_tenant_byte_seconds"`
+	RestartToReady float64 `json:"restart_to_ready_seconds"`
+	Verified       int     `json:"pages_verified"`
+	Lost           int     `json:"acked_writes_lost"`
 }
 
 // tenantChurnResult measures tenant lifecycle throughput: each cycle is
@@ -426,10 +443,167 @@ func runTenantChurnMode(addr string, conns int, duration time.Duration, seed int
 	}
 }
 
+// runTenantRecovery seeds a tenant-durable daemon with tenant state
+// (several tenants plus a diverged fork), SIGKILLs it, restarts it on the
+// same data directory, and measures restart-to-first-tenant-byte while
+// verifying every acknowledged page against the client-side shadow.
+func runTenantRecovery(bin string) (tenantRecoveryResult, error) {
+	const nTenants, pagesPer = 8, 4
+	res := tenantRecoveryResult{Tenants: nTenants, PagesPerTenant: pagesPer}
+	dir, err := os.MkdirTemp("", "loadgen-tenant-rec-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+
+	d, err := spawnTenantDaemon(bin, "-data-dir", dir)
+	if err != nil {
+		return res, fmt.Errorf("gen-1 daemon: %w", err)
+	}
+	killDirty := func() { d.cmd.Process.Kill(); d.cmd.Wait() }
+	c, err := server.Dial(d.wire, 5*time.Second)
+	if err != nil {
+		killDirty()
+		return res, err
+	}
+	ids := make([]uint32, nTenants)
+	for i := range ids {
+		id, err := c.TenantCreate(pagesPer)
+		if err != nil {
+			c.Close()
+			killDirty()
+			return res, fmt.Errorf("create %d: %w", i, err)
+		}
+		ids[i] = id
+		for p := 0; p < pagesPer; p++ {
+			if err := c.TenantWrite(id, uint64(p)*layout.PageSize, pagePattern(i*pagesPer+p, 1)); err != nil {
+				c.Close()
+				killDirty()
+				return res, fmt.Errorf("write %d/%d: %w", i, p, err)
+			}
+		}
+	}
+	// A COW family rides along: the restarted daemon must rebuild the
+	// fork's divergence, not just flat address spaces.
+	child, err := c.TenantFork(ids[0])
+	if err == nil {
+		err = c.TenantWrite(child, 0, pagePattern(0, 2))
+	}
+	if err != nil {
+		c.Close()
+		killDirty()
+		return res, fmt.Errorf("fork family: %w", err)
+	}
+	c.Close()
+
+	// Power cut: SIGKILL leaves only what each acknowledgement synced.
+	killDirty()
+
+	// Restart on the same directory; the clock starts at exec.
+	wire, err := scratchAddr()
+	if err != nil {
+		return res, err
+	}
+	health, err := scratchAddr()
+	if err != nil {
+		return res, err
+	}
+	cmd := exec.Command(bin,
+		"-listen", wire, "-health", health,
+		"-mem", "16MiB", "-scheme", "aise-bmt", "-swapslots", "64",
+		"-data-dir", dir)
+	cmd.Stderr = os.Stderr
+	t0 := time.Now()
+	if err := cmd.Start(); err != nil {
+		return res, err
+	}
+	d2 := &tenantDaemon{cmd: cmd, wire: wire, health: health}
+	deadline := time.Now().Add(30 * time.Second)
+	var firstByte []byte
+	for {
+		c2, derr := server.Dial(wire, 500*time.Millisecond)
+		if derr == nil {
+			firstByte, derr = c2.TenantRead(ids[0], 0, layout.BlockSize)
+			c2.Close()
+			if derr == nil {
+				res.RestartToByte = time.Since(t0).Seconds()
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return res, fmt.Errorf("restarted daemon never served a tenant byte: %v", derr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := pollReady("http://"+health+"/readyz", 30*time.Second); err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return res, err
+	}
+	res.RestartToReady = time.Since(t0).Seconds()
+
+	c2, err := server.Dial(wire, 5*time.Second)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return res, err
+	}
+	check := func(id uint32, vaddr uint64, want []byte) {
+		res.Verified++
+		got, err := c2.TenantRead(id, vaddr, len(want))
+		if err != nil {
+			fmt.Printf("LOST: tenant %d vaddr %#x unreadable after restart: %v\n", id, vaddr, err)
+			res.Lost++
+			return
+		}
+		if !bytes.Equal(got, want) {
+			fmt.Printf("LOST: tenant %d vaddr %#x corrupted across restart\n", id, vaddr)
+			res.Lost++
+		}
+	}
+	if !bytes.Equal(firstByte, pagePattern(0, 1)[:layout.BlockSize]) {
+		res.Lost++
+	}
+	for i, id := range ids {
+		for p := 0; p < pagesPer; p++ {
+			check(id, uint64(p)*layout.PageSize, pagePattern(i*pagesPer+p, 1))
+		}
+	}
+	check(child, 0, pagePattern(0, 2)) // the fork's divergence
+	check(child, layout.PageSize, pagePattern(1, 1))
+	c2.Close()
+	if err := d2.stop(); err != nil {
+		return res, fmt.Errorf("restarted daemon exited dirty: %v", err)
+	}
+	return res, nil
+}
+
+// runTenantRecoverMode is the smoke-test entry point (-tenant-recover):
+// one kill-and-recover pass with hard zero-loss assertions.
+func runTenantRecoverMode(bin string) {
+	if _, err := os.Stat(bin); err != nil {
+		fatalf("-secmemd: %v (build it first: go build -o %s ./cmd/secmemd)", err, bin)
+	}
+	res, err := runTenantRecovery(bin)
+	if err != nil {
+		fatalf("tenant-recover: %v", err)
+	}
+	fmt.Printf("tenant recover: %d tenants × %d pages; first tenant byte %.0fms after SIGKILL restart (ready %.0fms); %d/%d pages bit-exact\n",
+		res.Tenants, res.PagesPerTenant, res.RestartToByte*1e3, res.RestartToReady*1e3,
+		res.Verified-res.Lost, res.Verified)
+	if res.Lost > 0 {
+		fatalf("%d acknowledged tenant writes lost across the restart", res.Lost)
+	}
+}
+
 // runTenantBench spawns tenant-enabled daemons from bin and runs the
-// three tenant suites: lifecycle churn (create/fork/COW/destroy),
-// swap-under-pressure with client-side shadowing (zero acked-write loss
-// is the hard assertion), and a counter-overflow re-encryption storm.
+// tenant suites: lifecycle churn (create/fork/COW/destroy) with a
+// -tenant-serialize A/B baseline, swap-under-pressure with client-side
+// shadowing (zero acked-write loss is the hard assertion), a
+// counter-overflow re-encryption storm, and a SIGKILL-and-recover pass
+// over a durable data directory.
 func runTenantBench(bin string, conns int, duration time.Duration, seed int64, jsonOut bool, outPath string) {
 	if _, err := os.Stat(bin); err != nil {
 		fatalf("-secmemd: %v (build it first: go build -o %s ./cmd/secmemd)", err, bin)
@@ -459,6 +633,28 @@ func runTenantBench(bin string, conns int, duration time.Duration, seed int64, j
 		out.Churn.Cycles, out.Churn.Seconds, out.Churn.CyclesPerSec,
 		us(out.Churn.CycleLatency.P50), us(out.Churn.CycleLatency.P99),
 		out.Churn.MetricsDelta["secmemd_tenant_cow_breaks_total"])
+
+	// Suite 1b: the identical churn against -tenant-serialize — the
+	// single-global-mutex baseline per-tenant locking replaced — so the
+	// scaling of the concurrent tenant path is an A/B number on the same
+	// box, not a guess.
+	d, err = spawnTenantDaemon(bin, "-tenant-serialize")
+	if err != nil {
+		fatalf("serialized churn daemon: %v", err)
+	}
+	out.ChurnSerialized, err = runTenantChurn(d.wire, conns, duration, seed)
+	if err != nil {
+		d.stop()
+		fatalf("serialized churn: %v", err)
+	}
+	if err := d.stop(); err != nil {
+		fatalf("serialized churn daemon exited dirty: %v", err)
+	}
+	if out.ChurnSerialized.CyclesPerSec > 0 {
+		out.ChurnScaling = out.Churn.CyclesPerSec / out.ChurnSerialized.CyclesPerSec
+	}
+	fmt.Printf("churn A/B: per-tenant locks %.0f cycles/s vs serialized baseline %.0f cycles/s → %.2fx with %d workers\n",
+		out.Churn.CyclesPerSec, out.ChurnSerialized.CyclesPerSec, out.ChurnScaling, conns)
 
 	// Suite 2: swap pressure. The budget is a quarter of the working
 	// set, so most of the tenant's pages live swapped out at any moment;
@@ -505,6 +701,17 @@ func runTenantBench(bin string, conns int, duration time.Duration, seed int64, j
 	fmt.Printf("storm: %d×%d same-block writes in %.2fs → %.0f fresh-LPID page re-encryptions\n",
 		out.Storm.WritesPerBlock, out.Storm.Blocks, out.Storm.Seconds, out.Storm.Reencrypts)
 
+	// Suite 4: durable recovery — SIGKILL a tenant-bearing daemon and
+	// restart it on its data directory.
+	out.Recovery, err = runTenantRecovery(bin)
+	if err != nil {
+		fatalf("recovery: %v", err)
+	}
+	fmt.Printf("recovery: %d tenants × %d pages; first tenant byte %.0fms after SIGKILL restart (ready %.0fms); %d/%d pages bit-exact\n",
+		out.Recovery.Tenants, out.Recovery.PagesPerTenant,
+		out.Recovery.RestartToByte*1e3, out.Recovery.RestartToReady*1e3,
+		out.Recovery.Verified-out.Recovery.Lost, out.Recovery.Verified)
+
 	if jsonOut {
 		f, err := os.Create(outPath)
 		if err != nil {
@@ -534,5 +741,7 @@ func runTenantBench(bin string, conns int, duration time.Duration, seed int64, j
 		fatalf("resident budget violated: %d > %d", out.Pressure.ResidentPages, budget)
 	case out.Storm.Reencrypts == 0:
 		fatalf("overflow storm forced no re-encryptions")
+	case out.Recovery.Lost > 0:
+		fatalf("%d acknowledged tenant writes lost across the SIGKILL restart", out.Recovery.Lost)
 	}
 }

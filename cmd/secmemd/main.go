@@ -50,11 +50,11 @@ var schemes = map[string]struct {
 	enc core.EncryptionScheme
 	itg core.IntegrityScheme
 }{
-	"aise-bmt":   {core.AISE, core.BonsaiMT},
-	"aise-mt":    {core.AISE, core.MerkleTree},
-	"aise":       {core.AISE, core.NoIntegrity},
+	"aise-bmt":    {core.AISE, core.BonsaiMT},
+	"aise-mt":     {core.AISE, core.MerkleTree},
+	"aise":        {core.AISE, core.NoIntegrity},
 	"global64-mt": {core.CtrGlobal64, core.MerkleTree},
-	"none":       {core.NoEncryption, core.NoIntegrity},
+	"none":        {core.NoEncryption, core.NoIntegrity},
 }
 
 func main() {
@@ -67,6 +67,8 @@ func main() {
 	macBits := flag.Int("macbits", 128, "MAC width in bits (32, 64, 128, 256)")
 	swapSlots := flag.Int("swapslots", 64, "Page Root Directory slots per shard (0 disables swap)")
 	residentPages := flag.Int("resident-pages", 0, "tenant memory-pressure budget: swap cold tenant pages out once more than this many are resident (0 disables the controller; requires a swap-capable scheme)")
+	tenantDurable := flag.Bool("tenant-durable", true, "journal tenant address spaces through -data-dir so a restarted daemon serves every acknowledged tenant byte (no effect without -data-dir; mixing the raw swapout/swapin wire ops into a tenant-durable daemon is unsupported)")
+	tenantSerialize := flag.Bool("tenant-serialize", false, "serialize every tenant operation under one global mutex (the pre-per-tenant-locking baseline, kept for A/B benchmarks)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout (queueing included)")
 	hibPath := flag.String("hibernate", "secmemd.hib", "file the hibernate operation writes the pool image to (ignored with -data-dir)")
 	keyHex := flag.String("key", "", "32 hex chars of processor key (default: a fixed demo key)")
@@ -251,6 +253,13 @@ func main() {
 		if err != nil {
 			logger.Fatalf("persist: %v", err)
 		}
+		// Tenant durability journals through the store's auxiliary WAL; it
+		// must be armed before Recover so the replay collects the pool
+		// events the tenant journal reconciles against. Cluster nodes
+		// don't run the tenant layer, so they never enable it.
+		if *tenantDurable && *clusterID == "" && slots > 0 {
+			store.EnableAux()
+		}
 	}
 
 	srvOpts := server.Options{
@@ -336,20 +345,21 @@ func main() {
 			logger.Fatalf("repl listen: %v", err)
 		}
 		node, err := cluster.NewNode(cluster.Config{
-			Self:         *clusterID,
-			Members:      clusterMembers,
-			Pool:         pool,
-			Store:        store,
-			ShardCfg:     cfg,
-			Key:          key,
-			DataDir:      *dataDir,
-			Fsync:        fsyncPolicy,
-			ReplListener: replLn,
-			Proxy:        *clusterProxy,
-			RereplGrace:  *rereplGrace,
-			InitialView:  clusterView,
-			Obs:          obsSvc,
-			Logf:         logger.Printf,
+			Self:          *clusterID,
+			Members:       clusterMembers,
+			Pool:          pool,
+			Store:         store,
+			ShardCfg:      cfg,
+			Key:           key,
+			DataDir:       *dataDir,
+			Fsync:         fsyncPolicy,
+			SnapshotEvery: *snapEvery,
+			ReplListener:  replLn,
+			Proxy:         *clusterProxy,
+			RereplGrace:   *rereplGrace,
+			InitialView:   clusterView,
+			Obs:           obsSvc,
+			Logf:          logger.Printf,
 		})
 		if err != nil {
 			logger.Fatalf("cluster: %v", err)
@@ -364,11 +374,25 @@ func main() {
 		// partitions the keyspace across nodes, but one tenant's page table
 		// and swap placement need a single manager's view.
 		if slots > 0 {
-			srv.SetTenants(tenant.New(tenant.Config{
+			tcfg := tenant.Config{
 				Pool:          pool,
 				ResidentPages: *residentPages,
+				Serialize:     *tenantSerialize,
 				Obs:           obsSvc,
-			}))
+			}
+			var tsvc *tenant.Service
+			if store != nil && store.AuxEnabled() {
+				tcfg.Journal = store
+				tsvc, err = tenant.Recover(tcfg, store.TakeAuxRecovery())
+				if err != nil {
+					logger.Fatalf("tenant recovery failed closed: %v", err)
+				}
+				store.SetAuxSource(tsvc.FreezeOps, tsvc.ThawOps, tsvc.SnapshotState)
+				logger.Printf("tenants: durable (journaled through %s)", *dataDir)
+			} else {
+				tsvc = tenant.New(tcfg)
+			}
+			srv.SetTenants(tsvc)
 			if *residentPages > 0 {
 				logger.Printf("tenants: resident-set budget %d pages (%s of %s)",
 					*residentPages, sizeString(uint64(*residentPages)*4096), *memSize)

@@ -25,14 +25,15 @@ var Scenarios = []string{
 	"bitflip-counter",  // flip a bit in a page's counter block
 	"bitflip-treenode", // flip a bit in a coalesced interior tree node
 	"rollback",         // record whole shard memory, replay it after writes
-	"wal-fault",       // one shard's WAL device dies (every op errors)
-	"torn-append",     // WAL appends land half a record then error
-	"slow-io",         // the disk stalls but never fails
-	"checkpoint",      // cut a checkpoint mid-run (WAL truncation in the mix)
+	"wal-fault",        // one shard's WAL device dies (every op errors)
+	"torn-append",      // WAL appends land half a record then error
+	"slow-io",          // the disk stalls but never fails
+	"checkpoint",       // cut a checkpoint mid-run (WAL truncation in the mix)
 
-	"tenant-swap-tamper",   // see TenantScenarios
-	"tenant-fork-kill",     //
-	"tenant-swap-pressure", //
+	"tenant-swap-tamper",     // see TenantScenarios
+	"tenant-fork-kill",       //
+	"tenant-swap-pressure",   //
+	"tenant-restart-recover", //
 }
 
 // Config sizes a harness run.
@@ -508,6 +509,10 @@ func (h *Harness) Run(scenario string) error {
 		}
 	case "tenant-swap-pressure":
 		if err := h.runTenantSwapPressure(); err != nil {
+			return err
+		}
+	case "tenant-restart-recover":
+		if err := h.runTenantRestartRecover(); err != nil {
 			return err
 		}
 	default:

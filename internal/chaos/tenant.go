@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"aisebmt/internal/core"
 	"aisebmt/internal/layout"
+	"aisebmt/internal/persist"
 	"aisebmt/internal/shard"
 	"aisebmt/internal/tenant"
 )
@@ -18,9 +21,10 @@ import (
 // cannot disturb the durable pool's shadow model; the usual end-of-run
 // invariants still hold on the durable pool afterwards.
 var TenantScenarios = []string{
-	"tenant-swap-tamper",   // corrupt a swapped-out page's counter block on disk
-	"tenant-fork-kill",     // destroy a tenant in the middle of a fork storm
-	"tenant-swap-pressure", // working set ≫ resident budget, shadow-checked
+	"tenant-swap-tamper",     // corrupt a swapped-out page's counter block on disk
+	"tenant-fork-kill",       // destroy a tenant in the middle of a fork storm
+	"tenant-swap-pressure",   // working set ≫ resident budget, shadow-checked
+	"tenant-restart-recover", // power-cycle a tenant-durable store mid-churn
 }
 
 // nextTrace issues the next harness trace ID for a tenant request.
@@ -252,6 +256,222 @@ func (h *Harness) runTenantForkKill() error {
 	}
 	if st := svc.Stats(); st.Live != 0 || st.ResidentPages != 0 || st.SwappedPages != 0 {
 		return fmt.Errorf("chaos: FRAME LEAK after fork-kill teardown: %+v", st)
+	}
+	return nil
+}
+
+// durableTenantStack is one "daemon" of the restart scenario: a durable
+// store with the tenant journal enabled, its recovered pool, and the
+// tenant layer rebuilt from the journal — the exact wiring cmd/secmemd
+// uses under -tenant-durable.
+type durableTenantStack struct {
+	store *persist.Store
+	pool  *shard.Pool
+	svc   *tenant.Service
+}
+
+// openDurableTenants boots (or recovers) a tenant-durable stack in dir.
+func (h *Harness) openDurableTenants(dir string) (*durableTenantStack, error) {
+	st, err := persist.Open(persist.Options{Dir: dir, Key: harnessKey, Fsync: persist.FsyncAlways, Logf: h.cfg.Logf})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: tenant store: %w", err)
+	}
+	st.EnableAux()
+	pool, _, err := st.Recover(shard.Config{
+		Shards: 2,
+		Core: core.Config{
+			DataBytes:  2 * 16 * layout.PageSize,
+			Key:        harnessKey,
+			Encryption: core.AISE,
+			Integrity:  core.BonsaiMT,
+			SwapSlots:  16,
+		},
+	})
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("chaos: tenant store recover: %w", err)
+	}
+	svc, err := tenant.Recover(tenant.Config{Pool: pool, Journal: st}, st.TakeAuxRecovery())
+	if err != nil {
+		pool.Close()
+		st.Close()
+		return nil, fmt.Errorf("chaos: tenant layer recover: %w", err)
+	}
+	st.SetAuxSource(svc.FreezeOps, svc.ThawOps, svc.SnapshotState)
+	return &durableTenantStack{store: st, pool: pool, svc: svc}, nil
+}
+
+// crash abandons the stack the way a power cut leaves it: the pool's
+// workers stop, but the store is never closed and nothing is flushed or
+// checkpointed — recovery must come entirely from what each ack synced.
+func (s *durableTenantStack) crash() { s.pool.Close() }
+
+// runTenantRestartRecover power-cycles a tenant-durable daemon in the
+// middle of tenant churn. A private durable store journals every tenant
+// mutation; the stack is crashed with no shutdown of any kind; a fresh
+// stack recovered from the same directory must serve every acknowledged
+// tenant byte bit-exact, keep a cross-tenant shared mapping aliased, and
+// refuse a destroyed tenant. A second crash is followed by a flipped
+// byte in the tenant journal: recovery must refuse fail-closed, and
+// succeed again once the byte is restored.
+func (h *Harness) runTenantRestartRecover() error {
+	dir := filepath.Join(h.cfg.Dir, fmt.Sprintf("tenant-rr-%d", h.nextTrace()))
+	ctx, cancel := ctx10()
+	defer cancel()
+
+	gen1, err := h.openDurableTenants(dir)
+	if err != nil {
+		return err
+	}
+	svc := gen1.svc
+
+	// Generation 1: create/write/fork/share/swap/destroy churn, every ack
+	// recorded in the shadow.
+	const npages = 3
+	shadow := map[uint32]map[int][]byte{}
+	a, err := svc.Create(ctx, npages, h.nextTrace())
+	if err != nil {
+		return fmt.Errorf("chaos: tenant create: %w", err)
+	}
+	shadow[a] = map[int][]byte{}
+	for p := 0; p < npages; p++ {
+		val := h.tenantVal()
+		if err := h.tenantWrite(svc, a, p, val); err != nil {
+			return err
+		}
+		shadow[a][p] = val
+	}
+	b, err := svc.Fork(ctx, a, h.nextTrace())
+	if err != nil {
+		return fmt.Errorf("chaos: tenant fork: %w", err)
+	}
+	h.stats.TenantForks++
+	shadow[b] = map[int][]byte{}
+	for p, v := range shadow[a] {
+		shadow[b][p] = v
+	}
+	diverge := h.tenantVal()
+	if err := h.tenantWrite(svc, b, 1, diverge); err != nil {
+		return err
+	}
+	shadow[b][1] = diverge
+	c, err := svc.Create(ctx, 2, h.nextTrace())
+	if err != nil {
+		return fmt.Errorf("chaos: tenant create: %w", err)
+	}
+	shadow[c] = map[int][]byte{0: h.tenantVal()}
+	if err := h.tenantWrite(svc, c, 0, shadow[c][0]); err != nil {
+		return err
+	}
+	h.stats.TenantsCreated += 3
+	// Share a's page 0 into c at page 4 (growing c), then write the page
+	// through c: both sides must read the same bytes after recovery.
+	const sharedPage = 4
+	if err := svc.Map(ctx, a, 0, c, sharedPage*layout.PageSize, h.nextTrace()); err != nil {
+		return fmt.Errorf("chaos: tenant map: %w", err)
+	}
+	sharedVal := h.tenantVal()
+	if err := h.tenantWrite(svc, c, sharedPage, sharedVal); err != nil {
+		return err
+	}
+	shadow[a][0], shadow[c][sharedPage] = sharedVal, sharedVal
+	// A page parked in swap at crash time, and a tenant destroyed before
+	// it — both journal record classes must recover.
+	if err := svc.ForceSwapOut(ctx, a, 2*layout.PageSize); err != nil {
+		return fmt.Errorf("chaos: force swap-out: %w", err)
+	}
+	h.stats.TenantSwaps++
+	gone, err := svc.Create(ctx, 1, h.nextTrace())
+	if err != nil {
+		return fmt.Errorf("chaos: tenant create: %w", err)
+	}
+	h.stats.TenantsCreated++
+	if err := h.tenantWrite(svc, gone, 0, h.tenantVal()); err != nil {
+		return err
+	}
+	if err := svc.Destroy(ctx, gone, h.nextTrace()); err != nil {
+		return fmt.Errorf("chaos: tenant destroy: %w", err)
+	}
+
+	gen1.crash()
+
+	// Restart 1: every acknowledged byte, the COW divergence and the
+	// shared-page alias come back; the destroyed tenant stays gone.
+	gen2, err := h.openDurableTenants(dir)
+	if err != nil {
+		return fmt.Errorf("chaos: ACKED-WRITE LOSS: restart after tenant churn: %w", err)
+	}
+	svc = gen2.svc
+	for id, pages := range shadow {
+		for p, want := range pages {
+			if err := h.tenantExpect(svc, id, p, want); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := svc.Read(ctx, gone, 0, valLen, h.nextTrace()); err == nil {
+		return fmt.Errorf("chaos: destroyed tenant %d served after restart", gone)
+	}
+	st := svc.Stats()
+	if st.Live != 3 || st.Cums.Forked == 0 || st.Cums.MapShared == 0 {
+		return fmt.Errorf("chaos: recovered tenant stats wrong: %+v", st)
+	}
+	// The alias is structural, not just byte-identical: a fresh write
+	// through a must surface through c.
+	alias := h.tenantVal()
+	if err := h.tenantWrite(svc, a, 0, alias); err != nil {
+		return err
+	}
+	shadow[a][0], shadow[c][sharedPage] = alias, alias
+	if err := h.tenantExpect(svc, c, sharedPage, alias); err != nil {
+		return err
+	}
+
+	gen2.crash()
+
+	// A flipped byte in the tenant journal must refuse recovery closed.
+	walPath := filepath.Join(dir, "wal-aux.log")
+	raw, err := os.ReadFile(walPath)
+	if err != nil || len(raw) == 0 {
+		return fmt.Errorf("chaos: tenant journal unreadable at crash (%d bytes): %v", len(raw), err)
+	}
+	flip := len(raw) - 1 - h.rng.Intn(len(raw)/2)
+	bit := byte(1) << h.rng.Intn(8)
+	raw[flip] ^= bit
+	if err := os.WriteFile(walPath, raw, 0o600); err != nil {
+		return err
+	}
+	h.stats.TampersInjected++
+	if _, err := h.openDurableTenants(dir); err == nil {
+		return fmt.Errorf("chaos: TAMPER SERVED: tampered tenant journal recovered")
+	} else if !errors.Is(err, persist.ErrTenantTampered) {
+		return fmt.Errorf("chaos: tampered tenant journal refused with unexpected error: %w", err)
+	}
+	h.stats.TampersDetected++
+	raw[flip] ^= bit
+	if err := os.WriteFile(walPath, raw, 0o600); err != nil {
+		return err
+	}
+	gen3, err := h.openDurableTenants(dir)
+	if err != nil {
+		return fmt.Errorf("chaos: untampered journal refused: %w", err)
+	}
+	svc = gen3.svc
+	for id, pages := range shadow {
+		for p, want := range pages {
+			if err := h.tenantExpect(svc, id, p, want); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range []uint32{a, b, c} {
+		if err := svc.Destroy(ctx, id, h.nextTrace()); err != nil {
+			return fmt.Errorf("chaos: teardown destroy of %d: %w", id, err)
+		}
+	}
+	gen3.pool.Close()
+	if err := gen3.store.Close(); err != nil {
+		return fmt.Errorf("chaos: tenant store close: %w", err)
 	}
 	return nil
 }

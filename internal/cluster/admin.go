@@ -121,8 +121,9 @@ func (n *Node) applyView(v *View) error {
 				ship := n.ship
 				n.mu.Unlock()
 				if start {
+					// The rotate hook (storeRotated) was wired at boot and
+					// picks the new stream up through n.ship.
 					n.cfg.Store.SetSegmentSink(ship.sink)
-					n.cfg.Store.SetRotateHook(ship.rotated)
 					n.wg.Add(1)
 					go ship.run()
 				}

@@ -42,9 +42,9 @@ func testShardCfg() shard.Config {
 // The data plane is real loopback TCP; only probe/dial decisions and
 // listener lifecycle are intercepted.
 type world struct {
-	mu   sync.Mutex
-	down map[string]bool
-	cut  map[[2]string]bool
+	mu     sync.Mutex
+	down   map[string]bool
+	cut    map[[2]string]bool
 	byAddr map[string]string // any listen addr -> member ID
 }
 

@@ -189,10 +189,11 @@ func (n *Node) promote(rangeID string) error {
 	sb.mu.Lock()
 	sb.promoted = true
 	st, err := persist.Open(persist.Options{
-		Dir:   n.promotedDir(rangeID, fence),
-		Key:   n.cfg.Key,
-		Fsync: n.cfg.Fsync,
-		Logf:  n.cfg.Logf,
+		Dir:           n.promotedDir(rangeID, fence),
+		Key:           n.cfg.Key,
+		Fsync:         n.cfg.Fsync,
+		SnapshotEvery: n.cfg.SnapshotEvery,
+		Logf:          n.cfg.Logf,
 	})
 	if err == nil {
 		st.SetFence(fence)

@@ -267,6 +267,99 @@ func TestLifecycleRereplSurvivesStandbyDeath(t *testing.T) {
 	}
 }
 
+// TestLifecycleRereplPlacementRevert: a re-replication standby that
+// landed on a fallback successor — the preferred one was unreachable
+// while the stream swept after a promotion — migrates back to the
+// preferred member at the next checkpoint rotation of the promoter's own
+// store, and the fallback's stale copy is reaped. Before the rotate-hook
+// re-evaluation, an attached stream never re-swept, so the standby sat
+// on the fallback forever and failover arbitration kept looking for it
+// in the wrong place.
+func TestLifecycleRereplPlacementRevert(t *testing.T) {
+	tc := startCluster(t, 4, false)
+	c := tc.client()
+	lineages := []string{"n1", "n2", "n3", "n4"}
+	ring := NewRing(lineages)
+	acked := map[layout.Addr]byte{}
+	writeAll := func(tag byte, budget time.Duration) {
+		for p := uint64(0); p < 16; p++ {
+			a := blockAddr(p, int(p)%4)
+			v := tag ^ byte(p)
+			if err := retry(budget, func() error { return c.Write(a, fillByte(a, v), core.Meta{}) }); err != nil {
+				t.Fatalf("write page %d: %v", p, err)
+			}
+			acked[a] = v
+		}
+	}
+	writeAll(0x10, 5*time.Second)
+
+	victim := ring.OwnerPage(0)
+	promoter := tc.lineageSuccessors(victim)[0]
+	// The promoter's preferred standby target is its first live ring
+	// successor; the next live one is the fallback the race parks on.
+	var preferred, fallback string
+	for _, id := range tc.lineageSuccessors(promoter) {
+		if id == victim || id == promoter {
+			continue
+		}
+		if preferred == "" {
+			preferred = id
+		} else if fallback == "" {
+			fallback = id
+		}
+	}
+	t.Logf("victim %s, promoter %s, preferred %s, fallback %s", victim, promoter, preferred, fallback)
+
+	// The race: the preferred successor is unreachable from the promoter
+	// exactly while re-replication establishes the adopted range's standby.
+	tc.w.partition(promoter, preferred, true)
+	tc.kill(victim)
+	a0 := blockAddr(0, 0)
+	if err := retry(10*time.Second, func() error { return c.Write(a0, fillByte(a0, 0x71), core.Meta{}) }); err != nil {
+		t.Fatalf("victim range never recovered: %v", err)
+	}
+	acked[a0] = 0x71
+	waitFor(t, 10*time.Second, func() bool { return tc.nodes[fallback].node.holdsStandby(victim) },
+		fmt.Sprintf("standby for %s never landed on fallback %s", victim, fallback))
+	// The re-evaluation tick only moves an *attached* stream (a detached
+	// one re-sweeps in preferred order by itself); wait out the window
+	// between the fallback importing the baseline and the promoter
+	// processing its ack.
+	pn := tc.nodes[promoter]
+	waitFor(t, 10*time.Second, func() bool { return pn.node.met.rereplAttached.Load() >= 1 },
+		"re-replication stream never finished attaching to the fallback")
+
+	// Heal. An attached stream has no reason to resweep on its own: the
+	// standby stays parked until the next rotation tick re-evaluates it.
+	tc.w.partition(promoter, preferred, false)
+	if got := pn.node.met.rereplMoves.Load(); got != 0 {
+		t.Fatalf("placement moved before the rotation tick (%d moves)", got)
+	}
+	if err := pn.store.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// Writes keep flowing while the stream re-baselines on the preferred
+	// member, and the fallback's stale copy is reaped by its monitor.
+	writeAll(0x20, 20*time.Second)
+	waitFor(t, 15*time.Second, func() bool { return tc.nodes[preferred].node.holdsStandby(victim) },
+		fmt.Sprintf("standby for %s never moved to preferred successor %s", victim, preferred))
+	if got := pn.node.met.rereplMoves.Load(); got == 0 {
+		t.Error("placement move not counted")
+	}
+	waitFor(t, 15*time.Second, func() bool { return !tc.nodes[fallback].node.holdsStandby(victim) },
+		fmt.Sprintf("stale standby on fallback %s never reaped", fallback))
+
+	for a, v := range acked {
+		got, err := c.Read(a, layout.BlockSize, core.Meta{})
+		if err != nil {
+			t.Fatalf("read %#x: %v", uint64(a), err)
+		}
+		if want := fillByte(a, v); got[0] != want[0] {
+			t.Fatalf("addr %#x: got %#x want %#x — acked write lost in the placement move", uint64(a), got[0], want[0])
+		}
+	}
+}
+
 // TestLifecycleJoinLeave: a member joins through the admin op and a
 // fetched view, immediately hosts redirects, and a leaving member hands
 // every range off with zero acknowledged-write loss. The retired ID is

@@ -31,6 +31,7 @@ type metrics struct {
 	rereplTries    *obs.Counter
 	rereplUnrepl   *obs.Counter
 	rereplStalled  *obs.Counter
+	rereplMoves    *obs.Counter
 	viewEpoch      *obs.Gauge
 	viewRefused    *obs.Counter
 	handoffs       *obs.Counter
@@ -64,6 +65,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		rereplTries:    reg.Counter("secmemd_cluster_rerepl_attach_attempts_total", "Standby attach attempts by re-replication shippers."),
 		rereplUnrepl:   reg.Counter("secmemd_cluster_rerepl_unreplicated_writes_total", "Batches acknowledged within the re-replication grace window while no standby was attached."),
 		rereplStalled:  reg.Counter("secmemd_cluster_rerepl_stalled_writes_total", "Batches refused repl-stalled after the re-replication grace window expired."),
+		rereplMoves:    reg.Counter("secmemd_cluster_rerepl_placement_moves_total", "Re-replication streams dropped to move a standby back to the preferred ring successor."),
 		viewEpoch:      reg.Gauge("secmemd_cluster_view_epoch", "Membership view epoch this node has applied and sealed."),
 		viewRefused:    reg.Counter("secmemd_cluster_view_refusals_total", "Membership views refused (epoch regression, seal failure, or structural rejection)."),
 		handoffs:       reg.Counter("secmemd_cluster_handoffs_total", "Range handoffs this node completed as the old holder (leave/move)."),

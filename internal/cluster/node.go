@@ -43,6 +43,12 @@ type Config struct {
 	DataDir string
 	// Fsync is the durability policy for promoted stores.
 	Fsync persist.Policy
+	// SnapshotEvery is the background checkpoint period for promoted
+	// stores (the node's own store is configured by whoever opened it).
+	// Without it an adopted range's WAL grows unbounded and its rotate
+	// hook — the stream's proactive re-baseline point — never fires.
+	// Zero disables background checkpoints on promoted stores.
+	SnapshotEvery time.Duration
 	// ReplListener accepts replication streams from peers (the address
 	// advertised as this member's Repl). Nil disables the receiver (and
 	// with it this node's ability to hold standbys) — single-node rings
@@ -157,7 +163,7 @@ type Node struct {
 	readyOnce sync.Once
 
 	mu        sync.Mutex
-	deposedTo string // member ID holding our range after we were fenced
+	deposedTo string                    // member ID holding our range after we were fenced
 	standbys  map[string]*standby       // keyed by range (lineage)
 	promoted  map[string]*promotedRange // keyed by range (lineage)
 	fences    map[string]uint64         // highest fencing epoch seen per range
@@ -319,10 +325,13 @@ func NewNode(cfg Config) (*Node, error) {
 	default:
 		n.ship = newShipper(n, n.selfLineage, cfg.Store, true)
 		cfg.Store.SetSegmentSink(n.ship.sink)
-		cfg.Store.SetRotateHook(n.ship.rotated)
 		n.wg.Add(1)
 		go n.ship.run()
 	}
+	// The own store's rotate hook is wired even when no own stream exists
+	// yet (single member, lineage-less joiner): adopted ranges still need
+	// the placement re-evaluation tick it provides.
+	cfg.Store.SetRotateHook(n.storeRotated)
 	if len(view.Members) > 1 {
 		n.monitorOn = true
 		n.wg.Add(1)
@@ -369,6 +378,30 @@ func (n *Node) reapOne(it *reapItem) {
 	it.pr.pool.Close()
 	if err := it.pr.store.Close(); err != nil {
 		n.logf("cluster: close deposed range %s: %v", it.rangeID, err)
+	}
+}
+
+// storeRotated is the own store's checkpoint-rotation hook. The own
+// stream's WAL continuity just broke, so it restarts from a fresh
+// post-rotation baseline; the tick doubles as the placement
+// re-evaluation point for the re-replication streams of adopted ranges
+// — a standby that landed on a fallback successor because the preferred
+// one was unreachable during a boot or failover race walks back to the
+// preferred member once it answers probes again, instead of staying
+// parked on the fallback forever.
+func (n *Node) storeRotated(epoch uint64) {
+	n.mu.Lock()
+	ship := n.ship
+	shs := make([]*shipper, 0, len(n.shippers))
+	for _, sh := range n.shippers {
+		shs = append(shs, sh)
+	}
+	n.mu.Unlock()
+	if ship != nil {
+		ship.rotated(epoch)
+	}
+	for _, sh := range shs {
+		sh.reevaluate()
 	}
 }
 

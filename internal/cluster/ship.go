@@ -368,6 +368,47 @@ func (s *shipper) attachedTo() string {
 	return s.target.ID
 }
 
+// reevaluate re-checks an attached stream's placement against the ring:
+// a stream that attached to a fallback successor (the preferred one was
+// unreachable during the sweep — a boot or failover race) is dropped as
+// soon as a better-placed successor answers probes again, so the next
+// sweep lands the standby where the arbitration walk looks for it
+// first. The common case — already attached to the first live successor
+// — pays no probe at all; probes are spent only on members ahead of the
+// current target in ring order. Pinned (handoff), fenced and detached
+// streams are left alone.
+func (s *shipper) reevaluate() {
+	s.mu.Lock()
+	target := s.target.ID
+	skip := !s.attached || s.fenced || s.pin != ""
+	s.mu.Unlock()
+	if skip {
+		return
+	}
+	for _, m := range s.n.membership().Successors(s.n.self.ID) {
+		if m.ID == s.n.self.ID {
+			continue
+		}
+		if m.ID == target {
+			return // already on the most-preferred reachable successor
+		}
+		if s.n.cfg.Probe(s.n.self.ID, m) != nil {
+			continue
+		}
+		// m is alive and preferred over the current target: drop the
+		// stream so the attach sweep re-places the standby there.
+		s.mu.Lock()
+		if s.attached && s.target.ID == target {
+			s.n.met.rereplMoves.Inc()
+			s.n.logf("cluster: %s[%s] standby parked on fallback %s; preferred successor %s reachable — re-placing",
+				s.n.self.ID, s.rangeID, target, m.ID)
+			s.detachLocked()
+		}
+		s.mu.Unlock()
+		return
+	}
+}
+
 // rotated is the store's checkpoint-rotation hook: the WAL epoch just
 // advanced, so the attached stream's continuity is gone. Restart it
 // proactively from a fresh post-rotation baseline instead of letting the

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"aisebmt/internal/layout"
+)
+
+// imageFixedLen is the fixed prefix of an encoded PageImage: the page's
+// 64 data blocks, its counter block, and a MAC-section length.
+const imageFixedLen = layout.PageSize + layout.BlockSize + 4
+
+// EncodePageImage flattens a swapped-out page for the wire or the WAL:
+// data blocks, counter block, then the length-prefixed MAC section.
+// Every byte is ciphertext or MACs — attacker-visible by design, so no
+// additional protection is applied in transit.
+func EncodePageImage(img *PageImage) []byte {
+	out := make([]byte, imageFixedLen+len(img.MACs))
+	for i := range img.Data {
+		copy(out[i*layout.BlockSize:], img.Data[i][:])
+	}
+	copy(out[layout.PageSize:], img.Counters[:])
+	binary.BigEndian.PutUint32(out[layout.PageSize+layout.BlockSize:], uint32(len(img.MACs)))
+	copy(out[imageFixedLen:], img.MACs)
+	return out
+}
+
+// DecodePageImage parses EncodePageImage's layout.
+func DecodePageImage(b []byte) (*PageImage, error) {
+	if len(b) < imageFixedLen {
+		return nil, fmt.Errorf("core: page image of %d bytes is shorter than the %d-byte minimum", len(b), imageFixedLen)
+	}
+	img := &PageImage{}
+	for i := range img.Data {
+		copy(img.Data[i][:], b[i*layout.BlockSize:])
+	}
+	copy(img.Counters[:], b[layout.PageSize:])
+	n := binary.BigEndian.Uint32(b[layout.PageSize+layout.BlockSize:])
+	if uint64(len(b)) != uint64(imageFixedLen)+uint64(n) {
+		return nil, fmt.Errorf("core: page image declares %d MAC bytes but carries %d", n, len(b)-imageFixedLen)
+	}
+	img.MACs = append([]byte(nil), b[imageFixedLen:]...)
+	return img, nil
+}

@@ -1,0 +1,363 @@
+package persist
+
+import (
+	"crypto/hmac"
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"aisebmt/internal/core"
+	"aisebmt/internal/layout"
+	"aisebmt/internal/shard"
+)
+
+// The auxiliary journal persists the tenant layer's address-space
+// metadata — page-table shape, swap-directory assignments, fork and
+// shared-memory topology — alongside the pool's own WALs. It reuses the
+// WAL machinery wholesale: records are HMAC-chained and encrypted under
+// the same derivation tree, the committed position is sealed in a
+// two-slot head file, and checkpoints truncate it to a fresh epoch whose
+// tenant state is captured in a separate snapshot section whose digest is
+// sealed into the anchor. The aux log is a single file (tenant structural
+// mutations are globally ordered by the vm manager's mutex), identified
+// inside the WAL format by the reserved shard index ^uint32(0).
+//
+// Consistency contract with the shard WALs: the tenant layer emits an aux
+// record only after the pool operation it describes has committed, and
+// syncs the aux log (SyncAux) only after flushing the shard WALs. The aux
+// journal is therefore always a prefix of the structural history the
+// shard WALs imply — recovery replays the shard WALs first, collects the
+// structural events they regenerate (AuxEvent), lets the tenant layer
+// consume them in journal order, and rolls any leftover suffix forward as
+// the durable-but-unacknowledged tail.
+
+// recKindAux marks a WAL record as an auxiliary (tenant journal) record;
+// its Data is opaque to this layer. The value sits far above the pool's
+// own MutKinds so the two spaces can never collide.
+const recKindAux shard.MutKind = 64
+
+// auxShardIdx is the reserved WAL shard index of the aux journal.
+const auxShardIdx = ^uint32(0)
+
+// AuxEvent is one structural pool mutation observed while replaying a
+// shard WAL: a swap-out (with the image the replay regenerated from chip
+// state), a swap-in, or a page move. The tenant layer matches these
+// against its journal to rebuild swap-device and frame bookkeeping, and
+// rolls unmatched ones forward. Addr and Virt are shard-local.
+type AuxEvent struct {
+	Shard int
+	Kind  shard.MutKind
+	Addr  layout.Addr
+	Virt  uint64
+	Slot  int
+	Img   *core.PageImage // regenerated swap image (MutSwapOut only)
+}
+
+// AuxRecovery is what Recover found of the tenant layer's durable state:
+// the sealed checkpoint section, the journal records appended since, and
+// the structural events the shard-WAL replay regenerated. The tenant
+// layer takes it (TakeAuxRecovery) and rebuilds its address spaces before
+// serving traffic. All three empty means no tenants existed.
+type AuxRecovery struct {
+	Snap   []byte
+	Recs   [][]byte
+	Events []AuxEvent
+}
+
+// auxSource is the installed tenant layer: freeze/thaw bracket its
+// operations across a checkpoint, snap captures its full current state.
+type auxSource struct {
+	freeze func()
+	thaw   func()
+	snap   func() ([]byte, error)
+}
+
+// auxState is the store's aux-journal half, embedded in Store.
+type auxState struct {
+	enabled bool
+	src     atomic.Pointer[auxSource]
+
+	// mu orders buffered appends, syncs and checkpoint resets; it nests
+	// inside the walWriter mutexes taken by SyncAux's shard flush.
+	mu  sync.Mutex
+	w   *walWriter
+	buf []walRec
+
+	// hasState notes that recovery surfaced nonempty tenant state; until
+	// an auxSource is installed, a checkpoint would capture an empty
+	// section and silently discard that state, so Checkpoint refuses.
+	hasState bool
+
+	recovered *AuxRecovery
+}
+
+func (st *Store) auxWALPath() string  { return filepath.Join(st.opts.Dir, "wal-aux.log") }
+func (st *Store) auxHeadPath() string { return filepath.Join(st.opts.Dir, "walhead-aux.bin") }
+
+func (st *Store) auxSnapPath(epoch uint64) string {
+	return filepath.Join(st.opts.Dir, fmt.Sprintf("auxsnap-%016x.img", epoch))
+}
+
+// auxDigest seals an aux checkpoint section to its epoch.
+func auxDigest(k []byte, epoch uint64, body []byte) [sealSize]byte {
+	var e [8]byte
+	binary.LittleEndian.PutUint64(e[:], epoch)
+	b := make([]byte, 0, 16+len(body))
+	b = append(b, "auxsnap:"...)
+	b = append(b, e[:]...)
+	b = append(b, body...)
+	return seal(k, b)
+}
+
+// EnableAux turns the auxiliary journal on. Call it before Recover (or
+// Adopt): recovery then scans the aux log, verifies the tenant checkpoint
+// section against the anchor, and stashes the result for TakeAuxRecovery;
+// checkpoints write and seal an aux section from the installed source.
+func (st *Store) EnableAux() { st.aux.enabled = true }
+
+// AuxEnabled reports whether the auxiliary journal is on.
+func (st *Store) AuxEnabled() bool { return st.aux.enabled }
+
+// TakeAuxRecovery returns what Recover found of the tenant layer's state,
+// or nil (aux disabled, or Recover not yet run). The caller owns it.
+func (st *Store) TakeAuxRecovery() *AuxRecovery {
+	st.aux.mu.Lock()
+	defer st.aux.mu.Unlock()
+	r := st.aux.recovered
+	st.aux.recovered = nil
+	return r
+}
+
+// SetAuxSource installs the tenant layer: freeze blocks new tenant
+// operations and waits out in-flight ones (it is taken before the pool
+// freezes, so an in-flight operation's pending pool calls still
+// complete), thaw releases them, snap serializes the full current tenant
+// state for the checkpoint section. Install it before the first tenant
+// operation; with recovered tenant state present, checkpoints refuse to
+// run until the source is installed (an empty section would discard it).
+func (st *Store) SetAuxSource(freeze, thaw func(), snap func() ([]byte, error)) {
+	st.aux.src.Store(&auxSource{freeze: freeze, thaw: thaw, snap: snap})
+}
+
+// AppendAux buffers one opaque tenant-journal record. Records are framed
+// into the aux log in append order at the next SyncAux (or discarded at a
+// checkpoint, whose section already captures their effects). Callers
+// append under the ordering lock that serialized the mutation itself, so
+// buffer order is mutation order.
+func (st *Store) AppendAux(rec []byte) error {
+	if !st.aux.enabled {
+		return fmt.Errorf("persist: aux journal not enabled")
+	}
+	if err := st.failedErr(); err != nil {
+		return err
+	}
+	st.aux.mu.Lock()
+	defer st.aux.mu.Unlock()
+	st.aux.buf = append(st.aux.buf, walRec{Kind: recKindAux, Data: append([]byte(nil), rec...)})
+	return nil
+}
+
+// SyncAux makes every buffered aux record durable: the shard WALs are
+// flushed first (the pool operations those records ride on must never be
+// less durable than the records describing them), then the buffered
+// records are framed, synced and sealed under the aux head. The tenant
+// layer calls it before acknowledging any structural operation.
+func (st *Store) SyncAux() error {
+	if !st.aux.enabled {
+		return fmt.Errorf("persist: aux journal not enabled")
+	}
+	if err := st.failedErr(); err != nil {
+		return err
+	}
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	st.aux.mu.Lock()
+	defer st.aux.mu.Unlock()
+	w := st.aux.w
+	if w == nil {
+		return fmt.Errorf("persist: aux journal used before Recover")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(st.aux.buf) > 0 {
+		if _, err := w.append(st.aux.buf); err != nil {
+			return err
+		}
+		st.aux.buf = st.aux.buf[:0]
+	}
+	return w.syncAndPublish()
+}
+
+// auxDirty reports unsynced or recovered-but-unclaimed tenant state — the
+// state an aux-less checkpoint would silently discard.
+func (st *Store) auxDirty() bool {
+	st.aux.mu.Lock()
+	defer st.aux.mu.Unlock()
+	if st.aux.hasState || len(st.aux.buf) > 0 {
+		return true
+	}
+	if w := st.aux.w; w != nil {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return w.seq > 0
+	}
+	return false
+}
+
+// auxCheckpointSection captures the tenant section for a checkpoint.
+// Called with tenant operations frozen.
+func (st *Store) auxCheckpointSection(src *auxSource) ([]byte, error) {
+	if src == nil {
+		return nil, nil
+	}
+	return src.snap()
+}
+
+// writeAuxSnap durably writes the aux checkpoint section for newEpoch,
+// before the anchor that seals its digest becomes durable.
+func (st *Store) writeAuxSnap(newEpoch uint64, body []byte) error {
+	path := st.auxSnapPath(newEpoch)
+	f, err := st.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := f.Write(body); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// The section's directory entry must be durable before the anchor's:
+	// an anchor claiming a section the directory lost would read as
+	// tampering after a crash that was merely unlucky.
+	return st.fs.SyncDir(st.opts.Dir)
+}
+
+// resetAux discards the buffered records (the just-written section
+// captured their effects) and starts the aux log on the new epoch.
+// Called from Checkpoint's commit callback, after the anchor is durable,
+// with tenant operations frozen.
+func (st *Store) resetAux(newEpoch uint64) error {
+	st.aux.mu.Lock()
+	defer st.aux.mu.Unlock()
+	st.aux.buf = nil
+	st.aux.hasState = false
+	w := st.aux.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reset(newEpoch)
+}
+
+// recoverAux rebuilds the tenant layer's durable state during Recover:
+// scan the aux log against its sealed head (same rollback and tampering
+// refusals as a shard WAL), verify the checkpoint section against the
+// anchor's digest, and stash both plus the replay-captured events for
+// TakeAuxRecovery. events are the structural mutations the shard-WAL
+// replay regenerated, in per-shard order.
+func (st *Store) recoverAux(anc anchor, events []AuxEvent) error {
+	out := &AuxRecovery{}
+	w := st.aux.w
+	hb, herr := st.fs.ReadFile(w.headPath)
+	if herr != nil {
+		// No aux head. Legitimate only on a directory that predates the
+		// aux journal (upgrade path, before the first aux-era checkpoint);
+		// an anchor claiming an aux section proves the head was destroyed.
+		if anc.HasAux {
+			return fmt.Errorf("%w: aux WAL head missing", ErrTrustTampered)
+		}
+		if err := func() error { w.mu.Lock(); defer w.mu.Unlock(); return w.reset(anc.Epoch) }(); err != nil {
+			return fmt.Errorf("persist: aux WAL reset: %w", err)
+		}
+		st.aux.recovered = out
+		return nil
+	}
+	head, herr := chooseHead(st.key, hb, auxShardIdx)
+	if herr != nil {
+		return herr
+	}
+	if head.Epoch > anc.Epoch {
+		return fmt.Errorf("%w: aux WAL head epoch %d is ahead of anchor epoch %d (anchor rolled back?)",
+			ErrTrustTampered, head.Epoch, anc.Epoch)
+	}
+	var recs []walRec
+	var seq uint64
+	var chain [sealSize]byte
+	var validLen int64
+	if head.Epoch == anc.Epoch {
+		wb, rerr := st.fs.ReadFile(w.path)
+		if rerr != nil {
+			wb = nil // scanWAL fails closed unless the head committed nothing
+		}
+		var err error
+		recs, seq, chain, validLen, err = scanWAL(st.key, st.dataKey, wb, head)
+		if err != nil {
+			return fmt.Errorf("%w: tenant journal: %v", ErrTenantTampered, err)
+		}
+	}
+	// head.Epoch < anc.Epoch: checkpoint interrupted after the anchor,
+	// before the aux reset — the sealed section supersedes the old log.
+
+	for _, r := range recs {
+		if r.Kind != recKindAux {
+			return fmt.Errorf("%w: tenant journal carries pool record kind %d", ErrTenantTampered, r.Kind)
+		}
+		out.Recs = append(out.Recs, append([]byte(nil), r.Data...))
+	}
+
+	if anc.HasAux {
+		sb, serr := st.fs.ReadFile(st.auxSnapPath(anc.Epoch))
+		if serr != nil {
+			return fmt.Errorf("%w: tenant checkpoint for epoch %d missing", ErrTenantTampered, anc.Epoch)
+		}
+		want := auxDigest(st.key, anc.Epoch, sb)
+		if !hmac.Equal(want[:], anc.AuxDigest[:]) {
+			return fmt.Errorf("%w: tenant checkpoint for epoch %d fails its sealed digest", ErrTenantTampered, anc.Epoch)
+		}
+		out.Snap = sb
+	}
+	if anc.HasAux || len(out.Recs) > 0 {
+		// Tenant mode was active: the replayed structural events belong to
+		// its history. (Without any tenant state they are raw-API traffic
+		// and meaningless to the tenant layer.)
+		out.Events = events
+	}
+	st.aux.hasState = len(out.Snap) > 0 || len(out.Recs) > 0
+
+	// Prime the writer to continue the verified log in place.
+	if validLen == 0 {
+		if err := func() error { w.mu.Lock(); defer w.mu.Unlock(); return w.reset(anc.Epoch) }(); err != nil {
+			return fmt.Errorf("persist: aux WAL reset: %w", err)
+		}
+	} else {
+		w.mu.Lock()
+		err := w.reopen()
+		if err == nil {
+			err = w.f.Truncate(validLen)
+		}
+		if err == nil {
+			w.off = validLen
+			w.epoch = anc.Epoch
+			w.seq = seq
+			w.chain = chain
+			w.crypt = newWALCrypt(st.dataKey, anc.Epoch, auxShardIdx)
+			w.syncedSeq = head.Seq
+			err = w.syncAndPublish()
+		}
+		w.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("persist: aux WAL reopen: %w", err)
+		}
+	}
+	st.aux.recovered = out
+	return nil
+}

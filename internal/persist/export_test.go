@@ -1,0 +1,25 @@
+package persist
+
+// Bridges for the external-package tests in this directory
+// (tenant_crash_test.go is `package persist_test` so it can import the
+// tenant layer, which itself imports persist). Only the crash-injecting
+// filesystem crosses the boundary; everything here compiles into test
+// binaries exclusively.
+
+// CrashFS is the in-memory power-loss filesystem used by the crash
+// matrix, exported for the tenant-layer sweeps.
+type CrashFS = crashFS
+
+// NewCrashFS returns a fresh CrashFS with fault injection disarmed.
+func NewCrashFS() *CrashFS { return newCrashFS() }
+
+// ArmFail makes the n-th mutating operation from now (1-based) and every
+// operation after it fail, simulating the instant the power goes out.
+func (c *crashFS) ArmFail(n int) { c.armFail(n) }
+
+// Crash applies the power-loss model (un-synced writes and directory
+// operations are dropped) and disarms injection so recovery can run.
+func (c *crashFS) Crash() { c.crash() }
+
+// Mutate edits a file's durable content in place (tamper simulation).
+func (c *crashFS) Mutate(name string, fn func([]byte) []byte) { c.mutate(name, fn) }

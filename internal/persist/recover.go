@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"aisebmt/internal/core"
-	"aisebmt/internal/server"
 	"aisebmt/internal/shard"
 )
 
@@ -68,6 +67,10 @@ func (st *Store) Recover(cfg shard.Config) (*shard.Pool, RecoveryInfo, error) {
 	}
 
 	st.initWriters(pool.Shards())
+	// With the aux journal enabled, the replay also collects the structural
+	// events (swap-outs with their regenerated images, swap-ins, moves) the
+	// tenant layer needs to reconcile its journal against; see aux.go.
+	var auxEvents []AuxEvent
 	for i, w := range st.wals {
 		hb, herr := st.fs.ReadFile(w.headPath)
 		if herr != nil {
@@ -109,7 +112,8 @@ func (st *Store) Recover(cfg shard.Config) (*shard.Pool, RecoveryInfo, error) {
 			if cerr != nil {
 				return fail(fmt.Errorf("%w: shard %d: %v", ErrWALTampered, i, cerr))
 			}
-			if rerr := pool.ReplayOp(i, op); rerr != nil {
+			img, rerr := pool.ReplayOpImage(i, op)
+			if rerr != nil {
 				if errors.Is(rerr, core.ErrTampered) {
 					return fail(fmt.Errorf("%w: replay on shard %d: %v", ErrSnapshotTampered, i, rerr))
 				}
@@ -118,6 +122,11 @@ func (st *Store) Recover(cfg shard.Config) (*shard.Pool, RecoveryInfo, error) {
 				info.ReplaySkipped++
 			} else {
 				info.Replayed++
+				if st.aux.enabled && op.Kind != shard.MutWrite {
+					auxEvents = append(auxEvents, AuxEvent{
+						Shard: i, Kind: op.Kind, Addr: op.Addr, Virt: op.Virt, Slot: op.Slot, Img: img,
+					})
+				}
 			}
 		}
 		info.WALRecords += seq
@@ -147,6 +156,12 @@ func (st *Store) Recover(cfg shard.Config) (*shard.Pool, RecoveryInfo, error) {
 		w.mu.Unlock()
 		if err != nil {
 			return fail(fmt.Errorf("persist: shard %d WAL reopen: %w", i, err))
+		}
+	}
+
+	if st.aux.enabled {
+		if err := st.recoverAux(anc, auxEvents); err != nil {
+			return fail(err)
 		}
 	}
 
@@ -217,7 +232,7 @@ func recToOp(r walRec) (shard.MutOp, error) {
 		Data: r.Data,
 	}
 	if r.Kind == shard.MutSwapIn {
-		img, err := server.DecodeImage(r.Data)
+		img, err := core.DecodePageImage(r.Data)
 		if err != nil {
 			return shard.MutOp{}, fmt.Errorf("swap-in image: %v", err)
 		}

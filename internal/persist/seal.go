@@ -31,6 +31,10 @@ var (
 	// ErrSnapshotTampered: the snapshot body fails verification against
 	// the sealed chip states.
 	ErrSnapshotTampered = errors.New("persist: snapshot tampered")
+	// ErrTenantTampered: the tenant journal or tenant checkpoint section
+	// does not match its sealed digest — address-space metadata (page
+	// tables, swap directories) was altered, truncated, or substituted.
+	ErrTenantTampered = errors.New("persist: tenant state tampered")
 )
 
 const (
@@ -69,19 +73,33 @@ type anchor struct {
 	Epoch    uint64
 	Fence    uint64
 	MemEpoch uint64
-	Chips    []core.ChipState
+	// HasAux marks an anchor sealed with a tenant (auxiliary) checkpoint
+	// section; AuxDigest is the HMAC over that section's bytes. Recovery
+	// refuses an aux section that fails the digest, and refuses a missing
+	// section when HasAux is set — a deleted tenant checkpoint must not
+	// degrade to "no tenants existed".
+	HasAux    bool
+	AuxDigest [sealSize]byte
+	Chips     []core.ChipState
 }
 
 // encodeAnchor serializes and seals an anchor. Version 2 added the
-// fencing epoch, version 3 the membership epoch; older anchors (missing
-// fields implicitly 0) still parse.
+// fencing epoch, version 3 the membership epoch, version 4 the tenant
+// checkpoint digest; older anchors (missing fields implicitly 0) still
+// parse.
 func encodeAnchor(k []byte, a anchor) []byte {
 	b := make([]byte, 0, 64+len(a.Chips)*64)
 	b = append(b, anchorMagic...)
-	b = binary.LittleEndian.AppendUint32(b, 3) // version
+	b = binary.LittleEndian.AppendUint32(b, 4) // version
 	b = binary.LittleEndian.AppendUint64(b, a.Epoch)
 	b = binary.LittleEndian.AppendUint64(b, a.Fence)
 	b = binary.LittleEndian.AppendUint64(b, a.MemEpoch)
+	if a.HasAux {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = append(b, a.AuxDigest[:]...)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(a.Chips)))
 	for _, c := range a.Chips {
 		b = append(b, c.GPC[:]...)
@@ -108,7 +126,7 @@ func parseAnchor(k, b []byte) (anchor, error) {
 		return anchor{}, fmt.Errorf("%w: anchor bad magic", ErrTrustTampered)
 	}
 	v := binary.LittleEndian.Uint32(body[8:12])
-	if v < 1 || v > 3 {
+	if v < 1 || v > 4 {
 		return anchor{}, fmt.Errorf("%w: anchor unknown version %d", ErrTrustTampered, v)
 	}
 	a := anchor{Epoch: binary.LittleEndian.Uint64(body[12:20])}
@@ -126,6 +144,14 @@ func parseAnchor(k, b []byte) (anchor, error) {
 		}
 		a.MemEpoch = binary.LittleEndian.Uint64(body[off : off+8])
 		off += 8
+	}
+	if v >= 4 {
+		if len(body) < off+1+sealSize+4 {
+			return anchor{}, fmt.Errorf("%w: anchor too short for v4 header", ErrTrustTampered)
+		}
+		a.HasAux = body[off] != 0
+		copy(a.AuxDigest[:], body[off+1:off+1+sealSize])
+		off += 1 + sealSize
 	}
 	n := binary.LittleEndian.Uint32(body[off : off+4])
 	off += 4

@@ -27,7 +27,6 @@ import (
 
 	"aisebmt/internal/core"
 	"aisebmt/internal/obs"
-	"aisebmt/internal/server"
 	"aisebmt/internal/shard"
 )
 
@@ -173,6 +172,10 @@ type Store struct {
 	rotHook atomic.Pointer[rotHookRef]
 
 	wals []*walWriter
+
+	// aux is the auxiliary (tenant) journal riding the same directory; see
+	// aux.go. Zero-valued (disabled) unless EnableAux was called.
+	aux auxState
 
 	lastSnapPath  string
 	lastSnapBytes int64
@@ -333,10 +336,11 @@ func (st *Store) headPath(i int) string {
 func ownFile(name string) bool {
 	return name == "anchor.bin" || name == "anchor.tmp" || name == "snap.tmp" ||
 		strings.HasPrefix(name, "snap-") || strings.HasPrefix(name, "wal-") ||
-		strings.HasPrefix(name, "walhead-")
+		strings.HasPrefix(name, "walhead-") || strings.HasPrefix(name, "auxsnap-")
 }
 
-// initWriters builds the per-shard writer set (files opened lazily).
+// initWriters builds the per-shard writer set (files opened lazily), plus
+// the aux journal's writer when the aux journal is enabled.
 func (st *Store) initWriters(n int) {
 	st.wals = make([]*walWriter, n)
 	for i := range st.wals {
@@ -347,6 +351,16 @@ func (st *Store) initWriters(n int) {
 			shardIdx: uint32(i),
 			path:     st.walPath(i),
 			headPath: st.headPath(i),
+		}
+	}
+	if st.aux.enabled {
+		st.aux.w = &walWriter{
+			fs:       st.fs,
+			key:      st.key,
+			dataKey:  st.dataKey,
+			shardIdx: auxShardIdx,
+			path:     st.auxWALPath(),
+			headPath: st.auxHeadPath(),
 		}
 	}
 }
@@ -371,7 +385,7 @@ func (st *Store) Commit(shardIdx int, ops []shard.MutOp) error {
 			Data: op.Data,
 		}
 		if op.Kind == shard.MutSwapIn {
-			recs[i].Data = server.EncodeImage(op.Img)
+			recs[i].Data = core.EncodePageImage(op.Img)
 		}
 	}
 	w.mu.Lock()
@@ -468,6 +482,22 @@ func (st *Store) Checkpoint() error {
 		return errors.New("persist: Checkpoint before Recover")
 	}
 	newEpoch := st.epoch + 1
+	var auxSrc *auxSource
+	if st.aux.enabled {
+		auxSrc = st.aux.src.Load()
+		if auxSrc == nil && st.auxDirty() {
+			// Tenant state exists but the tenant layer is not wired back in
+			// yet; a checkpoint now would seal an empty section over it.
+			return errors.New("persist: checkpoint with recovered tenant state but no aux source installed")
+		}
+		if auxSrc != nil {
+			// Freeze tenant operations before the pool freezes: an in-flight
+			// tenant operation may still be waiting on pool calls, which must
+			// be able to complete for the freeze to be acquired.
+			auxSrc.freeze()
+			defer auxSrc.thaw()
+		}
+	}
 	tmpPath := filepath.Join(st.opts.Dir, "snap.tmp")
 	f, err := st.fs.Create(tmpPath)
 	if err != nil {
@@ -498,7 +528,19 @@ func (st *Store) Checkpoint() error {
 		if err := st.fs.SyncDir(st.opts.Dir); err != nil {
 			return err
 		}
-		if err := st.writeAnchor(anchor{Epoch: newEpoch, Fence: st.fence.Load(), MemEpoch: st.memEpoch.Load(), Chips: chips}); err != nil {
+		a := anchor{Epoch: newEpoch, Fence: st.fence.Load(), MemEpoch: st.memEpoch.Load(), Chips: chips}
+		if st.aux.enabled {
+			auxSec, aerr := st.auxCheckpointSection(auxSrc)
+			if aerr != nil {
+				return fmt.Errorf("aux section: %w", aerr)
+			}
+			if aerr := st.writeAuxSnap(newEpoch, auxSec); aerr != nil {
+				return fmt.Errorf("aux snapshot: %w", aerr)
+			}
+			a.HasAux = true
+			a.AuxDigest = auxDigest(st.key, newEpoch, auxSec)
+		}
+		if err := st.writeAnchor(a); err != nil {
 			return err
 		}
 		// From the durable anchor on, the new snapshot is authoritative;
@@ -515,6 +557,11 @@ func (st *Store) Checkpoint() error {
 			w.mu.Unlock()
 			if err != nil {
 				return st.fail(fmt.Errorf("shard %d WAL reset after durable epoch-%d anchor: %v", w.shardIdx, newEpoch, err))
+			}
+		}
+		if st.aux.enabled {
+			if err := st.resetAux(newEpoch); err != nil {
+				return st.fail(fmt.Errorf("aux WAL reset after durable epoch-%d anchor: %v", newEpoch, err))
 			}
 		}
 		if err := st.fs.SyncDir(st.opts.Dir); err != nil {
@@ -574,10 +621,19 @@ func (st *Store) gcSnapshots(current uint64) {
 			st.fs.Remove(filepath.Join(st.opts.Dir, n))
 			continue
 		}
-		if !strings.HasPrefix(n, "snap-") || !strings.HasSuffix(n, ".img") {
+		var prefix string
+		switch {
+		case strings.HasPrefix(n, "snap-"):
+			prefix = "snap-"
+		case strings.HasPrefix(n, "auxsnap-"):
+			prefix = "auxsnap-"
+		default:
 			continue
 		}
-		e, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(n, "snap-"), ".img"), 16, 64)
+		if !strings.HasSuffix(n, ".img") {
+			continue
+		}
+		e, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(n, prefix), ".img"), 16, 64)
 		if perr == nil && e != current {
 			st.fs.Remove(filepath.Join(st.opts.Dir, n))
 		}
@@ -648,7 +704,16 @@ func (st *Store) Close() error {
 		st.bg.Wait()
 	}
 	first := st.Flush()
-	for _, w := range st.wals {
+	if st.aux.enabled && st.aux.w != nil {
+		if err := st.SyncAux(); err != nil && first == nil {
+			first = err
+		}
+	}
+	ws := st.wals
+	if st.aux.w != nil {
+		ws = append(append([]*walWriter(nil), ws...), st.aux.w)
+	}
+	for _, w := range ws {
 		w.mu.Lock()
 		err := w.close()
 		w.mu.Unlock()

@@ -183,7 +183,7 @@ func parseRecPayload(p []byte) (walRec, error) {
 		PID:  binary.LittleEndian.Uint32(p[17:21]),
 		Slot: binary.LittleEndian.Uint32(p[21:25]),
 	}
-	if r.Kind < shard.MutWrite || r.Kind > shard.MutSwapIn {
+	if (r.Kind < shard.MutWrite || r.Kind > shard.MutMove) && r.Kind != recKindAux {
 		return walRec{}, fmt.Errorf("persist: WAL record has unknown kind %d", p[0])
 	}
 	if len(p) > recFixedLen {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -287,6 +288,20 @@ func (c *Client) TenantWrite(id uint32, vaddr uint64, data []byte) error {
 		return err
 	}
 	return check(OpTenantWrite, p)
+}
+
+// TenantMap aliases one page of tenant srcID at srcVaddr into tenant
+// dstID's address space at dstVaddr; both sides then read and write the
+// same physical page.
+func (c *Client) TenantMap(srcID uint32, srcVaddr uint64, dstID uint32, dstVaddr uint64) error {
+	data := make([]byte, 12)
+	binary.BigEndian.PutUint32(data[:4], dstID)
+	binary.BigEndian.PutUint64(data[4:], dstVaddr)
+	p, err := c.Do(&Request{Op: OpTenantMap, Addr: uint64(srcID), Virt: srcVaddr, Data: data})
+	if err != nil {
+		return err
+	}
+	return check(OpTenantMap, p)
 }
 
 // TenantStats fetches the tenant layer's snapshot as raw JSON (the shape

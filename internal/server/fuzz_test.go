@@ -34,6 +34,7 @@ func FuzzRequestRoundTrip(f *testing.F) {
 		{Op: OpTenantRead, Addr: 3, Virt: 4096, Count: 64},
 		{Op: OpTenantWrite, Addr: 3, Virt: 8192, Data: []byte("tenant bytes")},
 		{Op: OpTenantStats},
+		{Op: OpTenantMap, Addr: 3, Virt: 4096, Data: []byte{0, 0, 0, 4, 0, 0, 0, 0, 0, 0, 32, 0}},
 	} {
 		var buf bytes.Buffer
 		if err := EncodeRequest(&buf, q); err != nil {
@@ -107,6 +108,9 @@ func FuzzTenantDispatch(f *testing.F) {
 		{Op: OpTenantRead, Addr: 1, Count: ^uint32(0)},
 		{Op: OpTenantWrite, Addr: 1, Virt: 1<<32 - 4096, Data: bytes.Repeat([]byte{7}, 128)},
 		{Op: OpTenantStats},
+		{Op: OpTenantMap, Addr: 1, Virt: 0, Data: []byte{0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 16, 0}},
+		{Op: OpTenantMap, Addr: 1, Virt: 4096, Data: []byte{0xff}}, // short destination
+		{Op: OpTenantMap, Addr: ^uint64(0), Virt: ^uint64(0), Data: bytes.Repeat([]byte{0xff}, 12)},
 	} {
 		var buf bytes.Buffer
 		if err := EncodeRequest(&buf, q); err != nil {
@@ -116,7 +120,7 @@ func FuzzTenantDispatch(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		q, err := parseRequest(body)
-		if err != nil || q.Op < OpTenantCreate || q.Op > OpTenantStats {
+		if err != nil || (q.Op < OpTenantCreate || q.Op > OpTenantStats) && q.Op != OpTenantMap {
 			return
 		}
 		resp := srv.dispatch(q)

@@ -1,9 +1,6 @@
 package server
 
 import (
-	"encoding/binary"
-	"fmt"
-
 	"aisebmt/internal/core"
 	"aisebmt/internal/layout"
 )
@@ -12,35 +9,9 @@ import (
 // 64 data blocks, its counter block, and a MAC-section length.
 const imageFixedLen = layout.PageSize + layout.BlockSize + 4
 
-// EncodeImage flattens a swapped-out page for the wire: data blocks,
-// counter block, then the length-prefixed MAC section. Every byte is
-// ciphertext or MACs — attacker-visible by design, so no additional
-// protection is applied in transit.
-func EncodeImage(img *core.PageImage) []byte {
-	out := make([]byte, imageFixedLen+len(img.MACs))
-	for i := range img.Data {
-		copy(out[i*layout.BlockSize:], img.Data[i][:])
-	}
-	copy(out[layout.PageSize:], img.Counters[:])
-	binary.BigEndian.PutUint32(out[layout.PageSize+layout.BlockSize:], uint32(len(img.MACs)))
-	copy(out[imageFixedLen:], img.MACs)
-	return out
-}
+// EncodeImage flattens a swapped-out page for the wire; the codec lives
+// in core (core.EncodePageImage) so non-wire layers share it.
+func EncodeImage(img *core.PageImage) []byte { return core.EncodePageImage(img) }
 
 // DecodeImage parses EncodeImage's layout.
-func DecodeImage(b []byte) (*core.PageImage, error) {
-	if len(b) < imageFixedLen {
-		return nil, fmt.Errorf("server: page image of %d bytes is shorter than the %d-byte minimum", len(b), imageFixedLen)
-	}
-	img := &core.PageImage{}
-	for i := range img.Data {
-		copy(img.Data[i][:], b[i*layout.BlockSize:])
-	}
-	copy(img.Counters[:], b[layout.PageSize:])
-	n := binary.BigEndian.Uint32(b[layout.PageSize+layout.BlockSize:])
-	if uint64(len(b)) != uint64(imageFixedLen)+uint64(n) {
-		return nil, fmt.Errorf("server: page image declares %d MAC bytes but carries %d", n, len(b)-imageFixedLen)
-	}
-	img.MACs = append([]byte(nil), b[imageFixedLen:]...)
-	return img, nil
-}
+func DecodeImage(b []byte) (*core.PageImage, error) { return core.DecodePageImage(b) }

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -67,6 +68,7 @@ type TenantBackend interface {
 	Fork(ctx context.Context, id uint32, trace uint64) (uint32, error)
 	Read(ctx context.Context, id uint32, vaddr uint64, n int, trace uint64) ([]byte, error)
 	Write(ctx context.Context, id uint32, vaddr uint64, data []byte, trace uint64) error
+	Map(ctx context.Context, srcID uint32, srcVaddr uint64, dstID uint32, dstVaddr uint64, trace uint64) error
 	StatsJSON() ([]byte, error)
 }
 
@@ -432,7 +434,7 @@ func (s *Server) dispatch(q *Request) *Response {
 			return fail(StatusBadRequest, err)
 		}
 		return &Response{Status: StatusOK}
-	case OpTenantCreate, OpTenantDestroy, OpTenantFork, OpTenantRead, OpTenantWrite, OpTenantStats:
+	case OpTenantCreate, OpTenantDestroy, OpTenantFork, OpTenantRead, OpTenantWrite, OpTenantStats, OpTenantMap:
 		return s.dispatchTenant(ctx, q)
 	case OpClusterView, OpClusterJoin, OpClusterLeave, OpClusterRemove:
 		return s.dispatchCluster(q)
@@ -494,6 +496,16 @@ func (s *Server) dispatchTenant(ctx context.Context, q *Request) *Response {
 		return &Response{Status: StatusOK, Data: buf}
 	case OpTenantWrite:
 		if err := tb.Write(ctx, uint32(q.Addr), q.Virt, q.Data, q.TraceID); err != nil {
+			return failErr(err)
+		}
+		return &Response{Status: StatusOK}
+	case OpTenantMap:
+		if len(q.Data) != 12 {
+			return fail(StatusBadRequest, fmt.Errorf("tenant map wants a 12-byte destination (id + vaddr), got %d", len(q.Data)))
+		}
+		dstID := binary.BigEndian.Uint32(q.Data[:4])
+		dstVaddr := binary.BigEndian.Uint64(q.Data[4:])
+		if err := tb.Map(ctx, uint32(q.Addr), q.Virt, dstID, dstVaddr, q.TraceID); err != nil {
 			return failErr(err)
 		}
 		return &Response{Status: StatusOK}

@@ -157,6 +157,95 @@ func TestTenantPressureOverWire(t *testing.T) {
 	}
 }
 
+func TestTenantMapSharedOverWire(t *testing.T) {
+	addr, svc, shutdown := startTenantServer(t, 0)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	a, err := c.TenantCreate(4)
+	if err != nil {
+		t.Fatalf("create a: %v", err)
+	}
+	b, err := c.TenantCreate(2)
+	if err != nil {
+		t.Fatalf("create b: %v", err)
+	}
+	seed := []byte("shared page payload")
+	if err := c.TenantWrite(a, layout.PageSize, seed); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+
+	// Map a's page 1 at b's page 4 — beyond b's 2-page space, so the
+	// mapping grows b's address space to cover it.
+	if err := c.TenantMap(a, layout.PageSize, b, 4*layout.PageSize); err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	got, err := c.TenantRead(b, 4*layout.PageSize, len(seed))
+	if err != nil || !bytes.Equal(got, seed) {
+		t.Fatalf("b reads %q, %v; want %q", got, err, seed)
+	}
+
+	// Shared means shared: a write on either side is visible to both and
+	// never splits the page.
+	if err := c.TenantWrite(b, 4*layout.PageSize, []byte("B WROTE THIS")); err != nil {
+		t.Fatalf("b write: %v", err)
+	}
+	if got, err = c.TenantRead(a, layout.PageSize, 12); err != nil || string(got) != "B WROTE THIS" {
+		t.Fatalf("a sees %q, %v after b's write", got, err)
+	}
+
+	// Fork interaction: fork a; private pages split copy-on-write, the
+	// shared page stays one frame visible to parent, child and b.
+	child, err := c.TenantFork(a)
+	if err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	if err := c.TenantWrite(a, 0, []byte("parent private")); err != nil {
+		t.Fatalf("parent private write: %v", err)
+	}
+	if got, err = c.TenantRead(child, 0, 14); err != nil || string(got) == "parent private" {
+		t.Fatalf("child sees parent's private write: %q, %v", got, err)
+	}
+	if err := c.TenantWrite(child, layout.PageSize, []byte("CHILD ON SHARED")); err != nil {
+		t.Fatalf("child shared write: %v", err)
+	}
+	if got, err = c.TenantRead(b, 4*layout.PageSize, 15); err != nil || string(got) != "CHILD ON SHARED" {
+		t.Fatalf("b sees %q, %v after child's shared write", got, err)
+	}
+
+	// The mapping survives swap pressure as one page: force it out through
+	// the service, then fault it back through b.
+	if err := svc.ForceSwapOut(context.Background(), a, layout.PageSize); err != nil {
+		t.Fatalf("force swap-out: %v", err)
+	}
+	if got, err = c.TenantRead(b, 4*layout.PageSize, 15); err != nil || string(got) != "CHILD ON SHARED" {
+		t.Fatalf("b reads %q, %v after swap round-trip", got, err)
+	}
+
+	// Error taxonomy: unknown tenants, unaligned addresses and occupied
+	// destinations are BadRequest.
+	var se *StatusError
+	if err := c.TenantMap(9999, 0, b, 5*layout.PageSize); !errors.As(err, &se) || se.Status != StatusBadRequest {
+		t.Fatalf("map from unknown tenant: %v", err)
+	}
+	if err := c.TenantMap(a, 7, b, 5*layout.PageSize); !errors.As(err, &se) || se.Status != StatusBadRequest {
+		t.Fatalf("unaligned map: %v", err)
+	}
+	if err := c.TenantMap(a, 0, b, 4*layout.PageSize); !errors.As(err, &se) || se.Status != StatusBadRequest {
+		t.Fatalf("map onto occupied page: %v", err)
+	}
+
+	if st := svc.Stats(); st.Cums.MapShared != 1 {
+		t.Fatalf("mapshared counter = %d, want 1", st.Cums.MapShared)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
 func TestTenantOpsUnsupportedWithoutLayer(t *testing.T) {
 	addr, _, shutdown := startServer(t)
 	c, err := Dial(addr, 2*time.Second)

@@ -48,6 +48,11 @@ const (
 	OpClusterJoin
 	OpClusterLeave
 	OpClusterRemove
+	// OpTenantMap aliases one page of a source tenant into a destination
+	// tenant's address space: Addr carries the source tenant ID, Virt the
+	// source page address, and Data the destination tenant ID (4 bytes BE)
+	// followed by the destination page address (8 bytes BE).
+	OpTenantMap
 )
 
 func (o Op) String() string {
@@ -92,6 +97,8 @@ func (o Op) String() string {
 		return "cluster-leave"
 	case OpClusterRemove:
 		return "cluster-remove"
+	case OpTenantMap:
+		return "tenant-map"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -276,7 +283,7 @@ func parseRequest(body []byte) (*Request, error) {
 		DeadlineUS: binary.BigEndian.Uint32(body[29:33]),
 		TraceID:    binary.BigEndian.Uint64(body[33:41]),
 	}
-	if q.Op < OpRead || q.Op > OpClusterRemove {
+	if q.Op < OpRead || q.Op > OpTenantMap {
 		return nil, fmt.Errorf("server: unknown op %d", body[0])
 	}
 	if len(body) > reqHeaderLen {

@@ -16,6 +16,7 @@ const (
 	MutWrite MutKind = iota + 1
 	MutSwapOut
 	MutSwapIn
+	MutMove
 )
 
 func (k MutKind) String() string {
@@ -26,6 +27,8 @@ func (k MutKind) String() string {
 		return "swapout"
 	case MutSwapIn:
 		return "swapin"
+	case MutMove:
+		return "move"
 	default:
 		return fmt.Sprintf("MutKind(%d)", uint8(k))
 	}
@@ -37,7 +40,7 @@ func (k MutKind) String() string {
 type MutOp struct {
 	Kind MutKind
 	Addr layout.Addr
-	Virt uint64 // Meta.VirtAddr for writes
+	Virt uint64 // Meta.VirtAddr for writes; destination page address for moves
 	PID  uint32 // Meta.PID for writes
 	Slot int    // directory slot for swapout/swapin
 	Data []byte // plaintext for writes
@@ -91,21 +94,43 @@ func (p *Pool) ReplayOp(shard int, op MutOp) error {
 	return ApplyOp(sh.sm, op)
 }
 
+// ReplayOpImage is ReplayOp for recovery paths that must observe the
+// regenerated swap image of a replayed MutSwapOut: live execution handed
+// that image to the swap device, and a recovery that rebuilds the swap
+// device needs it again. Non-swapout ops return a nil image.
+func (p *Pool) ReplayOpImage(shard int, op MutOp) (*core.PageImage, error) {
+	if shard < 0 || shard >= len(p.shards) {
+		return nil, fmt.Errorf("shard: replay: shard %d out of range [0,%d)", shard, len(p.shards))
+	}
+	sh := p.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return ApplyOpImage(sh.sm, op)
+}
+
 // ApplyOp applies one mutating operation to a bare controller — the
 // replay primitive shared by recovery (via ReplayOp) and online shard
 // repair, which rebuilds a quarantined shard's controller off to the side
 // before adopting it into the pool.
 func ApplyOp(sm *core.SecureMemory, op MutOp) error {
+	_, err := ApplyOpImage(sm, op)
+	return err
+}
+
+// ApplyOpImage is ApplyOp exposing the swap image a replayed MutSwapOut
+// regenerates from chip state (nil for every other kind).
+func ApplyOpImage(sm *core.SecureMemory, op MutOp) (*core.PageImage, error) {
 	switch op.Kind {
 	case MutWrite:
-		return sm.Write(op.Addr, op.Data, core.Meta{VirtAddr: op.Virt, PID: op.PID})
+		return nil, sm.Write(op.Addr, op.Data, core.Meta{VirtAddr: op.Virt, PID: op.PID})
 	case MutSwapOut:
-		_, err := sm.SwapOut(op.Addr, op.Slot)
-		return err
+		return sm.SwapOut(op.Addr, op.Slot)
 	case MutSwapIn:
-		return sm.SwapIn(op.Img, op.Addr, op.Slot)
+		return nil, sm.SwapIn(op.Img, op.Addr, op.Slot)
+	case MutMove:
+		return nil, sm.MovePage(op.Addr, layout.Addr(op.Virt))
 	default:
-		return fmt.Errorf("shard: replay: unknown op kind %d", op.Kind)
+		return nil, fmt.Errorf("shard: replay: unknown op kind %d", op.Kind)
 	}
 }
 
@@ -120,6 +145,8 @@ func mutOps(batch []*request) []MutOp {
 			ops = append(ops, MutOp{Kind: MutSwapOut, Addr: r.addr, Slot: r.slot})
 		case opSwapIn:
 			ops = append(ops, MutOp{Kind: MutSwapIn, Addr: r.addr, Slot: r.slot, Img: r.img})
+		case opMove:
+			ops = append(ops, MutOp{Kind: MutMove, Addr: r.addr, Virt: uint64(r.dst)})
 		}
 	}
 	return ops

@@ -110,6 +110,7 @@ const (
 	opVerify
 	opSwapOut
 	opSwapIn
+	opMove
 )
 
 // request travels through a shard queue; addr is shard-local.
@@ -117,6 +118,7 @@ type request struct {
 	kind opKind
 	ctx  context.Context
 	addr layout.Addr
+	dst  layout.Addr // move destination (shard-local)
 	buf  []byte
 	meta core.Meta
 	slot int
@@ -350,6 +352,29 @@ func (p *Pool) SwapIn(ctx context.Context, img *core.PageImage, pageAddr layout.
 	}
 	si, local := p.locate(pageAddr)
 	_, err := p.opOn(si, &request{kind: opSwapIn, ctx: ctx, addr: local, slot: slot, img: img})
+	return err
+}
+
+// MovePage relocates the page at oldPage into the frame at newPage — the
+// hot-page migration primitive. Both pages must live on the same shard
+// (page-interleaved placement: page numbers congruent mod Shards), because
+// the page's counters, MACs and tree coverage belong to one controller.
+// Under AISE the move is a verbatim metadata copy; physical-address seeds
+// pay a full re-encryption (the §4.2 comparison, now measurable under
+// service load).
+func (p *Pool) MovePage(ctx context.Context, oldPage, newPage layout.Addr, meta core.Meta) error {
+	if err := p.checkRange(oldPage, layout.PageSize); err != nil {
+		return err
+	}
+	if err := p.checkRange(newPage, layout.PageSize); err != nil {
+		return err
+	}
+	si, localOld := p.locate(oldPage)
+	di, localNew := p.locate(newPage)
+	if si != di {
+		return fmt.Errorf("shard: move %#x -> %#x crosses shards %d -> %d", oldPage, newPage, si, di)
+	}
+	_, err := p.opOn(si, &request{kind: opMove, ctx: ctx, addr: localOld, dst: localNew, meta: meta})
 	return err
 }
 
@@ -632,6 +657,8 @@ func (p *Pool) execute(idx int, sh *shard, r *request) (bool, error) {
 		res.img, res.err = sh.sm.SwapOut(r.addr, r.slot)
 	case opSwapIn:
 		res.err = sh.sm.SwapIn(r.img, r.addr, r.slot)
+	case opMove:
+		res.err = sh.sm.MovePage(r.addr, r.dst)
 	}
 	ok := true
 	if res.err != nil && r.kind != opSwapIn && errors.Is(res.err, core.ErrTampered) {
@@ -655,6 +682,8 @@ func kindName(k opKind) string {
 		return "swapout"
 	case opSwapIn:
 		return "swapin"
+	case opMove:
+		return "move"
 	default:
 		return "op"
 	}

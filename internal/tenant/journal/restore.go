@@ -1,0 +1,360 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"aisebmt/internal/layout"
+	"aisebmt/internal/persist"
+	"aisebmt/internal/shard"
+	"aisebmt/internal/vm"
+)
+
+// Counters are the service-level cumulative counters carried through the
+// checkpoint section; Created/Destroyed/Forked/MapShared also advance
+// during journal replay (they have records), the rest resume from their
+// checkpointed values.
+type Counters struct {
+	Created           uint64
+	Destroyed         uint64
+	Forked            uint64
+	MapShared         uint64
+	PressureEvictions uint64
+	EvictFailures     uint64
+	TamperRefused     uint64
+}
+
+const (
+	stateMagic   = "SMTENST1"
+	stateVersion = 1
+)
+
+// EncodeState serializes the full tenant layer — the tenant table, the
+// service counters, and the vm manager's complete bookkeeping — as the
+// checkpoint section. Call it with tenant operations frozen.
+func EncodeState(mgr *vm.Manager, tenants map[uint32]int, c Counters) ([]byte, error) {
+	snap, err := mgr.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, 64+12*len(tenants)+len(snap))
+	b = append(b, stateMagic...)
+	b = append(b, stateVersion)
+	for _, v := range []uint64{c.Created, c.Destroyed, c.Forked, c.MapShared, c.PressureEvictions, c.EvictFailures, c.TamperRefused} {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(tenants)))
+	// Deterministic order so the sealed digest is stable across encodes.
+	ids := make([]uint32, 0, len(tenants))
+	for id := range tenants {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		b = binary.LittleEndian.AppendUint32(b, id)
+		b = binary.LittleEndian.AppendUint64(b, uint64(tenants[id]))
+	}
+	return append(b, snap...), nil
+}
+
+// tampered wraps a reconciliation failure in the persist layer's typed
+// refusal: the journal does not describe a history the durable pool state
+// can have produced.
+func tampered(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", persist.ErrTenantTampered, fmt.Sprintf(format, args...))
+}
+
+// Restore rebuilds the tenant layer from what recovery surfaced: the
+// sealed checkpoint section, the journal suffix, and the structural
+// events the shard-WAL replay regenerated. Journaled swap/move records
+// are matched against the per-shard event order (a mismatch is
+// tampering); leftover events — pool mutations whose journal records were
+// lost with an unacknowledged tail — are rolled forward so bookkeeping
+// matches the durable chip state. aux may be nil (fresh directory).
+func Restore(b vm.Backing, slotsPerGroup int, aux *persist.AuxRecovery) (*vm.Manager, map[uint32]int, Counters, error) {
+	var mgr *vm.Manager
+	tenants := make(map[uint32]int)
+	var c Counters
+	if aux == nil || len(aux.Snap) == 0 {
+		mgr = vm.NewManagerOver(b, slotsPerGroup)
+	} else {
+		r := &recReader{b: aux.Snap}
+		magic := make([]byte, 8)
+		for i := range magic {
+			magic[i] = r.u8()
+		}
+		if r.bad || string(magic) != stateMagic {
+			return nil, nil, c, tampered("tenant checkpoint bad magic")
+		}
+		if v := r.u8(); v != stateVersion {
+			return nil, nil, c, tampered("tenant checkpoint version %d unsupported", v)
+		}
+		for _, p := range []*uint64{&c.Created, &c.Destroyed, &c.Forked, &c.MapShared, &c.PressureEvictions, &c.EvictFailures, &c.TamperRefused} {
+			*p = r.u64()
+		}
+		n := int(r.u32())
+		for i := 0; i < n && !r.bad; i++ {
+			id := r.u32()
+			tenants[id] = int(r.u64())
+		}
+		if r.bad {
+			return nil, nil, c, tampered("tenant checkpoint truncated")
+		}
+		m, err := vm.RestoreManager(b, slotsPerGroup, aux.Snap[r.off:])
+		if err != nil {
+			return nil, nil, c, tampered("tenant checkpoint: %v", err)
+		}
+		mgr = m
+	}
+
+	groups := b.SwapGroups()
+	if groups < 1 {
+		groups = 1
+	}
+	var queues [][]persist.AuxEvent
+	if aux != nil {
+		queues = make([][]persist.AuxEvent, groups)
+		for _, ev := range aux.Events {
+			if ev.Shard < 0 || ev.Shard >= groups {
+				return nil, nil, c, tampered("event on shard %d of %d", ev.Shard, groups)
+			}
+			queues[ev.Shard] = append(queues[ev.Shard], ev)
+		}
+	}
+	pop := func(shardIdx int) (persist.AuxEvent, error) {
+		if shardIdx < 0 || shardIdx >= groups || len(queues) == 0 || len(queues[shardIdx]) == 0 {
+			return persist.AuxEvent{}, tampered("journal claims a pool mutation shard %d never performed", shardIdx)
+		}
+		ev := queues[shardIdx][0]
+		queues[shardIdx] = queues[shardIdx][1:]
+		return ev, nil
+	}
+	localPage := func(frame int) layout.Addr {
+		return layout.Addr(uint64(frame/groups) * layout.PageSize)
+	}
+
+	if aux != nil {
+		for i, rec := range aux.Recs {
+			if err := applyRecord(mgr, tenants, &c, rec, groups, slotsPerGroup, pop, localPage); err != nil {
+				return nil, nil, c, fmt.Errorf("record %d: %w", i, err)
+			}
+		}
+		// Leftover events: durable pool mutations whose journal records
+		// were never synced (the operations were never acknowledged). Roll
+		// them forward in per-shard order so bookkeeping matches chip
+		// state; cross-shard order is immaterial (a logical page lives its
+		// whole swap life inside one group).
+		for shardIdx, q := range queues {
+			for _, ev := range q {
+				var err error
+				switch ev.Kind {
+				case shard.MutSwapOut:
+					frame := int(ev.Addr/layout.PageSize)*groups + shardIdx
+					err = mgr.ReplaySwapOut(frame, shardIdx*slotsPerGroup+ev.Slot, ev.Img)
+				case shard.MutSwapIn:
+					frame := int(ev.Addr/layout.PageSize)*groups + shardIdx
+					err = mgr.ReplaySwapIn(shardIdx*slotsPerGroup+ev.Slot, frame)
+				case shard.MutMove:
+					oldFrame := int(ev.Addr/layout.PageSize)*groups + shardIdx
+					newFrame := int(ev.Virt/layout.PageSize)*groups + shardIdx
+					err = mgr.ReplayMigrated(oldFrame, newFrame)
+				default:
+					err = tampered("unexpected event kind %v", ev.Kind)
+				}
+				if err != nil {
+					return nil, nil, c, tampered("leftover %v on shard %d: %v", ev.Kind, shardIdx, err)
+				}
+			}
+		}
+	}
+
+	// The tenant table must describe live address spaces.
+	for id := range tenants {
+		if mgr.Process(vm.PID(id)) == nil {
+			return nil, nil, c, tampered("tenant %d has no address space", id)
+		}
+	}
+	return mgr, tenants, c, nil
+}
+
+// applyRecord replays one journal record onto the manager and tenant
+// table, consuming the matching structural event for swap/move records.
+func applyRecord(mgr *vm.Manager, tenants map[uint32]int, c *Counters, rec []byte, groups, slotsPerGroup int,
+	pop func(int) (persist.AuxEvent, error), localPage func(int) layout.Addr) error {
+	r := &recReader{b: rec}
+	kind := r.u8()
+	var err error
+	switch kind {
+	case recProcCreated:
+		pid := r.u32()
+		if !r.done() {
+			return tampered("malformed ProcCreated")
+		}
+		err = mgr.ReplayProcCreated(vm.PID(pid))
+	case recMapped:
+		pid := r.u32()
+		base := r.u64()
+		n := r.u32()
+		if r.bad || uint64(n)*8 != uint64(len(rec)-r.off) {
+			return tampered("malformed Mapped")
+		}
+		frames := make([]int, n)
+		for i := range frames {
+			frames[i] = int(r.u64())
+		}
+		if !r.done() {
+			return tampered("malformed Mapped")
+		}
+		err = mgr.ReplayMapped(vm.PID(pid), base, frames)
+	case recUnmapped:
+		pid := r.u32()
+		base := r.u64()
+		n := r.u32()
+		if !r.done() {
+			return tampered("malformed Unmapped")
+		}
+		err = mgr.ReplayUnmapped(vm.PID(pid), base, int(n))
+	case recProcExited:
+		pid := r.u32()
+		if !r.done() {
+			return tampered("malformed ProcExited")
+		}
+		err = mgr.ReplayProcExited(vm.PID(pid))
+	case recForked:
+		parent, child := r.u32(), r.u32()
+		if !r.done() {
+			return tampered("malformed Forked")
+		}
+		err = mgr.ReplayForked(vm.PID(parent), vm.PID(child))
+	case recShared:
+		src := r.u32()
+		srcVPN := r.u64()
+		dst := r.u32()
+		dstVPN := r.u64()
+		if !r.done() {
+			return tampered("malformed Shared")
+		}
+		if err = mgr.ReplayShared(vm.PID(src), srcVPN, vm.PID(dst), dstVPN); err == nil {
+			c.MapShared++
+		}
+	case recProtected:
+		pid := r.u32()
+		vpn := r.u64()
+		w := r.u8()
+		if !r.done() {
+			return tampered("malformed Protected")
+		}
+		err = mgr.ReplayProtected(vm.PID(pid), vpn, w != 0)
+	case recSwappedOut:
+		frame, slot := int(r.u64()), int(r.u64())
+		if !r.done() {
+			return tampered("malformed SwappedOut")
+		}
+		shardIdx := frame % groups
+		ev, perr := pop(shardIdx)
+		if perr != nil {
+			return perr
+		}
+		if ev.Kind != shard.MutSwapOut || ev.Addr != localPage(frame) ||
+			slot/slotsPerGroup != shardIdx || ev.Slot != slot%slotsPerGroup {
+			return tampered("SwappedOut(frame %d, slot %d) does not match pool history (%v at %#x slot %d)",
+				frame, slot, ev.Kind, ev.Addr, ev.Slot)
+		}
+		err = mgr.ReplaySwapOut(frame, slot, ev.Img)
+	case recSwappedIn:
+		slot, frame := int(r.u64()), int(r.u64())
+		if !r.done() {
+			return tampered("malformed SwappedIn")
+		}
+		shardIdx := frame % groups
+		ev, perr := pop(shardIdx)
+		if perr != nil {
+			return perr
+		}
+		if ev.Kind != shard.MutSwapIn || ev.Addr != localPage(frame) ||
+			slot/slotsPerGroup != shardIdx || ev.Slot != slot%slotsPerGroup {
+			return tampered("SwappedIn(slot %d, frame %d) does not match pool history (%v at %#x slot %d)",
+				slot, frame, ev.Kind, ev.Addr, ev.Slot)
+		}
+		err = mgr.ReplaySwapIn(slot, frame)
+	case recCOWBroken:
+		pid := r.u32()
+		vpn := r.u64()
+		frame := int(r.u64())
+		if !r.done() {
+			return tampered("malformed COWBroken")
+		}
+		err = mgr.ReplayCOWBroken(vm.PID(pid), vpn, frame)
+	case recMigrated:
+		oldFrame, newFrame := int(r.u64()), int(r.u64())
+		if !r.done() {
+			return tampered("malformed Migrated")
+		}
+		shardIdx := oldFrame % groups
+		ev, perr := pop(shardIdx)
+		if perr != nil {
+			return perr
+		}
+		if ev.Kind != shard.MutMove || ev.Addr != localPage(oldFrame) ||
+			newFrame%groups != shardIdx || layout.Addr(ev.Virt) != localPage(newFrame) {
+			return tampered("Migrated(%d -> %d) does not match pool history (%v %#x -> %#x)",
+				oldFrame, newFrame, ev.Kind, ev.Addr, ev.Virt)
+		}
+		err = mgr.ReplayMigrated(oldFrame, newFrame)
+	case recTenantCreated:
+		id := r.u32()
+		npages := r.u64()
+		if !r.done() {
+			return tampered("malformed TenantCreated")
+		}
+		if _, ok := tenants[id]; ok {
+			return tampered("tenant %d created twice", id)
+		}
+		tenants[id] = int(npages)
+		c.Created++
+	case recTenantDestroyed:
+		id := r.u32()
+		if !r.done() {
+			return tampered("malformed TenantDestroyed")
+		}
+		if _, ok := tenants[id]; !ok {
+			return tampered("destroy of unknown tenant %d", id)
+		}
+		delete(tenants, id)
+		c.Destroyed++
+	case recTenantForked:
+		parent, child := r.u32(), r.u32()
+		if !r.done() {
+			return tampered("malformed TenantForked")
+		}
+		np, ok := tenants[parent]
+		if !ok {
+			return tampered("fork of unknown tenant %d", parent)
+		}
+		if _, ok := tenants[child]; ok {
+			return tampered("fork child %d already exists", child)
+		}
+		tenants[child] = np
+		c.Forked++
+	case recTenantResized:
+		id := r.u32()
+		npages := r.u64()
+		if !r.done() {
+			return tampered("malformed TenantResized")
+		}
+		if _, ok := tenants[id]; !ok {
+			return tampered("resize of unknown tenant %d", id)
+		}
+		tenants[id] = int(npages)
+	default:
+		return tampered("unknown journal record kind %d", kind)
+	}
+	if err != nil {
+		return tampered("%v", err)
+	}
+	return nil
+}

@@ -244,6 +244,44 @@ func TestSharedMemoryIPC(t *testing.T) {
 	}
 }
 
+func TestMapSharedAfterForkBreaksCOW(t *testing.T) {
+	// Fork first, THEN map the still-COW page into a third process.
+	// The shared alias is writable and never COW-breaks, so MapShared
+	// must split the page off the fork sibling before aliasing it —
+	// otherwise writes through the alias leak into the sibling.
+	m := newVM(t, 8)
+	a := m.NewProcess()
+	if err := m.Map(a, 0x10000, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(a, 0x10000, []byte("orig"))
+	b := m.Fork(a)
+	c := m.NewProcess()
+	if err := m.MapShared(a, 0x10000, c, 0x30000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(c, 0x30000, []byte("via-c")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if err := m.Read(b, 0x10000, got[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:4]) != "orig" {
+		t.Errorf("fork sibling sees %q after write through shared alias, want orig", got[:4])
+	}
+	// a and c still share one frame.
+	if err := m.Read(a, 0x10000, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "via-c" {
+		t.Errorf("a sees %q through shared page, want via-c", got)
+	}
+	if m.Stats().COWBreaks == 0 {
+		t.Error("MapShared on a COW page did not record a COW break")
+	}
+}
+
 func TestSharedPageSurvivesSwap(t *testing.T) {
 	m := newVM(t, 4)
 	a := m.NewProcess()

@@ -2,8 +2,9 @@
 # tenant_smoke.sh — start a tenant-enabled secmemd (swap-capable scheme
 # plus a resident-set budget), drive tenant create/fork/destroy churn
 # over the wire, lint the /metrics exposition (which now includes the
-# secmemd_tenant_* family and the scrape-time secmemd_vm_* section), and
-# spot check that the tenant series actually moved. Used by `make
+# secmemd_tenant_* family and the scrape-time secmemd_vm_* section),
+# spot check that the tenant series actually moved, then run a
+# kill-and-recover pass against a tenant-durable daemon. Used by `make
 # tenant-smoke` and CI.
 set -eu
 
@@ -51,4 +52,11 @@ echo "$SCRAPE" | grep -q '^secmemd_vm_cow_breaks_total [1-9]' ||
 kill -TERM $PID
 wait $PID
 trap - EXIT INT TERM
+
+# Kill-and-recover: loadgen spawns a tenant-durable daemon on a scratch
+# data directory, seeds tenants (including a diverged fork), SIGKILLs
+# it, restarts it on the same directory and asserts every acknowledged
+# tenant byte comes back bit-exact. Exits non-zero on any loss.
+/tmp/loadgen -tenant-recover -secmemd /tmp/secmemd
+
 echo "tenant smoke passed"
